@@ -1,0 +1,36 @@
+//! Fig. 11 micro-benchmark: Gao–Rexford route computation and coverage
+//! evaluation on the paper-scale synthetic Internet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vif_interdomain::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_routing");
+    group.sample_size(10);
+
+    let topo = TopologyConfig::paper_scale().build(7);
+    let catalog = IxpCatalog::generate(&topo, 1.0, 7);
+    let sources = AttackSourceModel::DnsResolvers.distribute(&topo, 3_000_000, 8);
+    let victim = topo.tier3_ases()[0];
+
+    group.bench_function("compute_routes_2215_ases", |b| {
+        b.iter(|| black_box(compute_routes(black_box(&topo), victim)));
+    });
+
+    group.bench_function("coverage_10_victims", |b| {
+        b.iter(|| {
+            let exp = CoverageExperiment {
+                victims: 10,
+                max_top_n: 5,
+                seed: 3,
+            };
+            black_box(exp.run(&topo, &catalog, &sources))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Fig. 14 micro-benchmark: the real cost of the hash-based decision path
+//! (our from-scratch SHA-256) vs. deterministic and exact-match paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vif_bench::experiments::{victim_ip, victim_prefix};
+use vif_core::prelude::*;
+use vif_dataplane::FlowSet;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_decision_paths");
+    group.sample_size(30);
+    let flows = FlowSet::random_toward_victim(4096, victim_ip(), 3);
+    let tuples: Vec<FiveTuple> = flows.flows().to_vec();
+
+    // Hash-based: probabilistic rule, every decision pays SHA-256.
+    let prob_rule = FilterRule::drop_fraction(
+        FlowPattern::prefixes("0.0.0.0/0".parse().unwrap(), victim_prefix()),
+        0.5,
+    );
+    let hash_filter = StatelessFilter::new(RuleSet::from_rules([prob_rule]), [7u8; 32]);
+    group.bench_function("hash_based_decide", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let t = &tuples[i % tuples.len()];
+            i += 1;
+            black_box(hash_filter.decide(black_box(t)))
+        });
+    });
+
+    // Deterministic coarse rule.
+    let det_rule = FilterRule::drop(FlowPattern::prefixes(
+        "0.0.0.0/0".parse().unwrap(),
+        victim_prefix(),
+    ));
+    let det_filter = StatelessFilter::new(RuleSet::from_rules([det_rule]), [7u8; 32]);
+    group.bench_function("deterministic_decide", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let t = &tuples[i % tuples.len()];
+            i += 1;
+            black_box(det_filter.decide(black_box(t)))
+        });
+    });
+
+    // Hybrid after promotion: exact-match cache hit.
+    let mut hybrid = HybridFilter::new(
+        StatelessFilter::new(
+            RuleSet::from_rules([FilterRule::drop_fraction(
+                FlowPattern::prefixes("0.0.0.0/0".parse().unwrap(), victim_prefix()),
+                0.5,
+            )]),
+            [7u8; 32],
+        ),
+        10_000,
+    );
+    for t in &tuples {
+        hybrid.decide(t);
+    }
+    hybrid.apply_update_period();
+    group.bench_function("hybrid_promoted_decide", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let t = &tuples[i % tuples.len()];
+            i += 1;
+            black_box(hybrid.decide(black_box(t)))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 3a micro-benchmark: real per-packet filter cost as the rule table
+//! grows. Wall-clock counterpart of the simulated-time sweep — shows the
+//! same monotone degradation on the real data structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vif_bench::experiments::host_rules;
+use vif_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_filter_vs_rules");
+    group.sample_size(20);
+    for k in [100usize, 1000, 3000, 10_000] {
+        let (ruleset, flows) = host_rules(k, 42);
+        let mut app = FilterEnclaveApp::new(ruleset, [1u8; 32], 7, [2u8; 32]);
+        let tuples: Vec<FiveTuple> = flows.flows().to_vec();
+        group.bench_with_input(BenchmarkId::new("process_packet", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let t = &tuples[i % tuples.len()];
+                i += 1;
+                black_box(app.process(black_box(t), 64))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 8/13 micro-benchmark: the enclave filter stage under each copy
+//! strategy (simulated costs are deterministic; this measures the real
+//! bookkeeping around them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vif_bench::experiments::{host_rules, launch_filter};
+use vif_core::cost::FilterMode;
+use vif_core::prelude::*;
+use vif_dataplane::{Packet, PacketStage};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_copy_modes");
+    group.sample_size(20);
+    for mode in FilterMode::ALL {
+        let (ruleset, flows) = host_rules(3000, 42);
+        let enclave = launch_filter(ruleset);
+        let mut stage = EnclaveFilterStage::new(enclave, mode);
+        let tuples: Vec<FiveTuple> = flows.flows().to_vec();
+        group.bench_with_input(
+            BenchmarkId::new("stage_process", format!("{mode}")),
+            &mode,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let t = tuples[i % tuples.len()];
+                    i += 1;
+                    black_box(stage.process(black_box(&Packet::new(t, 64, 0, i as u64))))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 9 micro-benchmark: greedy runtime scaling in the rule count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vif_optimizer::greedy::GreedySolver;
+use vif_optimizer::instances::lognormal_instance;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_greedy_scale");
+    group.sample_size(10);
+    for k in [10_000usize, 50_000, 150_000] {
+        let inst = lognormal_instance(k, 500.0, 1.5, 31);
+        group.bench_with_input(BenchmarkId::new("greedy_500g", k), &k, |b, _| {
+            b.iter(|| black_box(GreedySolver::default().solve(black_box(&inst)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table I micro-benchmark: greedy vs. exact solver on comparable instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vif_optimizer::exact::{BranchAndBound, SolveBudget};
+use vif_optimizer::greedy::GreedySolver;
+use vif_optimizer::instances::{lognormal_instance, small_gap_instance};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab1_solvers");
+    group.sample_size(10);
+
+    for k in [5_000usize, 15_000] {
+        let inst = lognormal_instance(k, 100.0, 1.5, 21);
+        group.bench_with_input(BenchmarkId::new("greedy", k), &k, |b, _| {
+            b.iter(|| black_box(GreedySolver::default().solve(black_box(&inst)).unwrap()));
+        });
+    }
+
+    // Exact on a small instance (it explodes beyond this; see Table I).
+    let small = small_gap_instance(12, 21);
+    group.bench_function("exact_bnb_k12", |b| {
+        b.iter(|| black_box(BranchAndBound.solve(black_box(&small), SolveBudget::optimal())));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table II micro-benchmark: batched exact-match insertion into the
+//! multi-bit trie (includes the enclave's update-period table rebuild).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use vif_trie::{Ipv4Prefix, MultiBitTrie};
+
+fn preloaded(seed: u64) -> MultiBitTrie<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trie = MultiBitTrie::new(8);
+    trie.batch_insert((0..3000u32).map(|i| (Ipv4Prefix::host(rng.gen()), i)));
+    trie
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab2_batch_insert");
+    group.sample_size(10);
+    for batch in [1usize, 10, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("insert_into_3000", batch), &batch, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(99);
+            b.iter_batched(
+                || {
+                    let rules: Vec<(Ipv4Prefix, u32)> = (0..n as u32)
+                        .map(|i| (Ipv4Prefix::host(rng.gen()), 10_000 + i))
+                        .collect();
+                    (preloaded(13), rules)
+                },
+                |(mut trie, rules)| {
+                    trie.batch_insert(rules);
+                    black_box(trie.len())
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

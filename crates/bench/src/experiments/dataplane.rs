@@ -1,0 +1,282 @@
+//! Data-plane experiments: Figs. 3a/3b/8/13/14, the §V-B latency list, and
+//! Table II.
+
+use super::{host_rules, launch_filter, render_table, saturating_traffic, victim_prefix};
+use vif_core::cost::FilterMode;
+use vif_core::prelude::*;
+use vif_dataplane::{pipeline, FlowSet, PipelineConfig, TrafficConfig, TrafficGenerator};
+use vif_trie::{Ipv4Prefix, MultiBitTrie};
+
+/// Rule counts swept in Fig. 3.
+pub const FIG3_RULE_COUNTS: [usize; 11] =
+    [100, 500, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 10_000];
+
+/// Packet sizes swept in Figs. 8/13/14.
+pub const PACKET_SIZES: [u16; 6] = [64, 128, 256, 512, 1024, 1500];
+
+/// One Fig. 3 sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Point {
+    /// Number of installed rules.
+    pub rules: usize,
+    /// Measured filter throughput, Mpps (64 B frames).
+    pub throughput_mpps: f64,
+    /// Enclave rule-table + log working set, MB.
+    pub memory_mb: f64,
+}
+
+/// Runs the Fig. 3 sweep (both 3a and 3b come from the same run).
+pub fn fig3_sweep(duration_ms: u64) -> Vec<Fig3Point> {
+    FIG3_RULE_COUNTS
+        .iter()
+        .map(|&k| {
+            let (ruleset, flows) = host_rules(k, 42);
+            let enclave = launch_filter(ruleset);
+            let memory_mb = enclave.in_enclave_thread(|app| app.table_bytes()) as f64 / (1 << 20) as f64;
+            let traffic = saturating_traffic(&flows, 64, duration_ms, 7);
+            let mut stage = EnclaveFilterStage::new(enclave, FilterMode::SgxNearZeroCopy);
+            let report = pipeline::run(&traffic, &mut stage, &PipelineConfig::default());
+            Fig3Point {
+                rules: k,
+                throughput_mpps: report.throughput_mpps(),
+                memory_mb,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 3a (throughput vs. rules).
+pub fn fig3a(duration_ms: u64) -> String {
+    let points = fig3_sweep(duration_ms);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.rules.to_string(),
+                format!("{:.2}", p.throughput_mpps),
+            ]
+        })
+        .collect();
+    render_table(
+        "Fig. 3a — single-enclave filter throughput vs. number of rules (64 B frames)",
+        &["rules", "throughput (Mpps)"],
+        &rows,
+    )
+}
+
+/// Renders Fig. 3b (memory vs. rules, with the EPC line).
+pub fn fig3b() -> String {
+    let rows: Vec<Vec<String>> = FIG3_RULE_COUNTS
+        .iter()
+        .map(|&k| {
+            let (ruleset, _) = host_rules(k, 42);
+            let logs_mb = 2.0; // two 1 MB sketches
+            let mb = ruleset.memory_bytes() as f64 / (1 << 20) as f64 + logs_mb;
+            let over = if mb > 92.0 { " > EPC(92)" } else { "" };
+            vec![k.to_string(), format!("{mb:.1}{over}")]
+        })
+        .collect();
+    render_table(
+        "Fig. 3b — enclave memory footprint vs. number of rules (EPC limit 92 MB)",
+        &["rules", "memory (MB)"],
+        &rows,
+    )
+}
+
+/// One Fig. 8/13 grid cell.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputPoint {
+    /// Frame size, bytes.
+    pub size: u16,
+    /// Implementation variant.
+    pub mode: FilterMode,
+    /// Wire-rate throughput, Gb/s (the paper's plot unit).
+    pub gbps: f64,
+    /// Packet throughput, Mpps.
+    pub mpps: f64,
+}
+
+/// Runs the Fig. 8/13 grid: 3 modes × 6 frame sizes at 3,000 rules.
+pub fn fig8_sweep(duration_ms: u64) -> Vec<ThroughputPoint> {
+    let mut out = Vec::new();
+    for mode in FilterMode::ALL {
+        for &size in &PACKET_SIZES {
+            let (ruleset, flows) = host_rules(3000, 42);
+            let enclave = launch_filter(ruleset);
+            let traffic = saturating_traffic(&flows, size, duration_ms, 9);
+            let mut stage = EnclaveFilterStage::new(enclave, mode);
+            let report = pipeline::run(&traffic, &mut stage, &PipelineConfig::default());
+            out.push(ThroughputPoint {
+                size,
+                mode,
+                gbps: report.wire_throughput_gbps(),
+                mpps: report.throughput_mpps(),
+            });
+        }
+    }
+    out
+}
+
+fn render_mode_grid(
+    title: &str,
+    points: &[ThroughputPoint],
+    value: impl Fn(&ThroughputPoint) -> f64,
+    unit: &str,
+) -> String {
+    let mut rows = Vec::new();
+    for &size in &PACKET_SIZES {
+        let mut row = vec![size.to_string()];
+        for mode in FilterMode::ALL {
+            let p = points
+                .iter()
+                .find(|p| p.size == size && p.mode == mode)
+                .expect("grid complete");
+            row.push(format!("{:.2}", value(p)));
+        }
+        rows.push(row);
+    }
+    render_table(
+        title,
+        &[
+            &format!("size (B) \\ {unit}"),
+            "Native (no SGX)",
+            "SGX full copy",
+            "SGX near zero copy",
+        ],
+        &rows,
+    )
+}
+
+/// Renders Fig. 8 (Gb/s, wire rate).
+pub fn fig8(duration_ms: u64) -> String {
+    render_mode_grid(
+        "Fig. 8 — throughput (Gb/s, wire rate) vs. packet size, 3,000 rules",
+        &fig8_sweep(duration_ms),
+        |p| p.gbps,
+        "Gb/s",
+    )
+}
+
+/// Renders Fig. 13 (Mpps; Appendix E).
+pub fn fig13(duration_ms: u64) -> String {
+    render_mode_grid(
+        "Fig. 13 — throughput (Mpps) vs. packet size, 3,000 rules (Appendix E)",
+        &fig8_sweep(duration_ms),
+        |p| p.mpps,
+        "Mpps",
+    )
+}
+
+/// The §V-B latency experiment: near-zero-copy, 8 Gb/s offered load.
+pub fn latency(duration_ms: u64) -> String {
+    let paper = [
+        (128u16, 34.0f64),
+        (256, 38.0),
+        (512, 52.0),
+        (1024, 80.0),
+        (1500, 107.0),
+    ];
+    let rows: Vec<Vec<String>> = paper
+        .iter()
+        .map(|&(size, paper_us)| {
+            let (ruleset, _) = host_rules(3000, 42);
+            let enclave = launch_filter(ruleset);
+            // Latency is measured on *forwarded* packets: benign flows that
+            // match no DROP rule (pktgen's latency probes must come back).
+            let flows = FlowSet::random_toward_victim(256, super::victim_ip(), 99);
+            let traffic = TrafficGenerator::new(3).generate(
+                &flows,
+                TrafficConfig::at_rate(size, 8.0, duration_ms),
+            );
+            let mut stage = EnclaveFilterStage::new(enclave, FilterMode::SgxNearZeroCopy);
+            let report = pipeline::run(&traffic, &mut stage, &PipelineConfig::default());
+            vec![
+                size.to_string(),
+                format!("{:.1}", report.mean_latency_ns() / 1e3),
+                format!("{paper_us:.0}"),
+            ]
+        })
+        .collect();
+    render_table(
+        "§V-B — mean forwarding latency at 8 Gb/s offered load (near zero copy)",
+        &["size (B)", "measured (µs)", "paper (µs)"],
+        &rows,
+    )
+}
+
+/// Hash ratios swept in Fig. 14.
+pub const FIG14_RATIOS: [f64; 5] = [0.01, 0.05, 0.1, 0.5, 1.0];
+
+/// Fig. 14: throughput vs. fraction of SHA-256-hashed packets.
+///
+/// A probabilistic rule covers the victim prefix; a fraction `1 - ratio` of
+/// flows is pre-promoted to exact-match entries (the hybrid's steady
+/// state), so `ratio` of the traffic takes the hash path.
+pub fn fig14(duration_ms: u64) -> String {
+    let mut rows = Vec::new();
+    for &ratio in &FIG14_RATIOS {
+        let mut row = vec![format!("{ratio:.2}")];
+        for &size in &PACKET_SIZES {
+            let rule = FilterRule::drop_fraction(
+                FlowPattern::prefixes("0.0.0.0/0".parse().unwrap(), victim_prefix()),
+                0.5,
+            );
+            let ruleset = RuleSet::from_rules([rule]);
+            let enclave = launch_filter(ruleset);
+            let flows = FlowSet::random_toward_victim(2000, super::victim_ip(), 5);
+            // Pre-promote (1 - ratio) of the flows to exact-match entries.
+            let promote = ((1.0 - ratio) * flows.len() as f64).round() as usize;
+            enclave.in_enclave_thread(|app| {
+                for t in flows.flows().iter().take(promote) {
+                    app.process(t, 0);
+                }
+                app.apply_update_period();
+                app.new_round();
+            });
+            let traffic = saturating_traffic(&flows, size, duration_ms, 11);
+            let mut stage = EnclaveFilterStage::new(enclave, FilterMode::SgxNearZeroCopy);
+            let report = pipeline::run(&traffic, &mut stage, &PipelineConfig::default());
+            row.push(format!("{:.2}", report.wire_throughput_gbps()));
+        }
+        rows.push(row);
+    }
+    render_table(
+        "Fig. 14 — throughput (Gb/s, wire rate) vs. ratio of SHA-256-hashed packets (Appendix F)",
+        &["hash ratio \\ size", "64", "128", "256", "512", "1024", "1500"],
+        &rows,
+    )
+}
+
+/// Table II: batch insertion into the multi-bit trie lookup table.
+pub fn tab2() -> String {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let paper = [(1usize, 50.0f64), (10, 52.0), (100, 53.0), (1000, 75.0)];
+    let mut rng = StdRng::seed_from_u64(13);
+    let rows: Vec<Vec<String>> = paper
+        .iter()
+        .map(|&(batch, paper_ms)| {
+            // Preload 3,000 host rules, then time one batched update —
+            // including the full table rebuild the enclave performs at each
+            // update period (Appendix F).
+            let mut trie: MultiBitTrie<u32> = MultiBitTrie::new(8);
+            trie.batch_insert((0..3000u32).map(|i| (Ipv4Prefix::host(rng.gen()), i)));
+            let batch_rules: Vec<(Ipv4Prefix, u32)> = (0..batch as u32)
+                .map(|i| (Ipv4Prefix::host(rng.gen()), 10_000 + i))
+                .collect();
+            let start = std::time::Instant::now();
+            trie.batch_insert(batch_rules);
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            vec![
+                batch.to_string(),
+                format!("{ms:.2}"),
+                format!("{paper_ms:.0}"),
+            ]
+        })
+        .collect();
+    render_table(
+        "Table II — batched exact-match rule insertion into the multi-bit trie",
+        &["batch size", "measured (ms)", "paper (ms)"],
+        &rows,
+    )
+}

@@ -1,0 +1,89 @@
+//! IXP deployment experiments: Fig. 11 and Table III (§VI-C, Appendix H).
+
+use super::render_table;
+use vif_interdomain::prelude::*;
+
+/// Shared setup: paper-scale synthetic Internet + Table-III IXPs.
+pub fn build_world(seed: u64) -> (Topology, IxpCatalog) {
+    let topo = TopologyConfig::paper_scale().build(seed);
+    // Membership scale calibrated so Top-1/region coverage lands in the
+    // paper's 60 % median band (see EXPERIMENTS.md).
+    let catalog = IxpCatalog::generate(&topo, 1.0, seed);
+    (topo, catalog)
+}
+
+/// Runs one Fig. 11 panel.
+pub fn fig11(model: AttackSourceModel, victims: usize, seed: u64) -> String {
+    let (topo, catalog) = build_world(seed);
+    let sources = model.distribute(&topo, model.paper_source_count(), seed + 1);
+    let exp = CoverageExperiment {
+        victims,
+        max_top_n: 5,
+        seed: seed + 2,
+    };
+    let result = exp.run(&topo, &catalog, &sources);
+    let rows: Vec<Vec<String>> = (1..=5)
+        .map(|n| {
+            let s = result.stats(n);
+            vec![
+                format!("Top-{n}"),
+                format!("{:.3}", s.p5),
+                format!("{:.3}", s.q1),
+                format!("{:.3}", s.median),
+                format!("{:.3}", s.q3),
+                format!("{:.3}", s.p95),
+            ]
+        })
+        .collect();
+    let (name, paper_hint) = match model {
+        AttackSourceModel::DnsResolvers => (
+            "Fig. 11a — ratio of vulnerable DNS resolvers handled by VIF IXPs",
+            "paper: median ≈0.6 at Top-1 rising to ≈0.75+, upper quartile 0.8-0.9",
+        ),
+        AttackSourceModel::MiraiBotnet => (
+            "Fig. 11b — ratio of Mirai bots handled by VIF IXPs",
+            "paper: median ≈0.6 at Top-1 rising to ≈0.75+, upper quartile 0.8-0.9",
+        ),
+    };
+    let mut out = render_table(
+        name,
+        &["deployment", "p5", "q1", "median", "q3", "p95"],
+        &rows,
+    );
+    out.push_str(&format!("\n({paper_hint})\n"));
+    out
+}
+
+/// Table III: the top five IXPs per region with real member counts and the
+/// synthetic memberships instantiated over our topology.
+pub fn tab3(seed: u64) -> String {
+    let (topo, catalog) = build_world(seed);
+    let rows: Vec<Vec<String>> = catalog
+        .ixps()
+        .iter()
+        .enumerate()
+        .map(|(i, ixp)| {
+            let real = PAPER_TOP_IXPS[i].2;
+            vec![
+                ixp.region.to_string(),
+                ixp.rank.to_string(),
+                ixp.name.clone(),
+                real.to_string(),
+                ixp.members.len().to_string(),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        "Table III — top five IXPs per region (real member counts → synthetic memberships)",
+        &["region", "rank", "IXP", "paper members", "synthetic members"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\nsynthetic Internet: {} ASes ({} Tier-1, {} Tier-2, {} Tier-3)\n",
+        topo.len(),
+        topo.tier1_ases().len(),
+        topo.tier2_ases().len(),
+        topo.tier3_ases().len()
+    ));
+    out
+}

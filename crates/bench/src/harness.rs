@@ -1,0 +1,157 @@
+//! Experiment registry and dispatch.
+
+use crate::experiments::{ablations, attest, dataplane, ixp, solver};
+use vif_interdomain::AttackSourceModel;
+
+/// Identifiers of every reproducible artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentId {
+    /// Fig. 3a: throughput vs. rules.
+    Fig3a,
+    /// Fig. 3b: memory vs. rules.
+    Fig3b,
+    /// Fig. 8: Gb/s vs. packet size per mode.
+    Fig8,
+    /// Fig. 13: Mpps vs. packet size per mode.
+    Fig13,
+    /// §V-B latency list.
+    Latency,
+    /// Fig. 14: hash-ratio sweep.
+    Fig14,
+    /// Table I: solver times.
+    Tab1,
+    /// §V-C optimality gap.
+    Gap,
+    /// Fig. 9: greedy scaling.
+    Fig9,
+    /// Table II: batch insertion.
+    Tab2,
+    /// Fig. 11a: DNS-resolver coverage.
+    Fig11a,
+    /// Fig. 11b: Mirai coverage.
+    Fig11b,
+    /// Table III: IXP memberships.
+    Tab3,
+    /// Appendix G: attestation latency.
+    Attestation,
+    /// Ablation: copy strategy.
+    AblationCopy,
+    /// Ablation: connection-preserving execution.
+    AblationConn,
+    /// Ablation: λ head-room.
+    AblationLambda,
+    /// Ablation: sketch dimensions.
+    AblationSketch,
+}
+
+/// All experiments in presentation order.
+pub const ALL_EXPERIMENTS: [ExperimentId; 18] = [
+    ExperimentId::Fig3a,
+    ExperimentId::Fig3b,
+    ExperimentId::Fig8,
+    ExperimentId::Fig13,
+    ExperimentId::Latency,
+    ExperimentId::Fig14,
+    ExperimentId::Tab1,
+    ExperimentId::Gap,
+    ExperimentId::Fig9,
+    ExperimentId::Tab2,
+    ExperimentId::Fig11a,
+    ExperimentId::Fig11b,
+    ExperimentId::Tab3,
+    ExperimentId::Attestation,
+    ExperimentId::AblationCopy,
+    ExperimentId::AblationConn,
+    ExperimentId::AblationLambda,
+    ExperimentId::AblationSketch,
+];
+
+impl ExperimentId {
+    /// CLI name of the experiment.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentId::Fig3a => "fig3a",
+            ExperimentId::Fig3b => "fig3b",
+            ExperimentId::Fig8 => "fig8",
+            ExperimentId::Fig13 => "fig13",
+            ExperimentId::Latency => "latency",
+            ExperimentId::Fig14 => "fig14",
+            ExperimentId::Tab1 => "tab1",
+            ExperimentId::Gap => "gap",
+            ExperimentId::Fig9 => "fig9",
+            ExperimentId::Tab2 => "tab2",
+            ExperimentId::Fig11a => "fig11a",
+            ExperimentId::Fig11b => "fig11b",
+            ExperimentId::Tab3 => "tab3",
+            ExperimentId::Attestation => "attestation",
+            ExperimentId::AblationCopy => "ablation-copy",
+            ExperimentId::AblationConn => "ablation-conn",
+            ExperimentId::AblationLambda => "ablation-lambda",
+            ExperimentId::AblationSketch => "ablation-sketch",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<ExperimentId> {
+        ALL_EXPERIMENTS.iter().copied().find(|e| e.name() == s)
+    }
+}
+
+/// Workload scale: quick (CI-friendly) or full (paper-scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Short simulated durations / fewer victims.
+    Quick,
+    /// Paper-scale parameters.
+    Full,
+}
+
+/// Runs one experiment, returning its rendered report.
+pub fn run_experiment(id: ExperimentId, scale: Scale) -> String {
+    let (ms, victims, repeats, trials) = match scale {
+        Scale::Quick => (5u64, 100usize, 1usize, 50usize),
+        Scale::Full => (30, 1000, 3, 200),
+    };
+    match id {
+        ExperimentId::Fig3a => dataplane::fig3a(ms),
+        ExperimentId::Fig3b => dataplane::fig3b(),
+        ExperimentId::Fig8 => dataplane::fig8(ms),
+        ExperimentId::Fig13 => dataplane::fig13(ms),
+        ExperimentId::Latency => dataplane::latency(ms),
+        ExperimentId::Fig14 => dataplane::fig14(ms),
+        ExperimentId::Tab1 => solver::tab1(),
+        ExperimentId::Gap => solver::gap(),
+        ExperimentId::Fig9 => solver::fig9(repeats),
+        ExperimentId::Tab2 => dataplane::tab2(),
+        ExperimentId::Fig11a => ixp::fig11(AttackSourceModel::DnsResolvers, victims, 77),
+        ExperimentId::Fig11b => ixp::fig11(AttackSourceModel::MiraiBotnet, victims, 77),
+        ExperimentId::Tab3 => ixp::tab3(77),
+        ExperimentId::Attestation => attest::attestation(trials),
+        ExperimentId::AblationCopy => ablations::ablation_copy(ms),
+        ExperimentId::AblationConn => ablations::ablation_conn(2000),
+        ExperimentId::AblationLambda => ablations::ablation_lambda(),
+        ExperimentId::AblationSketch => ablations::ablation_sketch(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for e in ALL_EXPERIMENTS {
+            assert_eq!(ExperimentId::parse(e.name()), Some(e));
+        }
+        assert_eq!(ExperimentId::parse("nope"), None);
+    }
+
+    #[test]
+    fn quick_smoke_fig3b_tab3() {
+        // Cheap experiments must render non-empty tables.
+        let out = run_experiment(ExperimentId::Fig3b, Scale::Quick);
+        assert!(out.contains("EPC"));
+        let out = run_experiment(ExperimentId::Tab3, Scale::Quick);
+        assert!(out.contains("AMS-IX"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # vif-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§V, §VI, appendices) against this reproduction.
+//!
+//! Run `cargo run -p vif-bench --release --bin repro -- <experiment>` with
+//! one of: `fig3a`, `fig3b`, `fig8`, `fig13`, `latency`, `fig14`, `tab1`,
+//! `gap`, `fig9`, `tab2`, `fig11a`, `fig11b`, `tab3`, `attestation`,
+//! `ablation-copy`, `ablation-conn`, `ablation-lambda`, `ablation-sketch`,
+//! or `all`. Expected output for each experiment, alongside the paper's
+//! numbers, is recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{run_experiment, ExperimentId, ALL_EXPERIMENTS};

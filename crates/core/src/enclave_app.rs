@@ -1,0 +1,427 @@
+//! The VIF filter application that lives inside an SGX enclave.
+//!
+//! [`FilterEnclaveApp`] is the protected state of a
+//! [`vif_sgx::Enclave`]`<FilterEnclaveApp>`: rules, packet logs, channel
+//! secrets, and counters. [`EnclaveFilterStage`] adapts it to the
+//! data-plane pipeline with the calibrated cost model, standing in for the
+//! filter thread pinned to a CPU core in the paper's Fig. 6.
+
+use crate::cost::{CostModel, FilterMode};
+use crate::filter::{DecisionPath, StatelessFilter, Verdict};
+use crate::hybrid::HybridFilter;
+use crate::logs::{AuthenticatedSketch, LogDirection, PacketLogs};
+use crate::rpki::{OwnerId, RpkiRegistry};
+use crate::rules::{FilterRule, RuleAction};
+use crate::ruleset::RuleSet;
+use crate::session::{derive_session_keys, SessionError};
+use std::sync::Arc;
+use vif_crypto::channel::SecureChannel;
+use vif_crypto::dh::{DhError, DhGroup, DhKeyPair};
+use vif_crypto::hmac::HmacSha256;
+use vif_dataplane::{FiveTuple, Packet, PacketStage, StageOutcome, StageVerdict};
+use vif_sgx::{Enclave, EpcConfig};
+
+/// Aggregate counters of an enclave filter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Packets processed.
+    pub processed: u64,
+    /// Packets forwarded (ALLOW).
+    pub forwarded: u64,
+    /// Packets dropped (DROP).
+    pub dropped: u64,
+    /// Packets that matched none of this enclave's rules while strict
+    /// scoping was enabled — evidence of load-balancer misbehavior (§IV-B).
+    pub misrouted: u64,
+}
+
+/// The enclave-resident filter application.
+#[derive(Debug)]
+pub struct FilterEnclaveApp {
+    filter: HybridFilter,
+    logs: PacketLogs,
+    /// HMAC key for authenticated log export, shared with verifiers after
+    /// attestation.
+    audit_key: [u8; 32],
+    /// When true, packets matching no rule are counted as misrouted
+    /// (multi-enclave deployments where the LB must send only matching
+    /// flows, §IV-B).
+    strict_scope: bool,
+    stats: FilterStats,
+    /// Handshake state: the enclave-internal DH key of the current
+    /// attestation exchange.
+    dh: Option<DhKeyPair>,
+    /// The authenticated channel to the victim (after handshake).
+    channel: Option<SecureChannel>,
+}
+
+impl FilterEnclaveApp {
+    /// Creates the app with its rule set, the enclave-internal secret for
+    /// hash-based filtering, the sketch seed shared with verifiers, and the
+    /// audit key. (Direct constructor for tests and standalone use; the
+    /// session protocol uses [`fresh`](FilterEnclaveApp::fresh).)
+    pub fn new(ruleset: RuleSet, secret: [u8; 32], sketch_seed: u64, audit_key: [u8; 32]) -> Self {
+        FilterEnclaveApp {
+            filter: HybridFilter::new(StatelessFilter::new(ruleset, secret), 500_000),
+            logs: PacketLogs::new(sketch_seed),
+            audit_key,
+            strict_scope: false,
+            stats: FilterStats::default(),
+            dh: None,
+            channel: None,
+        }
+    }
+
+    /// Creates an app with no rules and no session — the state an enclave
+    /// is launched with before a victim attests it (§VI-B).
+    pub fn fresh(secret: [u8; 32]) -> Self {
+        Self::new(RuleSet::new(), secret, 0, [0u8; 32])
+    }
+
+    /// Handshake step 1 (inside the enclave): generate a DH key pair bound
+    /// to the victim's challenge nonce; return the public value. The
+    /// caller then quotes `report_binding(public, nonce)`.
+    pub fn begin_handshake(&mut self, nonce: [u8; 32]) -> Vec<u8> {
+        // Deterministic per (enclave secret, nonce): the host cannot
+        // predict it without the enclave secret.
+        let seed = HmacSha256::mac(self.filter.secret(), &nonce);
+        let dh = DhGroup::modp_2048().key_pair_from_secret(&seed);
+        let public = dh.public_bytes();
+        self.dh = Some(dh);
+        public
+    }
+
+    /// Handshake step 2: derive the channel, audit key, and sketch seed
+    /// from the victim's public value.
+    ///
+    /// # Errors
+    ///
+    /// [`DhError::InvalidPeerPublic`] for degenerate peer values.
+    pub fn complete_handshake(
+        &mut self,
+        victim_public: &[u8],
+        nonce: &[u8; 32],
+    ) -> Result<(), DhError> {
+        let dh = self.dh.as_ref().expect("begin_handshake first");
+        let shared = dh.shared_secret(victim_public)?;
+        let keys = derive_session_keys(&shared, nonce);
+        let (_, responder) = SecureChannel::pair_from_secret(&shared, nonce);
+        self.channel = Some(responder);
+        self.audit_key = keys.audit_key;
+        self.logs = PacketLogs::new(keys.sketch_seed);
+        Ok(())
+    }
+
+    /// Receives an encrypted rule submission: decrypt, decode, authorize
+    /// against RPKI, install, and return an authenticated acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]; nothing is installed on any failure.
+    pub fn receive_rules(
+        &mut self,
+        frame: &[u8],
+        requester: &OwnerId,
+        rpki: &RpkiRegistry,
+    ) -> Result<Vec<u8>, SessionError> {
+        let channel = self.channel.as_mut().ok_or(SessionError::NotEstablished)?;
+        let payload = channel.open(frame)?;
+        if payload.len() < 4 {
+            return Err(SessionError::BadAck);
+        }
+        let count = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+        let body = &payload[4..];
+        if body.len() != count * 29 {
+            return Err(SessionError::RuleDecode(
+                crate::rules::RuleDecodeError::WrongLength(body.len()),
+            ));
+        }
+        let mut rules = Vec::with_capacity(count);
+        for chunk in body.chunks_exact(29) {
+            rules.push(FilterRule::decode(chunk).map_err(SessionError::RuleDecode)?);
+        }
+        rpki.authorize(requester, &rules)?;
+        self.filter.inner_mut().ruleset_mut().insert_batch(rules);
+        let ack = channel.seal(&(count as u32).to_le_bytes());
+        Ok(ack)
+    }
+
+    /// Enables strict scope checking (cluster deployments).
+    pub fn set_strict_scope(&mut self, strict: bool) {
+        self.strict_scope = strict;
+    }
+
+    /// Processes one packet: logs it, decides it, logs the forwarding.
+    pub fn process(&mut self, t: &FiveTuple, wire_bytes: u64) -> Verdict {
+        self.logs.log_incoming(t);
+        let verdict = self.filter.decide(t);
+        if let Some(rule) = verdict.rule {
+            self.filter_ruleset_mut().record_hit(rule, wire_bytes);
+        } else if self.strict_scope {
+            self.stats.misrouted += 1;
+        }
+        self.stats.processed += 1;
+        match verdict.action {
+            RuleAction::Allow => {
+                self.logs.log_outgoing(t);
+                self.stats.forwarded += 1;
+            }
+            RuleAction::Drop => self.stats.dropped += 1,
+        }
+        verdict
+    }
+
+    fn filter_ruleset_mut(&mut self) -> &mut RuleSet {
+        // HybridFilter exposes the inner filter immutably; rule telemetry
+        // lives in the rule set, reached through a dedicated path.
+        self.filter.inner_mut().ruleset_mut()
+    }
+
+    /// The installed rule set.
+    pub fn ruleset(&self) -> &RuleSet {
+        self.filter.inner().ruleset()
+    }
+
+    /// Installs a new rule set (redistribution round). Resets the hybrid
+    /// cache — promoted exact-match entries derive from the old rules.
+    pub fn install_ruleset(&mut self, ruleset: RuleSet) {
+        let secret = *self.filter.secret();
+        let max = self.filter.max_cached_flows();
+        self.filter = HybridFilter::new(StatelessFilter::new(ruleset, secret), max);
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    /// The packet logs.
+    pub fn logs(&self) -> &PacketLogs {
+        &self.logs
+    }
+
+    /// The hybrid connection-preserving layer.
+    pub fn hybrid(&self) -> &HybridFilter {
+        &self.filter
+    }
+
+    /// Runs one hybrid rule-update period (Appendix F).
+    pub fn apply_update_period(&mut self) -> usize {
+        self.filter.apply_update_period()
+    }
+
+    /// Exports an authenticated log.
+    pub fn export_log(&self, direction: LogDirection) -> AuthenticatedSketch {
+        self.logs.export(direction, &self.audit_key)
+    }
+
+    /// Starts a new filtering round.
+    pub fn new_round(&mut self) {
+        self.logs.new_round();
+    }
+
+    /// Per-rule byte counts (`B_i`), reported to the master enclave during
+    /// rule recalculation (Fig. 5).
+    pub fn rule_bandwidth_report(&self) -> Vec<u64> {
+        self.ruleset().counters().iter().map(|c| c.bytes).collect()
+    }
+
+    /// Resets rule telemetry (after a redistribution round).
+    pub fn reset_rule_counters(&mut self) {
+        self.filter_ruleset_mut().reset_counters();
+    }
+
+    /// The enclave data working set: rule structures + sketches.
+    pub fn table_bytes(&self) -> usize {
+        self.ruleset().memory_bytes() + self.logs.memory_bytes()
+    }
+}
+
+/// Adapts an enclave-hosted filter app to the data-plane pipeline.
+///
+/// Each call models the in-enclave filter thread taking one packet from
+/// the RX ring (no per-packet ECalls/OCalls, §V-A); the simulated cost
+/// comes from the calibrated [`CostModel`].
+pub struct EnclaveFilterStage {
+    enclave: Arc<Enclave<FilterEnclaveApp>>,
+    mode: FilterMode,
+    cost: CostModel,
+    epc: EpcConfig,
+}
+
+impl EnclaveFilterStage {
+    /// Creates the stage.
+    pub fn new(enclave: Arc<Enclave<FilterEnclaveApp>>, mode: FilterMode) -> Self {
+        let epc = EpcConfig::paper_default();
+        EnclaveFilterStage {
+            enclave,
+            mode,
+            cost: CostModel::paper_default(),
+            epc,
+        }
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Overrides the EPC configuration.
+    pub fn with_epc(mut self, epc: EpcConfig) -> Self {
+        self.epc = epc;
+        self
+    }
+
+    /// The wrapped enclave.
+    pub fn enclave(&self) -> &Arc<Enclave<FilterEnclaveApp>> {
+        &self.enclave
+    }
+}
+
+impl PacketStage for EnclaveFilterStage {
+    fn process(&mut self, pkt: &Packet) -> StageOutcome {
+        let (verdict, table_bytes) = self.enclave.in_enclave_thread(|app| {
+            let v = app.process(&pkt.tuple, pkt.wire_size as u64);
+            (v, app.table_bytes())
+        });
+        let hashed = verdict.path == DecisionPath::HashBased;
+        let cost_ns =
+            self.cost
+                .packet_cost_ns(self.mode, pkt.wire_size, table_bytes, hashed, &self.epc);
+        StageOutcome {
+            verdict: match verdict.action {
+                RuleAction::Allow => StageVerdict::Forward,
+                RuleAction::Drop => StageVerdict::Drop,
+            },
+            cost_ns,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "vif-enclave-filter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{FilterRule, FlowPattern};
+    use vif_dataplane::Protocol;
+    use vif_sgx::{AttestationRootKey, EnclaveImage, SgxPlatform};
+
+    fn victim_rules() -> RuleSet {
+        RuleSet::from_rules(vec![FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        ))])
+    }
+
+    fn app() -> FilterEnclaveApp {
+        FilterEnclaveApp::new(victim_rules(), [1u8; 32], 9, [2u8; 32])
+    }
+
+    fn attack_tuple(i: u32) -> FiveTuple {
+        FiveTuple::new(
+            0x0a000000 + i,
+            u32::from_be_bytes([203, 0, 113, 1]),
+            5,
+            80,
+            Protocol::Tcp,
+        )
+    }
+
+    fn benign_tuple(i: u32) -> FiveTuple {
+        FiveTuple::new(
+            0x0b000000 + i,
+            u32::from_be_bytes([203, 0, 113, 1]),
+            5,
+            80,
+            Protocol::Tcp,
+        )
+    }
+
+    #[test]
+    fn processing_updates_logs_and_stats() {
+        let mut a = app();
+        for i in 0..10 {
+            a.process(&attack_tuple(i), 64); // dropped
+            a.process(&benign_tuple(i), 64); // allowed
+        }
+        let s = a.stats();
+        assert_eq!(s.processed, 20);
+        assert_eq!(s.forwarded, 10);
+        assert_eq!(s.dropped, 10);
+        assert_eq!(a.logs().incoming().total(), 20);
+        assert_eq!(a.logs().outgoing().total(), 10);
+    }
+
+    #[test]
+    fn rule_telemetry_collected() {
+        let mut a = app();
+        a.process(&attack_tuple(1), 1500);
+        a.process(&attack_tuple(2), 500);
+        assert_eq!(a.rule_bandwidth_report(), vec![2000]);
+        a.reset_rule_counters();
+        assert_eq!(a.rule_bandwidth_report(), vec![0]);
+    }
+
+    #[test]
+    fn strict_scope_counts_misroutes() {
+        let mut a = app();
+        a.set_strict_scope(true);
+        // Traffic to a prefix none of our rules cover.
+        let stray = FiveTuple::new(1, 2, 3, 4, Protocol::Udp);
+        a.process(&stray, 64);
+        assert_eq!(a.stats().misrouted, 1);
+        // Matching traffic is not counted.
+        a.process(&attack_tuple(1), 64);
+        assert_eq!(a.stats().misrouted, 1);
+    }
+
+    #[test]
+    fn stage_charges_costs_and_maps_verdicts() {
+        let root = AttestationRootKey::new([0u8; 32]);
+        let platform = SgxPlatform::new(1, EpcConfig::paper_default(), &root);
+        let enclave = Arc::new(platform.launch(EnclaveImage::new("vif", 1, vec![0; 1024]), app()));
+        let mut stage = EnclaveFilterStage::new(Arc::clone(&enclave), FilterMode::SgxNearZeroCopy);
+        let drop_pkt = Packet::new(attack_tuple(1), 64, 0, 0);
+        let allow_pkt = Packet::new(benign_tuple(1), 64, 10, 1);
+        let out_drop = stage.process(&drop_pkt);
+        let out_allow = stage.process(&allow_pkt);
+        assert_eq!(out_drop.verdict, StageVerdict::Drop);
+        assert_eq!(out_allow.verdict, StageVerdict::Forward);
+        assert!(out_drop.cost_ns > 0);
+        // No per-packet ECalls on the data path.
+        assert_eq!(enclave.counters().ecalls, 0);
+    }
+
+    #[test]
+    fn full_copy_costs_more_than_near_zero_copy() {
+        let root = AttestationRootKey::new([0u8; 32]);
+        let platform = SgxPlatform::new(1, EpcConfig::paper_default(), &root);
+        let e1 = Arc::new(platform.launch(EnclaveImage::new("vif", 1, vec![]), app()));
+        let e2 = Arc::new(platform.launch(EnclaveImage::new("vif", 1, vec![]), app()));
+        let mut nzc = EnclaveFilterStage::new(e1, FilterMode::SgxNearZeroCopy);
+        let mut full = EnclaveFilterStage::new(e2, FilterMode::SgxFullCopy);
+        let pkt = Packet::new(benign_tuple(1), 1500, 0, 0);
+        assert!(full.process(&pkt).cost_ns > nzc.process(&pkt).cost_ns);
+    }
+
+    #[test]
+    fn install_ruleset_resets_behavior() {
+        let mut a = app();
+        assert_eq!(a.process(&attack_tuple(1), 64).action, RuleAction::Drop);
+        a.install_ruleset(RuleSet::new());
+        assert_eq!(a.process(&attack_tuple(1), 64).action, RuleAction::Allow);
+    }
+
+    #[test]
+    fn exported_logs_verify() {
+        let mut a = app();
+        a.process(&benign_tuple(1), 64);
+        let export = a.export_log(LogDirection::Outgoing);
+        assert!(export.verify(&[2u8; 32]).is_ok());
+        assert!(export.verify(&[9u8; 32]).is_err());
+    }
+}

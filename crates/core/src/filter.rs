@@ -1,0 +1,265 @@
+//! The stateless auditable filter (§III-A).
+//!
+//! The filtering decision for a packet `p` is a pure function `f(p)` of its
+//! five tuple — independent of arrival time, packet order, and all previous
+//! packets. This is the property that makes the enclave's behavior
+//! auditable even though the untrusted host controls every external input
+//! (clock, delivery order, injected packets).
+//!
+//! Probabilistic rules are executed connection-preservingly with the
+//! hash-based scheme of Appendix A: a flow is allowed iff
+//! `H(5-tuple ‖ enclave secret)` falls below `p_allow · 2⁶⁴`, so every
+//! packet of a TCP/UDP flow shares one verdict, and the realized drop rate
+//! converges to the requested fraction across flows.
+
+use crate::rules::{RuleAction, RuleDecision};
+use crate::ruleset::{RuleId, RuleSet};
+use vif_crypto::sha256::Sha256;
+use vif_dataplane::FiveTuple;
+
+/// How a verdict was reached (used by telemetry and the hybrid filter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionPath {
+    /// A deterministic rule decided.
+    Deterministic,
+    /// A probabilistic rule decided via the SHA-256 hash of the flow.
+    HashBased,
+    /// No rule matched; the default (ALLOW) applied.
+    Default,
+}
+
+/// A filter verdict with provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Allow or drop.
+    pub action: RuleAction,
+    /// The matched rule, if any.
+    pub rule: Option<RuleId>,
+    /// How the decision was made.
+    pub path: DecisionPath,
+}
+
+/// The stateless per-packet filter.
+///
+/// # Example
+///
+/// ```
+/// use vif_core::prelude::*;
+/// use vif_core::filter::StatelessFilter;
+///
+/// let rs = RuleSet::from_rules([FilterRule::drop(FlowPattern::http_to(
+///     "203.0.113.0/24".parse().unwrap(),
+/// ))]);
+/// let filter = StatelessFilter::new(rs, [9u8; 32]);
+/// let http = FiveTuple::new(7, u32::from_be_bytes([203, 0, 113, 2]), 5555, 80, Protocol::Tcp);
+/// assert_eq!(filter.decide(&http).action, vif_core::rules::RuleAction::Drop);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StatelessFilter {
+    ruleset: RuleSet,
+    /// Enclave-internal secret seeding the hash-based decisions. Generated
+    /// inside the enclave so the host cannot predict flow verdicts.
+    secret: [u8; 32],
+}
+
+impl StatelessFilter {
+    /// Creates a filter over a rule set with the enclave secret.
+    pub fn new(ruleset: RuleSet, secret: [u8; 32]) -> Self {
+        StatelessFilter { ruleset, secret }
+    }
+
+    /// The underlying rule set.
+    pub fn ruleset(&self) -> &RuleSet {
+        &self.ruleset
+    }
+
+    /// Mutable access for rule updates (redistribution rounds).
+    pub fn ruleset_mut(&mut self) -> &mut RuleSet {
+        &mut self.ruleset
+    }
+
+    /// Replaces the rule set (a redistribution round installing a new
+    /// configuration, Fig. 5).
+    pub fn install_ruleset(&mut self, ruleset: RuleSet) {
+        self.ruleset = ruleset;
+    }
+
+    /// The enclave secret (never leaves the enclave in the real system).
+    pub fn secret(&self) -> &[u8; 32] {
+        &self.secret
+    }
+
+    /// Decides a packet. Pure: `decide(t)` never depends on prior calls.
+    pub fn decide(&self, t: &FiveTuple) -> Verdict {
+        match self.ruleset.classify(t) {
+            None => Verdict {
+                action: RuleAction::Allow,
+                rule: None,
+                path: DecisionPath::Default,
+            },
+            Some(id) => match self.ruleset.rule(id).decision() {
+                RuleDecision::Deterministic(action) => Verdict {
+                    action,
+                    rule: Some(id),
+                    path: DecisionPath::Deterministic,
+                },
+                RuleDecision::Probabilistic { p_allow } => Verdict {
+                    action: self.hash_decision(t, p_allow),
+                    rule: Some(id),
+                    path: DecisionPath::HashBased,
+                },
+            },
+        }
+    }
+
+    /// The Appendix A hash-based connection-preserving decision:
+    /// allow iff `H(5T ‖ secret) < p_allow · 2⁶⁴`.
+    pub fn hash_decision(&self, t: &FiveTuple, p_allow: f64) -> RuleAction {
+        let mut h = Sha256::new();
+        h.update(&t.encode());
+        h.update(&self.secret);
+        let digest = h.finalize();
+        let x = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
+        let threshold = (p_allow.clamp(0.0, 1.0) * (u64::MAX as f64 + 1.0)) as u128;
+        if (x as u128) < threshold {
+            RuleAction::Allow
+        } else {
+            RuleAction::Drop
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{FilterRule, FlowPattern};
+    use vif_dataplane::Protocol;
+
+    fn victim_pattern() -> FlowPattern {
+        FlowPattern::prefixes(
+            "0.0.0.0/0".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        )
+    }
+
+    fn tuple(i: u32) -> FiveTuple {
+        FiveTuple::new(
+            0x0a000000 + i,
+            u32::from_be_bytes([203, 0, 113, (i % 250) as u8]),
+            (1024 + i % 50000) as u16,
+            80,
+            Protocol::Udp,
+        )
+    }
+
+    fn filter(rules: Vec<FilterRule>) -> StatelessFilter {
+        StatelessFilter::new(RuleSet::from_rules(rules), [7u8; 32])
+    }
+
+    #[test]
+    fn default_is_allow() {
+        let f = filter(vec![]);
+        let v = f.decide(&tuple(1));
+        assert_eq!(v.action, RuleAction::Allow);
+        assert_eq!(v.path, DecisionPath::Default);
+        assert_eq!(v.rule, None);
+    }
+
+    #[test]
+    fn deterministic_drop() {
+        let f = filter(vec![FilterRule::drop(victim_pattern())]);
+        let v = f.decide(&tuple(1));
+        assert_eq!(v.action, RuleAction::Drop);
+        assert_eq!(v.path, DecisionPath::Deterministic);
+        assert_eq!(v.rule, Some(0));
+    }
+
+    #[test]
+    fn statelessness_order_independence() {
+        // The core §III-A property: decisions are identical regardless of
+        // the order (or repetition) in which packets are presented.
+        let f = filter(vec![FilterRule::drop_fraction(victim_pattern(), 0.5)]);
+        let tuples: Vec<FiveTuple> = (0..500).map(tuple).collect();
+        let forward: Vec<RuleAction> = tuples.iter().map(|t| f.decide(t).action).collect();
+        let mut reversed: Vec<(usize, &FiveTuple)> = tuples.iter().enumerate().rev().collect();
+        // Interleave adversarial "injected" packets — they must not change
+        // anything.
+        let injected = tuple(999_999);
+        let mut backward = vec![RuleAction::Allow; tuples.len()];
+        for (i, t) in reversed.drain(..) {
+            let _ = f.decide(&injected);
+            backward[i] = f.decide(t).action;
+            let _ = f.decide(&injected);
+        }
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn hash_decisions_connection_preserving() {
+        let f = filter(vec![FilterRule::drop_fraction(victim_pattern(), 0.5)]);
+        for i in 0..100 {
+            let t = tuple(i);
+            let first = f.decide(&t).action;
+            for _ in 0..10 {
+                assert_eq!(f.decide(&t).action, first, "flow {i} verdict flapped");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_drop_rate_converges_to_request() {
+        let f = filter(vec![FilterRule::drop_fraction(victim_pattern(), 0.5)]);
+        let n = 10_000;
+        let dropped = (0..n)
+            .filter(|&i| f.decide(&tuple(i)).action == RuleAction::Drop)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!(
+            (0.47..0.53).contains(&rate),
+            "drop rate {rate} far from requested 0.5"
+        );
+    }
+
+    #[test]
+    fn hash_rate_tracks_various_fractions() {
+        for &frac in &[0.1, 0.25, 0.75, 0.9] {
+            let f = filter(vec![FilterRule::drop_fraction(victim_pattern(), frac)]);
+            let n = 20_000;
+            let dropped = (0..n)
+                .filter(|&i| f.decide(&tuple(i)).action == RuleAction::Drop)
+                .count();
+            let rate = dropped as f64 / n as f64;
+            assert!(
+                (rate - frac).abs() < 0.03,
+                "requested {frac}, realized {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn probability_extremes_are_exact() {
+        let f_all = filter(vec![FilterRule::drop_fraction(victim_pattern(), 0.0)]);
+        let f_none = filter(vec![FilterRule::drop_fraction(victim_pattern(), 1.0)]);
+        for i in 0..1000 {
+            assert_eq!(f_all.decide(&tuple(i)).action, RuleAction::Allow);
+            assert_eq!(f_none.decide(&tuple(i)).action, RuleAction::Drop);
+        }
+    }
+
+    #[test]
+    fn different_secrets_different_flow_verdicts() {
+        let rs = RuleSet::from_rules(vec![FilterRule::drop_fraction(victim_pattern(), 0.5)]);
+        let f1 = StatelessFilter::new(rs.clone(), [1u8; 32]);
+        let f2 = StatelessFilter::new(rs, [2u8; 32]);
+        let differs = (0..200).any(|i| f1.decide(&tuple(i)).action != f2.decide(&tuple(i)).action);
+        assert!(differs, "secrets should shuffle flow verdicts");
+    }
+
+    #[test]
+    fn install_ruleset_swaps_rules() {
+        let mut f = filter(vec![FilterRule::drop(victim_pattern())]);
+        assert_eq!(f.decide(&tuple(1)).action, RuleAction::Drop);
+        f.install_ruleset(RuleSet::new());
+        assert_eq!(f.decide(&tuple(1)).action, RuleAction::Allow);
+    }
+}

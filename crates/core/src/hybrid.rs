@@ -1,0 +1,249 @@
+//! Hybrid connection-preserving filtering (Appendix A & F).
+//!
+//! Probabilistic rules can be executed two ways:
+//! - **hash-based**: per-packet SHA-256 over the 5-tuple — small memory,
+//!   extra per-packet latency;
+//! - **exact-match**: install one exact-match rule per observed flow —
+//!   one lookup per packet, but a bigger table and update churn.
+//!
+//! The paper's hybrid takes both: new flows are decided hash-based and
+//! queued; at every rule-update period (e.g., 5 s) the queued flows are
+//! promoted to exact-match rules in one batch (amortizing the table
+//! rebuild, Table II). Because the promoted verdict equals the hash
+//! verdict, the filter's observable behavior remains the stateless `f(p)`
+//! of §III-A — the cache is purely a performance optimization.
+
+use crate::filter::{DecisionPath, StatelessFilter, Verdict};
+use crate::rules::RuleAction;
+use std::collections::HashMap;
+use vif_dataplane::FiveTuple;
+
+/// Statistics of the hybrid execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Verdicts served from the exact-match cache.
+    pub exact_hits: u64,
+    /// Verdicts computed hash-based (new flows + deterministic paths).
+    pub hash_decisions: u64,
+    /// Flows promoted to exact-match rules so far.
+    pub promoted_flows: u64,
+    /// Batch promotions executed.
+    pub update_rounds: u64,
+}
+
+/// The hybrid filter: a [`StatelessFilter`] plus an exact-match fast path.
+#[derive(Debug, Clone)]
+pub struct HybridFilter {
+    inner: StatelessFilter,
+    exact_cache: HashMap<FiveTuple, RuleAction>,
+    pending: Vec<(FiveTuple, RuleAction)>,
+    stats: HybridStats,
+    /// Cap on cached flows (exact-match table memory is EPC-bounded).
+    max_cached_flows: usize,
+}
+
+impl HybridFilter {
+    /// Wraps a stateless filter. `max_cached_flows` bounds the exact-match
+    /// table (oldest batches are not evicted in this model; promotion stops
+    /// at the cap and flows keep using the hash path).
+    pub fn new(inner: StatelessFilter, max_cached_flows: usize) -> Self {
+        HybridFilter {
+            inner,
+            exact_cache: HashMap::new(),
+            pending: Vec::new(),
+            stats: HybridStats::default(),
+            max_cached_flows,
+        }
+    }
+
+    /// The wrapped stateless filter.
+    pub fn inner(&self) -> &StatelessFilter {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped filter (rule telemetry updates).
+    pub fn inner_mut(&mut self) -> &mut StatelessFilter {
+        &mut self.inner
+    }
+
+    /// The enclave secret of the wrapped filter.
+    pub fn secret(&self) -> &[u8; 32] {
+        self.inner.secret()
+    }
+
+    /// The configured exact-match cache capacity.
+    pub fn max_cached_flows(&self) -> usize {
+        self.max_cached_flows
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> HybridStats {
+        self.stats
+    }
+
+    /// Number of flows currently in the exact-match cache.
+    pub fn cached_flows(&self) -> usize {
+        self.exact_cache.len()
+    }
+
+    /// Flows queued for promotion at the next update period.
+    pub fn pending_flows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Decides a packet. Identical verdicts to the wrapped stateless
+    /// filter — only the execution path (and cost) differs.
+    pub fn decide(&mut self, t: &FiveTuple) -> Verdict {
+        if let Some(&action) = self.exact_cache.get(t) {
+            self.stats.exact_hits += 1;
+            return Verdict {
+                action,
+                rule: None,
+                path: DecisionPath::Deterministic,
+            };
+        }
+        let verdict = self.inner.decide(t);
+        self.stats.hash_decisions += 1;
+        if verdict.path == DecisionPath::HashBased {
+            self.pending.push((*t, verdict.action));
+        }
+        verdict
+    }
+
+    /// Runs one rule-update period: promotes queued flows to exact-match
+    /// entries in a single batch. Returns the number of flows promoted
+    /// (Table II's batch size).
+    pub fn apply_update_period(&mut self) -> usize {
+        let mut promoted = 0;
+        for (tuple, action) in self.pending.drain(..) {
+            if self.exact_cache.len() >= self.max_cached_flows {
+                break;
+            }
+            if self.exact_cache.insert(tuple, action).is_none() {
+                promoted += 1;
+            }
+        }
+        self.pending.clear();
+        self.stats.promoted_flows += promoted as u64;
+        self.stats.update_rounds += 1;
+        promoted
+    }
+
+    /// Fraction of decisions served hash-based since start — the x-axis
+    /// quantity of Fig. 14.
+    pub fn hash_ratio(&self) -> f64 {
+        let total = self.stats.exact_hits + self.stats.hash_decisions;
+        if total == 0 {
+            return 0.0;
+        }
+        self.stats.hash_decisions as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{FilterRule, FlowPattern};
+    use crate::ruleset::RuleSet;
+    use vif_dataplane::Protocol;
+
+    fn hybrid(p_drop: f64) -> HybridFilter {
+        let pattern = FlowPattern::prefixes(
+            "0.0.0.0/0".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        );
+        let rs = RuleSet::from_rules(vec![FilterRule::drop_fraction(pattern, p_drop)]);
+        HybridFilter::new(StatelessFilter::new(rs, [3u8; 32]), 100_000)
+    }
+
+    fn tuple(i: u32) -> FiveTuple {
+        FiveTuple::new(i, u32::from_be_bytes([203, 0, 113, 1]), 1000, 80, Protocol::Tcp)
+    }
+
+    #[test]
+    fn promoted_verdicts_match_hash_verdicts() {
+        let mut h = hybrid(0.5);
+        let baseline: Vec<RuleAction> =
+            (0..200).map(|i| h.inner().decide(&tuple(i)).action).collect();
+        for i in 0..200 {
+            assert_eq!(h.decide(&tuple(i)).action, baseline[i as usize]);
+        }
+        let promoted = h.apply_update_period();
+        assert_eq!(promoted, 200);
+        // After promotion the verdicts are identical but served exactly.
+        for i in 0..200 {
+            assert_eq!(h.decide(&tuple(i)).action, baseline[i as usize]);
+        }
+        assert_eq!(h.stats().exact_hits, 200);
+    }
+
+    #[test]
+    fn hash_ratio_decreases_after_promotion() {
+        let mut h = hybrid(0.5);
+        for i in 0..100 {
+            h.decide(&tuple(i));
+        }
+        assert!((h.hash_ratio() - 1.0).abs() < 1e-12);
+        h.apply_update_period();
+        for _ in 0..9 {
+            for i in 0..100 {
+                h.decide(&tuple(i));
+            }
+        }
+        assert!(h.hash_ratio() < 0.2, "ratio {}", h.hash_ratio());
+    }
+
+    #[test]
+    fn cache_cap_respected() {
+        let pattern = FlowPattern::prefixes(
+            "0.0.0.0/0".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        );
+        let rs = RuleSet::from_rules(vec![FilterRule::drop_fraction(pattern, 0.5)]);
+        let mut h = HybridFilter::new(StatelessFilter::new(rs, [3u8; 32]), 10);
+        for i in 0..50 {
+            h.decide(&tuple(i));
+        }
+        h.apply_update_period();
+        assert!(h.cached_flows() <= 10);
+        // Uncached flows still get correct (hash) verdicts.
+        for i in 0..50 {
+            let v = h.decide(&tuple(i));
+            assert_eq!(v.action, h.inner().decide(&tuple(i)).action);
+        }
+    }
+
+    #[test]
+    fn deterministic_rules_never_queued() {
+        let pattern = FlowPattern::prefixes(
+            "0.0.0.0/0".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        );
+        let rs = RuleSet::from_rules(vec![FilterRule::drop(pattern)]);
+        let mut h = HybridFilter::new(StatelessFilter::new(rs, [3u8; 32]), 100);
+        for i in 0..20 {
+            h.decide(&tuple(i));
+        }
+        assert_eq!(h.pending_flows(), 0);
+        assert_eq!(h.apply_update_period(), 0);
+    }
+
+    #[test]
+    fn duplicate_flows_promoted_once() {
+        let mut h = hybrid(0.5);
+        for _ in 0..5 {
+            h.decide(&tuple(7));
+        }
+        assert_eq!(h.apply_update_period(), 1);
+        assert_eq!(h.cached_flows(), 1);
+    }
+
+    #[test]
+    fn stats_track_rounds() {
+        let mut h = hybrid(0.3);
+        h.decide(&tuple(1));
+        h.apply_update_period();
+        h.apply_update_period();
+        assert_eq!(h.stats().update_rounds, 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! # vif-core
+//!
+//! **VIF: Verifiable In-network Filtering** — the primary contribution of
+//! Gong et al. (ICDCS 2019), reimplemented as a Rust library over the
+//! workspace's substrates (`vif-sgx`, `vif-dataplane`, `vif-sketch`,
+//! `vif-trie`, `vif-crypto`).
+//!
+//! A DDoS victim asks a transit network (ideally an IXP) to drop attack
+//! traffic on its behalf. VIF makes that service *verifiable*: neither the
+//! victim nor the filtering network's neighbors have to trust the operator,
+//! because
+//!
+//! 1. filtering runs inside an attested SGX enclave ([`session`]),
+//! 2. the filter is a **stateless** function of each packet's five tuple
+//!    ([`filter`]) — immune to the operator's control over packet order,
+//!    timing, and injected traffic (§III-A),
+//! 3. the enclave keeps count-min-sketch packet logs ([`logs`]) that the
+//!    victim and neighbor ASes compare against their own observations to
+//!    detect all three bypass attacks ([`verify`], §III-B),
+//! 4. capacity scales across many enclaves behind an untrusted load
+//!    balancer, with greedy rule redistribution and in-enclave detection of
+//!    load-balancer misbehavior ([`scale`], §IV),
+//! 5. rule requests are authorized against RPKI so victims can only filter
+//!    traffic addressed to their own prefixes ([`rpki`], §VII).
+//!
+//! The [`cost`] module carries the calibrated data-plane cost model
+//! (near-zero-copy vs. full-copy, EPC paging, hash-based filtering) that
+//! reproduces the paper's performance envelope on the simulated testbed,
+//! and [`endtoend`] wires everything into a single-call filtering run with
+//! optional adversarial behavior for tests and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod enclave_app;
+pub mod endtoend;
+pub mod filter;
+pub mod hybrid;
+pub mod logs;
+pub mod rounds;
+pub mod rpki;
+pub mod rules;
+pub mod ruleset;
+pub mod scale;
+pub mod session;
+pub mod verify;
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::cost::{CostModel, FilterMode};
+    pub use crate::enclave_app::{EnclaveFilterStage, FilterEnclaveApp};
+    pub use crate::endtoend::{AdversaryBehavior, FilteringRun, RunReport};
+    pub use crate::filter::StatelessFilter;
+    pub use crate::hybrid::HybridFilter;
+    pub use crate::logs::{AuthenticatedSketch, PacketLogs};
+    pub use crate::rounds::{ContractState, RoundDriver, RoundPolicy};
+    pub use crate::rpki::RpkiRegistry;
+    pub use crate::rules::{FilterRule, FlowPattern, PortRange, RuleAction, RuleDecision};
+    pub use crate::ruleset::{RuleId, RuleSet};
+    pub use crate::scale::{EnclaveCluster, LoadBalancer, LoadBalancerBehavior};
+    pub use crate::session::{FilteringSession, SessionConfig, SessionError};
+    pub use crate::verify::{BypassVerdict, NeighborVerifier, VictimVerifier};
+    pub use vif_dataplane::{FiveTuple, Packet, Protocol};
+    pub use vif_trie::Ipv4Prefix;
+}
+
+pub use prelude::*;

@@ -1,0 +1,280 @@
+//! Enclave packet logs and their authenticated export (§III-B, §V-A).
+//!
+//! Each enclave keeps two count-min sketches:
+//! - **incoming, per source IP**: lets each neighbor AS verify that the
+//!   packets it handed to the filtering network actually reached the
+//!   filter (*drop-before-filter* detection);
+//! - **outgoing, per 5-tuple**: lets the victim verify that exactly the
+//!   allowed packets — no more, no fewer — were forwarded
+//!   (*drop-after-filter* / *inject-after-filter* detection).
+//!
+//! Exports are HMAC-authenticated with a key known only to the enclave and
+//! the verifier (established after remote attestation), so the untrusted
+//! filtering network that relays them cannot tamper with or replay them
+//! across rounds.
+
+use vif_crypto::hmac::HmacSha256;
+use vif_sketch::{CountMinSketch, SketchConfig, SketchDecodeError};
+use vif_dataplane::FiveTuple;
+
+/// Which log a sketch export covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogDirection {
+    /// The incoming (pre-filter) per-source-IP log.
+    Incoming,
+    /// The outgoing (post-filter) per-5-tuple log.
+    Outgoing,
+}
+
+impl LogDirection {
+    fn tag_byte(self) -> u8 {
+        match self {
+            LogDirection::Incoming => 0x01,
+            LogDirection::Outgoing => 0x02,
+        }
+    }
+}
+
+/// Errors from verifying an exported log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogError {
+    /// HMAC verification failed: forged or corrupted export.
+    BadTag,
+    /// The sketch payload failed to decode.
+    Malformed(SketchDecodeError),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::BadTag => write!(f, "log authentication failed"),
+            LogError::Malformed(e) => write!(f, "malformed log payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// An authenticated sketch export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthenticatedSketch {
+    /// Which log this is.
+    pub direction: LogDirection,
+    /// Filtering round the log covers.
+    pub round: u64,
+    /// Encoded sketch bytes ([`CountMinSketch::encode`]).
+    pub payload: Vec<u8>,
+    /// HMAC over direction ‖ round ‖ payload.
+    pub tag: [u8; 32],
+}
+
+impl AuthenticatedSketch {
+    fn mac_input(direction: LogDirection, round: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + payload.len());
+        out.push(direction.tag_byte());
+        out.extend_from_slice(&round.to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Verifies the export and decodes the sketch.
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::BadTag`] on authentication failure;
+    /// [`LogError::Malformed`] if the payload is not a valid sketch.
+    pub fn verify(&self, key: &[u8; 32]) -> Result<CountMinSketch, LogError> {
+        let input = Self::mac_input(self.direction, self.round, &self.payload);
+        if !HmacSha256::verify(key, &input, &self.tag) {
+            return Err(LogError::BadTag);
+        }
+        CountMinSketch::decode(&self.payload).map_err(LogError::Malformed)
+    }
+}
+
+/// The in-enclave packet logs.
+#[derive(Debug, Clone)]
+pub struct PacketLogs {
+    incoming: CountMinSketch,
+    outgoing: CountMinSketch,
+    round: u64,
+}
+
+impl PacketLogs {
+    /// Creates logs with the paper's sketch configuration (2 rows × 64 K
+    /// bins × 64-bit counters ≈ 1 MB per sketch). `seed` must be shared
+    /// with verifiers so all parties hash identically.
+    pub fn new(seed: u64) -> Self {
+        PacketLogs {
+            incoming: CountMinSketch::new(Self::incoming_config(seed)),
+            outgoing: CountMinSketch::new(Self::outgoing_config(seed)),
+            round: 0,
+        }
+    }
+
+    /// The incoming (per-source-IP) sketch configuration for a session
+    /// seed — verifiers must build their local sketches with this.
+    pub fn incoming_config(seed: u64) -> SketchConfig {
+        SketchConfig::paper_default(seed)
+    }
+
+    /// The outgoing (per-5-tuple) sketch configuration for a session seed.
+    pub fn outgoing_config(seed: u64) -> SketchConfig {
+        SketchConfig::paper_default(seed ^ 0x5a5a)
+    }
+
+    /// The current filtering round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Enclave memory held by the two sketches (≈2 MB with paper config).
+    pub fn memory_bytes(&self) -> usize {
+        self.incoming.memory_bytes() + self.outgoing.memory_bytes()
+    }
+
+    /// Logs an incoming packet (before filtering) under its source IP.
+    #[inline]
+    pub fn log_incoming(&mut self, t: &FiveTuple) {
+        self.incoming.add(&t.src_ip.to_be_bytes(), 1);
+    }
+
+    /// Logs a forwarded packet (after an ALLOW verdict) under its 5-tuple.
+    #[inline]
+    pub fn log_outgoing(&mut self, t: &FiveTuple) {
+        self.outgoing.add(&t.encode(), 1);
+    }
+
+    /// Read access to the incoming sketch (tests/verification).
+    pub fn incoming(&self) -> &CountMinSketch {
+        &self.incoming
+    }
+
+    /// Read access to the outgoing sketch.
+    pub fn outgoing(&self) -> &CountMinSketch {
+        &self.outgoing
+    }
+
+    /// Exports one log with authentication.
+    pub fn export(&self, direction: LogDirection, key: &[u8; 32]) -> AuthenticatedSketch {
+        let payload = match direction {
+            LogDirection::Incoming => self.incoming.encode(),
+            LogDirection::Outgoing => self.outgoing.encode(),
+        };
+        let tag = HmacSha256::mac(
+            key,
+            &AuthenticatedSketch::mac_input(direction, self.round, &payload),
+        );
+        AuthenticatedSketch {
+            direction,
+            round: self.round,
+            payload,
+            tag,
+        }
+    }
+
+    /// Starts a new filtering round: clears both sketches and bumps the
+    /// round counter (§III-B: short rounds let victims abort quickly).
+    pub fn new_round(&mut self) {
+        self.incoming.clear();
+        self.outgoing.clear();
+        self.round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vif_dataplane::Protocol;
+
+    fn tuple(i: u32) -> FiveTuple {
+        FiveTuple::new(i, 42, 1, 2, Protocol::Udp)
+    }
+
+    fn key() -> [u8; 32] {
+        [0xAB; 32]
+    }
+
+    #[test]
+    fn export_verify_roundtrip() {
+        let mut logs = PacketLogs::new(7);
+        for i in 0..100 {
+            logs.log_incoming(&tuple(i));
+            logs.log_outgoing(&tuple(i));
+        }
+        for dir in [LogDirection::Incoming, LogDirection::Outgoing] {
+            let export = logs.export(dir, &key());
+            let sketch = export.verify(&key()).unwrap();
+            assert_eq!(sketch.total(), 100);
+        }
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let logs = PacketLogs::new(7);
+        let mut export = logs.export(LogDirection::Outgoing, &key());
+        export.payload[40] ^= 1;
+        assert_eq!(export.verify(&key()), Err(LogError::BadTag));
+    }
+
+    #[test]
+    fn cross_round_replay_rejected() {
+        let mut logs = PacketLogs::new(7);
+        logs.log_outgoing(&tuple(1));
+        let old = logs.export(LogDirection::Outgoing, &key());
+        logs.new_round();
+        // Host replays the round-0 export claiming it is round 1.
+        let mut replayed = old.clone();
+        replayed.round = 1;
+        assert_eq!(replayed.verify(&key()), Err(LogError::BadTag));
+        // The original (round 0) still verifies as round 0.
+        assert!(old.verify(&key()).is_ok());
+    }
+
+    #[test]
+    fn direction_confusion_rejected() {
+        let mut logs = PacketLogs::new(7);
+        logs.log_incoming(&tuple(1));
+        let export = logs.export(LogDirection::Incoming, &key());
+        let mut confused = export.clone();
+        confused.direction = LogDirection::Outgoing;
+        assert_eq!(confused.verify(&key()), Err(LogError::BadTag));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let logs = PacketLogs::new(7);
+        let export = logs.export(LogDirection::Incoming, &key());
+        assert_eq!(export.verify(&[0u8; 32]), Err(LogError::BadTag));
+    }
+
+    #[test]
+    fn new_round_clears() {
+        let mut logs = PacketLogs::new(7);
+        logs.log_incoming(&tuple(1));
+        logs.log_outgoing(&tuple(1));
+        logs.new_round();
+        assert_eq!(logs.incoming().total(), 0);
+        assert_eq!(logs.outgoing().total(), 0);
+        assert_eq!(logs.round(), 1);
+    }
+
+    #[test]
+    fn incoming_keyed_by_source_ip() {
+        let mut logs = PacketLogs::new(7);
+        // Two flows from the same source IP: incoming log counts them
+        // under one key.
+        let a = FiveTuple::new(9, 42, 1, 2, Protocol::Udp);
+        let b = FiveTuple::new(9, 42, 3, 4, Protocol::Tcp);
+        logs.log_incoming(&a);
+        logs.log_incoming(&b);
+        assert_eq!(logs.incoming().estimate(&9u32.to_be_bytes()), 2);
+    }
+
+    #[test]
+    fn memory_about_two_megabytes() {
+        let logs = PacketLogs::new(1);
+        let mb = logs.memory_bytes() as f64 / (1 << 20) as f64;
+        assert!((1.9..2.1).contains(&mb), "{mb} MB");
+    }
+}

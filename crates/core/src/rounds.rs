@@ -1,0 +1,296 @@
+//! Filtering-round management (§III-B).
+//!
+//! "The VIF filtering network should allow a short (e.g., a few minutes)
+//! time duration for each filtering round so that victim networks can
+//! abort any further request quickly when it detects any bypass attempts."
+//!
+//! [`RoundDriver`] runs that loop for the victim: at the end of each round
+//! it pulls the enclave's authenticated logs, audits them against the
+//! verifiers' local sketches, records the outcome, and decides whether the
+//! contract continues — aborting permanently after
+//! [`RoundPolicy::max_strikes`] dirty rounds.
+
+use crate::enclave_app::FilterEnclaveApp;
+use crate::logs::LogDirection;
+use crate::verify::{AuditError, BypassVerdict, NeighborVerifier, VictimVerifier};
+use std::sync::Arc;
+use vif_sgx::Enclave;
+
+/// Abort policy for a filtering contract.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundPolicy {
+    /// Nominal round duration (bookkeeping only; the simulation drives
+    /// rounds explicitly), nanoseconds.
+    pub round_duration_ns: u64,
+    /// Dirty rounds tolerated before the victim aborts the contract.
+    pub max_strikes: u32,
+}
+
+impl Default for RoundPolicy {
+    fn default() -> Self {
+        RoundPolicy {
+            round_duration_ns: 120 * 1_000_000_000, // "a few minutes": 2 min
+            max_strikes: 1,
+        }
+    }
+}
+
+/// Outcome of one audited round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Round number audited.
+    pub round: u64,
+    /// Victim-side verdict on the outgoing log.
+    pub victim_verdict: BypassVerdict,
+    /// Neighbor-side verdict on the incoming log.
+    pub neighbor_verdict: BypassVerdict,
+}
+
+impl RoundOutcome {
+    /// True if either verifier flagged this round.
+    pub fn dirty(&self) -> bool {
+        self.victim_verdict != BypassVerdict::Clean
+            || self.neighbor_verdict != BypassVerdict::Clean
+    }
+}
+
+/// Contract state after a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractState {
+    /// Filtering continues.
+    Active,
+    /// The victim aborted after too many dirty rounds.
+    Aborted {
+        /// Dirty rounds accumulated at abort time.
+        strikes: u32,
+    },
+}
+
+/// Drives audited filtering rounds for one victim session.
+pub struct RoundDriver {
+    enclave: Arc<Enclave<FilterEnclaveApp>>,
+    victim: VictimVerifier,
+    neighbor: NeighborVerifier,
+    policy: RoundPolicy,
+    strikes: u32,
+    history: Vec<RoundOutcome>,
+    state: ContractState,
+}
+
+impl RoundDriver {
+    /// Creates a driver over an established session's verifiers.
+    pub fn new(
+        enclave: Arc<Enclave<FilterEnclaveApp>>,
+        victim: VictimVerifier,
+        neighbor: NeighborVerifier,
+        policy: RoundPolicy,
+    ) -> Self {
+        RoundDriver {
+            enclave,
+            victim,
+            neighbor,
+            policy,
+            strikes: 0,
+            history: Vec::new(),
+            state: ContractState::Active,
+        }
+    }
+
+    /// The victim-side verifier (observe received packets here).
+    pub fn victim_verifier_mut(&mut self) -> &mut VictimVerifier {
+        &mut self.victim
+    }
+
+    /// The neighbor-side verifier (observe handed-over packets here).
+    pub fn neighbor_verifier_mut(&mut self) -> &mut NeighborVerifier {
+        &mut self.neighbor
+    }
+
+    /// Current contract state.
+    pub fn state(&self) -> ContractState {
+        self.state
+    }
+
+    /// Audited round history.
+    pub fn history(&self) -> &[RoundOutcome] {
+        &self.history
+    }
+
+    /// Closes the current round: audit, record, rotate sketches, decide.
+    ///
+    /// # Errors
+    ///
+    /// Propagates audit failures (forged exports, config mismatch) — these
+    /// are themselves contract-ending events for a real victim.
+    pub fn close_round(&mut self) -> Result<RoundOutcome, AuditError> {
+        assert_eq!(
+            self.state,
+            ContractState::Active,
+            "contract already aborted"
+        );
+        let outgoing = self
+            .enclave
+            .ecall(|app| app.export_log(LogDirection::Outgoing));
+        let incoming = self
+            .enclave
+            .ecall(|app| app.export_log(LogDirection::Incoming));
+        let victim_report = self.victim.audit(&outgoing)?;
+        let neighbor_report = self.neighbor.audit(&incoming)?;
+        let outcome = RoundOutcome {
+            round: victim_report.round,
+            victim_verdict: victim_report.verdict,
+            neighbor_verdict: neighbor_report.verdict,
+        };
+        self.history.push(outcome);
+        if outcome.dirty() {
+            self.strikes += 1;
+            if self.strikes >= self.policy.max_strikes {
+                self.state = ContractState::Aborted {
+                    strikes: self.strikes,
+                };
+            }
+        }
+        // Rotate: the enclave and both verifiers start a fresh round.
+        self.enclave.ecall(|app| app.new_round());
+        self.victim.new_round();
+        self.neighbor.new_round();
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{FilterRule, FlowPattern, RuleAction};
+    use crate::ruleset::RuleSet;
+    use vif_dataplane::{FiveTuple, Protocol};
+    use vif_sgx::{AttestationRootKey, EnclaveImage, EpcConfig, SgxPlatform};
+
+    const SEED: u64 = 31;
+    const KEY: [u8; 32] = [14u8; 32];
+
+    fn setup(policy: RoundPolicy) -> (Arc<Enclave<FilterEnclaveApp>>, RoundDriver) {
+        let root = AttestationRootKey::new([8u8; 32]);
+        let platform = SgxPlatform::new(2, EpcConfig::paper_default(), &root);
+        let rules = RuleSet::from_rules(vec![FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        ))]);
+        let app = FilterEnclaveApp::new(rules, [1u8; 32], SEED, KEY);
+        let enclave = Arc::new(platform.launch(EnclaveImage::new("vif", 1, vec![]), app));
+        let driver = RoundDriver::new(
+            Arc::clone(&enclave),
+            VictimVerifier::new(SEED, KEY, 0),
+            NeighborVerifier::new(SEED, KEY, 0),
+            policy,
+        );
+        (enclave, driver)
+    }
+
+    fn benign(i: u32) -> FiveTuple {
+        FiveTuple::new(
+            0x0b000000 + i,
+            u32::from_be_bytes([203, 0, 113, 1]),
+            1,
+            80,
+            Protocol::Tcp,
+        )
+    }
+
+    /// One honest round of traffic through enclave + verifiers.
+    fn honest_round(enclave: &Arc<Enclave<FilterEnclaveApp>>, driver: &mut RoundDriver, n: u32) {
+        for i in 0..n {
+            let t = benign(i);
+            driver.neighbor_verifier_mut().observe(&t);
+            let v = enclave.in_enclave_thread(|app| app.process(&t, 64));
+            if v.action == RuleAction::Allow {
+                driver.victim_verifier_mut().observe(&t);
+            }
+        }
+    }
+
+    #[test]
+    fn honest_rounds_keep_contract_active() {
+        let (enclave, mut driver) = setup(RoundPolicy::default());
+        for round in 0..5u64 {
+            honest_round(&enclave, &mut driver, 100);
+            let outcome = driver.close_round().unwrap();
+            assert!(!outcome.dirty(), "round {round}");
+            assert_eq!(outcome.round, round);
+        }
+        assert_eq!(driver.state(), ContractState::Active);
+        assert_eq!(driver.history().len(), 5);
+    }
+
+    #[test]
+    fn dirty_round_aborts_with_default_policy() {
+        let (enclave, mut driver) = setup(RoundPolicy::default());
+        // Filtering network steals 10 packets after the filter.
+        for i in 0..100 {
+            let t = benign(i);
+            driver.neighbor_verifier_mut().observe(&t);
+            enclave.in_enclave_thread(|app| app.process(&t, 64));
+            if i >= 10 {
+                driver.victim_verifier_mut().observe(&t);
+            }
+        }
+        let outcome = driver.close_round().unwrap();
+        assert!(outcome.dirty());
+        assert_eq!(driver.state(), ContractState::Aborted { strikes: 1 });
+    }
+
+    #[test]
+    fn lenient_policy_tolerates_strikes() {
+        let (enclave, mut driver) = setup(RoundPolicy {
+            max_strikes: 3,
+            ..Default::default()
+        });
+        for round in 0..2 {
+            for i in 0..50 {
+                let t = benign(i);
+                driver.neighbor_verifier_mut().observe(&t);
+                enclave.in_enclave_thread(|app| app.process(&t, 64));
+                if i > 0 {
+                    driver.victim_verifier_mut().observe(&t); // one packet short
+                }
+            }
+            let outcome = driver.close_round().unwrap();
+            assert!(outcome.dirty(), "round {round}");
+            assert_eq!(driver.state(), ContractState::Active);
+        }
+        // Third strike aborts.
+        honest_round(&enclave, &mut driver, 10);
+        driver.victim_verifier_mut().observe(&benign(9999)); // injected
+        driver.close_round().unwrap();
+        assert_eq!(driver.state(), ContractState::Aborted { strikes: 3 });
+    }
+
+    #[test]
+    fn sketches_rotate_between_rounds() {
+        let (enclave, mut driver) = setup(RoundPolicy::default());
+        honest_round(&enclave, &mut driver, 50);
+        driver.close_round().unwrap();
+        // A fresh round with different traffic still audits clean — stale
+        // state would poison the comparison.
+        for i in 1000..1100 {
+            let t = benign(i);
+            driver.neighbor_verifier_mut().observe(&t);
+            let v = enclave.in_enclave_thread(|app| app.process(&t, 64));
+            if v.action == RuleAction::Allow {
+                driver.victim_verifier_mut().observe(&t);
+            }
+        }
+        let outcome = driver.close_round().unwrap();
+        assert!(!outcome.dirty());
+        assert_eq!(outcome.round, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already aborted")]
+    fn closed_contract_rejects_rounds() {
+        let (_, mut driver) = setup(RoundPolicy::default());
+        driver.victim_verifier_mut().observe(&benign(1)); // injection
+        driver.close_round().unwrap();
+        let _ = driver.close_round();
+    }
+}

@@ -1,0 +1,190 @@
+//! Resource PKI (RPKI) authorization stub (§VI-B, §VII).
+//!
+//! A victim may only install rules that filter traffic *destined to its
+//! own prefixes* — otherwise VIF itself would be a denial-of-service
+//! vector ("Malicious victim networks cannot exploit VIF and launch new
+//! DoS attacks because filter rules are first validated with RPKI", §VII).
+//!
+//! This registry maps address space to the key hash of its holder, the
+//! relevant slice of RPKI's ROA database for this system.
+
+use crate::rules::FilterRule;
+use vif_trie::{Ipv4Prefix, MultiBitTrie};
+
+/// Identifier of a network's public key (e.g., a key hash).
+pub type OwnerId = [u8; 32];
+
+/// Errors from rule authorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpkiError {
+    /// The rule's destination prefix is not covered by any registration.
+    UnknownPrefix {
+        /// Index of the offending rule in the submitted batch.
+        rule_index: usize,
+    },
+    /// The destination prefix belongs to someone else.
+    NotOwner {
+        /// Index of the offending rule in the submitted batch.
+        rule_index: usize,
+    },
+}
+
+impl std::fmt::Display for RpkiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpkiError::UnknownPrefix { rule_index } => {
+                write!(f, "rule {rule_index}: destination prefix not registered")
+            }
+            RpkiError::NotOwner { rule_index } => {
+                write!(f, "rule {rule_index}: requester does not own destination prefix")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpkiError {}
+
+/// The prefix-ownership registry.
+#[derive(Debug, Clone)]
+pub struct RpkiRegistry {
+    roa: MultiBitTrie<OwnerId>,
+}
+
+impl Default for RpkiRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RpkiRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        RpkiRegistry {
+            roa: MultiBitTrie::new(8),
+        }
+    }
+
+    /// Registers `prefix` as held by `owner` (a ROA).
+    pub fn register(&mut self, prefix: Ipv4Prefix, owner: OwnerId) {
+        self.roa.insert(prefix, owner);
+    }
+
+    /// The holder of the longest registration covering `prefix`, if any.
+    pub fn owner_of(&self, prefix: &Ipv4Prefix) -> Option<OwnerId> {
+        // The covering ROA must be at most as specific as the prefix.
+        self.roa
+            .lookup_path(prefix.addr())
+            .into_iter()
+            .rev()
+            .find(|m| m.prefix.covers(prefix))
+            .map(|m| *m.value)
+    }
+
+    /// Validates that every rule in a submission filters only traffic
+    /// destined to prefixes held by `requester`.
+    ///
+    /// # Errors
+    ///
+    /// The first offending rule, see [`RpkiError`].
+    pub fn authorize(&self, requester: &OwnerId, rules: &[FilterRule]) -> Result<(), RpkiError> {
+        for (i, rule) in rules.iter().enumerate() {
+            match self.owner_of(&rule.pattern().dst) {
+                None => return Err(RpkiError::UnknownPrefix { rule_index: i }),
+                Some(owner) if owner != *requester => {
+                    return Err(RpkiError::NotOwner { rule_index: i })
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FlowPattern;
+
+    fn owner(b: u8) -> OwnerId {
+        [b; 32]
+    }
+
+    fn registry() -> RpkiRegistry {
+        let mut r = RpkiRegistry::new();
+        r.register("203.0.113.0/24".parse().unwrap(), owner(1));
+        r.register("198.51.100.0/24".parse().unwrap(), owner(2));
+        r
+    }
+
+    fn drop_to(dst: &str) -> FilterRule {
+        FilterRule::drop(FlowPattern::prefixes(
+            "0.0.0.0/0".parse().unwrap(),
+            dst.parse().unwrap(),
+        ))
+    }
+
+    #[test]
+    fn owner_can_filter_own_space() {
+        let r = registry();
+        assert!(r.authorize(&owner(1), &[drop_to("203.0.113.0/24")]).is_ok());
+        // More-specific prefixes inside the registration are fine too.
+        assert!(r.authorize(&owner(1), &[drop_to("203.0.113.128/25")]).is_ok());
+        assert!(r.authorize(&owner(1), &[drop_to("203.0.113.7/32")]).is_ok());
+    }
+
+    #[test]
+    fn cannot_filter_others_space() {
+        let r = registry();
+        assert_eq!(
+            r.authorize(&owner(1), &[drop_to("198.51.100.0/24")]),
+            Err(RpkiError::NotOwner { rule_index: 0 })
+        );
+    }
+
+    #[test]
+    fn unknown_space_rejected() {
+        let r = registry();
+        assert_eq!(
+            r.authorize(&owner(1), &[drop_to("8.8.8.0/24")]),
+            Err(RpkiError::UnknownPrefix { rule_index: 0 })
+        );
+    }
+
+    #[test]
+    fn wider_than_registration_rejected() {
+        // Owning a /24 does not authorize filtering the covering /16.
+        let r = registry();
+        assert_eq!(
+            r.authorize(&owner(1), &[drop_to("203.0.0.0/16")]),
+            Err(RpkiError::UnknownPrefix { rule_index: 0 })
+        );
+    }
+
+    #[test]
+    fn batch_reports_offending_index() {
+        let r = registry();
+        let rules = vec![
+            drop_to("203.0.113.0/24"),
+            drop_to("203.0.113.64/26"),
+            drop_to("198.51.100.0/24"), // not ours
+        ];
+        assert_eq!(
+            r.authorize(&owner(1), &rules),
+            Err(RpkiError::NotOwner { rule_index: 2 })
+        );
+    }
+
+    #[test]
+    fn more_specific_registration_wins() {
+        let mut r = registry();
+        // A sub-allocation of owner 1's space to owner 3.
+        r.register("203.0.113.128/25".parse().unwrap(), owner(3));
+        assert!(r.authorize(&owner(3), &[drop_to("203.0.113.128/25")]).is_ok());
+        assert_eq!(
+            r.authorize(&owner(1), &[drop_to("203.0.113.128/25")]),
+            Err(RpkiError::NotOwner { rule_index: 0 })
+        );
+        // Owner 1 keeps the other half.
+        assert!(r.authorize(&owner(1), &[drop_to("203.0.113.0/25")]).is_ok());
+    }
+}

@@ -1,0 +1,574 @@
+//! Filter rules: what a DDoS victim asks the filtering network to execute.
+//!
+//! Per §III-A the auditable filter supports exact-match five-tuple rules and
+//! coarse-grained flow specifications (prefix + port/protocol constraints).
+//! Appendix A adds *non-deterministic* rules carrying a static probability
+//! distribution (`PALLOW`, `PDROP`), executed connection-preservingly.
+
+use std::fmt;
+use std::net::SocketAddrV4;
+use vif_dataplane::{FiveTuple, Protocol};
+use vif_trie::Ipv4Prefix;
+
+/// The verdict a rule prescribes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleAction {
+    /// Forward the packet to the victim.
+    Allow,
+    /// Drop the packet.
+    Drop,
+}
+
+impl RuleAction {
+    /// The opposite action.
+    pub fn inverse(self) -> RuleAction {
+        match self {
+            RuleAction::Allow => RuleAction::Drop,
+            RuleAction::Drop => RuleAction::Allow,
+        }
+    }
+}
+
+/// An inclusive transport-port range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortRange {
+    /// Lowest matching port.
+    pub lo: u16,
+    /// Highest matching port.
+    pub hi: u16,
+}
+
+impl PortRange {
+    /// Matches any port.
+    pub const ANY: PortRange = PortRange { lo: 0, hi: u16::MAX };
+
+    /// A single port.
+    pub fn exactly(port: u16) -> Self {
+        PortRange { lo: port, hi: port }
+    }
+
+    /// A range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u16, hi: u16) -> Self {
+        assert!(lo <= hi, "invalid port range");
+        PortRange { lo, hi }
+    }
+
+    /// True if `port` is in the range.
+    #[inline]
+    pub fn contains(&self, port: u16) -> bool {
+        (self.lo..=self.hi).contains(&port)
+    }
+
+    /// True if this is the unconstrained range.
+    pub fn is_any(&self) -> bool {
+        *self == Self::ANY
+    }
+}
+
+impl fmt::Display for PortRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_any() {
+            write!(f, "*")
+        } else if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{}-{}", self.lo, self.hi)
+        }
+    }
+}
+
+/// A flow specification: which packets a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowPattern {
+    /// Source prefix constraint.
+    pub src: Ipv4Prefix,
+    /// Destination prefix constraint (must fall inside the victim's
+    /// RPKI-validated prefixes).
+    pub dst: Ipv4Prefix,
+    /// Source port constraint.
+    pub src_port: PortRange,
+    /// Destination port constraint.
+    pub dst_port: PortRange,
+    /// Protocol constraint (None = any).
+    pub protocol: Option<Protocol>,
+}
+
+impl FlowPattern {
+    /// An exact-match five-tuple pattern (a single TCP/UDP flow, §III-A).
+    pub fn exact(src: SocketAddrV4, dst: SocketAddrV4, protocol: Protocol) -> Self {
+        FlowPattern {
+            src: Ipv4Prefix::host(u32::from_be_bytes(src.ip().octets())),
+            dst: Ipv4Prefix::host(u32::from_be_bytes(dst.ip().octets())),
+            src_port: PortRange::exactly(src.port()),
+            dst_port: PortRange::exactly(dst.port()),
+            protocol: Some(protocol),
+        }
+    }
+
+    /// An exact-match pattern from a [`FiveTuple`].
+    pub fn exact_tuple(t: FiveTuple) -> Self {
+        FlowPattern {
+            src: Ipv4Prefix::host(t.src_ip),
+            dst: Ipv4Prefix::host(t.dst_ip),
+            src_port: PortRange::exactly(t.src_port),
+            dst_port: PortRange::exactly(t.dst_port),
+            protocol: Some(t.protocol),
+        }
+    }
+
+    /// A coarse pattern: any traffic from `src` prefix to `dst` prefix.
+    pub fn prefixes(src: Ipv4Prefix, dst: Ipv4Prefix) -> Self {
+        FlowPattern {
+            src,
+            dst,
+            src_port: PortRange::ANY,
+            dst_port: PortRange::ANY,
+            protocol: None,
+        }
+    }
+
+    /// The paper's running example: "HTTP flows destined to the victim" —
+    /// TCP traffic to port 80/443 of the victim prefix.
+    pub fn http_to(dst: Ipv4Prefix) -> Self {
+        FlowPattern {
+            src: Ipv4Prefix::default_route(),
+            dst,
+            src_port: PortRange::ANY,
+            dst_port: PortRange::new(80, 80),
+            protocol: Some(Protocol::Tcp),
+        }
+    }
+
+    /// Constrains the source port range.
+    pub fn with_src_port(mut self, ports: PortRange) -> Self {
+        self.src_port = ports;
+        self
+    }
+
+    /// Constrains the destination port range.
+    pub fn with_dst_port(mut self, ports: PortRange) -> Self {
+        self.dst_port = ports;
+        self
+    }
+
+    /// Constrains the protocol.
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = Some(protocol);
+        self
+    }
+
+    /// True if this pattern pins all five tuple fields exactly.
+    pub fn is_exact(&self) -> bool {
+        self.src.len() == 32
+            && self.dst.len() == 32
+            && self.src_port.lo == self.src_port.hi
+            && self.dst_port.lo == self.dst_port.hi
+            && self.protocol.is_some()
+    }
+
+    /// The exact five-tuple, if [`is_exact`](FlowPattern::is_exact).
+    pub fn as_tuple(&self) -> Option<FiveTuple> {
+        if !self.is_exact() {
+            return None;
+        }
+        Some(FiveTuple::new(
+            self.src.addr(),
+            self.dst.addr(),
+            self.src_port.lo,
+            self.dst_port.lo,
+            self.protocol.expect("checked exact"),
+        ))
+    }
+
+    /// True if the pattern matches a packet's five tuple.
+    #[inline]
+    pub fn matches(&self, t: &FiveTuple) -> bool {
+        self.src.contains(t.src_ip)
+            && self.dst.contains(t.dst_ip)
+            && self.src_port.contains(t.src_port)
+            && self.dst_port.contains(t.dst_port)
+            && self.protocol.map(|p| p == t.protocol).unwrap_or(true)
+    }
+}
+
+impl fmt::Display for FlowPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} {}",
+            self.src,
+            self.src_port,
+            self.dst,
+            self.dst_port,
+            self.protocol
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "*".into())
+        )
+    }
+}
+
+/// Deterministic or probabilistic rule semantics (Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RuleDecision {
+    /// A static ALLOW/DROP for every matching packet.
+    Deterministic(RuleAction),
+    /// A static probability distribution; the filter decides per *flow*
+    /// (connection-preserving) with `P(ALLOW) = p_allow`.
+    Probabilistic {
+        /// Probability that a matching flow is allowed, in `[0, 1]`.
+        p_allow: f64,
+    },
+}
+
+/// A filter rule: a pattern plus its decision.
+///
+/// # Example
+///
+/// ```
+/// use vif_core::rules::{FilterRule, FlowPattern, RuleAction};
+/// // "Drop 50% of HTTP flows destined to my /24" (the paper's Fig. 1).
+/// let rule = FilterRule::drop_fraction(
+///     FlowPattern::http_to("203.0.113.0/24".parse().unwrap()),
+///     0.5,
+/// );
+/// assert_eq!(rule.decision(), vif_core::rules::RuleDecision::Probabilistic { p_allow: 0.5 });
+/// let _ = rule; let _ = RuleAction::Drop;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterRule {
+    pattern: FlowPattern,
+    decision: RuleDecision,
+}
+
+impl FilterRule {
+    /// A deterministic DROP rule.
+    pub fn drop(pattern: FlowPattern) -> Self {
+        FilterRule {
+            pattern,
+            decision: RuleDecision::Deterministic(RuleAction::Drop),
+        }
+    }
+
+    /// A deterministic ALLOW rule (e.g., whitelisting a critical service).
+    pub fn allow(pattern: FlowPattern) -> Self {
+        FilterRule {
+            pattern,
+            decision: RuleDecision::Deterministic(RuleAction::Allow),
+        }
+    }
+
+    /// A probabilistic rule dropping `fraction` of matching flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn drop_fraction(pattern: FlowPattern, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        FilterRule {
+            pattern,
+            decision: RuleDecision::Probabilistic {
+                p_allow: 1.0 - fraction,
+            },
+        }
+    }
+
+    /// The rule's flow pattern.
+    pub fn pattern(&self) -> &FlowPattern {
+        &self.pattern
+    }
+
+    /// The rule's decision semantics.
+    pub fn decision(&self) -> RuleDecision {
+        self.decision
+    }
+
+    /// For deterministic rules, the action; probabilistic rules return the
+    /// action only at the extremes (p = 0 or 1).
+    pub fn action(&self) -> RuleAction {
+        match self.decision {
+            RuleDecision::Deterministic(a) => a,
+            RuleDecision::Probabilistic { p_allow } if p_allow <= 0.0 => RuleAction::Drop,
+            RuleDecision::Probabilistic { p_allow } if p_allow >= 1.0 => RuleAction::Allow,
+            RuleDecision::Probabilistic { .. } => RuleAction::Drop,
+        }
+    }
+
+    /// Stable binary encoding for channel transport (victim → enclave).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&self.pattern.src.addr().to_be_bytes());
+        out.push(self.pattern.src.len());
+        out.extend_from_slice(&self.pattern.dst.addr().to_be_bytes());
+        out.push(self.pattern.dst.len());
+        out.extend_from_slice(&self.pattern.src_port.lo.to_be_bytes());
+        out.extend_from_slice(&self.pattern.src_port.hi.to_be_bytes());
+        out.extend_from_slice(&self.pattern.dst_port.lo.to_be_bytes());
+        out.extend_from_slice(&self.pattern.dst_port.hi.to_be_bytes());
+        match self.pattern.protocol {
+            Some(p) => {
+                out.push(1);
+                out.push(p.number());
+            }
+            None => {
+                out.push(0);
+                out.push(0);
+            }
+        }
+        match self.decision {
+            RuleDecision::Deterministic(RuleAction::Allow) => {
+                out.push(0);
+                out.extend_from_slice(&[0u8; 8]);
+            }
+            RuleDecision::Deterministic(RuleAction::Drop) => {
+                out.push(1);
+                out.extend_from_slice(&[0u8; 8]);
+            }
+            RuleDecision::Probabilistic { p_allow } => {
+                out.push(2);
+                out.extend_from_slice(&p_allow.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a rule from [`encode`](FilterRule::encode)'s format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error string for malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, RuleDecodeError> {
+        if bytes.len() != 29 {
+            return Err(RuleDecodeError::WrongLength(bytes.len()));
+        }
+        let u32_at = |i: usize| u32::from_be_bytes(bytes[i..i + 4].try_into().unwrap());
+        let u16_at = |i: usize| u16::from_be_bytes(bytes[i..i + 2].try_into().unwrap());
+        let src_len = bytes[4];
+        let dst_len = bytes[9];
+        if src_len > 32 || dst_len > 32 {
+            return Err(RuleDecodeError::BadPrefix);
+        }
+        let src = Ipv4Prefix::new(u32_at(0), src_len);
+        let dst = Ipv4Prefix::new(u32_at(5), dst_len);
+        let src_port = PortRange {
+            lo: u16_at(10),
+            hi: u16_at(12),
+        };
+        let dst_port = PortRange {
+            lo: u16_at(14),
+            hi: u16_at(16),
+        };
+        if src_port.lo > src_port.hi || dst_port.lo > dst_port.hi {
+            return Err(RuleDecodeError::BadPortRange);
+        }
+        let protocol = match bytes[18] {
+            0 => None,
+            1 => Some(Protocol::from(bytes[19])),
+            _ => return Err(RuleDecodeError::BadProtocolTag),
+        };
+        let decision = match bytes[20] {
+            0 => RuleDecision::Deterministic(RuleAction::Allow),
+            1 => RuleDecision::Deterministic(RuleAction::Drop),
+            2 => {
+                let p = f64::from_be_bytes(bytes[21..29].try_into().unwrap());
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(RuleDecodeError::BadProbability);
+                }
+                RuleDecision::Probabilistic { p_allow: p }
+            }
+            _ => return Err(RuleDecodeError::BadDecisionTag),
+        };
+        Ok(FilterRule {
+            pattern: FlowPattern {
+                src,
+                dst,
+                src_port,
+                dst_port,
+                protocol,
+            },
+            decision,
+        })
+    }
+}
+
+/// Errors from [`FilterRule::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleDecodeError {
+    /// Encoded rules are exactly 29 bytes.
+    WrongLength(usize),
+    /// A prefix length exceeded 32.
+    BadPrefix,
+    /// `lo > hi` in a port range.
+    BadPortRange,
+    /// Unknown protocol presence tag.
+    BadProtocolTag,
+    /// Unknown decision tag.
+    BadDecisionTag,
+    /// Probability outside `[0, 1]`.
+    BadProbability,
+}
+
+impl fmt::Display for RuleDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleDecodeError::WrongLength(n) => write!(f, "expected 29 bytes, got {n}"),
+            RuleDecodeError::BadPrefix => write!(f, "prefix length exceeds 32"),
+            RuleDecodeError::BadPortRange => write!(f, "port range lo > hi"),
+            RuleDecodeError::BadProtocolTag => write!(f, "unknown protocol tag"),
+            RuleDecodeError::BadDecisionTag => write!(f, "unknown decision tag"),
+            RuleDecodeError::BadProbability => write!(f, "probability outside [0,1]"),
+        }
+    }
+}
+
+impl std::error::Error for RuleDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(src: u32, dst: u32, sp: u16, dp: u16, proto: Protocol) -> FiveTuple {
+        FiveTuple::new(src, dst, sp, dp, proto)
+    }
+
+    #[test]
+    fn exact_pattern_matches_only_its_flow() {
+        let p = FlowPattern::exact(
+            "10.0.0.1:5000".parse().unwrap(),
+            "203.0.113.1:80".parse().unwrap(),
+            Protocol::Tcp,
+        );
+        assert!(p.is_exact());
+        let t = p.as_tuple().unwrap();
+        assert!(p.matches(&t));
+        let mut other = t;
+        other.src_port = 5001;
+        assert!(!p.matches(&other));
+        let mut other = t;
+        other.protocol = Protocol::Udp;
+        assert!(!p.matches(&other));
+    }
+
+    #[test]
+    fn coarse_pattern_matches_prefix() {
+        let p = FlowPattern::prefixes(
+            "198.51.100.0/24".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        );
+        assert!(!p.is_exact());
+        assert!(p.as_tuple().is_none());
+        assert!(p.matches(&tuple(0xC6336407, 0xCB007155, 1, 2, Protocol::Udp)));
+        assert!(!p.matches(&tuple(0xC6336507, 0xCB007155, 1, 2, Protocol::Udp)));
+    }
+
+    #[test]
+    fn http_pattern() {
+        let p = FlowPattern::http_to("203.0.113.0/24".parse().unwrap());
+        assert!(p.matches(&tuple(1, 0xCB007101, 40000, 80, Protocol::Tcp)));
+        assert!(!p.matches(&tuple(1, 0xCB007101, 40000, 81, Protocol::Tcp)));
+        assert!(!p.matches(&tuple(1, 0xCB007101, 40000, 80, Protocol::Udp)));
+    }
+
+    #[test]
+    fn port_ranges() {
+        let r = PortRange::new(1000, 2000);
+        assert!(r.contains(1000) && r.contains(2000) && r.contains(1500));
+        assert!(!r.contains(999) && !r.contains(2001));
+        assert!(PortRange::ANY.contains(0) && PortRange::ANY.contains(u16::MAX));
+        assert_eq!(PortRange::exactly(53).to_string(), "53");
+        assert_eq!(PortRange::ANY.to_string(), "*");
+        assert_eq!(r.to_string(), "1000-2000");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid port range")]
+    fn inverted_port_range_rejected() {
+        PortRange::new(2, 1);
+    }
+
+    #[test]
+    fn rule_encode_decode_roundtrip() {
+        let rules = vec![
+            FilterRule::drop(FlowPattern::http_to("203.0.113.0/24".parse().unwrap())),
+            FilterRule::allow(FlowPattern::prefixes(
+                "0.0.0.0/0".parse().unwrap(),
+                "203.0.113.0/24".parse().unwrap(),
+            )),
+            FilterRule::drop_fraction(
+                FlowPattern::prefixes(
+                    "198.51.100.0/24".parse().unwrap(),
+                    "203.0.113.7/32".parse().unwrap(),
+                )
+                .with_protocol(Protocol::Udp)
+                .with_dst_port(PortRange::exactly(53)),
+                0.5,
+            ),
+            FilterRule::drop(FlowPattern::exact(
+                "1.2.3.4:55555".parse().unwrap(),
+                "203.0.113.9:443".parse().unwrap(),
+                Protocol::Tcp,
+            )),
+        ];
+        for rule in rules {
+            let bytes = rule.encode();
+            assert_eq!(bytes.len(), 29);
+            assert_eq!(FilterRule::decode(&bytes).unwrap(), rule);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(matches!(
+            FilterRule::decode(&[0; 5]),
+            Err(RuleDecodeError::WrongLength(5))
+        ));
+        let rule = FilterRule::drop(FlowPattern::http_to("10.0.0.0/8".parse().unwrap()));
+        let mut bytes = rule.encode();
+        bytes[4] = 99; // bad prefix length
+        assert_eq!(FilterRule::decode(&bytes), Err(RuleDecodeError::BadPrefix));
+        let mut bytes = rule.encode();
+        bytes[20] = 7;
+        assert_eq!(
+            FilterRule::decode(&bytes),
+            Err(RuleDecodeError::BadDecisionTag)
+        );
+        let mut bytes = FilterRule::drop_fraction(
+            FlowPattern::http_to("10.0.0.0/8".parse().unwrap()),
+            0.5,
+        )
+        .encode();
+        bytes[21..29].copy_from_slice(&2.0f64.to_be_bytes());
+        assert_eq!(
+            FilterRule::decode(&bytes),
+            Err(RuleDecodeError::BadProbability)
+        );
+    }
+
+    #[test]
+    fn drop_fraction_extremes() {
+        let p = FlowPattern::http_to("10.0.0.0/8".parse().unwrap());
+        assert_eq!(FilterRule::drop_fraction(p, 1.0).action(), RuleAction::Drop);
+        assert_eq!(FilterRule::drop_fraction(p, 0.0).action(), RuleAction::Allow);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_rejected() {
+        FilterRule::drop_fraction(FlowPattern::http_to("10.0.0.0/8".parse().unwrap()), 1.5);
+    }
+
+    #[test]
+    fn action_inverse() {
+        assert_eq!(RuleAction::Allow.inverse(), RuleAction::Drop);
+        assert_eq!(RuleAction::Drop.inverse(), RuleAction::Allow);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = FlowPattern::http_to("203.0.113.0/24".parse().unwrap());
+        assert_eq!(p.to_string(), "0.0.0.0/0:* -> 203.0.113.0/24:80 tcp");
+    }
+}

@@ -1,0 +1,402 @@
+//! Rule sets with the enclave's lookup structures.
+//!
+//! Exact-match five-tuple rules live in a hash table; coarse rules are
+//! bucketed by source prefix in a multi-bit trie (§V-A's "Filter Rule
+//! Lookup Table: multi-bit tries"). Classification precedence:
+//!
+//! 1. an exact five-tuple rule, if one matches,
+//! 2. the coarse rule with the longest matching source prefix whose port
+//!    and protocol constraints also match (falling back to shorter
+//!    prefixes otherwise),
+//! 3. no match — the filter's default applies (ALLOW: VIF only drops what
+//!    the victim asked it to drop).
+
+use crate::rules::FilterRule;
+use std::collections::HashMap;
+use vif_dataplane::FiveTuple;
+use vif_trie::{Ipv4Prefix, MultiBitTrie};
+
+/// Identifier of a rule within a [`RuleSet`] (insertion index).
+pub type RuleId = u32;
+
+/// Per-rule telemetry the enclave keeps for the redistribution protocol:
+/// the average received flow rate `B_i` of §IV-B's master–slave exchange.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleCounters {
+    /// Packets that matched this rule.
+    pub packets: u64,
+    /// Bytes that matched this rule.
+    pub bytes: u64,
+}
+
+/// An ordered set of filter rules with classification indexes.
+///
+/// # Example
+///
+/// ```
+/// use vif_core::prelude::*;
+/// let mut rs = RuleSet::new();
+/// rs.insert(FilterRule::drop(FlowPattern::http_to("203.0.113.0/24".parse().unwrap())));
+/// let t = FiveTuple::new(1, u32::from_be_bytes([203, 0, 113, 5]), 9999, 80, Protocol::Tcp);
+/// assert!(rs.classify(&t).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    rules: Vec<FilterRule>,
+    counters: Vec<RuleCounters>,
+    exact: HashMap<FiveTuple, RuleId>,
+    coarse: MultiBitTrie<Vec<RuleId>>,
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> Self {
+        RuleSet {
+            rules: Vec::new(),
+            counters: Vec::new(),
+            exact: HashMap::new(),
+            coarse: MultiBitTrie::new(8),
+        }
+    }
+
+    /// Builds a rule set from rules (batch: one trie rebuild).
+    pub fn from_rules<I: IntoIterator<Item = FilterRule>>(rules: I) -> Self {
+        let mut rs = RuleSet::new();
+        rs.insert_batch(rules);
+        rs
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules in insertion order.
+    pub fn rules(&self) -> &[FilterRule] {
+        &self.rules
+    }
+
+    /// The rule with the given id.
+    pub fn rule(&self, id: RuleId) -> &FilterRule {
+        &self.rules[id as usize]
+    }
+
+    /// Inserts one rule, returning its id.
+    pub fn insert(&mut self, rule: FilterRule) -> RuleId {
+        let id = self.rules.len() as RuleId;
+        self.index_rule(id, &rule);
+        self.rules.push(rule);
+        self.counters.push(RuleCounters::default());
+        id
+    }
+
+    /// Inserts many rules with a single trie rebuild (the enclave's batched
+    /// rule update, Appendix F / Table II).
+    pub fn insert_batch<I: IntoIterator<Item = FilterRule>>(&mut self, rules: I) {
+        let mut coarse_batch: HashMap<Ipv4Prefix, Vec<RuleId>> = HashMap::new();
+        for rule in rules {
+            let id = self.rules.len() as RuleId;
+            if rule.pattern().is_exact() {
+                self.exact
+                    .insert(rule.pattern().as_tuple().expect("exact"), id);
+            } else {
+                let prefix = rule.pattern().src;
+                coarse_batch
+                    .entry(prefix)
+                    .or_insert_with(|| {
+                        self.coarse.get(&prefix).cloned().unwrap_or_default()
+                    })
+                    .push(id);
+            }
+            self.rules.push(rule);
+            self.counters.push(RuleCounters::default());
+        }
+        if !coarse_batch.is_empty() {
+            self.coarse.batch_insert(coarse_batch);
+        }
+    }
+
+    fn index_rule(&mut self, id: RuleId, rule: &FilterRule) {
+        if rule.pattern().is_exact() {
+            self.exact
+                .insert(rule.pattern().as_tuple().expect("exact"), id);
+        } else {
+            let prefix = rule.pattern().src;
+            let mut bucket = self.coarse.get(&prefix).cloned().unwrap_or_default();
+            bucket.push(id);
+            self.coarse.insert(prefix, bucket);
+        }
+    }
+
+    /// Classifies a five tuple, returning the matching rule id (see module
+    /// docs for precedence).
+    pub fn classify(&self, t: &FiveTuple) -> Option<RuleId> {
+        if let Some(&id) = self.exact.get(t) {
+            return Some(id);
+        }
+        // Longest-prefix first: take matches along the trie path in
+        // reverse (longest prefix last in `lookup_path`).
+        for hit in self.coarse.lookup_path(t.src_ip).into_iter().rev() {
+            for &id in hit.value {
+                if self.rules[id as usize].pattern().matches(t) {
+                    return Some(id);
+                }
+            }
+        }
+        None
+    }
+
+    /// Records telemetry for a packet that matched `id`.
+    pub fn record_hit(&mut self, id: RuleId, bytes: u64) {
+        let c = &mut self.counters[id as usize];
+        c.packets += 1;
+        c.bytes += bytes;
+    }
+
+    /// Per-rule counters (the `B_i` array reported to the master enclave).
+    pub fn counters(&self) -> &[RuleCounters] {
+        &self.counters
+    }
+
+    /// Resets all rule counters (start of a redistribution round).
+    pub fn reset_counters(&mut self) {
+        self.counters.fill(RuleCounters::default());
+    }
+
+    /// Estimated enclave memory held by the rule structures, in bytes.
+    ///
+    /// Includes the trie, the exact-match table, the rule array, and the
+    /// per-rule telemetry the redistribution protocol needs. This is the
+    /// working-set input to the cost model (Fig. 3b's linearly growing
+    /// footprint).
+    pub fn memory_bytes(&self) -> usize {
+        let exact_entry = std::mem::size_of::<FiveTuple>() + std::mem::size_of::<RuleId>() + 48;
+        let rule_entry =
+            std::mem::size_of::<FilterRule>() + std::mem::size_of::<RuleCounters>();
+        self.coarse.memory_bytes()
+            + self.exact.len() * exact_entry
+            + self.rules.len() * rule_entry
+    }
+
+    /// Extracts the sub-ruleset with the given ids (rule redistribution:
+    /// the master sends each slave its share, Fig. 5).
+    pub fn subset(&self, ids: &[RuleId]) -> RuleSet {
+        RuleSet::from_rules(ids.iter().map(|&id| self.rules[id as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{FlowPattern, PortRange, RuleAction, RuleDecision};
+    use vif_dataplane::Protocol;
+
+    fn tuple(src: [u8; 4], dst: [u8; 4], sp: u16, dp: u16, proto: Protocol) -> FiveTuple {
+        FiveTuple::new(
+            u32::from_be_bytes(src),
+            u32::from_be_bytes(dst),
+            sp,
+            dp,
+            proto,
+        )
+    }
+
+    fn victim() -> Ipv4Prefix {
+        "203.0.113.0/24".parse().unwrap()
+    }
+
+    #[test]
+    fn exact_match_beats_coarse() {
+        let mut rs = RuleSet::new();
+        let coarse = rs.insert(FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            victim(),
+        )));
+        let t = tuple([10, 1, 2, 3], [203, 0, 113, 5], 1234, 80, Protocol::Tcp);
+        let exact = rs.insert(FilterRule::allow(FlowPattern::exact_tuple(t)));
+        assert_eq!(rs.classify(&t), Some(exact));
+        let mut other = t;
+        other.src_port = 999;
+        assert_eq!(rs.classify(&other), Some(coarse));
+    }
+
+    #[test]
+    fn longest_src_prefix_wins() {
+        let mut rs = RuleSet::new();
+        let wide = rs.insert(FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            victim(),
+        )));
+        let narrow = rs.insert(FilterRule::allow(FlowPattern::prefixes(
+            "10.1.0.0/16".parse().unwrap(),
+            victim(),
+        )));
+        let t = tuple([10, 1, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Udp);
+        assert_eq!(rs.classify(&t), Some(narrow));
+        let t2 = tuple([10, 2, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Udp);
+        assert_eq!(rs.classify(&t2), Some(wide));
+    }
+
+    #[test]
+    fn constraint_mismatch_falls_back_to_shorter_prefix() {
+        let mut rs = RuleSet::new();
+        let wide = rs.insert(FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            victim(),
+        )));
+        // Longer prefix but UDP-only.
+        let narrow_udp = rs.insert(FilterRule::drop(
+            FlowPattern::prefixes("10.1.0.0/16".parse().unwrap(), victim())
+                .with_protocol(Protocol::Udp),
+        ));
+        let udp = tuple([10, 1, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Udp);
+        assert_eq!(rs.classify(&udp), Some(narrow_udp));
+        // TCP from the same source: the /16 rule does not apply; the /8 does.
+        let tcp = tuple([10, 1, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Tcp);
+        assert_eq!(rs.classify(&tcp), Some(wide));
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let mut rs = RuleSet::new();
+        rs.insert(FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            victim(),
+        )));
+        let t = tuple([11, 0, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Udp);
+        assert_eq!(rs.classify(&t), None);
+    }
+
+    #[test]
+    fn dst_prefix_respected() {
+        let mut rs = RuleSet::new();
+        rs.insert(FilterRule::drop(FlowPattern::prefixes(
+            "0.0.0.0/0".parse().unwrap(),
+            victim(),
+        )));
+        let to_victim = tuple([1, 1, 1, 1], [203, 0, 113, 9], 1, 2, Protocol::Tcp);
+        let to_other = tuple([1, 1, 1, 1], [198, 51, 100, 9], 1, 2, Protocol::Tcp);
+        assert!(rs.classify(&to_victim).is_some());
+        assert!(rs.classify(&to_other).is_none());
+    }
+
+    #[test]
+    fn same_prefix_first_rule_wins() {
+        let mut rs = RuleSet::new();
+        let first = rs.insert(FilterRule::drop(
+            FlowPattern::prefixes("10.0.0.0/8".parse().unwrap(), victim())
+                .with_dst_port(PortRange::ANY),
+        ));
+        let _second = rs.insert(FilterRule::allow(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            victim(),
+        )));
+        let t = tuple([10, 0, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Udp);
+        assert_eq!(rs.classify(&t), Some(first));
+    }
+
+    #[test]
+    fn batch_insert_equivalent_to_incremental() {
+        let rules: Vec<FilterRule> = (0..50u32)
+            .map(|i| {
+                FilterRule::drop(FlowPattern::prefixes(
+                    Ipv4Prefix::new(0x0a00_0000 + (i << 12), 24),
+                    victim(),
+                ))
+            })
+            .collect();
+        let mut inc = RuleSet::new();
+        for r in &rules {
+            inc.insert(*r);
+        }
+        let bat = RuleSet::from_rules(rules.clone());
+        for i in 0..50u32 {
+            let t = tuple(
+                [10, (i >> 4) as u8, ((i & 0xf) << 4) as u8, 1],
+                [203, 0, 113, 1],
+                5,
+                6,
+                Protocol::Tcp,
+            );
+            assert_eq!(inc.classify(&t), bat.classify(&t), "rule {i}");
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let mut rs = RuleSet::new();
+        let id = rs.insert(FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            victim(),
+        )));
+        rs.record_hit(id, 1500);
+        rs.record_hit(id, 64);
+        assert_eq!(rs.counters()[0].packets, 2);
+        assert_eq!(rs.counters()[0].bytes, 1564);
+        rs.reset_counters();
+        assert_eq!(rs.counters()[0], RuleCounters::default());
+    }
+
+    #[test]
+    fn memory_grows_with_rules() {
+        let small = RuleSet::from_rules((0..100u32).map(|i| {
+            FilterRule::drop(FlowPattern::prefixes(
+                Ipv4Prefix::host(0x0a000000 + i * 131),
+                victim(),
+            ))
+        }));
+        let large = RuleSet::from_rules((0..1000u32).map(|i| {
+            FilterRule::drop(FlowPattern::prefixes(
+                Ipv4Prefix::host(0x0a000000 + i * 131),
+                victim(),
+            ))
+        }));
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn subset_preserves_semantics() {
+        let mut rs = RuleSet::new();
+        let a = rs.insert(FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            victim(),
+        )));
+        let _b = rs.insert(FilterRule::drop(FlowPattern::prefixes(
+            "11.0.0.0/8".parse().unwrap(),
+            victim(),
+        )));
+        let sub = rs.subset(&[a]);
+        assert_eq!(sub.len(), 1);
+        let t10 = tuple([10, 0, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Udp);
+        let t11 = tuple([11, 0, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Udp);
+        assert!(sub.classify(&t10).is_some());
+        assert!(sub.classify(&t11).is_none());
+    }
+
+    #[test]
+    fn probabilistic_rules_classify_like_deterministic() {
+        let mut rs = RuleSet::new();
+        let id = rs.insert(FilterRule::drop_fraction(
+            FlowPattern::http_to(victim()),
+            0.5,
+        ));
+        let t = tuple([9, 9, 9, 9], [203, 0, 113, 50], 4242, 80, Protocol::Tcp);
+        assert_eq!(rs.classify(&t), Some(id));
+        match rs.rule(id).decision() {
+            RuleDecision::Probabilistic { p_allow } => assert!((p_allow - 0.5).abs() < 1e-12),
+            RuleDecision::Deterministic(_) => panic!("expected probabilistic"),
+        }
+        let _ = RuleAction::Drop;
+    }
+}

@@ -1,0 +1,570 @@
+//! Scale-out: many enclaves behind an untrusted load balancer (§IV).
+//!
+//! A single enclave saturates at ≈10 Gb/s and ≈EPC-bounded rule counts, so
+//! VIF parallelizes: the IXP's switching fabric load-balances flows to `n`
+//! enclaves, each holding a slice of the rule set. The components outside
+//! the enclaves (controller, load balancer) are *untrusted*; the design
+//! makes their misbehavior detectable:
+//!
+//! - a load balancer that routes a flow to an enclave holding no matching
+//!   rule is caught by that enclave's strict-scope counter (§IV-B),
+//! - a load balancer that *drops* flows is caught by the ordinary bypass
+//!   detection (the enclaves' incoming logs stay short, §III-B).
+//!
+//! Rule redistribution follows the Fig. 5 master–slave protocol: slaves
+//! upload `(R_i, B_i)` — their rule sets and per-rule byte counts — the
+//! master recomputes the partition with the greedy allocator, and every
+//! enclave installs its new slice.
+
+use crate::enclave_app::FilterEnclaveApp;
+use crate::rules::RuleAction;
+use crate::ruleset::{RuleId, RuleSet};
+use std::sync::Arc;
+use vif_dataplane::FiveTuple;
+use vif_optimizer::{greedy::GreedySolver, ilp::Instance, Allocation};
+use vif_sgx::{Enclave, EnclaveImage, SgxPlatform};
+use vif_sketch::hash::fingerprint;
+
+/// The §VI-D back-of-envelope deployment plan: how many commodity SGX
+/// servers an IXP needs for a target filtering capacity.
+///
+/// # Example
+///
+/// ```
+/// use vif_core::scale::DeploymentPlan;
+/// // The paper's example: 500 Gb/s needs 50 servers ≈ US$ 100K.
+/// let plan = DeploymentPlan::for_capacity_gbps(500.0);
+/// assert_eq!(plan.servers, 50);
+/// assert_eq!(plan.capex_usd, 100_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeploymentPlan {
+    /// Commodity SGX servers required (one ≈10 Gb/s enclave each, §V-B).
+    pub servers: usize,
+    /// One-time hardware cost at ≈US$ 2,000 per server (§VI-D).
+    pub capex_usd: u64,
+    /// Rack units at ~40 servers per rack.
+    pub racks: usize,
+}
+
+impl DeploymentPlan {
+    /// Per-server filtering capacity demonstrated in §V-B, Gb/s.
+    pub const GBPS_PER_SERVER: f64 = 10.0;
+    /// Commodity server cost assumed in §VI-D, US$.
+    pub const USD_PER_SERVER: u64 = 2_000;
+
+    /// Sizes a deployment for `capacity_gbps` of filtering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_gbps` is not positive and finite.
+    pub fn for_capacity_gbps(capacity_gbps: f64) -> Self {
+        assert!(
+            capacity_gbps.is_finite() && capacity_gbps > 0.0,
+            "capacity must be positive"
+        );
+        let servers = (capacity_gbps / Self::GBPS_PER_SERVER).ceil() as usize;
+        DeploymentPlan {
+            servers,
+            capex_usd: servers as u64 * Self::USD_PER_SERVER,
+            racks: servers.div_ceil(40),
+        }
+    }
+}
+
+/// How the untrusted load balancer behaves (failure injection for tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadBalancerBehavior {
+    /// Follows the assignment faithfully.
+    Honest,
+    /// Sends this fraction of flows to the wrong enclave.
+    MisrouteFraction(f64),
+    /// Silently drops this fraction of flows (never reaches any enclave).
+    DropFraction(f64),
+}
+
+/// The untrusted flow → enclave dispatcher.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    /// Per rule: the enclaves hosting it with their bandwidth shares.
+    assignment: Vec<Vec<(usize, f64)>>,
+    behavior: LoadBalancerBehavior,
+    n_enclaves: usize,
+}
+
+/// Dispatch outcome for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Deliver to enclave `i`.
+    To(usize),
+    /// The (malicious) LB dropped the flow.
+    Dropped,
+}
+
+impl LoadBalancer {
+    /// Builds a balancer from an allocation over `ruleset`.
+    pub fn new(
+        ruleset_len: usize,
+        allocation: &Allocation,
+        n_enclaves: usize,
+        behavior: LoadBalancerBehavior,
+    ) -> Self {
+        let mut assignment: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ruleset_len];
+        for (enclave, shares) in allocation.enclaves.iter().enumerate() {
+            for share in shares {
+                if share.rule < ruleset_len {
+                    assignment[share.rule].push((enclave, share.bandwidth.max(1e-9)));
+                }
+            }
+        }
+        LoadBalancer {
+            assignment,
+            behavior,
+            n_enclaves,
+        }
+    }
+
+    /// Dispatches a flow that matched `rule` (or none) to an enclave.
+    ///
+    /// Split rules hash the flow across their hosting enclaves
+    /// proportionally to the allocated bandwidth shares, so a flow always
+    /// lands on the same enclave (connection preserving).
+    pub fn dispatch(&self, rule: Option<RuleId>, t: &FiveTuple) -> Dispatch {
+        let fp = fingerprint(&t.encode());
+        match self.behavior {
+            LoadBalancerBehavior::DropFraction(f) => {
+                if unit_hash(fp ^ 0xD0D0) < f {
+                    return Dispatch::Dropped;
+                }
+            }
+            LoadBalancerBehavior::MisrouteFraction(f) => {
+                if unit_hash(fp ^ 0xBAD) < f {
+                    // Send to a pseudo-random (likely wrong) enclave.
+                    return Dispatch::To((fp % self.n_enclaves as u64) as usize);
+                }
+            }
+            LoadBalancerBehavior::Honest => {}
+        }
+        let hosts = rule
+            .and_then(|r| self.assignment.get(r as usize))
+            .filter(|h| !h.is_empty());
+        match hosts {
+            // Unmatched traffic goes to a hash-picked enclave (it will be
+            // default-allowed wherever it lands).
+            None => Dispatch::To((fp % self.n_enclaves as u64) as usize),
+            Some(hosts) => {
+                let total: f64 = hosts.iter().map(|(_, w)| w).sum();
+                let mut x = unit_hash(fp) * total;
+                for &(enclave, w) in hosts {
+                    if x < w {
+                        return Dispatch::To(enclave);
+                    }
+                    x -= w;
+                }
+                Dispatch::To(hosts.last().expect("non-empty").0)
+            }
+        }
+    }
+}
+
+/// Maps a 64-bit hash to `[0, 1)`.
+fn unit_hash(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Report of one redistribution round (Fig. 5).
+#[derive(Debug, Clone)]
+pub struct RedistributionReport {
+    /// Which enclave acted as master.
+    pub master: usize,
+    /// Enclaves in use after the round.
+    pub enclaves_used: usize,
+    /// Total `(rule, enclave)` installations after the round.
+    pub installations: usize,
+    /// Greedy solve time.
+    pub solve_time: std::time::Duration,
+}
+
+/// A pool of filter enclaves with its load balancer.
+pub struct EnclaveCluster {
+    enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>>,
+    lb: LoadBalancer,
+    full_ruleset: RuleSet,
+    platform: SgxPlatform,
+    image: EnclaveImage,
+    secret: [u8; 32],
+    sketch_seed: u64,
+    audit_key: [u8; 32],
+    round: u64,
+}
+
+impl EnclaveCluster {
+    /// Launches a cluster for `ruleset`, sized by the greedy allocator
+    /// under the given per-rule bandwidth estimates (Gb/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocator cannot place the rules (pathological
+    /// estimates).
+    #[allow(clippy::too_many_arguments)] // deliberate: every key is distinct session state
+    pub fn launch(
+        platform: SgxPlatform,
+        image: EnclaveImage,
+        ruleset: RuleSet,
+        bandwidth_estimates: Vec<f64>,
+        secret: [u8; 32],
+        sketch_seed: u64,
+        audit_key: [u8; 32],
+        behavior: LoadBalancerBehavior,
+    ) -> Self {
+        assert_eq!(ruleset.len(), bandwidth_estimates.len());
+        let instance = Instance::paper_defaults(bandwidth_estimates, 0.2);
+        let allocation = GreedySolver::default()
+            .solve(&instance)
+            .expect("initial allocation feasible");
+        let n = allocation.enclaves.len();
+        let lb = LoadBalancer::new(ruleset.len(), &allocation, n, behavior);
+
+        let enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>> = allocation
+            .enclaves
+            .iter()
+            .map(|shares| {
+                let ids: Vec<RuleId> = shares.iter().map(|s| s.rule as RuleId).collect();
+                let subset = ruleset.subset(&ids);
+                let mut app = FilterEnclaveApp::new(subset, secret, sketch_seed, audit_key);
+                app.set_strict_scope(true);
+                Arc::new(platform.launch(image.clone(), app))
+            })
+            .collect();
+
+        EnclaveCluster {
+            enclaves,
+            lb,
+            full_ruleset: ruleset,
+            platform,
+            image,
+            secret,
+            sketch_seed,
+            audit_key,
+            round: 0,
+        }
+    }
+
+    /// Number of enclaves.
+    pub fn len(&self) -> usize {
+        self.enclaves.len()
+    }
+
+    /// True if the cluster has no enclaves.
+    pub fn is_empty(&self) -> bool {
+        self.enclaves.is_empty()
+    }
+
+    /// The enclaves.
+    pub fn enclaves(&self) -> &[Arc<Enclave<FilterEnclaveApp>>] {
+        &self.enclaves
+    }
+
+    /// The full victim-submitted rule set.
+    pub fn ruleset(&self) -> &RuleSet {
+        &self.full_ruleset
+    }
+
+    /// Redistribution rounds completed.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Processes one packet through LB dispatch and the target enclave.
+    ///
+    /// Returns `(action, enclave)` — `None` enclave if the LB dropped it.
+    pub fn process(&self, t: &FiveTuple, wire_bytes: u64) -> (RuleAction, Option<usize>) {
+        // The LB classifies against the full rule map it was programmed
+        // with (it is untrusted but needs the mapping to route).
+        let rule = self.full_ruleset.classify(t);
+        match self.lb.dispatch(rule, t) {
+            Dispatch::Dropped => (RuleAction::Drop, None),
+            Dispatch::To(i) => {
+                let action = self.enclaves[i]
+                    .in_enclave_thread(|app| app.process(t, wire_bytes).action);
+                (action, Some(i))
+            }
+        }
+    }
+
+    /// Total misrouted-packet count across enclaves (LB misbehavior
+    /// evidence, §IV-B).
+    pub fn misrouted_total(&self) -> u64 {
+        self.enclaves
+            .iter()
+            .map(|e| e.ecall(|app| app.stats().misrouted))
+            .sum()
+    }
+
+    /// Runs the Fig. 5 master–slave redistribution round.
+    ///
+    /// `master` collects every enclave's `(R_i, B_i)`, recomputes the
+    /// partition from measured byte counts, grows/shrinks the pool, and
+    /// installs the new slices. Returns the round report.
+    pub fn redistribute(&mut self, master: usize) -> RedistributionReport {
+        assert!(master < self.enclaves.len(), "master index out of range");
+        self.round += 1;
+
+        // Slaves (and the master itself) report per-rule byte counts over
+        // their attested channels.
+        let mut bytes_per_rule = vec![0u64; self.full_ruleset.len()];
+        for enclave in &self.enclaves {
+            let (ids, report) = enclave.ecall(|app| {
+                let ids: Vec<RuleId> = (0..app.ruleset().len() as RuleId).collect();
+                (
+                    ids.iter()
+                        .map(|&i| *app.ruleset().rule(i))
+                        .collect::<Vec<_>>(),
+                    app.rule_bandwidth_report(),
+                )
+            });
+            // Map the slave's local rules back to global ids by equality.
+            for (rule, bytes) in ids.iter().zip(report.iter()) {
+                if let Some(global) = self
+                    .full_ruleset
+                    .rules()
+                    .iter()
+                    .position(|r| r == rule)
+                {
+                    bytes_per_rule[global] += bytes;
+                }
+            }
+        }
+
+        // Convert byte counts to relative bandwidth (Gb/s scale; absolute
+        // calibration does not change the partition shape).
+        let total_bytes: u64 = bytes_per_rule.iter().sum();
+        let estimates: Vec<f64> = if total_bytes == 0 {
+            vec![1.0; self.full_ruleset.len()]
+        } else {
+            bytes_per_rule
+                .iter()
+                .map(|&b| (b as f64 / total_bytes as f64) * 50.0 + 1e-6)
+                .collect()
+        };
+
+        let instance = Instance::paper_defaults(estimates, 0.2);
+        let start = std::time::Instant::now();
+        let allocation = GreedySolver::default()
+            .solve(&instance)
+            .expect("redistribution feasible");
+        let solve_time = start.elapsed();
+
+        // Grow or shrink the pool (new enclaves must be attested before
+        // receiving rules — modeled by fresh launches).
+        let n = allocation.enclaves.len();
+        while self.enclaves.len() < n {
+            let mut app = FilterEnclaveApp::new(
+                RuleSet::new(),
+                self.secret,
+                self.sketch_seed,
+                self.audit_key,
+            );
+            app.set_strict_scope(true);
+            self.enclaves
+                .push(Arc::new(self.platform.launch(self.image.clone(), app)));
+        }
+        self.enclaves.truncate(n);
+
+        // Install the new slices and reset telemetry.
+        for (i, shares) in allocation.enclaves.iter().enumerate() {
+            let ids: Vec<RuleId> = shares.iter().map(|s| s.rule as RuleId).collect();
+            let subset = self.full_ruleset.subset(&ids);
+            self.enclaves[i].ecall(|app| {
+                app.install_ruleset(subset.clone());
+                app.reset_rule_counters();
+            });
+        }
+        self.lb = LoadBalancer::new(
+            self.full_ruleset.len(),
+            &allocation,
+            n,
+            LoadBalancerBehavior::Honest,
+        );
+
+        RedistributionReport {
+            master,
+            enclaves_used: allocation.used_enclaves(),
+            installations: allocation.installations(),
+            solve_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{FilterRule, FlowPattern};
+    use vif_dataplane::Protocol;
+    use vif_sgx::{AttestationRootKey, EpcConfig};
+    use vif_trie::Ipv4Prefix;
+
+    fn victim() -> Ipv4Prefix {
+        "203.0.113.0/24".parse().unwrap()
+    }
+
+    fn ruleset(k: usize) -> RuleSet {
+        RuleSet::from_rules((0..k as u32).map(|i| {
+            FilterRule::drop(FlowPattern::prefixes(
+                Ipv4Prefix::new(0x0a000000 + (i << 8), 24),
+                victim(),
+            ))
+        }))
+    }
+
+    fn cluster(k: usize, behavior: LoadBalancerBehavior) -> EnclaveCluster {
+        let root = AttestationRootKey::new([1u8; 32]);
+        let platform = SgxPlatform::new(1, EpcConfig::paper_default(), &root);
+        let image = EnclaveImage::new("vif", 1, vec![0; 256]);
+        EnclaveCluster::launch(
+            platform,
+            image,
+            ruleset(k),
+            vec![50.0 / k as f64; k],
+            [7u8; 32],
+            99,
+            [8u8; 32],
+            behavior,
+        )
+    }
+
+    fn attack_tuple(rule: u32, flow: u32) -> FiveTuple {
+        FiveTuple::new(
+            0x0a000000 + (rule << 8) + (flow % 250),
+            u32::from_be_bytes([203, 0, 113, 1]),
+            (1000 + flow % 50_000) as u16,
+            80,
+            Protocol::Udp,
+        )
+    }
+
+    #[test]
+    fn deployment_plan_matches_paper_example() {
+        let plan = DeploymentPlan::for_capacity_gbps(500.0);
+        assert_eq!(plan.servers, 50);
+        assert_eq!(plan.capex_usd, 100_000);
+        assert!(plan.racks <= 2, "paper: one or two server racks");
+        // Mitigating the record 1.7 Tb/s attack across a few IXPs:
+        let record = DeploymentPlan::for_capacity_gbps(1700.0 / 4.0);
+        assert!(record.servers <= 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn deployment_plan_rejects_zero() {
+        DeploymentPlan::for_capacity_gbps(0.0);
+    }
+
+    #[test]
+    fn cluster_sized_by_bandwidth() {
+        // 50 Gb/s over 10 Gb/s enclaves: at least 5 (λ=0.2 -> 6).
+        let c = cluster(100, LoadBalancerBehavior::Honest);
+        assert!(c.len() >= 5, "only {} enclaves", c.len());
+    }
+
+    #[test]
+    fn honest_lb_no_misroutes_and_drops_matching_flows() {
+        let c = cluster(50, LoadBalancerBehavior::Honest);
+        for r in 0..50 {
+            for f in 0..4 {
+                let (action, enclave) = c.process(&attack_tuple(r, f), 500);
+                assert_eq!(action, RuleAction::Drop, "rule {r} flow {f}");
+                assert!(enclave.is_some());
+            }
+        }
+        assert_eq!(c.misrouted_total(), 0);
+    }
+
+    #[test]
+    fn connection_preserving_dispatch() {
+        let c = cluster(20, LoadBalancerBehavior::Honest);
+        for r in 0..20 {
+            let t = attack_tuple(r, 1);
+            let (_, first) = c.process(&t, 64);
+            for _ in 0..5 {
+                let (_, again) = c.process(&t, 64);
+                assert_eq!(first, again, "flow moved enclaves");
+            }
+        }
+    }
+
+    #[test]
+    fn misrouting_lb_detected() {
+        let c = cluster(50, LoadBalancerBehavior::MisrouteFraction(0.5));
+        for r in 0..50 {
+            for f in 0..10 {
+                c.process(&attack_tuple(r, f), 64);
+            }
+        }
+        assert!(
+            c.misrouted_total() > 0,
+            "strict-scope enclaves should catch misrouted flows"
+        );
+    }
+
+    #[test]
+    fn dropping_lb_starves_enclave_logs() {
+        let c = cluster(20, LoadBalancerBehavior::DropFraction(0.5));
+        let mut lb_dropped = 0;
+        let total = 400;
+        for r in 0..20 {
+            for f in 0..20 {
+                let (_, enclave) = c.process(&attack_tuple(r, f), 64);
+                if enclave.is_none() {
+                    lb_dropped += 1;
+                }
+            }
+        }
+        assert!(lb_dropped > total / 5, "only {lb_dropped} LB drops");
+        // The enclaves' incoming logs saw fewer packets than offered —
+        // exactly what neighbor verifiers detect as drop-before-filter.
+        let logged: u64 = c
+            .enclaves()
+            .iter()
+            .map(|e| e.ecall(|a| a.logs().incoming().total()))
+            .sum();
+        assert_eq!(logged, total - lb_dropped);
+    }
+
+    #[test]
+    fn redistribution_rebalances_by_measured_load() {
+        let mut c = cluster(40, LoadBalancerBehavior::Honest);
+        // Rule 0 carries almost all traffic.
+        for f in 0..2000 {
+            c.process(&attack_tuple(0, f), 1500);
+        }
+        for r in 1..40 {
+            c.process(&attack_tuple(r, 0), 64);
+        }
+        let report = c.redistribute(0);
+        assert_eq!(c.round(), 1);
+        assert!(report.enclaves_used >= 1);
+        assert!(report.installations >= 40, "every rule must stay installed");
+        // All rules still enforced after redistribution.
+        for r in 0..40 {
+            let (action, _) = c.process(&attack_tuple(r, 7), 64);
+            assert_eq!(action, RuleAction::Drop, "rule {r} lost in redistribution");
+        }
+        assert_eq!(c.misrouted_total(), 0, "post-redistribution routing consistent");
+    }
+
+    #[test]
+    fn unmatched_traffic_default_allowed() {
+        let c = cluster(10, LoadBalancerBehavior::Honest);
+        let benign = FiveTuple::new(
+            u32::from_be_bytes([9, 9, 9, 9]),
+            u32::from_be_bytes([203, 0, 113, 1]),
+            1,
+            80,
+            Protocol::Tcp,
+        );
+        let (action, enclave) = c.process(&benign, 64);
+        assert_eq!(action, RuleAction::Allow);
+        assert!(enclave.is_some());
+    }
+}

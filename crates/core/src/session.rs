@@ -1,0 +1,446 @@
+//! The victim ↔ enclave session protocol (§VI-B).
+//!
+//! 1. The victim (RPKI-authenticated) asks the IXP controller for a filter;
+//!    the controller launches an enclave from the open-source VIF image.
+//! 2. **Remote attestation**: the victim sends a challenge nonce; the
+//!    enclave generates a DH key pair *inside* the enclave and produces a
+//!    quote whose report data binds `SHA-256(pubkey ‖ nonce)`; the IAS
+//!    verifies the platform signature; the victim pins the expected
+//!    measurement and checks the binding.
+//! 3. **Channel**: both sides derive an authenticated channel and the
+//!    audit key / sketch seed from the DH shared secret (HKDF).
+//! 4. **Rules**: the victim submits encoded rules over the channel; the
+//!    enclave authorizes them against RPKI and installs them, returning an
+//!    authenticated acknowledgement.
+//!
+//! Every message travels through the *untrusted* filtering network; the
+//! protocol treats it as the adversary it is (tampering any message aborts
+//! the handshake).
+
+use crate::enclave_app::FilterEnclaveApp;
+use crate::rpki::{OwnerId, RpkiError, RpkiRegistry};
+use crate::rules::{FilterRule, RuleDecodeError};
+use crate::verify::{NeighborVerifier, VictimVerifier};
+use std::sync::Arc;
+use vif_crypto::channel::{ChannelError, SecureChannel};
+use vif_crypto::dh::{DhError, DhGroup, DhKeyPair};
+use vif_crypto::kdf;
+use vif_crypto::sha256::Sha256;
+use vif_sgx::{
+    AttestationError, AttestationLatencyModel, AttestationService, Enclave, IasVerifier,
+    Measurement,
+};
+
+/// Session parameters chosen by the victim.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Measurement of the audited open-source VIF build the victim trusts.
+    pub expected_measurement: Measurement,
+    /// Per-bin audit tolerance (absorbs benign loss, §III-B).
+    pub tolerance: u64,
+}
+
+/// Errors during session establishment or use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// Attestation failed (forged quote, wrong measurement, bad IAS
+    /// countersignature).
+    Attestation(AttestationError),
+    /// The quote's report data does not bind the enclave's channel key.
+    BadReportBinding,
+    /// Diffie-Hellman failure (degenerate peer value).
+    Dh(DhError),
+    /// Channel authentication failure (tampered/replayed message).
+    Channel(ChannelError),
+    /// RPKI refused the rule submission.
+    Rpki(RpkiError),
+    /// Malformed rule encoding.
+    RuleDecode(RuleDecodeError),
+    /// The enclave's acknowledgement did not match the submission.
+    BadAck,
+    /// Protocol used before the handshake completed.
+    NotEstablished,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Attestation(e) => write!(f, "attestation: {e}"),
+            SessionError::BadReportBinding => write!(f, "report does not bind channel key"),
+            SessionError::Dh(e) => write!(f, "key agreement: {e}"),
+            SessionError::Channel(e) => write!(f, "channel: {e}"),
+            SessionError::Rpki(e) => write!(f, "rpki: {e}"),
+            SessionError::RuleDecode(e) => write!(f, "rule decode: {e}"),
+            SessionError::BadAck => write!(f, "acknowledgement mismatch"),
+            SessionError::NotEstablished => write!(f, "session not established"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<AttestationError> for SessionError {
+    fn from(e: AttestationError) -> Self {
+        SessionError::Attestation(e)
+    }
+}
+
+impl From<DhError> for SessionError {
+    fn from(e: DhError) -> Self {
+        SessionError::Dh(e)
+    }
+}
+
+impl From<ChannelError> for SessionError {
+    fn from(e: ChannelError) -> Self {
+        SessionError::Channel(e)
+    }
+}
+
+impl From<RpkiError> for SessionError {
+    fn from(e: RpkiError) -> Self {
+        SessionError::Rpki(e)
+    }
+}
+
+/// Key material both endpoints derive from the DH shared secret.
+#[derive(Debug, Clone)]
+pub struct SessionKeys {
+    /// HMAC key authenticating exported packet logs.
+    pub audit_key: [u8; 32],
+    /// Seed for the session's sketch hash family.
+    pub sketch_seed: u64,
+}
+
+/// Derives the session keys from the DH shared secret.
+pub fn derive_session_keys(shared_secret: &[u8], nonce: &[u8; 32]) -> SessionKeys {
+    let okm = kdf::hkdf(b"vif-session-v1", shared_secret, nonce, 40);
+    let mut audit_key = [0u8; 32];
+    audit_key.copy_from_slice(&okm[..32]);
+    let sketch_seed = u64::from_le_bytes(okm[32..40].try_into().expect("8 bytes"));
+    SessionKeys {
+        audit_key,
+        sketch_seed,
+    }
+}
+
+/// Computes the 64-byte report data binding a channel public key to an
+/// attestation challenge.
+pub fn report_binding(enclave_pub: &[u8], nonce: &[u8; 32]) -> [u8; 64] {
+    let mut h = Sha256::new();
+    h.update(enclave_pub);
+    h.update(nonce);
+    let digest = h.finalize();
+    let mut out = [0u8; 64];
+    out[..32].copy_from_slice(&digest);
+    out
+}
+
+/// The DDoS victim's client state.
+#[derive(Debug)]
+pub struct VictimClient {
+    identity: OwnerId,
+    dh: DhKeyPair,
+    ias_verifier: IasVerifier,
+    config: SessionConfig,
+}
+
+impl VictimClient {
+    /// Creates a client. `dh_secret` seeds the victim's ephemeral key.
+    pub fn new(
+        identity: OwnerId,
+        dh_secret: &[u8; 32],
+        ias_verifier: IasVerifier,
+        config: SessionConfig,
+    ) -> Self {
+        VictimClient {
+            identity,
+            dh: DhGroup::modp_2048().key_pair_from_secret(dh_secret),
+            ias_verifier,
+            config,
+        }
+    }
+
+    /// The victim's RPKI identity (key hash).
+    pub fn identity(&self) -> OwnerId {
+        self.identity
+    }
+
+    /// Runs the full attestation + key-agreement handshake against an
+    /// enclave, via the (untrusted) controller and the IAS.
+    ///
+    /// # Errors
+    ///
+    /// Any verification failure aborts with the corresponding
+    /// [`SessionError`].
+    pub fn establish(
+        &self,
+        enclave: Arc<Enclave<FilterEnclaveApp>>,
+        ias: &AttestationService,
+        nonce: [u8; 32],
+    ) -> Result<FilteringSession, SessionError> {
+        // 1. Challenge: the enclave generates its channel key inside and
+        //    quotes the binding.
+        let enclave_pub = enclave.ecall(|app| app.begin_handshake(nonce));
+        let quote = enclave.quote(report_binding(&enclave_pub, &nonce));
+
+        // 2. The controller relays the quote to the IAS (untrusted relay —
+        //    the signatures carry the trust).
+        let report = ias.verify_quote(&quote)?;
+
+        // 3. Victim-side validation: IAS countersignature, pinned
+        //    measurement, and channel-key binding.
+        self.ias_verifier
+            .validate(&report, self.config.expected_measurement)?;
+        if report.quote.report.report_data != report_binding(&enclave_pub, &nonce) {
+            return Err(SessionError::BadReportBinding);
+        }
+
+        // 4. Key agreement + channel derivation on both sides.
+        let shared = self.dh.shared_secret(&enclave_pub)?;
+        let keys = derive_session_keys(&shared, &nonce);
+        let (victim_channel, _) = SecureChannel::pair_from_secret(&shared, &nonce);
+        enclave
+            .ecall(|app| app.complete_handshake(&self.dh.public_bytes(), &nonce))
+            .map_err(SessionError::Dh)?;
+
+        let attestation_latency_ns =
+            AttestationLatencyModel::paper_default().end_to_end_ns(enclave.image().code_size());
+
+        Ok(FilteringSession {
+            enclave,
+            victim_channel,
+            keys,
+            identity: self.identity,
+            tolerance: self.config.tolerance,
+            attestation_latency_ns,
+        })
+    }
+}
+
+/// An established filtering session.
+#[derive(Debug)]
+pub struct FilteringSession {
+    enclave: Arc<Enclave<FilterEnclaveApp>>,
+    victim_channel: SecureChannel,
+    keys: SessionKeys,
+    identity: OwnerId,
+    tolerance: u64,
+    attestation_latency_ns: u64,
+}
+
+impl FilteringSession {
+    /// The attested enclave.
+    pub fn enclave(&self) -> &Arc<Enclave<FilterEnclaveApp>> {
+        &self.enclave
+    }
+
+    /// Derived session keys.
+    pub fn keys(&self) -> &SessionKeys {
+        &self.keys
+    }
+
+    /// Modeled end-to-end attestation latency (Appendix G).
+    pub fn attestation_latency_ns(&self) -> u64 {
+        self.attestation_latency_ns
+    }
+
+    /// Encodes, transmits, authorizes, and installs filter rules.
+    ///
+    /// Returns the number of rules installed.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Rpki`] if any rule filters space the victim does not
+    /// hold; channel/decoding errors if the untrusted relay tampered.
+    pub fn submit_rules(
+        &mut self,
+        rules: &[FilterRule],
+        rpki: &RpkiRegistry,
+    ) -> Result<usize, SessionError> {
+        let mut payload = Vec::with_capacity(4 + rules.len() * 29);
+        payload.extend_from_slice(&(rules.len() as u32).to_le_bytes());
+        for r in rules {
+            payload.extend_from_slice(&r.encode());
+        }
+        let frame = self.victim_channel.seal(&payload);
+
+        let identity = self.identity;
+        let rpki = rpki.clone();
+        let ack = self
+            .enclave
+            .ecall(move |app| app.receive_rules(&frame, &identity, &rpki))?;
+
+        // The enclave acks with the rule count over the channel.
+        let ack_payload = self.victim_channel.open(&ack)?;
+        let n = u32::from_le_bytes(
+            ack_payload
+                .get(..4)
+                .ok_or(SessionError::BadAck)?
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if n != rules.len() {
+            return Err(SessionError::BadAck);
+        }
+        Ok(n)
+    }
+
+    /// A victim-side verifier bound to this session's keys.
+    pub fn victim_verifier(&self) -> VictimVerifier {
+        VictimVerifier::new(self.keys.sketch_seed, self.keys.audit_key, self.tolerance)
+    }
+
+    /// A neighbor-side verifier bound to this session's keys.
+    ///
+    /// (In full generality each neighbor attests the enclave itself and
+    /// derives its own key; they share the session audit key here.)
+    pub fn neighbor_verifier(&self) -> NeighborVerifier {
+        NeighborVerifier::new(self.keys.sketch_seed, self.keys.audit_key, self.tolerance)
+    }
+
+    /// Starts a new filtering round (control-plane ECall).
+    pub fn new_round(&self) {
+        self.enclave.ecall(|app| app.new_round());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FlowPattern;
+    use vif_sgx::{AttestationRootKey, EnclaveImage, EpcConfig, SgxPlatform};
+
+    fn setup() -> (
+        Arc<Enclave<FilterEnclaveApp>>,
+        AttestationService,
+        VictimClient,
+        RpkiRegistry,
+    ) {
+        let root = AttestationRootKey::new([3u8; 32]);
+        let platform = SgxPlatform::new(7, EpcConfig::paper_default(), &root);
+        let image = EnclaveImage::new("vif-filter", 1, vec![0xAB; 1 << 20]);
+        let expected = image.measurement();
+        let enclave = Arc::new(platform.launch(image, FilterEnclaveApp::fresh([9u8; 32])));
+        let ias = AttestationService::new(root);
+        let victim = VictimClient::new(
+            [1u8; 32],
+            &[0x42; 32],
+            ias.verifier(),
+            SessionConfig {
+                expected_measurement: expected,
+                tolerance: 0,
+            },
+        );
+        let mut rpki = RpkiRegistry::new();
+        rpki.register("203.0.113.0/24".parse().unwrap(), [1u8; 32]);
+        (enclave, ias, victim, rpki)
+    }
+
+    fn rules() -> Vec<FilterRule> {
+        vec![FilterRule::drop(FlowPattern::http_to(
+            "203.0.113.0/24".parse().unwrap(),
+        ))]
+    }
+
+    #[test]
+    fn full_handshake_and_rule_install() {
+        let (enclave, ias, victim, rpki) = setup();
+        let mut session = victim
+            .establish(Arc::clone(&enclave), &ias, [0x11; 32])
+            .unwrap();
+        let n = session.submit_rules(&rules(), &rpki).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(enclave.ecall(|app| app.ruleset().len()), 1);
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let (_, ias, _, _) = setup();
+        // Launch a *different* (trojaned) image on a valid platform.
+        let root = AttestationRootKey::new([3u8; 32]);
+        let platform = SgxPlatform::new(8, EpcConfig::paper_default(), &root);
+        let evil = EnclaveImage::new("vif-filter-evil", 1, vec![0xEE; 64]);
+        let enclave = Arc::new(platform.launch(evil, FilterEnclaveApp::fresh([9u8; 32])));
+        let good_measurement = EnclaveImage::new("vif-filter", 1, vec![0xAB; 1 << 20]).measurement();
+        let victim = VictimClient::new(
+            [1u8; 32],
+            &[0x42; 32],
+            ias.verifier(),
+            SessionConfig {
+                expected_measurement: good_measurement,
+                tolerance: 0,
+            },
+        );
+        let err = victim.establish(enclave, &ias, [0x22; 32]).unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Attestation(AttestationError::MeasurementMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_root_rejected() {
+        let (_, _, _, _) = setup();
+        // Platform provisioned under a different root than the IAS.
+        let evil_root = AttestationRootKey::new([66u8; 32]);
+        let platform = SgxPlatform::new(9, EpcConfig::paper_default(), &evil_root);
+        let image = EnclaveImage::new("vif-filter", 1, vec![0xAB; 1 << 20]);
+        let enclave = Arc::new(platform.launch(image.clone(), FilterEnclaveApp::fresh([9u8; 32])));
+        let ias = AttestationService::new(AttestationRootKey::new([3u8; 32]));
+        let victim = VictimClient::new(
+            [1u8; 32],
+            &[0x42; 32],
+            ias.verifier(),
+            SessionConfig {
+                expected_measurement: image.measurement(),
+                tolerance: 0,
+            },
+        );
+        let err = victim.establish(enclave, &ias, [0x33; 32]).unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::Attestation(AttestationError::BadPlatformSignature)
+        );
+    }
+
+    #[test]
+    fn rpki_blocks_filtering_others_space() {
+        let (enclave, ias, victim, rpki) = setup();
+        let mut session = victim.establish(enclave, &ias, [0x44; 32]).unwrap();
+        let foreign = vec![FilterRule::drop(FlowPattern::http_to(
+            "198.51.100.0/24".parse().unwrap(),
+        ))];
+        let err = session.submit_rules(&foreign, &rpki).unwrap_err();
+        assert!(matches!(err, SessionError::Rpki(_)));
+        assert_eq!(session.enclave().ecall(|app| app.ruleset().len()), 0);
+    }
+
+    #[test]
+    fn verifiers_share_session_keys() {
+        let (enclave, ias, victim, rpki) = setup();
+        let mut session = victim.establish(enclave, &ias, [0x55; 32]).unwrap();
+        session.submit_rules(&rules(), &rpki).unwrap();
+        // Process a packet and audit: an honest run is clean end to end.
+        use vif_dataplane::{FiveTuple, Protocol};
+        let t = FiveTuple::new(5, u32::from_be_bytes([203, 0, 113, 8]), 999, 443, Protocol::Tcp);
+        let mut victim_verifier = session.victim_verifier();
+        session.enclave().in_enclave_thread(|app| {
+            app.process(&t, 64);
+        });
+        victim_verifier.observe(&t);
+        let export = session
+            .enclave()
+            .ecall(|app| app.export_log(crate::logs::LogDirection::Outgoing));
+        let report = victim_verifier.audit(&export).unwrap();
+        assert!(!report.bypass_detected());
+    }
+
+    #[test]
+    fn attestation_latency_modeled() {
+        let (enclave, ias, victim, _) = setup();
+        let session = victim.establish(enclave, &ias, [0x66; 32]).unwrap();
+        let s = session.attestation_latency_ns() as f64 / 1e9;
+        assert!((2.5..3.5).contains(&s), "attestation latency {s}s");
+    }
+}

@@ -1,0 +1,371 @@
+//! Bypass detection by the victim network and neighbor ASes (§III-B).
+//!
+//! Verifiers build local sketches over the traffic they observe with the
+//! same seeded hash family as the enclave and compare them against the
+//! enclave's authenticated logs:
+//!
+//! | verifier   | local stream          | enclave log     | detects                     |
+//! |------------|-----------------------|-----------------|-----------------------------|
+//! | victim     | packets received      | outgoing (5T)   | drop-after / inject-after   |
+//! | neighbor   | packets handed over   | incoming (srcIP)| drop-before                 |
+
+use crate::logs::{AuthenticatedSketch, LogDirection, LogError, PacketLogs};
+use vif_dataplane::FiveTuple;
+use vif_sketch::{compare, CompareError, CountMinSketch, SketchComparison};
+
+/// Outcome of a sketch audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BypassVerdict {
+    /// Counters matched (within tolerance): no bypass.
+    Clean,
+    /// Packets the enclave logged never arrived: *drop-after-filter*
+    /// (victim) or *drop-before-filter* (neighbor).
+    DropDetected,
+    /// Packets arrived that the enclave never logged:
+    /// *inject-after-filter*.
+    InjectionDetected,
+    /// Both directions diverged.
+    DropAndInjectionDetected,
+}
+
+/// A completed audit: verdict plus the underlying comparison.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// The verdict at the configured tolerance.
+    pub verdict: BypassVerdict,
+    /// Bin-level comparison detail.
+    pub comparison: SketchComparison,
+    /// The audited round.
+    pub round: u64,
+}
+
+impl AuditReport {
+    /// True if any bypass was detected.
+    pub fn bypass_detected(&self) -> bool {
+        self.verdict != BypassVerdict::Clean
+    }
+}
+
+/// Errors during an audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditError {
+    /// The export failed authentication or decoding.
+    Log(LogError),
+    /// The exported sketch is incomparable with the local one
+    /// (mismatched dimensions or hash seed).
+    Compare(CompareError),
+    /// The export covers a different direction than this verifier audits.
+    WrongDirection,
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Log(e) => write!(f, "log error: {e}"),
+            AuditError::Compare(e) => write!(f, "comparison error: {e}"),
+            AuditError::WrongDirection => write!(f, "export direction mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl From<LogError> for AuditError {
+    fn from(e: LogError) -> Self {
+        AuditError::Log(e)
+    }
+}
+
+impl From<CompareError> for AuditError {
+    fn from(e: CompareError) -> Self {
+        AuditError::Compare(e)
+    }
+}
+
+fn classify(comparison: &SketchComparison, tolerance: u64) -> BypassVerdict {
+    match (
+        comparison.drop_detected(tolerance),
+        comparison.injection_detected(tolerance),
+    ) {
+        (false, false) => BypassVerdict::Clean,
+        (true, false) => BypassVerdict::DropDetected,
+        (false, true) => BypassVerdict::InjectionDetected,
+        (true, true) => BypassVerdict::DropAndInjectionDetected,
+    }
+}
+
+/// The DDoS victim's verifier: sketches received traffic per 5-tuple and
+/// audits the enclave's *outgoing* log.
+#[derive(Debug, Clone)]
+pub struct VictimVerifier {
+    local: CountMinSketch,
+    audit_key: [u8; 32],
+    /// Per-bin tolerance absorbing benign loss between the filter and the
+    /// victim (see §III-B's discussion of intermediate ASes).
+    tolerance: u64,
+}
+
+impl VictimVerifier {
+    /// Creates a verifier. `sketch_seed` and `audit_key` come from the
+    /// attested session; `tolerance` is the per-bin slack.
+    pub fn new(sketch_seed: u64, audit_key: [u8; 32], tolerance: u64) -> Self {
+        VictimVerifier {
+            local: CountMinSketch::new(PacketLogs::outgoing_config(sketch_seed)),
+            audit_key,
+            tolerance,
+        }
+    }
+
+    /// Records one packet received from the filtering network.
+    pub fn observe(&mut self, t: &FiveTuple) {
+        self.local.add(&t.encode(), 1);
+    }
+
+    /// Audits the enclave's outgoing log against local observations.
+    ///
+    /// # Errors
+    ///
+    /// See [`AuditError`].
+    pub fn audit(&self, export: &AuthenticatedSketch) -> Result<AuditReport, AuditError> {
+        if export.direction != LogDirection::Outgoing {
+            return Err(AuditError::WrongDirection);
+        }
+        let enclave_sketch = export.verify(&self.audit_key)?;
+        let comparison = compare(&enclave_sketch, &self.local)?;
+        Ok(AuditReport {
+            verdict: classify(&comparison, self.tolerance),
+            comparison,
+            round: export.round,
+        })
+    }
+
+    /// Clears local observations for a new round.
+    pub fn new_round(&mut self) {
+        self.local.clear();
+    }
+}
+
+/// A neighbor AS's verifier: sketches the traffic it delivered to the
+/// filtering network per source IP and audits the *incoming* log.
+#[derive(Debug, Clone)]
+pub struct NeighborVerifier {
+    local: CountMinSketch,
+    audit_key: [u8; 32],
+    tolerance: u64,
+}
+
+impl NeighborVerifier {
+    /// Creates a neighbor verifier (same parameters as the victim's).
+    pub fn new(sketch_seed: u64, audit_key: [u8; 32], tolerance: u64) -> Self {
+        NeighborVerifier {
+            local: CountMinSketch::new(PacketLogs::incoming_config(sketch_seed)),
+            audit_key,
+            tolerance,
+        }
+    }
+
+    /// Records one packet this neighbor handed to the filtering network.
+    pub fn observe(&mut self, t: &FiveTuple) {
+        self.local.add(&t.src_ip.to_be_bytes(), 1);
+    }
+
+    /// Audits the enclave's incoming log: counters for *this neighbor's*
+    /// sources lower than local counts indicate *drop-before-filter*.
+    ///
+    /// Note the asymmetry: the incoming log also counts other neighbors'
+    /// traffic, so only *missing* packets (local > enclave) are evidence —
+    /// excess is expected and ignored.
+    ///
+    /// # Errors
+    ///
+    /// See [`AuditError`].
+    pub fn audit(&self, export: &AuthenticatedSketch) -> Result<AuditReport, AuditError> {
+        if export.direction != LogDirection::Incoming {
+            return Err(AuditError::WrongDirection);
+        }
+        let enclave_sketch = export.verify(&self.audit_key)?;
+        // Reference = local (what was sent); observed = enclave log.
+        let comparison = compare(&self.local, &enclave_sketch)?;
+        let verdict = if comparison.drop_detected(self.tolerance) {
+            BypassVerdict::DropDetected
+        } else {
+            BypassVerdict::Clean
+        };
+        Ok(AuditReport {
+            verdict,
+            comparison,
+            round: export.round,
+        })
+    }
+
+    /// Clears local observations for a new round.
+    pub fn new_round(&mut self) {
+        self.local.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vif_dataplane::Protocol;
+
+    const SEED: u64 = 77;
+    const KEY: [u8; 32] = [5u8; 32];
+
+    fn tuple(i: u32) -> FiveTuple {
+        FiveTuple::new(0x0a000000 + i, 42, 1, 80, Protocol::Tcp)
+    }
+
+    #[test]
+    fn honest_run_is_clean_for_both_verifiers() {
+        let mut logs = PacketLogs::new(SEED);
+        let mut victim = VictimVerifier::new(SEED, KEY, 0);
+        let mut neighbor = NeighborVerifier::new(SEED, KEY, 0);
+        for i in 0..500 {
+            let t = tuple(i);
+            neighbor.observe(&t);
+            logs.log_incoming(&t);
+            logs.log_outgoing(&t); // filter allows everything here
+            victim.observe(&t);
+        }
+        let v = victim.audit(&logs.export(LogDirection::Outgoing, &KEY)).unwrap();
+        assert_eq!(v.verdict, BypassVerdict::Clean);
+        let n = neighbor.audit(&logs.export(LogDirection::Incoming, &KEY)).unwrap();
+        assert_eq!(n.verdict, BypassVerdict::Clean);
+    }
+
+    #[test]
+    fn drop_after_filter_detected_by_victim() {
+        let mut logs = PacketLogs::new(SEED);
+        let mut victim = VictimVerifier::new(SEED, KEY, 0);
+        for i in 0..100 {
+            let t = tuple(i);
+            logs.log_incoming(&t);
+            logs.log_outgoing(&t);
+            if i >= 20 {
+                victim.observe(&t); // host silently dropped 20 packets
+            }
+        }
+        let report = victim.audit(&logs.export(LogDirection::Outgoing, &KEY)).unwrap();
+        assert_eq!(report.verdict, BypassVerdict::DropDetected);
+        assert!(report.bypass_detected());
+    }
+
+    #[test]
+    fn injection_after_filter_detected_by_victim() {
+        let mut logs = PacketLogs::new(SEED);
+        let mut victim = VictimVerifier::new(SEED, KEY, 0);
+        for i in 0..100 {
+            let t = tuple(i);
+            logs.log_incoming(&t);
+            // Filter drops everything; logs no outgoing packets.
+            let _ = t;
+        }
+        // Host injects the "dropped" packets anyway.
+        for i in 0..100 {
+            victim.observe(&tuple(i));
+        }
+        let report = victim.audit(&logs.export(LogDirection::Outgoing, &KEY)).unwrap();
+        assert_eq!(report.verdict, BypassVerdict::InjectionDetected);
+    }
+
+    #[test]
+    fn drop_and_injection_both_flagged() {
+        let mut logs = PacketLogs::new(SEED);
+        let mut victim = VictimVerifier::new(SEED, KEY, 0);
+        for i in 0..100 {
+            let t = tuple(i);
+            logs.log_incoming(&t);
+            logs.log_outgoing(&t);
+            if i < 50 {
+                victim.observe(&t);
+            }
+        }
+        victim.observe(&tuple(9999)); // injected flow
+        let report = victim.audit(&logs.export(LogDirection::Outgoing, &KEY)).unwrap();
+        assert_eq!(report.verdict, BypassVerdict::DropAndInjectionDetected);
+    }
+
+    #[test]
+    fn drop_before_filter_detected_by_neighbor() {
+        let mut logs = PacketLogs::new(SEED);
+        let mut neighbor = NeighborVerifier::new(SEED, KEY, 0);
+        for i in 0..100 {
+            let t = tuple(i);
+            neighbor.observe(&t);
+            // The filtering network drops 30 packets before the filter.
+            if i >= 30 {
+                logs.log_incoming(&t);
+            }
+        }
+        let report = neighbor.audit(&logs.export(LogDirection::Incoming, &KEY)).unwrap();
+        assert_eq!(report.verdict, BypassVerdict::DropDetected);
+    }
+
+    #[test]
+    fn other_neighbors_traffic_not_flagged_as_injection() {
+        let mut logs = PacketLogs::new(SEED);
+        let mut neighbor = NeighborVerifier::new(SEED, KEY, 0);
+        for i in 0..50 {
+            let t = tuple(i);
+            neighbor.observe(&t);
+            logs.log_incoming(&t);
+        }
+        // Another neighbor's traffic also reaches the filter.
+        for i in 1000..1500 {
+            logs.log_incoming(&tuple(i));
+        }
+        let report = neighbor.audit(&logs.export(LogDirection::Incoming, &KEY)).unwrap();
+        assert_eq!(report.verdict, BypassVerdict::Clean);
+    }
+
+    #[test]
+    fn tolerance_absorbs_benign_loss() {
+        let mut logs = PacketLogs::new(SEED);
+        let mut victim = VictimVerifier::new(SEED, KEY, 2);
+        for i in 0..1000 {
+            let t = tuple(i);
+            logs.log_outgoing(&t);
+            if i % 400 != 0 {
+                victim.observe(&t); // ~0.25% benign path loss
+            }
+        }
+        let report = victim.audit(&logs.export(LogDirection::Outgoing, &KEY)).unwrap();
+        assert_eq!(report.verdict, BypassVerdict::Clean);
+    }
+
+    #[test]
+    fn wrong_direction_rejected() {
+        let logs = PacketLogs::new(SEED);
+        let victim = VictimVerifier::new(SEED, KEY, 0);
+        let err = victim
+            .audit(&logs.export(LogDirection::Incoming, &KEY))
+            .unwrap_err();
+        assert_eq!(err, AuditError::WrongDirection);
+    }
+
+    #[test]
+    fn forged_export_rejected() {
+        let mut logs = PacketLogs::new(SEED);
+        logs.log_outgoing(&tuple(1));
+        let victim = VictimVerifier::new(SEED, KEY, 0);
+        let mut export = logs.export(LogDirection::Outgoing, &KEY);
+        export.payload[33] ^= 0xFF;
+        assert!(matches!(
+            victim.audit(&export),
+            Err(AuditError::Log(LogError::BadTag))
+        ));
+    }
+
+    #[test]
+    fn seed_mismatch_incomparable() {
+        let mut logs = PacketLogs::new(SEED);
+        logs.log_outgoing(&tuple(1));
+        let victim = VictimVerifier::new(SEED + 1, KEY, 0);
+        let export = logs.export(LogDirection::Outgoing, &KEY);
+        assert!(matches!(
+            victim.audit(&export),
+            Err(AuditError::Compare(CompareError::ConfigMismatch))
+        ));
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the core filtering semantics.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vif_core::prelude::*;
+use vif_core::rules::RuleAction;
+use vif_trie::Ipv4Prefix;
+
+fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+    )
+        .prop_map(|(s, d, sp, dp, pr)| FiveTuple::new(s, d, sp, dp, Protocol::from(pr)))
+}
+
+fn arb_pattern() -> impl Strategy<Value = FlowPattern> {
+    (
+        any::<u32>(),
+        0u8..=32,
+        any::<u32>(),
+        0u8..=32,
+        any::<u16>(),
+        any::<u16>(),
+        proptest::option::of(any::<u8>()),
+    )
+        .prop_map(|(sa, sl, da, dl, p1, p2, proto)| {
+            let mut pat = FlowPattern::prefixes(Ipv4Prefix::new(sa, sl), Ipv4Prefix::new(da, dl))
+                .with_src_port(vif_core::rules::PortRange::new(p1.min(p2), p1.max(p2)));
+            if let Some(pr) = proto {
+                pat = pat.with_protocol(Protocol::from(pr));
+            }
+            pat
+        })
+}
+
+fn arb_rule() -> impl Strategy<Value = FilterRule> {
+    (arb_pattern(), 0u8..=2, 0.0f64..=1.0).prop_map(|(pat, kind, frac)| match kind {
+        0 => FilterRule::drop(pat),
+        1 => FilterRule::allow(pat),
+        _ => FilterRule::drop_fraction(pat, frac),
+    })
+}
+
+proptest! {
+    /// Rule wire encoding round-trips for arbitrary rules.
+    #[test]
+    fn rule_codec_roundtrip(rule in arb_rule()) {
+        let decoded = FilterRule::decode(&rule.encode()).unwrap();
+        prop_assert_eq!(decoded, rule);
+    }
+
+    /// §III-A statelessness: the verdict for a packet is independent of the
+    /// order of evaluation and of any interleaved (injected) packets.
+    #[test]
+    fn filter_is_stateless(
+        rules in vec(arb_rule(), 0..20),
+        packets in vec(arb_tuple(), 1..60),
+        injected in vec(arb_tuple(), 0..30),
+    ) {
+        let filter = StatelessFilter::new(RuleSet::from_rules(rules), [7u8; 32]);
+        let forward: Vec<RuleAction> = packets.iter().map(|t| filter.decide(t).action).collect();
+        // Evaluate in reverse with injected noise between every packet.
+        let mut backward = vec![RuleAction::Allow; packets.len()];
+        for (i, t) in packets.iter().enumerate().rev() {
+            for inj in &injected {
+                let _ = filter.decide(inj);
+            }
+            backward[i] = filter.decide(t).action;
+        }
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Classification returns a rule whose pattern actually matches, and
+    /// never misses when some rule matches.
+    #[test]
+    fn classify_sound_and_complete(
+        rules in vec(arb_rule(), 0..25),
+        probe in arb_tuple(),
+    ) {
+        let rs = RuleSet::from_rules(rules.clone());
+        match rs.classify(&probe) {
+            Some(id) => prop_assert!(rs.rule(id).pattern().matches(&probe)),
+            None => {
+                for (i, r) in rules.iter().enumerate() {
+                    prop_assert!(
+                        !r.pattern().matches(&probe),
+                        "rule {i} matches but classify returned None"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Classification prefers exact rules, then the longest matching source
+    /// prefix (against a brute-force reference).
+    #[test]
+    fn classify_precedence(rules in vec(arb_rule(), 1..25), probe in arb_tuple()) {
+        let rs = RuleSet::from_rules(rules.clone());
+        if let Some(id) = rs.classify(&probe) {
+            let chosen = &rules[id as usize];
+            if !chosen.pattern().is_exact() {
+                // No exact rule may match.
+                for r in &rules {
+                    if r.pattern().is_exact() {
+                        prop_assert!(!r.pattern().matches(&probe));
+                    }
+                }
+                // No matching coarse rule may have a longer src prefix.
+                for r in &rules {
+                    if !r.pattern().is_exact() && r.pattern().matches(&probe) {
+                        prop_assert!(r.pattern().src.len() <= chosen.pattern().src.len());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hybrid promotion never changes a verdict.
+    #[test]
+    fn hybrid_verdicts_stable(
+        frac in 0.0f64..=1.0,
+        flows in vec(arb_tuple(), 1..80),
+    ) {
+        let pattern = FlowPattern::prefixes(
+            Ipv4Prefix::default_route(),
+            Ipv4Prefix::default_route(),
+        );
+        let inner = StatelessFilter::new(
+            RuleSet::from_rules([FilterRule::drop_fraction(pattern, frac)]),
+            [3u8; 32],
+        );
+        let baseline: Vec<RuleAction> = flows.iter().map(|t| inner.decide(t).action).collect();
+        let mut hybrid = HybridFilter::new(inner, 1000);
+        for (t, want) in flows.iter().zip(&baseline) {
+            prop_assert_eq!(&hybrid.decide(t).action, want);
+        }
+        hybrid.apply_update_period();
+        for (t, want) in flows.iter().zip(&baseline) {
+            prop_assert_eq!(&hybrid.decide(t).action, want);
+        }
+    }
+
+    /// Realized drop fraction of probabilistic rules tracks the request
+    /// over many distinct flows.
+    #[test]
+    fn drop_fraction_statistics(frac in 0.05f64..0.95) {
+        let pattern = FlowPattern::prefixes(
+            Ipv4Prefix::default_route(),
+            Ipv4Prefix::default_route(),
+        );
+        let filter = StatelessFilter::new(
+            RuleSet::from_rules([FilterRule::drop_fraction(pattern, frac)]),
+            [5u8; 32],
+        );
+        let n = 4000u32;
+        let dropped = (0..n)
+            .filter(|i| {
+                let t = FiveTuple::new(*i, !i, 1, 2, Protocol::Udp);
+                filter.decide(&t).action == RuleAction::Drop
+            })
+            .count();
+        let rate = dropped as f64 / n as f64;
+        prop_assert!((rate - frac).abs() < 0.05, "requested {frac}, realized {rate}");
+    }
+}

@@ -1,0 +1,572 @@
+//! Arbitrary-precision unsigned integers, sized for Diffie-Hellman.
+//!
+//! Little-endian `u64` limb representation, schoolbook multiplication and
+//! Knuth Algorithm D division — ample for the handful of 2048-bit modular
+//! exponentiations performed per attestation/channel setup. Not intended as
+//! a general-purpose bignum library.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Internally normalized: no trailing (most-significant) zero limbs, and the
+/// value zero is represented by an empty limb vector.
+///
+/// # Example
+///
+/// ```
+/// use vif_crypto::bignum::BigUint;
+/// let a = BigUint::from_u64(7);
+/// let m = BigUint::from_u64(13);
+/// // 7^5 mod 13 = 16807 mod 13 = 11
+/// assert_eq!(a.mod_exp(&BigUint::from_u64(5), &m), BigUint::from_u64(11));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; normalized (no high zero limbs).
+    limbs: Vec<u64>,
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", crate::hex::encode(&self.to_be_bytes()))
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", crate::hex::encode(&self.to_be_bytes()))
+    }
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Constructs from big-endian bytes (leading zeros allowed).
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serializes to minimal-length big-endian bytes (empty for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        // Strip leading zero bytes.
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, left-padded with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_be_bytes();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(longer.len() + 1);
+        let mut carry = 0u64;
+        for (i, &a) in longer.iter().enumerate() {
+            let b = shorter.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Subtraction (`self - other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "bignum subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, c1) = self.limbs[i].overflowing_sub(b);
+            let (d2, c2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (c1 as u64) + (c2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = src
+                    .get(i + 1)
+                    .map(|&n| n << (64 - bit_shift))
+                    .unwrap_or(0);
+                out.push(lo | hi);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Division with remainder: returns `(self / divisor, self % divisor)`.
+    ///
+    /// Implements Knuth TAOCP vol. 2 Algorithm D with 64-bit limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            // Single-limb fast path.
+            let d = divisor.limbs[0] as u128;
+            let mut rem = 0u128;
+            let mut q = vec![0u64; self.limbs.len()];
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d) as u64;
+                rem = cur % d;
+            }
+            let mut quot = BigUint { limbs: q };
+            quot.normalize();
+            return (quot, BigUint::from_u64(rem as u64));
+        }
+
+        // Algorithm D. Normalize so the top divisor limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let v = divisor.shl(shift).limbs;
+        let mut u = self.shl(shift).limbs;
+        let n = v.len();
+        u.push(0); // u gains one extra high limb
+        let m = u.len() - n - 1;
+        let mut q = vec![0u64; m + 1];
+        let b: u128 = 1u128 << 64;
+
+        for j in (0..=m).rev() {
+            // Estimate q̂.
+            let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = top / v[n - 1] as u128;
+            let mut rhat = top % v[n - 1] as u128;
+            while qhat >= b
+                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v[n - 1] as u128;
+                if rhat >= b {
+                    break;
+                }
+            }
+            // Multiply and subtract: u[j..j+n+1] -= qhat * v.
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let product = qhat * v[i] as u128 + carry;
+                carry = product >> 64;
+                let sub = (product as u64) as i128;
+                let t = u[j + i] as i128 - sub - borrow;
+                if t < 0 {
+                    u[j + i] = (t + b as i128) as u64;
+                    borrow = 1;
+                } else {
+                    u[j + i] = t as u64;
+                    borrow = 0;
+                }
+            }
+            let t = u[j + n] as i128 - carry as i128 - borrow;
+            if t < 0 {
+                // q̂ was one too large: add back.
+                u[j + n] = (t + b as i128) as u64;
+                qhat -= 1;
+                let mut carry2 = 0u64;
+                for i in 0..n {
+                    let (s1, c1) = u[j + i].overflowing_add(v[i]);
+                    let (s2, c2) = s1.overflowing_add(carry2);
+                    u[j + i] = s2;
+                    carry2 = (c1 as u64) + (c2 as u64);
+                }
+                u[j + n] = u[j + n].wrapping_add(carry2);
+            } else {
+                u[j + n] = t as u64;
+            }
+            q[j] = qhat as u64;
+        }
+
+        let mut quotient = BigUint { limbs: q };
+        quotient.normalize();
+        let mut remainder = BigUint { limbs: u[..n].to_vec() };
+        remainder.normalize();
+        (quotient, remainder.shr(shift))
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular multiplication: `(self * other) mod modulus`.
+    pub fn mod_mul(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.mul(other).rem(modulus)
+    }
+
+    /// Modular exponentiation `self^exponent mod modulus` via left-to-right
+    /// square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn mod_exp(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        if modulus == &BigUint::one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let base = self.rem(modulus);
+        let bits = exponent.bit_len();
+        for i in (0..bits).rev() {
+            result = result.mod_mul(&result, modulus);
+            if exponent.bit(i) {
+                result = result.mod_mul(&base, modulus);
+            }
+        }
+        result
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        let mut n = BigUint {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
+        n.normalize();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let cases: [&[u8]; 5] = [b"", b"\x01", b"\xff\xff", b"\x00\x00\x07", b"\x12\x34\x56\x78\x9a\xbc\xde\xf0\x11"];
+        for c in cases {
+            let n = BigUint::from_be_bytes(c);
+            let expected: Vec<u8> = {
+                let first = c.iter().position(|&b| b != 0).unwrap_or(c.len());
+                c[first..].to_vec()
+            };
+            assert_eq!(n.to_be_bytes(), expected);
+        }
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let n = big(0x1234);
+        assert_eq!(n.to_be_bytes_padded(4), vec![0, 0, 0x12, 0x34]);
+        assert_eq!(BigUint::zero().to_be_bytes_padded(2), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_too_small() {
+        big(0x123456).to_be_bytes_padded(2);
+    }
+
+    #[test]
+    fn add_sub_roundtrip_u128() {
+        let pairs = [(0u128, 0u128), (1, 1), (u128::MAX, 1), (1 << 64, 1 << 64), (u128::MAX, u128::MAX)];
+        for (a, b) in pairs {
+            let s = big(a).add(&big(b));
+            assert_eq!(s.sub(&big(b)), big(a));
+            assert_eq!(s.sub(&big(a)), big(b));
+        }
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(big(12).mul(&big(10)), big(120));
+        assert_eq!(big(u64::MAX as u128).mul(&big(u64::MAX as u128)), big((u64::MAX as u128) * (u64::MAX as u128)));
+        assert_eq!(big(0).mul(&big(55)), BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = big(100).div_rem(&big(7));
+        assert_eq!((q, r), (big(14), big(2)));
+        let (q, r) = big(5).div_rem(&big(7));
+        assert_eq!((q, r), (BigUint::zero(), big(5)));
+        let (q, r) = big(7).div_rem(&big(7));
+        assert_eq!((q, r), (BigUint::one(), BigUint::zero()));
+    }
+
+    #[test]
+    fn div_rem_u128_cross_check() {
+        let samples = [
+            (u128::MAX, 3u128),
+            (u128::MAX, u64::MAX as u128),
+            ((1u128 << 127) + 12345, (1u128 << 63) + 7),
+            (0xdeadbeef_cafebabe_1234_5678u128, 0xffff_ffffu128),
+        ];
+        for (a, b) in samples {
+            let (q, r) = big(a).div_rem(&big(b));
+            assert_eq!(q, big(a / b), "quotient for {a}/{b}");
+            assert_eq!(r, big(a % b), "remainder for {a}%{b}");
+        }
+    }
+
+    #[test]
+    fn div_rem_multi_limb_reconstruction() {
+        // (q * d + r) == n and r < d for large random-ish values.
+        let n = BigUint::from_be_bytes(&[0xab; 96]);
+        let d = BigUint::from_be_bytes(&[0x37; 40]);
+        let (q, r) = n.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(q.mul(&d).add(&r), n);
+    }
+
+    #[test]
+    fn div_rem_triggers_addback_path() {
+        // Constructed case where the q̂ estimate overshoots (Knuth D6).
+        let n = BigUint::from_be_bytes(&[
+            0x80, 0, 0, 0, 0, 0, 0, 0, // high limb 2^63
+            0, 0, 0, 0, 0, 0, 0, 0,
+            0, 0, 0, 0, 0, 0, 0, 1,
+        ]);
+        let d = BigUint::from_be_bytes(&[
+            0x80, 0, 0, 0, 0, 0, 0, 0,
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        ]);
+        let (q, r) = n.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(q.mul(&d).add(&r), n);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(big(1).shl(64), BigUint { limbs: vec![0, 1] });
+        assert_eq!(big(1 << 70 >> 0).shr(70), big(1));
+        assert_eq!(big(0xF0).shr(4), big(0xF));
+        assert_eq!(big(0xF0).shl(4), big(0xF00));
+        assert_eq!(BigUint::zero().shl(100), BigUint::zero());
+        assert_eq!(big(5).shr(3), BigUint::zero());
+    }
+
+    #[test]
+    fn mod_exp_known_values() {
+        assert_eq!(big(2).mod_exp(&big(10), &big(1000)), big(24));
+        assert_eq!(big(3).mod_exp(&big(0), &big(7)), big(1));
+        assert_eq!(big(0).mod_exp(&big(5), &big(7)), BigUint::zero());
+        assert_eq!(big(10).mod_exp(&big(5), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn mod_exp_fermat() {
+        // a^(p-1) ≡ 1 mod p for prime p and gcd(a,p)=1.
+        let p = big(1_000_000_007);
+        for a in [2u128, 3, 12345, 999_999_937] {
+            assert_eq!(big(a).mod_exp(&p.sub(&BigUint::one()), &p), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(5) < big(6));
+        assert!(BigUint::from_be_bytes(&[1, 0, 0, 0, 0, 0, 0, 0, 0]) > big(u64::MAX as u128));
+        assert_eq!(big(42).cmp(&big(42)), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let n = big(0b1010);
+        assert!(!n.bit(0));
+        assert!(n.bit(1));
+        assert!(!n.bit(2));
+        assert!(n.bit(3));
+        assert!(!n.bit(400));
+        assert_eq!(n.bit_len(), 4);
+        assert_eq!(BigUint::zero().bit_len(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Finite-field Diffie-Hellman key agreement.
+//!
+//! Stands in for the ECDHE handshake of the TLS channel the paper
+//! establishes between a DDoS victim and an attested enclave (§VI-B). The
+//! default group is the RFC 3526 2048-bit MODP group (group 14) with 256-bit
+//! exponents; a tiny well-known group is provided for fast unit tests.
+
+use crate::bignum::BigUint;
+
+/// RFC 3526 group 14 prime (2048-bit MODP), hexadecimal big-endian.
+const MODP_2048_HEX: &str = concat!(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1",
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD",
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245",
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED",
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D",
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F",
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D",
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B",
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9",
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510",
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF"
+);
+
+/// A Diffie-Hellman group: a prime modulus `p` and generator `g`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhGroup {
+    p: BigUint,
+    g: BigUint,
+    /// Secret exponent size in bytes.
+    exponent_len: usize,
+}
+
+impl DhGroup {
+    /// The RFC 3526 2048-bit MODP group (group 14), generator 2, with
+    /// 256-bit private exponents (standard practice for this group).
+    pub fn modp_2048() -> Self {
+        DhGroup {
+            p: BigUint::from_be_bytes(&crate::hex::decode(MODP_2048_HEX).expect("static hex")),
+            g: BigUint::from_u64(2),
+            exponent_len: 32,
+        }
+    }
+
+    /// A tiny toy group for unit tests (p = 2^61 - 1 is *not* a safe prime;
+    /// never use outside tests). Exponents are 8 bytes.
+    pub fn tiny_test_group() -> Self {
+        DhGroup {
+            p: BigUint::from_u64((1u64 << 61) - 1),
+            g: BigUint::from_u64(5),
+            exponent_len: 8,
+        }
+    }
+
+    /// The group modulus.
+    pub fn prime(&self) -> &BigUint {
+        &self.p
+    }
+
+    /// The group generator.
+    pub fn generator(&self) -> &BigUint {
+        &self.g
+    }
+
+    /// Generates a key pair from caller-provided secret bytes.
+    ///
+    /// The secret is reduced into `[2, p-2]`. Deterministic for testing;
+    /// callers wanting fresh keys pass RNG output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secret` is shorter than the group's exponent length.
+    pub fn key_pair_from_secret(&self, secret: &[u8]) -> DhKeyPair {
+        assert!(
+            secret.len() >= self.exponent_len,
+            "need at least {} secret bytes",
+            self.exponent_len
+        );
+        let two = BigUint::from_u64(2);
+        let span = self.p.sub(&BigUint::from_u64(4)); // exponent range size
+        let x = BigUint::from_be_bytes(&secret[..self.exponent_len])
+            .rem(&span)
+            .add(&two);
+        let public = self.g.mod_exp(&x, &self.p);
+        DhKeyPair {
+            group: self.clone(),
+            secret: x,
+            public,
+        }
+    }
+
+    /// Expected serialized public-key length in bytes.
+    pub fn public_len(&self) -> usize {
+        self.p.bit_len().div_ceil(8)
+    }
+}
+
+/// A Diffie-Hellman key pair bound to a [`DhGroup`].
+#[derive(Debug, Clone)]
+pub struct DhKeyPair {
+    group: DhGroup,
+    secret: BigUint,
+    public: BigUint,
+}
+
+impl DhKeyPair {
+    /// The public value `g^x mod p`, fixed-width big-endian.
+    pub fn public_bytes(&self) -> Vec<u8> {
+        self.public.to_be_bytes_padded(self.group.public_len())
+    }
+
+    /// Computes the shared secret with a peer's public value.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the peer value is not in the valid range
+    /// `[2, p-2]` (rejecting the degenerate subgroup elements 0, 1, p-1).
+    pub fn shared_secret(&self, peer_public: &[u8]) -> Result<Vec<u8>, DhError> {
+        let y = BigUint::from_be_bytes(peer_public);
+        let two = BigUint::from_u64(2);
+        let p_minus_1 = self.group.p.sub(&BigUint::one());
+        if y < two || y >= p_minus_1 {
+            return Err(DhError::InvalidPeerPublic);
+        }
+        let z = y.mod_exp(&self.secret, &self.group.p);
+        Ok(z.to_be_bytes_padded(self.group.public_len()))
+    }
+}
+
+/// Errors from Diffie-Hellman key agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DhError {
+    /// The peer's public value was outside `[2, p-2]`.
+    InvalidPeerPublic,
+}
+
+impl std::fmt::Display for DhError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DhError::InvalidPeerPublic => write!(f, "peer public value out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DhError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_group_agreement() {
+        let g = DhGroup::tiny_test_group();
+        let a = g.key_pair_from_secret(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = g.key_pair_from_secret(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        let s1 = a.shared_secret(&b.public_bytes()).unwrap();
+        let s2 = b.shared_secret(&a.public_bytes()).unwrap();
+        assert_eq!(s1, s2);
+        assert!(!s1.is_empty());
+    }
+
+    #[test]
+    fn modp2048_agreement() {
+        let g = DhGroup::modp_2048();
+        let a = g.key_pair_from_secret(&[0x11; 32]);
+        let b = g.key_pair_from_secret(&[0x22; 32]);
+        let s1 = a.shared_secret(&b.public_bytes()).unwrap();
+        let s2 = b.shared_secret(&a.public_bytes()).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 256);
+    }
+
+    #[test]
+    fn rejects_degenerate_peer_values() {
+        let g = DhGroup::tiny_test_group();
+        let a = g.key_pair_from_secret(&[9; 8]);
+        let p_minus_1 = g.prime().sub(&BigUint::one());
+        for bad in [
+            BigUint::zero(),
+            BigUint::one(),
+            p_minus_1,
+        ] {
+            let bytes = bad.to_be_bytes_padded(g.public_len());
+            assert_eq!(a.shared_secret(&bytes), Err(DhError::InvalidPeerPublic));
+        }
+    }
+
+    #[test]
+    fn different_secrets_different_publics() {
+        let g = DhGroup::tiny_test_group();
+        let a = g.key_pair_from_secret(&[1; 8]);
+        let b = g.key_pair_from_secret(&[2; 8]);
+        assert_ne!(a.public_bytes(), b.public_bytes());
+    }
+
+    #[test]
+    fn public_len_matches() {
+        let g = DhGroup::modp_2048();
+        assert_eq!(g.public_len(), 256);
+        let a = g.key_pair_from_secret(&[0x55; 32]);
+        assert_eq!(a.public_bytes().len(), 256);
+    }
+}

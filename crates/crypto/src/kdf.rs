@@ -1,0 +1,96 @@
+//! RFC 5869 HKDF (HMAC-based key derivation).
+//!
+//! Used to derive directional channel keys (encryption + MAC, each way) from
+//! the Diffie-Hellman shared secret established between a DDoS victim and an
+//! attested VIF enclave (paper §VI-B: "establishes a secure channel with the
+//! enclaves (e.g., TLS channels)").
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    HmacSha256::mac(salt, ikm)
+}
+
+/// HKDF-Expand: expands `prk` into `out_len` bytes of output keying material.
+///
+/// # Panics
+///
+/// Panics if `out_len > 255 * 32` (the RFC 5869 limit).
+pub fn hkdf_expand(prk: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * DIGEST_LEN, "hkdf output length too large");
+    let mut out = Vec::with_capacity(out_len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < out_len {
+        let mut h = HmacSha256::new(prk);
+        h.update(&previous);
+        h.update(info);
+        h.update(&[counter]);
+        let block = h.finalize();
+        let take = (out_len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&block[..take]);
+        previous = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+    out
+}
+
+/// Convenience: extract-then-expand in one call.
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    let prk = hkdf_extract(salt, ikm);
+    hkdf_expand(&prk, info, out_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            hex::encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            hex::encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0b; 22];
+        let okm = hkdf(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex::encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_multiple_blocks() {
+        let prk = hkdf_extract(b"salt", b"ikm");
+        let okm = hkdf_expand(&prk, b"info", 100);
+        assert_eq!(okm.len(), 100);
+        // Prefix property: shorter outputs are prefixes of longer ones.
+        let short = hkdf_expand(&prk, b"info", 32);
+        assert_eq!(&okm[..32], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hkdf output length too large")]
+    fn expand_rejects_oversize() {
+        let prk = [0u8; 32];
+        let _ = hkdf_expand(&prk, b"", 255 * 32 + 1);
+    }
+}

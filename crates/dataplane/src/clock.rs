@@ -1,0 +1,68 @@
+//! Simulated time.
+
+/// A simulated nanosecond clock.
+///
+/// All data-plane experiments run in simulated time: per-packet costs
+/// advance this clock, so results are deterministic and independent of the
+/// host machine. (This also mirrors the paper's security argument: the
+/// enclave's clock is untrusted, §III-A, so filter decisions never read it —
+/// only measurement code does.)
+///
+/// # Example
+///
+/// ```
+/// use vif_dataplane::SimClock;
+/// let mut c = SimClock::new();
+/// c.advance(1_500);
+/// assert_eq!(c.now_ns(), 1_500);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now_ns: u64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        SimClock { now_ns: 0 }
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances time by `delta_ns`.
+    pub fn advance(&mut self, delta_ns: u64) {
+        self.now_ns += delta_ns;
+    }
+
+    /// Moves the clock forward to `t_ns` if `t_ns` is later; returns the
+    /// new current time. Time never moves backwards.
+    pub fn advance_to(&mut self, t_ns: u64) -> u64 {
+        self.now_ns = self.now_ns.max(t_ns);
+        self.now_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now_ns(), 15);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut c = SimClock::new();
+        c.advance(100);
+        assert_eq!(c.advance_to(50), 100);
+        assert_eq!(c.advance_to(150), 150);
+    }
+}

@@ -1,0 +1,53 @@
+//! # vif-dataplane
+//!
+//! A DPDK-style packet-processing substrate, replacing the paper's
+//! DPDK 17.05 + 10 GbE testbed (§V-A/V-B) with a deterministic simulation:
+//!
+//! - [`packet`]: five-tuples, protocols, and lightweight packets — the
+//!   "5T + size" representation at the heart of the near-zero-copy design,
+//! - [`mbuf`]: message buffers and a fixed-capacity packet memory pool
+//!   (the untrusted host-side pool of Fig. 7),
+//! - [`ring`]: bounded lock-free rings with DPDK-style burst enqueue /
+//!   dequeue (RX ring, DROP ring, TX ring),
+//! - [`nic`]: 10 GbE line-rate arithmetic including Ethernet preamble and
+//!   inter-frame gap (why 64 B line rate is 14.88 Mpps),
+//! - [`pktgen`]: a pktgen-dpdk-style traffic generator (constant bit rate,
+//!   weighted flow mixes, lognormal flow sizes),
+//! - [`pipeline`]: the RX → filter → TX tandem pipeline run in *simulated
+//!   time*: per-stage costs advance a virtual clock, reproducing
+//!   saturation, batching, and queueing behavior deterministically,
+//! - [`clock`]: the simulated clock.
+//!
+//! The per-packet *costs* that drive the pipeline are supplied by the
+//! caller (see `vif-core`'s cost model, which combines SGX transition
+//! costs, EPC paging, sketch updates, and rule lookup): this crate is
+//! policy-free.
+//!
+//! # Example
+//!
+//! ```
+//! use vif_dataplane::nic::LineRate;
+//! // 64-byte frames on 10 GbE: the classic 14.88 Mpps.
+//! let mpps = LineRate::TEN_GBE.max_pps(64) / 1e6;
+//! assert!((14.8..14.9).contains(&mpps));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod mbuf;
+pub mod nic;
+pub mod packet;
+pub mod pipeline;
+pub mod pktgen;
+pub mod ring;
+pub mod threaded;
+
+pub use clock::SimClock;
+pub use mbuf::{Mbuf, MemPool};
+pub use nic::LineRate;
+pub use packet::{FiveTuple, Packet, Protocol};
+pub use pipeline::{PacketStage, PipelineConfig, PipelineReport, StageOutcome, StageVerdict};
+pub use pktgen::{FlowSet, TrafficConfig, TrafficGenerator};
+pub use ring::Ring;

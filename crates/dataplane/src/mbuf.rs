@@ -1,0 +1,220 @@
+//! Message buffers and the untrusted packet memory pool.
+//!
+//! In the paper's near-zero-copy design (Fig. 7b), full packets stay in an
+//! *untrusted* host memory pool; only `⟨5T, size⟩` plus a memory reference
+//! enter the enclave. [`MemPool`] models that pool: fixed capacity,
+//! explicit allocate/free, and reference handles ([`MbufRef`]) standing in
+//! for the `*` pointer the enclave returns with its allow/drop verdict.
+
+use crate::packet::FiveTuple;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A packet buffer: headers (five-tuple), wire size, and payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mbuf {
+    /// Flow identifier parsed from the headers.
+    pub tuple: FiveTuple,
+    /// Frame size on the wire.
+    pub wire_size: u16,
+    /// Payload bytes (zero-copy shared).
+    pub payload: Bytes,
+}
+
+/// A reference to an mbuf slot in a [`MemPool`] — the "memory reference ∗"
+/// that crosses the enclave boundary in the near-zero-copy design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MbufRef(usize);
+
+/// Errors from pool operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// No free slots (packet must be dropped at RX).
+    Exhausted,
+    /// The reference does not name a live buffer (double free / stale ref).
+    InvalidRef,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Exhausted => write!(f, "packet memory pool exhausted"),
+            PoolError::InvalidRef => write!(f, "invalid mbuf reference"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A fixed-capacity packet memory pool (DPDK `rte_mempool`).
+///
+/// # Example
+///
+/// ```
+/// use vif_dataplane::mbuf::{Mbuf, MemPool};
+/// use vif_dataplane::{FiveTuple, Protocol};
+/// use bytes::Bytes;
+///
+/// let pool = MemPool::new(2);
+/// let tuple = FiveTuple::new(1, 2, 3, 4, Protocol::Udp);
+/// let r = pool.alloc(Mbuf { tuple, wire_size: 64, payload: Bytes::new() }).unwrap();
+/// assert_eq!(pool.in_use(), 1);
+/// let buf = pool.free(r).unwrap();
+/// assert_eq!(buf.wire_size, 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemPool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    slots: Vec<Option<Mbuf>>,
+    free_list: Vec<usize>,
+    high_water: usize,
+}
+
+impl MemPool {
+    /// Creates a pool with `capacity` mbuf slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        MemPool {
+            inner: Arc::new(Mutex::new(PoolInner {
+                slots: (0..capacity).map(|_| None).collect(),
+                free_list: (0..capacity).rev().collect(),
+                high_water: 0,
+            })),
+        }
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    /// Currently allocated buffers.
+    pub fn in_use(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.slots.len() - inner.free_list.len()
+    }
+
+    /// Peak simultaneous allocation observed.
+    pub fn high_water(&self) -> usize {
+        self.inner.lock().high_water
+    }
+
+    /// Allocates a slot for `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Exhausted`] when all slots are in use.
+    pub fn alloc(&self, buf: Mbuf) -> Result<MbufRef, PoolError> {
+        let mut inner = self.inner.lock();
+        let idx = inner.free_list.pop().ok_or(PoolError::Exhausted)?;
+        inner.slots[idx] = Some(buf);
+        let used = inner.slots.len() - inner.free_list.len();
+        inner.high_water = inner.high_water.max(used);
+        Ok(MbufRef(idx))
+    }
+
+    /// Reads the buffer behind a reference without freeing it.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::InvalidRef`] for stale or never-issued references.
+    pub fn get(&self, r: MbufRef) -> Result<Mbuf, PoolError> {
+        self.inner
+            .lock()
+            .slots
+            .get(r.0)
+            .and_then(|s| s.clone())
+            .ok_or(PoolError::InvalidRef)
+    }
+
+    /// Frees a slot, returning its buffer (TX after ALLOW, or reclamation
+    /// after DROP).
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::InvalidRef`] on double free or a stale reference.
+    pub fn free(&self, r: MbufRef) -> Result<Mbuf, PoolError> {
+        let mut inner = self.inner.lock();
+        let slot = inner.slots.get_mut(r.0).ok_or(PoolError::InvalidRef)?;
+        let buf = slot.take().ok_or(PoolError::InvalidRef)?;
+        inner.free_list.push(r.0);
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Protocol;
+
+    fn mk(size: u16) -> Mbuf {
+        Mbuf {
+            tuple: FiveTuple::new(1, 2, 3, 4, Protocol::Tcp),
+            wire_size: size,
+            payload: Bytes::from_static(b"payload"),
+        }
+    }
+
+    #[test]
+    fn exhaustion_and_reuse() {
+        let pool = MemPool::new(2);
+        let a = pool.alloc(mk(64)).unwrap();
+        let _b = pool.alloc(mk(65)).unwrap();
+        assert_eq!(pool.alloc(mk(66)), Err(PoolError::Exhausted));
+        pool.free(a).unwrap();
+        let c = pool.alloc(mk(67)).unwrap();
+        assert_eq!(pool.get(c).unwrap().wire_size, 67);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let pool = MemPool::new(1);
+        let a = pool.alloc(mk(64)).unwrap();
+        pool.free(a).unwrap();
+        assert_eq!(pool.free(a), Err(PoolError::InvalidRef));
+    }
+
+    #[test]
+    fn get_does_not_free() {
+        let pool = MemPool::new(1);
+        let a = pool.alloc(mk(100)).unwrap();
+        assert_eq!(pool.get(a).unwrap().wire_size, 100);
+        assert_eq!(pool.in_use(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let pool = MemPool::new(4);
+        let refs: Vec<_> = (0..3).map(|_| pool.alloc(mk(64)).unwrap()).collect();
+        for r in refs {
+            pool.free(r).unwrap();
+        }
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.high_water(), 3);
+    }
+
+    #[test]
+    fn payload_shared_zero_copy() {
+        let pool = MemPool::new(1);
+        let payload = Bytes::from(vec![7u8; 1024]);
+        let a = pool
+            .alloc(Mbuf {
+                tuple: FiveTuple::new(1, 2, 3, 4, Protocol::Udp),
+                wire_size: 1024,
+                payload: payload.clone(),
+            })
+            .unwrap();
+        let got = pool.get(a).unwrap();
+        // bytes::Bytes clones share the same backing storage.
+        assert_eq!(got.payload.as_ptr(), payload.as_ptr());
+    }
+}

@@ -1,0 +1,106 @@
+//! Line-rate arithmetic for Ethernet NICs.
+//!
+//! On the wire every frame pays 20 extra bytes (7 B preamble + 1 B start
+//! delimiter + 12 B inter-frame gap) on top of the frame itself, which is
+//! why 10 GbE tops out at 14.88 Mpps for 64 B frames — the envelope against
+//! which all of the paper's throughput plots (Figs. 3a, 8, 13, 14) sit.
+
+/// Per-frame overhead on the wire: preamble + SFD + inter-frame gap.
+pub const WIRE_OVERHEAD_BYTES: u32 = 20;
+
+/// A link speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineRate {
+    bits_per_second: f64,
+}
+
+impl LineRate {
+    /// 10 Gigabit Ethernet (the paper's X540 testbed NICs).
+    pub const TEN_GBE: LineRate = LineRate {
+        bits_per_second: 10e9,
+    };
+
+    /// An arbitrary rate in gigabits per second.
+    pub fn gbps(g: f64) -> Self {
+        LineRate {
+            bits_per_second: g * 1e9,
+        }
+    }
+
+    /// The raw rate in bits per second.
+    pub fn bits_per_second(&self) -> f64 {
+        self.bits_per_second
+    }
+
+    /// Maximum packets per second for `frame_bytes` frames.
+    pub fn max_pps(&self, frame_bytes: u32) -> f64 {
+        self.bits_per_second / (((frame_bytes + WIRE_OVERHEAD_BYTES) * 8) as f64)
+    }
+
+    /// Maximum goodput in Gb/s counting only frame bytes (what throughput
+    /// plots report): `max_pps × frame_bits`.
+    pub fn max_goodput_gbps(&self, frame_bytes: u32) -> f64 {
+        self.max_pps(frame_bytes) * (frame_bytes * 8) as f64 / 1e9
+    }
+
+    /// Time to serialize one frame onto the wire, in nanoseconds.
+    pub fn wire_time_ns(&self, frame_bytes: u32) -> f64 {
+        (((frame_bytes + WIRE_OVERHEAD_BYTES) * 8) as f64) / self.bits_per_second * 1e9
+    }
+
+    /// Inter-arrival time of frames at an offered load of `gbps` goodput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not positive.
+    pub fn interarrival_ns(frame_bytes: u32, gbps: f64) -> f64 {
+        assert!(gbps > 0.0, "offered load must be positive");
+        (frame_bytes as f64 * 8.0) / (gbps * 1e9) * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_64b_line_rate() {
+        let pps = LineRate::TEN_GBE.max_pps(64);
+        assert!((14_880_000.0..14_881_000.0).contains(&pps), "{pps}");
+    }
+
+    #[test]
+    fn goodput_less_than_line_for_small_frames() {
+        let g = LineRate::TEN_GBE.max_goodput_gbps(64);
+        assert!((7.6..7.7).contains(&g), "{g}"); // 64/(64+20) * 10
+        let g1500 = LineRate::TEN_GBE.max_goodput_gbps(1500);
+        assert!((9.8..9.9).contains(&g1500), "{g1500}");
+    }
+
+    #[test]
+    fn wire_time_monotonic() {
+        let r = LineRate::TEN_GBE;
+        assert!(r.wire_time_ns(1500) > r.wire_time_ns(64));
+        // 64+20 bytes at 10G = 67.2 ns.
+        assert!((67.1..67.3).contains(&r.wire_time_ns(64)));
+    }
+
+    #[test]
+    fn interarrival() {
+        // 8 Gb/s of 1500 B frames: 1.5 µs between packets.
+        let ia = LineRate::interarrival_ns(1500, 8.0);
+        assert!((1499.0..1501.0).contains(&ia), "{ia}");
+    }
+
+    #[test]
+    fn custom_rate() {
+        let r = LineRate::gbps(40.0);
+        assert!(r.max_pps(64) > LineRate::TEN_GBE.max_pps(64) * 3.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_load_rejected() {
+        LineRate::interarrival_ns(64, 0.0);
+    }
+}

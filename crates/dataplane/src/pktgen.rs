@@ -1,0 +1,318 @@
+//! Traffic generation in the style of pktgen-dpdk.
+//!
+//! The paper's packet generator saturates the 10 GbE link with fixed-size
+//! frames over a configurable flow mix (§V-B), and its rule-distribution
+//! evaluation draws per-rule bandwidth from a lognormal distribution
+//! (§V-C). [`FlowSet`] models weighted flow mixes; [`TrafficGenerator`]
+//! emits constant-bit-rate packet schedules over them.
+
+use crate::nic::LineRate;
+use crate::packet::{FiveTuple, Packet, Protocol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A set of flows with sampling weights.
+#[derive(Debug, Clone)]
+pub struct FlowSet {
+    flows: Vec<FiveTuple>,
+    /// Cumulative normalized weights, same length as `flows`; last = 1.0.
+    cumulative: Vec<f64>,
+    /// Raw (unnormalized) weights.
+    weights: Vec<f64>,
+}
+
+impl FlowSet {
+    /// Builds a uniformly weighted flow set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is empty.
+    pub fn uniform(flows: Vec<FiveTuple>) -> Self {
+        let n = flows.len();
+        Self::weighted(flows, vec![1.0; n])
+    }
+
+    /// Builds a flow set with explicit positive weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty, lengths differ, or any weight is not positive.
+    pub fn weighted(flows: Vec<FiveTuple>, weights: Vec<f64>) -> Self {
+        assert!(!flows.is_empty(), "flow set must be non-empty");
+        assert_eq!(flows.len(), weights.len(), "flows/weights length mismatch");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive and finite"
+        );
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        FlowSet {
+            flows,
+            cumulative,
+            weights,
+        }
+    }
+
+    /// Generates `n` random UDP flows toward a single victim address with
+    /// uniform weights (the generic volumetric-attack mix).
+    pub fn random_toward_victim(n: usize, victim_ip: u32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows = (0..n)
+            .map(|_| {
+                FiveTuple::new(
+                    rng.gen(),
+                    victim_ip,
+                    rng.gen_range(1024..u16::MAX),
+                    rng.gen_range(1..1024),
+                    if rng.gen_bool(0.5) {
+                        Protocol::Udp
+                    } else {
+                        Protocol::Tcp
+                    },
+                )
+            })
+            .collect();
+        Self::uniform(flows)
+    }
+
+    /// Generates `n` random flows with lognormal(μ=0, σ) weights — the
+    /// per-rule bandwidth distribution of §V-C.
+    pub fn lognormal_toward_victim(n: usize, victim_ip: u32, sigma: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows: Vec<FiveTuple> = (0..n)
+            .map(|_| {
+                FiveTuple::new(
+                    rng.gen(),
+                    victim_ip,
+                    rng.gen_range(1024..u16::MAX),
+                    rng.gen_range(1..1024),
+                    Protocol::Udp,
+                )
+            })
+            .collect();
+        let weights: Vec<f64> = (0..n).map(|_| lognormal_sample(&mut rng, 0.0, sigma)).collect();
+        Self::weighted(flows, weights)
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if the set has no flows (cannot be constructed; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The flows in definition order.
+    pub fn flows(&self) -> &[FiveTuple] {
+        &self.flows
+    }
+
+    /// The raw weights in definition order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Samples a flow index according to the weights.
+    pub fn sample_index(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.flows.len() - 1),
+        }
+    }
+
+    /// Samples a flow according to the weights.
+    pub fn sample(&self, rng: &mut impl Rng) -> FiveTuple {
+        self.flows[self.sample_index(rng)]
+    }
+}
+
+/// Draws one lognormal(μ, σ) sample via Box–Muller.
+pub fn lognormal_sample(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// A constant-bit-rate traffic workload.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Frame size in bytes.
+    pub packet_size: u16,
+    /// Offered goodput in Gb/s (frame bytes only).
+    pub offered_gbps: f64,
+    /// Number of packets to emit.
+    pub count: usize,
+}
+
+impl TrafficConfig {
+    /// A workload saturating 10 GbE with `packet_size` frames for
+    /// `duration_ms` milliseconds of simulated time.
+    pub fn saturating_10g(packet_size: u16, duration_ms: u64) -> Self {
+        let goodput = LineRate::TEN_GBE.max_goodput_gbps(packet_size as u32);
+        Self::at_rate(packet_size, goodput, duration_ms)
+    }
+
+    /// A workload at `offered_gbps` goodput for `duration_ms` of simulated
+    /// time.
+    pub fn at_rate(packet_size: u16, offered_gbps: f64, duration_ms: u64) -> Self {
+        let ia = LineRate::interarrival_ns(packet_size as u32, offered_gbps);
+        let count = ((duration_ms as f64 * 1e6) / ia).ceil() as usize;
+        TrafficConfig {
+            packet_size,
+            offered_gbps,
+            count,
+        }
+    }
+}
+
+/// Generates packet schedules.
+#[derive(Debug)]
+pub struct TrafficGenerator {
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl TrafficGenerator {
+    /// Creates a generator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        TrafficGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// Emits a CBR packet schedule over `flows`.
+    ///
+    /// Packets are spaced exactly at the configured rate (pktgen-style CBR);
+    /// flows are drawn per-packet according to the flow weights.
+    pub fn generate(&mut self, flows: &FlowSet, config: TrafficConfig) -> Vec<Packet> {
+        let ia = LineRate::interarrival_ns(config.packet_size as u32, config.offered_gbps);
+        (0..config.count)
+            .map(|i| {
+                let tuple = flows.sample(&mut self.rng);
+                let id = self.next_id;
+                self.next_id += 1;
+                Packet::new(tuple, config.packet_size, (i as f64 * ia) as u64, id)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sampling_covers_flows() {
+        let fs = FlowSet::random_toward_victim(10, 0x0a000001, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = vec![false; 10];
+        for _ in 0..1000 {
+            let t = fs.sample(&mut rng);
+            let idx = fs.flows().iter().position(|f| *f == t).unwrap();
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all flows sampled");
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let flows = vec![
+            FiveTuple::new(1, 9, 1, 1, Protocol::Udp),
+            FiveTuple::new(2, 9, 1, 1, Protocol::Udp),
+        ];
+        let fs = FlowSet::weighted(flows, vec![9.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let heavy = (0..n).filter(|_| fs.sample_index(&mut rng) == 0).count();
+        let frac = heavy as f64 / n as f64;
+        assert!((0.85..0.95).contains(&frac), "heavy flow fraction {frac}");
+    }
+
+    #[test]
+    fn lognormal_weights_are_skewed() {
+        let fs = FlowSet::lognormal_toward_victim(1000, 1, 1.5, 7);
+        let mut w: Vec<f64> = fs.weights().to_vec();
+        w.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let total: f64 = w.iter().sum();
+        let top10: f64 = w.iter().take(100).sum();
+        assert!(
+            top10 / total > 0.3,
+            "top 10% of lognormal flows should carry >30% of weight, got {}",
+            top10 / total
+        );
+    }
+
+    #[test]
+    fn cbr_schedule_is_evenly_spaced() {
+        let fs = FlowSet::random_toward_victim(5, 1, 1);
+        let mut gen = TrafficGenerator::new(1);
+        let pkts = gen.generate(
+            &fs,
+            TrafficConfig {
+                packet_size: 1500,
+                offered_gbps: 8.0,
+                count: 100,
+            },
+        );
+        assert_eq!(pkts.len(), 100);
+        let ia = pkts[1].arrival_ns - pkts[0].arrival_ns;
+        assert!((1499..=1501).contains(&ia), "interarrival {ia}");
+        assert!(pkts.windows(2).all(|w| w[1].arrival_ns >= w[0].arrival_ns));
+        assert!(pkts.windows(2).all(|w| w[1].id == w[0].id + 1));
+    }
+
+    #[test]
+    fn saturating_config_matches_duration() {
+        let cfg = TrafficConfig::saturating_10g(64, 10);
+        // 10 ms at 14.88 Mpps ≈ 148,800 packets.
+        assert!((140_000..160_000).contains(&cfg.count), "{}", cfg.count);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let fs = FlowSet::random_toward_victim(50, 1, 11);
+        let cfg = TrafficConfig {
+            packet_size: 64,
+            offered_gbps: 5.0,
+            count: 500,
+        };
+        let a = TrafficGenerator::new(9).generate(&fs, cfg);
+        let b = TrafficGenerator::new(9).generate(&fs, cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_flow_set_rejected() {
+        FlowSet::uniform(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        FlowSet::weighted(vec![FiveTuple::new(1, 2, 3, 4, Protocol::Udp)], vec![0.0]);
+    }
+
+    #[test]
+    fn lognormal_sample_positive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(lognormal_sample(&mut rng, 0.0, 2.0) > 0.0);
+        }
+    }
+}

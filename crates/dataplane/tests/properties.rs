@@ -1,0 +1,97 @@
+//! Property-based tests for the data-plane substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vif_dataplane::pipeline::{self, PipelineConfig, StageOutcome, StageVerdict};
+use vif_dataplane::{FiveTuple, FlowSet, LineRate, Packet, Protocol, Ring, TrafficConfig, TrafficGenerator};
+
+proptest! {
+    /// Pipeline conservation: offered = processed + overflow,
+    /// processed = forwarded + filtered.
+    #[test]
+    fn pipeline_conservation(
+        cost in 1u64..2000,
+        drop_every in 1u64..10,
+        size in prop::sample::select(vec![64u16, 128, 512, 1500]),
+        gbps in 1.0f64..9.0,
+    ) {
+        let flows = FlowSet::random_toward_victim(8, 1, 1);
+        let traffic = TrafficGenerator::new(2).generate(
+            &flows,
+            TrafficConfig { packet_size: size, offered_gbps: gbps, count: 2000 },
+        );
+        let mut n = 0u64;
+        let mut stage = move |_p: &Packet| {
+            n += 1;
+            StageOutcome {
+                verdict: if n % drop_every == 0 { StageVerdict::Drop } else { StageVerdict::Forward },
+                cost_ns: cost,
+            }
+        };
+        let r = pipeline::run(&traffic, &mut stage, &PipelineConfig::default());
+        prop_assert_eq!(r.offered, 2000);
+        prop_assert_eq!(r.processed + r.overflow, r.offered);
+        prop_assert_eq!(r.forwarded + r.filtered, r.processed);
+        prop_assert!(r.throughput_mpps() >= 0.0);
+    }
+
+    /// Measured capacity under saturation tracks 1/cost within 20%.
+    #[test]
+    fn saturated_capacity_tracks_cost(cost in 100u64..1500) {
+        let flows = FlowSet::random_toward_victim(8, 1, 1);
+        let traffic = TrafficGenerator::new(3).generate(
+            &flows,
+            TrafficConfig::saturating_10g(64, 3),
+        );
+        let mut stage = move |_p: &Packet| StageOutcome {
+            verdict: StageVerdict::Forward,
+            cost_ns: cost,
+        };
+        let r = pipeline::run(&traffic, &mut stage, &PipelineConfig::default());
+        let expected_mpps = 1e3 / cost as f64;
+        let measured = r.throughput_mpps();
+        prop_assert!(
+            (measured - expected_mpps).abs() / expected_mpps < 0.2,
+            "cost {cost}: measured {measured} vs expected {expected_mpps}"
+        );
+    }
+
+    /// Rings preserve FIFO order under arbitrary burst interleavings.
+    #[test]
+    fn ring_fifo(ops in vec((any::<bool>(), 1usize..20), 1..60)) {
+        let ring: Ring<u64> = Ring::new(64);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for (is_push, n) in ops {
+            if is_push {
+                let accepted = ring.enqueue_burst(next_in..next_in + n as u64);
+                next_in += accepted as u64;
+            } else {
+                let mut out = Vec::new();
+                ring.dequeue_burst(&mut out, n);
+                for v in out {
+                    prop_assert_eq!(v, next_out);
+                    next_out += 1;
+                }
+            }
+        }
+        prop_assert!(next_out <= next_in);
+    }
+
+    /// Line-rate arithmetic: pps × (size + overhead) × 8 == rate.
+    #[test]
+    fn line_rate_identity(size in 64u32..9000) {
+        let rate = LineRate::TEN_GBE;
+        let pps = rate.max_pps(size);
+        let reconstructed = pps * ((size + 20) * 8) as f64;
+        prop_assert!((reconstructed - 10e9).abs() < 1.0);
+    }
+
+    /// Five-tuple encoding is injective across field changes.
+    #[test]
+    fn five_tuple_encode_injective(a in any::<(u32, u32, u16, u16, u8)>(), b in any::<(u32, u32, u16, u16, u8)>()) {
+        let ta = FiveTuple::new(a.0, a.1, a.2, a.3, Protocol::from(a.4));
+        let tb = FiveTuple::new(b.0, b.1, b.2, b.3, Protocol::from(b.4));
+        prop_assert_eq!(ta == tb, ta.encode() == tb.encode());
+    }
+}

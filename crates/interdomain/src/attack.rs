@@ -1,0 +1,222 @@
+//! Attack-source placement models.
+//!
+//! The paper evaluates with two real datasets: ≈3 M vulnerable open DNS
+//! resolver IPs and ≈250 K Mirai bot IPs (§VI-C). Here the *placement* of
+//! those sources over ASes is modeled (see DESIGN.md): what matters for
+//! Fig. 11 is which ASes originate attack traffic and with what weight, not
+//! the literal IPs.
+
+use crate::topology::{AsId, Region, Tier, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The two attack-source datasets of §VI-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackSourceModel {
+    /// Vulnerable open DNS resolvers (≈3 M IPs): present in eyeball *and*
+    /// hosting/transit networks across all regions, heavy-tailed per AS.
+    DnsResolvers,
+    /// Mirai-like IoT botnet (≈250 K IPs): consumer eyeball networks with a
+    /// strong regional skew (the original Mirai concentrated in a handful
+    /// of countries).
+    MiraiBotnet,
+}
+
+impl AttackSourceModel {
+    /// The dataset's real-world source count.
+    pub fn paper_source_count(self) -> u64 {
+        match self {
+            AttackSourceModel::DnsResolvers => 3_000_000,
+            AttackSourceModel::MiraiBotnet => 250_000,
+        }
+    }
+
+    /// Regional weighting of sources.
+    fn region_weight(self, region: Region) -> f64 {
+        match self {
+            // Open resolvers are everywhere, mildly skewed to large
+            // deployments.
+            AttackSourceModel::DnsResolvers => match region {
+                Region::Europe => 1.0,
+                Region::NorthAmerica => 1.0,
+                Region::SouthAmerica => 0.8,
+                Region::AsiaPacific => 1.3,
+                Region::Africa => 0.5,
+            },
+            // Mirai: strong skew toward Asia-Pacific and South America.
+            AttackSourceModel::MiraiBotnet => match region {
+                Region::Europe => 0.5,
+                Region::NorthAmerica => 0.45,
+                Region::SouthAmerica => 1.4,
+                Region::AsiaPacific => 2.2,
+                Region::Africa => 0.45,
+            },
+        }
+    }
+
+    /// Tier weighting of sources.
+    fn tier_weight(self, tier: Tier) -> f64 {
+        match self {
+            AttackSourceModel::DnsResolvers => match tier {
+                Tier::Tier1 => 0.0,
+                Tier::Tier2 => 0.6, // hosting/transit networks run resolvers
+                Tier::Tier3 => 1.0,
+            },
+            AttackSourceModel::MiraiBotnet => match tier {
+                Tier::Tier1 => 0.0,
+                Tier::Tier2 => 0.05,
+                Tier::Tier3 => 1.0, // IoT lives in eyeball stubs
+            },
+        }
+    }
+
+    /// Distributes `total` sources over the topology's ASes.
+    pub fn distribute(self, topo: &Topology, total: u64, seed: u64) -> SourceDistribution {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sigma = match self {
+            AttackSourceModel::DnsResolvers => 1.8,
+            AttackSourceModel::MiraiBotnet => 2.2,
+        };
+        let weights: Vec<(AsId, f64)> = topo
+            .nodes()
+            .iter()
+            .filter_map(|n| {
+                let w = self.tier_weight(n.tier) * self.region_weight(n.region);
+                if w == 0.0 {
+                    return None;
+                }
+                // Heavy-tailed per-AS population.
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                Some((n.id, w * (sigma * z).exp()))
+            })
+            .collect();
+        let total_w: f64 = weights.iter().map(|(_, w)| w).sum();
+        let mut counts: Vec<(AsId, u64)> = weights
+            .iter()
+            .map(|(a, w)| (*a, ((w / total_w) * total as f64).round() as u64))
+            .filter(|(_, c)| *c > 0)
+            .collect();
+        // Rounding drift: give any remainder to the largest AS.
+        let assigned: u64 = counts.iter().map(|(_, c)| c).sum();
+        if assigned < total {
+            if let Some(max) = counts.iter_mut().max_by_key(|(_, c)| *c) {
+                max.1 += total - assigned;
+            }
+        }
+        SourceDistribution { counts }
+    }
+}
+
+/// Attack sources per AS.
+#[derive(Debug, Clone)]
+pub struct SourceDistribution {
+    counts: Vec<(AsId, u64)>,
+}
+
+impl SourceDistribution {
+    /// `(AS, source count)` pairs, ASes with zero sources omitted.
+    pub fn counts(&self) -> &[(AsId, u64)] {
+        &self.counts
+    }
+
+    /// Total number of sources.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Number of ASes hosting at least one source.
+    pub fn as_count(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        TopologyConfig::paper_scale().build(7)
+    }
+
+    #[test]
+    fn totals_preserved() {
+        let t = topo();
+        for model in [AttackSourceModel::DnsResolvers, AttackSourceModel::MiraiBotnet] {
+            let d = model.distribute(&t, 100_000, 1);
+            let total = d.total();
+            // Rounding may drop a little; must stay within 1%.
+            assert!(
+                (99_000..=101_000).contains(&total),
+                "{model:?}: total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_tier1_sources() {
+        let t = topo();
+        let d = AttackSourceModel::DnsResolvers.distribute(&t, 100_000, 2);
+        for &(a, _) in d.counts() {
+            assert_ne!(t.node(a).tier, Tier::Tier1);
+        }
+    }
+
+    #[test]
+    fn mirai_mostly_in_stubs() {
+        let t = topo();
+        let d = AttackSourceModel::MiraiBotnet.distribute(&t, 250_000, 3);
+        let stub: u64 = d
+            .counts()
+            .iter()
+            .filter(|(a, _)| t.node(*a).tier == Tier::Tier3)
+            .map(|(_, c)| c)
+            .sum();
+        assert!(
+            stub as f64 / d.total() as f64 > 0.9,
+            "stub share {}",
+            stub as f64 / d.total() as f64
+        );
+    }
+
+    #[test]
+    fn mirai_regionally_skewed() {
+        let t = topo();
+        let d = AttackSourceModel::MiraiBotnet.distribute(&t, 250_000, 4);
+        let by_region = |r: Region| -> u64 {
+            d.counts()
+                .iter()
+                .filter(|(a, _)| t.node(*a).region == r)
+                .map(|(_, c)| c)
+                .sum()
+        };
+        assert!(
+            by_region(Region::AsiaPacific) > by_region(Region::Europe),
+            "Mirai should skew toward Asia-Pacific"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let t = topo();
+        let d = AttackSourceModel::DnsResolvers.distribute(&t, 3_000_000, 5);
+        let mut counts: Vec<u64> = d.counts().iter().map(|(_, c)| *c).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = counts.iter().take(counts.len() / 10).sum();
+        assert!(
+            top10 as f64 / d.total() as f64 > 0.4,
+            "top decile carries {}",
+            top10 as f64 / d.total() as f64
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = topo();
+        let a = AttackSourceModel::DnsResolvers.distribute(&t, 1000, 9);
+        let b = AttackSourceModel::DnsResolvers.distribute(&t, 1000, 9);
+        assert_eq!(a.counts(), b.counts());
+    }
+}

@@ -1,0 +1,307 @@
+//! Internet exchange points with Table III-seeded memberships.
+
+use crate::topology::{AsId, Region, Tier, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's Table III: top five IXPs per region with real member counts
+/// (from CAIDA's IXP dataset as used in Appendix H).
+pub const PAPER_TOP_IXPS: [(&str, Region, u32); 25] = [
+    ("AMS-IX", Region::Europe, 1660),
+    ("DE-CIX", Region::Europe, 1494),
+    ("LINX Juniper", Region::Europe, 755),
+    ("EPIX Katowice", Region::Europe, 732),
+    ("LINX LON1", Region::Europe, 697),
+    ("Equinix Ashburn", Region::NorthAmerica, 598),
+    ("Any2", Region::NorthAmerica, 557),
+    ("SIX", Region::NorthAmerica, 462),
+    ("TorIX", Region::NorthAmerica, 426),
+    ("Equinix Chicago", Region::NorthAmerica, 384),
+    ("IX.br São Paulo", Region::SouthAmerica, 2082),
+    ("PTT Porto Alegre", Region::SouthAmerica, 258),
+    ("PTT Rio de Janeiro", Region::SouthAmerica, 246),
+    ("CABASE-BUE", Region::SouthAmerica, 183),
+    ("PTT Curitiba", Region::SouthAmerica, 140),
+    ("Equinix Singapore", Region::AsiaPacific, 504),
+    ("Equinix Sydney", Region::AsiaPacific, 393),
+    ("Megaport Sydney", Region::AsiaPacific, 383),
+    ("BBIX Tokyo", Region::AsiaPacific, 286),
+    ("HKIX", Region::AsiaPacific, 281),
+    ("NAPAfrica Johannesburg", Region::Africa, 506),
+    ("NAPAfrica Cape Town", Region::Africa, 258),
+    ("JINX", Region::Africa, 180),
+    ("NAPAfrica Durban", Region::Africa, 122),
+    ("IXPN Lagos", Region::Africa, 69),
+];
+
+/// Approximate AS count of the Internet underlying Table III's member
+/// counts; used to scale memberships to the synthetic topology.
+pub const REAL_INTERNET_AS_COUNT: f64 = 62_000.0;
+
+/// One IXP: a named layer-2 fabric with an AS membership.
+#[derive(Debug, Clone)]
+pub struct Ixp {
+    /// IXP name (real name from Table III).
+    pub name: String,
+    /// Home region.
+    pub region: Region,
+    /// Rank within its region (1 = largest by membership).
+    pub rank: usize,
+    /// Member ASes.
+    pub members: Vec<AsId>,
+}
+
+impl Ixp {
+    /// True if `a` is a member.
+    pub fn has_member(&self, a: AsId) -> bool {
+        self.members.contains(&a)
+    }
+}
+
+/// The 25 Table-III IXPs instantiated over a synthetic topology.
+#[derive(Debug, Clone)]
+pub struct IxpCatalog {
+    ixps: Vec<Ixp>,
+    /// `membership_mask[a]` has bit `i` set iff AS `a` is in `ixps[i]`.
+    membership_mask: Vec<u32>,
+}
+
+impl IxpCatalog {
+    /// Instantiates the Table III IXPs over `topo`.
+    ///
+    /// Membership sizes are the real counts scaled by
+    /// `topo.len() / REAL_INTERNET_AS_COUNT × membership_scale`; members are
+    /// drawn by weighted sampling that favors same-region transit ASes
+    /// (Tier-1 ≫ Tier-2 ≫ Tier-3, with a small out-of-region tail), the
+    /// empirical composition of large IXPs.
+    pub fn generate(topo: &Topology, membership_scale: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ixps = Vec::with_capacity(PAPER_TOP_IXPS.len());
+        let mut rank_in_region = std::collections::HashMap::new();
+        for &(name, region, real_count) in PAPER_TOP_IXPS.iter() {
+            let rank = rank_in_region
+                .entry(region)
+                .and_modify(|r| *r += 1)
+                .or_insert(1usize);
+            let target = ((real_count as f64 * topo.len() as f64 / REAL_INTERNET_AS_COUNT)
+                * membership_scale)
+                .round()
+                .max(2.0) as usize;
+            let members = weighted_members(topo, region, target, &mut rng);
+            ixps.push(Ixp {
+                name: name.to_string(),
+                region,
+                rank: *rank,
+                members,
+            });
+        }
+        let mut membership_mask = vec![0u32; topo.len()];
+        for (i, ixp) in ixps.iter().enumerate() {
+            for &m in &ixp.members {
+                membership_mask[m.0 as usize] |= 1 << i;
+            }
+        }
+        IxpCatalog {
+            ixps,
+            membership_mask,
+        }
+    }
+
+    /// All IXPs in Table III order.
+    pub fn ixps(&self) -> &[Ixp] {
+        &self.ixps
+    }
+
+    /// Bitmask of IXPs (by catalog index) whose per-region rank is ≤
+    /// `top_n` — the "Top-n IXPs in each of the five regions" deployments
+    /// of Fig. 11.
+    pub fn top_n_mask(&self, top_n: usize) -> u32 {
+        let mut mask = 0u32;
+        for (i, ixp) in self.ixps.iter().enumerate() {
+            if ixp.rank <= top_n {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// IXP-membership bitmask of an AS.
+    pub fn membership(&self, a: AsId) -> u32 {
+        self.membership_mask[a.0 as usize]
+    }
+
+    /// The smallest `top_n ∈ 1..=5` at which the link `(a, b)` traverses a
+    /// deployed IXP (both endpoints members of a common top-n IXP), or
+    /// `None` if no Table-III IXP covers the pair.
+    pub fn min_rank_covering(&self, a: AsId, b: AsId) -> Option<usize> {
+        let common = self.membership(a) & self.membership(b);
+        if common == 0 {
+            return None;
+        }
+        (1..=5).find(|&n| common & self.top_n_mask(n) != 0)
+    }
+}
+
+/// Weighted sampling (without replacement) of `target` members.
+fn weighted_members(
+    topo: &Topology,
+    region: Region,
+    target: usize,
+    rng: &mut StdRng,
+) -> Vec<AsId> {
+    use rand::Rng;
+    let mut candidates: Vec<(AsId, f64)> = topo
+        .nodes()
+        .iter()
+        .map(|n| {
+            let same = n.region == region;
+            let w = match (n.tier, same) {
+                (Tier::Tier1, true) => 60.0,
+                (Tier::Tier1, false) => 10.0,
+                (Tier::Tier2, true) => 25.0,
+                (Tier::Tier2, false) => 1.5,
+                (Tier::Tier3, true) => 1.0,
+                (Tier::Tier3, false) => 0.05,
+            };
+            (n.id, w)
+        })
+        .collect();
+    let mut members = Vec::with_capacity(target);
+    let target = target.min(candidates.len());
+    for _ in 0..target {
+        let total: f64 = candidates.iter().map(|(_, w)| w).sum();
+        let mut pick: f64 = rng.gen_range(0.0..total);
+        let mut idx = 0;
+        for (i, (_, w)) in candidates.iter().enumerate() {
+            if pick < *w {
+                idx = i;
+                break;
+            }
+            pick -= w;
+        }
+        members.push(candidates.swap_remove(idx).0);
+    }
+    members.sort();
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn catalog() -> (Topology, IxpCatalog) {
+        let topo = TopologyConfig::paper_scale().build(5);
+        let cat = IxpCatalog::generate(&topo, 1.0, 5);
+        (topo, cat)
+    }
+
+    #[test]
+    fn twenty_five_ixps_five_per_region() {
+        let (_, cat) = catalog();
+        assert_eq!(cat.ixps().len(), 25);
+        for region in Region::ALL {
+            let in_region = cat.ixps().iter().filter(|x| x.region == region).count();
+            assert_eq!(in_region, 5, "{region}");
+        }
+    }
+
+    #[test]
+    fn ranks_follow_member_counts() {
+        let (_, cat) = catalog();
+        for region in Region::ALL {
+            let mut ixps: Vec<&Ixp> = cat.ixps().iter().filter(|x| x.region == region).collect();
+            ixps.sort_by_key(|x| x.rank);
+            for w in ixps.windows(2) {
+                assert!(
+                    w[0].members.len() >= w[1].members.len(),
+                    "{}: rank {} has fewer members than rank {}",
+                    region,
+                    w[0].rank,
+                    w[1].rank
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn membership_mask_consistent() {
+        let (topo, cat) = catalog();
+        for (i, ixp) in cat.ixps().iter().enumerate() {
+            for &m in &ixp.members {
+                assert!(cat.membership(m) & (1 << i) != 0);
+            }
+        }
+        // Every set bit corresponds to real membership.
+        for node in topo.nodes() {
+            let mask = cat.membership(node.id);
+            for (i, ixp) in cat.ixps().iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    assert!(ixp.has_member(node.id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_n_masks_nested() {
+        let (_, cat) = catalog();
+        for n in 1..5 {
+            let smaller = cat.top_n_mask(n);
+            let larger = cat.top_n_mask(n + 1);
+            assert_eq!(smaller & larger, smaller, "top-{n} ⊄ top-{}", n + 1);
+        }
+        assert_eq!(cat.top_n_mask(5).count_ones(), 25);
+        assert_eq!(cat.top_n_mask(1).count_ones(), 5);
+    }
+
+    #[test]
+    fn big_ixps_capture_regional_transit() {
+        let (topo, cat) = catalog();
+        // AMS-IX (Europe rank 1) should contain most European Tier-2s.
+        let ams = &cat.ixps()[0];
+        assert_eq!(ams.name, "AMS-IX");
+        let eu_t2: Vec<AsId> = topo
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Tier2 && n.region == Region::Europe)
+            .map(|n| n.id)
+            .collect();
+        let members = eu_t2.iter().filter(|a| ams.has_member(**a)).count();
+        assert!(
+            members * 2 >= eu_t2.len(),
+            "AMS-IX holds only {members}/{} EU Tier-2s",
+            eu_t2.len()
+        );
+    }
+
+    #[test]
+    fn min_rank_covering_logic() {
+        let (topo, cat) = catalog();
+        // A pair that shares the region's rank-1 IXP must be covered at n=1.
+        let ixp = &cat.ixps()[0];
+        if ixp.members.len() >= 2 {
+            let (a, b) = (ixp.members[0], ixp.members[1]);
+            assert_eq!(cat.min_rank_covering(a, b), Some(1));
+        }
+        // Two ASes sharing no IXP yield None.
+        let outsider = topo
+            .nodes()
+            .iter()
+            .find(|n| cat.membership(n.id) == 0)
+            .map(|n| n.id);
+        if let Some(o) = outsider {
+            assert_eq!(cat.min_rank_covering(o, ixp.members[0]), None);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let topo = TopologyConfig::small_test().build(1);
+        let a = IxpCatalog::generate(&topo, 1.0, 9);
+        let b = IxpCatalog::generate(&topo, 1.0, 9);
+        for (x, y) in a.ixps().iter().zip(b.ixps().iter()) {
+            assert_eq!(x.members, y.members);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # vif-interdomain
+//!
+//! Inter-domain routing simulation for VIF's IXP deployment study
+//! (paper §VI, Fig. 11, Table III, Appendix B/H).
+//!
+//! The paper runs its simulation over CAIDA's AS-relationship and IXP
+//! datasets with 3 M open-DNS-resolver IPs and 250 K Mirai bot IPs. Those
+//! datasets are not available here, so this crate generates a *synthetic
+//! Internet* with the same structural properties (see DESIGN.md):
+//!
+//! - [`topology`]: a tiered AS graph — a global Tier-1 clique, regional
+//!   Tier-2 transit ASes, Tier-3 stub/eyeball ASes — with
+//!   customer/provider/peer edges over five geographic regions,
+//! - [`routing`]: Gao–Rexford policy routing (§VI-C): prefer customer over
+//!   peer over provider routes, then shortest AS path, then lowest
+//!   next-hop ASN; with valley-free exports,
+//! - [`ixp`]: Internet exchange points whose per-region membership sizes
+//!   are seeded from the paper's Table III,
+//! - [`attack`]: attack-source placement models for vulnerable open DNS
+//!   resolvers and Mirai bots,
+//! - [`simulation`]: the Fig. 11 experiment — the fraction of attack
+//!   sources whose path to a victim crosses two consecutive member ASes of
+//!   a VIF-enabled IXP, over Top-1..Top-5 IXPs per region,
+//! - [`poison`]: BGP-poisoning-based inbound rerouting and the
+//!   intermediate-AS drop localization loop of Appendix B,
+//! - [`stats`]: box-plot statistics (5th/25th/50th/75th/95th percentiles)
+//!   matching the paper's plots.
+//!
+//! # Example
+//!
+//! ```
+//! use vif_interdomain::prelude::*;
+//!
+//! let topo = TopologyConfig::small_test().build(7);
+//! let victim = topo.tier3_ases()[0];
+//! let routes = compute_routes(&topo, victim);
+//! // Every AS with a route reaches the victim loop-free.
+//! let path = routes.path(topo.tier1_ases()[0]).unwrap();
+//! assert_eq!(*path.last().unwrap(), victim);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod ixp;
+pub mod poison;
+pub mod routing;
+pub mod simulation;
+pub mod stats;
+pub mod topology;
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::attack::{AttackSourceModel, SourceDistribution};
+    pub use crate::ixp::{Ixp, IxpCatalog, PAPER_TOP_IXPS};
+    pub use crate::poison::{localize_dropper, reroute_avoiding};
+    pub use crate::routing::{compute_routes, RouteClass, RoutingTable};
+    pub use crate::simulation::{CoverageExperiment, CoverageResult};
+    pub use crate::stats::BoxStats;
+    pub use crate::topology::{AsId, Region, Relationship, Tier, Topology, TopologyConfig};
+}
+
+pub use prelude::*;

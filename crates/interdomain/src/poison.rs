@@ -1,0 +1,165 @@
+//! BGP-poisoning-based inbound rerouting and drop localization
+//! (paper Appendix B).
+//!
+//! When a victim's sketch audit shows VIF-allowed packets going missing, the
+//! drop may be at the filtering network *or* at any intermediate AS between
+//! it and the victim. Fault localization without global cooperation is
+//! impractical (§III-B), so the victim instead *tests* intermediate ASes:
+//! BGP-poison each one in turn to steer inbound traffic around it, and see
+//! whether the loss stops.
+
+use crate::routing::{compute_routes, RoutingTable};
+use crate::topology::{AsId, Topology};
+
+/// Recomputes routes toward `dst` with the `avoid` ASes poisoned out of the
+/// topology (LIFEGUARD/Nyx-style inbound rerouting).
+pub fn reroute_avoiding(topo: &Topology, dst: AsId, avoid: &[AsId]) -> RoutingTable {
+    compute_routes(&topo.without_ases(avoid), dst)
+}
+
+/// Outcome of the Appendix B localization loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalizeOutcome {
+    /// No drops observed on the default path — nothing to localize.
+    CleanPath,
+    /// Avoiding this AS stopped the drops: it is the culprit, and the
+    /// victim keeps routing around it for the rest of the VIF session.
+    Dropper(AsId),
+    /// Drops persisted on every tested detour: the victim concludes the
+    /// VIF filtering network itself (or an unavoidable adversary) is
+    /// misbehaving and may abort the contract (Appendix B).
+    PersistsOnAllDetours,
+    /// The source cannot reach the destination at all.
+    Unreachable,
+}
+
+/// Runs the Appendix B dynamic test for traffic from `src` to `victim`.
+///
+/// `path_drops` is the observation oracle: given the AS path currently
+/// carrying the victim's inbound traffic, does the victim still see drops?
+/// (In the real system this is the sketch comparison; in tests it is a
+/// closure checking whether the malicious AS sits on the path.)
+pub fn localize_dropper(
+    topo: &Topology,
+    victim: AsId,
+    src: AsId,
+    path_drops: &dyn Fn(&[AsId]) -> bool,
+) -> LocalizeOutcome {
+    let routes = compute_routes(topo, victim);
+    let Some(default_path) = routes.path(src) else {
+        return LocalizeOutcome::Unreachable;
+    };
+    if !path_drops(&default_path) {
+        return LocalizeOutcome::CleanPath;
+    }
+    // Test every intermediate AS (not the endpoints) in path order,
+    // poisoning one at a time for a short window.
+    for &candidate in &default_path[1..default_path.len() - 1] {
+        let detoured = reroute_avoiding(topo, victim, &[candidate]);
+        let Some(detour_path) = detoured.path(src) else {
+            continue; // no alternative path around this AS: cannot test it
+        };
+        debug_assert!(!detour_path.contains(&candidate));
+        if !path_drops(&detour_path) {
+            return LocalizeOutcome::Dropper(candidate);
+        }
+    }
+    LocalizeOutcome::PersistsOnAllDetours
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        TopologyConfig::small_test().build(11)
+    }
+
+    /// Finds a (victim, src) pair whose path has ≥1 intermediate AS that is
+    /// avoidable (an alternative path exists without it).
+    fn find_testable_pair(t: &Topology) -> (AsId, AsId, AsId) {
+        let stubs = t.tier3_ases();
+        for &victim in &stubs {
+            let routes = compute_routes(t, victim);
+            for &src in &stubs {
+                if src == victim {
+                    continue;
+                }
+                let Some(path) = routes.path(src) else { continue };
+                for &mid in &path[1..path.len() - 1] {
+                    let detour = reroute_avoiding(t, victim, &[mid]);
+                    if detour.path(src).is_some() {
+                        return (victim, src, mid);
+                    }
+                }
+            }
+        }
+        panic!("no testable pair in topology");
+    }
+
+    #[test]
+    fn reroute_actually_avoids() {
+        let t = topo();
+        let (victim, src, mid) = find_testable_pair(&t);
+        let detour = reroute_avoiding(&t, victim, &[mid]);
+        let path = detour.path(src).unwrap();
+        assert!(!path.contains(&mid), "detour {path:?} still contains {mid}");
+        assert_eq!(*path.last().unwrap(), victim);
+    }
+
+    #[test]
+    fn localizes_single_dropper() {
+        let t = topo();
+        let (victim, src, dropper) = find_testable_pair(&t);
+        let oracle = |path: &[AsId]| path.contains(&dropper);
+        assert_eq!(
+            localize_dropper(&t, victim, src, &oracle),
+            LocalizeOutcome::Dropper(dropper)
+        );
+    }
+
+    #[test]
+    fn clean_path_reported() {
+        let t = topo();
+        let (victim, src, _) = find_testable_pair(&t);
+        let oracle = |_: &[AsId]| false;
+        assert_eq!(
+            localize_dropper(&t, victim, src, &oracle),
+            LocalizeOutcome::CleanPath
+        );
+    }
+
+    #[test]
+    fn omnipresent_dropper_unlocalizable() {
+        // An adversary that drops on every path (e.g., the filtering network
+        // itself, adjacent to the victim) cannot be routed around.
+        let t = topo();
+        let (victim, src, _) = find_testable_pair(&t);
+        let oracle = |_: &[AsId]| true;
+        assert_eq!(
+            localize_dropper(&t, victim, src, &oracle),
+            LocalizeOutcome::PersistsOnAllDetours
+        );
+    }
+
+    #[test]
+    fn unreachable_source() {
+        let t = topo();
+        let stubs = t.tier3_ases();
+        let victim = stubs[0];
+        let src = stubs[1];
+        // Poison every neighbor of src so it is fully disconnected.
+        let nbrs: Vec<AsId> = t.neighbors(src).iter().map(|(n, _)| *n).collect();
+        let cut = t.without_ases(&nbrs);
+        let oracle = |_: &[AsId]| true;
+        // src may still be reachable if nbrs removal also disconnects
+        // victim; only assert when truly unreachable.
+        if compute_routes(&cut, victim).path(src).is_none() {
+            assert_eq!(
+                localize_dropper(&cut, victim, src, &oracle),
+                LocalizeOutcome::Unreachable
+            );
+        }
+    }
+}

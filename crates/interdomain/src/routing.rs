@@ -1,0 +1,382 @@
+//! Gao–Rexford policy routing.
+//!
+//! Implements the BGP policy model of §VI-C: every AS
+//! 1. prefers customer routes over peer routes over provider routes,
+//! 2. prefers the shortest AS-path within a class,
+//! 3. breaks remaining ties with the lowest next-hop AS number,
+//!
+//! with valley-free export rules: routes learned from customers are
+//! exported to everyone; routes learned from peers or providers are
+//! exported only to customers.
+
+use crate::topology::{AsId, Relationship, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The class of a selected route (preference order: customer best).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteClass {
+    /// Learned from a customer (traffic flows down the customer cone).
+    Customer,
+    /// Learned from a settlement-free peer.
+    Peer,
+    /// Learned from a provider (paid transit).
+    Provider,
+}
+
+/// Per-destination routing state for every AS.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    dst: AsId,
+    class: Vec<Option<RouteClass>>,
+    len: Vec<u32>,
+    next_hop: Vec<Option<AsId>>,
+}
+
+impl RoutingTable {
+    /// The destination AS of this table.
+    pub fn destination(&self) -> AsId {
+        self.dst
+    }
+
+    /// The selected route class of `src` (None if unreachable).
+    pub fn class(&self, src: AsId) -> Option<RouteClass> {
+        self.class[src.0 as usize]
+    }
+
+    /// AS-path length of `src`'s selected route.
+    pub fn path_len(&self, src: AsId) -> Option<u32> {
+        self.class[src.0 as usize].map(|_| self.len[src.0 as usize])
+    }
+
+    /// The next hop of `src`'s selected route.
+    pub fn next_hop(&self, src: AsId) -> Option<AsId> {
+        self.next_hop[src.0 as usize]
+    }
+
+    /// Reconstructs the full AS path from `src` to the destination
+    /// (inclusive of both endpoints). `None` if unreachable.
+    pub fn path(&self, src: AsId) -> Option<Vec<AsId>> {
+        if src == self.dst {
+            return Some(vec![src]);
+        }
+        self.class[src.0 as usize]?;
+        let mut path = vec![src];
+        let mut cur = src;
+        // Selected-route lengths strictly decrease along next hops, so the
+        // walk terminates; the guard is defense in depth.
+        for _ in 0..=self.len.len() {
+            let nh = self.next_hop[cur.0 as usize]?;
+            path.push(nh);
+            if nh == self.dst {
+                return Some(path);
+            }
+            cur = nh;
+        }
+        None
+    }
+}
+
+/// Computes the Gao–Rexford routing table toward `dst`.
+pub fn compute_routes(topo: &Topology, dst: AsId) -> RoutingTable {
+    let n = topo.len();
+    let mut class: Vec<Option<RouteClass>> = vec![None; n];
+    let mut len = vec![u32::MAX; n];
+    let mut next_hop: Vec<Option<AsId>> = vec![None; n];
+
+    // Stage 1: customer routes — BFS upward from dst along
+    // customer → provider edges. The destination's own route has length 0.
+    class[dst.0 as usize] = Some(RouteClass::Customer);
+    len[dst.0 as usize] = 0;
+    let mut frontier = vec![dst];
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        // Collect candidates per provider, tie-break on lowest next-hop ASN.
+        let mut candidates: Vec<(AsId, AsId)> = Vec::new(); // (provider, via)
+        for &y in &frontier {
+            for &(p, rel) in topo.neighbors(y) {
+                // `rel` is p's relationship to y; Provider means p is y's
+                // provider, i.e. y is p's customer: p learns a customer route.
+                if rel == Relationship::Provider && class[p.0 as usize].is_none() {
+                    candidates.push((p, y));
+                }
+            }
+        }
+        candidates.sort();
+        let mut next_frontier = Vec::new();
+        for (p, via) in candidates {
+            if class[p.0 as usize].is_none() {
+                class[p.0 as usize] = Some(RouteClass::Customer);
+                len[p.0 as usize] = level;
+                next_hop[p.0 as usize] = Some(via);
+                next_frontier.push(p);
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    // Stage 2: peer routes — one peer edge into a customer route. Customer
+    // routes are what peers export (plus the destination's own route).
+    let mut peer_updates: Vec<(AsId, u32, AsId)> = Vec::new();
+    for x in 0..n as u32 {
+        let x = AsId(x);
+        if class[x.0 as usize].is_some() {
+            continue; // customer route preferred regardless of length
+        }
+        let mut best: Option<(u32, AsId)> = None;
+        for &(q, rel) in topo.neighbors(x) {
+            if rel == Relationship::Peer
+                && class[q.0 as usize] == Some(RouteClass::Customer)
+            {
+                let cand = (len[q.0 as usize] + 1, q);
+                if best.map(|b| cand < b).unwrap_or(true) {
+                    best = Some(cand);
+                }
+            }
+        }
+        if let Some((l, q)) = best {
+            peer_updates.push((x, l, q));
+        }
+    }
+    for (x, l, q) in peer_updates {
+        class[x.0 as usize] = Some(RouteClass::Peer);
+        len[x.0 as usize] = l;
+        next_hop[x.0 as usize] = Some(q);
+    }
+
+    // Stage 3: provider routes — propagate every AS's *selected* route down
+    // provider → customer edges (providers export everything to customers).
+    // Dijkstra with (length, next-hop ASN) priority implements the
+    // shortest-path + lowest-ASN tie-break.
+    let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new(); // (len, via, node)
+    for x in 0..n as u32 {
+        if class[x as usize].is_some() {
+            for &(c, rel) in topo.neighbors(AsId(x)) {
+                if rel == Relationship::Customer && class[c.0 as usize].is_none() {
+                    heap.push(Reverse((len[x as usize] + 1, x, c.0)));
+                }
+            }
+        }
+    }
+    while let Some(Reverse((l, via, node))) = heap.pop() {
+        let idx = node as usize;
+        if class[idx].is_some() {
+            continue; // already has an equal-or-better route
+        }
+        class[idx] = Some(RouteClass::Provider);
+        len[idx] = l;
+        next_hop[idx] = Some(AsId(via));
+        for &(c, rel) in topo.neighbors(AsId(node)) {
+            if rel == Relationship::Customer && class[c.0 as usize].is_none() {
+                heap.push(Reverse((l + 1, node, c.0)));
+            }
+        }
+    }
+
+    RoutingTable {
+        dst,
+        class,
+        len,
+        next_hop,
+    }
+}
+
+/// Classifies the traversal direction of one path edge for valley-free
+/// validation: `Up` = toward a provider, `Down` = toward a customer,
+/// `Side` = across a peer link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Customer → provider.
+    Up,
+    /// Provider → customer.
+    Down,
+    /// Peer → peer.
+    Side,
+}
+
+/// Returns the step directions of an AS path.
+///
+/// # Panics
+///
+/// Panics if consecutive path members are not adjacent in the topology.
+pub fn path_steps(topo: &Topology, path: &[AsId]) -> Vec<Step> {
+    path.windows(2)
+        .map(|w| {
+            let rel = topo
+                .neighbors(w[0])
+                .iter()
+                .find(|(x, _)| *x == w[1])
+                .map(|(_, r)| *r)
+                .expect("path edge not in topology");
+            match rel {
+                // w[1] is w[0]'s provider: going up.
+                Relationship::Provider => Step::Up,
+                Relationship::Customer => Step::Down,
+                Relationship::Peer => Step::Side,
+            }
+        })
+        .collect()
+}
+
+/// True if a step sequence is valley-free: `Up* Side? Down*`.
+pub fn is_valley_free(steps: &[Step]) -> bool {
+    #[derive(PartialEq, PartialOrd)]
+    enum Phase {
+        Up,
+        Side,
+        Down,
+    }
+    let mut phase = Phase::Up;
+    for s in steps {
+        match s {
+            Step::Up => {
+                if phase > Phase::Up {
+                    return false;
+                }
+            }
+            Step::Side => {
+                if phase >= Phase::Side {
+                    return false;
+                }
+                phase = Phase::Side;
+            }
+            Step::Down => phase = Phase::Down,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        TopologyConfig::small_test().build(42)
+    }
+
+    #[test]
+    fn all_ases_reach_all_destinations() {
+        let t = topo();
+        for dst in t.tier3_ases().into_iter().take(5) {
+            let routes = compute_routes(&t, dst);
+            for node in t.nodes() {
+                assert!(
+                    routes.path(node.id).is_some(),
+                    "{} cannot reach {dst}",
+                    node.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_end_at_destination_and_are_simple() {
+        let t = topo();
+        let dst = t.tier3_ases()[3];
+        let routes = compute_routes(&t, dst);
+        for node in t.nodes() {
+            let path = routes.path(node.id).unwrap();
+            assert_eq!(*path.last().unwrap(), dst);
+            assert_eq!(path[0], node.id);
+            let mut seen = std::collections::HashSet::new();
+            assert!(path.iter().all(|a| seen.insert(*a)), "loop in {path:?}");
+        }
+    }
+
+    #[test]
+    fn all_paths_valley_free() {
+        let t = topo();
+        for dst in t.tier3_ases().into_iter().take(10) {
+            let routes = compute_routes(&t, dst);
+            for node in t.nodes() {
+                let path = routes.path(node.id).unwrap();
+                let steps = path_steps(&t, &path);
+                assert!(
+                    is_valley_free(&steps),
+                    "path {path:?} with steps {steps:?} is not valley-free"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn customer_routes_preferred() {
+        let t = topo();
+        let dst = t.tier3_ases()[0];
+        let routes = compute_routes(&t, dst);
+        // Every provider of the destination must select the direct customer
+        // route (length 1).
+        for &(p, rel) in t.neighbors(dst) {
+            if rel == Relationship::Provider {
+                assert_eq!(routes.class(p), Some(RouteClass::Customer));
+                assert_eq!(routes.path_len(p), Some(1));
+                assert_eq!(routes.next_hop(p), Some(dst));
+            }
+        }
+    }
+
+    #[test]
+    fn destination_trivial_path() {
+        let t = topo();
+        let dst = t.tier3_ases()[0];
+        let routes = compute_routes(&t, dst);
+        assert_eq!(routes.path(dst).unwrap(), vec![dst]);
+        assert_eq!(routes.path_len(dst), Some(0));
+    }
+
+    #[test]
+    fn sibling_stub_routes_through_shared_provider() {
+        // Find two stubs sharing a provider: path must be exactly 3 hops
+        // (src, provider, dst) — an up then a down.
+        let t = topo();
+        let stubs = t.tier3_ases();
+        'outer: for (i, &a) in stubs.iter().enumerate() {
+            for &b in stubs.iter().skip(i + 1) {
+                let shared: Vec<AsId> = t
+                    .neighbors(a)
+                    .iter()
+                    .filter(|(p, _)| t.neighbors(b).iter().any(|(q, _)| q == p))
+                    .map(|(p, _)| *p)
+                    .collect();
+                if !shared.is_empty() {
+                    let routes = compute_routes(&t, b);
+                    let path = routes.path(a).unwrap();
+                    assert_eq!(path.len(), 3, "expected src-provider-dst, got {path:?}");
+                    assert!(shared.contains(&path[1]));
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valley_free_validator() {
+        use Step::*;
+        assert!(is_valley_free(&[Up, Up, Side, Down, Down]));
+        assert!(is_valley_free(&[Down, Down]));
+        assert!(is_valley_free(&[Up, Up]));
+        assert!(is_valley_free(&[Side]));
+        assert!(is_valley_free(&[]));
+        assert!(!is_valley_free(&[Down, Up]));
+        assert!(!is_valley_free(&[Side, Up]));
+        assert!(!is_valley_free(&[Side, Side]));
+        assert!(!is_valley_free(&[Up, Down, Up]));
+    }
+
+    #[test]
+    fn shorter_path_within_class_preferred() {
+        let t = topo();
+        let dst = t.tier3_ases()[7];
+        let routes = compute_routes(&t, dst);
+        // BFS property: every next hop reduces selected length by ≥1 within
+        // the same class chain.
+        for node in t.nodes() {
+            if let (Some(nh), Some(l)) = (routes.next_hop(node.id), routes.path_len(node.id)) {
+                let nl = routes.path_len(nh).unwrap();
+                assert!(nl < l, "{}: len {l} -> next hop len {nl}", node.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The Fig. 11 coverage experiment.
+//!
+//! For each victim (a random Tier-3 AS), compute Gao–Rexford routes from
+//! every attack-source AS and ask: does the AS path traverse a VIF-enabled
+//! IXP? Per the paper, "a traffic flow is said to be transited at an IXP if
+//! it traverses along an AS-path that includes two consecutive ASes that
+//! are members of the IXP" (§VI-C). The deployment sweeps Top-1..Top-5
+//! IXPs per region; because the Top-n sets are nested, each flow is
+//! labelled with the smallest n at which it is covered.
+
+use crate::attack::SourceDistribution;
+use crate::ixp::IxpCatalog;
+use crate::routing::compute_routes;
+use crate::stats::BoxStats;
+use crate::topology::{AsId, Tier, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration of the coverage experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct CoverageExperiment {
+    /// Number of Tier-3 victims to sample (paper: 1,000).
+    pub victims: usize,
+    /// Largest per-region deployment to sweep (paper: 5).
+    pub max_top_n: usize,
+    /// RNG seed for victim sampling.
+    pub seed: u64,
+}
+
+impl CoverageExperiment {
+    /// The paper's configuration: 1,000 random Tier-3 victims, Top-1..5.
+    pub fn paper_default(seed: u64) -> Self {
+        CoverageExperiment {
+            victims: 1000,
+            max_top_n: 5,
+            seed,
+        }
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer Tier-3 ASes than requested victims
+    /// or `max_top_n` is outside 1..=5.
+    pub fn run(
+        &self,
+        topo: &Topology,
+        catalog: &IxpCatalog,
+        sources: &SourceDistribution,
+    ) -> CoverageResult {
+        assert!((1..=5).contains(&self.max_top_n), "top-n must be 1..=5");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut stubs = topo.ases_of_tier(Tier::Tier3);
+        assert!(
+            stubs.len() >= self.victims,
+            "need at least {} Tier-3 ASes, topology has {}",
+            self.victims,
+            stubs.len()
+        );
+        stubs.shuffle(&mut rng);
+        let victims: Vec<AsId> = stubs.into_iter().take(self.victims).collect();
+
+        // ratios[n-1][v] = covered fraction for victim v at Top-n.
+        let mut ratios: Vec<Vec<f64>> = vec![Vec::with_capacity(self.victims); self.max_top_n];
+        for &victim in &victims {
+            let routes = compute_routes(topo, victim);
+            let mut covered_at = vec![0u64; self.max_top_n + 1]; // index by rank, 0 unused
+            let mut total = 0u64;
+            for &(src, count) in sources.counts() {
+                if src == victim {
+                    continue; // a victim does not attack itself
+                }
+                total += count;
+                let Some(path) = routes.path(src) else {
+                    continue;
+                };
+                let best_rank = path
+                    .windows(2)
+                    .filter_map(|w| catalog.min_rank_covering(w[0], w[1]))
+                    .min();
+                if let Some(rank) = best_rank {
+                    if rank <= self.max_top_n {
+                        covered_at[rank] += count;
+                    }
+                }
+            }
+            let mut cumulative = 0u64;
+            for n in 1..=self.max_top_n {
+                cumulative += covered_at[n];
+                let ratio = if total == 0 {
+                    0.0
+                } else {
+                    cumulative as f64 / total as f64
+                };
+                ratios[n - 1].push(ratio);
+            }
+        }
+
+        let per_top_n = ratios.iter().map(|r| BoxStats::from_samples(r)).collect();
+        CoverageResult {
+            victims,
+            ratios,
+            per_top_n,
+        }
+    }
+}
+
+/// Results of the coverage experiment.
+#[derive(Debug, Clone)]
+pub struct CoverageResult {
+    /// The sampled victims.
+    pub victims: Vec<AsId>,
+    /// `ratios[n-1][v]`: fraction of sources handled for victim `v` with
+    /// Top-n IXPs per region deployed.
+    pub ratios: Vec<Vec<f64>>,
+    /// Box-plot summary per Top-n (the bars of Fig. 11).
+    pub per_top_n: Vec<BoxStats>,
+}
+
+impl CoverageResult {
+    /// The box statistics for a given Top-n deployment (n is 1-based).
+    pub fn stats(&self, top_n: usize) -> &BoxStats {
+        &self.per_top_n[top_n - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::AttackSourceModel;
+    use crate::topology::TopologyConfig;
+
+    fn setup() -> (Topology, IxpCatalog, SourceDistribution) {
+        let topo = TopologyConfig::small_test().build(3);
+        let catalog = IxpCatalog::generate(&topo, 4.0, 3);
+        let sources = AttackSourceModel::DnsResolvers.distribute(&topo, 10_000, 3);
+        (topo, catalog, sources)
+    }
+
+    #[test]
+    fn coverage_monotone_in_top_n() {
+        let (topo, catalog, sources) = setup();
+        let exp = CoverageExperiment {
+            victims: 20,
+            max_top_n: 5,
+            seed: 1,
+        };
+        let result = exp.run(&topo, &catalog, &sources);
+        for v in 0..20 {
+            for n in 1..5 {
+                assert!(
+                    result.ratios[n][v] >= result.ratios[n - 1][v] - 1e-12,
+                    "victim {v}: coverage decreased from top-{n} to top-{}",
+                    n + 1
+                );
+            }
+        }
+        for n in 1..5 {
+            assert!(result.stats(n + 1).median >= result.stats(n).median - 1e-12);
+        }
+    }
+
+    #[test]
+    fn ratios_in_unit_interval() {
+        let (topo, catalog, sources) = setup();
+        let exp = CoverageExperiment {
+            victims: 10,
+            max_top_n: 3,
+            seed: 2,
+        };
+        let result = exp.run(&topo, &catalog, &sources);
+        for row in &result.ratios {
+            for &r in row {
+                assert!((0.0..=1.0).contains(&r), "ratio {r}");
+            }
+        }
+        assert_eq!(result.victims.len(), 10);
+        assert_eq!(result.ratios.len(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (topo, catalog, sources) = setup();
+        let exp = CoverageExperiment {
+            victims: 5,
+            max_top_n: 2,
+            seed: 7,
+        };
+        let a = exp.run(&topo, &catalog, &sources);
+        let b = exp.run(&topo, &catalog, &sources);
+        assert_eq!(a.ratios, b.ratios);
+        assert_eq!(a.victims, b.victims);
+    }
+
+    #[test]
+    fn coverage_grows_with_ixp_membership() {
+        let (topo, big_catalog, sources) = setup();
+        // Minimal memberships (2 ASes per IXP) must cover less than the
+        // full-size catalog.
+        let tiny_catalog = IxpCatalog::generate(&topo, 0.0001, 1);
+        let exp = CoverageExperiment {
+            victims: 10,
+            max_top_n: 5,
+            seed: 3,
+        };
+        let tiny = exp.run(&topo, &tiny_catalog, &sources);
+        let big = exp.run(&topo, &big_catalog, &sources);
+        assert!(
+            tiny.stats(5).median < big.stats(5).median,
+            "tiny {} !< big {}",
+            tiny.stats(5).median,
+            big.stats(5).median
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Tier-3")]
+    fn too_many_victims_rejected() {
+        let (topo, catalog, sources) = setup();
+        let exp = CoverageExperiment {
+            victims: 10_000,
+            max_top_n: 2,
+            seed: 1,
+        };
+        exp.run(&topo, &catalog, &sources);
+    }
+}

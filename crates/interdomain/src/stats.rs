@@ -1,0 +1,117 @@
+//! Box-plot statistics matching the paper's Fig. 11 presentation:
+//! whiskers at the 5th/95th percentiles, box at the quartiles, band at the
+//! median.
+
+/// Five-number summary (plus mean and count) of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// 5th percentile (lower whisker).
+    pub p5: f64,
+    /// 25th percentile (box bottom).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile (box top).
+    pub q3: f64,
+    /// 95th percentile (upper whisker).
+    pub p95: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "empty sample");
+        assert!(samples.iter().all(|x| x.is_finite()), "non-finite sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |q: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let pos = q / 100.0 * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let frac = pos - lo as f64;
+                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            }
+        };
+        BoxStats {
+            p5: pct(5.0),
+            q1: pct(25.0),
+            median: pct(50.0),
+            q3: pct(75.0),
+            p95: pct(95.0),
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            n: samples.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for BoxStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p5={:.3} q1={:.3} med={:.3} q3={:.3} p95={:.3} (mean {:.3}, n={})",
+            self.p5, self.q1, self.median, self.q3, self.p95, self.mean, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_quantiles() {
+        let samples: Vec<f64> = (0..=100).map(|x| x as f64).collect();
+        let s = BoxStats::from_samples(&samples);
+        assert_eq!(s.p5, 5.0);
+        assert_eq!(s.q1, 25.0);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.q3, 75.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.mean, 50.0);
+        assert_eq!(s.n, 101);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = BoxStats::from_samples(&[7.5]);
+        assert_eq!(s.p5, 7.5);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.p95, 7.5);
+    }
+
+    #[test]
+    fn unsorted_input() {
+        let s = BoxStats::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = BoxStats::from_samples(&[0.0, 1.0]);
+        assert!((s.median - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        BoxStats::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        BoxStats::from_samples(&[f64::NAN]);
+    }
+}

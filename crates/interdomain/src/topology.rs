@@ -1,0 +1,465 @@
+//! Synthetic tiered AS topologies.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An autonomous-system identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl std::fmt::Display for AsId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Business relationship of a neighbor, from the perspective of an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// The neighbor is my customer (it pays me).
+    Customer,
+    /// The neighbor is my provider (I pay it).
+    Provider,
+    /// Settlement-free peer.
+    Peer,
+}
+
+impl Relationship {
+    /// The relationship as seen from the other side of the link.
+    pub fn inverse(self) -> Relationship {
+        match self {
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Provider => Relationship::Customer,
+            Relationship::Peer => Relationship::Peer,
+        }
+    }
+}
+
+/// AS tier in the transit hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// Global transit-free backbone.
+    Tier1,
+    /// Regional transit provider.
+    Tier2,
+    /// Stub / eyeball / enterprise network.
+    Tier3,
+}
+
+/// Geographic region (the paper's five IXP regions, Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// Europe.
+    Europe,
+    /// North America.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Asia-Pacific.
+    AsiaPacific,
+    /// Africa.
+    Africa,
+}
+
+impl Region {
+    /// All five regions.
+    pub const ALL: [Region; 5] = [
+        Region::Europe,
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::AsiaPacific,
+        Region::Africa,
+    ];
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Region::Europe => "Europe",
+            Region::NorthAmerica => "North America",
+            Region::SouthAmerica => "South America",
+            Region::AsiaPacific => "Asia Pacific",
+            Region::Africa => "Africa",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Per-AS metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsNode {
+    /// The AS number.
+    pub id: AsId,
+    /// Transit tier.
+    pub tier: Tier,
+    /// Home region.
+    pub region: Region,
+}
+
+/// An AS-level topology with business relationships.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<AsNode>,
+    /// `adj[a]` lists `(neighbor, relationship-of-neighbor-to-a)`:
+    /// `Customer` means the neighbor is a's customer.
+    adj: Vec<Vec<(AsId, Relationship)>>,
+}
+
+impl Topology {
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the topology has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Metadata for an AS.
+    pub fn node(&self, a: AsId) -> &AsNode {
+        &self.nodes[a.0 as usize]
+    }
+
+    /// All AS metadata in id order.
+    pub fn nodes(&self) -> &[AsNode] {
+        &self.nodes
+    }
+
+    /// Neighbors of `a` with their relationship to `a`.
+    pub fn neighbors(&self, a: AsId) -> &[(AsId, Relationship)] {
+        &self.adj[a.0 as usize]
+    }
+
+    /// All ASes of a tier.
+    pub fn ases_of_tier(&self, tier: Tier) -> Vec<AsId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.tier == tier)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Tier-1 ASes.
+    pub fn tier1_ases(&self) -> Vec<AsId> {
+        self.ases_of_tier(Tier::Tier1)
+    }
+
+    /// Tier-2 ASes.
+    pub fn tier2_ases(&self) -> Vec<AsId> {
+        self.ases_of_tier(Tier::Tier2)
+    }
+
+    /// Tier-3 (stub) ASes.
+    pub fn tier3_ases(&self) -> Vec<AsId> {
+        self.ases_of_tier(Tier::Tier3)
+    }
+
+    /// Degree of an AS.
+    pub fn degree(&self, a: AsId) -> usize {
+        self.adj[a.0 as usize].len()
+    }
+
+    /// True if `a` and `b` are directly connected.
+    pub fn connected(&self, a: AsId, b: AsId) -> bool {
+        self.adj[a.0 as usize].iter().any(|(n, _)| *n == b)
+    }
+
+    /// Returns a copy of the topology with every link of the given ASes
+    /// removed (the effect of BGP-poisoning them out of inbound paths,
+    /// Appendix B). The AS entries remain so ids stay stable; the poisoned
+    /// ASes simply become unreachable.
+    pub fn without_ases(&self, avoid: &[AsId]) -> Topology {
+        let avoid_set: std::collections::HashSet<AsId> = avoid.iter().copied().collect();
+        let adj = self
+            .adj
+            .iter()
+            .enumerate()
+            .map(|(i, nbrs)| {
+                if avoid_set.contains(&AsId(i as u32)) {
+                    Vec::new()
+                } else {
+                    nbrs.iter()
+                        .filter(|(n, _)| !avoid_set.contains(n))
+                        .copied()
+                        .collect()
+                }
+            })
+            .collect();
+        Topology {
+            nodes: self.nodes.clone(),
+            adj,
+        }
+    }
+
+    fn add_edge(&mut self, a: AsId, b: AsId, rel_of_b_to_a: Relationship) {
+        debug_assert!(a != b, "self loop");
+        if self.connected(a, b) {
+            return;
+        }
+        self.adj[a.0 as usize].push((b, rel_of_b_to_a));
+        self.adj[b.0 as usize].push((a, rel_of_b_to_a.inverse()));
+    }
+}
+
+/// Configuration of the synthetic topology generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TopologyConfig {
+    /// Tier-1 ASes per region (they also form a global clique).
+    pub t1_per_region: usize,
+    /// Tier-2 transit ASes per region.
+    pub t2_per_region: usize,
+    /// Tier-3 stub ASes per region.
+    pub t3_per_region: usize,
+    /// Probability that two same-region Tier-2 ASes peer.
+    pub t2_peering_prob: f64,
+    /// Maximum provider count for a Tier-2 (multihoming).
+    pub t2_max_providers: usize,
+    /// Maximum provider count for a Tier-3.
+    pub t3_max_providers: usize,
+    /// Probability that a Tier-3 picks an out-of-region provider.
+    pub t3_remote_provider_prob: f64,
+}
+
+impl TopologyConfig {
+    /// The default evaluation topology: 5 regions × (3 T1 + 40 T2 + 400 T3)
+    /// = 2,215 ASes; 1,000 Tier-3 victims can be sampled as in §VI-C.
+    pub fn paper_scale() -> Self {
+        TopologyConfig {
+            t1_per_region: 3,
+            t2_per_region: 40,
+            t3_per_region: 400,
+            t2_peering_prob: 0.12,
+            t2_max_providers: 3,
+            t3_max_providers: 2,
+            t3_remote_provider_prob: 0.05,
+        }
+    }
+
+    /// A small topology for fast unit tests (5 × (1+4+20) = 125 ASes).
+    pub fn small_test() -> Self {
+        TopologyConfig {
+            t1_per_region: 1,
+            t2_per_region: 4,
+            t3_per_region: 20,
+            t2_peering_prob: 0.3,
+            t2_max_providers: 2,
+            t3_max_providers: 2,
+            t3_remote_provider_prob: 0.05,
+        }
+    }
+
+    /// Generates a topology with a deterministic seed.
+    ///
+    /// Structure:
+    /// - all Tier-1s form a full peering clique (the transit-free core),
+    /// - each Tier-2 buys transit from 1..=`t2_max_providers` Tier-1s
+    ///   (same region preferred) and peers with same-region Tier-2s with
+    ///   probability `t2_peering_prob`,
+    /// - each Tier-3 buys transit from 1..=`t3_max_providers` Tier-2s,
+    ///   mostly in its own region.
+    pub fn build(&self, seed: u64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nodes = Vec::new();
+        let mut next_id = 0u32;
+        let mut alloc = |tier: Tier, region: Region, nodes: &mut Vec<AsNode>| -> AsId {
+            let id = AsId(next_id);
+            next_id += 1;
+            nodes.push(AsNode { id, tier, region });
+            id
+        };
+
+        let mut t1: Vec<AsId> = Vec::new();
+        let mut t2_by_region: Vec<Vec<AsId>> = vec![Vec::new(); Region::ALL.len()];
+        let mut t1_by_region: Vec<Vec<AsId>> = vec![Vec::new(); Region::ALL.len()];
+
+        for (ri, &region) in Region::ALL.iter().enumerate() {
+            for _ in 0..self.t1_per_region {
+                let id = alloc(Tier::Tier1, region, &mut nodes);
+                t1.push(id);
+                t1_by_region[ri].push(id);
+            }
+        }
+        for (ri, &region) in Region::ALL.iter().enumerate() {
+            for _ in 0..self.t2_per_region {
+                let id = alloc(Tier::Tier2, region, &mut nodes);
+                t2_by_region[ri].push(id);
+            }
+        }
+        let mut t3_nodes: Vec<(AsId, usize)> = Vec::new();
+        for (ri, &region) in Region::ALL.iter().enumerate() {
+            for _ in 0..self.t3_per_region {
+                let id = alloc(Tier::Tier3, region, &mut nodes);
+                t3_nodes.push((id, ri));
+            }
+        }
+
+        let n = nodes.len();
+        let mut topo = Topology {
+            nodes,
+            adj: vec![Vec::new(); n],
+        };
+
+        // Tier-1 clique.
+        for i in 0..t1.len() {
+            for j in i + 1..t1.len() {
+                topo.add_edge(t1[i], t1[j], Relationship::Peer);
+            }
+        }
+
+        // Tier-2: providers among Tier-1 (same region preferred) + regional
+        // peering.
+        for (ri, t2s) in t2_by_region.iter().enumerate() {
+            for &t2 in t2s {
+                let provider_count = rng.gen_range(1..=self.t2_max_providers);
+                let mut providers = t1_by_region[ri].clone();
+                providers.shuffle(&mut rng);
+                while providers.len() < provider_count {
+                    providers.push(*t1.choose(&mut rng).expect("t1 non-empty"));
+                }
+                for &p in providers.iter().take(provider_count) {
+                    topo.add_edge(p, t2, Relationship::Customer);
+                }
+            }
+            for i in 0..t2s.len() {
+                for j in i + 1..t2s.len() {
+                    if rng.gen_bool(self.t2_peering_prob) {
+                        topo.add_edge(t2s[i], t2s[j], Relationship::Peer);
+                    }
+                }
+            }
+        }
+
+        // Tier-3 stubs: 1..=max providers among Tier-2s.
+        for &(t3, ri) in &t3_nodes {
+            let provider_count = rng.gen_range(1..=self.t3_max_providers);
+            for _ in 0..provider_count {
+                let remote = rng.gen_bool(self.t3_remote_provider_prob);
+                let region_idx = if remote {
+                    rng.gen_range(0..Region::ALL.len())
+                } else {
+                    ri
+                };
+                let p = *t2_by_region[region_idx]
+                    .choose(&mut rng)
+                    .expect("t2 region non-empty");
+                topo.add_edge(p, t3, Relationship::Customer);
+            }
+        }
+
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        TopologyConfig::small_test().build(1)
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let t = topo();
+        assert_eq!(t.tier1_ases().len(), 5);
+        assert_eq!(t.tier2_ases().len(), 20);
+        assert_eq!(t.tier3_ases().len(), 100);
+        assert_eq!(t.len(), 125);
+    }
+
+    #[test]
+    fn relationships_symmetric() {
+        let t = topo();
+        for node in t.nodes() {
+            for &(nbr, rel) in t.neighbors(node.id) {
+                let back = t
+                    .neighbors(nbr)
+                    .iter()
+                    .find(|(x, _)| *x == node.id)
+                    .map(|(_, r)| *r)
+                    .expect("edge must be bidirectional");
+                assert_eq!(back, rel.inverse());
+            }
+        }
+    }
+
+    #[test]
+    fn tier1_clique_peering() {
+        let t = topo();
+        let t1 = t.tier1_ases();
+        for i in 0..t1.len() {
+            for j in i + 1..t1.len() {
+                assert!(t.connected(t1[i], t1[j]));
+                let rel = t
+                    .neighbors(t1[i])
+                    .iter()
+                    .find(|(x, _)| *x == t1[j])
+                    .map(|(_, r)| *r)
+                    .unwrap();
+                assert_eq!(rel, Relationship::Peer);
+            }
+        }
+    }
+
+    #[test]
+    fn stubs_have_no_customers() {
+        let t = topo();
+        for t3 in t.tier3_ases() {
+            assert!(
+                t.neighbors(t3)
+                    .iter()
+                    .all(|(_, rel)| *rel == Relationship::Provider),
+                "stub {t3} should only have providers"
+            );
+            assert!(t.degree(t3) >= 1, "stub {t3} must be connected");
+        }
+    }
+
+    #[test]
+    fn tier2_have_tier1_providers() {
+        let t = topo();
+        for t2 in t.tier2_ases() {
+            let has_provider = t
+                .neighbors(t2)
+                .iter()
+                .any(|(n, rel)| *rel == Relationship::Provider && t.node(*n).tier == Tier::Tier1);
+            assert!(has_provider, "{t2} lacks a Tier-1 provider");
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = TopologyConfig::small_test().build(9);
+        let b = TopologyConfig::small_test().build(9);
+        for node in a.nodes() {
+            assert_eq!(a.neighbors(node.id), b.neighbors(node.id));
+        }
+        let c = TopologyConfig::small_test().build(10);
+        let differs = a
+            .nodes()
+            .iter()
+            .any(|n| a.neighbors(n.id) != c.neighbors(n.id));
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn paper_scale_dimensions() {
+        let t = TopologyConfig::paper_scale().build(3);
+        assert_eq!(t.len(), 5 * (3 + 40 + 400));
+        assert_eq!(t.tier3_ases().len(), 2000);
+    }
+
+    #[test]
+    fn relationship_inverse_involution() {
+        for rel in [
+            Relationship::Customer,
+            Relationship::Provider,
+            Relationship::Peer,
+        ] {
+            assert_eq!(rel.inverse().inverse(), rel);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for Gao–Rexford routing over random topologies.
+
+use proptest::prelude::*;
+use vif_interdomain::prelude::*;
+use vif_interdomain::routing::{is_valley_free, path_steps};
+
+fn arb_config() -> impl Strategy<Value = (TopologyConfig, u64)> {
+    (
+        1usize..=2,  // t1 per region
+        2usize..=6,  // t2 per region
+        4usize..=15, // t3 per region
+        0.0f64..0.5, // peering prob
+        any::<u64>(),
+    )
+        .prop_map(|(t1, t2, t3, peer, seed)| {
+            (
+                TopologyConfig {
+                    t1_per_region: t1,
+                    t2_per_region: t2,
+                    t3_per_region: t3,
+                    t2_peering_prob: peer,
+                    t2_max_providers: 2,
+                    t3_max_providers: 2,
+                    t3_remote_provider_prob: 0.1,
+                },
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every AS reaches every destination, loop-free and valley-free.
+    #[test]
+    fn routes_total_loopfree_valleyfree((cfg, seed) in arb_config(), dst_pick in any::<prop::sample::Index>()) {
+        let topo = cfg.build(seed);
+        let stubs = topo.tier3_ases();
+        let dst = stubs[dst_pick.index(stubs.len())];
+        let routes = compute_routes(&topo, dst);
+        for node in topo.nodes() {
+            let path = routes.path(node.id);
+            prop_assert!(path.is_some(), "{} unreachable", node.id);
+            let path = path.unwrap();
+            prop_assert_eq!(*path.last().unwrap(), dst);
+            let mut seen = std::collections::HashSet::new();
+            prop_assert!(path.iter().all(|a| seen.insert(*a)), "loop in {:?}", path);
+            prop_assert!(is_valley_free(&path_steps(&topo, &path)), "valley in {:?}", path);
+        }
+    }
+
+    /// Poisoning an intermediate AS yields paths that avoid it (when a
+    /// route still exists).
+    #[test]
+    fn poisoning_avoids_target((cfg, seed) in arb_config(), picks in any::<[prop::sample::Index; 2]>()) {
+        let topo = cfg.build(seed);
+        let stubs = topo.tier3_ases();
+        let dst = stubs[picks[0].index(stubs.len())];
+        let src = stubs[picks[1].index(stubs.len())];
+        prop_assume!(src != dst);
+        let routes = compute_routes(&topo, dst);
+        let path = routes.path(src).unwrap();
+        prop_assume!(path.len() >= 3);
+        let mid = path[1];
+        let detour = reroute_avoiding(&topo, dst, &[mid]);
+        if let Some(new_path) = detour.path(src) {
+            prop_assert!(!new_path.contains(&mid));
+            prop_assert_eq!(*new_path.last().unwrap(), dst);
+        }
+    }
+
+    /// Route classes respect Gao–Rexford preference: if an AS has any
+    /// customer route available (a provider chain below it reaches dst),
+    /// its selected class is Customer.
+    #[test]
+    fn destination_providers_use_customer_routes((cfg, seed) in arb_config(), dst_pick in any::<prop::sample::Index>()) {
+        let topo = cfg.build(seed);
+        let stubs = topo.tier3_ases();
+        let dst = stubs[dst_pick.index(stubs.len())];
+        let routes = compute_routes(&topo, dst);
+        for &(nbr, rel) in topo.neighbors(dst) {
+            if rel == Relationship::Provider {
+                // dst's direct providers always have the 1-hop customer route.
+                prop_assert_eq!(routes.class(nbr), Some(RouteClass::Customer));
+                prop_assert_eq!(routes.path_len(nbr), Some(1));
+            }
+        }
+    }
+}

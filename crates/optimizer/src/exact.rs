@@ -1,0 +1,401 @@
+//! Exact branch-and-bound solver — the CPLEX stand-in (see DESIGN.md).
+//!
+//! Solves the rule-distribution ILP with *unsplittable* rules
+//! (`Σ_j y_{i,j} = 1`): each rule's full bandwidth lands on one enclave.
+//! This is the integral core of the paper's MILP — the continuous
+//! `x_{i,j}` splitting only matters for rules larger than an enclave,
+//! which the optimality-gap experiment's small instances exclude by
+//! construction (§V-C uses k ∈ 10..=15).
+//!
+//! The search branches on "which enclave hosts rule i" (rules in
+//! decreasing-bandwidth order), prunes with a load/memory lower bound, and
+//! breaks enclave symmetry by allowing at most one new (empty) enclave per
+//! branch level. Like the paper's CPLEX configuration, it can stop at the
+//! first incumbent ([`SolveBudget::first_incumbent`]) or run to proven
+//! optimality.
+
+use crate::ilp::{Allocation, Instance, RuleShare};
+use std::time::{Duration, Instant};
+
+/// Search budget and stopping rule.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveBudget {
+    /// Maximum branch-and-bound nodes to expand.
+    pub max_nodes: u64,
+    /// Wall-clock limit.
+    pub time_limit: Duration,
+    /// Stop as soon as any feasible incumbent is found (the paper's
+    /// "configured to stop when found sub-optimal solutions", Table I).
+    pub stop_at_first_incumbent: bool,
+}
+
+impl SolveBudget {
+    /// Run to proven optimality (bounded by `max_nodes`/`time_limit`).
+    pub fn optimal() -> Self {
+        SolveBudget {
+            max_nodes: u64::MAX,
+            time_limit: Duration::from_secs(3600),
+            stop_at_first_incumbent: false,
+        }
+    }
+
+    /// Stop at the first feasible incumbent.
+    pub fn first_incumbent() -> Self {
+        SolveBudget {
+            stop_at_first_incumbent: true,
+            ..Self::optimal()
+        }
+    }
+
+    /// Caps the wall-clock time.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Caps the node count.
+    pub fn with_max_nodes(mut self, nodes: u64) -> Self {
+        self.max_nodes = nodes;
+        self
+    }
+}
+
+/// Outcome status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Incumbent proven optimal.
+    Optimal,
+    /// Feasible incumbent found, search stopped early (budget or
+    /// first-incumbent mode).
+    Feasible,
+    /// No feasible assignment exists (within the enclave count).
+    Infeasible,
+    /// Budget exhausted before any incumbent was found.
+    Unknown,
+}
+
+/// Result of an exact solve.
+#[derive(Debug, Clone)]
+pub struct ExactSolution {
+    /// Best allocation found, if any.
+    pub allocation: Option<Allocation>,
+    /// Objective of the best allocation.
+    pub objective: f64,
+    /// Proof status.
+    pub status: SolveStatus,
+    /// Nodes expanded.
+    pub nodes: u64,
+    /// Total solve time.
+    pub elapsed: Duration,
+    /// Time at which the first incumbent appeared.
+    pub first_incumbent_at: Option<Duration>,
+}
+
+/// The branch-and-bound solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BranchAndBound;
+
+struct SearchState<'a> {
+    inst: &'a Instance,
+    order: Vec<usize>,
+    n: usize,
+    h_cap: usize,
+    budget: SolveBudget,
+    start: Instant,
+    nodes: u64,
+    /// Suffix sums of ordered bandwidths: remaining[i] = Σ b over order[i..].
+    remaining: Vec<f64>,
+    loads: Vec<f64>,
+    counts: Vec<usize>,
+    assignment: Vec<usize>,
+    best: Option<(f64, Vec<usize>)>,
+    first_incumbent_at: Option<Duration>,
+    aborted: bool,
+}
+
+impl BranchAndBound {
+    /// Solves `inst` with unsplittable rules over `inst.n()` enclaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is malformed.
+    pub fn solve(&self, inst: &Instance, budget: SolveBudget) -> ExactSolution {
+        inst.assert_well_formed();
+        let n = inst.n();
+        let h_cap = inst.rules_per_enclave_cap();
+        let start = Instant::now();
+
+        // Quick infeasibility checks for the unsplittable variant.
+        let oversized = inst
+            .bandwidths
+            .iter()
+            .any(|b| *b > inst.bandwidth_cap_gbps + 1e-9);
+        if oversized || h_cap == 0 || (n * h_cap) < inst.k() {
+            return ExactSolution {
+                allocation: None,
+                objective: f64::INFINITY,
+                status: SolveStatus::Infeasible,
+                nodes: 0,
+                elapsed: start.elapsed(),
+                first_incumbent_at: None,
+            };
+        }
+
+        // Branch on rules in decreasing bandwidth (stronger pruning).
+        let mut order: Vec<usize> = (0..inst.k()).collect();
+        order.sort_by(|&a, &b| {
+            inst.bandwidths[b]
+                .partial_cmp(&inst.bandwidths[a])
+                .expect("finite")
+        });
+        let mut remaining = vec![0.0; inst.k() + 1];
+        for i in (0..inst.k()).rev() {
+            remaining[i] = remaining[i + 1] + inst.bandwidths[order[i]];
+        }
+
+        let mut state = SearchState {
+            inst,
+            order,
+            n,
+            h_cap,
+            budget,
+            start,
+            nodes: 0,
+            remaining,
+            loads: vec![0.0; n],
+            counts: vec![0; n],
+            assignment: vec![usize::MAX; inst.k()],
+            best: None,
+            first_incumbent_at: None,
+            aborted: false,
+        };
+        state.dfs(0);
+
+        let elapsed = start.elapsed();
+        match state.best {
+            Some((obj, assignment)) => {
+                let mut enclaves: Vec<Vec<RuleShare>> = vec![Vec::new(); n];
+                for (rule, &j) in assignment.iter().enumerate() {
+                    enclaves[j].push(RuleShare {
+                        rule,
+                        bandwidth: inst.bandwidths[rule],
+                    });
+                }
+                let status = if state.aborted {
+                    SolveStatus::Feasible
+                } else {
+                    SolveStatus::Optimal
+                };
+                ExactSolution {
+                    allocation: Some(Allocation { enclaves }),
+                    objective: obj,
+                    status,
+                    nodes: state.nodes,
+                    elapsed,
+                    first_incumbent_at: state.first_incumbent_at,
+                }
+            }
+            None => ExactSolution {
+                allocation: None,
+                objective: f64::INFINITY,
+                status: if state.aborted {
+                    SolveStatus::Unknown
+                } else {
+                    SolveStatus::Infeasible
+                },
+                nodes: state.nodes,
+                elapsed,
+                first_incumbent_at: None,
+            },
+        }
+    }
+}
+
+impl SearchState<'_> {
+    /// Objective lower bound for the current partial assignment with rules
+    /// `order[depth..]` still unassigned.
+    fn lower_bound(&self, depth: usize) -> f64 {
+        let assigned: usize = self.counts.iter().sum();
+        let k = self.inst.k();
+        // Memory: some enclave must hold at least ⌈k/n⌉ rules, and no
+        // current count can shrink.
+        let max_count = self
+            .counts
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(k.div_ceil(self.n));
+        let _ = assigned;
+        // Bandwidth: the heaviest enclave is at least the current max load,
+        // and at least the overall mean.
+        let total: f64 = self.loads.iter().sum::<f64>() + self.remaining[depth];
+        let max_load = self
+            .loads
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(total / self.n as f64);
+        self.inst.alpha * self.inst.memory_cost_mb(max_count) + max_load
+    }
+
+    fn out_of_budget(&self) -> bool {
+        self.nodes >= self.budget.max_nodes
+            || (self.nodes.is_multiple_of(1024) && self.start.elapsed() >= self.budget.time_limit)
+    }
+
+    fn dfs(&mut self, depth: usize) {
+        if self.aborted {
+            return;
+        }
+        self.nodes += 1;
+        if self.out_of_budget() {
+            self.aborted = true;
+            return;
+        }
+        if let Some((best_obj, _)) = &self.best {
+            if self.lower_bound(depth) >= *best_obj - 1e-12 {
+                return;
+            }
+            if self.budget.stop_at_first_incumbent {
+                self.aborted = true;
+                return;
+            }
+        }
+        if depth == self.order.len() {
+            let obj = self.current_objective();
+            let better = self
+                .best
+                .as_ref()
+                .map(|(b, _)| obj < *b - 1e-12)
+                .unwrap_or(true);
+            if better {
+                self.best = Some((obj, self.assignment.clone()));
+                if self.first_incumbent_at.is_none() {
+                    self.first_incumbent_at = Some(self.start.elapsed());
+                }
+            }
+            return;
+        }
+
+        let rule = self.order[depth];
+        let bw = self.inst.bandwidths[rule];
+        // Symmetry breaking: only the first empty enclave may be opened.
+        let mut seen_empty = false;
+        for j in 0..self.n {
+            if self.counts[j] == 0 {
+                if seen_empty {
+                    continue;
+                }
+                seen_empty = true;
+            }
+            if self.counts[j] + 1 > self.h_cap {
+                continue;
+            }
+            if self.loads[j] + bw > self.inst.bandwidth_cap_gbps + 1e-9 {
+                continue;
+            }
+            self.loads[j] += bw;
+            self.counts[j] += 1;
+            self.assignment[rule] = j;
+            self.dfs(depth + 1);
+            self.assignment[rule] = usize::MAX;
+            self.counts[j] -= 1;
+            self.loads[j] -= bw;
+            if self.aborted {
+                return;
+            }
+        }
+    }
+
+    fn current_objective(&self) -> f64 {
+        let max_count = self.counts.iter().copied().max().unwrap_or(0);
+        let max_load = self.loads.iter().copied().fold(0.0f64, f64::max);
+        self.inst.alpha * self.inst.memory_cost_mb(max_count) + max_load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::GreedySolver;
+    use crate::instances::small_gap_instance;
+
+    #[test]
+    fn tiny_instance_optimal() {
+        // Two 6 Gb/s rules cannot share a 10 Gb/s enclave.
+        let inst = Instance::paper_defaults(vec![6.0, 6.0], 1.0);
+        let sol = BranchAndBound.solve(&inst, SolveBudget::optimal());
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        let alloc = sol.allocation.unwrap();
+        inst.validate(&alloc).unwrap();
+        assert_eq!(alloc.used_enclaves(), 2);
+        // Optimal z = α(u·1 + v) + 6.0
+        let expected = inst.alpha * inst.memory_cost_mb(1) + 6.0;
+        assert!((sol.objective - expected).abs() < 1e-9, "{}", sol.objective);
+    }
+
+    #[test]
+    fn exact_no_worse_than_greedy_on_small_instances() {
+        for seed in 0..8 {
+            let inst = small_gap_instance(12, seed);
+            let exact = BranchAndBound.solve(&inst, SolveBudget::optimal());
+            assert_eq!(exact.status, SolveStatus::Optimal, "seed {seed}");
+            let greedy = GreedySolver::default().solve(&inst).unwrap();
+            let g_obj = inst.objective(&greedy);
+            assert!(
+                exact.objective <= g_obj + 1e-9,
+                "seed {seed}: exact {} > greedy {g_obj}",
+                exact.objective
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_oversized_rule() {
+        let inst = Instance::paper_defaults(vec![15.0], 0.0);
+        let sol = BranchAndBound.solve(&inst, SolveBudget::optimal());
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+        assert!(sol.allocation.is_none());
+    }
+
+    #[test]
+    fn first_incumbent_mode_stops_early() {
+        let inst = small_gap_instance(14, 3);
+        let first = BranchAndBound.solve(&inst, SolveBudget::first_incumbent());
+        let full = BranchAndBound.solve(&inst, SolveBudget::optimal());
+        assert!(first.allocation.is_some());
+        assert!(first.nodes <= full.nodes);
+        assert!(first.objective >= full.objective - 1e-9);
+    }
+
+    #[test]
+    fn node_budget_respected() {
+        let inst = small_gap_instance(15, 1);
+        let sol = BranchAndBound.solve(&inst, SolveBudget::optimal().with_max_nodes(10));
+        assert!(sol.nodes <= 11);
+        assert!(matches!(
+            sol.status,
+            SolveStatus::Feasible | SolveStatus::Unknown
+        ));
+    }
+
+    #[test]
+    fn solution_satisfies_all_constraints() {
+        let inst = small_gap_instance(13, 5);
+        let sol = BranchAndBound.solve(&inst, SolveBudget::optimal());
+        inst.validate(&sol.allocation.unwrap()).unwrap();
+    }
+
+    #[test]
+    fn nodes_grow_with_k() {
+        let small = BranchAndBound.solve(&small_gap_instance(8, 2), SolveBudget::optimal());
+        let large = BranchAndBound.solve(&small_gap_instance(14, 2), SolveBudget::optimal());
+        assert!(
+            large.nodes > small.nodes,
+            "nodes: k=8 -> {}, k=14 -> {}",
+            small.nodes,
+            large.nodes
+        );
+    }
+}

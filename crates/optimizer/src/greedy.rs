@@ -1,0 +1,355 @@
+//! The paper's greedy rule-distribution heuristic (Appendix D, Algorithm 1).
+//!
+//! Strategy: precompute a per-enclave bandwidth quota `g` (initially the
+//! mean load `Σb/n`) and rule quota `h` (initially `k/n`). Pack each
+//! enclave with the *smallest* remaining rules while they fit, then close
+//! it with the *largest* remaining rule — split across enclaves if it
+//! exceeds the remaining quota. If the packing doesn't cover every rule
+//! with `n` enclaves, relax `g` by `Δg` (and, once `g` hits `G`, relax `h`
+//! by `Δh` and reset `g`) and retry. Runs in `O(retries · k log k)`.
+//!
+//! Transcription notes (the published pseudocode has index typos):
+//! - line 20's guard `j + 1 ≤ h` is read as the rule-count guard
+//!   `c + 1 ≤ h` (a slot must remain for the enclave-closing large rule),
+//! - the enclave index advances whenever an enclave is closed (both the
+//!   whole-rule and the split branches), otherwise the quota `r` would
+//!   illegally reset for the same enclave.
+
+use crate::ilp::{Allocation, Instance, RuleShare};
+use std::collections::BTreeMap;
+
+/// Greedy solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedySolver {
+    /// Relative bandwidth-quota relaxation step (`Δg = step · Σb/n`).
+    pub delta_g_fraction: f64,
+    /// Relative rule-quota relaxation step (`Δh = max(1, step · k/n)`).
+    pub delta_h_fraction: f64,
+    /// If the quota sweep fails for the instance's `n`, try up to this many
+    /// additional enclaves (the paper notes extra enclaves may be created
+    /// before redistribution, §IV-B).
+    pub max_extra_enclaves: usize,
+}
+
+impl Default for GreedySolver {
+    fn default() -> Self {
+        GreedySolver {
+            delta_g_fraction: 0.05,
+            delta_h_fraction: 0.05,
+            max_extra_enclaves: 64,
+        }
+    }
+}
+
+/// Errors from the greedy solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GreedyError {
+    /// No feasible packing found even at maximal quotas and extra enclaves.
+    Infeasible,
+}
+
+impl std::fmt::Display for GreedyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GreedyError::Infeasible => write!(f, "no feasible rule distribution found"),
+        }
+    }
+}
+
+impl std::error::Error for GreedyError {}
+
+/// Total order over non-negative finite f64 (bandwidths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct OrdF64(u64);
+
+impl OrdF64 {
+    fn new(v: f64) -> Self {
+        debug_assert!(v.is_finite() && v >= 0.0);
+        OrdF64(v.to_bits())
+    }
+
+    fn get(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+/// Multiset of `(bandwidth, rule)` supporting pop-min / pop-max.
+#[derive(Debug, Default)]
+struct BandwidthPool {
+    map: BTreeMap<OrdF64, Vec<usize>>,
+    len: usize,
+}
+
+impl BandwidthPool {
+    fn insert(&mut self, bw: f64, rule: usize) {
+        self.map.entry(OrdF64::new(bw)).or_default().push(rule);
+        self.len += 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn peek_min(&self) -> Option<f64> {
+        self.map.keys().next().map(|k| k.get())
+    }
+
+    fn pop_min(&mut self) -> Option<(f64, usize)> {
+        let key = *self.map.keys().next()?;
+        self.pop_at(key)
+    }
+
+    fn pop_max(&mut self) -> Option<(f64, usize)> {
+        let key = *self.map.keys().next_back()?;
+        self.pop_at(key)
+    }
+
+    fn pop_at(&mut self, key: OrdF64) -> Option<(f64, usize)> {
+        let rules = self.map.get_mut(&key)?;
+        let rule = rules.pop().expect("non-empty bucket");
+        if rules.is_empty() {
+            self.map.remove(&key);
+        }
+        self.len -= 1;
+        Some((key.get(), rule))
+    }
+}
+
+impl GreedySolver {
+    /// Solves the instance; the returned allocation satisfies all ILP
+    /// constraints ([`Instance::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// [`GreedyError::Infeasible`] if no packing exists within the quota
+    /// sweep and extra-enclave budget.
+    pub fn solve(&self, inst: &Instance) -> Result<Allocation, GreedyError> {
+        inst.assert_well_formed();
+        let base_n = inst.n();
+        for extra in 0..=self.max_extra_enclaves {
+            let n = base_n + extra;
+            if let Some(alloc) = self.solve_with_n(inst, n) {
+                return Ok(alloc);
+            }
+        }
+        Err(GreedyError::Infeasible)
+    }
+
+    /// One quota sweep with a fixed enclave count (Algorithm 1's outer loop).
+    fn solve_with_n(&self, inst: &Instance, n: usize) -> Option<Allocation> {
+        let k = inst.k();
+        let total = inst.total_bandwidth();
+        let h_cap = inst.rules_per_enclave_cap() as f64;
+        let g_cap = inst.bandwidth_cap_gbps;
+
+        let g0 = (total / n as f64).min(g_cap);
+        let h0 = (k as f64 / n as f64).ceil().max(1.0);
+        let delta_g = (g0 * self.delta_g_fraction).max(g_cap / 1000.0);
+        let delta_h = (h0 * self.delta_h_fraction).max(1.0);
+
+        let mut g = g0;
+        let mut h = h0;
+        while g <= g_cap && h <= h_cap {
+            if let Some(alloc) = assign_bandwidth(inst, h as usize, g, n) {
+                return Some(alloc);
+            }
+            g += delta_g;
+            if g > g_cap {
+                // Paper: once g exceeds G, relax the rule quota instead and
+                // restart the bandwidth sweep.
+                h += delta_h;
+                if h > h_cap {
+                    break;
+                }
+                g = g0;
+            }
+        }
+        // Final attempt at the absolute per-enclave limits.
+        assign_bandwidth(inst, h_cap as usize, g_cap, n)
+    }
+}
+
+/// Algorithm 1's `AssignBandwidth`: pack with quotas `(h, g)` over `n`
+/// enclaves; `None` if rules remain unassigned.
+fn assign_bandwidth(inst: &Instance, h: usize, g: f64, n: usize) -> Option<Allocation> {
+    if h == 0 {
+        return None;
+    }
+    let mut pool = BandwidthPool::default();
+    for (rule, &bw) in inst.bandwidths.iter().enumerate() {
+        pool.insert(bw, rule);
+    }
+    let mut enclaves: Vec<Vec<RuleShare>> = vec![Vec::new(); n];
+
+    for enclave in enclaves.iter_mut() {
+        if pool.is_empty() {
+            break;
+        }
+        let mut r = g; // remaining bandwidth quota
+        let mut c = 0usize; // rules installed on this enclave
+        loop {
+            if pool.is_empty() || c >= h {
+                break;
+            }
+            // Fill with small rules while they fit *and* a slot remains for
+            // the enclave-closing large rule (Algorithm 1 line 20's
+            // `c + 1 ≤ h` guard): without the reservation, count-bound
+            // enclaves would hoard only small rules and leave all heavy
+            // rules to the last enclaves, ruining the load balance.
+            let bmin = pool.peek_min().expect("non-empty");
+            if bmin < r && c + 1 < h {
+                let (bw, rule) = pool.pop_min().expect("non-empty");
+                enclave.push(RuleShare { rule, bandwidth: bw });
+                c += 1;
+                r -= bw;
+                continue;
+            }
+            // Close the enclave with the largest remaining rule.
+            let (bw, rule) = pool.pop_max().expect("non-empty");
+            if bw <= r {
+                enclave.push(RuleShare { rule, bandwidth: bw });
+            } else {
+                // Split: this enclave takes `r`, the remainder returns to
+                // the pool (the rule will also occupy a slot elsewhere).
+                if r > 0.0 {
+                    enclave.push(RuleShare { rule, bandwidth: r });
+                    pool.insert(bw - r, rule);
+                } else {
+                    pool.insert(bw, rule);
+                }
+            }
+            break;
+        }
+    }
+
+    if pool.is_empty() {
+        Some(Allocation { enclaves })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::lognormal_instance;
+
+    #[test]
+    fn uniform_instance_feasible_and_balanced() {
+        let inst = Instance::paper_defaults(vec![1.0; 100], 0.2);
+        let alloc = GreedySolver::default().solve(&inst).unwrap();
+        inst.validate(&alloc).unwrap();
+        // With 100 Gb/s over ≥12 enclaves, max load ≤ 10 and reasonably
+        // close to the mean.
+        assert!(alloc.max_load() <= 10.0 + 1e-9);
+        assert!(alloc.max_load() >= 100.0 / alloc.enclaves.len() as f64 - 1e-9);
+    }
+
+    #[test]
+    fn elephant_flow_split_across_enclaves() {
+        // One 25 Gb/s rule cannot fit any single enclave.
+        let inst = Instance::paper_defaults(vec![25.0, 1.0, 1.0], 0.5);
+        let alloc = GreedySolver::default().solve(&inst).unwrap();
+        inst.validate(&alloc).unwrap();
+        let hosts = alloc
+            .enclaves
+            .iter()
+            .filter(|e| e.iter().any(|s| s.rule == 0))
+            .count();
+        assert!(hosts >= 3, "25 Gb/s rule needs ≥3 enclaves, got {hosts}");
+    }
+
+    #[test]
+    fn memory_constrained_instance() {
+        // Tiny bandwidths, many rules: packing limited by rule slots.
+        let mut inst = Instance::paper_defaults(vec![0.001; 1000], 0.2);
+        inst.memory_limit_mb = inst.v_mb + inst.u_mb * 100.0; // 100 rules/enclave
+        let alloc = GreedySolver::default().solve(&inst).unwrap();
+        inst.validate(&alloc).unwrap();
+        assert!(alloc.max_rules() <= 100);
+        assert!(alloc.used_enclaves() >= 10);
+    }
+
+    #[test]
+    fn lognormal_100g_paper_workload() {
+        let inst = lognormal_instance(3000, 100.0, 1.5, 42);
+        let alloc = GreedySolver::default().solve(&inst).unwrap();
+        inst.validate(&alloc).unwrap();
+    }
+
+    #[test]
+    fn single_rule_single_enclave() {
+        let inst = Instance::paper_defaults(vec![2.0], 0.0);
+        let alloc = GreedySolver::default().solve(&inst).unwrap();
+        inst.validate(&alloc).unwrap();
+        assert_eq!(alloc.used_enclaves(), 1);
+        assert_eq!(alloc.installations(), 1);
+    }
+
+    #[test]
+    fn zero_bandwidth_rules_still_installed() {
+        // Rules with (currently) no traffic must still be placed somewhere.
+        let inst = Instance::paper_defaults(vec![0.0, 0.0, 5.0], 0.2);
+        let alloc = GreedySolver::default().solve(&inst).unwrap();
+        inst.validate(&alloc).unwrap();
+        let installed: std::collections::HashSet<usize> = alloc
+            .enclaves
+            .iter()
+            .flatten()
+            .map(|s| s.rule)
+            .collect();
+        assert_eq!(installed.len(), 3);
+    }
+
+    #[test]
+    fn infeasible_when_memory_too_small() {
+        let mut inst = Instance::paper_defaults(vec![1.0; 10], 0.0);
+        // Each enclave can hold zero rules.
+        inst.memory_limit_mb = inst.v_mb + inst.u_mb * 0.5;
+        let solver = GreedySolver {
+            max_extra_enclaves: 2,
+            ..GreedySolver::default()
+        };
+        assert_eq!(solver.solve(&inst), Err(GreedyError::Infeasible));
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = lognormal_instance(500, 50.0, 1.5, 7);
+        let a = GreedySolver::default().solve(&inst).unwrap();
+        let b = GreedySolver::default().solve(&inst).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_orders_correctly() {
+        let mut pool = BandwidthPool::default();
+        for (i, bw) in [3.0, 1.0, 2.0, 1.0].iter().enumerate() {
+            pool.insert(*bw, i);
+        }
+        assert_eq!(pool.peek_min(), Some(1.0));
+        assert_eq!(pool.pop_max().unwrap().0, 3.0);
+        assert_eq!(pool.pop_min().unwrap().0, 1.0);
+        assert_eq!(pool.pop_min().unwrap().0, 1.0);
+        assert_eq!(pool.pop_min().unwrap().0, 2.0);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn large_instance_runs_quickly() {
+        // Fig. 9's largest point is 150K rules / 500 Gb/s; debug builds use
+        // a scaled instance to keep the test fast (the bench harness runs
+        // the full size in release mode).
+        let (k, total) = if cfg!(debug_assertions) {
+            (30_000, 100.0)
+        } else {
+            (150_000, 500.0)
+        };
+        let inst = lognormal_instance(k, total, 1.5, 11);
+        let start = std::time::Instant::now();
+        let alloc = GreedySolver::default().solve(&inst).unwrap();
+        let elapsed = start.elapsed();
+        inst.validate(&alloc).unwrap();
+        assert!(elapsed.as_secs() < 20, "greedy took {elapsed:?}");
+    }
+}

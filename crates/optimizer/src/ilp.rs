@@ -1,0 +1,418 @@
+//! The rule-distribution optimization model (paper Appendix C).
+
+/// Default per-enclave usable memory: the ≈92 MB EPC limit (§IV-A).
+pub const DEFAULT_MEMORY_LIMIT_MB: f64 = 92.0;
+
+/// Default per-enclave bandwidth capacity: 10 Gb/s (§IV-A).
+pub const DEFAULT_BANDWIDTH_CAP_GBPS: f64 = 10.0;
+
+/// Default per-rule memory cost `u` in MB: ≈15 KB of lookup-table state per
+/// rule, calibrated so ≈6,000 rules fill the EPC (Fig. 3b's linear growth).
+pub const DEFAULT_U_MB: f64 = 0.0145;
+
+/// Default fixed enclave memory cost `v` in MB (sketches, buffers, code).
+pub const DEFAULT_V_MB: f64 = 4.0;
+
+/// Default objective weight `α` balancing memory cost against bandwidth
+/// load (Appendix C, Equation 3).
+pub const DEFAULT_ALPHA: f64 = 0.1;
+
+/// A rule-distribution problem instance.
+///
+/// `k` filter rules with per-rule incoming bandwidth `b_i` (Gb/s) must be
+/// installed across `n` enclaves, where each enclave is limited to `G` Gb/s
+/// and can hold at most `(M − v)/u` rules.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Per-rule incoming bandwidth `b_i`, Gb/s.
+    pub bandwidths: Vec<f64>,
+    /// Per-enclave memory limit `M`, MB.
+    pub memory_limit_mb: f64,
+    /// Per-enclave bandwidth capacity `G`, Gb/s.
+    pub bandwidth_cap_gbps: f64,
+    /// Per-rule memory cost `u`, MB.
+    pub u_mb: f64,
+    /// Fixed per-enclave memory cost `v`, MB.
+    pub v_mb: f64,
+    /// Objective weight `α`.
+    pub alpha: f64,
+    /// Enclave head-room parameter `λ ≥ 0`.
+    pub lambda: f64,
+}
+
+impl Instance {
+    /// Builds an instance with the paper's default limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidths` is empty, contains non-finite or negative
+    /// values, or `lambda < 0`.
+    pub fn paper_defaults(bandwidths: Vec<f64>, lambda: f64) -> Self {
+        let inst = Instance {
+            bandwidths,
+            memory_limit_mb: DEFAULT_MEMORY_LIMIT_MB,
+            bandwidth_cap_gbps: DEFAULT_BANDWIDTH_CAP_GBPS,
+            u_mb: DEFAULT_U_MB,
+            v_mb: DEFAULT_V_MB,
+            alpha: DEFAULT_ALPHA,
+            lambda,
+        };
+        inst.assert_well_formed();
+        inst
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/invalid bandwidths or negative `λ`.
+    pub fn assert_well_formed(&self) {
+        assert!(!self.bandwidths.is_empty(), "instance must have rules");
+        assert!(
+            self.bandwidths.iter().all(|b| b.is_finite() && *b >= 0.0),
+            "bandwidths must be finite and non-negative"
+        );
+        assert!(self.lambda >= 0.0, "lambda must be non-negative");
+        assert!(self.u_mb > 0.0 && self.v_mb >= 0.0);
+        assert!(self.memory_limit_mb > self.v_mb, "no room for any rule");
+        assert!(self.bandwidth_cap_gbps > 0.0);
+    }
+
+    /// Number of rules `k`.
+    pub fn k(&self) -> usize {
+        self.bandwidths.len()
+    }
+
+    /// Total incoming bandwidth `Σ b_i`, Gb/s.
+    pub fn total_bandwidth(&self) -> f64 {
+        self.bandwidths.iter().sum()
+    }
+
+    /// Maximum rules per enclave: `⌊(M − v)/u⌋`.
+    pub fn rules_per_enclave_cap(&self) -> usize {
+        ((self.memory_limit_mb - self.v_mb) / self.u_mb).floor() as usize
+    }
+
+    /// Minimum enclave count
+    /// `n_min = ⌈max(Σb/G, k·u/(M−v))⌉` (§IV-B).
+    pub fn n_min(&self) -> usize {
+        let by_bw = self.total_bandwidth() / self.bandwidth_cap_gbps;
+        let by_mem = (self.k() as f64 * self.u_mb) / (self.memory_limit_mb - self.v_mb);
+        by_bw.max(by_mem).ceil().max(1.0) as usize
+    }
+
+    /// Provisioned enclave count `n = ⌈n_raw · (1+λ)⌉` (§IV-B).
+    pub fn n(&self) -> usize {
+        let by_bw = self.total_bandwidth() / self.bandwidth_cap_gbps;
+        let by_mem = (self.k() as f64 * self.u_mb) / (self.memory_limit_mb - self.v_mb);
+        ((by_bw.max(by_mem) * (1.0 + self.lambda)).ceil() as usize).max(1)
+    }
+
+    /// Memory cost of an enclave holding `rule_count` rules:
+    /// `C = u·rule_count + v` (MB).
+    pub fn memory_cost_mb(&self, rule_count: usize) -> f64 {
+        self.u_mb * rule_count as f64 + self.v_mb
+    }
+
+    /// Objective value of an allocation:
+    /// `z = α·max_j C_j + max_j I_j` (Appendix C, Equation 3).
+    pub fn objective(&self, alloc: &Allocation) -> f64 {
+        let max_mem = alloc
+            .enclaves
+            .iter()
+            .map(|e| self.memory_cost_mb(e.len()))
+            .fold(0.0, f64::max);
+        let max_bw = alloc
+            .enclaves
+            .iter()
+            .map(|e| e.iter().map(|a| a.bandwidth).sum::<f64>())
+            .fold(0.0, f64::max);
+        self.alpha * max_mem + max_bw
+    }
+
+    /// Checks every ILP constraint against an allocation.
+    ///
+    /// # Errors
+    ///
+    /// The first violated constraint, see [`ValidationError`].
+    pub fn validate(&self, alloc: &Allocation) -> Result<(), ValidationError> {
+        const EPS: f64 = 1e-6;
+        // (4): per-enclave memory.
+        for (j, enclave) in alloc.enclaves.iter().enumerate() {
+            if self.memory_cost_mb(enclave.len()) > self.memory_limit_mb + EPS {
+                return Err(ValidationError::MemoryExceeded { enclave: j });
+            }
+            // (5): per-enclave bandwidth.
+            let load: f64 = enclave.iter().map(|a| a.bandwidth).sum();
+            if load > self.bandwidth_cap_gbps + EPS {
+                return Err(ValidationError::BandwidthExceeded { enclave: j });
+            }
+            // (8): non-negative assignments.
+            if enclave.iter().any(|a| a.bandwidth < -EPS) {
+                return Err(ValidationError::NegativeAssignment { enclave: j });
+            }
+        }
+        // (6): coverage — every rule's bandwidth fully assigned.
+        let mut covered = vec![0.0f64; self.k()];
+        for enclave in &alloc.enclaves {
+            for a in enclave {
+                if a.rule >= self.k() {
+                    return Err(ValidationError::UnknownRule { rule: a.rule });
+                }
+                covered[a.rule] += a.bandwidth;
+            }
+        }
+        for (i, (&got, &want)) in covered.iter().zip(self.bandwidths.iter()).enumerate() {
+            if (got - want).abs() > EPS.max(want * 1e-9) {
+                return Err(ValidationError::CoverageMismatch {
+                    rule: i,
+                    assigned: got,
+                    required: want,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One rule's bandwidth share on one enclave (`x_{i,j} > 0 ⇒ y_{i,j} = 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleShare {
+    /// Rule index `i`.
+    pub rule: usize,
+    /// Bandwidth assigned here, Gb/s.
+    pub bandwidth: f64,
+}
+
+/// An allocation of rules (and their bandwidth) to enclaves.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Allocation {
+    /// Per-enclave rule shares. `enclaves[j]` lists every rule installed on
+    /// enclave `j` with the bandwidth routed to it there.
+    pub enclaves: Vec<Vec<RuleShare>>,
+}
+
+impl Allocation {
+    /// Number of enclaves actually used (with at least one rule).
+    pub fn used_enclaves(&self) -> usize {
+        self.enclaves.iter().filter(|e| !e.is_empty()).count()
+    }
+
+    /// Total number of `(rule, enclave)` installations (split rules count
+    /// once per hosting enclave — each installation consumes a rule slot).
+    pub fn installations(&self) -> usize {
+        self.enclaves.iter().map(|e| e.len()).sum()
+    }
+
+    /// Maximum per-enclave bandwidth load, Gb/s.
+    pub fn max_load(&self) -> f64 {
+        self.enclaves
+            .iter()
+            .map(|e| e.iter().map(|a| a.bandwidth).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum per-enclave rule count.
+    pub fn max_rules(&self) -> usize {
+        self.enclaves.iter().map(|e| e.len()).max().unwrap_or(0)
+    }
+}
+
+/// Constraint violations reported by [`Instance::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// Enclave memory cost exceeds `M`.
+    MemoryExceeded {
+        /// Offending enclave index.
+        enclave: usize,
+    },
+    /// Enclave bandwidth load exceeds `G`.
+    BandwidthExceeded {
+        /// Offending enclave index.
+        enclave: usize,
+    },
+    /// A negative bandwidth share.
+    NegativeAssignment {
+        /// Offending enclave index.
+        enclave: usize,
+    },
+    /// A share references a rule outside the instance.
+    UnknownRule {
+        /// The unknown rule index.
+        rule: usize,
+    },
+    /// Rule bandwidth not fully assigned (Equation 6 violated).
+    CoverageMismatch {
+        /// Rule index.
+        rule: usize,
+        /// Bandwidth assigned across enclaves.
+        assigned: f64,
+        /// Bandwidth required (`b_i`).
+        required: f64,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::MemoryExceeded { enclave } => {
+                write!(f, "enclave {enclave} exceeds memory limit")
+            }
+            ValidationError::BandwidthExceeded { enclave } => {
+                write!(f, "enclave {enclave} exceeds bandwidth capacity")
+            }
+            ValidationError::NegativeAssignment { enclave } => {
+                write!(f, "enclave {enclave} has a negative assignment")
+            }
+            ValidationError::UnknownRule { rule } => write!(f, "unknown rule {rule}"),
+            ValidationError::CoverageMismatch {
+                rule,
+                assigned,
+                required,
+            } => write!(
+                f,
+                "rule {rule} assigned {assigned:.6} of required {required:.6} Gb/s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(bw: Vec<f64>) -> Instance {
+        Instance::paper_defaults(bw, 0.2)
+    }
+
+    #[test]
+    fn n_min_bandwidth_bound() {
+        // 100 Gb/s total, 10 Gb/s caps -> at least 10 enclaves.
+        let i = inst(vec![1.0; 100]);
+        assert_eq!(i.n_min(), 10);
+        assert!(i.n() >= 12); // λ = 0.2 head-room
+    }
+
+    #[test]
+    fn n_min_memory_bound() {
+        // Negligible bandwidth but many rules: memory dominates.
+        let i = inst(vec![0.0001; 50_000]);
+        let cap = i.rules_per_enclave_cap();
+        assert!(i.n_min() >= 50_000 / cap);
+    }
+
+    #[test]
+    fn rules_per_enclave_cap_matches_paper_scale() {
+        let i = inst(vec![1.0]);
+        // (92 - 4) / 0.0145 ≈ 6,068 rules per enclave.
+        let cap = i.rules_per_enclave_cap();
+        assert!((5_500..6_500).contains(&cap), "{cap}");
+    }
+
+    #[test]
+    fn objective_balances_memory_and_bandwidth() {
+        let i = inst(vec![4.0, 4.0]);
+        let balanced = Allocation {
+            enclaves: vec![
+                vec![RuleShare { rule: 0, bandwidth: 4.0 }],
+                vec![RuleShare { rule: 1, bandwidth: 4.0 }],
+            ],
+        };
+        let skewed = Allocation {
+            enclaves: vec![
+                vec![
+                    RuleShare { rule: 0, bandwidth: 4.0 },
+                    RuleShare { rule: 1, bandwidth: 4.0 },
+                ],
+                vec![],
+            ],
+        };
+        assert!(i.objective(&balanced) < i.objective(&skewed));
+    }
+
+    #[test]
+    fn validate_accepts_split_rule() {
+        let i = inst(vec![15.0]); // > G: must be split
+        let alloc = Allocation {
+            enclaves: vec![
+                vec![RuleShare { rule: 0, bandwidth: 10.0 }],
+                vec![RuleShare { rule: 0, bandwidth: 5.0 }],
+            ],
+        };
+        assert!(i.validate(&alloc).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_overload() {
+        let i = inst(vec![11.0]);
+        let alloc = Allocation {
+            enclaves: vec![vec![RuleShare { rule: 0, bandwidth: 11.0 }]],
+        };
+        assert_eq!(
+            i.validate(&alloc),
+            Err(ValidationError::BandwidthExceeded { enclave: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_partial_coverage() {
+        let i = inst(vec![5.0]);
+        let alloc = Allocation {
+            enclaves: vec![vec![RuleShare { rule: 0, bandwidth: 3.0 }]],
+        };
+        assert!(matches!(
+            i.validate(&alloc),
+            Err(ValidationError::CoverageMismatch { rule: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_too_many_rules() {
+        let mut i = inst(vec![0.001; 10]);
+        i.memory_limit_mb = i.v_mb + i.u_mb * 5.0; // only 5 rules fit
+        let alloc = Allocation {
+            enclaves: vec![(0..10)
+                .map(|r| RuleShare { rule: r, bandwidth: 0.001 })
+                .collect()],
+        };
+        assert_eq!(
+            i.validate(&alloc),
+            Err(ValidationError::MemoryExceeded { enclave: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unknown_rule() {
+        let i = inst(vec![1.0]);
+        let alloc = Allocation {
+            enclaves: vec![vec![RuleShare { rule: 5, bandwidth: 1.0 }]],
+        };
+        assert_eq!(i.validate(&alloc), Err(ValidationError::UnknownRule { rule: 5 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "must have rules")]
+    fn empty_instance_rejected() {
+        Instance::paper_defaults(Vec::new(), 0.0);
+    }
+
+    #[test]
+    fn allocation_stats() {
+        let alloc = Allocation {
+            enclaves: vec![
+                vec![
+                    RuleShare { rule: 0, bandwidth: 2.0 },
+                    RuleShare { rule: 1, bandwidth: 3.0 },
+                ],
+                vec![RuleShare { rule: 2, bandwidth: 7.0 }],
+                vec![],
+            ],
+        };
+        assert_eq!(alloc.used_enclaves(), 2);
+        assert_eq!(alloc.installations(), 3);
+        assert_eq!(alloc.max_rules(), 2);
+        assert!((alloc.max_load() - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Workload generators for rule-distribution experiments.
+
+use crate::ilp::Instance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one lognormal(μ, σ) sample via Box–Muller.
+fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// An instance with `k` rules whose bandwidths follow a lognormal(0, σ)
+/// distribution rescaled so the total equals `total_gbps` — the incoming
+/// traffic model of §V-C ("the incoming traffic distribution across the
+/// filter rules follows a lognormal distribution").
+pub fn lognormal_instance(k: usize, total_gbps: f64, sigma: f64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bw: Vec<f64> = (0..k).map(|_| lognormal(&mut rng, 0.0, sigma)).collect();
+    let sum: f64 = bw.iter().sum();
+    for b in &mut bw {
+        *b *= total_gbps / sum;
+    }
+    Instance::paper_defaults(bw, 0.2)
+}
+
+/// An instance with uniformly equal per-rule bandwidth.
+pub fn uniform_instance(k: usize, total_gbps: f64) -> Instance {
+    Instance::paper_defaults(vec![total_gbps / k as f64; k], 0.2)
+}
+
+/// A small instance suitable for the exact solver (k ∈ 10..=15 in the
+/// paper's optimality-gap experiment, §V-C): bandwidths lognormal, rescaled
+/// so that every rule fits a single enclave (no splitting required).
+pub fn small_gap_instance(k: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bw: Vec<f64> = (0..k).map(|_| lognormal(&mut rng, 0.0, 1.0)).collect();
+    let max = bw.iter().cloned().fold(f64::MIN, f64::max);
+    // Largest rule uses at most 60% of one enclave's bandwidth.
+    for b in &mut bw {
+        *b *= 6.0 / max;
+    }
+    Instance::paper_defaults(bw, 0.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lognormal_total_matches() {
+        let inst = lognormal_instance(1000, 100.0, 1.5, 3);
+        assert!((inst.total_bandwidth() - 100.0).abs() < 1e-6);
+        assert_eq!(inst.k(), 1000);
+    }
+
+    #[test]
+    fn lognormal_is_skewed() {
+        let inst = lognormal_instance(1000, 100.0, 1.5, 3);
+        let mut bw = inst.bandwidths.clone();
+        bw.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top: f64 = bw.iter().take(100).sum();
+        assert!(top > 30.0, "top decile carries {top} of 100 Gb/s");
+    }
+
+    #[test]
+    fn uniform_instance_flat() {
+        let inst = uniform_instance(10, 50.0);
+        assert!(inst.bandwidths.iter().all(|b| (b - 5.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn small_gap_instance_fits_single_enclaves() {
+        for seed in 0..5 {
+            let inst = small_gap_instance(12, seed);
+            assert!(inst
+                .bandwidths
+                .iter()
+                .all(|b| *b <= inst.bandwidth_cap_gbps));
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = lognormal_instance(100, 10.0, 1.0, 9);
+        let b = lognormal_instance(100, 10.0, 1.0, 9);
+        assert_eq!(a.bandwidths, b.bandwidths);
+    }
+}

@@ -1,0 +1,50 @@
+//! # vif-optimizer
+//!
+//! Filter-rule distribution across multiple enclaves (paper §IV-B,
+//! Appendices C & D).
+//!
+//! When a victim's rule set outgrows one enclave (≈3,000 rules / 10 Gb/s),
+//! VIF shards rules and bandwidth over `n` enclaves subject to per-enclave
+//! memory (`u·#rules + v ≤ M`) and bandwidth (`Σ x ≤ G`) limits, balancing
+//! the maximum memory cost and the maximum bandwidth load:
+//!
+//! > minimize `z ≥ α·C_p + I_q` for all enclave pairs `(p, q)`
+//!
+//! This crate provides:
+//! - [`ilp`]: the problem model ([`ilp::Instance`]), allocation
+//!   representation, constraint validation, and the paper's enclave-count
+//!   formula `n = ⌈max(Σb/G, k·u/(M−v)) · (1+λ)⌉`,
+//! - [`greedy`]: the paper's Algorithm 1 — precompute per-enclave rule
+//!   quota `h` and bandwidth quota `g`, pack smallest-first, close each
+//!   enclave with the largest (possibly split) rule, relaxing `(g, h)`
+//!   until the packing fits,
+//! - [`exact`]: a from-scratch branch-and-bound solver standing in for
+//!   CPLEX (see DESIGN.md): proves optimality on small instances (the
+//!   ≈5 % optimality-gap experiment, §V-C) and demonstrates the
+//!   exact-method runtime blow-up of Table I,
+//! - [`instances`]: workload generators (lognormal per-rule bandwidth, the
+//!   distribution used in §V-C).
+//!
+//! # Example
+//!
+//! ```
+//! use vif_optimizer::{greedy::GreedySolver, ilp::Instance};
+//!
+//! // 100 rules sharing 100 Gb/s, default per-enclave limits.
+//! let bw = vec![1.0; 100];
+//! let inst = Instance::paper_defaults(bw, 0.2);
+//! let alloc = GreedySolver::default().solve(&inst).unwrap();
+//! assert!(inst.validate(&alloc).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod greedy;
+pub mod ilp;
+pub mod instances;
+
+pub use exact::{BranchAndBound, SolveBudget, SolveStatus};
+pub use greedy::GreedySolver;
+pub use ilp::{Allocation, Instance, ValidationError};

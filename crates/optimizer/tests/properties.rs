@@ -1,0 +1,64 @@
+//! Property-based tests: the greedy allocator always produces feasible,
+//! complete allocations; the exact solver is never worse than the greedy.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vif_optimizer::exact::{BranchAndBound, SolveBudget, SolveStatus};
+use vif_optimizer::greedy::GreedySolver;
+use vif_optimizer::ilp::Instance;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Greedy allocations satisfy every ILP constraint (memory, bandwidth,
+    /// coverage) for arbitrary bandwidth vectors.
+    #[test]
+    fn greedy_always_feasible(bw in vec(0.0f64..5.0, 1..400), lambda in 0.0f64..0.5) {
+        let inst = Instance::paper_defaults(bw, lambda);
+        let alloc = GreedySolver::default().solve(&inst).unwrap();
+        prop_assert!(inst.validate(&alloc).is_ok());
+    }
+
+    /// Oversized rules (bigger than one enclave) are split and covered.
+    #[test]
+    fn greedy_splits_elephants(elephant in 10.5f64..40.0, mice in vec(0.01f64..1.0, 0..50)) {
+        let mut bw = vec![elephant];
+        bw.extend(mice);
+        let inst = Instance::paper_defaults(bw, 0.3);
+        let alloc = GreedySolver::default().solve(&inst).unwrap();
+        prop_assert!(inst.validate(&alloc).is_ok());
+        let hosts = alloc
+            .enclaves
+            .iter()
+            .filter(|e| e.iter().any(|s| s.rule == 0))
+            .count();
+        prop_assert!(hosts >= (elephant / 10.0).ceil() as usize);
+    }
+
+    /// The exact optimum is never worse than the greedy objective —
+    /// *when the greedy did not split any rule*. (Splitting a rule's
+    /// bandwidth across enclaves can beat every unsplittable assignment,
+    /// which is exactly why the paper's MILP keeps `x_{i,j}` continuous.)
+    #[test]
+    fn exact_not_worse_than_unsplit_greedy(bw in vec(0.1f64..6.0, 4..10), seed in 0u64..100) {
+        let _ = seed;
+        let inst = Instance::paper_defaults(bw, 0.5);
+        let exact = BranchAndBound.solve(&inst, SolveBudget::optimal());
+        prop_assume!(exact.status == SolveStatus::Optimal);
+        // The exact solution always validates.
+        prop_assert!(inst.validate(exact.allocation.as_ref().unwrap()).is_ok());
+        let greedy = GreedySolver::default().solve(&inst).unwrap();
+        prop_assume!(greedy.installations() == inst.k()); // no splits
+        prop_assert!(exact.objective <= inst.objective(&greedy) + 1e-9);
+    }
+
+    /// The enclave-count formula provisions enough capacity.
+    #[test]
+    fn n_formula_sufficient(bw in vec(0.0f64..3.0, 1..200)) {
+        let inst = Instance::paper_defaults(bw, 0.0);
+        let n = inst.n();
+        // Bandwidth and memory both fit in n enclaves in aggregate.
+        prop_assert!(n as f64 * inst.bandwidth_cap_gbps >= inst.total_bandwidth() - 1e-9);
+        prop_assert!(n * inst.rules_per_enclave_cap() >= inst.k());
+    }
+}

@@ -1,0 +1,195 @@
+//! Enclave Page Cache (EPC) model.
+//!
+//! SGX v1 platforms reserve 128 MB of Processor Reserved Memory of which
+//! roughly 92–93 MB is usable EPC; enclave working sets beyond that are
+//! transparently paged with a large per-fault cost. The paper observes the
+//! "EPC limit is around 92 MB" (§IV-A, Fig. 3b) and designs the whole
+//! multi-enclave architecture around it. This module models the limit and
+//! the cost cliff.
+
+/// Static EPC configuration of a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpcConfig {
+    /// Total processor-reserved memory in bytes.
+    pub total_bytes: usize,
+    /// Bytes usable by enclave data after SGX metadata overheads.
+    pub usable_bytes: usize,
+}
+
+impl EpcConfig {
+    /// The paper's platform: 128 MB PRM, ≈92 MB usable EPC.
+    pub fn paper_default() -> Self {
+        EpcConfig {
+            total_bytes: 128 << 20,
+            usable_bytes: 92 << 20,
+        }
+    }
+
+    /// A small EPC for tests that want to exercise paging cheaply.
+    pub fn tiny(usable_bytes: usize) -> Self {
+        EpcConfig {
+            total_bytes: usable_bytes * 2,
+            usable_bytes,
+        }
+    }
+}
+
+/// Cost multiplier applied to enclave memory accesses once the working set
+/// exceeds usable EPC. Calibrated so that a working set at ~1.6× the EPC
+/// limit (the 10,000-rule point of Fig. 3a) runs roughly 6–8× slower than
+/// an in-EPC working set, matching the paper's throughput collapse.
+const PAGE_FAULT_PENALTY: f64 = 18.0;
+
+/// Tracks an enclave's EPC allocations and answers cost-model queries.
+#[derive(Debug, Clone)]
+pub struct EpcUsage {
+    config: EpcConfig,
+    allocated: usize,
+    peak: usize,
+}
+
+impl EpcUsage {
+    /// Creates a tracker with nothing allocated.
+    pub fn new(config: EpcConfig) -> Self {
+        EpcUsage {
+            config,
+            allocated: 0,
+            peak: 0,
+        }
+    }
+
+    /// The platform EPC configuration.
+    pub fn config(&self) -> EpcConfig {
+        self.config
+    }
+
+    /// Currently allocated bytes.
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Records an allocation. SGX2 dynamic memory / paging means this never
+    /// fails; over-subscription shows up as paging cost instead.
+    pub fn allocate(&mut self, bytes: usize) {
+        self.allocated += bytes;
+        self.peak = self.peak.max(self.allocated);
+    }
+
+    /// Records a release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if releasing more than allocated (an accounting bug).
+    pub fn release(&mut self, bytes: usize) {
+        assert!(bytes <= self.allocated, "EPC release underflow");
+        self.allocated -= bytes;
+    }
+
+    /// Bytes by which the current working set exceeds usable EPC.
+    pub fn overcommit_bytes(&self) -> usize {
+        self.allocated.saturating_sub(self.config.usable_bytes)
+    }
+
+    /// True if the working set fits in usable EPC.
+    pub fn fits(&self) -> bool {
+        self.allocated <= self.config.usable_bytes
+    }
+
+    /// Cost multiplier for a memory access over the current working set.
+    ///
+    /// Returns `1.0` while the working set fits in usable EPC. Beyond the
+    /// limit, the fraction of accesses that fault grows with the excess and
+    /// each fault pays a fixed penalty:
+    ///
+    /// `1 + PENALTY · excess / working_set`
+    pub fn access_multiplier(&self) -> f64 {
+        self.access_multiplier_for(self.allocated)
+    }
+
+    /// Cost multiplier for a hypothetical working set of `bytes` (used by
+    /// planning code that sizes rule sets before committing them).
+    pub fn access_multiplier_for(&self, bytes: usize) -> f64 {
+        if bytes <= self.config.usable_bytes || bytes == 0 {
+            return 1.0;
+        }
+        let excess = (bytes - self.config.usable_bytes) as f64;
+        1.0 + PAGE_FAULT_PENALTY * excess / bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_92mb() {
+        let c = EpcConfig::paper_default();
+        assert_eq!(c.usable_bytes, 92 << 20);
+        assert!(c.usable_bytes < c.total_bytes);
+    }
+
+    #[test]
+    fn allocate_release_tracking() {
+        let mut u = EpcUsage::new(EpcConfig::tiny(1000));
+        u.allocate(600);
+        u.allocate(600);
+        assert_eq!(u.allocated(), 1200);
+        assert_eq!(u.peak(), 1200);
+        u.release(700);
+        assert_eq!(u.allocated(), 500);
+        assert_eq!(u.peak(), 1200);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn release_underflow_panics() {
+        let mut u = EpcUsage::new(EpcConfig::tiny(1000));
+        u.release(1);
+    }
+
+    #[test]
+    fn no_penalty_inside_epc() {
+        let mut u = EpcUsage::new(EpcConfig::tiny(1 << 20));
+        u.allocate(1 << 20);
+        assert!(u.fits());
+        assert_eq!(u.access_multiplier(), 1.0);
+        assert_eq!(u.overcommit_bytes(), 0);
+    }
+
+    #[test]
+    fn penalty_kicks_in_beyond_epc() {
+        let mut u = EpcUsage::new(EpcConfig::tiny(1 << 20));
+        u.allocate((1 << 20) + (1 << 19)); // 1.5x EPC
+        assert!(!u.fits());
+        assert!(u.access_multiplier() > 1.0);
+        assert_eq!(u.overcommit_bytes(), 1 << 19);
+    }
+
+    #[test]
+    fn multiplier_monotonic_in_working_set() {
+        let u = EpcUsage::new(EpcConfig::paper_default());
+        let mut last = 0.0f64;
+        for mb in (0..300).step_by(10) {
+            let m = u.access_multiplier_for(mb << 20);
+            assert!(m >= last, "multiplier not monotonic at {mb} MB");
+            last = m;
+        }
+        // Calibration: ~1.6x EPC working set should cost 6-8x.
+        let at_150mb = u.access_multiplier_for(150 << 20);
+        assert!(
+            (5.0..10.0).contains(&at_150mb),
+            "150 MB multiplier {at_150mb} out of calibrated band"
+        );
+    }
+
+    #[test]
+    fn zero_working_set_costs_base() {
+        let u = EpcUsage::new(EpcConfig::tiny(0));
+        assert_eq!(u.access_multiplier_for(0), 1.0);
+    }
+}

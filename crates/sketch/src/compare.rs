@@ -1,0 +1,272 @@
+//! Sketch comparison — the primitive behind VIF's bypass detection (§III-B).
+//!
+//! A verifier (the victim network or a neighbor AS) compares the sketch it
+//! built locally against the authenticated sketch exported by the enclave.
+//! Because both sides use the same seeded hash family over the same stream,
+//! an honest run produces identical counter arrays; any divergence implies
+//! packets were dropped or injected outside the enclave.
+//!
+//! The direction of each divergent bin distinguishes the attack:
+//! - enclave's outgoing counter **>** victim's received counter ⇒ packets
+//!   vanished after the filter (*drop-after-filter*),
+//! - victim's counter **>** enclave's outgoing counter ⇒ packets appeared
+//!   that the filter never forwarded (*inject-after-filter*),
+//! - neighbor's sent counter **>** enclave's incoming counter ⇒ packets
+//!   vanished before the filter (*drop-before-filter*).
+
+use crate::cms::CountMinSketch;
+
+/// Errors from [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareError {
+    /// The sketches were built with different configurations.
+    ConfigMismatch,
+}
+
+impl std::fmt::Display for CompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompareError::ConfigMismatch => write!(f, "sketch configurations differ"),
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+/// One divergent counter bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Discrepancy {
+    /// Row index of the divergent bin.
+    pub row: usize,
+    /// Bin index within the row.
+    pub bin: usize,
+    /// Counter value in the reference (first) sketch.
+    pub reference: u64,
+    /// Counter value in the observed (second) sketch.
+    pub observed: u64,
+}
+
+impl Discrepancy {
+    /// Packets present in the reference but missing from the observation.
+    pub fn missing(&self) -> u64 {
+        self.reference.saturating_sub(self.observed)
+    }
+
+    /// Packets present in the observation but absent from the reference.
+    pub fn excess(&self) -> u64 {
+        self.observed.saturating_sub(self.reference)
+    }
+}
+
+/// Result of comparing a reference sketch against an observed sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchComparison {
+    discrepancies: Vec<Discrepancy>,
+    max_missing: u64,
+    max_excess: u64,
+    total_reference: u64,
+    total_observed: u64,
+}
+
+impl SketchComparison {
+    /// True if every counter matched exactly.
+    pub fn identical(&self) -> bool {
+        self.discrepancies.is_empty()
+    }
+
+    /// All divergent bins.
+    pub fn discrepancies(&self) -> &[Discrepancy] {
+        &self.discrepancies
+    }
+
+    /// Largest per-bin shortfall (reference − observed), an upper bound on
+    /// the volume of the largest single dropped aggregate.
+    pub fn max_missing(&self) -> u64 {
+        self.max_missing
+    }
+
+    /// Largest per-bin excess (observed − reference).
+    pub fn max_excess(&self) -> u64 {
+        self.max_excess
+    }
+
+    /// Exact totals of the two streams (reference, observed).
+    pub fn totals(&self) -> (u64, u64) {
+        (self.total_reference, self.total_observed)
+    }
+
+    /// Declares a *drop* bypass if some bin is short by more than
+    /// `tolerance` packets. Tolerance absorbs benign loss on the path
+    /// between the filter and the verifier (paper: "Handling malicious
+    /// intermediate ASes" — small benign losses should not raise alarms).
+    pub fn drop_detected(&self, tolerance: u64) -> bool {
+        self.max_missing > tolerance
+    }
+
+    /// Declares an *injection* bypass if some bin exceeds the reference by
+    /// more than `tolerance` packets.
+    pub fn injection_detected(&self, tolerance: u64) -> bool {
+        self.max_excess > tolerance
+    }
+}
+
+/// Compares counter arrays bin-by-bin.
+///
+/// `reference` is the authenticated sketch exported by the enclave;
+/// `observed` is the verifier's locally built sketch.
+///
+/// # Errors
+///
+/// [`CompareError::ConfigMismatch`] if dimensions or hash seeds differ.
+pub fn compare(
+    reference: &CountMinSketch,
+    observed: &CountMinSketch,
+) -> Result<SketchComparison, CompareError> {
+    if reference.config() != observed.config() {
+        return Err(CompareError::ConfigMismatch);
+    }
+    let width = reference.config().width;
+    let mut discrepancies = Vec::new();
+    let mut max_missing = 0u64;
+    let mut max_excess = 0u64;
+    for (idx, (&r, &o)) in reference
+        .counters()
+        .iter()
+        .zip(observed.counters().iter())
+        .enumerate()
+    {
+        if r != o {
+            let d = Discrepancy {
+                row: idx / width,
+                bin: idx % width,
+                reference: r,
+                observed: o,
+            };
+            max_missing = max_missing.max(d.missing());
+            max_excess = max_excess.max(d.excess());
+            discrepancies.push(d);
+        }
+    }
+    Ok(SketchComparison {
+        discrepancies,
+        max_missing,
+        max_excess,
+        total_reference: reference.total(),
+        total_observed: observed.total(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cms::SketchConfig;
+
+    fn pair() -> (CountMinSketch, CountMinSketch) {
+        let cfg = SketchConfig::small(5);
+        (CountMinSketch::new(cfg.clone()), CountMinSketch::new(cfg))
+    }
+
+    #[test]
+    fn identical_streams_no_discrepancy() {
+        let (mut a, mut b) = pair();
+        for i in 0..500u64 {
+            a.add(&i.to_le_bytes(), 1);
+            b.add(&i.to_le_bytes(), 1);
+        }
+        let cmp = compare(&a, &b).unwrap();
+        assert!(cmp.identical());
+        assert!(!cmp.drop_detected(0));
+        assert!(!cmp.injection_detected(0));
+    }
+
+    #[test]
+    fn dropped_packets_detected() {
+        let (mut enclave_out, mut victim) = pair();
+        for i in 0..100u64 {
+            enclave_out.add(&i.to_le_bytes(), 1);
+            // Victim misses 10 packets (dropped after the filter).
+            if i >= 10 {
+                victim.add(&i.to_le_bytes(), 1);
+            }
+        }
+        let cmp = compare(&enclave_out, &victim).unwrap();
+        assert!(!cmp.identical());
+        assert!(cmp.drop_detected(0));
+        assert!(!cmp.injection_detected(0));
+        assert!(cmp.max_missing() >= 1);
+        assert_eq!(cmp.totals(), (100, 90));
+    }
+
+    #[test]
+    fn injected_packets_detected() {
+        let (mut enclave_out, mut victim) = pair();
+        for i in 0..100u64 {
+            enclave_out.add(&i.to_le_bytes(), 1);
+            victim.add(&i.to_le_bytes(), 1);
+        }
+        // Attacker injects a burst of a single flow after the filter.
+        victim.add(b"injected-flow", 50);
+        let cmp = compare(&enclave_out, &victim).unwrap();
+        assert!(cmp.injection_detected(0));
+        assert!(cmp.injection_detected(49));
+        assert!(!cmp.injection_detected(50));
+        assert!(!cmp.drop_detected(0));
+    }
+
+    #[test]
+    fn tolerance_absorbs_benign_loss() {
+        let (mut enclave_out, mut victim) = pair();
+        for i in 0..1000u64 {
+            enclave_out.add(&i.to_le_bytes(), 1);
+            // 0.3% benign loss.
+            if i % 333 != 0 {
+                victim.add(&i.to_le_bytes(), 1);
+            }
+        }
+        let cmp = compare(&enclave_out, &victim).unwrap();
+        assert!(!cmp.drop_detected(5), "benign loss under tolerance");
+        assert!(cmp.drop_detected(0), "still visible at zero tolerance");
+    }
+
+    #[test]
+    fn config_mismatch_rejected() {
+        let a = CountMinSketch::new(SketchConfig::small(1));
+        let b = CountMinSketch::new(SketchConfig::small(2));
+        assert_eq!(compare(&a, &b), Err(CompareError::ConfigMismatch));
+    }
+
+    #[test]
+    fn discrepancy_accessors() {
+        let d = Discrepancy {
+            row: 1,
+            bin: 7,
+            reference: 10,
+            observed: 4,
+        };
+        assert_eq!(d.missing(), 6);
+        assert_eq!(d.excess(), 0);
+        let e = Discrepancy {
+            row: 0,
+            bin: 0,
+            reference: 3,
+            observed: 9,
+        };
+        assert_eq!(e.missing(), 0);
+        assert_eq!(e.excess(), 6);
+    }
+
+    #[test]
+    fn both_drop_and_injection_simultaneously() {
+        let (mut enclave_out, mut victim) = pair();
+        for i in 0..100u64 {
+            enclave_out.add(&i.to_le_bytes(), 1);
+        }
+        for i in 50..100u64 {
+            victim.add(&i.to_le_bytes(), 1);
+        }
+        victim.add(b"spoofed", 20);
+        let cmp = compare(&enclave_out, &victim).unwrap();
+        assert!(cmp.drop_detected(0));
+        assert!(cmp.injection_detected(0));
+    }
+}

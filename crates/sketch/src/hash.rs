@@ -1,0 +1,181 @@
+//! Hash functions for the count-min sketch.
+//!
+//! The paper's data plane computes "only 4 linear hash function operations"
+//! per packet (§V-A): each of the two sketches has two rows, and each row
+//! applies a pairwise-independent *linear hash* `h(x) = ((a·x + b) mod p)
+//! mod w` over a 64-bit key fingerprint. Variable-length keys (5-tuples,
+//! source IPs) are first collapsed to a 64-bit fingerprint with a fast
+//! multiply-xor mix (no cryptographic strength needed — the row seeds `a`,
+//! `b` are secret to the adversary only insofar as collision-crafting is out
+//! of the paper's threat model).
+
+/// The Mersenne prime 2^61 - 1 used as the linear-hash field modulus.
+pub const MERSENNE_61: u64 = (1u64 << 61) - 1;
+
+/// A pairwise-independent linear hash row: `((a·x + b) mod (2^61-1)) mod w`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearHash {
+    a: u64,
+    b: u64,
+}
+
+impl LinearHash {
+    /// Creates a row from raw coefficients, reduced into the field.
+    /// `a` is forced nonzero to preserve pairwise independence.
+    pub fn new(a: u64, b: u64) -> Self {
+        let a = a % MERSENNE_61;
+        LinearHash {
+            a: if a == 0 { 1 } else { a },
+            b: b % MERSENNE_61,
+        }
+    }
+
+    /// Derives the `row`-th hash row from a 64-bit seed, so that two parties
+    /// sharing the seed build identical sketches.
+    pub fn from_seed(seed: u64, row: usize) -> Self {
+        let a = splitmix64(seed ^ (row as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let b = splitmix64(a ^ 0xda942042e4dd58b5);
+        LinearHash::new(a, b)
+    }
+
+    /// Constructs a row from coefficients that are already reduced (as
+    /// returned by [`coefficients`]). Used by sketch deserialization.
+    ///
+    /// [`coefficients`]: LinearHash::coefficients
+    pub fn new_raw(a: u64, b: u64) -> Self {
+        LinearHash::new(a, b)
+    }
+
+    /// The reduced `(a, b)` coefficients of this row.
+    pub fn coefficients(&self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+
+    /// Evaluates the row for key fingerprint `x`, returning a bin in `[0, w)`.
+    #[inline]
+    pub fn bin(&self, x: u64, w: usize) -> usize {
+        (mod_mersenne_61(self.a as u128 * (x % MERSENNE_61) as u128 + self.b as u128) % w as u64)
+            as usize
+    }
+}
+
+/// Reduces a 122-bit value modulo 2^61 - 1.
+#[inline]
+fn mod_mersenne_61(x: u128) -> u64 {
+    let lo = (x & MERSENNE_61 as u128) as u64;
+    let hi = (x >> 61) as u64;
+    let mut r = lo.wrapping_add(hi);
+    if r >= MERSENNE_61 {
+        r -= MERSENNE_61;
+    }
+    r
+}
+
+/// SplitMix64: seed expansion for deterministic row derivation.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Collapses an arbitrary byte key to a 64-bit fingerprint (wyhash-style
+/// multiply-xor mix over 8-byte lanes).
+#[inline]
+pub fn fingerprint(key: &[u8]) -> u64 {
+    let mut acc = 0x2d358dccaa6c78a5u64 ^ (key.len() as u64);
+    for chunk in key.chunks(8) {
+        let mut lane = [0u8; 8];
+        lane[..chunk.len()].copy_from_slice(chunk);
+        let v = u64::from_le_bytes(lane);
+        let m = (acc ^ v) as u128 * 0x8bb84b93962eacc9u128;
+        acc = (m as u64) ^ ((m >> 64) as u64);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_in_range() {
+        let h = LinearHash::from_seed(42, 0);
+        for x in 0..10_000u64 {
+            assert!(h.bin(x, 65_536) < 65_536);
+            assert!(h.bin(x, 7) < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let h1 = LinearHash::from_seed(7, 3);
+        let h2 = LinearHash::from_seed(7, 3);
+        for x in [0u64, 1, u64::MAX, 0xdeadbeef] {
+            assert_eq!(h1.bin(x, 1024), h2.bin(x, 1024));
+        }
+    }
+
+    #[test]
+    fn rows_differ() {
+        let h0 = LinearHash::from_seed(7, 0);
+        let h1 = LinearHash::from_seed(7, 1);
+        let differs = (0..1000u64).any(|x| h0.bin(x, 65_536) != h1.bin(x, 65_536));
+        assert!(differs, "independent rows should disagree somewhere");
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let h0 = LinearHash::from_seed(1, 0);
+        let h1 = LinearHash::from_seed(2, 0);
+        let differs = (0..1000u64).any(|x| h0.bin(x, 65_536) != h1.bin(x, 65_536));
+        assert!(differs);
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        let h = LinearHash::from_seed(99, 0);
+        let w = 64;
+        let mut counts = vec![0u32; w];
+        let n = 64_000u64;
+        for x in 0..n {
+            counts[h.bin(splitmix64(x), w)] += 1;
+        }
+        let expected = n as f64 / w as f64;
+        for (bin, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / expected;
+            assert!(
+                (0.7..1.3).contains(&ratio),
+                "bin {bin} count {c} deviates from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_lengths() {
+        assert_ne!(fingerprint(b""), fingerprint(b"\0"));
+        assert_ne!(fingerprint(b"\0"), fingerprint(b"\0\0"));
+        assert_ne!(fingerprint(b"abcdefgh"), fingerprint(b"abcdefg"));
+    }
+
+    #[test]
+    fn fingerprint_deterministic() {
+        assert_eq!(fingerprint(b"10.0.0.1:80"), fingerprint(b"10.0.0.1:80"));
+    }
+
+    #[test]
+    fn mersenne_reduction_correct() {
+        for x in [0u128, 1, MERSENNE_61 as u128, MERSENNE_61 as u128 + 1, u64::MAX as u128 * 3] {
+            assert_eq!(mod_mersenne_61(x), (x % MERSENNE_61 as u128) as u64);
+        }
+    }
+
+    #[test]
+    fn zero_a_coefficient_forced_nonzero() {
+        let h = LinearHash::new(0, 5);
+        // With a=0 every key would collide; ensure that cannot happen.
+        let differs = (0..100u64).any(|x| h.bin(x, 1024) != h.bin(x + 1, 1024));
+        assert!(differs);
+    }
+}

@@ -1,0 +1,40 @@
+//! # vif-sketch
+//!
+//! Count-min sketch packet logs — the accountability substrate of VIF.
+//!
+//! The paper (§III-B, §V-A) keeps two sketch-based packet logs inside each
+//! enclave: a **per-source-IP** sketch of the *incoming* stream (so neighbor
+//! ASes can detect *drop-before-filter*) and a **per-5-tuple** sketch of the
+//! *outgoing* stream (so the victim can detect *drop-after-filter* and
+//! *inject-after-filter*). The paper's configuration — 2 independent linear
+//! hash rows, 64 K bins, 64-bit counters, ≈1 MB per sketch — is the default
+//! here ([`SketchConfig::paper_default`]).
+//!
+//! Both the enclave and the verifiers (victim network, neighbor ASes) build
+//! sketches over the streams they observe using the *same seeded hash
+//! family*; an honest run yields **identical counter arrays**, so bypass
+//! detection reduces to comparing two sketches ([`compare()`](fn@crate::compare)).
+//!
+//! # Example
+//!
+//! ```
+//! use vif_sketch::{CountMinSketch, SketchConfig};
+//! let cfg = SketchConfig::paper_default(7);
+//! let mut enclave_log = CountMinSketch::new(cfg.clone());
+//! let mut victim_log = CountMinSketch::new(cfg);
+//! for pkt in 0u64..1000 {
+//!     enclave_log.add(&pkt.to_be_bytes(), 1);
+//!     victim_log.add(&pkt.to_be_bytes(), 1);
+//! }
+//! assert!(vif_sketch::compare(&enclave_log, &victim_log).unwrap().identical());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cms;
+pub mod compare;
+pub mod hash;
+
+pub use cms::{CountMinSketch, SketchConfig, SketchDecodeError};
+pub use compare::{compare, CompareError, Discrepancy, SketchComparison};

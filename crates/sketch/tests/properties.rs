@@ -1,0 +1,107 @@
+//! Property-based tests for the count-min sketch invariants VIF's bypass
+//! detection depends on.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vif_sketch::{compare, CountMinSketch, SketchConfig};
+
+fn cfg(seed: u64) -> SketchConfig {
+    SketchConfig {
+        width: 256,
+        depth: 3,
+        seed,
+    }
+}
+
+proptest! {
+    /// CMS point queries never under-count.
+    #[test]
+    fn never_undercounts(keys in vec((0u32..64, 1u64..16), 1..200)) {
+        let mut sketch = CountMinSketch::new(cfg(1));
+        let mut truth = std::collections::HashMap::new();
+        for (k, c) in &keys {
+            sketch.add(&k.to_le_bytes(), *c);
+            *truth.entry(*k).or_insert(0u64) += c;
+        }
+        for (k, true_count) in truth {
+            prop_assert!(sketch.estimate(&k.to_le_bytes()) >= true_count);
+        }
+    }
+
+    /// Merging two sketches equals sketching the concatenated stream.
+    #[test]
+    fn merge_is_stream_concat(
+        left in vec((0u32..128, 1u64..8), 0..100),
+        right in vec((0u32..128, 1u64..8), 0..100),
+    ) {
+        let mut a = CountMinSketch::new(cfg(2));
+        let mut b = CountMinSketch::new(cfg(2));
+        let mut combined = CountMinSketch::new(cfg(2));
+        for (k, c) in &left {
+            a.add(&k.to_le_bytes(), *c);
+            combined.add(&k.to_le_bytes(), *c);
+        }
+        for (k, c) in &right {
+            b.add(&k.to_le_bytes(), *c);
+            combined.add(&k.to_le_bytes(), *c);
+        }
+        a.merge(&b).unwrap();
+        prop_assert_eq!(a, combined);
+    }
+
+    /// Two parties observing the same stream build identical sketches —
+    /// and compare() says so.
+    #[test]
+    fn same_stream_audits_clean(stream in vec((any::<u32>(), 1u64..4), 0..300)) {
+        let mut enclave = CountMinSketch::new(cfg(3));
+        let mut verifier = CountMinSketch::new(cfg(3));
+        for (k, c) in &stream {
+            enclave.add(&k.to_le_bytes(), *c);
+            verifier.add(&k.to_le_bytes(), *c);
+        }
+        let cmp = compare(&enclave, &verifier).unwrap();
+        prop_assert!(cmp.identical());
+    }
+
+    /// Removing any packet from the observed stream is detectable at zero
+    /// tolerance.
+    #[test]
+    fn any_single_drop_detected(
+        stream in vec(any::<u32>(), 1..200),
+        victim_idx in any::<prop::sample::Index>(),
+    ) {
+        let drop_at = victim_idx.index(stream.len());
+        let mut enclave = CountMinSketch::new(cfg(4));
+        let mut verifier = CountMinSketch::new(cfg(4));
+        for (i, k) in stream.iter().enumerate() {
+            enclave.add(&k.to_le_bytes(), 1);
+            if i != drop_at {
+                verifier.add(&k.to_le_bytes(), 1);
+            }
+        }
+        let cmp = compare(&enclave, &verifier).unwrap();
+        prop_assert!(cmp.drop_detected(0));
+        prop_assert!(!cmp.injection_detected(0));
+    }
+
+    /// encode/decode round-trips arbitrary sketch contents.
+    #[test]
+    fn encode_decode_roundtrip(stream in vec((any::<u32>(), 1u64..100), 0..100)) {
+        let mut s = CountMinSketch::new(cfg(5));
+        for (k, c) in &stream {
+            s.add(&k.to_le_bytes(), *c);
+        }
+        let decoded = CountMinSketch::decode(&s.encode()).unwrap();
+        prop_assert_eq!(s, decoded);
+    }
+
+    /// Estimates are monotone in added count.
+    #[test]
+    fn estimates_monotone(key in any::<u32>(), a in 1u64..1000, b in 1u64..1000) {
+        let mut s = CountMinSketch::new(cfg(6));
+        s.add(&key.to_le_bytes(), a);
+        let before = s.estimate(&key.to_le_bytes());
+        s.add(&key.to_le_bytes(), b);
+        prop_assert!(s.estimate(&key.to_le_bytes()) >= before + b);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests: the multi-bit trie agrees with a brute-force
+//! longest-prefix-match reference on arbitrary rule sets.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vif_trie::{Ipv4Prefix, MultiBitTrie};
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(addr, len))
+}
+
+fn reference_lpm(rules: &BTreeMap<Ipv4Prefix, u32>, ip: u32) -> Option<u32> {
+    rules
+        .iter()
+        .filter(|(p, _)| p.contains(ip))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(_, v)| *v)
+}
+
+proptest! {
+    /// Trie LPM ≡ linear scan, across strides.
+    #[test]
+    fn lpm_matches_reference(
+        rules in vec((arb_prefix(), any::<u32>()), 0..120),
+        probes in vec(any::<u32>(), 1..60),
+        stride in prop::sample::select(vec![1u8, 2, 4, 8]),
+    ) {
+        let mut trie = MultiBitTrie::new(stride);
+        let mut reference = BTreeMap::new();
+        for (p, v) in &rules {
+            trie.insert(*p, *v);
+            reference.insert(*p, *v);
+        }
+        for ip in probes {
+            prop_assert_eq!(
+                trie.lookup(ip).map(|m| *m.value),
+                reference_lpm(&reference, ip),
+                "ip {:#x} stride {}", ip, stride
+            );
+        }
+    }
+
+    /// Batch insertion is equivalent to incremental insertion.
+    #[test]
+    fn batch_equals_incremental(
+        rules in vec((arb_prefix(), any::<u32>()), 0..80),
+        probes in vec(any::<u32>(), 1..40),
+    ) {
+        let mut inc = MultiBitTrie::new(4);
+        for (p, v) in &rules {
+            inc.insert(*p, *v);
+        }
+        let mut bat = MultiBitTrie::new(4);
+        bat.batch_insert(rules.clone());
+        for ip in probes {
+            prop_assert_eq!(
+                inc.lookup(ip).map(|m| *m.value),
+                bat.lookup(ip).map(|m| *m.value)
+            );
+        }
+    }
+
+    /// After removal, lookups behave as if the prefix was never inserted.
+    #[test]
+    fn remove_restores_reference(
+        rules in vec((arb_prefix(), any::<u32>()), 1..60),
+        victim in any::<prop::sample::Index>(),
+        probes in vec(any::<u32>(), 1..40),
+    ) {
+        let mut trie = MultiBitTrie::new(4);
+        let mut reference = BTreeMap::new();
+        for (p, v) in &rules {
+            trie.insert(*p, *v);
+            reference.insert(*p, *v);
+        }
+        let (remove_p, _) = rules[victim.index(rules.len())];
+        trie.remove(&remove_p);
+        reference.remove(&remove_p);
+        for ip in probes {
+            prop_assert_eq!(
+                trie.lookup(ip).map(|m| *m.value),
+                reference_lpm(&reference, ip)
+            );
+        }
+    }
+
+    /// lookup_path returns every containing prefix, shortest first, and its
+    /// last element agrees with lookup().
+    #[test]
+    fn lookup_path_consistent(
+        rules in vec((arb_prefix(), any::<u32>()), 0..80),
+        ip in any::<u32>(),
+    ) {
+        let mut trie = MultiBitTrie::new(8);
+        let mut reference = BTreeMap::new();
+        for (p, v) in &rules {
+            trie.insert(*p, *v);
+            reference.insert(*p, *v);
+        }
+        let path = trie.lookup_path(ip);
+        // Sorted by prefix length, all contain ip, no duplicates.
+        for w in path.windows(2) {
+            prop_assert!(w[0].prefix.len() < w[1].prefix.len());
+        }
+        for m in &path {
+            prop_assert!(m.prefix.contains(ip));
+            prop_assert!(reference.contains_key(&m.prefix));
+        }
+        // Complete: every containing stored prefix appears.
+        let expected: Vec<Ipv4Prefix> = reference
+            .keys()
+            .filter(|p| p.contains(ip))
+            .copied()
+            .collect();
+        prop_assert_eq!(path.len(), expected.len());
+        prop_assert_eq!(
+            path.last().map(|m| *m.value),
+            reference_lpm(&reference, ip)
+        );
+    }
+
+    /// Prefix parsing round-trips through Display.
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Ipv4Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+}

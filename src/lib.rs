@@ -1,0 +1,32 @@
+//! # vif — Verifiable In-network Filtering for DDoS defense
+//!
+//! Facade crate for the VIF reproduction (Gong et al., ICDCS 2019). It
+//! re-exports every workspace crate under a single namespace so examples,
+//! integration tests, and downstream users can depend on one crate.
+//!
+//! See the repository `README.md` for an architecture overview, `DESIGN.md`
+//! for the system inventory and substitution notes, and `EXPERIMENTS.md`
+//! for paper-vs-measured results for every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vif::core::prelude::*;
+//!
+//! // A victim under DDoS asks a filtering network to drop a flow.
+//! let rule = FilterRule::drop(FlowPattern::exact(
+//!     "203.0.113.7:53".parse().unwrap(),
+//!     "198.51.100.1:4444".parse().unwrap(),
+//!     Protocol::Udp,
+//! ));
+//! assert_eq!(rule.action(), RuleAction::Drop);
+//! ```
+
+pub use vif_core as core;
+pub use vif_crypto as crypto;
+pub use vif_dataplane as dataplane;
+pub use vif_interdomain as interdomain;
+pub use vif_optimizer as optimizer;
+pub use vif_sgx as sgx;
+pub use vif_sketch as sketch;
+pub use vif_trie as trie;

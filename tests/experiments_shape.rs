@@ -1,0 +1,105 @@
+//! Integration: the reproduced experiments must exhibit the paper's
+//! qualitative shapes (run at reduced scale; EXPERIMENTS.md records the
+//! full-scale numbers).
+
+use vif_bench::experiments::{dataplane, ixp, solver};
+use vif_core::cost::FilterMode;
+
+#[test]
+fn fig3_throughput_declines_and_memory_grows() {
+    let points = dataplane::fig3_sweep(2);
+    // Memory strictly grows with rules and crosses the 92 MB EPC limit.
+    for w in points.windows(2) {
+        assert!(w[1].memory_mb > w[0].memory_mb);
+    }
+    assert!(points.first().unwrap().memory_mb < 92.0);
+    assert!(points.last().unwrap().memory_mb > 92.0, "EPC crossing missing");
+    // Throughput declines overall, with collapse beyond the EPC.
+    let first = points.first().unwrap().throughput_mpps;
+    let last = points.last().unwrap().throughput_mpps;
+    assert!(first > 13.0, "small tables should run near line rate: {first}");
+    assert!(last < first / 3.0, "no EPC collapse: {first} -> {last}");
+    // The 3,000-rule point still delivers most of line rate (Fig. 8's
+    // operating point).
+    let p3000 = points.iter().find(|p| p.rules == 3000).unwrap();
+    assert!(p3000.throughput_mpps > 9.0, "{}", p3000.throughput_mpps);
+}
+
+#[test]
+fn fig8_mode_ordering_and_line_rate() {
+    let grid = dataplane::fig8_sweep(2);
+    let get = |mode: FilterMode, size: u16| {
+        grid.iter()
+            .find(|p| p.mode == mode && p.size == size)
+            .unwrap()
+    };
+    // At 64 B: native ≥ near-zero-copy ≥ full copy, full copy far behind.
+    let native = get(FilterMode::Native, 64).mpps;
+    let nzc = get(FilterMode::SgxNearZeroCopy, 64).mpps;
+    let full = get(FilterMode::SgxFullCopy, 64).mpps;
+    assert!(native >= nzc && nzc > full * 1.5, "{native} / {nzc} / {full}");
+    // Full copy's pps cap is flat-ish across small frames (Fig. 13).
+    let full128 = get(FilterMode::SgxFullCopy, 128).mpps;
+    assert!((full - full128).abs() / full < 0.25);
+    // Everyone reaches ≥9.9 Gb/s wire rate at 256 B and above.
+    for mode in FilterMode::ALL {
+        for size in [256u16, 512, 1024, 1500] {
+            let gbps = get(mode, size).gbps;
+            assert!(gbps > 9.8, "{mode} at {size}B: {gbps}");
+        }
+    }
+}
+
+#[test]
+fn fig11_coverage_shape() {
+    use vif_interdomain::prelude::*;
+    let (topo, catalog) = ixp::build_world(77);
+    let model = AttackSourceModel::DnsResolvers;
+    let sources = model.distribute(&topo, 300_000, 78);
+    let exp = CoverageExperiment {
+        victims: 60,
+        max_top_n: 5,
+        seed: 79,
+    };
+    let result = exp.run(&topo, &catalog, &sources);
+    let top1 = result.stats(1).median;
+    let top5 = result.stats(5).median;
+    // Paper: majority handled by Top-1/region; more IXPs help further.
+    assert!(top1 > 0.4, "Top-1 median {top1}");
+    assert!(top5 >= top1);
+    assert!(top5 > 0.7, "Top-5 median {top5}");
+}
+
+#[test]
+fn solver_gap_is_single_digit_percent() {
+    let report = solver::gap();
+    let mean: f64 = report
+        .lines()
+        .find(|l| l.starts_with("mean gap:"))
+        .and_then(|l| l.split_whitespace().nth(2))
+        .and_then(|s| s.parse().ok())
+        .expect("mean gap line");
+    assert!(mean < 10.0, "greedy gap {mean}% too far from optimal");
+}
+
+#[test]
+fn latency_monotone_in_packet_size() {
+    // Parse the rendered table: measured latency column must increase.
+    let report = dataplane::latency(2);
+    let measured: Vec<f64> = report
+        .lines()
+        .filter(|l| l.starts_with('|') && !l.contains("size") && !l.contains('-'))
+        .map(|l| {
+            l.split('|')
+                .nth(2)
+                .unwrap()
+                .trim()
+                .parse::<f64>()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(measured.len(), 5);
+    for w in measured.windows(2) {
+        assert!(w[1] > w[0], "latency not monotone: {measured:?}");
+    }
+}
