@@ -29,6 +29,31 @@ fn bench(c: &mut Criterion) {
                 });
             },
         );
+
+        // The burst path: one enclave-thread entry per 32-packet burst,
+        // verdicts via FilterBackend::decide_batch inside the enclave.
+        // Rotate the window through all flows so both columns touch the
+        // same flow distribution (no cache-warm bias vs. stage_process).
+        let packets: Vec<Packet> = tuples
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Packet::new(t, 64, 0, i as u64))
+            .collect();
+        let mut outcomes = Vec::with_capacity(32);
+        group.bench_with_input(
+            BenchmarkId::new("stage_process_batch32", format!("{mode}")),
+            &mode,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let start = (i * 32) % (packets.len() - 32);
+                    i += 1;
+                    outcomes.clear();
+                    stage.process_batch(black_box(&packets[start..start + 32]), &mut outcomes);
+                    black_box(outcomes.len())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -18,22 +18,26 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("tab2_batch_insert");
     group.sample_size(10);
     for batch in [1usize, 10, 100, 1000] {
-        group.bench_with_input(BenchmarkId::new("insert_into_3000", batch), &batch, |b, &n| {
-            let mut rng = StdRng::seed_from_u64(99);
-            b.iter_batched(
-                || {
-                    let rules: Vec<(Ipv4Prefix, u32)> = (0..n as u32)
-                        .map(|i| (Ipv4Prefix::host(rng.gen()), 10_000 + i))
-                        .collect();
-                    (preloaded(13), rules)
-                },
-                |(mut trie, rules)| {
-                    trie.batch_insert(rules);
-                    black_box(trie.len())
-                },
-                BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert_into_3000", batch),
+            &batch,
+            |b, &n| {
+                let mut rng = StdRng::seed_from_u64(99);
+                b.iter_batched(
+                    || {
+                        let rules: Vec<(Ipv4Prefix, u32)> = (0..n as u32)
+                            .map(|i| (Ipv4Prefix::host(rng.gen()), 10_000 + i))
+                            .collect();
+                        (preloaded(13), rules)
+                    },
+                    |(mut trie, rules)| {
+                        trie.batch_insert(rules);
+                        black_box(trie.len())
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
     }
     group.finish();
 }

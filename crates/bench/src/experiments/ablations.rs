@@ -13,7 +13,11 @@ use vif_sketch::{compare, CountMinSketch, SketchConfig};
 /// quantifies the accountability cost.
 pub fn ablation_copy(duration_ms: u64) -> String {
     let cases: Vec<(&str, FilterMode, CostModel)> = vec![
-        ("native, no SGX", FilterMode::Native, CostModel::paper_default()),
+        (
+            "native, no SGX",
+            FilterMode::Native,
+            CostModel::paper_default(),
+        ),
         (
             "SGX full packet copy",
             FilterMode::SgxFullCopy,
@@ -24,11 +28,15 @@ pub fn ablation_copy(duration_ms: u64) -> String {
             FilterMode::SgxNearZeroCopy,
             CostModel::paper_default(),
         ),
-        ("SGX near zero copy, no packet logs", FilterMode::SgxNearZeroCopy, {
-            let mut m = CostModel::paper_default();
-            m.sketch_ns = 0.0;
-            m
-        }),
+        (
+            "SGX near zero copy, no packet logs",
+            FilterMode::SgxNearZeroCopy,
+            {
+                let mut m = CostModel::paper_default();
+                m.sketch_ns = 0.0;
+                m
+            },
+        ),
     ];
     let rows: Vec<Vec<String>> = cases
         .into_iter()
@@ -176,7 +184,13 @@ pub fn ablation_lambda() -> String {
         .collect();
     render_table(
         "Ablation — enclave head-room λ (3,000 rules, 100 Gb/s)",
-        &["lambda", "n provisioned", "n used", "max load (Gb/s)", "objective z"],
+        &[
+            "lambda",
+            "n provisioned",
+            "n used",
+            "max load (Gb/s)",
+            "objective z",
+        ],
         &rows,
     )
 }

@@ -8,8 +8,9 @@ use vif_dataplane::{pipeline, FlowSet, PipelineConfig, TrafficConfig, TrafficGen
 use vif_trie::{Ipv4Prefix, MultiBitTrie};
 
 /// Rule counts swept in Fig. 3.
-pub const FIG3_RULE_COUNTS: [usize; 11] =
-    [100, 500, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 10_000];
+pub const FIG3_RULE_COUNTS: [usize; 11] = [
+    100, 500, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 10_000,
+];
 
 /// Packet sizes swept in Figs. 8/13/14.
 pub const PACKET_SIZES: [u16; 6] = [64, 128, 256, 512, 1024, 1500];
@@ -32,7 +33,8 @@ pub fn fig3_sweep(duration_ms: u64) -> Vec<Fig3Point> {
         .map(|&k| {
             let (ruleset, flows) = host_rules(k, 42);
             let enclave = launch_filter(ruleset);
-            let memory_mb = enclave.in_enclave_thread(|app| app.table_bytes()) as f64 / (1 << 20) as f64;
+            let memory_mb =
+                enclave.in_enclave_thread(|app| app.table_bytes()) as f64 / (1 << 20) as f64;
             let traffic = saturating_traffic(&flows, 64, duration_ms, 7);
             let mut stage = EnclaveFilterStage::new(enclave, FilterMode::SgxNearZeroCopy);
             let report = pipeline::run(&traffic, &mut stage, &PipelineConfig::default());
@@ -50,12 +52,7 @@ pub fn fig3a(duration_ms: u64) -> String {
     let points = fig3_sweep(duration_ms);
     let rows: Vec<Vec<String>> = points
         .iter()
-        .map(|p| {
-            vec![
-                p.rules.to_string(),
-                format!("{:.2}", p.throughput_mpps),
-            ]
-        })
+        .map(|p| vec![p.rules.to_string(), format!("{:.2}", p.throughput_mpps)])
         .collect();
     render_table(
         "Fig. 3a — single-enclave filter throughput vs. number of rules (64 B frames)",
@@ -184,10 +181,8 @@ pub fn latency(duration_ms: u64) -> String {
             // Latency is measured on *forwarded* packets: benign flows that
             // match no DROP rule (pktgen's latency probes must come back).
             let flows = FlowSet::random_toward_victim(256, super::victim_ip(), 99);
-            let traffic = TrafficGenerator::new(3).generate(
-                &flows,
-                TrafficConfig::at_rate(size, 8.0, duration_ms),
-            );
+            let traffic = TrafficGenerator::new(3)
+                .generate(&flows, TrafficConfig::at_rate(size, 8.0, duration_ms));
             let mut stage = EnclaveFilterStage::new(enclave, FilterMode::SgxNearZeroCopy);
             let report = pipeline::run(&traffic, &mut stage, &PipelineConfig::default());
             vec![
@@ -242,7 +237,64 @@ pub fn fig14(duration_ms: u64) -> String {
     }
     render_table(
         "Fig. 14 — throughput (Gb/s, wire rate) vs. ratio of SHA-256-hashed packets (Appendix F)",
-        &["hash ratio \\ size", "64", "128", "256", "512", "1024", "1500"],
+        &[
+            "hash ratio \\ size",
+            "64",
+            "128",
+            "256",
+            "512",
+            "1024",
+            "1500",
+        ],
+        &rows,
+    )
+}
+
+/// Batch sizes compared by the batch-throughput experiment.
+pub const BATCH_SIZES: [usize; 3] = [1, 32, 256];
+
+/// Per-packet vs. batched filtering throughput over the Fig. 14
+/// hash-filter workload, for every [`FilterBackend`].
+///
+/// Wall-clock (not simulated): each cell decides `decisions` packets
+/// through `decide_batch` at the given batch size; the `single` column is
+/// the per-packet `decide` loop the pipeline used before the backend
+/// refactor. Backends are measured in steady state (hybrid promoted,
+/// sketch heavy hitters hot).
+pub fn batch(decisions: usize) -> String {
+    let (stateless, tuples) = super::fig14_hash_workload();
+    let mut backends = super::steady_state_backends(&stateless, &tuples);
+
+    let mut rows = Vec::new();
+    for (_, backend) in &mut backends {
+        let start = std::time::Instant::now();
+        let mut done = 0usize;
+        while done < decisions {
+            for t in tuples.iter().take(decisions - done) {
+                std::hint::black_box(backend.decide(t));
+                done += 1;
+            }
+        }
+        let mpps_single = done as f64 / start.elapsed().as_secs_f64() / 1e6;
+        let mut row = vec![backend.name().to_string(), format!("{mpps_single:.2}")];
+        for &batch in &BATCH_SIZES {
+            let mut verdicts = Vec::with_capacity(batch);
+            let start = std::time::Instant::now();
+            let mut done = 0usize;
+            while done < decisions {
+                let i = done % (tuples.len() - batch);
+                verdicts.clear();
+                backend.decide_batch(&tuples[i..i + batch], &mut verdicts);
+                done += batch;
+            }
+            let mpps = done as f64 / start.elapsed().as_secs_f64() / 1e6;
+            row.push(format!("{mpps:.2}"));
+        }
+        rows.push(row);
+    }
+    render_table(
+        "Batch path — filter throughput (Mpps, wall-clock) vs. batch size, Fig. 14 hash workload",
+        &["backend", "single", "batch=1", "batch=32", "batch=256"],
         &rows,
     )
 }

@@ -7,7 +7,7 @@ use vif_interdomain::prelude::*;
 pub fn build_world(seed: u64) -> (Topology, IxpCatalog) {
     let topo = TopologyConfig::paper_scale().build(seed);
     // Membership scale calibrated so Top-1/region coverage lands in the
-    // paper's 60 % median band (see EXPERIMENTS.md).
+    // paper's 60 % median band (compare with `repro fig11a`).
     let catalog = IxpCatalog::generate(&topo, 1.0, seed);
     (topo, catalog)
 }
@@ -75,7 +75,13 @@ pub fn tab3(seed: u64) -> String {
         .collect();
     let mut out = render_table(
         "Table III — top five IXPs per region (real member counts → synthetic memberships)",
-        &["region", "rank", "IXP", "paper members", "synthetic members"],
+        &[
+            "region",
+            "rank",
+            "IXP",
+            "paper members",
+            "synthetic members",
+        ],
         &rows,
     );
     out.push_str(&format!(

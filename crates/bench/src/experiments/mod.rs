@@ -46,6 +46,47 @@ pub fn host_rules(k: usize, seed: u64) -> (RuleSet, FlowSet) {
     (RuleSet::from_rules(rules), FlowSet::uniform(flows))
 }
 
+/// The Fig. 14 hash-filter workload: one probabilistic rule over the
+/// victim prefix — every verdict pays the SHA-256 hash path — plus a
+/// 4096-flow set toward the victim.
+pub fn fig14_hash_workload() -> (StatelessFilter, Vec<FiveTuple>) {
+    let rule = FilterRule::drop_fraction(
+        FlowPattern::prefixes("0.0.0.0/0".parse().unwrap(), victim_prefix()),
+        0.5,
+    );
+    let filter = StatelessFilter::new(RuleSet::from_rules([rule]), [7u8; 32]);
+    let flows = FlowSet::random_toward_victim(4096, victim_ip(), 3);
+    (filter, flows.flows().to_vec())
+}
+
+/// Every shipped [`FilterBackend`] over `stateless`, warmed to steady
+/// state on `tuples`: the hybrid has promoted the working set to
+/// exact-match entries, the sketch backend has seen every flow cross its
+/// hot threshold. Steady state is what the paper's Fig. 14 sweep measures
+/// and where batch effects matter at line rate.
+pub fn steady_state_backends(
+    stateless: &StatelessFilter,
+    tuples: &[FiveTuple],
+) -> Vec<(&'static str, Box<dyn FilterBackend>)> {
+    use vif_core::sketch_backend::SketchAcceleratedFilter;
+    let mut hybrid = HybridFilter::new(stateless.clone(), 100_000);
+    for t in tuples {
+        hybrid.decide(t);
+    }
+    hybrid.apply_update_period();
+    let mut sketch = SketchAcceleratedFilter::new(stateless.clone(), 100_000);
+    for _ in 0..=SketchAcceleratedFilter::DEFAULT_HOT_THRESHOLD {
+        for t in tuples {
+            sketch.decide(t);
+        }
+    }
+    vec![
+        ("stateless", Box::new(stateless.clone())),
+        ("hybrid", Box::new(hybrid)),
+        ("sketch-accelerated", Box::new(sketch)),
+    ]
+}
+
 /// Launches a single filter enclave preloaded with `ruleset`.
 pub fn launch_filter(ruleset: RuleSet) -> std::sync::Arc<vif_sgx::Enclave<FilterEnclaveApp>> {
     let root = AttestationRootKey::new([0xAA; 32]);
@@ -56,8 +97,16 @@ pub fn launch_filter(ruleset: RuleSet) -> std::sync::Arc<vif_sgx::Enclave<Filter
 }
 
 /// Generates a saturating CBR workload over `flows`.
-pub fn saturating_traffic(flows: &FlowSet, packet_size: u16, duration_ms: u64, seed: u64) -> Vec<Packet> {
-    TrafficGenerator::new(seed).generate(flows, TrafficConfig::saturating_10g(packet_size, duration_ms))
+pub fn saturating_traffic(
+    flows: &FlowSet,
+    packet_size: u16,
+    duration_ms: u64,
+    seed: u64,
+) -> Vec<Packet> {
+    TrafficGenerator::new(seed).generate(
+        flows,
+        TrafficConfig::saturating_10g(packet_size, duration_ms),
+    )
 }
 
 /// Formats a markdown-style table.

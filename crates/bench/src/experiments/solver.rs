@@ -107,8 +107,9 @@ pub fn gap() -> String {
 }
 
 /// Rule counts swept in Fig. 9.
-pub const FIG9_RULE_COUNTS: [usize; 8] =
-    [10_000, 30_000, 50_000, 70_000, 90_000, 110_000, 130_000, 150_000];
+pub const FIG9_RULE_COUNTS: [usize; 8] = [
+    10_000, 30_000, 50_000, 70_000, 90_000, 110_000, 130_000, 150_000,
+];
 
 /// Fig. 9: greedy running time for 10 K–150 K rules at 500 Gb/s total
 /// (paper: ≤40 s everywhere).
@@ -125,11 +126,8 @@ pub fn fig9(repeats: usize) -> String {
                 inst.validate(&alloc).expect("valid");
             }
             let mean = times.iter().sum::<f64>() / times.len() as f64;
-            let var = times
-                .iter()
-                .map(|t| (t - mean) * (t - mean))
-                .sum::<f64>()
-                / times.len() as f64;
+            let var =
+                times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / times.len() as f64;
             vec![
                 k.to_string(),
                 format!("{mean:.3}"),

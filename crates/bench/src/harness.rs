@@ -26,6 +26,8 @@ pub enum ExperimentId {
     Fig9,
     /// Table II: batch insertion.
     Tab2,
+    /// Per-packet vs. batched filter throughput per backend.
+    Batch,
     /// Fig. 11a: DNS-resolver coverage.
     Fig11a,
     /// Fig. 11b: Mirai coverage.
@@ -45,7 +47,7 @@ pub enum ExperimentId {
 }
 
 /// All experiments in presentation order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 18] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 19] = [
     ExperimentId::Fig3a,
     ExperimentId::Fig3b,
     ExperimentId::Fig8,
@@ -56,6 +58,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 18] = [
     ExperimentId::Gap,
     ExperimentId::Fig9,
     ExperimentId::Tab2,
+    ExperimentId::Batch,
     ExperimentId::Fig11a,
     ExperimentId::Fig11b,
     ExperimentId::Tab3,
@@ -80,6 +83,7 @@ impl ExperimentId {
             ExperimentId::Gap => "gap",
             ExperimentId::Fig9 => "fig9",
             ExperimentId::Tab2 => "tab2",
+            ExperimentId::Batch => "batch",
             ExperimentId::Fig11a => "fig11a",
             ExperimentId::Fig11b => "fig11b",
             ExperimentId::Tab3 => "tab3",
@@ -123,6 +127,10 @@ pub fn run_experiment(id: ExperimentId, scale: Scale) -> String {
         ExperimentId::Gap => solver::gap(),
         ExperimentId::Fig9 => solver::fig9(repeats),
         ExperimentId::Tab2 => dataplane::tab2(),
+        ExperimentId::Batch => dataplane::batch(match scale {
+            Scale::Quick => 100_000,
+            Scale::Full => 1_000_000,
+        }),
         ExperimentId::Fig11a => ixp::fig11(AttackSourceModel::DnsResolvers, victims, 77),
         ExperimentId::Fig11b => ixp::fig11(AttackSourceModel::MiraiBotnet, victims, 77),
         ExperimentId::Tab3 => ixp::tab3(77),

@@ -1,0 +1,145 @@
+//! The filter-backend abstraction: one verdict engine, many executions.
+//!
+//! [`FilterBackend`] is the seam between VIF's *semantics* — the stateless
+//! verdict function `f(5-tuple)` of §III-A — and its *execution
+//! strategies*. Three backends ship today:
+//!
+//! - [`StatelessFilter`](crate::filter::StatelessFilter): the reference
+//!   execution — classify, then decide deterministically or via the
+//!   Appendix A hash;
+//! - [`HybridFilter`](crate::hybrid::HybridFilter): hash-based decisions
+//!   with periodic batch promotion of observed flows to exact-match
+//!   entries (Appendix F);
+//! - [`SketchAcceleratedFilter`](crate::sketch_backend::SketchAcceleratedFilter):
+//!   a count-min sketch finds heavy-hitter flows at line rate and only
+//!   those are promoted, bounding exact-match table growth under the
+//!   many-flows DDoS regime.
+//!
+//! Every backend must be *verdict-equivalent* to the stateless reference
+//! in the semantic fields: same **action** (what the audit logs observe)
+//! and same **matched rule** (what drives `B_i` telemetry and strict-scope
+//! accounting), for every tuple, in any order. The verdict's
+//! [`DecisionPath`](crate::filter::DecisionPath) is explicitly *execution*
+//! information — a caching backend reports `Cached` where the reference
+//! reports `HashBased` so the cost model knows no SHA-256 was paid. That
+//! split is what keeps the enclave auditable — executions may differ in
+//! cost, never in observable behavior — and it is what makes
+//! [`decide_batch`](FilterBackend::decide_batch) safe: because verdicts
+//! are order-independent, a backend may process an RX burst whole,
+//! amortizing hash setup, cache misses, and enclave-boundary crossings
+//! without changing any audit outcome. The property test
+//! `batch_decide_equals_single_decide` enforces both halves: batch ≡
+//! single exactly, and every backend ≡ the stateless reference on
+//! (action, rule).
+
+use crate::filter::Verdict;
+use vif_dataplane::FiveTuple;
+
+/// A verdict engine over five tuples.
+///
+/// Implementations carry caches and telemetry (hence `&mut self`) but the
+/// verdicts they return must be a pure function of the tuple and the
+/// installed rule set — never of call order or batch boundaries.
+pub trait FilterBackend {
+    /// Decides one packet.
+    fn decide(&mut self, t: &FiveTuple) -> Verdict;
+
+    /// Decides a burst: appends exactly one [`Verdict`] per tuple of
+    /// `tuples` to `out`, in order. `out` arrives cleared.
+    ///
+    /// The default implementation loops [`decide`](FilterBackend::decide);
+    /// backends override it to amortize per-packet overhead. Whatever the
+    /// execution, the verdicts must equal the per-packet path's — the
+    /// `batch_decide_equals_single_decide` property test enforces this
+    /// for every shipped backend.
+    fn decide_batch(&mut self, tuples: &[FiveTuple], out: &mut Vec<Verdict>) {
+        out.reserve(tuples.len());
+        for t in tuples {
+            out.push(self.decide(t));
+        }
+    }
+
+    /// Human-readable backend name for reports and benches.
+    fn name(&self) -> &'static str {
+        "filter-backend"
+    }
+}
+
+impl<B: FilterBackend + ?Sized> FilterBackend for &mut B {
+    fn decide(&mut self, t: &FiveTuple) -> Verdict {
+        (**self).decide(t)
+    }
+
+    fn decide_batch(&mut self, tuples: &[FiveTuple], out: &mut Vec<Verdict>) {
+        (**self).decide_batch(tuples, out)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<B: FilterBackend + ?Sized> FilterBackend for Box<B> {
+    fn decide(&mut self, t: &FiveTuple) -> Verdict {
+        (**self).decide(t)
+    }
+
+    fn decide_batch(&mut self, tuples: &[FiveTuple], out: &mut Vec<Verdict>) {
+        (**self).decide_batch(tuples, out)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::StatelessFilter;
+    use crate::rules::{FilterRule, FlowPattern};
+    use crate::ruleset::RuleSet;
+    use vif_dataplane::Protocol;
+
+    fn backend() -> StatelessFilter {
+        let pattern = FlowPattern::prefixes(
+            "0.0.0.0/0".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        );
+        StatelessFilter::new(
+            RuleSet::from_rules([FilterRule::drop_fraction(pattern, 0.5)]),
+            [7u8; 32],
+        )
+    }
+
+    fn tuple(i: u32) -> FiveTuple {
+        FiveTuple::new(
+            i,
+            u32::from_be_bytes([203, 0, 113, 1]),
+            10,
+            80,
+            Protocol::Udp,
+        )
+    }
+
+    #[test]
+    fn dyn_and_boxed_backends_delegate() {
+        let mut direct = backend();
+        let mut boxed: Box<dyn FilterBackend> = Box::new(backend());
+        let tuples: Vec<FiveTuple> = (0..64).map(tuple).collect();
+        let mut got_direct = Vec::new();
+        let mut got_boxed = Vec::new();
+        FilterBackend::decide_batch(&mut direct, &tuples, &mut got_direct);
+        boxed.decide_batch(&tuples, &mut got_boxed);
+        assert_eq!(got_direct, got_boxed);
+        assert_eq!(boxed.name(), "stateless");
+    }
+
+    #[test]
+    fn mut_ref_is_a_backend() {
+        let mut inner = backend();
+        let mut via_ref: &mut StatelessFilter = &mut inner;
+        let v = FilterBackend::decide(&mut via_ref, &tuple(1));
+        assert_eq!(v, inner.decide(&tuple(1)));
+    }
+}

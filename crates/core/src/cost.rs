@@ -137,7 +137,9 @@ impl CostModel {
         let stall = self.mem_stall_ns(table_bytes, epc);
         let cost = match mode {
             FilterMode::Native => {
-                self.base_ns + self.sketch_ns + self.lookup_core_ns
+                self.base_ns
+                    + self.sketch_ns
+                    + self.lookup_core_ns
                     + stall * self.native_stall_factor
             }
             FilterMode::SgxNearZeroCopy => {
@@ -188,7 +190,10 @@ mod tests {
         let m = CostModel::paper_default();
         let mpps = m.capacity_mpps(FilterMode::SgxNearZeroCopy, 64, TABLE_3K, &epc());
         let wire_gbps = mpps * 1e6 * (64.0 + 20.0) * 8.0 / 1e9;
-        assert!((7.0..9.0).contains(&wire_gbps), "NZC 64B = {wire_gbps} Gb/s");
+        assert!(
+            (7.0..9.0).contains(&wire_gbps),
+            "NZC 64B = {wire_gbps} Gb/s"
+        );
     }
 
     #[test]
@@ -196,7 +201,10 @@ mod tests {
         let m = CostModel::paper_default();
         for size in [64u16, 128, 256] {
             let mpps = m.capacity_mpps(FilterMode::SgxFullCopy, size, TABLE_3K, &epc());
-            assert!((4.5..7.0).contains(&mpps), "full-copy {size}B = {mpps} Mpps");
+            assert!(
+                (4.5..7.0).contains(&mpps),
+                "full-copy {size}B = {mpps} Mpps"
+            );
         }
     }
 

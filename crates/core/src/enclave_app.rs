@@ -6,6 +6,7 @@
 //! data-plane pipeline with the calibrated cost model, standing in for the
 //! filter thread pinned to a CPU core in the paper's Fig. 6.
 
+use crate::backend::FilterBackend;
 use crate::cost::{CostModel, FilterMode};
 use crate::filter::{DecisionPath, StatelessFilter, Verdict};
 use crate::hybrid::HybridFilter;
@@ -53,6 +54,8 @@ pub struct FilterEnclaveApp {
     dh: Option<DhKeyPair>,
     /// The authenticated channel to the victim (after handshake).
     channel: Option<SecureChannel>,
+    /// Reused tuple buffer for the burst path (no per-burst allocation).
+    scratch: Vec<FiveTuple>,
 }
 
 impl FilterEnclaveApp {
@@ -69,6 +72,7 @@ impl FilterEnclaveApp {
             stats: FilterStats::default(),
             dh: None,
             channel: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -141,7 +145,10 @@ impl FilterEnclaveApp {
             rules.push(FilterRule::decode(chunk).map_err(SessionError::RuleDecode)?);
         }
         rpki.authorize(requester, &rules)?;
-        self.filter.inner_mut().ruleset_mut().insert_batch(rules);
+        // insert_rules (not a raw ruleset insert) so the hybrid's
+        // exact-match cache is invalidated: a newly installed rule can
+        // change the reference verdict of an already-promoted flow.
+        self.filter.insert_rules(rules);
         let ack = channel.seal(&(count as u32).to_le_bytes());
         Ok(ack)
     }
@@ -154,7 +161,37 @@ impl FilterEnclaveApp {
     /// Processes one packet: logs it, decides it, logs the forwarding.
     pub fn process(&mut self, t: &FiveTuple, wire_bytes: u64) -> Verdict {
         self.logs.log_incoming(t);
-        let verdict = self.filter.decide(t);
+        let verdict = FilterBackend::decide(&mut self.filter, t);
+        self.absorb_verdict(t, wire_bytes, verdict);
+        verdict
+    }
+
+    /// Processes a burst of `(five tuple, wire bytes)` packets, appending
+    /// one verdict per packet to `out` in order.
+    ///
+    /// Equivalent to calling [`process`](FilterEnclaveApp::process) per
+    /// packet: verdicts are order-independent (§III-A) and the sketch/
+    /// telemetry updates commute, so regrouping them around one
+    /// [`FilterBackend::decide_batch`] call changes cost, never state.
+    /// This is the in-enclave half of the pipeline's burst path — one
+    /// enclave-thread entry covers the whole RX burst.
+    pub fn process_batch(&mut self, pkts: &[(FiveTuple, u64)], out: &mut Vec<Verdict>) {
+        out.clear();
+        self.scratch.clear();
+        self.scratch.reserve(pkts.len());
+        for (t, _) in pkts {
+            self.logs.log_incoming(t);
+            self.scratch.push(*t);
+        }
+        self.filter.decide_batch(&self.scratch, out);
+        for (i, (t, wire_bytes)) in pkts.iter().enumerate() {
+            self.absorb_verdict(t, *wire_bytes, out[i]);
+        }
+    }
+
+    /// Post-verdict bookkeeping shared by the single and batch paths:
+    /// rule telemetry, strict-scope accounting, and outgoing logs.
+    fn absorb_verdict(&mut self, t: &FiveTuple, wire_bytes: u64, verdict: Verdict) {
         if let Some(rule) = verdict.rule {
             self.filter_ruleset_mut().record_hit(rule, wire_bytes);
         } else if self.strict_scope {
@@ -168,7 +205,6 @@ impl FilterEnclaveApp {
             }
             RuleAction::Drop => self.stats.dropped += 1,
         }
-        verdict
     }
 
     fn filter_ruleset_mut(&mut self) -> &mut RuleSet {
@@ -247,6 +283,9 @@ pub struct EnclaveFilterStage {
     mode: FilterMode,
     cost: CostModel,
     epc: EpcConfig,
+    /// Reused burst buffers (tuples in, verdicts out).
+    scratch: Vec<(FiveTuple, u64)>,
+    verdicts: Vec<Verdict>,
 }
 
 impl EnclaveFilterStage {
@@ -258,6 +297,8 @@ impl EnclaveFilterStage {
             mode,
             cost: CostModel::paper_default(),
             epc,
+            scratch: Vec::new(),
+            verdicts: Vec::new(),
         }
     }
 
@@ -280,6 +321,36 @@ impl EnclaveFilterStage {
 }
 
 impl PacketStage for EnclaveFilterStage {
+    /// One enclave-thread entry covers the whole burst: the app computes
+    /// every verdict via [`FilterBackend::decide_batch`] before control
+    /// returns to the untrusted side, amortizing the boundary crossing
+    /// that a per-packet design would pay 64× per RX burst.
+    fn process_batch(&mut self, pkts: &[Packet], out: &mut Vec<StageOutcome>) {
+        self.scratch.clear();
+        self.scratch
+            .extend(pkts.iter().map(|p| (p.tuple, p.wire_size as u64)));
+        let scratch = &self.scratch;
+        let verdicts = &mut self.verdicts;
+        let table_bytes = self.enclave.in_enclave_thread(|app| {
+            app.process_batch(scratch, verdicts);
+            app.table_bytes()
+        });
+        out.reserve(pkts.len());
+        for (pkt, verdict) in pkts.iter().zip(&self.verdicts) {
+            let hashed = verdict.path == DecisionPath::HashBased;
+            let cost_ns =
+                self.cost
+                    .packet_cost_ns(self.mode, pkt.wire_size, table_bytes, hashed, &self.epc);
+            out.push(StageOutcome {
+                verdict: match verdict.action {
+                    RuleAction::Allow => StageVerdict::Forward,
+                    RuleAction::Drop => StageVerdict::Drop,
+                },
+                cost_ns,
+            });
+        }
+    }
+
     fn process(&mut self, pkt: &Packet) -> StageOutcome {
         let (verdict, table_bytes) = self.enclave.in_enclave_thread(|app| {
             let v = app.process(&pkt.tuple, pkt.wire_size as u64);

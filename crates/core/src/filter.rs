@@ -11,19 +11,40 @@
 //! `H(5-tuple ‖ enclave secret)` falls below `p_allow · 2⁶⁴`, so every
 //! packet of a TCP/UDP flow shares one verdict, and the realized drop rate
 //! converges to the requested fraction across flows.
+//!
+//! # The batch invariant
+//!
+//! Statelessness is exactly what makes burst processing
+//! ([`FilterBackend::decide_batch`]) a pure optimization: since `f(p)`
+//! ignores packet order, arrival time, and every other packet, the
+//! verdicts of a batch equal the verdicts of the same tuples decided one
+//! at a time, in any interleaving. Batching therefore amortizes per-packet
+//! overhead (rule-table cache warmup, hash setup, enclave-boundary
+//! crossings) without ever changing what a victim or neighbor AS observes
+//! in the audit logs — an operator cannot use burst boundaries to smuggle
+//! different filtering behavior past the §III-B verifiers.
 
+use crate::backend::FilterBackend;
 use crate::rules::{RuleAction, RuleDecision};
 use crate::ruleset::{RuleId, RuleSet};
 use vif_crypto::sha256::Sha256;
 use vif_dataplane::FiveTuple;
 
-/// How a verdict was reached (used by telemetry and the hybrid filter).
+/// How a verdict was *executed* (used by the cost model and telemetry).
+///
+/// The path reports what this call actually computed — it is the one
+/// verdict field that may differ between backends for the same tuple.
+/// The semantic fields (`action`, `rule`) must be identical across all
+/// backends; see [`crate::backend`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecisionPath {
     /// A deterministic rule decided.
     Deterministic,
     /// A probabilistic rule decided via the SHA-256 hash of the flow.
     HashBased,
+    /// A hash-based verdict served from an exact-match cache (hybrid or
+    /// sketch-accelerated fast path) — no SHA-256 paid on this call.
+    Cached,
     /// No rule matched; the default (ALLOW) applied.
     Default,
 }
@@ -112,6 +133,21 @@ impl StatelessFilter {
         }
     }
 
+    /// Decides a burst of packets, appending one verdict per tuple to
+    /// `out` in order.
+    ///
+    /// Identical verdicts to per-packet [`decide`](StatelessFilter::decide)
+    /// (the batch invariant, module docs). This is the reference loop —
+    /// the stateless filter keeps no cache, so there is nothing to
+    /// amortize beyond the single `reserve`; caching backends override
+    /// the burst path with more.
+    pub fn decide_batch(&self, tuples: &[FiveTuple], out: &mut Vec<Verdict>) {
+        out.reserve(tuples.len());
+        for t in tuples {
+            out.push(self.decide(t));
+        }
+    }
+
     /// The Appendix A hash-based connection-preserving decision:
     /// allow iff `H(5T ‖ secret) < p_allow · 2⁶⁴`.
     pub fn hash_decision(&self, t: &FiveTuple, p_allow: f64) -> RuleAction {
@@ -126,6 +162,20 @@ impl StatelessFilter {
         } else {
             RuleAction::Drop
         }
+    }
+}
+
+impl FilterBackend for StatelessFilter {
+    fn decide(&mut self, t: &FiveTuple) -> Verdict {
+        StatelessFilter::decide(self, t)
+    }
+
+    fn decide_batch(&mut self, tuples: &[FiveTuple], out: &mut Vec<Verdict>) {
+        StatelessFilter::decide_batch(self, tuples, out)
+    }
+
+    fn name(&self) -> &'static str {
+        "stateless"
     }
 }
 

@@ -13,8 +13,8 @@
 //! verdict, the filter's observable behavior remains the stateless `f(p)`
 //! of §III-A — the cache is purely a performance optimization.
 
+use crate::backend::FilterBackend;
 use crate::filter::{DecisionPath, StatelessFilter, Verdict};
-use crate::rules::RuleAction;
 use std::collections::HashMap;
 use vif_dataplane::FiveTuple;
 
@@ -35,8 +35,12 @@ pub struct HybridStats {
 #[derive(Debug, Clone)]
 pub struct HybridFilter {
     inner: StatelessFilter,
-    exact_cache: HashMap<FiveTuple, RuleAction>,
-    pending: Vec<(FiveTuple, RuleAction)>,
+    /// Promoted flows. The *full* verdict (action, matched rule) is
+    /// cached so the fast path loses no audit/telemetry information —
+    /// rule byte counts (`B_i`, Fig. 5) and strict-scope accounting keep
+    /// working on cached flows.
+    exact_cache: HashMap<FiveTuple, Verdict>,
+    pending: Vec<(FiveTuple, Verdict)>,
     stats: HybridStats,
     /// Cap on cached flows (exact-match table memory is EPC-bounded).
     max_cached_flows: usize,
@@ -91,21 +95,22 @@ impl HybridFilter {
         self.pending.len()
     }
 
-    /// Decides a packet. Identical verdicts to the wrapped stateless
-    /// filter — only the execution path (and cost) differs.
+    /// Decides a packet. Identical action and matched rule to the wrapped
+    /// stateless filter — only the execution path (and cost) differs:
+    /// cache hits report [`DecisionPath::Cached`] so the cost model knows
+    /// no SHA-256 was paid.
     pub fn decide(&mut self, t: &FiveTuple) -> Verdict {
-        if let Some(&action) = self.exact_cache.get(t) {
+        if let Some(cached) = self.exact_cache.get(t) {
             self.stats.exact_hits += 1;
             return Verdict {
-                action,
-                rule: None,
-                path: DecisionPath::Deterministic,
+                path: DecisionPath::Cached,
+                ..*cached
             };
         }
         let verdict = self.inner.decide(t);
         self.stats.hash_decisions += 1;
         if verdict.path == DecisionPath::HashBased {
-            self.pending.push((*t, verdict.action));
+            self.pending.push((*t, verdict));
         }
         verdict
     }
@@ -115,11 +120,11 @@ impl HybridFilter {
     /// (Table II's batch size).
     pub fn apply_update_period(&mut self) -> usize {
         let mut promoted = 0;
-        for (tuple, action) in self.pending.drain(..) {
+        for (tuple, verdict) in self.pending.drain(..) {
             if self.exact_cache.len() >= self.max_cached_flows {
                 break;
             }
-            if self.exact_cache.insert(tuple, action).is_none() {
+            if self.exact_cache.insert(tuple, verdict).is_none() {
                 promoted += 1;
             }
         }
@@ -127,6 +132,42 @@ impl HybridFilter {
         self.stats.promoted_flows += promoted as u64;
         self.stats.update_rounds += 1;
         promoted
+    }
+
+    /// Inserts new rules into the wrapped rule set and invalidates the
+    /// exact-match cache and promotion queue.
+    ///
+    /// Cached verdicts derive from the rule set at promotion time; a new
+    /// rule (e.g. a longer-prefix deterministic drop) can change the
+    /// reference verdict of an already-promoted flow, so every rule-set
+    /// mutation must flush — otherwise the fast path would keep serving
+    /// stale verdicts and break the backend-equivalence invariant
+    /// ([`crate::backend`]).
+    pub fn insert_rules<I: IntoIterator<Item = crate::rules::FilterRule>>(&mut self, rules: I) {
+        self.inner.ruleset_mut().insert_batch(rules);
+        self.flush_cache();
+    }
+
+    /// Drops every cached and pending verdict (rule-set mutation, key
+    /// rotation). Flows fall back to the hash path until re-promoted.
+    pub fn flush_cache(&mut self) {
+        self.exact_cache.clear();
+        self.pending.clear();
+    }
+
+    /// Decides a burst, appending one verdict per tuple to `out` in order.
+    ///
+    /// Verdict-equivalent to per-packet [`decide`](HybridFilter::decide);
+    /// the burst form reserves the promotion queue once per batch and keeps
+    /// the exact-match table hot in cache across the burst.
+    pub fn decide_batch(&mut self, tuples: &[FiveTuple], out: &mut Vec<Verdict>) {
+        out.reserve(tuples.len());
+        // Worst case every tuple is a new hash-decided flow; one reserve
+        // call replaces up to `tuples.len()` incremental grows.
+        self.pending.reserve(tuples.len());
+        for t in tuples {
+            out.push(self.decide(t));
+        }
     }
 
     /// Fraction of decisions served hash-based since start — the x-axis
@@ -140,10 +181,24 @@ impl HybridFilter {
     }
 }
 
+impl FilterBackend for HybridFilter {
+    fn decide(&mut self, t: &FiveTuple) -> Verdict {
+        HybridFilter::decide(self, t)
+    }
+
+    fn decide_batch(&mut self, tuples: &[FiveTuple], out: &mut Vec<Verdict>) {
+        HybridFilter::decide_batch(self, tuples, out)
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{FilterRule, FlowPattern};
+    use crate::rules::{FilterRule, FlowPattern, RuleAction};
     use crate::ruleset::RuleSet;
     use vif_dataplane::Protocol;
 
@@ -157,14 +212,21 @@ mod tests {
     }
 
     fn tuple(i: u32) -> FiveTuple {
-        FiveTuple::new(i, u32::from_be_bytes([203, 0, 113, 1]), 1000, 80, Protocol::Tcp)
+        FiveTuple::new(
+            i,
+            u32::from_be_bytes([203, 0, 113, 1]),
+            1000,
+            80,
+            Protocol::Tcp,
+        )
     }
 
     #[test]
     fn promoted_verdicts_match_hash_verdicts() {
         let mut h = hybrid(0.5);
-        let baseline: Vec<RuleAction> =
-            (0..200).map(|i| h.inner().decide(&tuple(i)).action).collect();
+        let baseline: Vec<RuleAction> = (0..200)
+            .map(|i| h.inner().decide(&tuple(i)).action)
+            .collect();
         for i in 0..200 {
             assert_eq!(h.decide(&tuple(i)).action, baseline[i as usize]);
         }
@@ -236,6 +298,31 @@ mod tests {
         }
         assert_eq!(h.apply_update_period(), 1);
         assert_eq!(h.cached_flows(), 1);
+    }
+
+    #[test]
+    fn insert_rules_invalidates_stale_promotions() {
+        // A promoted hash-Allow verdict must not survive the arrival of a
+        // longer-prefix deterministic drop rule covering the same flow.
+        let mut h = hybrid(0.5);
+        // Find a flow the probabilistic rule allows.
+        let allowed = (0..200)
+            .map(tuple)
+            .find(|t| h.inner().decide(t).action == RuleAction::Allow)
+            .expect("some flow is hash-allowed");
+        h.decide(&allowed);
+        h.apply_update_period();
+        assert_eq!(h.decide(&allowed).path, DecisionPath::Cached);
+        // The victim now submits a deterministic drop on the exact source.
+        let drop_rule = FilterRule::drop(FlowPattern::prefixes(
+            vif_trie::Ipv4Prefix::host(allowed.src_ip),
+            "203.0.113.0/24".parse().unwrap(),
+        ));
+        h.insert_rules([drop_rule]);
+        // Cache flushed: the verdict now matches the stateless reference.
+        let reference = h.inner().decide(&allowed);
+        assert_eq!(reference.action, RuleAction::Drop);
+        assert_eq!(h.decide(&allowed).action, RuleAction::Drop);
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //! 5. rule requests are authorized against RPKI so victims can only filter
 //!    traffic addressed to their own prefixes ([`rpki`], §VII).
 //!
+//! Execution strategy is separated from these semantics by the
+//! [`backend`] module: [`backend::FilterBackend`] abstracts *how* verdicts
+//! are computed — per packet or per RX burst (`decide_batch`) — over three
+//! verdict-equivalent engines ([`filter`], [`hybrid`],
+//! [`sketch_backend`]), so the data plane, the scale-out cluster, and the
+//! benches all share one batch-oriented seam.
+//!
 //! The [`cost`] module carries the calibrated data-plane cost model
 //! (near-zero-copy vs. full-copy, EPC paging, hash-based filtering) that
 //! reproduces the paper's performance envelope on the simulated testbed,
@@ -32,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cost;
 pub mod enclave_app;
 pub mod endtoend;
@@ -44,10 +52,12 @@ pub mod rules;
 pub mod ruleset;
 pub mod scale;
 pub mod session;
+pub mod sketch_backend;
 pub mod verify;
 
 /// Convenient re-exports of the crate's primary types.
 pub mod prelude {
+    pub use crate::backend::FilterBackend;
     pub use crate::cost::{CostModel, FilterMode};
     pub use crate::enclave_app::{EnclaveFilterStage, FilterEnclaveApp};
     pub use crate::endtoend::{AdversaryBehavior, FilteringRun, RunReport};
@@ -60,6 +70,7 @@ pub mod prelude {
     pub use crate::ruleset::{RuleId, RuleSet};
     pub use crate::scale::{EnclaveCluster, LoadBalancer, LoadBalancerBehavior};
     pub use crate::session::{FilteringSession, SessionConfig, SessionError};
+    pub use crate::sketch_backend::SketchAcceleratedFilter;
     pub use crate::verify::{BypassVerdict, NeighborVerifier, VictimVerifier};
     pub use vif_dataplane::{FiveTuple, Packet, Protocol};
     pub use vif_trie::Ipv4Prefix;

@@ -14,8 +14,8 @@
 //! across rounds.
 
 use vif_crypto::hmac::HmacSha256;
-use vif_sketch::{CountMinSketch, SketchConfig, SketchDecodeError};
 use vif_dataplane::FiveTuple;
+use vif_sketch::{CountMinSketch, SketchConfig, SketchDecodeError};
 
 /// Which log a sketch export covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -49,8 +49,7 @@ pub struct RoundOutcome {
 impl RoundOutcome {
     /// True if either verifier flagged this round.
     pub fn dirty(&self) -> bool {
-        self.victim_verdict != BypassVerdict::Clean
-            || self.neighbor_verdict != BypassVerdict::Clean
+        self.victim_verdict != BypassVerdict::Clean || self.neighbor_verdict != BypassVerdict::Clean
     }
 }
 

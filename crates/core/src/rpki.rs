@@ -36,7 +36,10 @@ impl std::fmt::Display for RpkiError {
                 write!(f, "rule {rule_index}: destination prefix not registered")
             }
             RpkiError::NotOwner { rule_index } => {
-                write!(f, "rule {rule_index}: requester does not own destination prefix")
+                write!(
+                    f,
+                    "rule {rule_index}: requester does not own destination prefix"
+                )
             }
         }
     }
@@ -128,7 +131,9 @@ mod tests {
         let r = registry();
         assert!(r.authorize(&owner(1), &[drop_to("203.0.113.0/24")]).is_ok());
         // More-specific prefixes inside the registration are fine too.
-        assert!(r.authorize(&owner(1), &[drop_to("203.0.113.128/25")]).is_ok());
+        assert!(r
+            .authorize(&owner(1), &[drop_to("203.0.113.128/25")])
+            .is_ok());
         assert!(r.authorize(&owner(1), &[drop_to("203.0.113.7/32")]).is_ok());
     }
 
@@ -179,7 +184,9 @@ mod tests {
         let mut r = registry();
         // A sub-allocation of owner 1's space to owner 3.
         r.register("203.0.113.128/25".parse().unwrap(), owner(3));
-        assert!(r.authorize(&owner(3), &[drop_to("203.0.113.128/25")]).is_ok());
+        assert!(r
+            .authorize(&owner(3), &[drop_to("203.0.113.128/25")])
+            .is_ok());
         assert_eq!(
             r.authorize(&owner(1), &[drop_to("203.0.113.128/25")]),
             Err(RpkiError::NotOwner { rule_index: 0 })

@@ -40,7 +40,10 @@ pub struct PortRange {
 
 impl PortRange {
     /// Matches any port.
-    pub const ANY: PortRange = PortRange { lo: 0, hi: u16::MAX };
+    pub const ANY: PortRange = PortRange {
+        lo: 0,
+        hi: u16::MAX,
+    };
 
     /// A single port.
     pub fn exactly(port: u16) -> Self {
@@ -535,11 +538,9 @@ mod tests {
             FilterRule::decode(&bytes),
             Err(RuleDecodeError::BadDecisionTag)
         );
-        let mut bytes = FilterRule::drop_fraction(
-            FlowPattern::http_to("10.0.0.0/8".parse().unwrap()),
-            0.5,
-        )
-        .encode();
+        let mut bytes =
+            FilterRule::drop_fraction(FlowPattern::http_to("10.0.0.0/8".parse().unwrap()), 0.5)
+                .encode();
         bytes[21..29].copy_from_slice(&2.0f64.to_be_bytes());
         assert_eq!(
             FilterRule::decode(&bytes),
@@ -551,7 +552,10 @@ mod tests {
     fn drop_fraction_extremes() {
         let p = FlowPattern::http_to("10.0.0.0/8".parse().unwrap());
         assert_eq!(FilterRule::drop_fraction(p, 1.0).action(), RuleAction::Drop);
-        assert_eq!(FilterRule::drop_fraction(p, 0.0).action(), RuleAction::Allow);
+        assert_eq!(
+            FilterRule::drop_fraction(p, 0.0).action(),
+            RuleAction::Allow
+        );
     }
 
     #[test]

@@ -114,9 +114,7 @@ impl RuleSet {
                 let prefix = rule.pattern().src;
                 coarse_batch
                     .entry(prefix)
-                    .or_insert_with(|| {
-                        self.coarse.get(&prefix).cloned().unwrap_or_default()
-                    })
+                    .or_insert_with(|| self.coarse.get(&prefix).cloned().unwrap_or_default())
                     .push(id);
             }
             self.rules.push(rule);
@@ -182,11 +180,8 @@ impl RuleSet {
     /// footprint).
     pub fn memory_bytes(&self) -> usize {
         let exact_entry = std::mem::size_of::<FiveTuple>() + std::mem::size_of::<RuleId>() + 48;
-        let rule_entry =
-            std::mem::size_of::<FilterRule>() + std::mem::size_of::<RuleCounters>();
-        self.coarse.memory_bytes()
-            + self.exact.len() * exact_entry
-            + self.rules.len() * rule_entry
+        let rule_entry = std::mem::size_of::<FilterRule>() + std::mem::size_of::<RuleCounters>();
+        self.coarse.memory_bytes() + self.exact.len() * exact_entry + self.rules.len() * rule_entry
     }
 
     /// Extracts the sub-ruleset with the given ids (rule redistribution:

@@ -285,11 +285,59 @@ impl EnclaveCluster {
         match self.lb.dispatch(rule, t) {
             Dispatch::Dropped => (RuleAction::Drop, None),
             Dispatch::To(i) => {
-                let action = self.enclaves[i]
-                    .in_enclave_thread(|app| app.process(t, wire_bytes).action);
+                let action =
+                    self.enclaves[i].in_enclave_thread(|app| app.process(t, wire_bytes).action);
                 (action, Some(i))
             }
         }
+    }
+
+    /// Processes a burst of `(five tuple, wire bytes)` packets through LB
+    /// dispatch and the target enclaves, returning `(action, enclave)` per
+    /// packet in input order (`None` enclave if the LB dropped it).
+    ///
+    /// Packets are grouped by target enclave so each enclave slice is
+    /// entered once per burst and decides its sub-batch via the backend's
+    /// [`decide_batch`](crate::backend::FilterBackend::decide_batch) path
+    /// — the multi-enclave analogue of the single-enclave burst pipeline.
+    /// Verdict-equivalent to per-packet [`process`](EnclaveCluster::process)
+    /// because dispatch is per-flow deterministic and verdicts are
+    /// stateless (§III-A).
+    pub fn process_batch(&self, pkts: &[(FiveTuple, u64)]) -> Vec<(RuleAction, Option<usize>)> {
+        let mut results = vec![(RuleAction::Drop, None); pkts.len()];
+        // Route each packet; sorting (enclave, input idx) groups the burst
+        // by target while preserving input order within each enclave —
+        // no per-enclave Vec allocations on the burst path.
+        let mut routed: Vec<(usize, usize)> = Vec::with_capacity(pkts.len());
+        for (i, (t, _)) in pkts.iter().enumerate() {
+            let rule = self.full_ruleset.classify(t);
+            match self.lb.dispatch(rule, t) {
+                Dispatch::Dropped => results[i] = (RuleAction::Drop, None),
+                Dispatch::To(e) => routed.push((e, i)),
+            }
+        }
+        routed.sort_unstable();
+        // One enclave entry per target: the slice decides its sub-burst.
+        let mut sub: Vec<(FiveTuple, u64)> = Vec::new();
+        let mut verdicts = Vec::new();
+        let mut k = 0;
+        while k < routed.len() {
+            let enclave = routed[k].0;
+            let end = k + routed[k..]
+                .iter()
+                .take_while(|(e, _)| *e == enclave)
+                .count();
+            sub.clear();
+            sub.extend(routed[k..end].iter().map(|&(_, i)| pkts[i]));
+            self.enclaves[enclave].in_enclave_thread(|app| {
+                app.process_batch(&sub, &mut verdicts);
+            });
+            for (&(_, i), verdict) in routed[k..end].iter().zip(&verdicts) {
+                results[i] = (verdict.action, Some(enclave));
+            }
+            k = end;
+        }
+        results
     }
 
     /// Total misrouted-packet count across enclaves (LB misbehavior
@@ -325,12 +373,7 @@ impl EnclaveCluster {
             });
             // Map the slave's local rules back to global ids by equality.
             for (rule, bytes) in ids.iter().zip(report.iter()) {
-                if let Some(global) = self
-                    .full_ruleset
-                    .rules()
-                    .iter()
-                    .position(|r| r == rule)
-                {
+                if let Some(global) = self.full_ruleset.rules().iter().position(|r| r == rule) {
                     bytes_per_rule[global] += bytes;
                 }
             }
@@ -494,6 +537,26 @@ mod tests {
     }
 
     #[test]
+    fn batch_process_matches_per_packet() {
+        let batched = cluster(30, LoadBalancerBehavior::Honest);
+        let single = cluster(30, LoadBalancerBehavior::Honest);
+        let pkts: Vec<(FiveTuple, u64)> = (0..30)
+            .flat_map(|r| (0..5).map(move |f| (attack_tuple(r, f), 64u64)))
+            .collect();
+        let got = batched.process_batch(&pkts);
+        let want: Vec<_> = pkts.iter().map(|(t, w)| single.process(t, *w)).collect();
+        assert_eq!(got, want);
+        // Same per-enclave log state: batching only regroups the work.
+        for (a, b) in batched.enclaves().iter().zip(single.enclaves()) {
+            assert_eq!(
+                a.ecall(|app| app.logs().incoming().total()),
+                b.ecall(|app| app.logs().incoming().total())
+            );
+            assert_eq!(a.ecall(|app| app.stats()), b.ecall(|app| app.stats()));
+        }
+    }
+
+    #[test]
     fn misrouting_lb_detected() {
         let c = cluster(50, LoadBalancerBehavior::MisrouteFraction(0.5));
         for r in 0..50 {
@@ -550,7 +613,11 @@ mod tests {
             let (action, _) = c.process(&attack_tuple(r, 7), 64);
             assert_eq!(action, RuleAction::Drop, "rule {r} lost in redistribution");
         }
-        assert_eq!(c.misrouted_total(), 0, "post-redistribution routing consistent");
+        assert_eq!(
+            c.misrouted_total(),
+            0,
+            "post-redistribution routing consistent"
+        );
     }
 
     #[test]

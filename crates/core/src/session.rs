@@ -362,7 +362,8 @@ mod tests {
         let platform = SgxPlatform::new(8, EpcConfig::paper_default(), &root);
         let evil = EnclaveImage::new("vif-filter-evil", 1, vec![0xEE; 64]);
         let enclave = Arc::new(platform.launch(evil, FilterEnclaveApp::fresh([9u8; 32])));
-        let good_measurement = EnclaveImage::new("vif-filter", 1, vec![0xAB; 1 << 20]).measurement();
+        let good_measurement =
+            EnclaveImage::new("vif-filter", 1, vec![0xAB; 1 << 20]).measurement();
         let victim = VictimClient::new(
             [1u8; 32],
             &[0x42; 32],
@@ -423,7 +424,13 @@ mod tests {
         session.submit_rules(&rules(), &rpki).unwrap();
         // Process a packet and audit: an honest run is clean end to end.
         use vif_dataplane::{FiveTuple, Protocol};
-        let t = FiveTuple::new(5, u32::from_be_bytes([203, 0, 113, 8]), 999, 443, Protocol::Tcp);
+        let t = FiveTuple::new(
+            5,
+            u32::from_be_bytes([203, 0, 113, 8]),
+            999,
+            443,
+            Protocol::Tcp,
+        );
         let mut victim_verifier = session.victim_verifier();
         session.enclave().in_enclave_thread(|app| {
             app.process(&t, 64);

@@ -228,9 +228,13 @@ mod tests {
             logs.log_outgoing(&t); // filter allows everything here
             victim.observe(&t);
         }
-        let v = victim.audit(&logs.export(LogDirection::Outgoing, &KEY)).unwrap();
+        let v = victim
+            .audit(&logs.export(LogDirection::Outgoing, &KEY))
+            .unwrap();
         assert_eq!(v.verdict, BypassVerdict::Clean);
-        let n = neighbor.audit(&logs.export(LogDirection::Incoming, &KEY)).unwrap();
+        let n = neighbor
+            .audit(&logs.export(LogDirection::Incoming, &KEY))
+            .unwrap();
         assert_eq!(n.verdict, BypassVerdict::Clean);
     }
 
@@ -246,7 +250,9 @@ mod tests {
                 victim.observe(&t); // host silently dropped 20 packets
             }
         }
-        let report = victim.audit(&logs.export(LogDirection::Outgoing, &KEY)).unwrap();
+        let report = victim
+            .audit(&logs.export(LogDirection::Outgoing, &KEY))
+            .unwrap();
         assert_eq!(report.verdict, BypassVerdict::DropDetected);
         assert!(report.bypass_detected());
     }
@@ -265,7 +271,9 @@ mod tests {
         for i in 0..100 {
             victim.observe(&tuple(i));
         }
-        let report = victim.audit(&logs.export(LogDirection::Outgoing, &KEY)).unwrap();
+        let report = victim
+            .audit(&logs.export(LogDirection::Outgoing, &KEY))
+            .unwrap();
         assert_eq!(report.verdict, BypassVerdict::InjectionDetected);
     }
 
@@ -282,7 +290,9 @@ mod tests {
             }
         }
         victim.observe(&tuple(9999)); // injected flow
-        let report = victim.audit(&logs.export(LogDirection::Outgoing, &KEY)).unwrap();
+        let report = victim
+            .audit(&logs.export(LogDirection::Outgoing, &KEY))
+            .unwrap();
         assert_eq!(report.verdict, BypassVerdict::DropAndInjectionDetected);
     }
 
@@ -298,7 +308,9 @@ mod tests {
                 logs.log_incoming(&t);
             }
         }
-        let report = neighbor.audit(&logs.export(LogDirection::Incoming, &KEY)).unwrap();
+        let report = neighbor
+            .audit(&logs.export(LogDirection::Incoming, &KEY))
+            .unwrap();
         assert_eq!(report.verdict, BypassVerdict::DropDetected);
     }
 
@@ -315,7 +327,9 @@ mod tests {
         for i in 1000..1500 {
             logs.log_incoming(&tuple(i));
         }
-        let report = neighbor.audit(&logs.export(LogDirection::Incoming, &KEY)).unwrap();
+        let report = neighbor
+            .audit(&logs.export(LogDirection::Incoming, &KEY))
+            .unwrap();
         assert_eq!(report.verdict, BypassVerdict::Clean);
     }
 
@@ -330,7 +344,9 @@ mod tests {
                 victim.observe(&t); // ~0.25% benign path loss
             }
         }
-        let report = victim.audit(&logs.export(LogDirection::Outgoing, &KEY)).unwrap();
+        let report = victim
+            .audit(&logs.export(LogDirection::Outgoing, &KEY))
+            .unwrap();
         assert_eq!(report.verdict, BypassVerdict::Clean);
     }
 

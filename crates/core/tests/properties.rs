@@ -2,9 +2,19 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use vif_core::filter::Verdict;
 use vif_core::prelude::*;
 use vif_core::rules::RuleAction;
 use vif_trie::Ipv4Prefix;
+
+/// One instance of every shipped backend over the same rule set/secret.
+fn all_backends(stateless: &StatelessFilter) -> Vec<Box<dyn FilterBackend>> {
+    vec![
+        Box::new(stateless.clone()),
+        Box::new(HybridFilter::new(stateless.clone(), 1000)),
+        Box::new(SketchAcceleratedFilter::new(stateless.clone(), 1000)),
+    ]
+}
 
 fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
     (
@@ -115,6 +125,47 @@ proptest! {
                         prop_assert!(r.pattern().src.len() <= chosen.pattern().src.len());
                     }
                 }
+            }
+        }
+    }
+
+    /// The batch invariant, both halves: (1) for every backend,
+    /// `decide_batch` produces exactly the verdicts (action, rule id,
+    /// decision path) that per-packet `decide` produces — including
+    /// mid-stream, after the backend has accumulated caching state; and
+    /// (2) every backend agrees with the stateless reference on the
+    /// semantic fields (action, matched rule) — only the execution path
+    /// may differ (e.g. `Cached` vs `HashBased`).
+    #[test]
+    fn batch_decide_equals_single_decide(
+        rules in vec(arb_rule(), 0..20),
+        warmup in vec(arb_tuple(), 0..40),
+        packets in vec(arb_tuple(), 1..120),
+    ) {
+        let stateless = StatelessFilter::new(RuleSet::from_rules(rules), [7u8; 32]);
+        let batchers = all_backends(&stateless);
+        let singles = all_backends(&stateless);
+        for (mut batcher, mut single) in batchers.into_iter().zip(singles) {
+            // Drive both instances through identical warmup traffic so
+            // caches/promotion queues hold state before the comparison.
+            let mut sink = Vec::new();
+            batcher.decide_batch(&warmup, &mut sink);
+            for t in &warmup {
+                let _ = single.decide(t);
+            }
+            let mut got = Vec::new();
+            batcher.decide_batch(&packets, &mut got);
+            let want: Vec<Verdict> = packets.iter().map(|t| single.decide(t)).collect();
+            prop_assert_eq!(&got, &want, "backend {} batch != single", batcher.name());
+            // Semantic equivalence against the stateless reference.
+            for (t, v) in packets.iter().zip(&got) {
+                let r = stateless.decide(t);
+                prop_assert_eq!(
+                    (v.action, v.rule),
+                    (r.action, r.rule),
+                    "backend {} diverged from stateless reference",
+                    batcher.name()
+                );
             }
         }
     }

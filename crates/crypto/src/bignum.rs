@@ -243,10 +243,7 @@ impl BigUint {
         } else {
             for i in 0..src.len() {
                 let lo = src[i] >> bit_shift;
-                let hi = src
-                    .get(i + 1)
-                    .map(|&n| n << (64 - bit_shift))
-                    .unwrap_or(0);
+                let hi = src.get(i + 1).map(|&n| n << (64 - bit_shift)).unwrap_or(0);
                 out.push(lo | hi);
             }
         }
@@ -299,9 +296,7 @@ impl BigUint {
             let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
             let mut qhat = top / v[n - 1] as u128;
             let mut rhat = top % v[n - 1] as u128;
-            while qhat >= b
-                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >= b || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v[n - 1] as u128;
                 if rhat >= b {
@@ -345,7 +340,9 @@ impl BigUint {
 
         let mut quotient = BigUint { limbs: q };
         quotient.normalize();
-        let mut remainder = BigUint { limbs: u[..n].to_vec() };
+        let mut remainder = BigUint {
+            limbs: u[..n].to_vec(),
+        };
         remainder.normalize();
         (quotient, remainder.shr(shift))
     }
@@ -431,7 +428,13 @@ mod tests {
 
     #[test]
     fn roundtrip_bytes() {
-        let cases: [&[u8]; 5] = [b"", b"\x01", b"\xff\xff", b"\x00\x00\x07", b"\x12\x34\x56\x78\x9a\xbc\xde\xf0\x11"];
+        let cases: [&[u8]; 5] = [
+            b"",
+            b"\x01",
+            b"\xff\xff",
+            b"\x00\x00\x07",
+            b"\x12\x34\x56\x78\x9a\xbc\xde\xf0\x11",
+        ];
         for c in cases {
             let n = BigUint::from_be_bytes(c);
             let expected: Vec<u8> = {
@@ -457,7 +460,13 @@ mod tests {
 
     #[test]
     fn add_sub_roundtrip_u128() {
-        let pairs = [(0u128, 0u128), (1, 1), (u128::MAX, 1), (1 << 64, 1 << 64), (u128::MAX, u128::MAX)];
+        let pairs = [
+            (0u128, 0u128),
+            (1, 1),
+            (u128::MAX, 1),
+            (1 << 64, 1 << 64),
+            (u128::MAX, u128::MAX),
+        ];
         for (a, b) in pairs {
             let s = big(a).add(&big(b));
             assert_eq!(s.sub(&big(b)), big(a));
@@ -468,7 +477,10 @@ mod tests {
     #[test]
     fn mul_small() {
         assert_eq!(big(12).mul(&big(10)), big(120));
-        assert_eq!(big(u64::MAX as u128).mul(&big(u64::MAX as u128)), big((u64::MAX as u128) * (u64::MAX as u128)));
+        assert_eq!(
+            big(u64::MAX as u128).mul(&big(u64::MAX as u128)),
+            big((u64::MAX as u128) * (u64::MAX as u128))
+        );
         assert_eq!(big(0).mul(&big(55)), BigUint::zero());
     }
 
@@ -488,7 +500,7 @@ mod tests {
             (u128::MAX, 3u128),
             (u128::MAX, u64::MAX as u128),
             ((1u128 << 127) + 12345, (1u128 << 63) + 7),
-            (0xdeadbeef_cafebabe_1234_5678u128, 0xffff_ffffu128),
+            (0xdead_beef_cafe_babe_1234_5678_u128, 0xffff_ffffu128),
         ];
         for (a, b) in samples {
             let (q, r) = big(a).div_rem(&big(b));
@@ -512,12 +524,10 @@ mod tests {
         // Constructed case where the q̂ estimate overshoots (Knuth D6).
         let n = BigUint::from_be_bytes(&[
             0x80, 0, 0, 0, 0, 0, 0, 0, // high limb 2^63
-            0, 0, 0, 0, 0, 0, 0, 0,
-            0, 0, 0, 0, 0, 0, 0, 1,
+            0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
         ]);
         let d = BigUint::from_be_bytes(&[
-            0x80, 0, 0, 0, 0, 0, 0, 0,
-            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+            0x80, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
         ]);
         let (q, r) = n.div_rem(&d);
         assert!(r < d);
@@ -527,7 +537,7 @@ mod tests {
     #[test]
     fn shifts() {
         assert_eq!(big(1).shl(64), BigUint { limbs: vec![0, 1] });
-        assert_eq!(big(1 << 70 >> 0).shr(70), big(1));
+        assert_eq!(big(1u128 << 70).shr(70), big(1));
         assert_eq!(big(0xF0).shr(4), big(0xF));
         assert_eq!(big(0xF0).shl(4), big(0xF00));
         assert_eq!(BigUint::zero().shl(100), BigUint::zero());

@@ -71,7 +71,10 @@ pub struct SecureChannel {
 impl SecureChannel {
     /// Derives a connected pair of endpoints (initiator, responder) from a
     /// shared secret and a context label (e.g., session identifier).
-    pub fn pair_from_secret(shared_secret: &[u8], context: &[u8]) -> (SecureChannel, SecureChannel) {
+    pub fn pair_from_secret(
+        shared_secret: &[u8],
+        context: &[u8],
+    ) -> (SecureChannel, SecureChannel) {
         let okm = kdf::hkdf(b"vif-channel-v1", shared_secret, context, 128);
         let key = |i: usize| -> [u8; 32] {
             let mut k = [0u8; 32];
@@ -190,9 +193,7 @@ mod tests {
     fn ciphertext_differs_from_plaintext() {
         let (mut a, _) = pair();
         let frame = a.seal(b"sensitive filter rule");
-        assert!(!frame
-            .windows(b"sensitive".len())
-            .any(|w| w == b"sensitive"));
+        assert!(!frame.windows(b"sensitive".len()).any(|w| w == b"sensitive"));
     }
 
     #[test]
@@ -210,7 +211,10 @@ mod tests {
         assert!(b.open(&frame).is_ok());
         assert_eq!(
             b.open(&frame),
-            Err(ChannelError::Replay { expected: 1, got: 0 })
+            Err(ChannelError::Replay {
+                expected: 1,
+                got: 0
+            })
         );
     }
 
@@ -221,7 +225,10 @@ mod tests {
         let f1 = a.seal(b"one");
         assert_eq!(
             b.open(&f1),
-            Err(ChannelError::Replay { expected: 0, got: 1 })
+            Err(ChannelError::Replay {
+                expected: 0,
+                got: 1
+            })
         );
         // f0 still opens fine afterwards.
         assert_eq!(b.open(&f0).unwrap(), b"zero");

@@ -175,11 +175,7 @@ mod tests {
         let g = DhGroup::tiny_test_group();
         let a = g.key_pair_from_secret(&[9; 8]);
         let p_minus_1 = g.prime().sub(&BigUint::one());
-        for bad in [
-            BigUint::zero(),
-            BigUint::one(),
-            p_minus_1,
-        ] {
+        for bad in [BigUint::zero(), BigUint::one(), p_minus_1] {
             let bytes = bad.to_be_bytes_padded(g.public_len());
             assert_eq!(a.shared_secret(&bytes), Err(DhError::InvalidPeerPublic));
         }

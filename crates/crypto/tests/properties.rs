@@ -45,7 +45,7 @@ proptest! {
     #[test]
     fn hkdf_prefix_property(ikm in vec(any::<u8>(), 1..64), len in 1usize..128) {
         let long = kdf::hkdf(b"salt", &ikm, b"info", len.max(16));
-        let short = kdf::hkdf(b"salt", &ikm, b"info", 16.min(len.max(16)));
+        let short = kdf::hkdf(b"salt", &ikm, b"info", 16);
         prop_assert_eq!(&long[..short.len()], &short[..]);
     }
 

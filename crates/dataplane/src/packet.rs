@@ -133,7 +133,16 @@ impl fmt::Display for FiveTuple {
         write!(
             f,
             "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} {}",
-            s[0], s[1], s[2], s[3], self.src_port, d[0], d[1], d[2], d[3], self.dst_port,
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            self.src_port,
+            d[0],
+            d[1],
+            d[2],
+            d[3],
+            self.dst_port,
             self.protocol
         )
     }

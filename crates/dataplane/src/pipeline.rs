@@ -9,6 +9,25 @@
 //! delay, and wire serialization fall out of the queueing dynamics, so the
 //! simulation reproduces throughput *and* latency behavior
 //! deterministically.
+//!
+//! # Batch processing and the batch invariant
+//!
+//! The pipeline is *burst-oriented*: an RX burst that clears ring admission
+//! flows through the filter stage whole, via
+//! [`PacketStage::process_batch`]. This mirrors how the real filter thread
+//! drains the RX ring with DPDK burst dequeues and is the hook that lets
+//! backends amortize per-packet overhead (enclave-thread transitions,
+//! hash/secret setup, trie-node cache misses) across a burst.
+//!
+//! Batching is *semantically invisible* by design. VIF's filter is a
+//! stateless function of each packet's five tuple (§III-A): verdicts do
+//! not depend on packet order, arrival time, or neighboring packets, so a
+//! stage may compute a burst's verdicts in any order — or all at once —
+//! and must produce exactly the verdicts the per-packet path would.
+//! Because audit logs and bypass detection consume only per-flow verdict
+//! counts, batching can never change an audit outcome. The property test
+//! `batch_decide_equals_single_decide` in `vif-core` pins this invariant
+//! down for every backend.
 
 use crate::nic::LineRate;
 use crate::packet::Packet;
@@ -33,9 +52,25 @@ pub struct StageOutcome {
 }
 
 /// A packet-processing stage (the filter in VIF's pipeline).
+///
+/// The primary entry point is [`process_batch`](PacketStage::process_batch):
+/// the pipeline hands each admitted RX burst to the stage whole, so
+/// implementations can amortize fixed per-packet costs over the burst.
+/// Implementations must uphold the batch invariant (module docs): the
+/// verdict for a packet may not depend on its position in the burst or on
+/// the other packets in it.
 pub trait PacketStage {
-    /// Processes one packet, returning its verdict and simulated cost.
-    fn process(&mut self, pkt: &Packet) -> StageOutcome;
+    /// Processes a burst: appends exactly one [`StageOutcome`] per packet
+    /// of `pkts` to `out`, in order. `out` arrives cleared.
+    fn process_batch(&mut self, pkts: &[Packet], out: &mut Vec<StageOutcome>);
+
+    /// Processes one packet (a burst of one).
+    fn process(&mut self, pkt: &Packet) -> StageOutcome {
+        let mut out = Vec::with_capacity(1);
+        self.process_batch(std::slice::from_ref(pkt), &mut out);
+        out.pop()
+            .expect("process_batch yields one outcome per packet")
+    }
 
     /// Human-readable stage name for reports.
     fn name(&self) -> &str {
@@ -47,6 +82,10 @@ impl<F> PacketStage for F
 where
     F: FnMut(&Packet) -> StageOutcome,
 {
+    fn process_batch(&mut self, pkts: &[Packet], out: &mut Vec<StageOutcome>) {
+        out.extend(pkts.iter().map(self));
+    }
+
     fn process(&mut self, pkt: &Packet) -> StageOutcome {
         self(pkt)
     }
@@ -170,14 +209,31 @@ impl PipelineReport {
 
 /// Runs `traffic` (sorted by arrival time) through the pipeline.
 ///
+/// Each RX burst is admitted packet-by-packet against the ring occupancy,
+/// then the admitted packets flow through the filter stage *as one batch*
+/// ([`PacketStage::process_batch`]); the per-packet outcome costs then
+/// advance the filter and TX clocks in order. Ring slots freed by filter
+/// completions are reclaimed at burst granularity (the filter thread
+/// signals completion when it hands a burst to TX), which matches the
+/// DPDK burst-dequeue behavior the paper's pipeline is built on.
+///
 /// # Panics
 ///
 /// Panics if `traffic` is not sorted by `arrival_ns` or config is
 /// degenerate (zero burst or ring capacity).
-pub fn run(traffic: &[Packet], stage: &mut dyn PacketStage, cfg: &PipelineConfig) -> PipelineReport {
-    assert!(cfg.burst_size > 0 && cfg.ring_capacity > 0, "degenerate pipeline config");
+pub fn run(
+    traffic: &[Packet],
+    stage: &mut dyn PacketStage,
+    cfg: &PipelineConfig,
+) -> PipelineReport {
     assert!(
-        traffic.windows(2).all(|w| w[1].arrival_ns >= w[0].arrival_ns),
+        cfg.burst_size > 0 && cfg.ring_capacity > 0,
+        "degenerate pipeline config"
+    );
+    assert!(
+        traffic
+            .windows(2)
+            .all(|w| w[1].arrival_ns >= w[0].arrival_ns),
         "traffic must be sorted by arrival time"
     );
     let mut report = PipelineReport::default();
@@ -192,11 +248,22 @@ pub fn run(traffic: &[Packet], stage: &mut dyn PacketStage, cfg: &PipelineConfig
     // the filter; used for RX-ring occupancy accounting.
     let mut in_flight: VecDeque<u64> = VecDeque::new();
     let mut last_event = 0u64;
+    // Reused per-burst buffers (no per-packet allocation on the hot path).
+    let mut admitted: Vec<Packet> = Vec::with_capacity(cfg.burst_size);
+    let mut admitted_rx_done: Vec<u64> = Vec::with_capacity(cfg.burst_size);
+    let mut outcomes: Vec<StageOutcome> = Vec::with_capacity(cfg.burst_size);
 
     for batch in traffic.chunks(cfg.burst_size) {
         // The RX burst is dispatched when its last packet has arrived.
         let batch_ready = batch.last().expect("non-empty chunk").arrival_ns;
         let rx_start = batch_ready.max(rx_free_at);
+
+        // Phase 1 — RX admission: enqueue each packet onto the ring unless
+        // it is full. Slots held by packets of *this* burst are counted via
+        // `admitted.len()`; their completion times are not yet known (the
+        // filter publishes them when the whole burst completes below).
+        admitted.clear();
+        admitted_rx_done.clear();
         for (i, pkt) in batch.iter().enumerate() {
             report.offered += 1;
             report.offered_bytes += pkt.wire_size as u64;
@@ -207,13 +274,27 @@ pub fn run(traffic: &[Packet], stage: &mut dyn PacketStage, cfg: &PipelineConfig
             while in_flight.front().is_some_and(|&t| t <= rx_done) {
                 in_flight.pop_front();
             }
-            if in_flight.len() >= cfg.ring_capacity {
+            if in_flight.len() + admitted.len() >= cfg.ring_capacity {
                 report.overflow += 1;
                 last_event = last_event.max(rx_done);
                 continue;
             }
+            admitted.push(*pkt);
+            admitted_rx_done.push(rx_done);
+        }
 
-            let outcome = stage.process(pkt);
+        // Phase 2 — the filter stage consumes the admitted burst whole.
+        // A fully-overflowed burst never enters the stage (no enclave
+        // entry paid when the ring is saturated).
+        if admitted.is_empty() {
+            continue;
+        }
+        outcomes.clear();
+        stage.process_batch(&admitted, &mut outcomes);
+        debug_assert_eq!(outcomes.len(), admitted.len(), "one outcome per packet");
+
+        // Phase 3 — advance the filter/TX clocks with the returned costs.
+        for ((pkt, &rx_done), outcome) in admitted.iter().zip(&admitted_rx_done).zip(&outcomes) {
             let filter_start = rx_done.max(filter_free_at);
             let filter_done = filter_start + outcome.cost_ns;
             filter_free_at = filter_done;
@@ -305,7 +386,11 @@ mod tests {
         let mut stage = move |_pkt: &Packet| {
             flip = !flip;
             StageOutcome {
-                verdict: if flip { StageVerdict::Drop } else { StageVerdict::Forward },
+                verdict: if flip {
+                    StageVerdict::Drop
+                } else {
+                    StageVerdict::Forward
+                },
                 cost_ns: 50,
             }
         };

@@ -96,7 +96,9 @@ impl FlowSet {
                 )
             })
             .collect();
-        let weights: Vec<f64> = (0..n).map(|_| lognormal_sample(&mut rng, 0.0, sigma)).collect();
+        let weights: Vec<f64> = (0..n)
+            .map(|_| lognormal_sample(&mut rng, 0.0, sigma))
+            .collect();
         Self::weighted(flows, weights)
     }
 
@@ -220,7 +222,7 @@ mod tests {
     fn uniform_sampling_covers_flows() {
         let fs = FlowSet::random_toward_victim(10, 0x0a000001, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for _ in 0..1000 {
             let t = fs.sample(&mut rng);
             let idx = fs.flows().iter().position(|f| *f == t).unwrap();

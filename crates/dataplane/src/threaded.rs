@@ -86,6 +86,7 @@ where
         let filter = scope.spawn(move || {
             let mut filtered = 0u64;
             let mut batch = Vec::with_capacity(burst);
+            let mut outcomes = Vec::with_capacity(burst);
             loop {
                 batch.clear();
                 if rx_ring_cons.dequeue_burst(&mut batch, burst) == 0 {
@@ -95,8 +96,13 @@ where
                     std::thread::yield_now();
                     continue;
                 }
-                for pkt in &batch {
-                    match stage.process(pkt).verdict {
+                // The dequeued burst flows through the stage whole — the
+                // same amortization point as the simulated pipeline.
+                outcomes.clear();
+                stage.process_batch(&batch, &mut outcomes);
+                debug_assert_eq!(outcomes.len(), batch.len(), "one outcome per packet");
+                for (pkt, outcome) in batch.iter().zip(&outcomes) {
+                    match outcome.verdict {
                         StageVerdict::Drop => filtered += 1,
                         StageVerdict::Forward => {
                             let mut item = *pkt;
@@ -170,7 +176,11 @@ mod tests {
         let stage = move |_p: &Packet| {
             flip = !flip;
             StageOutcome {
-                verdict: if flip { StageVerdict::Forward } else { StageVerdict::Drop },
+                verdict: if flip {
+                    StageVerdict::Forward
+                } else {
+                    StageVerdict::Drop
+                },
                 cost_ns: 0,
             }
         };
@@ -186,7 +196,7 @@ mod tests {
     #[test]
     fn sink_sees_exactly_forwarded_packets() {
         let stage = |p: &Packet| StageOutcome {
-            verdict: if p.tuple.src_ip % 2 == 0 {
+            verdict: if p.tuple.src_ip.is_multiple_of(2) {
                 StageVerdict::Forward
             } else {
                 StageVerdict::Drop

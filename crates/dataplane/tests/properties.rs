@@ -3,7 +3,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use vif_dataplane::pipeline::{self, PipelineConfig, StageOutcome, StageVerdict};
-use vif_dataplane::{FiveTuple, FlowSet, LineRate, Packet, Protocol, Ring, TrafficConfig, TrafficGenerator};
+use vif_dataplane::{
+    FiveTuple, FlowSet, LineRate, Packet, Protocol, Ring, TrafficConfig, TrafficGenerator,
+};
 
 proptest! {
     /// Pipeline conservation: offered = processed + overflow,
@@ -24,7 +26,7 @@ proptest! {
         let mut stage = move |_p: &Packet| {
             n += 1;
             StageOutcome {
-                verdict: if n % drop_every == 0 { StageVerdict::Drop } else { StageVerdict::Forward },
+                verdict: if n.is_multiple_of(drop_every) { StageVerdict::Drop } else { StageVerdict::Forward },
                 cost_ns: cost,
             }
         };

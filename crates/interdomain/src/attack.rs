@@ -144,7 +144,10 @@ mod tests {
     #[test]
     fn totals_preserved() {
         let t = topo();
-        for model in [AttackSourceModel::DnsResolvers, AttackSourceModel::MiraiBotnet] {
+        for model in [
+            AttackSourceModel::DnsResolvers,
+            AttackSourceModel::MiraiBotnet,
+        ] {
             let d = model.distribute(&t, 100_000, 1);
             let total = d.total();
             // Rounding may drop a little; must stay within 1%.

@@ -143,12 +143,7 @@ impl IxpCatalog {
 }
 
 /// Weighted sampling (without replacement) of `target` members.
-fn weighted_members(
-    topo: &Topology,
-    region: Region,
-    target: usize,
-    rng: &mut StdRng,
-) -> Vec<AsId> {
+fn weighted_members(topo: &Topology, region: Region, target: usize, rng: &mut StdRng) -> Vec<AsId> {
     use rand::Rng;
     let mut candidates: Vec<(AsId, f64)> = topo
         .nodes()

@@ -86,7 +86,9 @@ mod tests {
                 if src == victim {
                     continue;
                 }
-                let Some(path) = routes.path(src) else { continue };
+                let Some(path) = routes.path(src) else {
+                    continue;
+                };
                 for &mid in &path[1..path.len() - 1] {
                     let detour = reroute_avoiding(t, victim, &[mid]);
                     if detour.path(src).is_some() {

@@ -126,9 +126,7 @@ pub fn compute_routes(topo: &Topology, dst: AsId) -> RoutingTable {
         }
         let mut best: Option<(u32, AsId)> = None;
         for &(q, rel) in topo.neighbors(x) {
-            if rel == Relationship::Peer
-                && class[q.0 as usize] == Some(RouteClass::Customer)
-            {
+            if rel == Relationship::Peer && class[q.0 as usize] == Some(RouteClass::Customer) {
                 let cand = (len[q.0 as usize] + 1, q);
                 if best.map(|b| cand < b).unwrap_or(true) {
                     best = Some(cand);

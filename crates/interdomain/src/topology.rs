@@ -3,10 +3,9 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// An autonomous-system identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AsId(pub u32);
 
 impl std::fmt::Display for AsId {
@@ -16,7 +15,7 @@ impl std::fmt::Display for AsId {
 }
 
 /// Business relationship of a neighbor, from the perspective of an AS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Relationship {
     /// The neighbor is my customer (it pays me).
     Customer,
@@ -38,7 +37,7 @@ impl Relationship {
 }
 
 /// AS tier in the transit hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Tier {
     /// Global transit-free backbone.
     Tier1,
@@ -49,7 +48,7 @@ pub enum Tier {
 }
 
 /// Geographic region (the paper's five IXP regions, Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Region {
     /// Europe.
     Europe,

@@ -199,7 +199,10 @@ fn assign_bandwidth(inst: &Instance, h: usize, g: f64, n: usize) -> Option<Alloc
             let bmin = pool.peek_min().expect("non-empty");
             if bmin < r && c + 1 < h {
                 let (bw, rule) = pool.pop_min().expect("non-empty");
-                enclave.push(RuleShare { rule, bandwidth: bw });
+                enclave.push(RuleShare {
+                    rule,
+                    bandwidth: bw,
+                });
                 c += 1;
                 r -= bw;
                 continue;
@@ -207,7 +210,10 @@ fn assign_bandwidth(inst: &Instance, h: usize, g: f64, n: usize) -> Option<Alloc
             // Close the enclave with the largest remaining rule.
             let (bw, rule) = pool.pop_max().expect("non-empty");
             if bw <= r {
-                enclave.push(RuleShare { rule, bandwidth: bw });
+                enclave.push(RuleShare {
+                    rule,
+                    bandwidth: bw,
+                });
             } else {
                 // Split: this enclave takes `r`, the remainder returns to
                 // the pool (the rule will also occupy a slot elsewhere).
@@ -292,12 +298,8 @@ mod tests {
         let inst = Instance::paper_defaults(vec![0.0, 0.0, 5.0], 0.2);
         let alloc = GreedySolver::default().solve(&inst).unwrap();
         inst.validate(&alloc).unwrap();
-        let installed: std::collections::HashSet<usize> = alloc
-            .enclaves
-            .iter()
-            .flatten()
-            .map(|s| s.rule)
-            .collect();
+        let installed: std::collections::HashSet<usize> =
+            alloc.enclaves.iter().flatten().map(|s| s.rule).collect();
         assert_eq!(installed.len(), 3);
     }
 

@@ -316,15 +316,27 @@ mod tests {
         let i = inst(vec![4.0, 4.0]);
         let balanced = Allocation {
             enclaves: vec![
-                vec![RuleShare { rule: 0, bandwidth: 4.0 }],
-                vec![RuleShare { rule: 1, bandwidth: 4.0 }],
+                vec![RuleShare {
+                    rule: 0,
+                    bandwidth: 4.0,
+                }],
+                vec![RuleShare {
+                    rule: 1,
+                    bandwidth: 4.0,
+                }],
             ],
         };
         let skewed = Allocation {
             enclaves: vec![
                 vec![
-                    RuleShare { rule: 0, bandwidth: 4.0 },
-                    RuleShare { rule: 1, bandwidth: 4.0 },
+                    RuleShare {
+                        rule: 0,
+                        bandwidth: 4.0,
+                    },
+                    RuleShare {
+                        rule: 1,
+                        bandwidth: 4.0,
+                    },
                 ],
                 vec![],
             ],
@@ -337,8 +349,14 @@ mod tests {
         let i = inst(vec![15.0]); // > G: must be split
         let alloc = Allocation {
             enclaves: vec![
-                vec![RuleShare { rule: 0, bandwidth: 10.0 }],
-                vec![RuleShare { rule: 0, bandwidth: 5.0 }],
+                vec![RuleShare {
+                    rule: 0,
+                    bandwidth: 10.0,
+                }],
+                vec![RuleShare {
+                    rule: 0,
+                    bandwidth: 5.0,
+                }],
             ],
         };
         assert!(i.validate(&alloc).is_ok());
@@ -348,7 +366,10 @@ mod tests {
     fn validate_rejects_overload() {
         let i = inst(vec![11.0]);
         let alloc = Allocation {
-            enclaves: vec![vec![RuleShare { rule: 0, bandwidth: 11.0 }]],
+            enclaves: vec![vec![RuleShare {
+                rule: 0,
+                bandwidth: 11.0,
+            }]],
         };
         assert_eq!(
             i.validate(&alloc),
@@ -360,7 +381,10 @@ mod tests {
     fn validate_rejects_partial_coverage() {
         let i = inst(vec![5.0]);
         let alloc = Allocation {
-            enclaves: vec![vec![RuleShare { rule: 0, bandwidth: 3.0 }]],
+            enclaves: vec![vec![RuleShare {
+                rule: 0,
+                bandwidth: 3.0,
+            }]],
         };
         assert!(matches!(
             i.validate(&alloc),
@@ -374,7 +398,10 @@ mod tests {
         i.memory_limit_mb = i.v_mb + i.u_mb * 5.0; // only 5 rules fit
         let alloc = Allocation {
             enclaves: vec![(0..10)
-                .map(|r| RuleShare { rule: r, bandwidth: 0.001 })
+                .map(|r| RuleShare {
+                    rule: r,
+                    bandwidth: 0.001,
+                })
                 .collect()],
         };
         assert_eq!(
@@ -387,9 +414,15 @@ mod tests {
     fn validate_rejects_unknown_rule() {
         let i = inst(vec![1.0]);
         let alloc = Allocation {
-            enclaves: vec![vec![RuleShare { rule: 5, bandwidth: 1.0 }]],
+            enclaves: vec![vec![RuleShare {
+                rule: 5,
+                bandwidth: 1.0,
+            }]],
         };
-        assert_eq!(i.validate(&alloc), Err(ValidationError::UnknownRule { rule: 5 }));
+        assert_eq!(
+            i.validate(&alloc),
+            Err(ValidationError::UnknownRule { rule: 5 })
+        );
     }
 
     #[test]
@@ -403,10 +436,19 @@ mod tests {
         let alloc = Allocation {
             enclaves: vec![
                 vec![
-                    RuleShare { rule: 0, bandwidth: 2.0 },
-                    RuleShare { rule: 1, bandwidth: 3.0 },
+                    RuleShare {
+                        rule: 0,
+                        bandwidth: 2.0,
+                    },
+                    RuleShare {
+                        rule: 1,
+                        bandwidth: 3.0,
+                    },
                 ],
-                vec![RuleShare { rule: 2, bandwidth: 7.0 }],
+                vec![RuleShare {
+                    rule: 2,
+                    bandwidth: 7.0,
+                }],
                 vec![],
             ],
         };

@@ -359,6 +359,8 @@ mod tests {
         let root_a = AttestationRootKey::new([1u8; 32]);
         let root_b = AttestationRootKey::new([2u8; 32]);
         let quote = sample_quote(&root_a, 3);
-        assert!(AttestationService::new(root_b).verify_quote(&quote).is_err());
+        assert!(AttestationService::new(root_b)
+            .verify_quote(&quote)
+            .is_err());
     }
 }

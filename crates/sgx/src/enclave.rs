@@ -227,8 +227,14 @@ mod tests {
 
     #[test]
     fn transition_costs() {
-        let c = TransitionCounters { ecalls: 2, ocalls: 3 };
-        assert_eq!(c.transition_time_ns(), 2 * ECALL_COST_NS + 3 * OCALL_COST_NS);
+        let c = TransitionCounters {
+            ecalls: 2,
+            ocalls: 3,
+        };
+        assert_eq!(
+            c.transition_time_ns(),
+            2 * ECALL_COST_NS + 3 * OCALL_COST_NS
+        );
     }
 
     #[test]

@@ -98,9 +98,18 @@ mod tests {
     fn sensitive_to_every_field() {
         let base = EnclaveImage::new("filter", 1, vec![1, 2, 3]);
         let m = base.measurement();
-        assert_ne!(m, EnclaveImage::new("filter2", 1, vec![1, 2, 3]).measurement());
-        assert_ne!(m, EnclaveImage::new("filter", 2, vec![1, 2, 3]).measurement());
-        assert_ne!(m, EnclaveImage::new("filter", 1, vec![1, 2, 4]).measurement());
+        assert_ne!(
+            m,
+            EnclaveImage::new("filter2", 1, vec![1, 2, 3]).measurement()
+        );
+        assert_ne!(
+            m,
+            EnclaveImage::new("filter", 2, vec![1, 2, 3]).measurement()
+        );
+        assert_ne!(
+            m,
+            EnclaveImage::new("filter", 1, vec![1, 2, 4]).measurement()
+        );
         assert_ne!(m, EnclaveImage::new("filter", 1, vec![1, 2]).measurement());
     }
 

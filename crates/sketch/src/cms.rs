@@ -1,14 +1,13 @@
 //! The count-min sketch data structure (Cormode & Muthukrishnan 2005).
 
 use crate::hash::{fingerprint, LinearHash};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a count-min sketch: dimensions plus the shared hash seed.
 ///
 /// Two parties that construct sketches with the *same* configuration over the
 /// *same* stream obtain identical counter arrays — the property VIF's bypass
 /// detection relies on (§III-B).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SketchConfig {
     /// Number of bins per row (`w`).
     pub width: usize,
@@ -80,7 +79,7 @@ impl std::error::Error for SketchDecodeError {}
 /// s.add(b"10.0.0.1", 2);
 /// assert!(s.estimate(b"10.0.0.1") >= 5); // never under-counts
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountMinSketch {
     config: SketchConfig,
     rows: Vec<LinearHashRow>,
@@ -89,7 +88,7 @@ pub struct CountMinSketch {
 }
 
 /// Serializable row wrapper (coefficients derived from the config seed).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct LinearHashRow {
     a: u64,
     b: u64,

@@ -166,7 +166,13 @@ mod tests {
 
     #[test]
     fn mersenne_reduction_correct() {
-        for x in [0u128, 1, MERSENNE_61 as u128, MERSENNE_61 as u128 + 1, u64::MAX as u128 * 3] {
+        for x in [
+            0u128,
+            1,
+            MERSENNE_61 as u128,
+            MERSENNE_61 as u128 + 1,
+            u64::MAX as u128 * 3,
+        ] {
             assert_eq!(mod_mersenne_61(x), (x % MERSENNE_61 as u128) as u64);
         }
     }

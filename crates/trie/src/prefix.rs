@@ -175,12 +175,30 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!("10.0.0.0".parse::<Ipv4Prefix>(), Err(PrefixParseError::Syntax));
-        assert_eq!("10.0.0/8".parse::<Ipv4Prefix>(), Err(PrefixParseError::Syntax));
-        assert_eq!("10.0.0.0.0/8".parse::<Ipv4Prefix>(), Err(PrefixParseError::Syntax));
-        assert_eq!("256.0.0.0/8".parse::<Ipv4Prefix>(), Err(PrefixParseError::BadOctet));
-        assert_eq!("10.0.0.0/33".parse::<Ipv4Prefix>(), Err(PrefixParseError::BadLength));
-        assert_eq!("10.0.0.0/x".parse::<Ipv4Prefix>(), Err(PrefixParseError::BadLength));
+        assert_eq!(
+            "10.0.0.0".parse::<Ipv4Prefix>(),
+            Err(PrefixParseError::Syntax)
+        );
+        assert_eq!(
+            "10.0.0/8".parse::<Ipv4Prefix>(),
+            Err(PrefixParseError::Syntax)
+        );
+        assert_eq!(
+            "10.0.0.0.0/8".parse::<Ipv4Prefix>(),
+            Err(PrefixParseError::Syntax)
+        );
+        assert_eq!(
+            "256.0.0.0/8".parse::<Ipv4Prefix>(),
+            Err(PrefixParseError::BadOctet)
+        );
+        assert_eq!(
+            "10.0.0.0/33".parse::<Ipv4Prefix>(),
+            Err(PrefixParseError::BadLength)
+        );
+        assert_eq!(
+            "10.0.0.0/x".parse::<Ipv4Prefix>(),
+            Err(PrefixParseError::BadLength)
+        );
     }
 
     #[test]

@@ -105,8 +105,9 @@ impl<T: Clone> MultiBitTrie<T> {
     /// rules in the paper's Fig. 3b and is compared against the EPC limit.
     pub fn memory_bytes(&self) -> usize {
         let fanout = 1usize << self.stride;
-        let per_node = fanout * (std::mem::size_of::<Option<(u8, T)>>()
-            + std::mem::size_of::<Option<Box<Node<T>>>>())
+        let per_node = fanout
+            * (std::mem::size_of::<Option<(u8, T)>>()
+                + std::mem::size_of::<Option<Box<Node<T>>>>())
             + std::mem::size_of::<Node<T>>();
         let map_entry = std::mem::size_of::<(Ipv4Prefix, T)>() + 32; // BTree overhead
         self.node_count * per_node + self.rules.len() * map_entry
@@ -218,8 +219,7 @@ impl<T: Clone> MultiBitTrie<T> {
     fn rebuild(&mut self) {
         self.root = Node::new(self.stride);
         self.node_count = 1;
-        let rules: Vec<(Ipv4Prefix, T)> =
-            self.rules.iter().map(|(p, v)| (*p, v.clone())).collect();
+        let rules: Vec<(Ipv4Prefix, T)> = self.rules.iter().map(|(p, v)| (*p, v.clone())).collect();
         for (p, v) in rules {
             self.insert_into_nodes(p, v);
         }
@@ -305,7 +305,11 @@ mod tests {
             t.insert(p("10.1.0.0/16"), 2);
             t.insert(p("10.1.2.0/24"), 3);
             t.insert(p("10.1.2.3/32"), 4);
-            assert_eq!(*t.lookup(ip(9, 9, 9, 9)).unwrap().value, 0, "stride {stride}");
+            assert_eq!(
+                *t.lookup(ip(9, 9, 9, 9)).unwrap().value,
+                0,
+                "stride {stride}"
+            );
             assert_eq!(*t.lookup(ip(10, 9, 9, 9)).unwrap().value, 1);
             assert_eq!(*t.lookup(ip(10, 1, 9, 9)).unwrap().value, 2);
             assert_eq!(*t.lookup(ip(10, 1, 2, 9)).unwrap().value, 3);
@@ -392,7 +396,9 @@ mod tests {
         // Deterministic pseudo-random rule set vs. brute-force reference.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         let mut rules: Vec<(Ipv4Prefix, u32)> = Vec::new();
@@ -416,7 +422,11 @@ mod tests {
                 .filter(|(pre, _)| pre.contains(probe))
                 .max_by_key(|(pre, _)| pre.len())
                 .map(|(_, v)| *v);
-            assert_eq!(t.lookup(probe).map(|m| *m.value), expect, "probe {probe:#x}");
+            assert_eq!(
+                t.lookup(probe).map(|m| *m.value),
+                expect,
+                "probe {probe:#x}"
+            );
         }
     }
 

@@ -50,7 +50,10 @@ fn main() {
             count: 20_000,
         },
     );
-    println!("attack: {} amplified DNS packets toward {victim_prefix}", traffic.len());
+    println!(
+        "attack: {} amplified DNS packets toward {victim_prefix}",
+        traffic.len()
+    );
 
     // --- session establishment (attestation + channel + rules) -----------
     let victim = vif::core::session::VictimClient::new(
@@ -78,7 +81,9 @@ fn main() {
             .with_protocol(Protocol::Udp)
             .with_src_port(vif::core::rules::PortRange::exactly(53)),
     )];
-    let installed = session.submit_rules(&rules, &rpki).expect("authorized rules");
+    let installed = session
+        .submit_rules(&rules, &rpki)
+        .expect("authorized rules");
     println!("rules: {installed} rule installed over the authenticated channel");
 
     // --- round 1: honest operator ----------------------------------------

@@ -83,7 +83,10 @@ fn main() {
         let (action, _) = cluster.process(&attack_tuple(r, 9), 64);
         assert_eq!(action, vif::core::rules::RuleAction::Drop);
     }
-    println!("post-redistribution: all rules still enforced, {} misroutes", cluster.misrouted_total());
+    println!(
+        "post-redistribution: all rules still enforced, {} misroutes",
+        cluster.misrouted_total()
+    );
 
     // --- a malicious load balancer ------------------------------------------
     let root = AttestationRootKey::new([1u8; 32]);

@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps criterion's API shape (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, `Bencher::iter` / `iter_batched`) but replaces the
+//! statistical machinery with a simple calibrated wall-clock loop: each
+//! benchmark is warmed up, then timed over enough iterations to fill a
+//! target window, and the mean ns/iter is printed (with derived
+//! throughput when one was declared).
+//!
+//! Environment knobs: `VIF_BENCH_MS` sets the measurement window per
+//! benchmark in milliseconds (default 100).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declared per-iteration work, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; the stand-in runs every batch
+/// per-iteration regardless, so this is informational only.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labeled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    /// Total time spent in the routine across measured iterations.
+    elapsed: Duration,
+    /// Measured iterations executed.
+    iters: u64,
+    /// Measurement window.
+    window: Duration,
+}
+
+impl Bencher {
+    fn new(window: Duration) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            window,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run a few iterations untimed and estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.window / 10 && warm_iters < 1_000_000 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or(Duration::ZERO);
+        // Measure in chunks to keep clock overhead negligible.
+        let chunk = if est.is_zero() {
+            1024
+        } else {
+            (Duration::from_micros(100).as_nanos() / est.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+        };
+        let deadline = Instant::now() + self.window;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..chunk {
+                std::hint::black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters += chunk;
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // One warm-up round.
+        std::hint::black_box(routine(setup()));
+        let deadline = Instant::now() + self.window;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    window: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the
+    /// stand-in sizes runs by wall-clock window instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the measurement time for benchmarks in this group.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.window = window;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.window);
+        f(&mut b);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.window);
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Finishes the group (printing is incremental; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        let ns = b.ns_per_iter();
+        let mut line = format!("{}/{:<40} {:>12.1} ns/iter", self.name, label, ns);
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+                let gib = bytes as f64 / ns * 1e9 / (1u64 << 30) as f64;
+                line.push_str(&format!("  ({gib:.2} GiB/s)"));
+            }
+            Some(Throughput::Elements(elems)) if ns > 0.0 => {
+                let meps = elems as f64 / ns * 1e3;
+                line.push_str(&format!("  ({meps:.2} Melem/s)"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("VIF_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(100u64);
+        Criterion {
+            window: Duration::from_millis(ms.max(1)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            window: self.window,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group runner function calling each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

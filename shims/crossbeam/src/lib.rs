@@ -1,0 +1,73 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `queue::ArrayQueue`, the bounded MPMC FIFO the data-plane
+//! rings wrap. The real crate is lock-free; this stand-in trades the
+//! lock-free fast path for a `Mutex<VecDeque>` with identical semantics
+//! (bounded capacity, FIFO order, `push` returning the rejected item).
+
+/// Bounded queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A bounded multi-producer multi-consumer FIFO queue.
+    #[derive(Debug)]
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        capacity: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `capacity` items.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `capacity` is zero.
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "capacity must be non-zero");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(capacity)),
+                capacity,
+            }
+        }
+
+        /// Maximum number of items the queue can hold.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        /// Current number of queued items.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// True if the queue holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// True if the queue is at capacity.
+        pub fn is_full(&self) -> bool {
+            self.lock().len() == self.capacity
+        }
+
+        /// Appends an item, returning it back if the queue is full.
+        pub fn push(&self, item: T) -> Result<(), T> {
+            let mut q = self.lock();
+            if q.len() == self.capacity {
+                return Err(item);
+            }
+            q.push_back(item);
+            Ok(())
+        }
+
+        /// Removes the oldest item.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's property
+//! tests use: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`, `any::<T>()`, numeric-range strategies, tuple strategies,
+//! [`collection::vec`], [`option::of`], [`sample::Index`] /
+//! [`sample::select`], and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate: cases are sampled from a generator
+//! seeded deterministically from the test name (reproducible runs, no
+//! persisted failure seeds), and failing inputs are **not shrunk** — the
+//! panic message reports the raw failing case. Case count defaults to 64
+//! and can be overridden with `ProptestConfig::with_cases` or the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Size specification for [`vec`]: a fixed size or a range of sizes.
+    pub trait SizeRange {
+        /// Chooses a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let span = self.end() - self.start() + 1;
+            self.start() + (rng.next_u64() as usize) % span
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option`s of another strategy's values.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` of the inner strategy's value with probability 1/2.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Sampling helpers (`Index`, `select`).
+pub mod sample {
+    use crate::strategy::{Arbitrary, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose size is unknown at generation time:
+    /// holds raw entropy and maps it into `0..len` on demand.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this index into `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+
+    /// Strategy choosing one element of a fixed set.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly selects one of `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at generation time) if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.options.is_empty(), "select of empty set");
+            self.options[(rng.next_u64() % self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property; failure panics with the
+/// formatted message (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Rejects the current case (it is re-drawn and does not count toward the
+/// configured case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pattern in strategy, ...)` body
+/// runs `config.cases` times over freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let cases = $crate::test_runner::ProptestConfig::effective_cases(&config);
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < cases.saturating_mul(20).max(1000),
+                        "too many rejected cases in {}",
+                        stringify!($name)
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                        (|| {
+                            $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,76 @@
+//! Test-runner plumbing: configuration, the per-test generator, and the
+//! rejection marker used by `prop_assume!`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Marker returned by a rejected case (`prop_assume!` failed); the case is
+/// re-drawn without counting toward the configured total.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// Property-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running exactly `cases` cases (wins over the
+    /// `PROPTEST_CASES` environment default, as in real proptest).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The sanitized case count.
+    pub fn effective_cases(&self) -> u32 {
+        self.cases.max(1)
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable (an explicit [`with_cases`](ProptestConfig::with_cases)
+    /// is not affected by the environment).
+    fn default() -> Self {
+        ProptestConfig {
+            cases: std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(64),
+        }
+    }
+}
+
+/// The generator driving a property test. Seeded deterministically from
+/// the test's name so runs are reproducible without persisted seed files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the generator for a named test.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable, well-mixed seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+}

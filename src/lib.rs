@@ -4,9 +4,9 @@
 //! re-exports every workspace crate under a single namespace so examples,
 //! integration tests, and downstream users can depend on one crate.
 //!
-//! See the repository `README.md` for an architecture overview, `DESIGN.md`
-//! for the system inventory and substitution notes, and `EXPERIMENTS.md`
-//! for paper-vs-measured results for every table and figure.
+//! See the repository `README.md` for the architecture overview, the crate
+//! map, the [`FilterBackend`](vif_core::backend::FilterBackend) batch-path
+//! design, and how to run the `repro` experiment harness.
 //!
 //! ## Quickstart
 //!

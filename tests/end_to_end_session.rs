@@ -32,7 +32,10 @@ fn world() -> World {
 }
 
 fn launch(w: &World) -> Arc<Enclave<FilterEnclaveApp>> {
-    Arc::new(w.platform.launch(w.image.clone(), FilterEnclaveApp::fresh([9u8; 32])))
+    Arc::new(
+        w.platform
+            .launch(w.image.clone(), FilterEnclaveApp::fresh([9u8; 32])),
+    )
 }
 
 fn client(w: &World) -> VictimClient {

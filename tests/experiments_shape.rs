@@ -1,6 +1,6 @@
 //! Integration: the reproduced experiments must exhibit the paper's
-//! qualitative shapes (run at reduced scale; EXPERIMENTS.md records the
-//! full-scale numbers).
+//! qualitative shapes (run at reduced scale; `repro <experiment>` prints
+//! the full-scale numbers).
 
 use vif_bench::experiments::{dataplane, ixp, solver};
 use vif_core::cost::FilterMode;
@@ -13,11 +13,17 @@ fn fig3_throughput_declines_and_memory_grows() {
         assert!(w[1].memory_mb > w[0].memory_mb);
     }
     assert!(points.first().unwrap().memory_mb < 92.0);
-    assert!(points.last().unwrap().memory_mb > 92.0, "EPC crossing missing");
+    assert!(
+        points.last().unwrap().memory_mb > 92.0,
+        "EPC crossing missing"
+    );
     // Throughput declines overall, with collapse beyond the EPC.
     let first = points.first().unwrap().throughput_mpps;
     let last = points.last().unwrap().throughput_mpps;
-    assert!(first > 13.0, "small tables should run near line rate: {first}");
+    assert!(
+        first > 13.0,
+        "small tables should run near line rate: {first}"
+    );
     assert!(last < first / 3.0, "no EPC collapse: {first} -> {last}");
     // The 3,000-rule point still delivers most of line rate (Fig. 8's
     // operating point).
@@ -37,7 +43,10 @@ fn fig8_mode_ordering_and_line_rate() {
     let native = get(FilterMode::Native, 64).mpps;
     let nzc = get(FilterMode::SgxNearZeroCopy, 64).mpps;
     let full = get(FilterMode::SgxFullCopy, 64).mpps;
-    assert!(native >= nzc && nzc > full * 1.5, "{native} / {nzc} / {full}");
+    assert!(
+        native >= nzc && nzc > full * 1.5,
+        "{native} / {nzc} / {full}"
+    );
     // Full copy's pps cap is flat-ish across small frames (Fig. 13).
     let full128 = get(FilterMode::SgxFullCopy, 128).mpps;
     assert!((full - full128).abs() / full < 0.25);
@@ -89,14 +98,7 @@ fn latency_monotone_in_packet_size() {
     let measured: Vec<f64> = report
         .lines()
         .filter(|l| l.starts_with('|') && !l.contains("size") && !l.contains('-'))
-        .map(|l| {
-            l.split('|')
-                .nth(2)
-                .unwrap()
-                .trim()
-                .parse::<f64>()
-                .unwrap()
-        })
+        .map(|l| l.split('|').nth(2).unwrap().trim().parse::<f64>().unwrap())
         .collect();
     assert_eq!(measured.len(), 5);
     for w in measured.windows(2) {
