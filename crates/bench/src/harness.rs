@@ -28,6 +28,8 @@ pub enum ExperimentId {
     Tab2,
     /// Per-packet vs. batched filter throughput per backend.
     Batch,
+    /// Sharded live-pipeline throughput vs. worker count.
+    Shard,
     /// Fig. 11a: DNS-resolver coverage.
     Fig11a,
     /// Fig. 11b: Mirai coverage.
@@ -47,7 +49,7 @@ pub enum ExperimentId {
 }
 
 /// All experiments in presentation order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 19] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 20] = [
     ExperimentId::Fig3a,
     ExperimentId::Fig3b,
     ExperimentId::Fig8,
@@ -59,6 +61,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 19] = [
     ExperimentId::Fig9,
     ExperimentId::Tab2,
     ExperimentId::Batch,
+    ExperimentId::Shard,
     ExperimentId::Fig11a,
     ExperimentId::Fig11b,
     ExperimentId::Tab3,
@@ -84,6 +87,7 @@ impl ExperimentId {
             ExperimentId::Fig9 => "fig9",
             ExperimentId::Tab2 => "tab2",
             ExperimentId::Batch => "batch",
+            ExperimentId::Shard => "shard",
             ExperimentId::Fig11a => "fig11a",
             ExperimentId::Fig11b => "fig11b",
             ExperimentId::Tab3 => "tab3",
@@ -131,6 +135,7 @@ pub fn run_experiment(id: ExperimentId, scale: Scale) -> String {
             Scale::Quick => 100_000,
             Scale::Full => 1_000_000,
         }),
+        ExperimentId::Shard => dataplane::shard(ms),
         ExperimentId::Fig11a => ixp::fig11(AttackSourceModel::DnsResolvers, victims, 77),
         ExperimentId::Fig11b => ixp::fig11(AttackSourceModel::MiraiBotnet, victims, 77),
         ExperimentId::Tab3 => ixp::tab3(77),

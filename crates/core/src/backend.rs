@@ -45,7 +45,9 @@ pub trait FilterBackend {
     fn decide(&mut self, t: &FiveTuple) -> Verdict;
 
     /// Decides a burst: appends exactly one [`Verdict`] per tuple of
-    /// `tuples` to `out`, in order. `out` arrives cleared.
+    /// `tuples` to `out`, in order. Callers must pass `out` cleared —
+    /// implementations append without clearing, so `out[i]` pairs with
+    /// `tuples[i]` only when the buffer starts empty.
     ///
     /// The default implementation loops [`decide`](FilterBackend::decide);
     /// backends override it to amortize per-packet overhead. Whatever the

@@ -166,8 +166,11 @@ impl FilterEnclaveApp {
         verdict
     }
 
-    /// Processes a burst of `(five tuple, wire bytes)` packets, appending
-    /// one verdict per packet to `out` in order.
+    /// Processes a burst of `(five tuple, wire bytes)` packets, **clearing
+    /// `out`** and then filling it with one verdict per packet in order —
+    /// callers may pass a dirty reuse buffer, but must not expect earlier
+    /// contents to survive (zip verdicts against `pkts`, never against a
+    /// longer accumulated buffer).
     ///
     /// Equivalent to calling [`process`](FilterEnclaveApp::process) per
     /// packet: verdicts are order-independent (§III-A) and the sketch/

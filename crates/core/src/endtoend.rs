@@ -7,15 +7,18 @@
 //! its sketch. One call produces the enclave's authenticated logs and both
 //! verifiers' audit reports.
 
-use crate::enclave_app::FilterEnclaveApp;
+use crate::cost::FilterMode;
+use crate::enclave_app::{EnclaveFilterStage, FilterEnclaveApp};
 use crate::logs::LogDirection;
+use crate::rounds::{ClusterRoundDriver, ClusterRoundOutcome, ContractState, RoundPolicy};
 use crate::rules::RuleAction;
-use crate::verify::{AuditReport, BypassVerdict, NeighborVerifier, VictimVerifier};
+use crate::verify::{AuditError, AuditReport, BypassVerdict, NeighborVerifier, VictimVerifier};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use vif_dataplane::{FiveTuple, Packet};
+use vif_dataplane::{run_sharded_with_steering, shard_of, FiveTuple, Packet, ShardedReport};
 use vif_sgx::Enclave;
+use vif_sketch::hash::fingerprint;
 
 /// What the malicious filtering network does around the enclave (§III-B's
 /// three bypass attacks).
@@ -178,6 +181,192 @@ impl FilteringRun {
     }
 }
 
+/// What the malicious filtering network does around a *sharded* cluster.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardAdversary {
+    /// Drop every filter-allowed packet of this worker after the filter
+    /// (the per-slice variant of §III-B's attack 2).
+    pub drop_after_worker: Option<usize>,
+    /// Steer this fraction of flows to the wrong worker (a compromised or
+    /// misprogrammed RSS stage).
+    pub misroute_fraction: f64,
+}
+
+impl ShardAdversary {
+    /// An honest sharded deployment.
+    pub fn honest() -> Self {
+        ShardAdversary::default()
+    }
+}
+
+/// Everything a sharded audited run produces.
+#[derive(Debug)]
+pub struct ShardedRunReport {
+    /// Per-worker data-plane counters.
+    pub dataplane: ShardedReport,
+    /// The cluster-wide round audit (per-slice verdicts), or the audit
+    /// error that aborted the contract.
+    pub audit: Result<ClusterRoundOutcome, AuditError>,
+    /// Contract state after the round.
+    pub state: ContractState,
+}
+
+impl ShardedRunReport {
+    /// True if any slice was flagged (or the audit itself failed).
+    pub fn bypass_detected(&self) -> bool {
+        self.audit.as_ref().map_or(true, |o| o.dirty())
+    }
+}
+
+/// An end-to-end audited run over the **live** sharded pipeline.
+///
+/// The §IV architecture on real threads, wired to the control plane: the
+/// RX thread RSS-shards flows across one [`EnclaveFilterStage`] per
+/// enclave slice ([`vif_dataplane::run_sharded`]), forwarded packets drain
+/// through the shared TX path into per-slice victim verifiers, and a
+/// [`ClusterRoundDriver`] closes the round by auditing every slice's
+/// authenticated logs. Neighbor and victim verifiers both attribute
+/// packets to slices with the public [`shard_of`] hash, so a worker whose
+/// output is stolen — or a steering stage that misroutes flows — surfaces
+/// as that slice's dirty verdict.
+pub struct ShardedRun {
+    enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>>,
+    sketch_seed: u64,
+    audit_key: [u8; 32],
+    policy: RoundPolicy,
+    mode: FilterMode,
+    adversary: ShardAdversary,
+    ring_capacity: usize,
+    burst: usize,
+    tolerance: u64,
+}
+
+impl ShardedRun {
+    /// Creates a run over the cluster's enclaves with session-bound
+    /// per-slice verifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enclaves` is empty.
+    pub fn new(
+        enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>>,
+        sketch_seed: u64,
+        audit_key: [u8; 32],
+        mode: FilterMode,
+        adversary: ShardAdversary,
+        policy: RoundPolicy,
+    ) -> Self {
+        assert!(!enclaves.is_empty(), "cluster must have enclaves");
+        ShardedRun {
+            enclaves,
+            sketch_seed,
+            audit_key,
+            policy,
+            mode,
+            adversary,
+            ring_capacity: 16_384,
+            burst: 32,
+            tolerance: 0,
+        }
+    }
+
+    /// Overrides the per-worker ring capacity and burst size.
+    ///
+    /// With small rings, pair this with
+    /// [`with_tolerance`](ShardedRun::with_tolerance): RX-ring overflow
+    /// drops packets the neighbor verifiers already observed, which at
+    /// tolerance 0 audits as drop-before-filter.
+    pub fn with_rings(mut self, ring_capacity: usize, burst: usize) -> Self {
+        self.ring_capacity = ring_capacity;
+        self.burst = burst;
+        self
+    }
+
+    /// Sets the verifiers' per-bin tolerance (absorbs benign loss such as
+    /// bounded RX-ring overflow; default 0).
+    pub fn with_tolerance(mut self, tolerance: u64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Pushes `traffic` through the live sharded data path and closes the
+    /// audited round.
+    pub fn execute(self, traffic: Vec<Packet>) -> ShardedRunReport {
+        let n = self.enclaves.len();
+        let mut driver = ClusterRoundDriver::new(
+            self.enclaves.clone(),
+            self.sketch_seed,
+            self.audit_key,
+            self.tolerance,
+            self.policy,
+        );
+
+        // Neighbor ASes observe what they hand over, attributed to the
+        // slice the public steering *should* deliver it to.
+        for pkt in &traffic {
+            driver
+                .neighbor_verifier_mut(shard_of(&pkt.tuple, n))
+                .observe(&pkt.tuple);
+        }
+
+        let stages: Vec<EnclaveFilterStage> = self
+            .enclaves
+            .iter()
+            .map(|e| EnclaveFilterStage::new(Arc::clone(e), self.mode))
+            .collect();
+
+        // The (possibly misrouting) steering stage. The honest path is the
+        // shared public hash — any drift between steering and the
+        // verifiers' attribution must come from the adversary alone.
+        let misroute = self.adversary.misroute_fraction;
+        let steer = move |t: &FiveTuple| {
+            let honest = shard_of(t, n);
+            if misroute > 0.0 {
+                // Decide deterministically from a different slice of the
+                // hash than shard_of uses (adversarial path only — the
+                // honest path pays a single hash).
+                let fp = fingerprint(&t.encode());
+                if ((fp >> 17) % 1000) as f64 / 1000.0 < misroute {
+                    // Deterministically wrong: rotate to the next worker.
+                    return (honest + 1) % n;
+                }
+            }
+            honest
+        };
+
+        // Forwarded packets are collected on the TX thread; the victim
+        // verifiers consume them after the run (the victim is off-path).
+        let forwarded: std::sync::Mutex<Vec<FiveTuple>> = std::sync::Mutex::new(Vec::new());
+        let drop_after = self.adversary.drop_after_worker;
+        let dataplane = run_sharded_with_steering(
+            traffic,
+            stages,
+            |worker, pkt| {
+                // Attack 2, per slice: the network steals this worker's
+                // post-filter output before the victim sees it.
+                if drop_after != Some(worker) {
+                    forwarded.lock().unwrap().push(pkt.tuple);
+                }
+            },
+            self.ring_capacity,
+            self.burst,
+            steer,
+        );
+
+        // The victim attributes received packets by the same public hash.
+        for t in forwarded.into_inner().unwrap() {
+            driver.victim_verifier_mut(shard_of(&t, n)).observe(&t);
+        }
+
+        let audit = driver.close_round();
+        ShardedRunReport {
+            dataplane,
+            audit,
+            state: driver.state(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +499,102 @@ mod tests {
             c.offered,
             c.dropped_before + c.filtered + c.dropped_after + (c.received_by_victim - c.injected)
         );
+    }
+
+    // ---- live sharded path + cluster-wide audit -------------------------
+
+    use crate::cost::FilterMode;
+    use crate::rounds::{ContractState, RoundPolicy};
+    use crate::scale::EnclaveCluster;
+    use vif_sgx::{AttestationRootKey, EnclaveImage, EpcConfig, SgxPlatform};
+
+    fn sharded_run(n: usize, adversary: ShardAdversary) -> ShardedRunReport {
+        let root = AttestationRootKey::new([4u8; 32]);
+        let platform = SgxPlatform::new(7, EpcConfig::paper_default(), &root);
+        let image = EnclaveImage::new("vif", 1, vec![0; 64]);
+        let rules = RuleSet::from_rules(vec![FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        ))]);
+        let cluster = EnclaveCluster::launch_rss(platform, image, rules, n, [1u8; 32], SEED, KEY);
+        // Mixed traffic: attack sources in 10/8, benign elsewhere.
+        let attack = FlowSet::random_toward_victim(64, u32::from_be_bytes([203, 0, 113, 1]), 21);
+        let mut tuples: Vec<FiveTuple> = attack.flows().to_vec();
+        for t in tuples.iter_mut().take(32) {
+            t.src_ip = 0x0a000000 | (t.src_ip & 0x00ffffff);
+        }
+        for t in tuples.iter_mut().skip(32) {
+            t.src_ip = 0x0b000000 | (t.src_ip & 0x00ffffff);
+        }
+        let traffic = TrafficGenerator::new(6).generate(
+            &FlowSet::uniform(tuples),
+            TrafficConfig {
+                packet_size: 128,
+                offered_gbps: 1.0,
+                count: 4000,
+            },
+        );
+        ShardedRun::new(
+            cluster.enclaves().to_vec(),
+            SEED,
+            KEY,
+            FilterMode::SgxNearZeroCopy,
+            adversary,
+            RoundPolicy::default(),
+        )
+        .execute(traffic)
+    }
+
+    #[test]
+    fn honest_sharded_cluster_audits_clean() {
+        let report = sharded_run(4, ShardAdversary::honest());
+        assert!(!report.bypass_detected(), "{:?}", report.audit);
+        assert_eq!(report.state, ContractState::Active);
+        let outcome = report.audit.unwrap();
+        assert_eq!(outcome.slices.len(), 4);
+        let total = report.dataplane.total();
+        assert_eq!(total.received, 4000);
+        assert_eq!(total.overflow, 0);
+        assert!(total.filtered > 0, "attack traffic filtered");
+        assert_eq!(total.forwarded + total.filtered, total.received);
+        // Work actually sharded: every worker saw traffic.
+        for (w, r) in report.dataplane.per_worker.iter().enumerate() {
+            assert!(r.received > 0, "worker {w} idle");
+        }
+    }
+
+    #[test]
+    fn stolen_slice_output_flags_exactly_that_slice() {
+        let report = sharded_run(
+            4,
+            ShardAdversary {
+                drop_after_worker: Some(1),
+                ..Default::default()
+            },
+        );
+        let outcome = report.audit.unwrap();
+        assert_eq!(outcome.dirty_slices(), vec![1]);
+        assert_eq!(
+            outcome.slices[1].victim_verdict,
+            BypassVerdict::DropDetected
+        );
+        assert_eq!(report.state, ContractState::Aborted { strikes: 1 });
+    }
+
+    #[test]
+    fn misrouting_steering_dirties_the_audit() {
+        let report = sharded_run(
+            4,
+            ShardAdversary {
+                misroute_fraction: 0.3,
+                ..Default::default()
+            },
+        );
+        assert!(report.bypass_detected());
+        assert_eq!(report.state, ContractState::Aborted { strikes: 1 });
+        // No packet was lost in the data plane itself: misrouting is a
+        // *steering* integrity failure, caught purely by the audit.
+        let total = report.dataplane.total();
+        assert_eq!(total.forwarded + total.filtered, total.received);
     }
 }

@@ -60,11 +60,16 @@ pub mod prelude {
     pub use crate::backend::FilterBackend;
     pub use crate::cost::{CostModel, FilterMode};
     pub use crate::enclave_app::{EnclaveFilterStage, FilterEnclaveApp};
-    pub use crate::endtoend::{AdversaryBehavior, FilteringRun, RunReport};
+    pub use crate::endtoend::{
+        AdversaryBehavior, FilteringRun, RunReport, ShardAdversary, ShardedRun, ShardedRunReport,
+    };
     pub use crate::filter::StatelessFilter;
     pub use crate::hybrid::HybridFilter;
     pub use crate::logs::{AuthenticatedSketch, PacketLogs};
-    pub use crate::rounds::{ContractState, RoundDriver, RoundPolicy};
+    pub use crate::rounds::{
+        ClusterRoundDriver, ClusterRoundOutcome, ContractState, RoundDriver, RoundOutcome,
+        RoundPolicy,
+    };
     pub use crate::rpki::RpkiRegistry;
     pub use crate::rules::{FilterRule, FlowPattern, PortRange, RuleAction, RuleDecision};
     pub use crate::ruleset::{RuleId, RuleSet};

@@ -66,14 +66,13 @@ pub enum ContractState {
 }
 
 /// Drives audited filtering rounds for one victim session.
+///
+/// The single-enclave case of [`ClusterRoundDriver`]: one slice, one
+/// verifier pair, the same strike/abort policy and the same audit-failure
+/// handling — there is exactly one implementation of the contract-ending
+/// rules.
 pub struct RoundDriver {
-    enclave: Arc<Enclave<FilterEnclaveApp>>,
-    victim: VictimVerifier,
-    neighbor: NeighborVerifier,
-    policy: RoundPolicy,
-    strikes: u32,
-    history: Vec<RoundOutcome>,
-    state: ContractState,
+    inner: ClusterRoundDriver,
 }
 
 impl RoundDriver {
@@ -85,9 +84,150 @@ impl RoundDriver {
         policy: RoundPolicy,
     ) -> Self {
         RoundDriver {
-            enclave,
-            victim,
-            neighbor,
+            inner: ClusterRoundDriver::with_verifiers(
+                vec![enclave],
+                vec![victim],
+                vec![neighbor],
+                policy,
+            ),
+        }
+    }
+
+    /// The victim-side verifier (observe received packets here).
+    pub fn victim_verifier_mut(&mut self) -> &mut VictimVerifier {
+        self.inner.victim_verifier_mut(0)
+    }
+
+    /// The neighbor-side verifier (observe handed-over packets here).
+    pub fn neighbor_verifier_mut(&mut self) -> &mut NeighborVerifier {
+        self.inner.neighbor_verifier_mut(0)
+    }
+
+    /// Current contract state.
+    pub fn state(&self) -> ContractState {
+        self.inner.state()
+    }
+
+    /// Audited round history (derived from the inner driver's — one
+    /// source of truth).
+    pub fn history(&self) -> Vec<RoundOutcome> {
+        self.inner.history().iter().map(|o| o.slices[0]).collect()
+    }
+
+    /// Closes the current round: audit, record, rotate sketches, decide.
+    ///
+    /// # Errors
+    ///
+    /// Audit failures (forged exports, config mismatch) are contract-ending
+    /// events: the contract is aborted *before* the error is returned, and
+    /// the enclave and verifier sketches are still rotated so no stale
+    /// state survives into an (invalid) next round. The error is
+    /// propagated so the caller knows the abort was for a bad export, not
+    /// a dirty-but-authentic round.
+    pub fn close_round(&mut self) -> Result<RoundOutcome, AuditError> {
+        Ok(self.inner.close_round()?.slices[0])
+    }
+}
+
+/// Outcome of one audited round over a whole enclave cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterRoundOutcome {
+    /// Round number audited.
+    pub round: u64,
+    /// Per-enclave (per-slice) verdicts, indexed like the cluster.
+    pub slices: Vec<RoundOutcome>,
+}
+
+impl ClusterRoundOutcome {
+    /// True if any slice was flagged.
+    pub fn dirty(&self) -> bool {
+        self.slices.iter().any(|s| s.dirty())
+    }
+
+    /// Indices of the flagged slices.
+    pub fn dirty_slices(&self) -> Vec<usize> {
+        self.slices
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.dirty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Drives audited filtering rounds for a victim whose contract spans a
+/// whole enclave cluster (§IV).
+///
+/// Where [`RoundDriver`] audits one enclave, this driver exports and
+/// audits **every** enclave's incoming and outgoing logs each round, with
+/// one victim- and one neighbor-side verifier per slice. Packets are
+/// attributed to slices by the public deterministic steering
+/// ([`vif_dataplane::shard_of`] for the RSS-sharded live pipeline), so
+/// verifiers recompute the attribution from traffic they already observe —
+/// no trust in the load balancer is needed. One dirty slice dirties the
+/// round (the contract is with the cluster, not with a single enclave),
+/// and strikes accumulate against the aggregate contract; per-slice
+/// verdicts are preserved in the history so an operator can see *which*
+/// slice was bypassed or starved by misrouting.
+pub struct ClusterRoundDriver {
+    enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>>,
+    victims: Vec<VictimVerifier>,
+    neighbors: Vec<NeighborVerifier>,
+    policy: RoundPolicy,
+    strikes: u32,
+    history: Vec<ClusterRoundOutcome>,
+    state: ContractState,
+}
+
+impl ClusterRoundDriver {
+    /// Creates a driver over the cluster's enclaves, building one verifier
+    /// pair per slice from the attested session parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enclaves` is empty.
+    pub fn new(
+        enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>>,
+        sketch_seed: u64,
+        audit_key: [u8; 32],
+        tolerance: u64,
+        policy: RoundPolicy,
+    ) -> Self {
+        let n = enclaves.len();
+        Self::with_verifiers(
+            enclaves,
+            (0..n)
+                .map(|_| VictimVerifier::new(sketch_seed, audit_key, tolerance))
+                .collect(),
+            (0..n)
+                .map(|_| NeighborVerifier::new(sketch_seed, audit_key, tolerance))
+                .collect(),
+            policy,
+        )
+    }
+
+    /// Creates a driver over pre-built per-slice verifiers (e.g. carried
+    /// over from an attested session object).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enclaves` is empty or the verifier lists have a
+    /// different length.
+    pub fn with_verifiers(
+        enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>>,
+        victims: Vec<VictimVerifier>,
+        neighbors: Vec<NeighborVerifier>,
+        policy: RoundPolicy,
+    ) -> Self {
+        assert!(!enclaves.is_empty(), "cluster must have enclaves");
+        assert!(
+            victims.len() == enclaves.len() && neighbors.len() == enclaves.len(),
+            "one verifier pair per slice"
+        );
+        ClusterRoundDriver {
+            enclaves,
+            victims,
+            neighbors,
             policy,
             strikes: 0,
             history: Vec::new(),
@@ -95,14 +235,27 @@ impl RoundDriver {
         }
     }
 
-    /// The victim-side verifier (observe received packets here).
-    pub fn victim_verifier_mut(&mut self) -> &mut VictimVerifier {
-        &mut self.victim
+    /// Number of audited slices.
+    pub fn len(&self) -> usize {
+        self.enclaves.len()
     }
 
-    /// The neighbor-side verifier (observe handed-over packets here).
-    pub fn neighbor_verifier_mut(&mut self) -> &mut NeighborVerifier {
-        &mut self.neighbor
+    /// True if the driver audits no enclaves (cannot be constructed; kept
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.enclaves.is_empty()
+    }
+
+    /// Slice `i`'s victim-side verifier (observe packets received from
+    /// slice `i` — attributed by steering — here).
+    pub fn victim_verifier_mut(&mut self, i: usize) -> &mut VictimVerifier {
+        &mut self.victims[i]
+    }
+
+    /// Slice `i`'s neighbor-side verifier (observe packets handed over
+    /// toward slice `i` here).
+    pub fn neighbor_verifier_mut(&mut self, i: usize) -> &mut NeighborVerifier {
+        &mut self.neighbors[i]
     }
 
     /// Current contract state.
@@ -111,36 +264,54 @@ impl RoundDriver {
     }
 
     /// Audited round history.
-    pub fn history(&self) -> &[RoundOutcome] {
+    pub fn history(&self) -> &[ClusterRoundOutcome] {
         &self.history
     }
 
-    /// Closes the current round: audit, record, rotate sketches, decide.
+    /// Closes the round cluster-wide: audit every slice, record, rotate
+    /// all sketches, decide the aggregate contract state.
     ///
     /// # Errors
     ///
-    /// Propagates audit failures (forged exports, config mismatch) — these
-    /// are themselves contract-ending events for a real victim.
-    pub fn close_round(&mut self) -> Result<RoundOutcome, AuditError> {
+    /// As with [`RoundDriver::close_round`], a slice export that fails to
+    /// audit (forged, wrong config) aborts the contract *before* the error
+    /// is returned, with every slice's sketches rotated.
+    pub fn close_round(&mut self) -> Result<ClusterRoundOutcome, AuditError> {
         assert_eq!(
             self.state,
             ContractState::Active,
             "contract already aborted"
         );
-        let outgoing = self
-            .enclave
-            .ecall(|app| app.export_log(LogDirection::Outgoing));
-        let incoming = self
-            .enclave
-            .ecall(|app| app.export_log(LogDirection::Incoming));
-        let victim_report = self.victim.audit(&outgoing)?;
-        let neighbor_report = self.neighbor.audit(&incoming)?;
-        let outcome = RoundOutcome {
-            round: victim_report.round,
-            victim_verdict: victim_report.verdict,
-            neighbor_verdict: neighbor_report.verdict,
-        };
-        self.history.push(outcome);
+        let mut slices = Vec::with_capacity(self.enclaves.len());
+        let mut round = 0;
+        for (i, enclave) in self.enclaves.iter().enumerate() {
+            let outgoing = enclave.ecall(|app| app.export_log(LogDirection::Outgoing));
+            let incoming = enclave.ecall(|app| app.export_log(LogDirection::Incoming));
+            let audits = self.victims[i]
+                .audit(&outgoing)
+                .and_then(|v| self.neighbors[i].audit(&incoming).map(|n| (v, n)));
+            let (victim_report, neighbor_report) = match audits {
+                Ok(reports) => reports,
+                Err(e) => {
+                    // One unauditable slice poisons the cluster round:
+                    // abort the whole contract, leave every slice rotated.
+                    self.strikes += 1;
+                    self.state = ContractState::Aborted {
+                        strikes: self.strikes,
+                    };
+                    self.rotate();
+                    return Err(e);
+                }
+            };
+            round = victim_report.round;
+            slices.push(RoundOutcome {
+                round: victim_report.round,
+                victim_verdict: victim_report.verdict,
+                neighbor_verdict: neighbor_report.verdict,
+            });
+        }
+        let outcome = ClusterRoundOutcome { round, slices };
+        self.history.push(outcome.clone());
         if outcome.dirty() {
             self.strikes += 1;
             if self.strikes >= self.policy.max_strikes {
@@ -149,11 +320,21 @@ impl RoundDriver {
                 };
             }
         }
-        // Rotate: the enclave and both verifiers start a fresh round.
-        self.enclave.ecall(|app| app.new_round());
-        self.victim.new_round();
-        self.neighbor.new_round();
+        self.rotate();
         Ok(outcome)
+    }
+
+    /// Rotates every slice's enclave and verifier sketches.
+    fn rotate(&mut self) {
+        for enclave in &self.enclaves {
+            enclave.ecall(|app| app.new_round());
+        }
+        for v in &mut self.victims {
+            v.new_round();
+        }
+        for n in &mut self.neighbors {
+            n.new_round();
+        }
     }
 }
 
@@ -291,5 +472,141 @@ mod tests {
         driver.victim_verifier_mut().observe(&benign(1)); // injection
         driver.close_round().unwrap();
         let _ = driver.close_round();
+    }
+
+    /// Builds a driver whose verifiers hold a *different* audit key than
+    /// the enclave — every export then looks forged (tampered) to them.
+    fn setup_tampered() -> (Arc<Enclave<FilterEnclaveApp>>, RoundDriver) {
+        let (enclave, _) = setup(RoundPolicy::default());
+        let driver = RoundDriver::new(
+            Arc::clone(&enclave),
+            VictimVerifier::new(SEED, [0xEE; 32], 0),
+            NeighborVerifier::new(SEED, [0xEE; 32], 0),
+            RoundPolicy::default(),
+        );
+        (enclave, driver)
+    }
+
+    #[test]
+    fn audit_error_aborts_contract_and_rotates_state() {
+        let (enclave, mut driver) = setup_tampered();
+        honest_round(&enclave, &mut driver, 20);
+        let err = driver.close_round().unwrap_err();
+        assert!(matches!(err, AuditError::Log(_)), "{err}");
+        // Regression: the contract used to stay Active with stale sketches
+        // after a forged export — despite audit failures being documented
+        // as contract-ending events.
+        assert_eq!(driver.state(), ContractState::Aborted { strikes: 1 });
+        assert!(
+            driver.history().is_empty(),
+            "unauditable round not recorded"
+        );
+        // State is left consistent: the enclave rotated into round 1, so
+        // nothing of the poisoned round can smear into a later comparison.
+        let export = enclave.ecall(|app| app.export_log(LogDirection::Outgoing));
+        assert_eq!(export.round, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already aborted")]
+    fn round_after_audit_error_rejected() {
+        let (enclave, mut driver) = setup_tampered();
+        honest_round(&enclave, &mut driver, 5);
+        assert!(driver.close_round().is_err());
+        let _ = driver.close_round(); // must panic: contract is dead
+    }
+
+    /// A 4-slice replicated cluster with one driver, plus the tuples each
+    /// slice's verifiers track.
+    fn cluster_setup(n: usize) -> (Vec<Arc<Enclave<FilterEnclaveApp>>>, ClusterRoundDriver) {
+        let root = AttestationRootKey::new([8u8; 32]);
+        let platform = SgxPlatform::new(9, EpcConfig::paper_default(), &root);
+        let enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>> = (0..n)
+            .map(|_| {
+                let rules = RuleSet::from_rules(vec![FilterRule::drop(FlowPattern::prefixes(
+                    "10.0.0.0/8".parse().unwrap(),
+                    "203.0.113.0/24".parse().unwrap(),
+                ))]);
+                let app = FilterEnclaveApp::new(rules, [1u8; 32], SEED, KEY);
+                Arc::new(platform.launch(EnclaveImage::new("vif", 1, vec![]), app))
+            })
+            .collect();
+        let driver =
+            ClusterRoundDriver::new(enclaves.clone(), SEED, KEY, 0, RoundPolicy::default());
+        (enclaves, driver)
+    }
+
+    /// Drives `per_slice` benign packets through every slice; `steal_from`
+    /// drops slice `s`'s post-filter output (never observed by the victim).
+    fn cluster_round(
+        enclaves: &[Arc<Enclave<FilterEnclaveApp>>],
+        driver: &mut ClusterRoundDriver,
+        per_slice: u32,
+        steal_from: Option<usize>,
+    ) {
+        for (s, enclave) in enclaves.iter().enumerate() {
+            for i in 0..per_slice {
+                let t = benign(s as u32 * 10_000 + i);
+                driver.neighbor_verifier_mut(s).observe(&t);
+                let v = enclave.in_enclave_thread(|app| app.process(&t, 64));
+                if v.action == RuleAction::Allow && steal_from != Some(s) {
+                    driver.victim_verifier_mut(s).observe(&t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn honest_cluster_rounds_stay_clean() {
+        let (enclaves, mut driver) = cluster_setup(4);
+        assert_eq!(driver.len(), 4);
+        for round in 0..3u64 {
+            cluster_round(&enclaves, &mut driver, 50, None);
+            let outcome = driver.close_round().unwrap();
+            assert!(!outcome.dirty(), "round {round}: {outcome:?}");
+            assert_eq!(outcome.round, round);
+            assert_eq!(outcome.slices.len(), 4);
+        }
+        assert_eq!(driver.state(), ContractState::Active);
+    }
+
+    #[test]
+    fn dirty_slice_is_flagged_and_aborts() {
+        let (enclaves, mut driver) = cluster_setup(4);
+        // The filtering network steals slice 2's entire post-filter output.
+        cluster_round(&enclaves, &mut driver, 50, Some(2));
+        let outcome = driver.close_round().unwrap();
+        assert!(outcome.dirty());
+        assert_eq!(outcome.dirty_slices(), vec![2], "only slice 2 is dirty");
+        assert_eq!(
+            outcome.slices[2].victim_verdict,
+            BypassVerdict::DropDetected
+        );
+        for s in [0, 1, 3] {
+            assert_eq!(outcome.slices[s].victim_verdict, BypassVerdict::Clean);
+            assert_eq!(outcome.slices[s].neighbor_verdict, BypassVerdict::Clean);
+        }
+        assert_eq!(driver.state(), ContractState::Aborted { strikes: 1 });
+    }
+
+    #[test]
+    fn cluster_audit_error_aborts_whole_contract() {
+        let (enclaves, _) = cluster_setup(4);
+        // Verifiers keyed differently: slice 0's export already fails.
+        let mut driver = ClusterRoundDriver::new(
+            enclaves.clone(),
+            SEED,
+            [0xEE; 32],
+            0,
+            RoundPolicy::default(),
+        );
+        cluster_round(&enclaves, &mut driver, 10, None);
+        assert!(driver.close_round().is_err());
+        assert_eq!(driver.state(), ContractState::Aborted { strikes: 1 });
+        // Every slice rotated, not just the one that failed.
+        for enclave in &enclaves {
+            let export = enclave.ecall(|app| app.export_log(LogDirection::Incoming));
+            assert_eq!(export.round, 1);
+        }
     }
 }

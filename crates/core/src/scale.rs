@@ -21,7 +21,11 @@ use crate::rules::RuleAction;
 use crate::ruleset::{RuleId, RuleSet};
 use std::sync::Arc;
 use vif_dataplane::FiveTuple;
-use vif_optimizer::{greedy::GreedySolver, ilp::Instance, Allocation};
+use vif_optimizer::{
+    greedy::GreedySolver,
+    ilp::{Instance, RuleShare},
+    Allocation,
+};
 use vif_sgx::{Enclave, EnclaveImage, SgxPlatform};
 use vif_sketch::hash::fingerprint;
 
@@ -181,6 +185,12 @@ pub struct RedistributionReport {
     pub enclaves_used: usize,
     /// Total `(rule, enclave)` installations after the round.
     pub installations: usize,
+    /// Measured bytes per *global* rule id this round — the aggregated
+    /// `B_i` the master fed to the allocator. Attribution follows the
+    /// slice → global id mapping the master tracked at install time, so
+    /// identical rules installed under different global ids keep their own
+    /// measurements.
+    pub bytes_per_rule: Vec<u64>,
     /// Greedy solve time.
     pub solve_time: std::time::Duration,
 }
@@ -188,6 +198,11 @@ pub struct RedistributionReport {
 /// A pool of filter enclaves with its load balancer.
 pub struct EnclaveCluster {
     enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>>,
+    /// Per enclave: the *global* ids of the rules installed there, in the
+    /// slice's local rule order. This is the master's source of truth for
+    /// mapping slave telemetry back to global rules — matching by rule
+    /// equality would alias duplicate rules onto the first copy.
+    slices: Vec<Vec<RuleId>>,
     lb: LoadBalancer,
     full_ruleset: RuleSet,
     platform: SgxPlatform,
@@ -225,12 +240,15 @@ impl EnclaveCluster {
         let n = allocation.enclaves.len();
         let lb = LoadBalancer::new(ruleset.len(), &allocation, n, behavior);
 
-        let enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>> = allocation
+        let slices: Vec<Vec<RuleId>> = allocation
             .enclaves
             .iter()
-            .map(|shares| {
-                let ids: Vec<RuleId> = shares.iter().map(|s| s.rule as RuleId).collect();
-                let subset = ruleset.subset(&ids);
+            .map(|shares| shares.iter().map(|s| s.rule as RuleId).collect())
+            .collect();
+        let enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>> = slices
+            .iter()
+            .map(|ids| {
+                let subset = ruleset.subset(ids);
                 let mut app = FilterEnclaveApp::new(subset, secret, sketch_seed, audit_key);
                 app.set_strict_scope(true);
                 Arc::new(platform.launch(image.clone(), app))
@@ -239,6 +257,61 @@ impl EnclaveCluster {
 
         EnclaveCluster {
             enclaves,
+            slices,
+            lb,
+            full_ruleset: ruleset,
+            platform,
+            image,
+            secret,
+            sketch_seed,
+            audit_key,
+            round: 0,
+        }
+    }
+
+    /// Launches an RSS-sharded cluster: `n` identical enclaves, each
+    /// holding the **full** rule set.
+    ///
+    /// This is the deployment shape behind the live sharded pipeline
+    /// ([`vif_dataplane::run_sharded`]): flows are steered to workers by a
+    /// public hash of the five tuple ([`vif_dataplane::shard_of`]) rather
+    /// than by matched rule, so every slice must be able to decide any
+    /// flow — replication trades EPC headroom for steering that verifiers
+    /// can recompute without trusting the balancer. The cluster's own
+    /// dispatcher degenerates to the same `fingerprint % n` hash (no rule
+    /// is pinned to a subset of enclaves), and strict scoping stays off:
+    /// with every rule everywhere, an unmatched flow is default-allowed
+    /// benign traffic, not evidence of misrouting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn launch_rss(
+        platform: SgxPlatform,
+        image: EnclaveImage,
+        ruleset: RuleSet,
+        n: usize,
+        secret: [u8; 32],
+        sketch_seed: u64,
+        audit_key: [u8; 32],
+    ) -> Self {
+        assert!(n > 0, "at least one shard");
+        // An allocation with n enclaves and no pinned rules: every
+        // dispatch falls through to the fingerprint hash over n.
+        let allocation = Allocation {
+            enclaves: vec![Vec::<RuleShare>::new(); n],
+        };
+        let lb = LoadBalancer::new(ruleset.len(), &allocation, n, LoadBalancerBehavior::Honest);
+        let all_ids: Vec<RuleId> = (0..ruleset.len() as RuleId).collect();
+        let enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>> = (0..n)
+            .map(|_| {
+                let app = FilterEnclaveApp::new(ruleset.clone(), secret, sketch_seed, audit_key);
+                Arc::new(platform.launch(image.clone(), app))
+            })
+            .collect();
+        EnclaveCluster {
+            enclaves,
+            slices: vec![all_ids; n],
             lb,
             full_ruleset: ruleset,
             platform,
@@ -263,6 +336,11 @@ impl EnclaveCluster {
     /// The enclaves.
     pub fn enclaves(&self) -> &[Arc<Enclave<FilterEnclaveApp>>] {
         &self.enclaves
+    }
+
+    /// Per enclave: the global rule ids installed there, in local order.
+    pub fn slices(&self) -> &[Vec<RuleId>] {
+        &self.slices
     }
 
     /// The full victim-submitted rule set.
@@ -359,23 +437,16 @@ impl EnclaveCluster {
         self.round += 1;
 
         // Slaves (and the master itself) report per-rule byte counts over
-        // their attested channels.
+        // their attested channels. Local rule order matches the slice's
+        // global-id list recorded at install time, so counts map straight
+        // back to global ids — duplicate rules in the full set each keep
+        // their own bytes instead of aliasing onto the first equal copy.
         let mut bytes_per_rule = vec![0u64; self.full_ruleset.len()];
-        for enclave in &self.enclaves {
-            let (ids, report) = enclave.ecall(|app| {
-                let ids: Vec<RuleId> = (0..app.ruleset().len() as RuleId).collect();
-                (
-                    ids.iter()
-                        .map(|&i| *app.ruleset().rule(i))
-                        .collect::<Vec<_>>(),
-                    app.rule_bandwidth_report(),
-                )
-            });
-            // Map the slave's local rules back to global ids by equality.
-            for (rule, bytes) in ids.iter().zip(report.iter()) {
-                if let Some(global) = self.full_ruleset.rules().iter().position(|r| r == rule) {
-                    bytes_per_rule[global] += bytes;
-                }
+        for (enclave, slice) in self.enclaves.iter().zip(&self.slices) {
+            let report = enclave.ecall(|app| app.rule_bandwidth_report());
+            debug_assert_eq!(report.len(), slice.len(), "slice mapping out of sync");
+            for (&global, bytes) in slice.iter().zip(report.iter()) {
+                bytes_per_rule[global as usize] += bytes;
             }
         }
 
@@ -414,13 +485,23 @@ impl EnclaveCluster {
         }
         self.enclaves.truncate(n);
 
-        // Install the new slices and reset telemetry.
-        for (i, shares) in allocation.enclaves.iter().enumerate() {
-            let ids: Vec<RuleId> = shares.iter().map(|s| s.rule as RuleId).collect();
-            let subset = self.full_ruleset.subset(&ids);
+        // Install the new slices and reset telemetry, re-recording each
+        // slice's global-id mapping for the next round's aggregation.
+        self.slices = allocation
+            .enclaves
+            .iter()
+            .map(|shares| shares.iter().map(|s| s.rule as RuleId).collect())
+            .collect();
+        for (i, ids) in self.slices.iter().enumerate() {
+            let subset = self.full_ruleset.subset(ids);
             self.enclaves[i].ecall(|app| {
                 app.install_ruleset(subset.clone());
                 app.reset_rule_counters();
+                // A redistributed cluster is rule-partitioned: the LB must
+                // send each slice only matching flows, so strict scoping
+                // applies to every slice — including ones that started in
+                // an RSS-replicated cluster with scoping off.
+                app.set_strict_scope(true);
             });
         }
         self.lb = LoadBalancer::new(
@@ -434,6 +515,7 @@ impl EnclaveCluster {
             master,
             enclaves_used: allocation.used_enclaves(),
             installations: allocation.installations(),
+            bytes_per_rule,
             solve_time,
         }
     }
@@ -618,6 +700,87 @@ mod tests {
             0,
             "post-redistribution routing consistent"
         );
+    }
+
+    #[test]
+    fn duplicate_rules_keep_separate_byte_counts() {
+        // Two *identical* drop rules whose bandwidth forces them onto
+        // different enclaves (6 + 6 Gb/s over 10 Gb/s slices).
+        let dup = FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/24".parse().unwrap(),
+            victim(),
+        ));
+        let root = AttestationRootKey::new([1u8; 32]);
+        let platform = SgxPlatform::new(1, EpcConfig::paper_default(), &root);
+        let image = EnclaveImage::new("vif", 1, vec![0; 64]);
+        let mut c = EnclaveCluster::launch(
+            platform,
+            image,
+            RuleSet::from_rules(vec![dup, dup]),
+            vec![6.0, 6.0],
+            [7u8; 32],
+            99,
+            [8u8; 32],
+            LoadBalancerBehavior::Honest,
+        );
+        // Find the enclave whose slice is exactly the *second* copy and
+        // deliver matching traffic straight to it (a first-match balancer
+        // never routes there on its own — only slice tracking can
+        // attribute its measurements correctly).
+        let holder = c
+            .slices()
+            .iter()
+            .position(|s| s == &vec![1 as RuleId])
+            .expect("second copy on its own enclave");
+        let t = FiveTuple::new(
+            0x0a000007,
+            u32::from_be_bytes([203, 0, 113, 1]),
+            5,
+            80,
+            Protocol::Udp,
+        );
+        for _ in 0..4 {
+            c.enclaves()[holder].in_enclave_thread(|app| app.process(&t, 1000));
+        }
+        let report = c.redistribute(0);
+        // Regression: equality-based id recovery credited these bytes to
+        // the first copy (global id 0), starving the copy that actually
+        // carried the traffic at re-partition time.
+        assert_eq!(report.bytes_per_rule, vec![0, 4000]);
+        // Both copies stay installed after the re-partition.
+        assert_eq!(
+            c.slices().iter().flatten().count(),
+            report.installations,
+            "slice mapping tracks the new allocation"
+        );
+        let installed: std::collections::HashSet<RuleId> =
+            c.slices().iter().flatten().copied().collect();
+        assert!(installed.contains(&0) && installed.contains(&1));
+    }
+
+    #[test]
+    fn rss_cluster_replicates_rules_and_preserves_connections() {
+        let root = AttestationRootKey::new([3u8; 32]);
+        let platform = SgxPlatform::new(2, EpcConfig::paper_default(), &root);
+        let image = EnclaveImage::new("vif", 1, vec![0; 64]);
+        let c =
+            EnclaveCluster::launch_rss(platform, image, ruleset(10), 4, [7u8; 32], 99, [8u8; 32]);
+        assert_eq!(c.len(), 4);
+        // Every slice holds the full rule set.
+        for slice in c.slices() {
+            assert_eq!(slice.len(), 10);
+        }
+        // Matching traffic is dropped wherever it lands, and dispatch is
+        // flow-stable and consistent with the public RSS hash.
+        for r in 0..10 {
+            let t = attack_tuple(r, 1);
+            let (action, enclave) = c.process(&t, 64);
+            assert_eq!(action, RuleAction::Drop);
+            assert_eq!(enclave, Some(vif_dataplane::shard_of(&t, 4)));
+            let (_, again) = c.process(&t, 64);
+            assert_eq!(enclave, again);
+        }
+        assert_eq!(c.misrouted_total(), 0);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! - [`pipeline`]: the RX → filter → TX tandem pipeline run in *simulated
 //!   time*: per-stage costs advance a virtual clock, reproducing
 //!   saturation, batching, and queueing behavior deterministically,
+//! - [`threaded`]: the same pipeline run *live* on real threads (one
+//!   filter worker),
+//! - [`sharded`]: the scale-out variant — an RX thread RSS-hashes flows
+//!   across N filter workers that share one TX path (§IV on real threads),
 //! - [`clock`]: the simulated clock.
 //!
 //! The per-packet *costs* that drive the pipeline are supplied by the
@@ -42,6 +46,7 @@ pub mod packet;
 pub mod pipeline;
 pub mod pktgen;
 pub mod ring;
+pub mod sharded;
 pub mod threaded;
 
 pub use clock::SimClock;
@@ -51,3 +56,5 @@ pub use packet::{FiveTuple, Packet, Protocol};
 pub use pipeline::{PacketStage, PipelineConfig, PipelineReport, StageOutcome, StageVerdict};
 pub use pktgen::{FlowSet, TrafficConfig, TrafficGenerator};
 pub use ring::Ring;
+pub use sharded::{run_sharded, run_sharded_with_steering, shard_of, ShardedReport};
+pub use threaded::{run_threaded, ThreadedReport};

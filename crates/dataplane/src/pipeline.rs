@@ -61,7 +61,9 @@ pub struct StageOutcome {
 /// the other packets in it.
 pub trait PacketStage {
     /// Processes a burst: appends exactly one [`StageOutcome`] per packet
-    /// of `pkts` to `out`, in order. `out` arrives cleared.
+    /// of `pkts` to `out`, in order. Callers must pass `out` cleared —
+    /// implementations append without clearing, so `out[i]` pairs with
+    /// `pkts[i]` only when the buffer starts empty.
     fn process_batch(&mut self, pkts: &[Packet], out: &mut Vec<StageOutcome>);
 
     /// Processes one packet (a burst of one).

@@ -14,7 +14,9 @@ use crossbeam::queue::ArrayQueue;
 /// ```
 /// use vif_dataplane::ring::Ring;
 /// let ring: Ring<u32> = Ring::new(8);
-/// assert_eq!(ring.enqueue_burst(vec![1, 2, 3]), 3);
+/// let mut items = vec![1, 2, 3];
+/// assert_eq!(ring.enqueue_burst(&mut items), 3);
+/// assert!(items.is_empty());
 /// let mut out = Vec::new();
 /// assert_eq!(ring.dequeue_burst(&mut out, 2), 2);
 /// assert_eq!(out, vec![1, 2]);
@@ -61,15 +63,36 @@ impl<T> Ring<T> {
         self.queue.pop()
     }
 
-    /// Enqueues as many items from `items` as fit; returns how many were
-    /// accepted (the DPDK `rte_ring_enqueue_burst` contract).
-    pub fn enqueue_burst<I: IntoIterator<Item = T>>(&self, items: I) -> usize {
+    /// Enqueues as many items from the front of `items` as fit; returns how
+    /// many were accepted (the DPDK `rte_ring_enqueue_burst` contract).
+    ///
+    /// Accepted items are removed from `items`; everything that did not fit
+    /// — including the first rejected item — stays with the caller, in
+    /// order, so a full ring never destroys packets: the producer retries
+    /// or accounts the leftovers as explicit drops.
+    pub fn enqueue_burst(&self, items: &mut Vec<T>) -> usize {
         let mut n = 0;
-        for item in items {
-            if self.queue.push(item).is_err() {
-                break;
+        let mut leftover = Vec::new();
+        {
+            let mut drained = items.drain(..);
+            while let Some(item) = drained.next() {
+                match self.queue.push(item) {
+                    Ok(()) => n += 1,
+                    Err(back) => {
+                        // Push rejected: hand the item (and the rest of the
+                        // burst) back instead of letting the drain drop it.
+                        leftover.push(back);
+                        leftover.extend(drained);
+                        break;
+                    }
+                }
             }
-            n += 1;
+        }
+        // `items` is empty (the drain ran to completion or was consumed by
+        // `extend`); append keeps the caller's buffer allocation alive so
+        // the full-accept hot path never reallocates on the next burst.
+        if !leftover.is_empty() {
+            items.append(&mut leftover);
         }
         n
     }
@@ -98,12 +121,32 @@ mod tests {
     #[test]
     fn burst_respects_capacity() {
         let ring: Ring<u32> = Ring::new(4);
-        assert_eq!(ring.enqueue_burst(0..10), 4);
+        let mut items: Vec<u32> = (0..10).collect();
+        assert_eq!(ring.enqueue_burst(&mut items), 4);
         assert_eq!(ring.len(), 4);
+        // The six rejected items stay with the caller, in order.
+        assert_eq!(items, vec![4, 5, 6, 7, 8, 9]);
         let mut out = Vec::new();
         assert_eq!(ring.dequeue_burst(&mut out, 10), 4);
         assert_eq!(out, vec![0, 1, 2, 3]);
         assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn full_ring_burst_loses_nothing_non_copy() {
+        // Regression: the old iterator-based enqueue_burst consumed the
+        // first item that failed to push and dropped it on the floor. With
+        // a non-Copy payload the loss was unrecoverable.
+        let ring: Ring<String> = Ring::new(4);
+        let mut items: Vec<String> = (0..10).map(|i| format!("pkt-{i}")).collect();
+        let accepted = ring.enqueue_burst(&mut items);
+        assert_eq!(accepted, 4);
+        assert_eq!(items.len(), 10 - accepted, "rejected items must survive");
+        let mut out = Vec::new();
+        ring.dequeue_burst(&mut out, 10);
+        out.append(&mut items);
+        // Zero items lost, FIFO order preserved end to end.
+        assert_eq!(out, (0..10).map(|i| format!("pkt-{i}")).collect::<Vec<_>>());
     }
 
     #[test]
@@ -118,7 +161,8 @@ mod tests {
     #[test]
     fn fifo_order_preserved() {
         let ring: Ring<u64> = Ring::new(128);
-        ring.enqueue_burst(0..100u64);
+        let mut items: Vec<u64> = (0..100).collect();
+        ring.enqueue_burst(&mut items);
         let mut out = Vec::new();
         ring.dequeue_burst(&mut out, 100);
         assert_eq!(out, (0..100u64).collect::<Vec<_>>());

@@ -1,0 +1,421 @@
+//! A sharded multi-worker live pipeline: RX → N filter workers → TX.
+//!
+//! [`crate::threaded`] runs the paper's Fig. 6 pipeline with exactly one
+//! filter thread; this module runs the §IV scale-out architecture on real
+//! threads. One RX thread RSS-hashes each flow onto one of `N` per-worker
+//! rings — the same [`fingerprint`]-based steering the scale-out load
+//! balancer uses for split rules, so flow → worker assignment is
+//! deterministic and connection preserving. Each worker owns its own
+//! [`PacketStage`] (in deployments, one enclave slice of an
+//! `EnclaveCluster`), drains its ring in bursts, and pushes forwarded
+//! packets onto a shared TX ring that a single TX thread drains into the
+//! caller's sink.
+//!
+//! # Sharding model
+//!
+//! Flow-hash (RSS) steering sends a flow to a worker *independently of
+//! which rules it matches*, so each worker's stage must be able to decide
+//! any flow — in enclave terms, every slice holds the full rule set
+//! (replication trades EPC for steering simplicity; contrast with the
+//! rule-partitioned steering of `vif-core`'s `LoadBalancer`, which needs
+//! the full rule map to route). Because steering is a public deterministic
+//! function of the five tuple ([`shard_of`]), verifiers can attribute every
+//! packet to its slice and audit each slice's logs independently — which is
+//! what lets bypass *and* misroute detection work per worker over this
+//! live path (see `vif-core`'s `ClusterRoundDriver`).
+
+use crate::packet::Packet;
+use crate::pipeline::{PacketStage, StageVerdict};
+use crate::ring::Ring;
+use crate::threaded::ThreadedReport;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use vif_sketch::hash::fingerprint;
+
+/// Clears an [`AtomicBool`] when dropped — **including on unwind**, so a
+/// pipeline thread that panics (in a user-supplied stage, sink, or
+/// steering function) still signals the threads spinning on its rings to
+/// stop instead of deadlocking the scope join that would propagate the
+/// panic. Every stage-liveness flag in the live pipeline is cleared
+/// through this guard, never by an explicit store.
+struct LiveFlag<'a>(&'a AtomicBool);
+
+impl Drop for LiveFlag<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// Decrements an [`AtomicUsize`] when dropped — the counted-sibling
+/// variant of [`LiveFlag`] for worker pools.
+struct CountedLiveFlag<'a>(&'a AtomicUsize);
+
+impl Drop for CountedLiveFlag<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// RSS steering: the worker that owns `t`'s flow in an `n`-way shard.
+///
+/// Deterministic in the five tuple (connection preserving) and identical to
+/// the hash the untrusted load balancer applies to unpinned flows, so a
+/// verifier can recompute the packet → slice attribution offline.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn shard_of(t: &crate::packet::FiveTuple, n: usize) -> usize {
+    assert!(n > 0, "at least one shard");
+    (fingerprint(&t.encode()) % n as u64) as usize
+}
+
+/// Counters from a sharded run: one [`ThreadedReport`] per worker.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedReport {
+    /// Per-worker counters, indexed by worker id.
+    pub per_worker: Vec<ThreadedReport>,
+}
+
+impl ShardedReport {
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.per_worker.len()
+    }
+
+    /// Aggregate counters across all workers.
+    pub fn total(&self) -> ThreadedReport {
+        let mut total = ThreadedReport::default();
+        for w in &self.per_worker {
+            total.received += w.received;
+            total.forwarded += w.forwarded;
+            total.filtered += w.filtered;
+            total.overflow += w.overflow;
+        }
+        total
+    }
+}
+
+/// Runs `traffic` through a live RX → N×filter → TX sharded pipeline with
+/// the default [`shard_of`] RSS steering.
+///
+/// One worker thread is spawned per element of `stages`; forwarded packets
+/// reach `sink` on the TX thread as `(worker, packet)`. Returns when every
+/// packet has been drained.
+pub fn run_sharded<S, F>(
+    traffic: Vec<Packet>,
+    stages: Vec<S>,
+    sink: F,
+    ring_capacity: usize,
+    burst: usize,
+) -> ShardedReport
+where
+    S: PacketStage + Send,
+    F: FnMut(usize, &Packet) + Send,
+{
+    let n = stages.len();
+    run_sharded_with_steering(traffic, stages, sink, ring_capacity, burst, move |t| {
+        shard_of(t, n)
+    })
+}
+
+/// [`run_sharded`] with caller-supplied steering.
+///
+/// `steer` maps each packet's five tuple to a worker index (reduced modulo
+/// the worker count for safety). Production steering is [`shard_of`]; tests
+/// inject faulty steering here to exercise misroute detection — the audit
+/// layer attributes flows by [`shard_of`], so a steering function that
+/// disagrees with it shows up as dirty slices.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty or `ring_capacity`/`burst` is zero.
+pub fn run_sharded_with_steering<S, F, R>(
+    traffic: Vec<Packet>,
+    stages: Vec<S>,
+    mut sink: F,
+    ring_capacity: usize,
+    burst: usize,
+    mut steer: R,
+) -> ShardedReport
+where
+    S: PacketStage + Send,
+    F: FnMut(usize, &Packet) + Send,
+    R: FnMut(&crate::packet::FiveTuple) -> usize + Send,
+{
+    let n = stages.len();
+    assert!(n > 0, "at least one worker stage");
+    assert!(ring_capacity > 0 && burst > 0, "degenerate ring/burst");
+
+    let rx_rings: Vec<Arc<Ring<Packet>>> =
+        (0..n).map(|_| Arc::new(Ring::new(ring_capacity))).collect();
+    let tx_ring: Arc<Ring<(usize, Packet)>> = Arc::new(Ring::new(ring_capacity));
+    let rx_live = Arc::new(AtomicBool::new(true));
+    let workers_live = Arc::new(AtomicUsize::new(n));
+    let tx_live = Arc::new(AtomicBool::new(true));
+
+    let mut report = ShardedReport {
+        per_worker: vec![ThreadedReport::default(); n],
+    };
+
+    std::thread::scope(|scope| {
+        // RX thread: steer each packet to its worker's ring; count ring
+        // overflow as per-worker loss after bounded retries.
+        let rx_rings_prod: Vec<Arc<Ring<Packet>>> = rx_rings.iter().map(Arc::clone).collect();
+        let rx_live_guard = Arc::clone(&rx_live);
+        let rx = scope.spawn(move || {
+            let _live = LiveFlag(&rx_live_guard);
+            let mut received = vec![0u64; n];
+            let mut overflow = vec![0u64; n];
+            for pkt in traffic {
+                let w = steer(&pkt.tuple) % n;
+                received[w] += 1;
+                let mut item = pkt;
+                let mut retries = 0;
+                loop {
+                    match rx_rings_prod[w].enqueue(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            retries += 1;
+                            if retries > 64 {
+                                overflow[w] += 1;
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            (received, overflow)
+        });
+
+        // Worker threads: each drains its own ring in bursts through its
+        // own stage and pushes forwarded packets to the shared TX ring.
+        let mut workers = Vec::with_capacity(n);
+        for (w, mut stage) in stages.into_iter().enumerate() {
+            let my_ring = Arc::clone(&rx_rings[w]);
+            let tx_prod = Arc::clone(&tx_ring);
+            let rx_live_flag = Arc::clone(&rx_live);
+            let live_guard = Arc::clone(&workers_live);
+            let tx_live_flag = Arc::clone(&tx_live);
+            workers.push(scope.spawn(move || {
+                // Decrements workers_live even on a panicking stage, so the
+                // TX thread can still terminate and the scope can join.
+                let _live = CountedLiveFlag(&live_guard);
+                let mut filtered = 0u64;
+                let mut forwarded = 0u64;
+                let mut batch = Vec::with_capacity(burst);
+                let mut outcomes = Vec::with_capacity(burst);
+                loop {
+                    batch.clear();
+                    if my_ring.dequeue_burst(&mut batch, burst) == 0 {
+                        if !rx_live_flag.load(Ordering::Acquire) && my_ring.is_empty() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    outcomes.clear();
+                    stage.process_batch(&batch, &mut outcomes);
+                    debug_assert_eq!(outcomes.len(), batch.len(), "one outcome per packet");
+                    for (pkt, outcome) in batch.iter().zip(&outcomes) {
+                        match outcome.verdict {
+                            StageVerdict::Drop => filtered += 1,
+                            StageVerdict::Forward => {
+                                forwarded += 1;
+                                let mut item = (w, *pkt);
+                                while let Err(back) = tx_prod.enqueue(item) {
+                                    if !tx_live_flag.load(Ordering::Acquire) {
+                                        // TX died mid-run (sink panicked):
+                                        // stop spinning so the scope can
+                                        // join and propagate the panic.
+                                        break;
+                                    }
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                }
+                (filtered, forwarded)
+            }));
+        }
+
+        // TX thread: drain forwarded packets from every worker into the
+        // sink (single consumer — the shared egress port of Fig. 5).
+        let tx_cons = Arc::clone(&tx_ring);
+        let live = Arc::clone(&workers_live);
+        let tx_live_guard = Arc::clone(&tx_live);
+        let tx = scope.spawn(move || {
+            let _live = LiveFlag(&tx_live_guard);
+            let mut drained = 0u64;
+            let mut batch: Vec<(usize, Packet)> = Vec::with_capacity(burst);
+            loop {
+                batch.clear();
+                if tx_cons.dequeue_burst(&mut batch, burst) == 0 {
+                    if live.load(Ordering::Acquire) == 0 && tx_cons.is_empty() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                    continue;
+                }
+                for (w, pkt) in &batch {
+                    drained += 1;
+                    sink(*w, pkt);
+                }
+            }
+            drained
+        });
+
+        let (received, overflow) = rx.join().expect("rx thread");
+        for (w, handle) in workers.into_iter().enumerate() {
+            let (filtered, forwarded) = handle.join().expect("worker thread");
+            report.per_worker[w] = ThreadedReport {
+                received: received[w],
+                forwarded,
+                filtered,
+                overflow: overflow[w],
+            };
+        }
+        let drained = tx.join().expect("tx thread");
+        debug_assert_eq!(
+            drained,
+            report.per_worker.iter().map(|w| w.forwarded).sum::<u64>(),
+            "TX drains exactly what workers forwarded"
+        );
+    });
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StageOutcome;
+    use crate::pktgen::{FlowSet, TrafficConfig, TrafficGenerator};
+
+    fn traffic(count: usize) -> Vec<Packet> {
+        let flows = FlowSet::random_toward_victim(64, 7, 3);
+        TrafficGenerator::new(2).generate(
+            &flows,
+            TrafficConfig {
+                packet_size: 64,
+                offered_gbps: 5.0,
+                count,
+            },
+        )
+    }
+
+    fn parity_stage() -> impl FnMut(&Packet) -> StageOutcome + Send {
+        |p: &Packet| StageOutcome {
+            verdict: if p.tuple.src_ip.is_multiple_of(2) {
+                StageVerdict::Forward
+            } else {
+                StageVerdict::Drop
+            },
+            cost_ns: 0,
+        }
+    }
+
+    #[test]
+    fn sharded_accounting_adds_up_per_worker() {
+        let t = traffic(8_000);
+        let stages: Vec<_> = (0..4).map(|_| parity_stage()).collect();
+        let report = run_sharded(t, stages, |_, _| {}, 16_384, 32);
+        assert_eq!(report.workers(), 4);
+        for (w, r) in report.per_worker.iter().enumerate() {
+            assert_eq!(
+                r.forwarded + r.filtered + r.overflow,
+                r.received,
+                "worker {w} leaks packets"
+            );
+        }
+        let total = report.total();
+        assert_eq!(total.received, 8_000);
+        assert_eq!(total.overflow, 0, "ring sized for the whole run");
+    }
+
+    #[test]
+    fn steering_is_deterministic_and_balanced() {
+        let t = traffic(10_000);
+        let n = 4;
+        // Every packet must land on the worker shard_of names.
+        let seen = std::sync::Mutex::new(Vec::new());
+        let stages: Vec<_> = (0..n).map(|_| parity_stage()).collect();
+        run_sharded(
+            t.clone(),
+            stages,
+            |w, p| seen.lock().unwrap().push((w, p.tuple)),
+            16_384,
+            32,
+        );
+        let seen = seen.into_inner().unwrap();
+        assert!(!seen.is_empty());
+        for (w, tuple) in &seen {
+            assert_eq!(*w, shard_of(tuple, n), "flow moved shards");
+        }
+        // All workers get some share of a 64-flow mix.
+        let mut counts = [0u64; 4];
+        for p in &t {
+            counts[shard_of(&p.tuple, n)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn custom_steering_is_clamped_and_applied() {
+        let t = traffic(1_000);
+        let stages: Vec<_> = (0..2).map(|_| parity_stage()).collect();
+        // Everything to (out-of-range) worker 5 → clamped to 5 % 2 = 1.
+        let report = run_sharded_with_steering(t, stages, |_, _| {}, 4_096, 16, |_| 5usize);
+        assert_eq!(report.per_worker[0].received, 0);
+        assert_eq!(report.per_worker[1].received, 1_000);
+    }
+
+    #[test]
+    fn single_worker_matches_threaded_semantics() {
+        let t = traffic(5_000);
+        let sharded = run_sharded(t.clone(), vec![parity_stage()], |_, _| {}, 8_192, 32);
+        let threaded = crate::threaded::run_threaded(t, parity_stage(), |_| {}, 8_192, 32);
+        assert_eq!(sharded.total(), threaded);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_stage_set_rejected() {
+        let stages: Vec<fn(&Packet) -> StageOutcome> = Vec::new();
+        run_sharded(traffic(10), stages, |_, _| {}, 64, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn panicking_stage_propagates_instead_of_deadlocking() {
+        // A stage that dies mid-run must surface as a panic from the scope
+        // join, not leave RX/TX spinning on its rings forever.
+        let stages: Vec<_> = (0..2)
+            .map(|_| {
+                let mut seen = 0usize;
+                move |_p: &Packet| {
+                    seen += 1;
+                    assert!(seen <= 100, "stage blew up");
+                    StageOutcome {
+                        verdict: StageVerdict::Forward,
+                        cost_ns: 0,
+                    }
+                }
+            })
+            .collect();
+        run_sharded(traffic(2_000), stages, |_, _| {}, 64, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "tx thread")]
+    fn panicking_sink_propagates_instead_of_deadlocking() {
+        // A sink that dies must not leave the workers spinning on a full
+        // TX ring: the tx_live flag is cleared on unwind and they bail.
+        let stages: Vec<_> = (0..2).map(|_| parity_stage()).collect();
+        run_sharded(traffic(5_000), stages, |_, _| panic!("sink died"), 64, 8);
+    }
+}

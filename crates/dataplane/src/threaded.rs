@@ -5,12 +5,15 @@
 //! architecture live* — an RX thread, a filter thread, and a TX thread on
 //! separate cores, passing packets over bounded lock-free rings exactly as
 //! in Fig. 6 — for functional end-to-end validation on real threads.
+//!
+//! [`run_threaded`] is the single-filter-worker case of the sharded
+//! pipeline ([`crate::sharded::run_sharded`]); the thread and ring
+//! machinery (bounded RX retries, burst dequeues, panic-safe liveness
+//! signalling) lives there in one copy.
 
 use crate::packet::Packet;
-use crate::pipeline::{PacketStage, StageVerdict};
-use crate::ring::Ring;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use crate::pipeline::PacketStage;
+use crate::sharded::run_sharded;
 
 /// Counters from a threaded run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,7 +35,7 @@ pub struct ThreadedReport {
 /// thread (e.g., to feed a victim-side verifier).
 pub fn run_threaded<S, F>(
     traffic: Vec<Packet>,
-    mut stage: S,
+    stage: S,
     mut sink: F,
     ring_capacity: usize,
     burst: usize,
@@ -41,121 +44,21 @@ where
     S: PacketStage + Send,
     F: FnMut(&Packet) + Send,
 {
-    let rx_ring: Arc<Ring<Packet>> = Arc::new(Ring::new(ring_capacity));
-    let tx_ring: Arc<Ring<Packet>> = Arc::new(Ring::new(ring_capacity));
-    let rx_done = Arc::new(AtomicBool::new(false));
-    let filter_done = Arc::new(AtomicBool::new(false));
-
-    let mut report = ThreadedReport::default();
-
-    std::thread::scope(|scope| {
-        // RX thread: burst-enqueue packets; count ring overflow as loss.
-        let rx_ring_prod = Arc::clone(&rx_ring);
-        let rx_done_flag = Arc::clone(&rx_done);
-        let rx = scope.spawn(move || {
-            let mut received = 0u64;
-            let mut overflow = 0u64;
-            for pkt in traffic {
-                received += 1;
-                let mut item = pkt;
-                let mut retries = 0;
-                loop {
-                    match rx_ring_prod.enqueue(item) {
-                        Ok(()) => break,
-                        Err(back) => {
-                            item = back;
-                            retries += 1;
-                            if retries > 64 {
-                                overflow += 1;
-                                break;
-                            }
-                            std::thread::yield_now();
-                        }
-                    }
-                }
-            }
-            rx_done_flag.store(true, Ordering::Release);
-            (received, overflow)
-        });
-
-        // Filter thread: poll RX ring in bursts, verdict, pass to TX ring.
-        let rx_ring_cons = Arc::clone(&rx_ring);
-        let tx_ring_prod = Arc::clone(&tx_ring);
-        let rx_done_flag = Arc::clone(&rx_done);
-        let filter_done_flag = Arc::clone(&filter_done);
-        let filter = scope.spawn(move || {
-            let mut filtered = 0u64;
-            let mut batch = Vec::with_capacity(burst);
-            let mut outcomes = Vec::with_capacity(burst);
-            loop {
-                batch.clear();
-                if rx_ring_cons.dequeue_burst(&mut batch, burst) == 0 {
-                    if rx_done_flag.load(Ordering::Acquire) && rx_ring_cons.is_empty() {
-                        break;
-                    }
-                    std::thread::yield_now();
-                    continue;
-                }
-                // The dequeued burst flows through the stage whole — the
-                // same amortization point as the simulated pipeline.
-                outcomes.clear();
-                stage.process_batch(&batch, &mut outcomes);
-                debug_assert_eq!(outcomes.len(), batch.len(), "one outcome per packet");
-                for (pkt, outcome) in batch.iter().zip(&outcomes) {
-                    match outcome.verdict {
-                        StageVerdict::Drop => filtered += 1,
-                        StageVerdict::Forward => {
-                            let mut item = *pkt;
-                            while let Err(back) = tx_ring_prod.enqueue(item) {
-                                item = back;
-                                std::thread::yield_now();
-                            }
-                        }
-                    }
-                }
-            }
-            filter_done_flag.store(true, Ordering::Release);
-            filtered
-        });
-
-        // TX thread: drain forwarded packets into the sink.
-        let tx_ring_cons = Arc::clone(&tx_ring);
-        let filter_done_flag = Arc::clone(&filter_done);
-        let tx = scope.spawn(move || {
-            let mut forwarded = 0u64;
-            let mut batch = Vec::with_capacity(burst);
-            loop {
-                batch.clear();
-                if tx_ring_cons.dequeue_burst(&mut batch, burst) == 0 {
-                    if filter_done_flag.load(Ordering::Acquire) && tx_ring_cons.is_empty() {
-                        break;
-                    }
-                    std::thread::yield_now();
-                    continue;
-                }
-                for pkt in &batch {
-                    forwarded += 1;
-                    sink(pkt);
-                }
-            }
-            forwarded
-        });
-
-        let (received, overflow) = rx.join().expect("rx thread");
-        report.received = received;
-        report.overflow = overflow;
-        report.filtered = filter.join().expect("filter thread");
-        report.forwarded = tx.join().expect("tx thread");
-    });
-
-    report
+    run_sharded(
+        traffic,
+        vec![stage],
+        |_worker, pkt| sink(pkt),
+        ring_capacity,
+        burst,
+    )
+    .total()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::packet::{FiveTuple, Protocol};
-    use crate::pipeline::StageOutcome;
+    use crate::pipeline::{StageOutcome, StageVerdict};
     use crate::pktgen::{FlowSet, TrafficConfig, TrafficGenerator};
 
     fn traffic(count: usize) -> Vec<Packet> {

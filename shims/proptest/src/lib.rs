@@ -21,7 +21,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Size specification for [`vec`]: a fixed size or a range of sizes.
+    /// Size specification for [`vec()`]: a fixed size or a range of sizes.
     pub trait SizeRange {
         /// Chooses a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
