@@ -61,7 +61,9 @@ impl std::fmt::Display for FilterMode {
 /// Per-packet cost constants (simulated nanoseconds).
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel {
-    /// Fixed per-packet work: header parse, verdict, ring operations.
+    /// Fixed per-packet work: header parse, verdict, ring operations, and
+    /// the exact-match table probe (a multiply-xor fast-hash lookup —
+    /// [`crate::fasthash`] — not std's per-byte SipHash).
     pub base_ns: f64,
     /// Two count-min-sketch updates (4 linear hashes, §V-A).
     pub sketch_ns: f64,
@@ -71,7 +73,9 @@ pub struct CostModel {
     pub full_copy_fixed_ns: f64,
     /// Per-byte cost of the full-packet copy.
     pub full_copy_per_byte_ns: f64,
-    /// Multi-bit-trie walk with a cache-resident table.
+    /// The compiled-classifier stride walk with a cache-resident table
+    /// ([`crate::classifier`]): flat array reads, allocation-free — the
+    /// `classifier_throughput` bench tracks the real-machine analogue.
     pub lookup_core_ns: f64,
     /// Last-level-cache size: tables below this stall nothing.
     pub llc_bytes: usize,
@@ -80,7 +84,10 @@ pub struct CostModel {
     /// Discount on memory stalls outside SGX (no EPC crypto engine).
     pub native_stall_factor: f64,
     /// SHA-256 over the 5-tuple for hash-based connection-preserving
-    /// filtering (Appendix A); amortized via batched hashing.
+    /// filtering (Appendix A): one compression of a single stack-padded
+    /// block (`Sha256::digest_one_block` — the 45-byte `5T ‖ secret`
+    /// message fits one block), so the cost is a constant, not a
+    /// streaming function of message length.
     pub sha256_ns: f64,
 }
 

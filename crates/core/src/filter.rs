@@ -111,8 +111,40 @@ impl StatelessFilter {
     }
 
     /// Decides a packet. Pure: `decide(t)` never depends on prior calls.
+    ///
+    /// Runs entirely on the compiled hot path — the compiled classifier
+    /// plus the one-block SHA-256 — and performs no heap allocation.
     pub fn decide(&self, t: &FiveTuple) -> Verdict {
-        match self.ruleset.classify(t) {
+        self.verdict_for(t, self.ruleset.classify(t), Self::hash_threshold)
+    }
+
+    /// The reference decide path: [`RuleSet::classify_reference`] plus the
+    /// streaming SHA-256 hasher — the pre-compilation implementation,
+    /// preserved end to end with no shared hot-path code.
+    ///
+    /// Bit-identical verdicts to [`decide`](StatelessFilter::decide) are a
+    /// hard requirement (audit equivalence and the batch invariant depend
+    /// on it); the `compiled_classifier_matches_reference` property test
+    /// compares the two. Allocates per call, so it is the oracle, not the
+    /// data path.
+    pub fn decide_reference(&self, t: &FiveTuple) -> Verdict {
+        self.verdict_for(
+            t,
+            self.ruleset.classify_reference(t),
+            Self::hash_threshold_streaming,
+        )
+    }
+
+    /// Maps a classification outcome to the full verdict, deciding
+    /// probabilistic rules with the supplied Appendix A hash evaluator.
+    #[inline]
+    fn verdict_for(
+        &self,
+        t: &FiveTuple,
+        classified: Option<RuleId>,
+        hash: impl Fn(&Self, &FiveTuple) -> u64,
+    ) -> Verdict {
+        match classified {
             None => Verdict {
                 action: RuleAction::Allow,
                 rule: None,
@@ -125,7 +157,7 @@ impl StatelessFilter {
                     path: DecisionPath::Deterministic,
                 },
                 RuleDecision::Probabilistic { p_allow } => Verdict {
-                    action: self.hash_decision(t, p_allow),
+                    action: Self::threshold_action(hash(self, t), p_allow),
                     rule: Some(id),
                     path: DecisionPath::HashBased,
                 },
@@ -150,12 +182,37 @@ impl StatelessFilter {
 
     /// The Appendix A hash-based connection-preserving decision:
     /// allow iff `H(5T ‖ secret) < p_allow · 2⁶⁴`.
+    ///
+    /// The 45-byte `5-tuple ‖ secret` message fits one padded SHA-256
+    /// block, so the hot path assembles it on the stack and runs a single
+    /// compression ([`Sha256::digest_one_block`]) — no streaming-buffer
+    /// copies, no hasher state, no allocation.
     pub fn hash_decision(&self, t: &FiveTuple, p_allow: f64) -> RuleAction {
+        Self::threshold_action(self.hash_threshold(t), p_allow)
+    }
+
+    /// `H(5T ‖ secret)` truncated to 64 bits, via the one-block fast path.
+    #[inline]
+    fn hash_threshold(&self, t: &FiveTuple) -> u64 {
+        let mut msg = [0u8; 45];
+        msg[..13].copy_from_slice(&t.encode());
+        msg[13..].copy_from_slice(&self.secret);
+        let digest = Sha256::digest_one_block(&msg);
+        u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"))
+    }
+
+    /// The same hash via the streaming hasher (reference path only).
+    fn hash_threshold_streaming(&self, t: &FiveTuple) -> u64 {
         let mut h = Sha256::new();
         h.update(&t.encode());
         h.update(&self.secret);
         let digest = h.finalize();
-        let x = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
+        u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Compares a 64-bit hash value against `p_allow · 2⁶⁴`.
+    #[inline]
+    fn threshold_action(x: u64, p_allow: f64) -> RuleAction {
         let threshold = (p_allow.clamp(0.0, 1.0) * (u64::MAX as f64 + 1.0)) as u128;
         if (x as u128) < threshold {
             RuleAction::Allow

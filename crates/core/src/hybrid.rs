@@ -14,8 +14,8 @@
 //! of §III-A — the cache is purely a performance optimization.
 
 use crate::backend::FilterBackend;
+use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::filter::{DecisionPath, StatelessFilter, Verdict};
-use std::collections::HashMap;
 use vif_dataplane::FiveTuple;
 
 /// Statistics of the hybrid execution.
@@ -27,6 +27,13 @@ pub struct HybridStats {
     pub hash_decisions: u64,
     /// Flows promoted to exact-match rules so far.
     pub promoted_flows: u64,
+    /// Distinct pending flows discarded (never promoted) because the
+    /// exact-match cache was at capacity when their update period ran —
+    /// counted per flow per period, however many packets the flow queued.
+    /// Evicted flows keep taking the hash path — correctness is
+    /// unaffected; a growing count signals the cache cap is undersized
+    /// for the working set.
+    pub pending_evicted: u64,
     /// Batch promotions executed.
     pub update_rounds: u64,
 }
@@ -38,8 +45,10 @@ pub struct HybridFilter {
     /// Promoted flows. The *full* verdict (action, matched rule) is
     /// cached so the fast path loses no audit/telemetry information —
     /// rule byte counts (`B_i`, Fig. 5) and strict-scope accounting keep
-    /// working on cached flows.
-    exact_cache: HashMap<FiveTuple, Verdict>,
+    /// working on cached flows. Keyed by the deterministic fast hasher
+    /// ([`crate::fasthash`]): one multiply-xor round per tuple word
+    /// instead of SipHash, the dominant cost of a cache hit.
+    exact_cache: FxHashMap<FiveTuple, Verdict>,
     pending: Vec<(FiveTuple, Verdict)>,
     stats: HybridStats,
     /// Cap on cached flows (exact-match table memory is EPC-bounded).
@@ -53,7 +62,7 @@ impl HybridFilter {
     pub fn new(inner: StatelessFilter, max_cached_flows: usize) -> Self {
         HybridFilter {
             inner,
-            exact_cache: HashMap::new(),
+            exact_cache: FxHashMap::default(),
             pending: Vec::new(),
             stats: HybridStats::default(),
             max_cached_flows,
@@ -118,20 +127,36 @@ impl HybridFilter {
     /// Runs one rule-update period: promotes queued flows to exact-match
     /// entries in a single batch. Returns the number of flows promoted
     /// (Table II's batch size).
+    ///
+    /// # Capacity policy
+    ///
+    /// Promotion stops — but the queue is still fully drained — once the
+    /// cache reaches `max_cached_flows`: the not-yet-promoted tail is
+    /// *evicted* (discarded, counted in
+    /// [`HybridStats::pending_evicted`]), never silently lost. Evicted
+    /// flows keep taking the hash path, re-enter `pending` on their next
+    /// packet, and compete again at the next period, so a later cache
+    /// flush lets them in. Flows already cached (duplicates within the
+    /// queue) are neither promoted nor counted as evicted.
     pub fn apply_update_period(&mut self) -> usize {
-        let mut promoted = 0;
+        let mut promoted = 0u64;
+        let cap = self.max_cached_flows;
+        // Distinct flows evicted this period: a flow queues one pending
+        // entry per packet, and the counter promises flows, not packets.
+        let mut evicted: FxHashSet<FiveTuple> = FxHashSet::default();
         for (tuple, verdict) in self.pending.drain(..) {
-            if self.exact_cache.len() >= self.max_cached_flows {
-                break;
-            }
-            if self.exact_cache.insert(tuple, verdict).is_none() {
-                promoted += 1;
+            if self.exact_cache.len() < cap {
+                if self.exact_cache.insert(tuple, verdict).is_none() {
+                    promoted += 1;
+                }
+            } else if !self.exact_cache.contains_key(&tuple) {
+                evicted.insert(tuple);
             }
         }
-        self.pending.clear();
-        self.stats.promoted_flows += promoted as u64;
+        self.stats.promoted_flows += promoted;
+        self.stats.pending_evicted += evicted.len() as u64;
         self.stats.update_rounds += 1;
-        promoted
+        promoted as usize
     }
 
     /// Inserts new rules into the wrapped rule set and invalidates the
@@ -323,6 +348,77 @@ mod tests {
         let reference = h.inner().decide(&allowed);
         assert_eq!(reference.action, RuleAction::Drop);
         assert_eq!(h.decide(&allowed).action, RuleAction::Drop);
+    }
+
+    #[test]
+    fn full_cache_counts_evictions_and_drains_pending() {
+        let pattern = FlowPattern::prefixes(
+            "0.0.0.0/0".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        );
+        let rs = RuleSet::from_rules(vec![FilterRule::drop_fraction(pattern, 0.5)]);
+        let mut h = HybridFilter::new(StatelessFilter::new(rs, [3u8; 32]), 10);
+        for i in 0..50 {
+            h.decide(&tuple(i));
+        }
+        assert_eq!(h.pending_flows(), 50);
+        let promoted = h.apply_update_period();
+        // 10 promoted, the remaining 40 evicted — none silently lost.
+        assert_eq!(promoted, 10);
+        assert_eq!(h.stats().promoted_flows, 10);
+        assert_eq!(h.stats().pending_evicted, 40);
+        assert_eq!(h.pending_flows(), 0);
+        // A flow already cached is neither promoted nor evicted when it
+        // re-queues... it never re-queues (cache hit), but a duplicate in
+        // one batch must not inflate either counter.
+        h.flush_cache();
+        for _ in 0..3 {
+            h.decide(&tuple(0));
+        }
+        assert_eq!(h.pending_flows(), 3);
+        assert_eq!(h.apply_update_period(), 1);
+        assert_eq!(h.stats().pending_evicted, 40);
+        // Refill the cache to capacity (1 cached + 9 new = cap of 10).
+        for i in 200..209 {
+            h.decide(&tuple(i));
+        }
+        h.apply_update_period();
+        assert_eq!(h.cached_flows(), 10);
+        // With the cache full, a multi-packet flow queues several pending
+        // entries but is evicted as ONE flow (the stat counts flows).
+        for i in 0..9 {
+            h.decide(&tuple(100 + i / 3)); // 3 flows × 3 packets
+        }
+        let before = h.stats().pending_evicted;
+        h.apply_update_period();
+        assert_eq!(h.stats().pending_evicted, before + 3);
+    }
+
+    #[test]
+    fn evicted_flows_compete_again_after_flush() {
+        let pattern = FlowPattern::prefixes(
+            "0.0.0.0/0".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        );
+        let rs = RuleSet::from_rules(vec![FilterRule::drop_fraction(pattern, 0.5)]);
+        let mut h = HybridFilter::new(StatelessFilter::new(rs, [3u8; 32]), 2);
+        for i in 0..5 {
+            h.decide(&tuple(i));
+        }
+        h.apply_update_period();
+        assert_eq!(h.cached_flows(), 2);
+        // Evicted flows re-enter pending on their next packet.
+        for i in 0..5 {
+            h.decide(&tuple(i));
+        }
+        assert_eq!(h.pending_flows(), 3);
+        h.flush_cache();
+        for i in 2..4 {
+            h.decide(&tuple(i));
+        }
+        h.apply_update_period();
+        assert_eq!(h.cached_flows(), 2);
+        assert_eq!(h.decide(&tuple(2)).path, DecisionPath::Cached);
     }
 
     #[test]

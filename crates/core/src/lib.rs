@@ -30,6 +30,13 @@
 //! [`sketch_backend`]), so the data plane, the scale-out cluster, and the
 //! benches all share one batch-oriented seam.
 //!
+//! The per-packet decide path is *compiled*: rule installs rebuild a
+//! flat, read-only [`classifier::CompiledClassifier`] (stride walk over
+//! compiled trie arrays, flattened candidate lists) and the hot-path
+//! tables key on the deterministic multiply-xor hasher of [`fasthash`],
+//! so steady-state classification performs no heap allocation, no
+//! SipHash, and no ordered-map probes.
+//!
 //! The [`cost`] module carries the calibrated data-plane cost model
 //! (near-zero-copy vs. full-copy, EPC paging, hash-based filtering) that
 //! reproduces the paper's performance envelope on the simulated testbed,
@@ -40,9 +47,11 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod classifier;
 pub mod cost;
 pub mod enclave_app;
 pub mod endtoend;
+pub mod fasthash;
 pub mod filter;
 pub mod hybrid;
 pub mod logs;

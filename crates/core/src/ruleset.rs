@@ -10,7 +10,18 @@
 //!    prefixes otherwise),
 //! 3. no match — the filter's default applies (ALLOW: VIF only drops what
 //!    the victim asked it to drop).
+//!
+//! Classification runs on two compiled hot-path structures, rebuilt on
+//! every rule mutation (the install-time table swap of Appendix F): the
+//! exact-match table keyed by the deterministic fast hasher
+//! ([`crate::fasthash`], replacing std's per-byte SipHash) and the
+//! [`CompiledClassifier`] stride walk (replacing per-packet
+//! `lookup_path` map probes and their `Vec` allocation). The original
+//! trie-map path survives as [`RuleSet::classify_reference`], the oracle
+//! the property tests compare the compiled path against.
 
+use crate::classifier::CompiledClassifier;
+use crate::fasthash::FxHashMap;
 use crate::rules::FilterRule;
 use std::collections::HashMap;
 use vif_dataplane::FiveTuple;
@@ -44,8 +55,12 @@ pub struct RuleCounters {
 pub struct RuleSet {
     rules: Vec<FilterRule>,
     counters: Vec<RuleCounters>,
-    exact: HashMap<FiveTuple, RuleId>,
+    exact: FxHashMap<FiveTuple, RuleId>,
+    /// Authoritative coarse-rule store (rebuilds, memory model, and the
+    /// reference classifier); the hot path runs on `compiled`.
     coarse: MultiBitTrie<Vec<RuleId>>,
+    /// Read-only compiled classifier, rebuilt on every mutation.
+    compiled: CompiledClassifier,
 }
 
 impl Default for RuleSet {
@@ -57,11 +72,13 @@ impl Default for RuleSet {
 impl RuleSet {
     /// Creates an empty rule set.
     pub fn new() -> Self {
+        let coarse = MultiBitTrie::new(8);
         RuleSet {
             rules: Vec::new(),
             counters: Vec::new(),
-            exact: HashMap::new(),
-            coarse: MultiBitTrie::new(8),
+            exact: FxHashMap::default(),
+            compiled: CompiledClassifier::compile(&coarse, &[]),
+            coarse,
         }
     }
 
@@ -93,11 +110,17 @@ impl RuleSet {
     }
 
     /// Inserts one rule, returning its id.
+    ///
+    /// Recompiles the hot-path classifier, which is linear in the number
+    /// of coarse rules — bulk loads should use
+    /// [`insert_batch`](RuleSet::insert_batch) (one recompile total), as
+    /// the enclave's batched rule update does.
     pub fn insert(&mut self, rule: FilterRule) -> RuleId {
         let id = self.rules.len() as RuleId;
         self.index_rule(id, &rule);
         self.rules.push(rule);
         self.counters.push(RuleCounters::default());
+        self.compiled = CompiledClassifier::compile(&self.coarse, &self.rules);
         id
     }
 
@@ -123,6 +146,7 @@ impl RuleSet {
         if !coarse_batch.is_empty() {
             self.coarse.batch_insert(coarse_batch);
         }
+        self.compiled = CompiledClassifier::compile(&self.coarse, &self.rules);
     }
 
     fn index_rule(&mut self, id: RuleId, rule: &FilterRule) {
@@ -139,7 +163,28 @@ impl RuleSet {
 
     /// Classifies a five tuple, returning the matching rule id (see module
     /// docs for precedence).
+    ///
+    /// This is the per-packet hot path: one fast-hash probe of the
+    /// exact-match table, then the compiled stride walk — no heap
+    /// allocation, no SipHash, no ordered-map probes. Verdict-identical
+    /// to [`classify_reference`](RuleSet::classify_reference) (enforced
+    /// by the `compiled_classifier_matches_reference` property test).
+    #[inline]
     pub fn classify(&self, t: &FiveTuple) -> Option<RuleId> {
+        if !self.exact.is_empty() {
+            if let Some(&id) = self.exact.get(t) {
+                return Some(id);
+            }
+        }
+        self.compiled.classify_coarse(t)
+    }
+
+    /// The reference classifier: the exact-match probe followed by a
+    /// [`MultiBitTrie::lookup_path`] scan over the authoritative trie.
+    ///
+    /// Kept as the oracle the compiled hot path is property-tested
+    /// against; allocates per call, so not for the data path.
+    pub fn classify_reference(&self, t: &FiveTuple) -> Option<RuleId> {
         if let Some(&id) = self.exact.get(t) {
             return Some(id);
         }
@@ -174,14 +219,17 @@ impl RuleSet {
 
     /// Estimated enclave memory held by the rule structures, in bytes.
     ///
-    /// Includes the trie, the exact-match table, the rule array, and the
-    /// per-rule telemetry the redistribution protocol needs. This is the
-    /// working-set input to the cost model (Fig. 3b's linearly growing
-    /// footprint).
+    /// Includes the trie, the compiled classifier, the exact-match table,
+    /// the rule array, and the per-rule telemetry the redistribution
+    /// protocol needs. This is the working-set input to the cost model
+    /// (Fig. 3b's linearly growing footprint).
     pub fn memory_bytes(&self) -> usize {
         let exact_entry = std::mem::size_of::<FiveTuple>() + std::mem::size_of::<RuleId>() + 48;
         let rule_entry = std::mem::size_of::<FilterRule>() + std::mem::size_of::<RuleCounters>();
-        self.coarse.memory_bytes() + self.exact.len() * exact_entry + self.rules.len() * rule_entry
+        self.coarse.memory_bytes()
+            + self.compiled.memory_bytes()
+            + self.exact.len() * exact_entry
+            + self.rules.len() * rule_entry
     }
 
     /// Extracts the sub-ruleset with the given ids (rule redistribution:

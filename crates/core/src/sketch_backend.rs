@@ -24,8 +24,8 @@
 //! invariant; see [`crate::backend`]).
 
 use crate::backend::FilterBackend;
+use crate::fasthash::FxHashMap;
 use crate::filter::{DecisionPath, StatelessFilter, Verdict};
-use std::collections::HashMap;
 use vif_dataplane::FiveTuple;
 use vif_sketch::{CountMinSketch, SketchConfig};
 
@@ -47,8 +47,9 @@ pub struct SketchAcceleratedFilter {
     inner: StatelessFilter,
     /// Per-flow packet counts (approximate, never undercounting).
     counts: CountMinSketch,
-    /// Exact-match verdicts for flows that crossed the hot threshold.
-    hot: HashMap<FiveTuple, Verdict>,
+    /// Exact-match verdicts for flows that crossed the hot threshold
+    /// (fast-hash keyed — the hot hit is the path that must stay cheap).
+    hot: FxHashMap<FiveTuple, Verdict>,
     /// Promotion threshold: a flow becomes hot at this estimated count.
     hot_threshold: u64,
     /// Cap on hot-cache entries (EPC-bounded, like the hybrid's cap).
@@ -84,7 +85,7 @@ impl SketchAcceleratedFilter {
         SketchAcceleratedFilter {
             inner,
             counts: CountMinSketch::new(config),
-            hot: HashMap::new(),
+            hot: FxHashMap::default(),
             hot_threshold: hot_threshold.max(1),
             max_hot_flows,
             stats: SketchBackendStats::default(),

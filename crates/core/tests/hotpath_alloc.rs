@@ -1,0 +1,160 @@
+//! Zero-allocation guarantee of the steady-state decide path.
+//!
+//! The compiled classifier exists so that deciding a packet touches no
+//! allocator: the stride walk reads flat arrays, the hash decision pads a
+//! single SHA-256 block on the stack, and the caching backends probe
+//! fast-hash tables. This test pins the guarantee with a counting global
+//! allocator: after warmup (buffers at capacity, caches promoted), whole
+//! `decide_batch` bursts across every shipped backend must perform **zero**
+//! heap allocations.
+//!
+//! Kept to a single `#[test]` on purpose: the test harness runs multiple
+//! tests concurrently, and any other thread's allocations would pollute
+//! the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use vif_core::backend::FilterBackend;
+use vif_core::prelude::*;
+use vif_core::sketch_backend::SketchAcceleratedFilter;
+
+/// Passes every call through to [`System`], counting allocation events.
+struct CountingAllocator;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+/// A rule set exercising every decide flavor: overlapping coarse drops,
+/// a protocol-constrained rule, a probabilistic (hash-path) rule, and an
+/// exact-match rule.
+fn workload() -> (RuleSet, Vec<FiveTuple>) {
+    let victim: Ipv4Prefix = "203.0.113.0/24".parse().unwrap();
+    let mut rules = vec![
+        FilterRule::drop(FlowPattern::prefixes("10.0.0.0/8".parse().unwrap(), victim)),
+        FilterRule::allow(
+            FlowPattern::prefixes("10.1.0.0/16".parse().unwrap(), victim)
+                .with_protocol(Protocol::Tcp),
+        ),
+        FilterRule::drop_fraction(
+            FlowPattern::prefixes("0.0.0.0/0".parse().unwrap(), victim),
+            0.5,
+        ),
+    ];
+    let dst = u32::from_be_bytes([203, 0, 113, 9]);
+    let exact = FiveTuple::new(
+        u32::from_be_bytes([10, 1, 2, 3]),
+        dst,
+        555,
+        80,
+        Protocol::Tcp,
+    );
+    rules.push(FilterRule::allow(FlowPattern::exact_tuple(exact)));
+    let mut tuples = Vec::new();
+    for i in 0..256u32 {
+        // Half the sources sit outside 10/8 so they fall through to the
+        // probabilistic rule: the stateless backend then pays the
+        // one-block SHA-256 on every burst, inside the measured window.
+        let src = if i % 2 == 0 { 0x0a000000 } else { 0xc0000200 } + i * 65_537;
+        tuples.push(FiveTuple::new(
+            src,
+            dst,
+            (1024 + i) as u16,
+            if i % 3 == 0 { 80 } else { 443 },
+            if i % 2 == 0 {
+                Protocol::Tcp
+            } else {
+                Protocol::Udp
+            },
+        ));
+    }
+    tuples.push(exact);
+    (RuleSet::from_rules(rules), tuples)
+}
+
+#[test]
+fn decide_batch_is_allocation_free_at_steady_state() {
+    let (ruleset, tuples) = workload();
+    let stateless = StatelessFilter::new(ruleset, [7u8; 32]);
+
+    let mut hybrid = HybridFilter::new(stateless.clone(), 100_000);
+    let mut sink = Vec::new();
+    hybrid.decide_batch(&tuples, &mut sink);
+    hybrid.apply_update_period();
+
+    let mut sketch = SketchAcceleratedFilter::new(stateless.clone(), 100_000);
+    for _ in 0..=SketchAcceleratedFilter::DEFAULT_HOT_THRESHOLD {
+        sink.clear();
+        sketch.decide_batch(&tuples, &mut sink);
+    }
+
+    let mut backends: Vec<(&str, Box<dyn FilterBackend>)> = vec![
+        ("stateless", Box::new(stateless)),
+        ("hybrid", Box::new(hybrid)),
+        ("sketch-accelerated", Box::new(sketch)),
+    ];
+
+    let mut out = Vec::with_capacity(tuples.len());
+    for (name, backend) in &mut backends {
+        // Warm this backend's output path once so every buffer is at
+        // capacity (the verdict vec, the hybrid promotion queue, …).
+        out.clear();
+        backend.decide_batch(&tuples, &mut out);
+        assert_eq!(out.len(), tuples.len());
+
+        let before = allocations();
+        for _ in 0..10 {
+            out.clear();
+            backend.decide_batch(&tuples, &mut out);
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "backend `{name}`: {} allocation(s) across 10 steady-state bursts",
+            after - before
+        );
+        assert_eq!(out.len(), tuples.len());
+    }
+
+    // The per-packet path is equally clean (a burst of one).
+    for (name, backend) in &mut backends {
+        let warm = backend.decide(&tuples[0]);
+        let before = allocations();
+        for t in tuples.iter().take(64) {
+            let _ = backend.decide(t);
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "backend `{name}`: decide() allocated (warm verdict was {warm:?})"
+        );
+    }
+}

@@ -55,6 +55,76 @@ fn arb_rule() -> impl Strategy<Value = FilterRule> {
     })
 }
 
+fn rule_of_kind(pat: FlowPattern, kind: u8, frac: f64) -> FilterRule {
+    match kind {
+        0 => FilterRule::drop(pat),
+        1 => FilterRule::allow(pat),
+        _ => FilterRule::drop_fraction(pat, frac),
+    }
+}
+
+/// A rule set stressing the compiled classifier: arbitrary coarse rules,
+/// exact five-tuple rules, and a chain of overlapping prefixes sharing one
+/// base address (every length nests) — plus probes biased to actually hit
+/// the overlap chain and the exact rules.
+fn arb_mixed_workload() -> impl Strategy<Value = (Vec<FilterRule>, Vec<FiveTuple>)> {
+    (
+        vec(arb_rule(), 0..15),
+        vec(arb_tuple(), 0..6),
+        any::<u32>(),
+        vec((0u8..=32, 0u8..=2, 0.0f64..=1.0, any::<u8>()), 0..12),
+        vec(arb_tuple(), 1..40),
+        vec(any::<u32>(), 0..20),
+    )
+        .prop_map(|(mut rules, exacts, base, chain, mut probes, near)| {
+            for t in &exacts {
+                rules.push(rule_of_kind(
+                    FlowPattern::exact_tuple(*t),
+                    t.src_port as u8 % 3,
+                    0.5,
+                ));
+                // Probe the exact rules, and a near miss one port off.
+                probes.push(*t);
+                let mut miss = *t;
+                miss.dst_port = miss.dst_port.wrapping_add(1);
+                probes.push(miss);
+            }
+            for (len, kind, frac, proto) in chain {
+                let mut pat =
+                    FlowPattern::prefixes(Ipv4Prefix::new(base, len), Ipv4Prefix::default_route());
+                if proto < 192 {
+                    // Include denormalized `Other(n)` protocols (n may be
+                    // 1/6/17): the reference matches by enum variant, and
+                    // the compiled path must reproduce that exactly.
+                    pat = pat.with_protocol(if proto < 128 {
+                        Protocol::from(proto)
+                    } else {
+                        Protocol::Other(proto % 32)
+                    });
+                }
+                rules.push(rule_of_kind(pat, kind, frac));
+            }
+            // Probes landing inside the overlap chain: perturb low bits of
+            // the base so different prefix lengths of the chain match.
+            for (i, salt) in near.into_iter().enumerate() {
+                let src = base ^ (salt >> (i % 32));
+                let proto = if salt & 1 == 0 {
+                    Protocol::from(salt as u8)
+                } else {
+                    Protocol::Other((salt as u8) % 32)
+                };
+                probes.push(FiveTuple::new(
+                    src,
+                    !base,
+                    (salt >> 16) as u16,
+                    salt as u16,
+                    proto,
+                ));
+            }
+            (rules, probes)
+        })
+}
+
 proptest! {
     /// Rule wire encoding round-trips for arbitrary rules.
     #[test]
@@ -167,6 +237,47 @@ proptest! {
                     batcher.name()
                 );
             }
+        }
+    }
+
+    /// The compiled classifier is bit-identical to the `lookup_path`
+    /// reference: same rule id from `classify`, and the same full verdict
+    /// (action, rule id, decision path) from `decide`, over rule sets
+    /// mixing exact, probabilistic, and overlapping-prefix rules. This is
+    /// the contract that lets the hot path replace the reference at all —
+    /// audit equivalence and the batch invariant both build on it.
+    #[test]
+    fn compiled_classifier_matches_reference(
+        (rules, probes) in arb_mixed_workload(),
+    ) {
+        let filter = StatelessFilter::new(RuleSet::from_rules(rules), [7u8; 32]);
+        for t in &probes {
+            prop_assert_eq!(
+                filter.ruleset().classify(t),
+                filter.ruleset().classify_reference(t),
+                "classify diverged for {}", t
+            );
+            prop_assert_eq!(
+                filter.decide(t),
+                filter.decide_reference(t),
+                "decide diverged for {}", t
+            );
+        }
+    }
+
+    /// Incremental insertion compiles to the same classifier as one batch
+    /// build (the two mutation paths share the compiled-swap contract).
+    #[test]
+    fn compiled_classifier_incremental_equals_batch(
+        (rules, probes) in arb_mixed_workload(),
+    ) {
+        let batch = RuleSet::from_rules(rules.clone());
+        let mut inc = RuleSet::new();
+        for r in &rules {
+            inc.insert(*r);
+        }
+        for t in &probes {
+            prop_assert_eq!(batch.classify(t), inc.classify(t), "probe {}", t);
         }
     }
 

@@ -1,9 +1,12 @@
 //! FIPS 180-4 SHA-256.
 //!
-//! Streaming implementation with the usual `update`/`finalize` interface and
-//! a one-shot [`Sha256::digest`] helper. Used by the enclave measurement
-//! (`MRENCLAVE`), HMAC, HKDF, the hash-based connection-preserving filter
-//! (paper Appendix A) and the count-min sketch's keyed hash seeding.
+//! Streaming implementation with the usual `update`/`finalize` interface,
+//! a one-shot [`Sha256::digest`] helper, and a single-block fast path
+//! ([`Sha256::digest_one_block`]) for fixed-size short messages. Used by
+//! the enclave measurement (`MRENCLAVE`), HMAC, HKDF, the hash-based
+//! connection-preserving filter (paper Appendix A — its 45-byte
+//! `5-tuple ‖ secret` message takes the one-block path) and the count-min
+//! sketch's keyed hash seeding.
 
 /// Number of bytes in a SHA-256 digest.
 pub const DIGEST_LEN: usize = 32;
@@ -69,6 +72,43 @@ impl Sha256 {
         h.finalize()
     }
 
+    /// Largest message that pads into a single SHA-256 block (55 bytes of
+    /// data + `0x80` + 8-byte length = 64).
+    pub const ONE_BLOCK_MAX: usize = BLOCK_LEN - 9;
+
+    /// One-shot digest of a message that fits one padded block
+    /// (`data.len() <= ONE_BLOCK_MAX`).
+    ///
+    /// Identical output to [`digest`](Sha256::digest), but skips the
+    /// streaming machinery entirely: the padded block is assembled on the
+    /// stack and compressed once — no hasher state, no buffered copies,
+    /// no length bookkeeping. This is the per-packet fast path for the
+    /// hash-based filter decision (Appendix A), whose
+    /// `5-tuple ‖ secret` message is 45 bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds [`ONE_BLOCK_MAX`](Sha256::ONE_BLOCK_MAX)
+    /// bytes.
+    #[inline]
+    pub fn digest_one_block(data: &[u8]) -> [u8; DIGEST_LEN] {
+        assert!(
+            data.len() <= Self::ONE_BLOCK_MAX,
+            "digest_one_block: message exceeds one padded block"
+        );
+        let mut block = [0u8; BLOCK_LEN];
+        block[..data.len()].copy_from_slice(data);
+        block[data.len()] = 0x80;
+        block[BLOCK_LEN - 8..].copy_from_slice(&((data.len() as u64) * 8).to_be_bytes());
+        let mut state = H0;
+        compress(&mut state, &block);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
     /// Absorbs `data` into the hash state.
     pub fn update(&mut self, mut data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
@@ -127,50 +167,56 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        compress(&mut self.state, block);
     }
+}
+
+/// The FIPS 180-4 compression function, shared by the streaming hasher and
+/// the one-shot single-block path.
+fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
 }
 
 /// Returns the first 8 bytes of `SHA-256(data)` as a little-endian `u64`.
@@ -246,6 +292,36 @@ mod tests {
             h.update(&data[split..]);
             assert_eq!(h.finalize(), reference, "split at {split}");
         }
+    }
+
+    #[test]
+    fn one_block_matches_streaming_for_every_length() {
+        let data: Vec<u8> = (0..Sha256::ONE_BLOCK_MAX as u8).map(|i| i ^ 0xA5).collect();
+        for n in 0..=Sha256::ONE_BLOCK_MAX {
+            assert_eq!(
+                Sha256::digest_one_block(&data[..n]),
+                Sha256::digest(&data[..n]),
+                "length {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_block_nist_vectors() {
+        assert_eq!(
+            hex::encode(&Sha256::digest_one_block(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex::encode(&Sha256::digest_one_block(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one padded block")]
+    fn one_block_rejects_long_messages() {
+        let _ = Sha256::digest_one_block(&[0u8; 56]);
     }
 
     #[test]

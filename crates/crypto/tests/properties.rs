@@ -19,6 +19,13 @@ proptest! {
         prop_assert_eq!(h.finalize(), Sha256::digest(&data));
     }
 
+    /// The single-block fast path is bit-identical to the streaming hasher
+    /// for every message that fits one padded block.
+    #[test]
+    fn sha256_one_block_equivalence(data in vec(any::<u8>(), 0..=55)) {
+        prop_assert_eq!(Sha256::digest_one_block(&data), Sha256::digest(&data));
+    }
+
     /// HMAC verifies its own tags and rejects any single-bit flip.
     #[test]
     fn hmac_detects_bit_flips(

@@ -17,6 +17,12 @@
 //! promoted to exact-match rules in batches at every rule-update period
 //! (Appendix F, Table II).
 //!
+//! For the per-packet path, [`MultiBitTrie::compile`] produces a
+//! [`CompiledTrie`]: a flat, read-only stride-walk structure whose
+//! covering-prefix queries ([`CompiledTrie::path`]) run with no hashing,
+//! no ordered-map probes, and no heap allocation — the lookup engine of
+//! `vif-core`'s compiled classifier.
+//!
 //! # Example
 //!
 //! ```
@@ -31,8 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod prefix;
 pub mod trie;
 
+pub use compiled::{CompiledPath, CompiledTrie};
 pub use prefix::{Ipv4Prefix, PrefixParseError};
 pub use trie::{MultiBitTrie, RuleMatch};

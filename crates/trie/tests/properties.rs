@@ -120,6 +120,39 @@ proptest! {
         );
     }
 
+    /// The compiled walk is the exact reverse of `lookup_path` (same
+    /// prefixes, same values, longest-first) and its first element is the
+    /// LPM answer — for arbitrary rule sets, probes, and strides.
+    #[test]
+    fn compiled_path_reverses_lookup_path(
+        rules in vec((arb_prefix(), any::<u32>()), 0..120),
+        probes in vec(any::<u32>(), 1..60),
+        stride in prop::sample::select(vec![1u8, 2, 4, 8]),
+    ) {
+        let mut trie = MultiBitTrie::new(stride);
+        for (p, v) in &rules {
+            trie.insert(*p, *v);
+        }
+        let compiled = trie.compile();
+        prop_assert_eq!(compiled.len(), trie.len());
+        for ip in probes {
+            let mut want: Vec<(Ipv4Prefix, u32)> = trie
+                .lookup_path(ip)
+                .into_iter()
+                .map(|m| (m.prefix, *m.value))
+                .collect();
+            want.reverse();
+            let got: Vec<(Ipv4Prefix, u32)> =
+                compiled.path(ip).map(|m| (m.prefix, *m.value)).collect();
+            prop_assert_eq!(&got, &want, "ip {:#x} stride {}", ip, stride);
+            prop_assert_eq!(
+                compiled.lookup(ip).map(|m| *m.value),
+                trie.lookup(ip).map(|m| *m.value),
+                "lpm ip {:#x}", ip
+            );
+        }
+    }
+
     /// Prefix parsing round-trips through Display.
     #[test]
     fn prefix_display_parse_roundtrip(p in arb_prefix()) {

@@ -8,10 +8,85 @@
 //! throughput when one was declared).
 //!
 //! Environment knobs: `VIF_BENCH_MS` sets the measurement window per
-//! benchmark in milliseconds (default 100).
+//! benchmark in milliseconds (default 100); `VIF_BENCH_JSON` names a file
+//! to which the run's results are written as a JSON array (one object per
+//! benchmark), letting CI and the repro harness record machine-readable
+//! baselines (e.g. `BENCH_hotpath.json`).
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One measured benchmark, queued for the JSON report.
+struct JsonRecord {
+    group: String,
+    bench: String,
+    ns_per_iter: f64,
+    elements_per_iter: Option<u64>,
+    bytes_per_iter: Option<u64>,
+}
+
+/// Results accumulated across every group of the current bench binary.
+static JSON_RECORDS: Mutex<Vec<JsonRecord>> = Mutex::new(Vec::new());
+
+fn record_json(record: JsonRecord) {
+    JSON_RECORDS.lock().expect("bench registry").push(record);
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the accumulated results to `$VIF_BENCH_JSON` (no-op when the
+/// variable is unset). Called by the [`criterion_main!`] expansion after
+/// every group has run; public so custom `main`s can flush too.
+pub fn flush_json_report() {
+    let Ok(path) = std::env::var("VIF_BENCH_JSON") else {
+        return;
+    };
+    let records = JSON_RECORDS.lock().expect("bench registry");
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"bench\": \"{}\", \"ns_per_iter\": {:.1}",
+            json_escape(&r.group),
+            json_escape(&r.bench),
+            r.ns_per_iter
+        ));
+        if let Some(n) = r.elements_per_iter {
+            let meps = if r.ns_per_iter > 0.0 {
+                n as f64 / r.ns_per_iter * 1e3
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                ", \"elements_per_iter\": {n}, \"melem_per_s\": {meps:.2}"
+            ));
+        }
+        if let Some(b) = r.bytes_per_iter {
+            out.push_str(&format!(", \"bytes_per_iter\": {b}"));
+        }
+        out.push('}');
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("VIF_BENCH_JSON: failed to write {path}: {e}");
+    }
+}
 
 /// Declared per-iteration work, used to derive throughput lines.
 #[derive(Debug, Clone, Copy)]
@@ -213,6 +288,19 @@ impl BenchmarkGroup<'_> {
             _ => {}
         }
         println!("{line}");
+        record_json(JsonRecord {
+            group: self.name.clone(),
+            bench: label.to_string(),
+            ns_per_iter: ns,
+            elements_per_iter: match self.throughput {
+                Some(Throughput::Elements(n)) => Some(n),
+                _ => None,
+            },
+            bytes_per_iter: match self.throughput {
+                Some(Throughput::Bytes(n)) => Some(n),
+                _ => None,
+            },
+        });
     }
 }
 
@@ -265,12 +353,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the listed groups.
+/// Declares `main` running the listed groups, then flushing the optional
+/// JSON report (`VIF_BENCH_JSON`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_json_report();
         }
     };
 }
