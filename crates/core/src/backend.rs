@@ -33,6 +33,7 @@
 //! (action, rule).
 
 use crate::filter::Verdict;
+use crate::logs::PacketFingerprints;
 use vif_dataplane::FiveTuple;
 
 /// A verdict engine over five tuples.
@@ -61,6 +62,34 @@ pub trait FilterBackend {
         }
     }
 
+    /// [`decide_batch`](FilterBackend::decide_batch) with the caller's
+    /// pre-computed per-packet fingerprints (`fps[i]` for `tuples[i]`) —
+    /// the fingerprint-once hot path: the enclave app derives each
+    /// packet's key fingerprints exactly once and threads them through
+    /// steering, filtering, and the audited logs.
+    ///
+    /// Fingerprints are a pure re-derivation of the tuple
+    /// ([`PacketFingerprints::of`]), so they can carry no extra
+    /// information: verdicts must be identical to
+    /// [`decide_batch`](FilterBackend::decide_batch), whether a backend
+    /// consumes them (the sketch-accelerated backend feeds its counting
+    /// sketch from `fps[i].tuple`) or ignores them (the default, and any
+    /// backend whose probes hash the tuple words directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the slices' lengths differ.
+    fn decide_batch_fingerprints(
+        &mut self,
+        tuples: &[FiveTuple],
+        fps: &[PacketFingerprints],
+        out: &mut Vec<Verdict>,
+    ) {
+        debug_assert_eq!(tuples.len(), fps.len(), "one fingerprint per tuple");
+        let _ = fps;
+        self.decide_batch(tuples, out)
+    }
+
     /// Human-readable backend name for reports and benches.
     fn name(&self) -> &'static str {
         "filter-backend"
@@ -76,6 +105,15 @@ impl<B: FilterBackend + ?Sized> FilterBackend for &mut B {
         (**self).decide_batch(tuples, out)
     }
 
+    fn decide_batch_fingerprints(
+        &mut self,
+        tuples: &[FiveTuple],
+        fps: &[PacketFingerprints],
+        out: &mut Vec<Verdict>,
+    ) {
+        (**self).decide_batch_fingerprints(tuples, fps, out)
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -88,6 +126,15 @@ impl<B: FilterBackend + ?Sized> FilterBackend for Box<B> {
 
     fn decide_batch(&mut self, tuples: &[FiveTuple], out: &mut Vec<Verdict>) {
         (**self).decide_batch(tuples, out)
+    }
+
+    fn decide_batch_fingerprints(
+        &mut self,
+        tuples: &[FiveTuple],
+        fps: &[PacketFingerprints],
+        out: &mut Vec<Verdict>,
+    ) {
+        (**self).decide_batch_fingerprints(tuples, fps, out)
     }
 
     fn name(&self) -> &'static str {

@@ -26,7 +26,8 @@
 //! the property test `compiled_classifier_matches_reference` pins
 //! bit-identical verdicts against the `lookup_path` reference.
 
-use crate::rules::FilterRule;
+use crate::filter::allow_threshold;
+use crate::rules::{FilterRule, RuleDecision};
 use crate::ruleset::RuleId;
 use vif_dataplane::{FiveTuple, Protocol};
 use vif_trie::{CompiledTrie, Ipv4Prefix, MultiBitTrie};
@@ -110,6 +111,12 @@ type CandSpan = (u32, u32);
 pub struct CompiledClassifier {
     trie: CompiledTrie<CandSpan>,
     candidates: Vec<CompiledCandidate>,
+    /// Per-rule (by [`RuleId`], **all** rules — exact ones included) allow
+    /// threshold `p_allow · 2⁶⁴` of the Appendix A hash decision, computed
+    /// once at compile (= rule-install) time so no hash-decided packet
+    /// re-derives it from the float. Zero for deterministic rules (never
+    /// consulted: the decision kind is checked first).
+    thresholds: Vec<u128>,
 }
 
 impl CompiledClassifier {
@@ -132,7 +139,28 @@ impl CompiledClassifier {
                 (*prefix, (start, bucket.len() as u32))
             }),
         );
-        CompiledClassifier { trie, candidates }
+        let thresholds = rules
+            .iter()
+            .map(|r| match r.decision() {
+                RuleDecision::Probabilistic { p_allow } => allow_threshold(p_allow),
+                RuleDecision::Deterministic(_) => 0,
+            })
+            .collect();
+        CompiledClassifier {
+            trie,
+            candidates,
+            thresholds,
+        }
+    }
+
+    /// The install-time allow threshold of rule `id` (see the field docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not part of the compiled rule array.
+    #[inline]
+    pub fn allow_threshold(&self, id: RuleId) -> u128 {
+        self.thresholds[id as usize]
     }
 
     /// Finds the deciding coarse rule for `t`: the first candidate, in
@@ -153,7 +181,9 @@ impl CompiledClassifier {
 
     /// Estimated memory footprint of the compiled structures, in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.trie.memory_bytes() + self.candidates.len() * std::mem::size_of::<CompiledCandidate>()
+        self.trie.memory_bytes()
+            + self.candidates.len() * std::mem::size_of::<CompiledCandidate>()
+            + self.thresholds.len() * std::mem::size_of::<u128>()
     }
 }
 

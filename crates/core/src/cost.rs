@@ -65,7 +65,14 @@ pub struct CostModel {
     /// the exact-match table probe (a multiply-xor fast-hash lookup —
     /// [`crate::fasthash`] — not std's per-byte SipHash).
     pub base_ns: f64,
-    /// Two count-min-sketch updates (4 linear hashes, §V-A).
+    /// Two count-min-sketch log updates (4 linear hashes, §V-A). The
+    /// implementation's analogue is the fingerprint-once burst path: one
+    /// tuple + one source-IP fingerprint per packet, masked (not divided)
+    /// bin reduction on the paper's power-of-two width, and counter lines
+    /// software-prefetched across the burst
+    /// (`vif_sketch::CountMinSketch::add_batch_fingerprints`; the
+    /// `logging_throughput` bench tracks the real-machine trajectory —
+    /// batch-prefetch ≈ 5× the per-packet keyed `add` at burst 32).
     pub sketch_ns: f64,
     /// Copying ⟨5T, size, ref⟩ (52 bytes) into the enclave.
     pub nzc_copy_ns: f64,
@@ -87,7 +94,10 @@ pub struct CostModel {
     /// filtering (Appendix A): one compression of a single stack-padded
     /// block (`Sha256::digest_one_block` — the 45-byte `5T ‖ secret`
     /// message fits one block), so the cost is a constant, not a
-    /// streaming function of message length.
+    /// streaming function of message length. The threshold compare the
+    /// digest feeds is an install-time `u128` constant
+    /// (`RuleSet::allow_threshold`) — no per-packet float math rides on
+    /// top of the hash.
     pub sha256_ns: f64,
 }
 

@@ -10,7 +10,7 @@ use crate::backend::FilterBackend;
 use crate::cost::{CostModel, FilterMode};
 use crate::filter::{DecisionPath, StatelessFilter, Verdict};
 use crate::hybrid::HybridFilter;
-use crate::logs::{AuthenticatedSketch, LogDirection, PacketLogs};
+use crate::logs::{AuthenticatedSketch, LogDirection, PacketFingerprints, PacketLogs};
 use crate::rpki::{OwnerId, RpkiRegistry};
 use crate::rules::{FilterRule, RuleAction};
 use crate::ruleset::RuleSet;
@@ -56,6 +56,10 @@ pub struct FilterEnclaveApp {
     channel: Option<SecureChannel>,
     /// Reused tuple buffer for the burst path (no per-burst allocation).
     scratch: Vec<FiveTuple>,
+    /// Reused per-burst fingerprint buffer: the fingerprint-once pass
+    /// derives each packet's log/steering fingerprints exactly once here
+    /// and threads them through filtering and the audited logs.
+    fp_scratch: Vec<PacketFingerprints>,
 }
 
 impl FilterEnclaveApp {
@@ -73,6 +77,7 @@ impl FilterEnclaveApp {
             dh: None,
             channel: None,
             scratch: Vec::new(),
+            fp_scratch: Vec::new(),
         }
     }
 
@@ -162,7 +167,10 @@ impl FilterEnclaveApp {
     pub fn process(&mut self, t: &FiveTuple, wire_bytes: u64) -> Verdict {
         self.logs.log_incoming(t);
         let verdict = FilterBackend::decide(&mut self.filter, t);
-        self.absorb_verdict(t, wire_bytes, verdict);
+        if verdict.action == RuleAction::Allow {
+            self.logs.log_outgoing(t);
+        }
+        self.absorb_verdict(wire_bytes, verdict);
         verdict
     }
 
@@ -175,26 +183,40 @@ impl FilterEnclaveApp {
     /// Equivalent to calling [`process`](FilterEnclaveApp::process) per
     /// packet: verdicts are order-independent (§III-A) and the sketch/
     /// telemetry updates commute, so regrouping them around one
-    /// [`FilterBackend::decide_batch`] call changes cost, never state.
+    /// [`FilterBackend::decide_batch_fingerprints`] call and one
+    /// [`PacketLogs::log_batch_fingerprints`] call changes cost, never
+    /// state — exports after a burst are byte-identical to per-packet
+    /// processing (the `burst_logging_audit_equivalence` property test).
     /// This is the in-enclave half of the pipeline's burst path — one
-    /// enclave-thread entry covers the whole RX burst.
+    /// enclave-thread entry covers the whole RX burst, and it is a
+    /// **fingerprint-once** single pass: each 5-tuple is encoded once,
+    /// its tuple and source-IP fingerprints derived once, and the filter,
+    /// both sketch logs, and (upstream) RSS steering all consume those
+    /// same values.
     pub fn process_batch(&mut self, pkts: &[(FiveTuple, u64)], out: &mut Vec<Verdict>) {
         out.clear();
         self.scratch.clear();
         self.scratch.reserve(pkts.len());
+        self.fp_scratch.clear();
+        self.fp_scratch.reserve(pkts.len());
         for (t, _) in pkts {
-            self.logs.log_incoming(t);
             self.scratch.push(*t);
+            self.fp_scratch.push(PacketFingerprints::of(t));
         }
-        self.filter.decide_batch(&self.scratch, out);
-        for (i, (t, wire_bytes)) in pkts.iter().enumerate() {
-            self.absorb_verdict(t, *wire_bytes, out[i]);
+        self.filter
+            .decide_batch_fingerprints(&self.scratch, &self.fp_scratch, out);
+        self.logs.log_batch_fingerprints(&self.fp_scratch, out);
+        for (i, (_, wire_bytes)) in pkts.iter().enumerate() {
+            self.absorb_verdict(*wire_bytes, out[i]);
         }
     }
 
     /// Post-verdict bookkeeping shared by the single and batch paths:
-    /// rule telemetry, strict-scope accounting, and outgoing logs.
-    fn absorb_verdict(&mut self, t: &FiveTuple, wire_bytes: u64, verdict: Verdict) {
+    /// rule telemetry, strict-scope accounting, and stats counters (the
+    /// outgoing log is written by the caller — per packet in
+    /// [`process`](FilterEnclaveApp::process), batched in
+    /// [`process_batch`](FilterEnclaveApp::process_batch)).
+    fn absorb_verdict(&mut self, wire_bytes: u64, verdict: Verdict) {
         if let Some(rule) = verdict.rule {
             self.filter_ruleset_mut().record_hit(rule, wire_bytes);
         } else if self.strict_scope {
@@ -202,10 +224,7 @@ impl FilterEnclaveApp {
         }
         self.stats.processed += 1;
         match verdict.action {
-            RuleAction::Allow => {
-                self.logs.log_outgoing(t);
-                self.stats.forwarded += 1;
-            }
+            RuleAction::Allow => self.stats.forwarded += 1,
             RuleAction::Drop => self.stats.dropped += 1,
         }
     }

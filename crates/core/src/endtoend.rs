@@ -302,11 +302,13 @@ impl ShardedRun {
         );
 
         // Neighbor ASes observe what they hand over, attributed to the
-        // slice the public steering *should* deliver it to.
+        // slice the public steering *should* deliver it to — fingerprint
+        // once per packet, shared between attribution and the local sketch.
         for pkt in &traffic {
+            let fp = crate::logs::PacketFingerprints::of(&pkt.tuple);
             driver
-                .neighbor_verifier_mut(shard_of(&pkt.tuple, n))
-                .observe(&pkt.tuple);
+                .neighbor_verifier_mut(vif_dataplane::shard_of_fingerprint(fp.tuple, n))
+                .observe_fingerprint(fp.src_ip);
         }
 
         let stages: Vec<EnclaveFilterStage> = self
@@ -353,9 +355,14 @@ impl ShardedRun {
             steer,
         );
 
-        // The victim attributes received packets by the same public hash.
+        // The victim attributes received packets by the same public hash —
+        // one tuple fingerprint per packet feeds both the slice attribution
+        // and the local per-5-tuple sketch.
         for t in forwarded.into_inner().unwrap() {
-            driver.victim_verifier_mut(shard_of(&t, n)).observe(&t);
+            let fp = t.tuple_fingerprint();
+            driver
+                .victim_verifier_mut(vif_dataplane::shard_of_fingerprint(fp, n))
+                .observe_fingerprint(fp);
         }
 
         let audit = driver.close_round();

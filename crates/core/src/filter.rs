@@ -60,6 +60,17 @@ pub struct Verdict {
     pub path: DecisionPath,
 }
 
+/// `p_allow · 2⁶⁴` as the `u128` compare constant of the Appendix A
+/// decision: allow iff `H(5T ‖ secret) < threshold`.
+///
+/// Evaluated **once at rule-install time** (stored in the compiled
+/// classifier's rule metadata) for the hot path; the reference path
+/// recomputes it per packet, and both must produce the same constant —
+/// the expression is deterministic in `p_allow`, so they do.
+pub(crate) fn allow_threshold(p_allow: f64) -> u128 {
+    (p_allow.clamp(0.0, 1.0) * (u64::MAX as f64 + 1.0)) as u128
+}
+
 /// The stateless per-packet filter.
 ///
 /// # Example
@@ -112,15 +123,24 @@ impl StatelessFilter {
 
     /// Decides a packet. Pure: `decide(t)` never depends on prior calls.
     ///
-    /// Runs entirely on the compiled hot path — the compiled classifier
-    /// plus the one-block SHA-256 — and performs no heap allocation.
+    /// Runs entirely on the compiled hot path — the compiled classifier,
+    /// the one-block SHA-256, and the rule's **pre-computed** allow
+    /// threshold ([`RuleSet::allow_threshold`], compiled at install time
+    /// instead of re-deriving `p_allow · 2⁶⁴` per hash-decided packet) —
+    /// and performs no heap allocation.
     pub fn decide(&self, t: &FiveTuple) -> Verdict {
-        self.verdict_for(t, self.ruleset.classify(t), Self::hash_threshold)
+        self.verdict_for(
+            t,
+            self.ruleset.classify(t),
+            Self::hash_threshold,
+            |s, id, _| s.ruleset.allow_threshold(id),
+        )
     }
 
     /// The reference decide path: [`RuleSet::classify_reference`] plus the
-    /// streaming SHA-256 hasher — the pre-compilation implementation,
-    /// preserved end to end with no shared hot-path code.
+    /// streaming SHA-256 hasher and a per-packet threshold recomputation —
+    /// the pre-compilation implementation, preserved end to end with no
+    /// shared hot-path code.
     ///
     /// Bit-identical verdicts to [`decide`](StatelessFilter::decide) are a
     /// hard requirement (audit equivalence and the batch invariant depend
@@ -132,17 +152,21 @@ impl StatelessFilter {
             t,
             self.ruleset.classify_reference(t),
             Self::hash_threshold_streaming,
+            |_, _, p_allow| allow_threshold(p_allow),
         )
     }
 
     /// Maps a classification outcome to the full verdict, deciding
-    /// probabilistic rules with the supplied Appendix A hash evaluator.
+    /// probabilistic rules with the supplied Appendix A hash evaluator and
+    /// allow-threshold source (pre-compiled lookup on the hot path,
+    /// per-packet recomputation on the reference path).
     #[inline]
     fn verdict_for(
         &self,
         t: &FiveTuple,
         classified: Option<RuleId>,
         hash: impl Fn(&Self, &FiveTuple) -> u64,
+        threshold: impl Fn(&Self, RuleId, f64) -> u128,
     ) -> Verdict {
         match classified {
             None => Verdict {
@@ -157,7 +181,11 @@ impl StatelessFilter {
                     path: DecisionPath::Deterministic,
                 },
                 RuleDecision::Probabilistic { p_allow } => Verdict {
-                    action: Self::threshold_action(hash(self, t), p_allow),
+                    action: if (hash(self, t) as u128) < threshold(self, id, p_allow) {
+                        RuleAction::Allow
+                    } else {
+                        RuleAction::Drop
+                    },
                     rule: Some(id),
                     path: DecisionPath::HashBased,
                 },
@@ -210,11 +238,11 @@ impl StatelessFilter {
         u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"))
     }
 
-    /// Compares a 64-bit hash value against `p_allow · 2⁶⁴`.
+    /// Compares a 64-bit hash value against `p_allow · 2⁶⁴` (recomputed
+    /// here; the data path compares against the install-time constant).
     #[inline]
     fn threshold_action(x: u64, p_allow: f64) -> RuleAction {
-        let threshold = (p_allow.clamp(0.0, 1.0) * (u64::MAX as f64 + 1.0)) as u128;
-        if (x as u128) < threshold {
+        if (x as u128) < allow_threshold(p_allow) {
             RuleAction::Allow
         } else {
             RuleAction::Drop

@@ -215,6 +215,22 @@ impl FilterBackend for HybridFilter {
         HybridFilter::decide_batch(self, tuples, out)
     }
 
+    fn decide_batch_fingerprints(
+        &mut self,
+        tuples: &[FiveTuple],
+        fps: &[crate::logs::PacketFingerprints],
+        out: &mut Vec<Verdict>,
+    ) {
+        // Deliberately the plain batch loop: the hybrid's only per-packet
+        // probe is the exact-match cache, whose fast hasher mixes the
+        // tuple words directly — already cheaper than routing through the
+        // 13-byte-key fingerprint — so the caller's fingerprints carry no
+        // re-derivation to skip here (contrast the sketch-accelerated
+        // backend, whose counting sketch is keyed on `fps[i].tuple`).
+        debug_assert_eq!(tuples.len(), fps.len(), "one fingerprint per tuple");
+        HybridFilter::decide_batch(self, tuples, out)
+    }
+
     fn name(&self) -> &'static str {
         "hybrid"
     }

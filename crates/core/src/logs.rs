@@ -12,10 +12,59 @@
 //! the verifier (established after remote attestation), so the untrusted
 //! filtering network that relays them cannot tamper with or replay them
 //! across rounds.
+//!
+//! # The batch/sequential equivalence contract
+//!
+//! [`PacketLogs::log_batch`] (and its fingerprint-taking form,
+//! [`PacketLogs::log_batch_fingerprints`]) regroups a burst's log updates
+//! around the prefetch-pipelined sketch path
+//! ([`CountMinSketch::add_batch_fingerprints`]) — but the resulting
+//! sketches, and therefore every [`export`](PacketLogs::export) payload and
+//! tag, are **bit-identical** to logging the same packets one at a time
+//! with [`log_incoming`](PacketLogs::log_incoming) /
+//! [`log_outgoing`](PacketLogs::log_outgoing) in any order. Sketch counter
+//! updates are commuting saturating sums, so burst boundaries can never
+//! leak into what a verifier's comparison sees; the workspace property
+//! test `burst_logging_audit_equivalence` pins the contract end to end
+//! (byte-equal exports across the batch and sequential paths).
 
-use vif_crypto::hmac::HmacSha256;
+use crate::filter::Verdict;
+use crate::rules::RuleAction;
+use vif_crypto::hmac::{constant_time_eq, HmacSha256};
 use vif_dataplane::FiveTuple;
 use vif_sketch::{CountMinSketch, SketchConfig, SketchDecodeError};
+
+/// The two per-packet log keys, fingerprinted once.
+///
+/// The audited hot path derives both values in a single pass over the
+/// packet (one 13-byte encode, two fingerprints) and feeds every consumer
+/// from them: RSS steering and the outgoing per-5-tuple log share
+/// [`tuple`](PacketFingerprints::tuple)
+/// ([`FiveTuple::tuple_fingerprint`]), the incoming per-source-IP log
+/// takes [`src_ip`](PacketFingerprints::src_ip)
+/// ([`FiveTuple::src_ip_fingerprint`]), and the sketch-accelerated
+/// backend's counting sketch reuses [`tuple`](PacketFingerprints::tuple)
+/// as well — the paper's "4 linear hash operations" are then genuinely the
+/// only per-packet hash work left (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketFingerprints {
+    /// Fingerprint of the big-endian source address (incoming log key).
+    pub src_ip: u64,
+    /// Fingerprint of the canonical 13-byte tuple encoding (outgoing log,
+    /// steering, and heavy-hitter counting key).
+    pub tuple: u64,
+}
+
+impl PacketFingerprints {
+    /// Derives both fingerprints for a packet (the fingerprint-once pass).
+    #[inline]
+    pub fn of(t: &FiveTuple) -> Self {
+        PacketFingerprints {
+            src_ip: t.src_ip_fingerprint(),
+            tuple: t.tuple_fingerprint(),
+        }
+    }
+}
 
 /// Which log a sketch export covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,12 +118,16 @@ pub struct AuthenticatedSketch {
 }
 
 impl AuthenticatedSketch {
-    fn mac_input(direction: LogDirection, round: u64, payload: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(9 + payload.len());
-        out.push(direction.tag_byte());
-        out.extend_from_slice(&round.to_le_bytes());
-        out.extend_from_slice(payload);
-        out
+    /// HMAC over `direction ‖ round ‖ payload`, streamed: the header and
+    /// the ~1 MB sketch payload are absorbed directly by the hasher — no
+    /// concatenated copy of the payload is materialized on either the
+    /// export or the verify side.
+    fn mac_over(key: &[u8; 32], direction: LogDirection, round: u64, payload: &[u8]) -> [u8; 32] {
+        let mut h = HmacSha256::new(key);
+        h.update(&[direction.tag_byte()]);
+        h.update(&round.to_le_bytes());
+        h.update(payload);
+        h.finalize()
     }
 
     /// Verifies the export and decodes the sketch.
@@ -84,8 +137,8 @@ impl AuthenticatedSketch {
     /// [`LogError::BadTag`] on authentication failure;
     /// [`LogError::Malformed`] if the payload is not a valid sketch.
     pub fn verify(&self, key: &[u8; 32]) -> Result<CountMinSketch, LogError> {
-        let input = Self::mac_input(self.direction, self.round, &self.payload);
-        if !HmacSha256::verify(key, &input, &self.tag) {
+        let expected = Self::mac_over(key, self.direction, self.round, &self.payload);
+        if !constant_time_eq(&expected, &self.tag) {
             return Err(LogError::BadTag);
         }
         CountMinSketch::decode(&self.payload).map_err(LogError::Malformed)
@@ -93,11 +146,22 @@ impl AuthenticatedSketch {
 }
 
 /// The in-enclave packet logs.
+///
+/// Burst callers use [`log_batch`](PacketLogs::log_batch) /
+/// [`log_batch_fingerprints`](PacketLogs::log_batch_fingerprints); the
+/// per-packet [`log_incoming`](PacketLogs::log_incoming) /
+/// [`log_outgoing`](PacketLogs::log_outgoing) pair is the sequential
+/// oracle the batch path is property-tested bit-identical to (module
+/// docs: the batch/sequential equivalence contract).
 #[derive(Debug, Clone)]
 pub struct PacketLogs {
     incoming: CountMinSketch,
     outgoing: CountMinSketch,
     round: u64,
+    /// Reused per-burst fingerprint buffers (incoming keys / allowed
+    /// tuple keys) — at steady state the burst path allocates nothing.
+    in_scratch: Vec<u64>,
+    out_scratch: Vec<u64>,
 }
 
 impl PacketLogs {
@@ -109,6 +173,8 @@ impl PacketLogs {
             incoming: CountMinSketch::new(Self::incoming_config(seed)),
             outgoing: CountMinSketch::new(Self::outgoing_config(seed)),
             round: 0,
+            in_scratch: Vec::new(),
+            out_scratch: Vec::new(),
         }
     }
 
@@ -136,13 +202,63 @@ impl PacketLogs {
     /// Logs an incoming packet (before filtering) under its source IP.
     #[inline]
     pub fn log_incoming(&mut self, t: &FiveTuple) {
-        self.incoming.add(&t.src_ip.to_be_bytes(), 1);
+        self.incoming.add_fingerprint(t.src_ip_fingerprint(), 1);
     }
 
     /// Logs a forwarded packet (after an ALLOW verdict) under its 5-tuple.
     #[inline]
     pub fn log_outgoing(&mut self, t: &FiveTuple) {
-        self.outgoing.add(&t.encode(), 1);
+        self.outgoing.add_fingerprint(t.tuple_fingerprint(), 1);
+    }
+
+    /// Logs a whole burst: every packet into the incoming log, the
+    /// ALLOW-verdicted ones into the outgoing log — exactly what
+    /// per-packet [`log_incoming`](PacketLogs::log_incoming) +
+    /// [`log_outgoing`](PacketLogs::log_outgoing) over the same
+    /// `(tuple, verdict)` pairs produces, bit for bit (module docs), but
+    /// through the prefetch-pipelined sketch burst path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn log_batch(&mut self, tuples: &[FiveTuple], verdicts: &[Verdict]) {
+        assert_eq!(tuples.len(), verdicts.len(), "one verdict per tuple");
+        self.in_scratch.clear();
+        self.in_scratch
+            .extend(tuples.iter().map(FiveTuple::src_ip_fingerprint));
+        self.out_scratch.clear();
+        self.out_scratch.extend(
+            tuples
+                .iter()
+                .zip(verdicts)
+                .filter(|(_, v)| v.action == RuleAction::Allow)
+                .map(|(t, _)| t.tuple_fingerprint()),
+        );
+        self.incoming.add_batch_fingerprints(&self.in_scratch, 1);
+        self.outgoing.add_batch_fingerprints(&self.out_scratch, 1);
+    }
+
+    /// [`log_batch`](PacketLogs::log_batch) over pre-computed
+    /// [`PacketFingerprints`] — the fingerprint-once hot path, where the
+    /// caller already derived both keys for steering and filtering and the
+    /// logs re-hash nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn log_batch_fingerprints(&mut self, fps: &[PacketFingerprints], verdicts: &[Verdict]) {
+        assert_eq!(fps.len(), verdicts.len(), "one verdict per packet");
+        self.in_scratch.clear();
+        self.in_scratch.extend(fps.iter().map(|f| f.src_ip));
+        self.out_scratch.clear();
+        self.out_scratch.extend(
+            fps.iter()
+                .zip(verdicts)
+                .filter(|(_, v)| v.action == RuleAction::Allow)
+                .map(|(f, _)| f.tuple),
+        );
+        self.incoming.add_batch_fingerprints(&self.in_scratch, 1);
+        self.outgoing.add_batch_fingerprints(&self.out_scratch, 1);
     }
 
     /// Read access to the incoming sketch (tests/verification).
@@ -155,16 +271,15 @@ impl PacketLogs {
         &self.outgoing
     }
 
-    /// Exports one log with authentication.
+    /// Exports one log with authentication. The tag is streamed over the
+    /// header and payload (`AuthenticatedSketch::mac_over`) — the only
+    /// payload-sized buffer built here is the encoded sketch itself.
     pub fn export(&self, direction: LogDirection, key: &[u8; 32]) -> AuthenticatedSketch {
         let payload = match direction {
             LogDirection::Incoming => self.incoming.encode(),
             LogDirection::Outgoing => self.outgoing.encode(),
         };
-        let tag = HmacSha256::mac(
-            key,
-            &AuthenticatedSketch::mac_input(direction, self.round, &payload),
-        );
+        let tag = AuthenticatedSketch::mac_over(key, direction, self.round, &payload);
         AuthenticatedSketch {
             direction,
             round: self.round,
@@ -269,6 +384,70 @@ mod tests {
         logs.log_incoming(&a);
         logs.log_incoming(&b);
         assert_eq!(logs.incoming().estimate(&9u32.to_be_bytes()), 2);
+    }
+
+    #[test]
+    fn streamed_tag_matches_concatenated_reference() {
+        // Regression for the zero-copy export: the streaming HMAC must
+        // produce exactly the tag of the original implementation, which
+        // MACed one contiguous `direction ‖ round ‖ payload` buffer —
+        // existing verifiers would reject anything else.
+        let mut logs = PacketLogs::new(3);
+        for i in 0..50 {
+            logs.log_incoming(&tuple(i));
+            logs.log_outgoing(&tuple(i));
+        }
+        logs.new_round(); // non-zero round in the MAC input
+        logs.log_outgoing(&tuple(99));
+        for dir in [LogDirection::Incoming, LogDirection::Outgoing] {
+            let export = logs.export(dir, &key());
+            let mut concat = Vec::with_capacity(9 + export.payload.len());
+            concat.push(match dir {
+                LogDirection::Incoming => 0x01,
+                LogDirection::Outgoing => 0x02,
+            });
+            concat.extend_from_slice(&export.round.to_le_bytes());
+            concat.extend_from_slice(&export.payload);
+            assert_eq!(export.tag, HmacSha256::mac(&key(), &concat));
+            assert!(export.verify(&key()).is_ok());
+        }
+    }
+
+    #[test]
+    fn log_batch_equals_sequential_logging() {
+        use crate::filter::DecisionPath;
+        let verdict = |action| Verdict {
+            action,
+            rule: None,
+            path: DecisionPath::Default,
+        };
+        let tuples: Vec<FiveTuple> = (0..100).map(tuple).collect();
+        let verdicts: Vec<Verdict> = (0..100)
+            .map(|i| {
+                verdict(if i % 3 == 0 {
+                    RuleAction::Drop
+                } else {
+                    RuleAction::Allow
+                })
+            })
+            .collect();
+        let mut batched = PacketLogs::new(7);
+        batched.log_batch(&tuples, &verdicts);
+        let mut fp_batched = PacketLogs::new(7);
+        let fps: Vec<PacketFingerprints> = tuples.iter().map(PacketFingerprints::of).collect();
+        fp_batched.log_batch_fingerprints(&fps, &verdicts);
+        let mut sequential = PacketLogs::new(7);
+        for (t, v) in tuples.iter().zip(&verdicts) {
+            sequential.log_incoming(t);
+            if v.action == RuleAction::Allow {
+                sequential.log_outgoing(t);
+            }
+        }
+        for dir in [LogDirection::Incoming, LogDirection::Outgoing] {
+            let want = sequential.export(dir, &key());
+            assert_eq!(batched.export(dir, &key()), want);
+            assert_eq!(fp_batched.export(dir, &key()), want);
+        }
     }
 
     #[test]

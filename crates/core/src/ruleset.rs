@@ -179,6 +179,19 @@ impl RuleSet {
         self.compiled.classify_coarse(t)
     }
 
+    /// The install-time allow threshold (`p_allow · 2⁶⁴`) of rule `id` —
+    /// compiled rule metadata consulted by the hash-based decision instead
+    /// of re-deriving the constant from the float per packet. Zero (and
+    /// meaningless) for deterministic rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn allow_threshold(&self, id: RuleId) -> u128 {
+        self.compiled.allow_threshold(id)
+    }
+
     /// The reference classifier: the exact-match probe followed by a
     /// [`MultiBitTrie::lookup_path`] scan over the authoritative trie.
     ///

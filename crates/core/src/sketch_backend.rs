@@ -26,6 +26,7 @@
 use crate::backend::FilterBackend;
 use crate::fasthash::FxHashMap;
 use crate::filter::{DecisionPath, StatelessFilter, Verdict};
+use crate::logs::PacketFingerprints;
 use vif_dataplane::FiveTuple;
 use vif_sketch::{CountMinSketch, SketchConfig};
 
@@ -116,6 +117,22 @@ impl SketchAcceleratedFilter {
     /// report [`DecisionPath::Cached`] so the cost model knows no SHA-256
     /// was paid; action and matched rule are the cached originals.
     pub fn decide(&mut self, t: &FiveTuple) -> Verdict {
+        // The fingerprint is only needed on the hash-decided cold path, so
+        // derive it lazily there rather than up front.
+        self.decide_inner(t, None)
+    }
+
+    /// [`decide`](SketchAcceleratedFilter::decide) with the packet's
+    /// pre-computed tuple fingerprint ([`FiveTuple::tuple_fingerprint`]) —
+    /// the counting sketch is keyed on exactly that value, so the
+    /// fingerprint-once burst path re-hashes nothing here. Verdicts are
+    /// identical to [`decide`](SketchAcceleratedFilter::decide).
+    #[inline]
+    pub fn decide_with_fingerprint(&mut self, t: &FiveTuple, tuple_fp: u64) -> Verdict {
+        self.decide_inner(t, Some(tuple_fp))
+    }
+
+    fn decide_inner(&mut self, t: &FiveTuple, tuple_fp: Option<u64>) -> Verdict {
         if let Some(cached) = self.hot.get(t) {
             self.stats.hot_hits += 1;
             return Verdict {
@@ -129,10 +146,13 @@ impl SketchAcceleratedFilter {
         // verdicts are already a single trie lookup, and default-allow
         // tuples are the spoofed cloud we must not cache.
         if verdict.path == DecisionPath::HashBased {
-            let key = t.encode();
-            self.counts.add(&key, 1);
+            // One fingerprint feeds both the count update and the
+            // threshold probe (the old path fingerprinted the 13-byte
+            // key twice per packet — and a third time for steering).
+            let fp = tuple_fp.unwrap_or_else(|| t.tuple_fingerprint());
+            self.counts.add_fingerprint(fp, 1);
             if self.hot.len() < self.max_hot_flows
-                && self.counts.estimate(&key) >= self.hot_threshold
+                && self.counts.estimate_fingerprint(fp) >= self.hot_threshold
             {
                 self.hot.insert(*t, verdict);
                 self.stats.promotions += 1;
@@ -153,9 +173,27 @@ impl SketchAcceleratedFilter {
 // `decide_batch` is inherited from the trait default (the reference loop
 // over `decide`): the batch win here comes from the hot table and CMS rows
 // staying cache-resident across the burst, not from a different algorithm.
+// The fingerprint burst path additionally reuses the caller's per-packet
+// tuple fingerprint for the counting sketch. Promotion stays strictly
+// per-packet in burst order (a flow crossing the hot threshold mid-burst
+// serves its *next* packet from the cache) so batch verdicts — paths
+// included — equal the sequential loop's exactly.
 impl FilterBackend for SketchAcceleratedFilter {
     fn decide(&mut self, t: &FiveTuple) -> Verdict {
         SketchAcceleratedFilter::decide(self, t)
+    }
+
+    fn decide_batch_fingerprints(
+        &mut self,
+        tuples: &[FiveTuple],
+        fps: &[PacketFingerprints],
+        out: &mut Vec<Verdict>,
+    ) {
+        debug_assert_eq!(tuples.len(), fps.len(), "one fingerprint per tuple");
+        out.reserve(tuples.len());
+        for (t, fp) in tuples.iter().zip(fps) {
+            out.push(self.decide_with_fingerprint(t, fp.tuple));
+        }
     }
 
     fn name(&self) -> &'static str {

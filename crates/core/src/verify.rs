@@ -118,7 +118,17 @@ impl VictimVerifier {
 
     /// Records one packet received from the filtering network.
     pub fn observe(&mut self, t: &FiveTuple) {
-        self.local.add(&t.encode(), 1);
+        self.observe_fingerprint(t.tuple_fingerprint());
+    }
+
+    /// [`observe`](VictimVerifier::observe) with the packet's pre-computed
+    /// tuple fingerprint ([`FiveTuple::tuple_fingerprint`]) — verifiers
+    /// attribute packets to slices with the same fingerprint
+    /// ([`vif_dataplane::shard_of_fingerprint`]), so the fingerprint-once
+    /// pass hashes each received packet exactly once.
+    #[inline]
+    pub fn observe_fingerprint(&mut self, tuple_fp: u64) {
+        self.local.add_fingerprint(tuple_fp, 1);
     }
 
     /// Audits the enclave's outgoing log against local observations.
@@ -166,7 +176,15 @@ impl NeighborVerifier {
 
     /// Records one packet this neighbor handed to the filtering network.
     pub fn observe(&mut self, t: &FiveTuple) {
-        self.local.add(&t.src_ip.to_be_bytes(), 1);
+        self.observe_fingerprint(t.src_ip_fingerprint());
+    }
+
+    /// [`observe`](NeighborVerifier::observe) with the packet's
+    /// pre-computed source-IP fingerprint
+    /// ([`FiveTuple::src_ip_fingerprint`]).
+    #[inline]
+    pub fn observe_fingerprint(&mut self, src_ip_fp: u64) {
+        self.local.add_fingerprint(src_ip_fp, 1);
     }
 
     /// Audits the enclave's incoming log: counters for *this neighbor's*

@@ -157,4 +157,34 @@ fn decide_batch_is_allocation_free_at_steady_state() {
             "backend `{name}`: decide() allocated (warm verdict was {warm:?})"
         );
     }
+
+    // The full audited burst path — fingerprint-once pass, filter batch,
+    // prefetch-pipelined sketch logging, telemetry — with logging enabled:
+    // `FilterEnclaveApp::process_batch` must also be allocation-free at
+    // steady state (the ~2 MB of sketch counters are written in place; the
+    // burst fingerprints live in reused scratch buffers).
+    let (ruleset, tuples) = workload();
+    let mut app = vif_core::enclave_app::FilterEnclaveApp::new(ruleset, [7u8; 32], 3, [2u8; 32]);
+    let pkts: Vec<(FiveTuple, u64)> = tuples.iter().map(|t| (*t, 64)).collect();
+    let mut verdicts = Vec::new();
+    // Warm: promote the hash-path flows, then one burst to bring every
+    // scratch buffer (tuples, fingerprints, log keys, verdicts) to
+    // capacity.
+    app.process_batch(&pkts, &mut verdicts);
+    app.apply_update_period();
+    app.process_batch(&pkts, &mut verdicts);
+    assert!(app.logs().incoming().total() > 0, "logging is enabled");
+    let before = allocations();
+    for _ in 0..10 {
+        app.process_batch(&pkts, &mut verdicts);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "enclave app burst logging path: {} allocation(s) across 10 steady-state bursts",
+        after - before
+    );
+    assert_eq!(verdicts.len(), pkts.len());
+    assert_eq!(app.logs().incoming().total(), 12 * pkts.len() as u64);
 }

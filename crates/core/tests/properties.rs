@@ -3,6 +3,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use vif_core::filter::Verdict;
+use vif_core::logs::{LogDirection, PacketFingerprints, PacketLogs};
 use vif_core::prelude::*;
 use vif_core::rules::RuleAction;
 use vif_trie::Ipv4Prefix;
@@ -278,6 +279,114 @@ proptest! {
         }
         for t in &probes {
             prop_assert_eq!(batch.classify(t), inc.classify(t), "probe {}", t);
+        }
+    }
+
+    /// The fingerprint-threading burst path is verdict-identical to both
+    /// the plain batch path and the per-packet path, for every backend:
+    /// pre-computed [`PacketFingerprints`] are a pure re-derivation of the
+    /// tuple, so consuming them (sketch-accelerated) or ignoring them
+    /// (stateless, hybrid) must change nothing observable.
+    #[test]
+    fn fingerprint_batch_equals_batch(
+        rules in vec(arb_rule(), 0..20),
+        warmup in vec(arb_tuple(), 0..40),
+        packets in vec(arb_tuple(), 1..120),
+    ) {
+        let stateless = StatelessFilter::new(RuleSet::from_rules(rules), [7u8; 32]);
+        let fps: Vec<PacketFingerprints> =
+            packets.iter().map(PacketFingerprints::of).collect();
+        for (mut with_fp, mut plain) in
+            all_backends(&stateless).into_iter().zip(all_backends(&stateless))
+        {
+            let mut sink = Vec::new();
+            let warm_fps: Vec<PacketFingerprints> =
+                warmup.iter().map(PacketFingerprints::of).collect();
+            with_fp.decide_batch_fingerprints(&warmup, &warm_fps, &mut sink);
+            sink.clear();
+            plain.decide_batch(&warmup, &mut sink);
+            let mut got = Vec::new();
+            with_fp.decide_batch_fingerprints(&packets, &fps, &mut got);
+            let mut want = Vec::new();
+            plain.decide_batch(&packets, &mut want);
+            prop_assert_eq!(&got, &want, "backend {} fp-batch != batch", plain.name());
+        }
+    }
+
+    /// The audit-equivalence bar of the burst logging path: a
+    /// `FilterEnclaveApp` fed one burst at a time produces **byte-identical**
+    /// authenticated exports (payload and HMAC tag, both directions) to an
+    /// identically-configured app processing the same packets one by one —
+    /// and `PacketLogs::log_batch` over every backend's verdicts matches
+    /// sequential logging the same way. Burst boundaries are adversary-
+    /// controlled; if they could perturb a single exported byte, the host
+    /// could smuggle filtering differences past the §III-B verifiers.
+    #[test]
+    fn burst_logging_audit_equivalence(
+        rules in vec(arb_rule(), 0..15),
+        packets in vec(arb_tuple(), 1..150),
+        bursts in vec(1usize..40, 1..6),
+        seed in any::<u64>(),
+    ) {
+        let audit_key = [9u8; 32];
+        let mk_app = || {
+            FilterEnclaveApp::new(
+                RuleSet::from_rules(
+                    packets.iter().take(3).map(|t| {
+                        FilterRule::drop_fraction(FlowPattern::exact_tuple(*t), 0.5)
+                    }).chain(rules.iter().copied()),
+                ),
+                [7u8; 32],
+                seed,
+                audit_key,
+            )
+        };
+        let mut batched = mk_app();
+        let mut sequential = mk_app();
+        let mut verdicts = Vec::new();
+        let mut rest: &[FiveTuple] = &packets;
+        let mut i = 0usize;
+        while !rest.is_empty() {
+            let take = bursts[i % bursts.len()].min(rest.len());
+            let (burst, tail) = rest.split_at(take);
+            let pkts: Vec<(FiveTuple, u64)> = burst.iter().map(|t| (*t, 64)).collect();
+            batched.process_batch(&pkts, &mut verdicts);
+            for (j, t) in burst.iter().enumerate() {
+                let v = sequential.process(t, 64);
+                prop_assert_eq!(verdicts[j], v, "burst verdict != sequential");
+            }
+            rest = tail;
+            i += 1;
+        }
+        prop_assert_eq!(batched.stats(), sequential.stats());
+        for dir in [LogDirection::Incoming, LogDirection::Outgoing] {
+            let b = batched.export_log(dir);
+            let s = sequential.export_log(dir);
+            prop_assert_eq!(b.payload, s.payload, "{:?} payload diverged", dir);
+            prop_assert_eq!(b.tag, s.tag, "{:?} tag diverged", dir);
+        }
+        // The same bar for PacketLogs::log_batch under every backend's
+        // verdicts (the app above exercises only the hybrid).
+        let stateless = StatelessFilter::new(RuleSet::from_rules(rules), [7u8; 32]);
+        for mut backend in all_backends(&stateless) {
+            let mut verdicts = Vec::new();
+            backend.decide_batch(&packets, &mut verdicts);
+            let mut batch_logs = PacketLogs::new(seed);
+            batch_logs.log_batch(&packets, &verdicts);
+            let mut seq_logs = PacketLogs::new(seed);
+            for (t, v) in packets.iter().zip(&verdicts) {
+                seq_logs.log_incoming(t);
+                if v.action == RuleAction::Allow {
+                    seq_logs.log_outgoing(t);
+                }
+            }
+            for dir in [LogDirection::Incoming, LogDirection::Outgoing] {
+                prop_assert_eq!(
+                    batch_logs.export(dir, &audit_key),
+                    seq_logs.export(dir, &audit_key),
+                    "backend {} {:?} export diverged", backend.name(), dir
+                );
+            }
         }
     }
 

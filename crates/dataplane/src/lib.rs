@@ -56,5 +56,7 @@ pub use packet::{FiveTuple, Packet, Protocol};
 pub use pipeline::{PacketStage, PipelineConfig, PipelineReport, StageOutcome, StageVerdict};
 pub use pktgen::{FlowSet, TrafficConfig, TrafficGenerator};
 pub use ring::Ring;
-pub use sharded::{run_sharded, run_sharded_with_steering, shard_of, ShardedReport};
+pub use sharded::{
+    run_sharded, run_sharded_with_steering, shard_of, shard_of_fingerprint, ShardedReport,
+};
 pub use threaded::{run_threaded, ThreadedReport};

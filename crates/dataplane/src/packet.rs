@@ -114,6 +114,25 @@ impl FiveTuple {
         out
     }
 
+    /// The 64-bit fingerprint of the canonical [`encode`](FiveTuple::encode)
+    /// bytes — the **one** per-packet tuple hash of the hot path: RSS shard
+    /// steering ([`crate::shard_of`]), the outgoing (per-5-tuple) packet
+    /// log, and the heavy-hitter counting sketch all consume this same
+    /// value, so a burst derives it once per packet instead of re-encoding
+    /// at every consumer.
+    #[inline]
+    pub fn tuple_fingerprint(&self) -> u64 {
+        vif_sketch::hash::fingerprint(&self.encode())
+    }
+
+    /// The 64-bit fingerprint of the big-endian source address — the
+    /// incoming (per-source-IP) packet log's key, derived once per packet
+    /// alongside [`tuple_fingerprint`](FiveTuple::tuple_fingerprint).
+    #[inline]
+    pub fn src_ip_fingerprint(&self) -> u64 {
+        vif_sketch::hash::fingerprint(&self.src_ip.to_be_bytes())
+    }
+
     /// The reverse direction of this flow.
     pub fn reversed(&self) -> FiveTuple {
         FiveTuple {

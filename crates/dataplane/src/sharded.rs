@@ -3,7 +3,8 @@
 //! [`crate::threaded`] runs the paper's Fig. 6 pipeline with exactly one
 //! filter thread; this module runs the §IV scale-out architecture on real
 //! threads. One RX thread RSS-hashes each flow onto one of `N` per-worker
-//! rings — the same [`fingerprint`]-based steering the scale-out load
+//! rings — the same [`fingerprint`](vif_sketch::hash::fingerprint)-based
+//! steering the scale-out load
 //! balancer uses for split rules, so flow → worker assignment is
 //! deterministic and connection preserving. Each worker owns its own
 //! [`PacketStage`] (in deployments, one enclave slice of an
@@ -30,7 +31,6 @@ use crate::ring::Ring;
 use crate::threaded::ThreadedReport;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use vif_sketch::hash::fingerprint;
 
 /// Clears an [`AtomicBool`] when dropped — **including on unwind**, so a
 /// pipeline thread that panics (in a user-supplied stage, sink, or
@@ -62,12 +62,31 @@ impl Drop for CountedLiveFlag<'_> {
 /// the hash the untrusted load balancer applies to unpinned flows, so a
 /// verifier can recompute the packet → slice attribution offline.
 ///
+/// Exactly [`shard_of_fingerprint`] over
+/// [`FiveTuple::tuple_fingerprint`](crate::packet::FiveTuple::tuple_fingerprint);
+/// callers that already hold the packet's tuple fingerprint (the audit
+/// layer derives it once per packet for the logs) should pass it to the
+/// fingerprint variant instead of re-encoding here.
+///
 /// # Panics
 ///
 /// Panics if `n` is zero.
 pub fn shard_of(t: &crate::packet::FiveTuple, n: usize) -> usize {
+    shard_of_fingerprint(t.tuple_fingerprint(), n)
+}
+
+/// [`shard_of`] for a pre-computed tuple fingerprint
+/// ([`FiveTuple::tuple_fingerprint`](crate::packet::FiveTuple::tuple_fingerprint)):
+/// the fingerprint-once hot path shares one per-packet hash between
+/// steering and the audited packet logs.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[inline]
+pub fn shard_of_fingerprint(tuple_fp: u64, n: usize) -> usize {
     assert!(n > 0, "at least one shard");
-    (fingerprint(&t.encode()) % n as u64) as usize
+    (tuple_fp % n as u64) as usize
 }
 
 /// Counters from a sharded run: one [`ThreadedReport`] per worker.
@@ -362,6 +381,19 @@ mod tests {
             counts[shard_of(&p.tuple, n)] += 1;
         }
         assert!(counts.iter().all(|&c| c > 0), "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn fingerprint_variant_matches_shard_of() {
+        // The fingerprint-once path must name the same worker as the
+        // encoding path for every flow and worker count — a divergence
+        // would let steering and audit attribution disagree.
+        for p in traffic(500) {
+            let fp = p.tuple.tuple_fingerprint();
+            for n in [1usize, 2, 3, 4, 7, 16] {
+                assert_eq!(shard_of(&p.tuple, n), shard_of_fingerprint(fp, n));
+            }
+        }
     }
 
     #[test]

@@ -38,25 +38,37 @@ impl LinearHash {
         LinearHash::new(a, b)
     }
 
-    /// Constructs a row from coefficients that are already reduced (as
-    /// returned by [`coefficients`]). Used by sketch deserialization.
-    ///
-    /// [`coefficients`]: LinearHash::coefficients
-    pub fn new_raw(a: u64, b: u64) -> Self {
-        LinearHash::new(a, b)
-    }
-
-    /// The reduced `(a, b)` coefficients of this row.
-    pub fn coefficients(&self) -> (u64, u64) {
-        (self.a, self.b)
-    }
-
     /// Evaluates the row for key fingerprint `x`, returning a bin in `[0, w)`.
     #[inline]
     pub fn bin(&self, x: u64, w: usize) -> usize {
-        (mod_mersenne_61(self.a as u128 * (x % MERSENNE_61) as u128 + self.b as u128) % w as u64)
-            as usize
+        (self.value(x) % w as u64) as usize
     }
+
+    /// The raw row value `(a·x + b) mod (2^61-1)` before the bin reduction.
+    ///
+    /// Callers that map the value into `[0, w)` themselves (e.g. with a mask
+    /// for power-of-two widths) must reproduce `value % w` exactly, or their
+    /// sketches diverge from every other party's.
+    #[inline]
+    pub fn value(&self, x: u64) -> u64 {
+        self.value_reduced(reduce_fingerprint(x))
+    }
+
+    /// [`value`](LinearHash::value) for a fingerprint already reduced by
+    /// [`reduce_fingerprint`] — the per-packet field reduction is shared
+    /// across every row instead of re-divided per row.
+    #[inline]
+    pub fn value_reduced(&self, xr: u64) -> u64 {
+        mod_mersenne_61(self.a as u128 * xr as u128 + self.b as u128)
+    }
+}
+
+/// Reduces a 64-bit fingerprint into the Mersenne field — done **once per
+/// key** and shared by every row's [`LinearHash::value_reduced`], so a
+/// `depth`-row sketch update pays one 64-bit division, not `depth`.
+#[inline]
+pub fn reduce_fingerprint(x: u64) -> u64 {
+    x % MERSENNE_61
 }
 
 /// Reduces a 122-bit value modulo 2^61 - 1.

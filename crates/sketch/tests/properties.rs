@@ -104,4 +104,43 @@ proptest! {
         s.add(&key.to_le_bytes(), b);
         prop_assert!(s.estimate(&key.to_le_bytes()) >= before + b);
     }
+
+    /// The prefetch-pipelined burst path is bit-identical to sequential
+    /// single-key updates: arbitrary fingerprints split into arbitrary
+    /// batches with per-batch counts produce the exact counter array (and
+    /// total, and estimates) that one `add_fingerprint` loop produces —
+    /// over power-of-two (masked) and odd (divided) widths both. This is
+    /// the audit-equivalence contract: batching the enclave's packet logs
+    /// can never change what a verifier's comparison sees.
+    #[test]
+    fn sketch_batch_equals_sequential(
+        fps in vec(any::<u64>(), 0..300),
+        splits in vec(1usize..80, 1..8),
+        counts in vec(1u64..1000, 1..8),
+        width in prop::sample::select(vec![256usize, 257, 300, 512, 1024]),
+        depth in 1usize..5,
+    ) {
+        let config = SketchConfig { width, depth, seed: 9 };
+        let mut batched = CountMinSketch::new(config.clone());
+        let mut sequential = CountMinSketch::new(config);
+        let mut rest = fps.as_slice();
+        let mut i = 0usize;
+        while !rest.is_empty() {
+            let take = splits[i % splits.len()].min(rest.len());
+            let count = counts[i % counts.len()];
+            let (batch, tail) = rest.split_at(take);
+            batched.add_batch_fingerprints(batch, count);
+            for &x in batch {
+                sequential.add_fingerprint(x, count);
+            }
+            rest = tail;
+            i += 1;
+        }
+        prop_assert_eq!(&batched, &sequential, "counter arrays diverged");
+        let mut batch_est = Vec::new();
+        batched.estimate_batch(&fps, &mut batch_est);
+        let seq_est: Vec<u64> =
+            fps.iter().map(|&x| sequential.estimate_fingerprint(x)).collect();
+        prop_assert_eq!(batch_est, seq_est, "estimates diverged");
+    }
 }

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare a bench-smoke JSON report against the checked-in baseline.
+
+Usage: bench_regress.py <smoke.json> <baseline.json>
+
+Both files are the machine-readable reports the criterion shim writes under
+``VIF_BENCH_JSON`` (a JSON array of ``{group, bench, ns_per_iter, ...}``
+objects). Benchmarks are matched on ``(group, bench)``; a smoke result more
+than ``BENCH_REGRESS_FACTOR`` (default 2.0) times slower than its baseline
+fails the check. The threshold is deliberately loose: CI runners are noisy
+and the smoke windows are short (``VIF_BENCH_MS=25`` in the CI step that
+invokes this gate — see ``.github/workflows/ci.yml``; 5 ms proved too noisy
+for the ~20 ns burst-1 cells) — the gate exists to catch order-of-magnitude
+hot-path regressions (a dropped ``#[inline]``, an allocation sneaking back
+into the decide or logging path), not 10 % drift.
+
+Benchmarks present in only one of the two files are reported but do not
+fail the check, so adding a bench does not require regenerating the
+baseline in the same commit (the baseline refresh workflow is documented in
+the README's hot-path section).
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return {(r["group"], r["bench"]): r["ns_per_iter"] for r in json.load(f)}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    smoke, baseline = load(sys.argv[1]), load(sys.argv[2])
+    factor = float(os.environ.get("BENCH_REGRESS_FACTOR", "2.0"))
+    failures = []
+    compared = 0
+    for key, base_ns in sorted(baseline.items()):
+        if key not in smoke:
+            print(f"note: {'/'.join(key)} in baseline only (not smoked)")
+            continue
+        smoke_ns = smoke[key]
+        compared += 1
+        if base_ns > 0 and smoke_ns > base_ns * factor:
+            failures.append(
+                f"{'/'.join(key)}: {smoke_ns:.1f} ns vs baseline "
+                f"{base_ns:.1f} ns ({smoke_ns / base_ns:.2f}x > {factor}x)"
+            )
+    for key in sorted(set(smoke) - set(baseline)):
+        print(f"note: {'/'.join(key)} not in baseline yet")
+    print(f"compared {compared} benchmarks at threshold {factor}x")
+    if failures:
+        print("\nREGRESSIONS:")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print("no regressions beyond threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,16 +50,74 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Extracts the records of an existing report file that belong to groups
+/// **not** re-measured in this run, so a refresh merges instead of
+/// clobbering: each bench binary owns its groups, and one shared baseline
+/// file (e.g. `BENCH_hotpath.json`) can accumulate several binaries'
+/// results. Only parses the line-per-record format [`flush_json_report`]
+/// itself writes — hand-edited files are simply rewritten.
+fn carried_over_lines(path: &str, fresh_groups: &[String]) -> Vec<String> {
+    let Ok(existing) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut kept = Vec::new();
+    for line in existing.lines() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed.strip_prefix("{\"group\": \"") else {
+            continue;
+        };
+        // The stored name is JSON-escaped: the terminating quote is the
+        // first one not preceded by a backslash, and the comparison is
+        // escaped-vs-escaped (`fresh_groups` holds escaped names too).
+        let Some(group_end) = end_of_json_string(rest) else {
+            continue;
+        };
+        if fresh_groups.iter().any(|g| g == &rest[..group_end]) {
+            continue;
+        }
+        kept.push(trimmed.trim_end_matches(',').to_string());
+    }
+    kept
+}
+
+/// Index of the closing `"` of a JSON string whose opening quote was
+/// already consumed (i.e. the first unescaped quote in `s`).
+fn end_of_json_string(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
 /// Writes the accumulated results to `$VIF_BENCH_JSON` (no-op when the
 /// variable is unset). Called by the [`criterion_main!`] expansion after
 /// every group has run; public so custom `main`s can flush too.
+///
+/// If the file already exists, records of groups this run did **not**
+/// measure are carried over (see `carried_over_lines`): re-running one
+/// bench binary refreshes only its own groups in a shared baseline.
 pub fn flush_json_report() {
     let Ok(path) = std::env::var("VIF_BENCH_JSON") else {
         return;
     };
     let records = JSON_RECORDS.lock().expect("bench registry");
+    let fresh_groups: Vec<String> = records.iter().map(|r| json_escape(&r.group)).collect();
+    let carried = carried_over_lines(&path, &fresh_groups);
     let mut out = String::from("[\n");
+    let total = carried.len() + records.len();
+    for (i, line) in carried.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push_str(if i + 1 < total { ",\n" } else { "\n" });
+    }
     for (i, r) in records.iter().enumerate() {
+        let i = carried.len() + i;
         out.push_str(&format!(
             "  {{\"group\": \"{}\", \"bench\": \"{}\", \"ns_per_iter\": {:.1}",
             json_escape(&r.group),
@@ -80,7 +138,7 @@ pub fn flush_json_report() {
             out.push_str(&format!(", \"bytes_per_iter\": {b}"));
         }
         out.push('}');
-        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < total { ",\n" } else { "\n" });
     }
     out.push_str("]\n");
     if let Err(e) = std::fs::write(&path, out) {
