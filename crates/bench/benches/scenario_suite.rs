@@ -1,0 +1,70 @@
+//! Scenario-engine benchmarks: timeline compilation, the Zipf-weighted
+//! rate-shaped generator (the scenario hot path in `pktgen`), and a full
+//! end-to-end smoke scenario through the live sharded dataplane with the
+//! default victim policy in the loop.
+//!
+//! `VIF_BENCH_JSON` writes the machine-readable report that
+//! `scripts/bench_regress.py` gates against `BENCH_scenario.json`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vif_dataplane::{FiveTuple, FlowSet, Protocol, RateShape, TrafficConfig, TrafficGenerator};
+use vif_scenario::{Scenario, ScenarioHarness, ScenarioHarnessConfig, ThresholdPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_suite");
+    group.sample_size(10);
+
+    // Timeline compilation: the deterministic substrate every run starts
+    // from (flow pools, Zipf weights, shaped schedules for every round).
+    group.bench_function("compile/smoke", |b| {
+        let scenario = Scenario::smoke(1);
+        b.iter(|| black_box(scenario.compile().len()));
+    });
+
+    // The scenario generator hot path: a pulse-shaped schedule over a
+    // 4096-flow Zipf mix (10 K packet budget per call).
+    group.bench_function("pktgen/zipf_pulse_10k", |b| {
+        let flows: Vec<FiveTuple> = (0..4096u32)
+            .map(|i| FiveTuple::new(0x0a00_0000 + i, 1, 2, 3, Protocol::Udp))
+            .collect();
+        let flows = FlowSet::zipf(flows, 1.1);
+        let mut gen = TrafficGenerator::new(9);
+        b.iter(|| {
+            black_box(
+                gen.generate_shaped(
+                    &flows,
+                    TrafficConfig {
+                        packet_size: 64,
+                        offered_gbps: 5.0,
+                        count: 10_000,
+                    },
+                    RateShape::Pulse {
+                        period_ns: 50_000,
+                        duty: 0.4,
+                    },
+                )
+                .len(),
+            )
+        });
+    });
+
+    // End to end: the smoke scenario through session setup, the live
+    // sharded pipeline, per-round audits, and policy-driven rule churn.
+    group.bench_function("run/smoke_end_to_end", |b| {
+        b.iter_batched(
+            || (Scenario::smoke(7), ThresholdPolicy::default()),
+            |(scenario, mut policy)| {
+                let report = ScenarioHarness::new(scenario, ScenarioHarnessConfig::default())
+                    .run(&mut policy);
+                black_box((report.rounds, report.rules_installed))
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

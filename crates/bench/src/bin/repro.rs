@@ -3,16 +3,18 @@
 //! ```text
 //! cargo run -p vif-bench --release --bin repro -- <experiment|all> [--quick]
 //! ```
+//!
+//! `--smoke` is an alias for `--quick` (CI wiring reads better with it).
 
 use vif_bench::harness::{run_experiment, ExperimentId, Scale, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let targets: Vec<ExperimentId> = match args.iter().find(|a| !a.starts_with("--")) {
         None => {
-            eprintln!("usage: repro <experiment|all> [--quick]");
+            eprintln!("usage: repro <experiment|all> [--quick|--smoke]");
             eprintln!(
                 "experiments: {}",
                 ALL_EXPERIMENTS

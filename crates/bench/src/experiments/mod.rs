@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod attest;
 pub mod dataplane;
 pub mod ixp;
+pub mod scenario;
 pub mod solver;
 
 use vif_core::prelude::*;

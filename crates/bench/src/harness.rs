@@ -1,6 +1,6 @@
 //! Experiment registry and dispatch.
 
-use crate::experiments::{ablations, attest, dataplane, ixp, solver};
+use crate::experiments::{ablations, attest, dataplane, ixp, scenario, solver};
 use vif_interdomain::AttackSourceModel;
 
 /// Identifiers of every reproducible artifact.
@@ -30,6 +30,8 @@ pub enum ExperimentId {
     Batch,
     /// Sharded live-pipeline throughput vs. worker count.
     Shard,
+    /// Adaptive attack scenario with live rule churn (beyond the paper).
+    Scenario,
     /// Fig. 11a: DNS-resolver coverage.
     Fig11a,
     /// Fig. 11b: Mirai coverage.
@@ -49,7 +51,7 @@ pub enum ExperimentId {
 }
 
 /// All experiments in presentation order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 20] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 21] = [
     ExperimentId::Fig3a,
     ExperimentId::Fig3b,
     ExperimentId::Fig8,
@@ -62,6 +64,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 20] = [
     ExperimentId::Tab2,
     ExperimentId::Batch,
     ExperimentId::Shard,
+    ExperimentId::Scenario,
     ExperimentId::Fig11a,
     ExperimentId::Fig11b,
     ExperimentId::Tab3,
@@ -88,6 +91,7 @@ impl ExperimentId {
             ExperimentId::Tab2 => "tab2",
             ExperimentId::Batch => "batch",
             ExperimentId::Shard => "shard",
+            ExperimentId::Scenario => "scenario",
             ExperimentId::Fig11a => "fig11a",
             ExperimentId::Fig11b => "fig11b",
             ExperimentId::Tab3 => "tab3",
@@ -136,6 +140,7 @@ pub fn run_experiment(id: ExperimentId, scale: Scale) -> String {
             Scale::Full => 1_000_000,
         }),
         ExperimentId::Shard => dataplane::shard(ms),
+        ExperimentId::Scenario => scenario::scenario(scale == Scale::Quick),
         ExperimentId::Fig11a => ixp::fig11(AttackSourceModel::DnsResolvers, victims, 77),
         ExperimentId::Fig11b => ixp::fig11(AttackSourceModel::MiraiBotnet, victims, 77),
         ExperimentId::Tab3 => ixp::tab3(77),

@@ -5,9 +5,9 @@
 //!
 //! Run `cargo run -p vif-bench --release --bin repro -- <experiment>` with
 //! one of: `fig3a`, `fig3b`, `fig8`, `fig13`, `latency`, `fig14`, `tab1`,
-//! `gap`, `fig9`, `tab2`, `batch`, `fig11a`, `fig11b`, `tab3`,
-//! `attestation`, `ablation-copy`, `ablation-conn`, `ablation-lambda`,
-//! `ablation-sketch`, or `all`. Each report prints the measured values
+//! `gap`, `fig9`, `tab2`, `batch`, `shard`, `scenario`, `fig11a`,
+//! `fig11b`, `tab3`, `attestation`, `ablation-copy`, `ablation-conn`,
+//! `ablation-lambda`, `ablation-sketch`, or `all`. Each report prints the measured values
 //! next to the paper's where the paper states them; see the repository
 //! `README.md` for how the experiments map onto the crates.
 

@@ -158,6 +158,57 @@ impl FilterEnclaveApp {
         Ok(ack)
     }
 
+    /// Receives an encrypted rule withdrawal (§VI-B churn, the removal
+    /// counterpart of [`receive_rules`](FilterEnclaveApp::receive_rules)):
+    /// decrypt, withdraw each listed [`RuleId`](crate::ruleset::RuleId),
+    /// and return an authenticated acknowledgement carrying the number of
+    /// rules actually taken out of force.
+    ///
+    /// No RPKI check is needed: a victim can only ever withdraw rules it
+    /// installed over this same attested channel, and removal never widens
+    /// what gets filtered.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]; nothing is withdrawn on any failure.
+    pub fn receive_rule_withdrawal(&mut self, frame: &[u8]) -> Result<Vec<u8>, SessionError> {
+        let channel = self.channel.as_mut().ok_or(SessionError::NotEstablished)?;
+        let payload = channel.open(frame)?;
+        if payload.len() < 4 {
+            return Err(SessionError::BadAck);
+        }
+        let count = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+        let body = &payload[4..];
+        if body.len() != count * 4 {
+            return Err(SessionError::RuleDecode(
+                crate::rules::RuleDecodeError::WrongLength(body.len()),
+            ));
+        }
+        let ids: Vec<crate::ruleset::RuleId> = body
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        let removed = self.filter.remove_rules(&ids);
+        let ack = channel.seal(&(removed as u32).to_le_bytes());
+        Ok(ack)
+    }
+
+    /// Installs additional rules directly (control-plane ECall for tests
+    /// and master-driven provisioning; session-driven installs go through
+    /// [`receive_rules`](FilterEnclaveApp::receive_rules)). Existing rule
+    /// ids are preserved; the hybrid cache flushes as on any rule churn.
+    pub fn insert_rules<I: IntoIterator<Item = FilterRule>>(&mut self, rules: I) {
+        self.filter.insert_rules(rules);
+    }
+
+    /// Withdraws rules directly (control-plane ECall for redistribution
+    /// and tests; session-driven churn goes through
+    /// [`receive_rule_withdrawal`](FilterEnclaveApp::receive_rule_withdrawal)).
+    /// Returns how many were in force.
+    pub fn remove_rules(&mut self, ids: &[crate::ruleset::RuleId]) -> usize {
+        self.filter.remove_rules(ids)
+    }
+
     /// Enables strict scope checking (cluster deployments).
     pub fn set_strict_scope(&mut self, strict: bool) {
         self.strict_scope = strict;

@@ -173,6 +173,23 @@ impl HybridFilter {
         self.flush_cache();
     }
 
+    /// Withdraws rules from the wrapped rule set (one classifier rebuild
+    /// via [`RuleSet::batch_edit`](crate::ruleset::RuleSet::batch_edit))
+    /// and invalidates the exact-match cache and promotion queue, for the
+    /// same staleness reason as [`insert_rules`](HybridFilter::insert_rules):
+    /// a cached verdict may derive from a rule that no longer exists.
+    /// Returns how many of the ids were actually in force.
+    pub fn remove_rules(&mut self, ids: &[crate::ruleset::RuleId]) -> usize {
+        let removed = self
+            .inner
+            .ruleset_mut()
+            .batch_edit(|edit| ids.iter().filter(|&&id| edit.remove(id)).count());
+        if removed > 0 {
+            self.flush_cache();
+        }
+        removed
+    }
+
     /// Drops every cached and pending verdict (rule-set mutation, key
     /// rotation). Flows fall back to the hash path until re-promoted.
     pub fn flush_cache(&mut self) {

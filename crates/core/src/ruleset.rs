@@ -55,12 +55,21 @@ pub struct RuleCounters {
 pub struct RuleSet {
     rules: Vec<FilterRule>,
     counters: Vec<RuleCounters>,
+    /// Tombstones: `removed[id]` is true once the rule was withdrawn.
+    /// Slots are never compacted, so [`RuleId`]s stay stable across
+    /// removals — rule telemetry and cluster slice mappings keep indexing
+    /// by the same ids through arbitrary churn.
+    removed: Vec<bool>,
     exact: FxHashMap<FiveTuple, RuleId>,
     /// Authoritative coarse-rule store (rebuilds, memory model, and the
     /// reference classifier); the hot path runs on `compiled`.
     coarse: MultiBitTrie<Vec<RuleId>>,
     /// Read-only compiled classifier, rebuilt on every mutation.
     compiled: CompiledClassifier,
+    /// Classifier rebuilds performed since construction (regression
+    /// telemetry: bulk churn through [`batch_edit`](RuleSet::batch_edit)
+    /// must coalesce to one).
+    rebuilds: u64,
 }
 
 impl Default for RuleSet {
@@ -76,9 +85,11 @@ impl RuleSet {
         RuleSet {
             rules: Vec::new(),
             counters: Vec::new(),
+            removed: Vec::new(),
             exact: FxHashMap::default(),
             compiled: CompiledClassifier::compile(&coarse, &[]),
             coarse,
+            rebuilds: 0,
         }
     }
 
@@ -89,12 +100,36 @@ impl RuleSet {
         rs
     }
 
-    /// Number of rules.
+    /// Number of rule slots (installed rules including withdrawn
+    /// tombstones — the valid [`RuleId`] range).
     pub fn len(&self) -> usize {
         self.rules.len()
     }
 
-    /// True if no rules are installed.
+    /// Number of rules currently in force (slots minus tombstones).
+    pub fn active_len(&self) -> usize {
+        self.rules.len() - self.removed.iter().filter(|&&r| r).count()
+    }
+
+    /// True if rule `id` was withdrawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn is_removed(&self, id: RuleId) -> bool {
+        self.removed[id as usize]
+    }
+
+    /// Classifier rebuilds performed since construction. Each `insert`,
+    /// `remove`, `insert_batch`, and dirty [`batch_edit`] scope counts
+    /// one; reads never rebuild.
+    ///
+    /// [`batch_edit`]: RuleSet::batch_edit
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// True if no rule slots exist.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }
@@ -116,12 +151,31 @@ impl RuleSet {
     /// [`insert_batch`](RuleSet::insert_batch) (one recompile total), as
     /// the enclave's batched rule update does.
     pub fn insert(&mut self, rule: FilterRule) -> RuleId {
-        let id = self.rules.len() as RuleId;
-        self.index_rule(id, &rule);
-        self.rules.push(rule);
-        self.counters.push(RuleCounters::default());
-        self.compiled = CompiledClassifier::compile(&self.coarse, &self.rules);
+        let id = self.insert_unindexed(rule);
+        self.recompile();
         id
+    }
+
+    /// Withdraws rule `id`, returning whether it was in force.
+    ///
+    /// The slot is tombstoned, never compacted: ids of the surviving rules
+    /// are unchanged and the withdrawn rule's telemetry slot stays
+    /// addressable (cluster slice mappings index by id). The exact table /
+    /// coarse trie entry is unlinked and the hot-path classifier
+    /// recompiled, so [`classify`](RuleSet::classify) and
+    /// [`classify_reference`](RuleSet::classify_reference) both stop
+    /// matching it atomically. Removing an already-withdrawn or
+    /// out-of-range id is a no-op (no rebuild).
+    ///
+    /// Bulk withdrawals should go through
+    /// [`batch_edit`](RuleSet::batch_edit) (one recompile total).
+    pub fn remove(&mut self, id: RuleId) -> bool {
+        if self.remove_unindexed(id) {
+            self.recompile();
+            true
+        } else {
+            false
+        }
     }
 
     /// Inserts many rules with a single trie rebuild (the enclave's batched
@@ -142,11 +196,99 @@ impl RuleSet {
             }
             self.rules.push(rule);
             self.counters.push(RuleCounters::default());
+            self.removed.push(false);
         }
         if !coarse_batch.is_empty() {
             self.coarse.batch_insert(coarse_batch);
         }
+        self.recompile();
+    }
+
+    /// Runs a bulk-churn scope with **one** classifier rebuild.
+    ///
+    /// Every [`insert`](RuleSetEdit::insert) / [`remove`](RuleSetEdit::remove)
+    /// inside the scope mutates the authoritative structures immediately
+    /// but defers the compiled-classifier rebuild; the rebuild happens
+    /// exactly once when the scope ends (and not at all if the scope made
+    /// no effective change). This is the install-time analogue of the
+    /// Appendix F batched rule update for mixed install/withdraw churn —
+    /// a victim policy reacting to a round can apply its whole decision
+    /// set for the cost of one table swap.
+    ///
+    /// Note: `classify` must not be called *inside* the scope (the editor
+    /// holds the only reference, so the borrow checker already prevents
+    /// it); the compiled view is stale until the scope closes.
+    pub fn batch_edit<R>(&mut self, f: impl FnOnce(&mut RuleSetEdit<'_>) -> R) -> R {
+        let mut edit = RuleSetEdit {
+            rs: self,
+            dirty: false,
+        };
+        let out = f(&mut edit);
+        let dirty = edit.dirty;
+        if dirty {
+            self.recompile();
+        }
+        out
+    }
+
+    /// Rebuilds the compiled hot-path classifier from the authoritative
+    /// structures (the install-time table swap).
+    fn recompile(&mut self) {
         self.compiled = CompiledClassifier::compile(&self.coarse, &self.rules);
+        self.rebuilds += 1;
+    }
+
+    /// Inserts into the authoritative structures without recompiling.
+    fn insert_unindexed(&mut self, rule: FilterRule) -> RuleId {
+        let id = self.rules.len() as RuleId;
+        self.index_rule(id, &rule);
+        self.rules.push(rule);
+        self.counters.push(RuleCounters::default());
+        self.removed.push(false);
+        id
+    }
+
+    /// Unlinks rule `id` from the authoritative structures without
+    /// recompiling; returns whether anything changed.
+    fn remove_unindexed(&mut self, id: RuleId) -> bool {
+        let idx = id as usize;
+        if idx >= self.rules.len() || self.removed[idx] {
+            return false;
+        }
+        self.removed[idx] = true;
+        let rule = self.rules[idx];
+        if rule.pattern().is_exact() {
+            let t = rule.pattern().as_tuple().expect("exact");
+            // Only unlink if the table still points at this rule — a later
+            // duplicate exact rule owns the entry otherwise. If this rule
+            // owned it, the youngest surviving duplicate (if any) takes
+            // over, matching what re-indexing from scratch would produce.
+            if self.exact.get(&t) == Some(&id) {
+                self.exact.remove(&t);
+                for (i, r) in self.rules.iter().enumerate().rev() {
+                    if i != idx
+                        && !self.removed[i]
+                        && r.pattern().is_exact()
+                        && r.pattern().as_tuple() == Some(t)
+                    {
+                        self.exact.insert(t, i as RuleId);
+                        break;
+                    }
+                }
+            }
+        } else {
+            let prefix = rule.pattern().src;
+            if let Some(bucket) = self.coarse.get(&prefix) {
+                let mut bucket = bucket.clone();
+                bucket.retain(|&r| r != id);
+                if bucket.is_empty() {
+                    self.coarse.remove(&prefix);
+                } else {
+                    self.coarse.insert(prefix, bucket);
+                }
+            }
+        }
+        true
     }
 
     fn index_rule(&mut self, id: RuleId, rule: &FilterRule) {
@@ -246,9 +388,49 @@ impl RuleSet {
     }
 
     /// Extracts the sub-ruleset with the given ids (rule redistribution:
-    /// the master sends each slave its share, Fig. 5).
+    /// the master sends each slave its share, Fig. 5). Withdrawn ids are
+    /// skipped — a tombstone never resurrects through redistribution.
     pub fn subset(&self, ids: &[RuleId]) -> RuleSet {
-        RuleSet::from_rules(ids.iter().map(|&id| self.rules[id as usize]))
+        RuleSet::from_rules(
+            ids.iter()
+                .filter(|&&id| !self.removed[id as usize])
+                .map(|&id| self.rules[id as usize]),
+        )
+    }
+}
+
+/// Mutation scope handed out by [`RuleSet::batch_edit`]: inserts and
+/// removals apply immediately to the authoritative structures, while the
+/// compiled classifier rebuild is deferred to the end of the scope.
+#[derive(Debug)]
+pub struct RuleSetEdit<'a> {
+    rs: &'a mut RuleSet,
+    dirty: bool,
+}
+
+impl RuleSetEdit<'_> {
+    /// Inserts one rule (no rebuild until the scope closes); returns its id.
+    pub fn insert(&mut self, rule: FilterRule) -> RuleId {
+        self.dirty = true;
+        self.rs.insert_unindexed(rule)
+    }
+
+    /// Withdraws rule `id` (no rebuild until the scope closes); returns
+    /// whether it was in force. See [`RuleSet::remove`].
+    pub fn remove(&mut self, id: RuleId) -> bool {
+        let changed = self.rs.remove_unindexed(id);
+        self.dirty |= changed;
+        changed
+    }
+
+    /// Number of rule slots (grows as the scope inserts).
+    pub fn len(&self) -> usize {
+        self.rs.len()
+    }
+
+    /// True if no rule slots exist.
+    pub fn is_empty(&self) -> bool {
+        self.rs.is_empty()
     }
 }
 
@@ -438,6 +620,160 @@ mod tests {
         let t11 = tuple([11, 0, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Udp);
         assert!(sub.classify(&t10).is_some());
         assert!(sub.classify(&t11).is_none());
+    }
+
+    #[test]
+    fn removal_unlinks_rule_and_falls_back() {
+        let mut rs = RuleSet::new();
+        let wide = rs.insert(FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            victim(),
+        )));
+        let narrow = rs.insert(FilterRule::allow(FlowPattern::prefixes(
+            "10.1.0.0/16".parse().unwrap(),
+            victim(),
+        )));
+        let t = tuple([10, 1, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Udp);
+        assert_eq!(rs.classify(&t), Some(narrow));
+        assert!(rs.remove(narrow));
+        assert!(rs.is_removed(narrow));
+        assert!(!rs.is_removed(wide));
+        assert_eq!(rs.active_len(), 1);
+        assert_eq!(rs.len(), 2, "slots are stable");
+        // Falls back to the shorter prefix, identically on both paths.
+        assert_eq!(rs.classify(&t), Some(wide));
+        assert_eq!(rs.classify(&t), rs.classify_reference(&t));
+        // Removing again is a no-op.
+        let rebuilds = rs.rebuilds();
+        assert!(!rs.remove(narrow));
+        assert_eq!(rs.rebuilds(), rebuilds, "idempotent removal: no rebuild");
+    }
+
+    #[test]
+    fn removal_keeps_compiled_equal_to_reference() {
+        // Mixed exact/coarse set; remove half and compare classifiers on a
+        // probe grid after every removal.
+        let mut rs = RuleSet::new();
+        let mut ids = Vec::new();
+        for i in 0..8u32 {
+            ids.push(rs.insert(FilterRule::drop(FlowPattern::prefixes(
+                Ipv4Prefix::new(0x0a000000 + (i << 16), 16),
+                victim(),
+            ))));
+        }
+        let exact_t = tuple([10, 3, 0, 9], [203, 0, 113, 5], 7, 80, Protocol::Tcp);
+        ids.push(rs.insert(FilterRule::allow(FlowPattern::exact_tuple(exact_t))));
+        let probes: Vec<FiveTuple> = (0..8u32)
+            .map(|i| tuple([10, i as u8, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Udp))
+            .chain([exact_t])
+            .collect();
+        for &id in ids.iter().step_by(2) {
+            assert!(rs.remove(id));
+            for t in &probes {
+                assert_eq!(rs.classify(t), rs.classify_reference(t), "{t} after {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn removing_duplicate_exact_rule_restores_survivor() {
+        let mut rs = RuleSet::new();
+        let t = tuple([9, 9, 9, 9], [203, 0, 113, 2], 5, 80, Protocol::Tcp);
+        let first = rs.insert(FilterRule::drop(FlowPattern::exact_tuple(t)));
+        let second = rs.insert(FilterRule::allow(FlowPattern::exact_tuple(t)));
+        assert_eq!(rs.classify(&t), Some(second), "youngest duplicate wins");
+        assert!(rs.remove(second));
+        assert_eq!(rs.classify(&t), Some(first), "survivor takes over");
+        assert_eq!(rs.classify(&t), rs.classify_reference(&t));
+        assert!(rs.remove(first));
+        assert_eq!(rs.classify(&t), None);
+    }
+
+    #[test]
+    fn batch_edit_coalesces_rebuilds() {
+        let mut incremental = RuleSet::new();
+        let rules: Vec<FilterRule> = (0..50u32)
+            .map(|i| {
+                FilterRule::drop(FlowPattern::prefixes(
+                    Ipv4Prefix::new(0x0a000000 + (i << 12), 24),
+                    victim(),
+                ))
+            })
+            .collect();
+        let before = incremental.rebuilds();
+        for r in &rules {
+            incremental.insert(*r);
+        }
+        for id in 0..25u32 {
+            incremental.remove(id);
+        }
+        assert_eq!(
+            incremental.rebuilds() - before,
+            75,
+            "per-mutation churn rebuilds per call"
+        );
+
+        let mut batched = RuleSet::new();
+        let before = batched.rebuilds();
+        let ids = batched.batch_edit(|edit| {
+            let ids: Vec<RuleId> = rules.iter().map(|r| edit.insert(*r)).collect();
+            for &id in ids.iter().take(25) {
+                edit.remove(id);
+            }
+            ids
+        });
+        assert_eq!(
+            batched.rebuilds() - before,
+            1,
+            "batch_edit rebuilds exactly once"
+        );
+        assert_eq!(ids.len(), 50);
+        assert_eq!(batched.active_len(), 25);
+        // Same observable classifier as the incremental path.
+        for i in 0..50u32 {
+            let t = tuple(
+                [10, (i >> 4) as u8, ((i & 0xf) << 4) as u8, 1],
+                [203, 0, 113, 1],
+                5,
+                6,
+                Protocol::Tcp,
+            );
+            assert_eq!(batched.classify(&t), incremental.classify(&t), "rule {i}");
+            assert_eq!(batched.classify(&t), batched.classify_reference(&t));
+        }
+    }
+
+    #[test]
+    fn clean_batch_edit_does_not_rebuild() {
+        let mut rs = RuleSet::from_rules(vec![FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            victim(),
+        ))]);
+        let before = rs.rebuilds();
+        rs.batch_edit(|edit| {
+            assert_eq!(edit.len(), 1);
+            assert!(!edit.is_empty());
+            assert!(!edit.remove(99)); // out of range: no-op
+        });
+        assert_eq!(rs.rebuilds(), before);
+    }
+
+    #[test]
+    fn subset_skips_withdrawn_rules() {
+        let mut rs = RuleSet::new();
+        let a = rs.insert(FilterRule::drop(FlowPattern::prefixes(
+            "10.0.0.0/8".parse().unwrap(),
+            victim(),
+        )));
+        let b = rs.insert(FilterRule::drop(FlowPattern::prefixes(
+            "11.0.0.0/8".parse().unwrap(),
+            victim(),
+        )));
+        rs.remove(a);
+        let sub = rs.subset(&[a, b]);
+        assert_eq!(sub.active_len(), 1);
+        let t10 = tuple([10, 0, 0, 1], [203, 0, 113, 1], 1, 2, Protocol::Udp);
+        assert!(sub.classify(&t10).is_none(), "tombstone must not resurrect");
     }
 
     #[test]

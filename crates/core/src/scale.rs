@@ -211,6 +211,13 @@ pub struct EnclaveCluster {
     sketch_seed: u64,
     audit_key: [u8; 32],
     round: u64,
+    /// RSS-replicated deployment: every slice holds the full rule set and
+    /// redistribution must *re-replicate* (propagate the master's churned
+    /// rules to every slice) instead of re-partitioning. Converting a
+    /// replicated cluster to a partitioned one would silently break the
+    /// live sharded data path, whose public-hash steering assumes any
+    /// slice can decide any flow.
+    replicated: bool,
 }
 
 impl EnclaveCluster {
@@ -266,6 +273,7 @@ impl EnclaveCluster {
             sketch_seed,
             audit_key,
             round: 0,
+            replicated: false,
         }
     }
 
@@ -320,12 +328,75 @@ impl EnclaveCluster {
             sketch_seed,
             audit_key,
             round: 0,
+            replicated: true,
+        }
+    }
+
+    /// Launches an RSS-replicated cluster around an **existing master
+    /// enclave** (slice 0) — the deployment shape behind the scenario
+    /// harness's control loop: the victim attests the master and installs
+    /// rules through its §VI-B session; the master then provisions `n - 1`
+    /// slave replicas over attested channels (modeled by fresh launches
+    /// holding the same rule set and session keys), and replicated
+    /// [`redistribute`](EnclaveCluster::redistribute) rounds keep them in
+    /// sync with the master through live churn.
+    ///
+    /// `ruleset` must be the master's currently installed rule set (the
+    /// caller typically just cloned it out of the master);
+    /// `sketch_seed` / `audit_key` are the session-derived keys so every
+    /// slice's logs audit under one session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[allow(clippy::too_many_arguments)] // deliberate: distinct session state, like `launch`
+    pub fn launch_rss_with(
+        platform: SgxPlatform,
+        image: EnclaveImage,
+        master: Arc<Enclave<FilterEnclaveApp>>,
+        ruleset: RuleSet,
+        n: usize,
+        secret: [u8; 32],
+        sketch_seed: u64,
+        audit_key: [u8; 32],
+    ) -> Self {
+        assert!(n > 0, "at least one shard");
+        let allocation = Allocation {
+            enclaves: vec![Vec::<RuleShare>::new(); n],
+        };
+        let lb = LoadBalancer::new(ruleset.len(), &allocation, n, LoadBalancerBehavior::Honest);
+        let all_ids: Vec<RuleId> = (0..ruleset.len() as RuleId).collect();
+        let mut enclaves = Vec::with_capacity(n);
+        enclaves.push(master);
+        enclaves.extend((1..n).map(|_| {
+            let app = FilterEnclaveApp::new(ruleset.clone(), secret, sketch_seed, audit_key);
+            Arc::new(platform.launch(image.clone(), app))
+        }));
+        EnclaveCluster {
+            enclaves,
+            slices: vec![all_ids; n],
+            lb,
+            full_ruleset: ruleset,
+            platform,
+            image,
+            secret,
+            sketch_seed,
+            audit_key,
+            round: 0,
+            replicated: true,
         }
     }
 
     /// Number of enclaves.
     pub fn len(&self) -> usize {
         self.enclaves.len()
+    }
+
+    /// True if this is an RSS-replicated cluster (every slice holds the
+    /// full rule set; redistribution re-replicates instead of
+    /// re-partitioning).
+    pub fn replicated(&self) -> bool {
+        self.replicated
     }
 
     /// True if the cluster has no enclaves.
@@ -429,12 +500,29 @@ impl EnclaveCluster {
 
     /// Runs the Fig. 5 master–slave redistribution round.
     ///
+    /// **Partitioned clusters** ([`launch`](EnclaveCluster::launch)):
     /// `master` collects every enclave's `(R_i, B_i)`, recomputes the
     /// partition from measured byte counts, grows/shrinks the pool, and
-    /// installs the new slices. Returns the round report.
+    /// installs the new slices.
+    ///
+    /// **Replicated clusters** ([`launch_rss`](EnclaveCluster::launch_rss)
+    /// / [`launch_rss_with`](EnclaveCluster::launch_rss_with)): the same
+    /// master–slave exchange with a replication payoff — byte telemetry is
+    /// aggregated across the replicas, then the *master's* current rule
+    /// set (the one the victim's session churns) is re-installed on every
+    /// slave, so live-dataplane steering invariants hold: any slice keeps
+    /// deciding any flow, strict scoping stays off, and the pool size
+    /// never changes. (Before this branch existed, calling `redistribute`
+    /// on an RSS cluster silently re-partitioned it, breaking the public
+    /// RSS-hash steering of the live sharded path.)
+    ///
+    /// Returns the round report.
     pub fn redistribute(&mut self, master: usize) -> RedistributionReport {
         assert!(master < self.enclaves.len(), "master index out of range");
         self.round += 1;
+        if self.replicated {
+            return self.redistribute_replicated(master);
+        }
 
         // Slaves (and the master itself) report per-rule byte counts over
         // their attested channels. Local rule order matches the slice's
@@ -517,6 +605,82 @@ impl EnclaveCluster {
             installations: allocation.installations(),
             bytes_per_rule,
             solve_time,
+        }
+    }
+
+    /// Aggregates per-rule matched bytes positionally across every
+    /// enclave — the replicated cluster's `B_i` view, where every slice's
+    /// local rule order is an identity mapping onto the master's global
+    /// ids (ids are stable under churn: withdrawals tombstone, never
+    /// renumber). Sized to the largest report in case a replica lags
+    /// behind the master's churn. Victim-side control loops read this
+    /// between redistribution rounds to see which rules still match
+    /// traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a partitioned cluster, where positional aggregation
+    /// would alias different global rules onto one index.
+    pub fn replicated_rule_bytes(&self) -> Vec<u64> {
+        assert!(
+            self.replicated,
+            "positional telemetry aggregation is replicated-only"
+        );
+        let mut bytes_per_rule: Vec<u64> = Vec::new();
+        for enclave in &self.enclaves {
+            let report = enclave.ecall(|app| app.rule_bandwidth_report());
+            if report.len() > bytes_per_rule.len() {
+                bytes_per_rule.resize(report.len(), 0);
+            }
+            for (global, bytes) in report.into_iter().enumerate() {
+                bytes_per_rule[global] += bytes;
+            }
+        }
+        bytes_per_rule
+    }
+
+    /// The replicated-mode redistribution round (see
+    /// [`redistribute`](EnclaveCluster::redistribute)).
+    fn redistribute_replicated(&mut self, master: usize) -> RedistributionReport {
+        // The master's rule set is authoritative: it is where the victim's
+        // session installs and withdrawals land.
+        let master_rules = self.enclaves[master].ecall(|app| app.ruleset().clone());
+        let mut bytes_per_rule = self.replicated_rule_bytes();
+        if bytes_per_rule.len() < master_rules.len() {
+            bytes_per_rule.resize(master_rules.len(), 0);
+        }
+
+        let n = self.enclaves.len();
+        for (i, enclave) in self.enclaves.iter().enumerate() {
+            if i == master {
+                enclave.ecall(|app| app.reset_rule_counters());
+            } else {
+                let replica = master_rules.clone();
+                enclave.ecall(move |app| {
+                    app.install_ruleset(replica);
+                    app.reset_rule_counters();
+                });
+            }
+        }
+        let all_ids: Vec<RuleId> = (0..master_rules.len() as RuleId).collect();
+        let installations = master_rules.active_len() * n;
+        self.slices = vec![all_ids; n];
+        self.full_ruleset = master_rules;
+        self.lb = LoadBalancer::new(
+            self.full_ruleset.len(),
+            &Allocation {
+                enclaves: vec![Vec::<RuleShare>::new(); n],
+            },
+            n,
+            LoadBalancerBehavior::Honest,
+        );
+
+        RedistributionReport {
+            master,
+            enclaves_used: n,
+            installations,
+            bytes_per_rule,
+            solve_time: std::time::Duration::ZERO,
         }
     }
 }
@@ -779,6 +943,66 @@ mod tests {
             assert_eq!(enclave, Some(vif_dataplane::shard_of(&t, 4)));
             let (_, again) = c.process(&t, 64);
             assert_eq!(enclave, again);
+        }
+        assert_eq!(c.misrouted_total(), 0);
+    }
+
+    #[test]
+    fn replicated_redistribute_propagates_master_churn() {
+        let root = AttestationRootKey::new([3u8; 32]);
+        let platform = SgxPlatform::new(5, EpcConfig::paper_default(), &root);
+        let image = EnclaveImage::new("vif", 1, vec![0; 64]);
+        let mut c =
+            EnclaveCluster::launch_rss(platform, image, ruleset(4), 3, [7u8; 32], 99, [8u8; 32]);
+        assert!(c.replicated());
+        // Traffic lands on every replica; telemetry aggregates across them.
+        for r in 0..4 {
+            for f in 0..6 {
+                let (action, _) = c.process(&attack_tuple(r, f), 100);
+                assert_eq!(action, RuleAction::Drop);
+            }
+        }
+        // The master churns: one rule withdrawn, one new rule installed
+        // (as the victim's session would do between rounds).
+        let new_rule = FilterRule::drop(FlowPattern::prefixes(
+            "12.0.0.0/8".parse().unwrap(),
+            victim(),
+        ));
+        c.enclaves()[0].ecall(move |app| {
+            app.remove_rules(&[0]);
+            app.insert_rules(vec![new_rule]);
+        });
+        let report = c.redistribute(0);
+        assert_eq!(c.round(), 1);
+        assert_eq!(report.enclaves_used, 3);
+        // 4 originals - 1 withdrawn + 1 new = 4 active rules × 3 slices.
+        assert_eq!(report.installations, 12);
+        // Aggregated bytes: rule 0 carried 6 × 100 bytes on each... the
+        // cluster routed per-flow, so totals across replicas are exactly
+        // offered bytes per rule.
+        assert_eq!(report.bytes_per_rule[0], 600);
+        // Every replica now enforces the master's churned rule set: the
+        // withdrawn rule no longer drops, the new rule drops everywhere.
+        let withdrawn = attack_tuple(0, 1);
+        let new_hit = FiveTuple::new(
+            0x0c000001,
+            u32::from_be_bytes([203, 0, 113, 1]),
+            5,
+            80,
+            Protocol::Udp,
+        );
+        for e in c.enclaves() {
+            let w = withdrawn;
+            let nh = new_hit;
+            let (wd, nd) = e.in_enclave_thread(move |app| {
+                (app.process(&w, 64).action, app.process(&nh, 64).action)
+            });
+            assert_eq!(wd, RuleAction::Allow, "withdrawn rule still enforced");
+            assert_eq!(nd, RuleAction::Drop, "new rule missing on a replica");
+        }
+        // Replication invariants: full slices, no strict-scope misroutes.
+        for slice in c.slices() {
+            assert_eq!(slice.len(), c.ruleset().len());
         }
         assert_eq!(c.misrouted_total(), 0);
     }

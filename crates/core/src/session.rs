@@ -286,6 +286,46 @@ impl FilteringSession {
         Ok(n)
     }
 
+    /// Encodes, transmits, and applies a rule **withdrawal** — the removal
+    /// half of the §VI-B churn protocol. `ids` are the enclave-side
+    /// [`RuleId`](crate::ruleset::RuleId)s to take out of force (stable
+    /// across prior churn: the enclave tombstones slots, never renumbers).
+    ///
+    /// Returns the number of rules the enclave actually withdrew (already
+    /// withdrawn or unknown ids are skipped, not errors — withdrawal is
+    /// idempotent so a victim can safely retry after a lost ack).
+    ///
+    /// # Errors
+    ///
+    /// Channel errors if the untrusted relay tampered;
+    /// [`SessionError::BadAck`] on a malformed acknowledgement.
+    pub fn withdraw_rules(
+        &mut self,
+        ids: &[crate::ruleset::RuleId],
+    ) -> Result<usize, SessionError> {
+        let mut payload = Vec::with_capacity(4 + ids.len() * 4);
+        payload.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for id in ids {
+            payload.extend_from_slice(&id.to_le_bytes());
+        }
+        let frame = self.victim_channel.seal(&payload);
+        let ack = self
+            .enclave
+            .ecall(move |app| app.receive_rule_withdrawal(&frame))?;
+        let ack_payload = self.victim_channel.open(&ack)?;
+        let removed = u32::from_le_bytes(
+            ack_payload
+                .get(..4)
+                .ok_or(SessionError::BadAck)?
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if removed > ids.len() {
+            return Err(SessionError::BadAck);
+        }
+        Ok(removed)
+    }
+
     /// A victim-side verifier bound to this session's keys.
     pub fn victim_verifier(&self) -> VictimVerifier {
         VictimVerifier::new(self.keys.sketch_seed, self.keys.audit_key, self.tolerance)
@@ -352,6 +392,43 @@ mod tests {
         let n = session.submit_rules(&rules(), &rpki).unwrap();
         assert_eq!(n, 1);
         assert_eq!(enclave.ecall(|app| app.ruleset().len()), 1);
+    }
+
+    #[test]
+    fn rule_withdrawal_roundtrip() {
+        use vif_dataplane::{FiveTuple, Protocol};
+        let (enclave, ias, victim, rpki) = setup();
+        let mut session = victim
+            .establish(Arc::clone(&enclave), &ias, [0x77; 32])
+            .unwrap();
+        session.submit_rules(&rules(), &rpki).unwrap();
+        let t = FiveTuple::new(
+            7,
+            u32::from_be_bytes([203, 0, 113, 4]),
+            999,
+            80,
+            Protocol::Tcp,
+        );
+        assert_eq!(
+            enclave.in_enclave_thread(|app| app.process(&t, 64)).action,
+            crate::rules::RuleAction::Drop
+        );
+        // Withdraw rule 0 over the channel; the drop stops applying.
+        assert_eq!(session.withdraw_rules(&[0]).unwrap(), 1);
+        assert_eq!(enclave.ecall(|app| app.ruleset().active_len()), 0);
+        assert_eq!(
+            enclave.in_enclave_thread(|app| app.process(&t, 64)).action,
+            crate::rules::RuleAction::Allow
+        );
+        // Idempotent: withdrawing again removes nothing, errors nothing.
+        assert_eq!(session.withdraw_rules(&[0, 42]).unwrap(), 0);
+    }
+
+    #[test]
+    fn withdrawal_requires_established_session() {
+        let mut app = FilterEnclaveApp::fresh([9u8; 32]);
+        let err = app.receive_rule_withdrawal(&[0u8; 16]).unwrap_err();
+        assert_eq!(err, SessionError::NotEstablished);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use mbuf::{Mbuf, MemPool};
 pub use nic::LineRate;
 pub use packet::{FiveTuple, Packet, Protocol};
 pub use pipeline::{PacketStage, PipelineConfig, PipelineReport, StageOutcome, StageVerdict};
-pub use pktgen::{FlowSet, TrafficConfig, TrafficGenerator};
+pub use pktgen::{FlowSet, RateShape, TrafficConfig, TrafficGenerator};
 pub use ring::Ring;
 pub use sharded::{
     run_sharded, run_sharded_with_steering, shard_of, shard_of_fingerprint, ShardedReport,

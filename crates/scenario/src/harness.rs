@@ -1,0 +1,389 @@
+//! Runs a compiled scenario through the real VIF stack, end to end.
+//!
+//! Per scenario run, the harness:
+//!
+//! 1. launches a **master enclave** and establishes the full §VI-B
+//!    session against it (attestation, DH channel, derived audit key and
+//!    sketch seed), registering the victim's /16 in RPKI;
+//! 2. builds an RSS-replicated [`EnclaveCluster`] around the master
+//!    ([`EnclaveCluster::launch_rss_with`]) and a [`ClusterRoundDriver`]
+//!    with one verifier pair per slice, all bound to the session keys;
+//! 3. per virtual round: offers the round's packets to the **live**
+//!    sharded pipeline ([`run_sharded`] — real RX/worker/TX threads over
+//!    lock-free rings), observes handed-over and received traffic through
+//!    the per-slice verifiers, and closes an audited round;
+//! 4. hands the audited outcome, victim-side sketch heavy-hitter
+//!    estimates, and aggregated enclave rule telemetry to the
+//!    [`VictimPolicy`], then applies its decisions **mid-run** through the
+//!    session protocol (install + withdraw against the master) and a
+//!    replicated [`redistribute`](EnclaveCluster::redistribute) that
+//!    propagates the churned rule set to every slice — the same enclaves
+//!    keep filtering the next round with no restart and no log reset
+//!    beyond the ordinary round rotation.
+//!
+//! The resulting [`ScenarioReport`] is deterministic in the scenario seed
+//! and harness configuration (see the crate docs for the argument).
+
+use crate::policy::{HeavyHitter, InstalledRule, PolicyAction, PolicyObservation, VictimPolicy};
+use crate::report::{PhaseReport, ScenarioReport};
+use crate::timeline::Scenario;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+use vif_core::cost::FilterMode;
+use vif_core::enclave_app::{EnclaveFilterStage, FilterEnclaveApp};
+use vif_core::logs::PacketFingerprints;
+use vif_core::rounds::{ClusterRoundDriver, ContractState, RoundPolicy};
+use vif_core::rpki::RpkiRegistry;
+use vif_core::rules::FilterRule;
+use vif_core::ruleset::RuleId;
+use vif_core::scale::EnclaveCluster;
+use vif_core::session::{SessionConfig, VictimClient};
+use vif_dataplane::{run_sharded, shard_of_fingerprint, FiveTuple};
+use vif_sgx::{AttestationRootKey, AttestationService, EnclaveImage, EpcConfig, SgxPlatform};
+use vif_sketch::{CountMinSketch, SketchConfig};
+
+/// A malicious filtering network inside a scenario (the per-slice variant
+/// of §III-B's attack 2, switched on mid-scenario so detection latency is
+/// measurable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioAdversary {
+    /// First global round (0-based) the adversary is active in.
+    pub from_round: u64,
+    /// The worker whose post-filter output the network steals.
+    pub drop_after_worker: usize,
+}
+
+/// Harness knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioHarnessConfig {
+    /// Filter workers (= enclave slices) in the sharded pipeline.
+    pub workers: usize,
+    /// Per-worker RX ring capacity. Must exceed the largest round's packet
+    /// count for loss-free runs (ring overflow audits as drop-before at
+    /// tolerance 0).
+    pub ring_capacity: usize,
+    /// Burst size of the RX/worker/TX loops.
+    pub burst: usize,
+    /// Verifiers' per-bin audit tolerance.
+    pub tolerance: u64,
+    /// Dirty rounds tolerated before the victim aborts the contract.
+    /// Scenario runs default to "never" so the full report is collected;
+    /// lower it to study abort behavior.
+    pub max_strikes: u32,
+    /// Optional scenario adversary.
+    pub adversary: Option<ScenarioAdversary>,
+}
+
+impl Default for ScenarioHarnessConfig {
+    fn default() -> Self {
+        ScenarioHarnessConfig {
+            workers: 2,
+            ring_capacity: 1 << 15,
+            burst: 32,
+            tolerance: 0,
+            max_strikes: u32::MAX,
+            adversary: None,
+        }
+    }
+}
+
+/// Drives one [`Scenario`] through the live sharded data plane with an
+/// adaptive [`VictimPolicy`] in the loop.
+pub struct ScenarioHarness {
+    scenario: Scenario,
+    config: ScenarioHarnessConfig,
+}
+
+impl ScenarioHarness {
+    /// Creates a harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero workers, ring, or burst).
+    pub fn new(scenario: Scenario, config: ScenarioHarnessConfig) -> Self {
+        assert!(config.workers > 0, "at least one worker");
+        assert!(
+            config.ring_capacity > 0 && config.burst > 0,
+            "degenerate ring/burst"
+        );
+        ScenarioHarness { scenario, config }
+    }
+
+    /// Runs the scenario to completion (or contract abort) and scores it.
+    pub fn run(self, policy: &mut dyn VictimPolicy) -> ScenarioReport {
+        let scenario = &self.scenario;
+        let config = self.config;
+        let n = config.workers;
+        let seed = scenario.seed;
+
+        // --- §VI-B session against the master enclave -------------------
+        let secret = derive32(seed, 0x01);
+        let root = AttestationRootKey::new(derive32(seed, 0x02));
+        let platform = SgxPlatform::new(seed ^ 0x51ce, EpcConfig::paper_default(), &root);
+        let image = EnclaveImage::new("vif-scenario", 1, vec![0x90; 1 << 16]);
+        let master = Arc::new(platform.launch(image.clone(), FilterEnclaveApp::fresh(secret)));
+        let ias = AttestationService::new(root);
+        let owner = derive32(seed, 0x03);
+        let victim_client = VictimClient::new(
+            owner,
+            &derive32(seed, 0x04),
+            ias.verifier(),
+            SessionConfig {
+                expected_measurement: image.measurement(),
+                tolerance: config.tolerance,
+            },
+        );
+        let mut rpki = RpkiRegistry::new();
+        rpki.register(scenario.victim, owner);
+        let mut session = victim_client
+            .establish(Arc::clone(&master), &ias, derive32(seed, 0x05))
+            .expect("scenario session handshake");
+        let keys = session.keys().clone();
+
+        // --- replicated cluster + audited round driver ------------------
+        let mut cluster = EnclaveCluster::launch_rss_with(
+            platform,
+            image,
+            master,
+            vif_core::ruleset::RuleSet::new(),
+            n,
+            secret,
+            keys.sketch_seed,
+            keys.audit_key,
+        );
+        let mut driver = ClusterRoundDriver::new(
+            cluster.enclaves().to_vec(),
+            keys.sketch_seed,
+            keys.audit_key,
+            config.tolerance,
+            RoundPolicy {
+                round_duration_ns: scenario.round_ns(),
+                max_strikes: config.max_strikes,
+            },
+        );
+
+        // --- victim-side state ------------------------------------------
+        // Heavy-hitter estimation over received traffic: a bounded sketch
+        // (not an exact table), cleared per round so estimates are rates.
+        let mut hh_sketch = CountMinSketch::new(SketchConfig::small(seed ^ 0x6ea7));
+        let mut candidates: BTreeSet<u32> = BTreeSet::new();
+        let mut installed: Vec<InstalledRule> = Vec::new();
+        let mut prev_rule_bytes: Vec<u64> = Vec::new();
+
+        // --- report accumulators ----------------------------------------
+        let mut phases: Vec<PhaseReport> = scenario
+            .phases
+            .iter()
+            .map(|p| PhaseReport {
+                name: p.name.clone(),
+                // Counts rounds actually run — an early contract abort
+                // leaves later phases at 0, not their planned length.
+                rounds: 0,
+                offered_legit: 0,
+                offered_attack: 0,
+                delivered_legit: 0,
+                delivered_attack: 0,
+                rules_installed: 0,
+                rules_withdrawn: 0,
+                dirty_rounds: 0,
+            })
+            .collect();
+        let mut dirty_rounds = 0u32;
+        let mut detection_latency = None;
+        let mut rounds_run = 0u64;
+        let (mut total_installed, mut total_withdrawn) = (0u32, 0u32);
+
+        let mut compiled = scenario.compile();
+        for round in &mut compiled {
+            let adversary_drop = config
+                .adversary
+                .filter(|a| round.global_round >= a.from_round)
+                .map(|a| a.drop_after_worker % n);
+
+            // Neighbor ASes observe what they hand over, attributed by the
+            // public steering hash (fingerprint-once per packet).
+            for pkt in &round.packets {
+                let fp = PacketFingerprints::of(&pkt.tuple);
+                driver
+                    .neighbor_verifier_mut(shard_of_fingerprint(fp.tuple, n))
+                    .observe_fingerprint(fp.src_ip);
+            }
+
+            // The live sharded run: real threads over lock-free rings.
+            let stages: Vec<EnclaveFilterStage> = cluster
+                .enclaves()
+                .iter()
+                .map(|e| EnclaveFilterStage::new(Arc::clone(e), FilterMode::SgxNearZeroCopy))
+                .collect();
+            let forwarded: Mutex<Vec<FiveTuple>> = Mutex::new(Vec::new());
+            let packets = std::mem::take(&mut round.packets);
+            run_sharded(
+                packets,
+                stages,
+                |worker, pkt| {
+                    if adversary_drop != Some(worker) {
+                        forwarded.lock().unwrap().push(pkt.tuple);
+                    }
+                },
+                config.ring_capacity,
+                config.burst,
+            );
+
+            // The victim consumes what actually arrived: verifier
+            // observation, exact delivery scoring, heavy-hitter counting.
+            candidates.clear();
+            hh_sketch.clear();
+            let phase = &mut phases[round.phase];
+            phase.rounds += 1;
+            phase.offered_legit += round.offered_legit;
+            phase.offered_attack += round.offered_attack;
+            for t in forwarded.into_inner().unwrap() {
+                let fp = PacketFingerprints::of(&t);
+                driver
+                    .victim_verifier_mut(shard_of_fingerprint(fp.tuple, n))
+                    .observe_fingerprint(fp.tuple);
+                if round.attack_sources.contains(&t.src_ip) {
+                    phase.delivered_attack += 1;
+                } else {
+                    phase.delivered_legit += 1;
+                }
+                hh_sketch.add(&t.src_ip.to_be_bytes(), 1);
+                candidates.insert(t.src_ip);
+            }
+
+            // Close the audited round.
+            let outcome = driver.close_round().expect("authentic slice exports");
+            rounds_run += 1;
+            if outcome.dirty() {
+                dirty_rounds += 1;
+                phase.dirty_rounds += 1;
+                if detection_latency.is_none() {
+                    if let Some(a) = config.adversary {
+                        if round.global_round >= a.from_round {
+                            detection_latency = Some(round.global_round - a.from_round + 1);
+                        }
+                    }
+                }
+            }
+
+            // Enclave rule telemetry (the B_i exchange): aggregate matched
+            // bytes across the replicas, diff against the last snapshot.
+            let cur_rule_bytes = cluster.replicated_rule_bytes();
+            for rule in &mut installed {
+                let idx = rule.id as usize;
+                let cur = cur_rule_bytes.get(idx).copied().unwrap_or(0);
+                let prev = prev_rule_bytes.get(idx).copied().unwrap_or(0);
+                if cur == prev {
+                    rule.rounds_idle += 1;
+                } else {
+                    rule.rounds_idle = 0;
+                }
+            }
+
+            // Heavy hitters: estimate every candidate source, sorted by
+            // estimate descending (ties by address — fully deterministic).
+            let mut heavy: Vec<HeavyHitter> = candidates
+                .iter()
+                .map(|&src| HeavyHitter {
+                    src_ip: src,
+                    estimated_packets: hh_sketch.estimate(&src.to_be_bytes()),
+                })
+                .collect();
+            heavy.sort_by(|a, b| {
+                b.estimated_packets
+                    .cmp(&a.estimated_packets)
+                    .then(a.src_ip.cmp(&b.src_ip))
+            });
+
+            // The victim reacts.
+            let mut actions = Vec::new();
+            policy.react(
+                &PolicyObservation {
+                    round: round.global_round,
+                    outcome: &outcome,
+                    heavy_hitters: &heavy,
+                    installed: &installed,
+                    victim: scenario.victim,
+                },
+                &mut actions,
+            );
+
+            // Apply the churn through the session protocol against the
+            // master, then redistribute so every replica catches up.
+            let mut installs: Vec<FilterRule> = Vec::new();
+            let mut withdrawals: Vec<RuleId> = Vec::new();
+            for action in actions {
+                match action {
+                    PolicyAction::Install(rule) => installs.push(rule),
+                    PolicyAction::Withdraw(id) => withdrawals.push(id),
+                }
+            }
+            let churned = !installs.is_empty() || !withdrawals.is_empty();
+            if !withdrawals.is_empty() {
+                let removed = session
+                    .withdraw_rules(&withdrawals)
+                    .expect("withdrawal over the session channel");
+                installed.retain(|r| !withdrawals.contains(&r.id));
+                phase.rules_withdrawn += removed as u32;
+                total_withdrawn += removed as u32;
+            }
+            if !installs.is_empty() {
+                let base = cluster.enclaves()[0].ecall(|app| app.ruleset().len()) as RuleId;
+                session
+                    .submit_rules(&installs, &rpki)
+                    .expect("install over the session channel");
+                for (i, rule) in installs.iter().enumerate() {
+                    installed.push(InstalledRule {
+                        id: base + i as RuleId,
+                        rule: *rule,
+                        installed_round: round.global_round,
+                        rounds_idle: 0,
+                    });
+                }
+                phase.rules_installed += installs.len() as u32;
+                total_installed += installs.len() as u32;
+            }
+            if churned {
+                // Fig. 5, replicated flavor: the master's churned rule set
+                // is re-installed on every slice and telemetry resets.
+                cluster.redistribute(0);
+                prev_rule_bytes = vec![0; cluster.ruleset().len()];
+            } else {
+                prev_rule_bytes = cur_rule_bytes;
+            }
+
+            if driver.state() != ContractState::Active {
+                break; // the victim aborted the contract
+            }
+        }
+
+        let report = ScenarioReport {
+            scenario: scenario.name.clone(),
+            seed,
+            workers: n,
+            phases,
+            rounds: rounds_run,
+            dirty_rounds,
+            final_state: driver.state(),
+            detection_latency_rounds: detection_latency,
+            rules_installed: total_installed,
+            rules_withdrawn: total_withdrawn,
+        };
+        policy.finish(&report);
+        report
+    }
+}
+
+/// Expands a seed into deterministic 32-byte key material, domain-tagged
+/// (one [`vif_sketch::hash::splitmix64`] output per word).
+fn derive32(seed: u64, tag: u8) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    let base = seed ^ (tag as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for (word, chunk) in out.chunks_mut(8).enumerate() {
+        let z = vif_sketch::hash::splitmix64(
+            base.wrapping_add((word as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        chunk.copy_from_slice(&z.to_le_bytes());
+    }
+    out
+}

@@ -1,0 +1,223 @@
+//! Per-phase metrics of a scenario run.
+
+use vif_core::rounds::ContractState;
+
+/// Outcome counters for one scenario phase.
+///
+/// Counts are exact (not sketch estimates): the harness scores delivery
+/// against the compiled ground truth. Under an honest filtering network,
+/// `offered − delivered` per category is exactly what the filter dropped;
+/// with a scenario adversary enabled, it additionally includes stolen
+/// packets (which the audit flags).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Phase name (from the scenario DSL).
+    pub name: String,
+    /// Rounds of the phase actually run (less than the scenario's plan if
+    /// the contract aborted mid-scenario).
+    pub rounds: u32,
+    /// Legitimate packets offered.
+    pub offered_legit: u64,
+    /// Malicious packets offered.
+    pub offered_attack: u64,
+    /// Legitimate packets the victim received.
+    pub delivered_legit: u64,
+    /// Malicious packets the victim received (leakage).
+    pub delivered_attack: u64,
+    /// Rules installed during the phase.
+    pub rules_installed: u32,
+    /// Rules withdrawn during the phase.
+    pub rules_withdrawn: u32,
+    /// Rounds of this phase flagged dirty by the audit.
+    pub dirty_rounds: u32,
+}
+
+impl PhaseReport {
+    /// Fraction of legitimate traffic delivered (1.0 = perfect goodput).
+    pub fn goodput(&self) -> f64 {
+        ratio(self.delivered_legit, self.offered_legit, 1.0)
+    }
+
+    /// Fraction of malicious traffic that leaked through (0.0 = perfect
+    /// filtering).
+    pub fn leakage(&self) -> f64 {
+        ratio(self.delivered_attack, self.offered_attack, 0.0)
+    }
+
+    /// Fraction of legitimate traffic *not* delivered — the collateral
+    /// damage of the victim's own rules (honest network).
+    pub fn collateral(&self) -> f64 {
+        1.0 - self.goodput()
+    }
+}
+
+/// When `denominator` is zero the metric is undefined; report `empty`.
+fn ratio(numerator: u64, denominator: u64, empty: f64) -> f64 {
+    if denominator == 0 {
+        empty
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+/// Everything a scenario run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// The seed the run was compiled from.
+    pub seed: u64,
+    /// Worker/slice count of the sharded data plane.
+    pub workers: usize,
+    /// Per-phase metrics, in phase order.
+    pub phases: Vec<PhaseReport>,
+    /// Total audited rounds.
+    pub rounds: u64,
+    /// Rounds flagged dirty across the whole run (with an honest
+    /// filtering network these are *false strikes* and must be zero).
+    pub dirty_rounds: u32,
+    /// Contract state when the scenario ended.
+    pub final_state: ContractState,
+    /// Rounds from adversary onset to the first flagged round (counting
+    /// the onset round as 1), when a scenario adversary was enabled and
+    /// caught. `None` when no adversary was configured — or none was
+    /// detected.
+    pub detection_latency_rounds: Option<u64>,
+    /// Total rules installed across the run.
+    pub rules_installed: u32,
+    /// Total rules withdrawn across the run.
+    pub rules_withdrawn: u32,
+}
+
+impl ScenarioReport {
+    /// Total malicious leakage fraction across all phases.
+    pub fn total_leakage(&self) -> f64 {
+        ratio(
+            self.phases.iter().map(|p| p.delivered_attack).sum(),
+            self.phases.iter().map(|p| p.offered_attack).sum(),
+            0.0,
+        )
+    }
+
+    /// Total goodput fraction across all phases.
+    pub fn total_goodput(&self) -> f64 {
+        ratio(
+            self.phases.iter().map(|p| p.delivered_legit).sum(),
+            self.phases.iter().map(|p| p.offered_legit).sum(),
+            1.0,
+        )
+    }
+}
+
+impl std::fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "## Scenario `{}` (seed {}, {} workers, {} rounds)\n",
+            self.scenario, self.seed, self.workers, self.rounds
+        )?;
+        writeln!(
+            f,
+            "| {:<16} | {:>6} | {:>8} | {:>8} | {:>8} | {:>9} | {:>6} | {:>5} |",
+            "phase", "rounds", "goodput", "leakage", "collat.", "installs", "drops", "dirty"
+        )?;
+        writeln!(
+            f,
+            "|{}|{}|{}|{}|{}|{}|{}|{}|",
+            "-".repeat(18),
+            "-".repeat(8),
+            "-".repeat(10),
+            "-".repeat(10),
+            "-".repeat(10),
+            "-".repeat(11),
+            "-".repeat(8),
+            "-".repeat(7)
+        )?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "| {:<16} | {:>6} | {:>7.1}% | {:>7.1}% | {:>7.1}% | {:>9} | {:>6} | {:>5} |",
+                p.name,
+                p.rounds,
+                p.goodput() * 100.0,
+                p.leakage() * 100.0,
+                p.collateral() * 100.0,
+                p.rules_installed,
+                p.rules_withdrawn,
+                p.dirty_rounds
+            )?;
+        }
+        writeln!(
+            f,
+            "\ntotals: goodput {:.1}%, leakage {:.1}%, {} installs / {} withdrawals, {} dirty rounds, state {:?}{}",
+            self.total_goodput() * 100.0,
+            self.total_leakage() * 100.0,
+            self.rules_installed,
+            self.rules_withdrawn,
+            self.dirty_rounds,
+            self.final_state,
+            match self.detection_latency_rounds {
+                Some(l) => format!(", bypass detected in {l} round(s)"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase() -> PhaseReport {
+        PhaseReport {
+            name: "p".into(),
+            rounds: 2,
+            offered_legit: 1000,
+            offered_attack: 2000,
+            delivered_legit: 990,
+            delivered_attack: 100,
+            rules_installed: 3,
+            rules_withdrawn: 1,
+            dirty_rounds: 0,
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let p = phase();
+        assert!((p.goodput() - 0.99).abs() < 1e-12);
+        assert!((p.leakage() - 0.05).abs() < 1e-12);
+        assert!((p.collateral() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_denominators_report_neutral_values() {
+        let mut p = phase();
+        p.offered_attack = 0;
+        p.delivered_attack = 0;
+        assert_eq!(p.leakage(), 0.0);
+        p.offered_legit = 0;
+        p.delivered_legit = 0;
+        assert_eq!(p.goodput(), 1.0);
+    }
+
+    #[test]
+    fn display_renders_all_phases() {
+        let report = ScenarioReport {
+            scenario: "t".into(),
+            seed: 1,
+            workers: 2,
+            phases: vec![phase()],
+            rounds: 2,
+            dirty_rounds: 0,
+            final_state: ContractState::Active,
+            detection_latency_rounds: None,
+            rules_installed: 3,
+            rules_withdrawn: 1,
+        };
+        let s = report.to_string();
+        assert!(s.contains("goodput"));
+        assert!(s.contains("| p "));
+        assert!(s.contains("99.0%"));
+    }
+}

@@ -1,0 +1,563 @@
+//! The scenario DSL: named phases over a virtual clock, compiled to
+//! per-round packet schedules.
+//!
+//! A [`Scenario`] is deterministic in its seed: compiling it twice yields
+//! byte-identical rounds ([`RoundTraffic`]), so every downstream metric is
+//! reproducible. Phase kinds map onto the attack shapes studied in the
+//! adaptive-filtering literature (pulse waves that dodge rate averaging,
+//! carpet bombing that sweeps the victim's address space, spoofed-source
+//! rotation and botnet churn that defeat static per-source rules) plus the
+//! flash crowd — a *legitimate* surge the control loop must not filter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use vif_dataplane::{
+    FiveTuple, FlowSet, Packet, Protocol, RateShape, TrafficConfig, TrafficGenerator,
+};
+use vif_trie::Ipv4Prefix;
+
+/// The legitimate baseline traffic profile (always-on user traffic the
+/// defense must deliver; collateral damage is measured against it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegitProfile {
+    /// Distinct legitimate sources (each contributes ~1/n of the rate, so
+    /// no single legitimate source looks like a heavy hitter).
+    pub sources: usize,
+    /// Aggregate legitimate goodput in Gb/s.
+    pub gbps: f64,
+}
+
+/// What one scenario phase does to the traffic mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhaseKind {
+    /// Attack volume ramps linearly from `from_gbps` to `to_gbps` across
+    /// the phase (build-up or decay).
+    Ramp {
+        /// Attack rate at the first round of the phase.
+        from_gbps: f64,
+        /// Attack rate at the last round of the phase.
+        to_gbps: f64,
+    },
+    /// A pulse-wave attack: full rate for the `duty` fraction of every
+    /// `period_ms` window, silence otherwise — the classic shape that
+    /// defeats long-window rate averaging.
+    PulseWave {
+        /// Pulse period in milliseconds of virtual time.
+        period_ms: u64,
+        /// On-fraction of each period, in `(0, 1]`.
+        duty: f64,
+    },
+    /// Carpet bombing: the attack sweeps the victim's prefix one /24
+    /// subnet per round instead of concentrating on one host, spreading
+    /// volume across destinations to stay under per-destination alarms.
+    CarpetBombing,
+    /// Spoofed-source rotation: `rotate_fraction` of the attack sources
+    /// are replaced with fresh addresses every round, eroding the value
+    /// of per-source rules.
+    SpoofRotation {
+        /// Fraction of the source pool replaced per round, in `[0, 1]`.
+        rotate_fraction: f64,
+    },
+    /// Botnet membership churn: `join` new bots join and `leave` existing
+    /// bots go quiet every round.
+    BotnetChurn {
+        /// Sources joining per round.
+        join: u32,
+        /// Sources leaving per round.
+        leave: u32,
+    },
+    /// A flash crowd: `surge_sources` *legitimate* sources surge to an
+    /// extra `surge_gbps` of aggregate demand. Nothing in this phase may
+    /// be filtered by a correct policy.
+    FlashCrowd {
+        /// Number of surging legitimate sources.
+        surge_sources: usize,
+        /// Extra legitimate aggregate rate in Gb/s.
+        surge_gbps: f64,
+    },
+}
+
+/// One named phase of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Display name (report rows key on it).
+    pub name: String,
+    /// The traffic shape.
+    pub kind: PhaseKind,
+    /// Virtual rounds this phase spans (each round is one audited
+    /// filtering round).
+    pub rounds: u32,
+    /// Nominal attack rate in Gb/s (`Ramp` interpolates around it; 0
+    /// disables the malicious component, e.g. for a pure flash crowd).
+    pub attack_gbps: f64,
+    /// Size of the malicious source pool entering the phase.
+    pub attack_sources: usize,
+    /// Zipf exponent of the per-source weighting (heavy-tailed attack
+    /// volume; 0 = uniform).
+    pub zipf_exponent: f64,
+}
+
+/// A scripted, seeded, time-varying adversarial workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (reports carry it).
+    pub name: String,
+    /// Master seed — every random choice below derives from it.
+    pub seed: u64,
+    /// The victim's address space (a /16; carpet bombing sweeps its /24s,
+    /// and the victim's RPKI registration covers it).
+    pub victim: Ipv4Prefix,
+    /// Always-on legitimate baseline.
+    pub legit: LegitProfile,
+    /// The phases, in order.
+    pub phases: Vec<Phase>,
+    /// Virtual duration of one filtering round, in milliseconds.
+    pub round_ms: u64,
+    /// Frame size for every generated packet.
+    pub packet_size: u16,
+}
+
+/// One compiled round: the packets offered to the filtering network and
+/// the ground truth needed to score the outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundTraffic {
+    /// Index into [`Scenario::phases`].
+    pub phase: usize,
+    /// Round number within the phase (0-based).
+    pub round_in_phase: u32,
+    /// Global round number (0-based).
+    pub global_round: u64,
+    /// The merged packet schedule, ordered by arrival.
+    pub packets: Vec<Packet>,
+    /// Ground truth: the malicious source addresses active this round
+    /// (disjoint from legitimate sources by construction).
+    pub attack_sources: BTreeSet<u32>,
+    /// Malicious packets offered.
+    pub offered_attack: u64,
+    /// Legitimate packets offered.
+    pub offered_legit: u64,
+}
+
+impl Scenario {
+    /// The nominal round duration in nanoseconds (feeds the round policy).
+    pub fn round_ns(&self) -> u64 {
+        self.round_ms * 1_000_000
+    }
+
+    /// Total rounds across all phases.
+    pub fn total_rounds(&self) -> u64 {
+        self.phases.iter().map(|p| p.rounds as u64).sum()
+    }
+
+    /// The victim host address baseline attack/legit traffic targets
+    /// (first /24 of the victim space, host .7).
+    pub fn victim_host(&self) -> u32 {
+        self.victim.addr() | 0x0107
+    }
+
+    /// The canonical acceptance scenario: ramp-up, pulse wave, carpet
+    /// bombing across the /16, then a flash crowd — the mix the control
+    /// loop must install against, keep clean through, and stand down
+    /// from.
+    pub fn pulse_and_carpet(seed: u64) -> Self {
+        Scenario {
+            name: "pulse+carpet".into(),
+            seed,
+            victim: Ipv4Prefix::new(u32::from_be_bytes([203, 0, 0, 0]), 16),
+            legit: LegitProfile {
+                sources: 64,
+                gbps: 0.5,
+            },
+            phases: vec![
+                Phase {
+                    name: "ramp-up".into(),
+                    kind: PhaseKind::Ramp {
+                        from_gbps: 0.2,
+                        to_gbps: 1.5,
+                    },
+                    rounds: 3,
+                    attack_gbps: 1.5,
+                    attack_sources: 48,
+                    zipf_exponent: 1.2,
+                },
+                Phase {
+                    name: "pulse-wave".into(),
+                    kind: PhaseKind::PulseWave {
+                        period_ms: 2,
+                        duty: 0.4,
+                    },
+                    rounds: 4,
+                    attack_gbps: 2.0,
+                    attack_sources: 48,
+                    zipf_exponent: 1.2,
+                },
+                Phase {
+                    name: "carpet-bombing".into(),
+                    kind: PhaseKind::CarpetBombing,
+                    rounds: 4,
+                    attack_gbps: 1.5,
+                    attack_sources: 32,
+                    zipf_exponent: 1.1,
+                },
+                Phase {
+                    name: "flash-crowd".into(),
+                    kind: PhaseKind::FlashCrowd {
+                        surge_sources: 128,
+                        surge_gbps: 1.0,
+                    },
+                    rounds: 3,
+                    attack_gbps: 0.0,
+                    attack_sources: 0,
+                    zipf_exponent: 0.0,
+                },
+            ],
+            round_ms: 5,
+            packet_size: 128,
+        }
+    }
+
+    /// A minute version of [`pulse_and_carpet`](Scenario::pulse_and_carpet)
+    /// for CI smokes and benches: same phase structure, ~10× less traffic.
+    pub fn smoke(seed: u64) -> Self {
+        let mut s = Self::pulse_and_carpet(seed);
+        s.name = "pulse+carpet-smoke".into();
+        s.round_ms = 1;
+        s.legit.gbps = 0.3;
+        for p in &mut s.phases {
+            p.rounds = 2;
+            p.attack_gbps *= 0.5;
+        }
+        s
+    }
+
+    /// Compiles the scenario into its per-round packet schedules.
+    ///
+    /// Deterministic in `self` (the seed included): byte-identical
+    /// [`RoundTraffic`] on every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate scenario (no phases, zero-round phases, a
+    /// victim prefix longer than /24, or a phase needing sources with an
+    /// empty pool).
+    pub fn compile(&self) -> Vec<RoundTraffic> {
+        assert!(!self.phases.is_empty(), "scenario must have phases");
+        assert!(
+            self.victim.len() <= 24,
+            "victim prefix must leave room for a /24 sweep"
+        );
+        assert!(self.round_ms > 0, "zero-length round");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut gen = TrafficGenerator::new(self.seed ^ 0x5ce7a210);
+
+        // The legitimate user base is stable across the whole scenario.
+        let legit_flows = FlowSet::uniform(
+            (0..self.legit.sources.max(1))
+                .map(|_| self.legit_flow(&mut rng))
+                .collect(),
+        );
+
+        let mut rounds = Vec::with_capacity(self.total_rounds() as usize);
+        let mut global_round = 0u64;
+        for (pi, phase) in self.phases.iter().enumerate() {
+            assert!(phase.rounds > 0, "phase {:?} has zero rounds", phase.name);
+            // Each phase enters with a fresh malicious source pool (a new
+            // attack wave); the kind evolves it round to round.
+            let mut pool: Vec<u32> = (0..phase.attack_sources)
+                .map(|_| attack_source(&mut rng))
+                .collect();
+            // Flash-crowd surge sources are legitimate and phase-scoped.
+            let surge_flows = match phase.kind {
+                PhaseKind::FlashCrowd { surge_sources, .. } => Some(FlowSet::uniform(
+                    (0..surge_sources.max(1))
+                        .map(|_| self.legit_flow(&mut rng))
+                        .collect(),
+                )),
+                _ => None,
+            };
+
+            for r in 0..phase.rounds {
+                // Evolve the pool per the phase kind.
+                match phase.kind {
+                    PhaseKind::SpoofRotation { rotate_fraction } if r > 0 => {
+                        let rotate = ((pool.len() as f64 * rotate_fraction).round() as usize)
+                            .min(pool.len());
+                        for slot in pool.iter_mut().take(rotate) {
+                            *slot = attack_source(&mut rng);
+                        }
+                    }
+                    PhaseKind::BotnetChurn { join, leave } if r > 0 => {
+                        let keep = pool.len().saturating_sub(leave as usize);
+                        pool.truncate(keep);
+                        pool.extend((0..join).map(|_| attack_source(&mut rng)));
+                    }
+                    _ => {}
+                }
+
+                let (attack_packets, attack_srcs) =
+                    self.attack_round(phase, r, &pool, &mut gen, &mut rng);
+                let mut legit_packets = gen.generate(
+                    &legit_flows,
+                    TrafficConfig::at_rate(self.packet_size, self.legit.gbps, self.round_ms),
+                );
+                if let (Some(surge), PhaseKind::FlashCrowd { surge_gbps, .. }) =
+                    (&surge_flows, phase.kind)
+                {
+                    legit_packets.extend(gen.generate(
+                        surge,
+                        TrafficConfig::at_rate(self.packet_size, surge_gbps, self.round_ms),
+                    ));
+                }
+
+                let offered_attack = attack_packets.len() as u64;
+                let offered_legit = legit_packets.len() as u64;
+                let mut packets = attack_packets;
+                packets.extend(legit_packets);
+                // Stable sort: equal arrivals keep generation order, so
+                // the merged schedule is deterministic.
+                packets.sort_by_key(|p| p.arrival_ns);
+
+                rounds.push(RoundTraffic {
+                    phase: pi,
+                    round_in_phase: r,
+                    global_round,
+                    packets,
+                    attack_sources: attack_srcs,
+                    offered_attack,
+                    offered_legit,
+                });
+                global_round += 1;
+            }
+        }
+        rounds
+    }
+
+    /// Generates the malicious component of one round.
+    fn attack_round(
+        &self,
+        phase: &Phase,
+        round_in_phase: u32,
+        pool: &[u32],
+        gen: &mut TrafficGenerator,
+        rng: &mut StdRng,
+    ) -> (Vec<Packet>, BTreeSet<u32>) {
+        // The attacked destination: carpet bombing sweeps the /16's /24
+        // subnets one round at a time; everything else hammers one host.
+        let dst = match phase.kind {
+            PhaseKind::CarpetBombing => {
+                // Sweep only the /24s the victim actually holds (compile
+                // asserts len ≤ 24, so at least one exists): a narrower
+                // victim wraps sooner instead of escaping its prefix.
+                let subnets = 1u32 << (24 - self.victim.len());
+                let subnet = round_in_phase % subnets;
+                self.victim.addr() | (subnet << 8) | 7
+            }
+            _ => self.victim_host(),
+        };
+        let (gbps, shape) = match phase.kind {
+            PhaseKind::Ramp { from_gbps, to_gbps } => {
+                let t = if phase.rounds <= 1 {
+                    1.0
+                } else {
+                    round_in_phase as f64 / (phase.rounds - 1) as f64
+                };
+                (from_gbps + (to_gbps - from_gbps) * t, RateShape::Constant)
+            }
+            PhaseKind::PulseWave { period_ms, duty } => (
+                phase.attack_gbps,
+                RateShape::Pulse {
+                    period_ns: period_ms * 1_000_000,
+                    duty,
+                },
+            ),
+            _ => (phase.attack_gbps, RateShape::Constant),
+        };
+        if gbps <= 0.0 || pool.is_empty() {
+            return (Vec::new(), BTreeSet::new());
+        }
+        let flows: Vec<FiveTuple> = pool
+            .iter()
+            .map(|&src| {
+                FiveTuple::new(
+                    src,
+                    dst,
+                    rng.gen_range(1024..u16::MAX),
+                    rng.gen_range(1..1024),
+                    Protocol::Udp,
+                )
+            })
+            .collect();
+        let srcs: BTreeSet<u32> = pool.iter().copied().collect();
+        let flows = FlowSet::zipf(flows, phase.zipf_exponent);
+        let packets = gen.generate_shaped(
+            &flows,
+            TrafficConfig::at_rate(self.packet_size, gbps, self.round_ms),
+            shape,
+        );
+        (packets, srcs)
+    }
+
+    /// One legitimate flow toward the victim host (sources live in
+    /// 80.0.0.0/8, disjoint from the 10.0.0.0/8 attack space — ground
+    /// truth by construction).
+    fn legit_flow(&self, rng: &mut StdRng) -> FiveTuple {
+        FiveTuple::new(
+            0x5000_0000 | (rng.gen::<u32>() & 0x00ff_ffff),
+            self.victim_host(),
+            rng.gen_range(1024..u16::MAX),
+            443,
+            Protocol::Tcp,
+        )
+    }
+}
+
+/// Draws a malicious source address from 10.0.0.0/8.
+fn attack_source(rng: &mut StdRng) -> u32 {
+    0x0a00_0000 | (rng.gen::<u32>() & 0x00ff_ffff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_is_deterministic() {
+        let s = Scenario::smoke(42);
+        assert_eq!(s.compile(), s.compile());
+        // A different seed produces a different schedule.
+        assert_ne!(s.compile(), Scenario::smoke(43).compile());
+    }
+
+    #[test]
+    fn ground_truth_separates_attack_and_legit() {
+        for round in Scenario::smoke(7).compile() {
+            for p in &round.packets {
+                let malicious = round.attack_sources.contains(&p.tuple.src_ip);
+                if malicious {
+                    assert_eq!(p.tuple.src_ip >> 24, 10, "attack space is 10/8");
+                } else {
+                    assert_eq!(p.tuple.src_ip >> 24, 0x50, "legit space is 80/8");
+                }
+            }
+            assert_eq!(
+                round.offered_attack + round.offered_legit,
+                round.packets.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn carpet_bombing_sweeps_destinations() {
+        let s = Scenario::pulse_and_carpet(3);
+        let rounds = s.compile();
+        let carpet: Vec<&RoundTraffic> = rounds.iter().filter(|r| r.phase == 2).collect();
+        assert!(carpet.len() >= 2);
+        let dst_of = |r: &RoundTraffic| {
+            r.packets
+                .iter()
+                .find(|p| r.attack_sources.contains(&p.tuple.src_ip))
+                .map(|p| p.tuple.dst_ip)
+                .expect("carpet rounds carry attack traffic")
+        };
+        let d0 = dst_of(carpet[0]);
+        let d1 = dst_of(carpet[1]);
+        assert_ne!(d0 & 0xffff_ff00, d1 & 0xffff_ff00, "sweep moves /24s");
+        for d in [d0, d1] {
+            assert!(s.victim.contains(d), "sweep stays inside the victim /16");
+        }
+    }
+
+    #[test]
+    fn pulse_phase_carries_less_than_constant_equivalent() {
+        let s = Scenario::pulse_and_carpet(9);
+        let rounds = s.compile();
+        let pulse_round = rounds.iter().find(|r| r.phase == 1).unwrap();
+        // At 2 Gb/s × duty 0.4, the pulse rounds offer well under the
+        // full-rate packet budget but are far from silent.
+        let full = TrafficConfig::at_rate(s.packet_size, 2.0, s.round_ms).count as u64;
+        assert!(pulse_round.offered_attack > full / 10);
+        assert!(pulse_round.offered_attack < full * 6 / 10);
+    }
+
+    #[test]
+    fn carpet_sweep_never_escapes_a_narrow_victim() {
+        // Regression: a /24 victim used to sweep into neighboring /24s
+        // (subnet index taken mod 256 regardless of prefix length),
+        // sending "victim" traffic to space its RPKI grant doesn't cover.
+        let mut s = Scenario::smoke(13);
+        s.victim = Ipv4Prefix::new(u32::from_be_bytes([203, 0, 113, 0]), 24);
+        s.phases = vec![Phase {
+            name: "carpet".into(),
+            kind: PhaseKind::CarpetBombing,
+            rounds: 4,
+            attack_gbps: 0.5,
+            attack_sources: 16,
+            zipf_exponent: 1.0,
+        }];
+        for round in s.compile() {
+            for p in &round.packets {
+                assert!(
+                    s.victim.contains(p.tuple.dst_ip),
+                    "{} escaped the victim /24",
+                    p.tuple
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_has_no_attack_component() {
+        let rounds = Scenario::pulse_and_carpet(11).compile();
+        let flash: Vec<_> = rounds.iter().filter(|r| r.phase == 3).collect();
+        assert!(!flash.is_empty());
+        for r in flash {
+            assert_eq!(r.offered_attack, 0);
+            assert!(r.attack_sources.is_empty());
+            // The surge more than doubles baseline legit volume.
+            let baseline = rounds
+                .iter()
+                .find(|x| x.phase == 0)
+                .map(|x| x.offered_legit)
+                .unwrap();
+            assert!(r.offered_legit > baseline * 2);
+        }
+    }
+
+    #[test]
+    fn spoof_rotation_changes_sources_between_rounds() {
+        let mut s = Scenario::smoke(5);
+        s.phases = vec![Phase {
+            name: "spoof".into(),
+            kind: PhaseKind::SpoofRotation {
+                rotate_fraction: 0.5,
+            },
+            rounds: 3,
+            attack_gbps: 0.5,
+            attack_sources: 32,
+            zipf_exponent: 1.0,
+        }];
+        let rounds = s.compile();
+        let a: &BTreeSet<u32> = &rounds[0].attack_sources;
+        let b: &BTreeSet<u32> = &rounds[1].attack_sources;
+        let carried = a.intersection(b).count();
+        assert!(carried >= 8, "some sources persist ({carried})");
+        assert!(carried < 32, "some sources rotated ({carried})");
+    }
+
+    #[test]
+    fn botnet_churn_evolves_pool_size() {
+        let mut s = Scenario::smoke(5);
+        s.phases = vec![Phase {
+            name: "churn".into(),
+            kind: PhaseKind::BotnetChurn { join: 8, leave: 2 },
+            rounds: 3,
+            attack_gbps: 0.5,
+            attack_sources: 16,
+            zipf_exponent: 1.0,
+        }];
+        let rounds = s.compile();
+        assert_eq!(rounds[0].attack_sources.len(), 16);
+        assert!(rounds[2].attack_sources.len() > rounds[0].attack_sources.len());
+    }
+}

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Compare a bench-smoke JSON report against the checked-in baseline.
+"""Compare bench-smoke JSON reports against their checked-in baselines.
 
-Usage: bench_regress.py <smoke.json> <baseline.json>
+Usage: bench_regress.py <smoke.json> <baseline.json> [<smoke2.json> <baseline2.json> ...]
 
-Both files are the machine-readable reports the criterion shim writes under
-``VIF_BENCH_JSON`` (a JSON array of ``{group, bench, ns_per_iter, ...}``
-objects). Benchmarks are matched on ``(group, bench)``; a smoke result more
-than ``BENCH_REGRESS_FACTOR`` (default 2.0) times slower than its baseline
+Arguments are (smoke, baseline) pairs — the hot-path benches gate against
+``BENCH_hotpath.json`` and the scenario suite against
+``BENCH_scenario.json`` in one invocation. Each file is the
+machine-readable report the criterion shim writes under ``VIF_BENCH_JSON``
+(a JSON array of ``{group, bench, ns_per_iter, ...}`` objects). Benchmarks
+are matched on ``(group, bench)``; a smoke result more than
+``BENCH_REGRESS_FACTOR`` (default 2.0) times slower than its baseline
 fails the check. The threshold is deliberately loose: CI runners are noisy
 and the smoke windows are short (``VIF_BENCH_MS=25`` in the CI step that
 invokes this gate — see ``.github/workflows/ci.yml``; 5 ms proved too noisy
@@ -30,11 +33,8 @@ def load(path):
         return {(r["group"], r["bench"]): r["ns_per_iter"] for r in json.load(f)}
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    smoke, baseline = load(sys.argv[1]), load(sys.argv[2])
-    factor = float(os.environ.get("BENCH_REGRESS_FACTOR", "2.0"))
+def gate(smoke_path, baseline_path, factor):
+    smoke, baseline = load(smoke_path), load(baseline_path)
     failures = []
     compared = 0
     for key, base_ns in sorted(baseline.items()):
@@ -50,7 +50,21 @@ def main():
             )
     for key in sorted(set(smoke) - set(baseline)):
         print(f"note: {'/'.join(key)} not in baseline yet")
-    print(f"compared {compared} benchmarks at threshold {factor}x")
+    print(
+        f"compared {compared} benchmarks from {smoke_path} "
+        f"against {baseline_path} at threshold {factor}x"
+    )
+    return failures
+
+
+def main():
+    args = sys.argv[1:]
+    if not args or len(args) % 2 != 0:
+        sys.exit(__doc__)
+    factor = float(os.environ.get("BENCH_REGRESS_FACTOR", "2.0"))
+    failures = []
+    for smoke_path, baseline_path in zip(args[::2], args[1::2]):
+        failures.extend(gate(smoke_path, baseline_path, factor))
     if failures:
         print("\nREGRESSIONS:")
         for f in failures:

@@ -27,6 +27,7 @@ pub use vif_crypto as crypto;
 pub use vif_dataplane as dataplane;
 pub use vif_interdomain as interdomain;
 pub use vif_optimizer as optimizer;
+pub use vif_scenario as scenario;
 pub use vif_sgx as sgx;
 pub use vif_sketch as sketch;
 pub use vif_trie as trie;
