@@ -5,6 +5,7 @@ pub mod attest;
 pub mod dataplane;
 pub mod ixp;
 pub mod scenario;
+pub mod service;
 pub mod solver;
 
 use vif_core::prelude::*;
@@ -25,6 +26,13 @@ pub fn victim_ip() -> u32 {
 /// Builds `k` per-source host rules (the per-flow filtering workload of
 /// Fig. 3: each rule pins one attack source, stored in the multi-bit trie).
 pub fn host_rules(k: usize, seed: u64) -> (RuleSet, FlowSet) {
+    let (rules, flows) = host_rule_list(k, seed);
+    (RuleSet::from_rules(rules), FlowSet::uniform(flows))
+}
+
+/// The raw rule/flow lists behind [`host_rules`], for callers that need
+/// the rules themselves (e.g. to measure `RuleSet::from_rules`).
+pub fn host_rule_list(k: usize, seed: u64) -> (Vec<FilterRule>, Vec<FiveTuple>) {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
@@ -44,7 +52,7 @@ pub fn host_rules(k: usize, seed: u64) -> (RuleSet, FlowSet) {
             Protocol::Udp,
         ));
     }
-    (RuleSet::from_rules(rules), FlowSet::uniform(flows))
+    (rules, flows)
 }
 
 /// The Fig. 14 hash-filter workload: one probabilistic rule over the

@@ -1,6 +1,6 @@
 //! Experiment registry and dispatch.
 
-use crate::experiments::{ablations, attest, dataplane, ixp, scenario, solver};
+use crate::experiments::{ablations, attest, dataplane, ixp, scenario, service, solver};
 use vif_interdomain::AttackSourceModel;
 
 /// Identifiers of every reproducible artifact.
@@ -32,6 +32,9 @@ pub enum ExperimentId {
     Shard,
     /// Adaptive attack scenario with live rule churn (beyond the paper).
     Scenario,
+    /// Activation latency of epoch publication on the always-on service
+    /// (beyond the paper).
+    Service,
     /// Fig. 11a: DNS-resolver coverage.
     Fig11a,
     /// Fig. 11b: Mirai coverage.
@@ -51,7 +54,7 @@ pub enum ExperimentId {
 }
 
 /// All experiments in presentation order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 21] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 22] = [
     ExperimentId::Fig3a,
     ExperimentId::Fig3b,
     ExperimentId::Fig8,
@@ -65,6 +68,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 21] = [
     ExperimentId::Batch,
     ExperimentId::Shard,
     ExperimentId::Scenario,
+    ExperimentId::Service,
     ExperimentId::Fig11a,
     ExperimentId::Fig11b,
     ExperimentId::Tab3,
@@ -92,6 +96,7 @@ impl ExperimentId {
             ExperimentId::Batch => "batch",
             ExperimentId::Shard => "shard",
             ExperimentId::Scenario => "scenario",
+            ExperimentId::Service => "service",
             ExperimentId::Fig11a => "fig11a",
             ExperimentId::Fig11b => "fig11b",
             ExperimentId::Tab3 => "tab3",
@@ -141,6 +146,7 @@ pub fn run_experiment(id: ExperimentId, scale: Scale) -> String {
         }),
         ExperimentId::Shard => dataplane::shard(ms),
         ExperimentId::Scenario => scenario::scenario(scale == Scale::Quick),
+        ExperimentId::Service => service::service(scale == Scale::Quick),
         ExperimentId::Fig11a => ixp::fig11(AttackSourceModel::DnsResolvers, victims, 77),
         ExperimentId::Fig11b => ixp::fig11(AttackSourceModel::MiraiBotnet, victims, 77),
         ExperimentId::Tab3 => ixp::tab3(77),

@@ -13,7 +13,7 @@ use crate::hybrid::HybridFilter;
 use crate::logs::{AuthenticatedSketch, LogDirection, PacketFingerprints, PacketLogs};
 use crate::rpki::{OwnerId, RpkiRegistry};
 use crate::rules::{FilterRule, RuleAction};
-use crate::ruleset::RuleSet;
+use crate::ruleset::{RuleId, RuleSet};
 use crate::session::{derive_session_keys, SessionError};
 use std::sync::Arc;
 use vif_crypto::channel::SecureChannel;
@@ -34,6 +34,23 @@ pub struct FilterStats {
     /// Packets that matched none of this enclave's rules while strict
     /// scoping was enabled — evidence of load-balancer misbehavior (§IV-B).
     pub misrouted: u64,
+}
+
+/// A queued rule mutation awaiting epoch publication.
+///
+/// The deferred churn path ([`FilterEnclaveApp::receive_rules_deferred`],
+/// [`FilterEnclaveApp::receive_rule_withdrawal_deferred`]) accepts and
+/// authorizes edits without touching the live rule set; they sit in this
+/// form until the cluster's publisher drains them with
+/// [`FilterEnclaveApp::take_publish_snapshot`], rebuilds off the hot path,
+/// and swaps the result in with
+/// [`FilterEnclaveApp::install_published`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RuleEdit {
+    /// Install a new rule (id assigned at publication, in queue order).
+    Install(FilterRule),
+    /// Withdraw the rule with this id.
+    Withdraw(RuleId),
 }
 
 /// The enclave-resident filter application.
@@ -60,6 +77,11 @@ pub struct FilterEnclaveApp {
     /// derives each packet's log/steering fingerprints exactly once here
     /// and threads them through filtering and the audited logs.
     fp_scratch: Vec<PacketFingerprints>,
+    /// Accepted-but-unpublished rule edits (the deferred churn queue).
+    pending: Vec<RuleEdit>,
+    /// Epochs published into this enclave (one per
+    /// [`install_published`](FilterEnclaveApp::install_published)).
+    publish_epoch: u64,
 }
 
 impl FilterEnclaveApp {
@@ -78,6 +100,8 @@ impl FilterEnclaveApp {
             channel: None,
             scratch: Vec::new(),
             fp_scratch: Vec::new(),
+            pending: Vec::new(),
+            publish_epoch: 0,
         }
     }
 
@@ -135,6 +159,96 @@ impl FilterEnclaveApp {
     ) -> Result<Vec<u8>, SessionError> {
         let channel = self.channel.as_mut().ok_or(SessionError::NotEstablished)?;
         let payload = channel.open(frame)?;
+        let rules = Self::decode_rule_frame(&payload)?;
+        let count = rules.len();
+        rpki.authorize(requester, &rules)?;
+        // insert_rules (not a raw ruleset insert) so the hybrid's
+        // exact-match cache is invalidated: a newly installed rule can
+        // change the reference verdict of an already-promoted flow.
+        self.filter.insert_rules(rules);
+        let ack = channel.seal(&(count as u32).to_le_bytes());
+        Ok(ack)
+    }
+
+    /// The deferred form of [`receive_rules`](FilterEnclaveApp::receive_rules):
+    /// decrypt, decode, and authorize exactly as the immediate path does,
+    /// but **queue** the installs instead of mutating the live rule set —
+    /// the rules take force only at the next epoch publication
+    /// ([`take_publish_snapshot`](FilterEnclaveApp::take_publish_snapshot) /
+    /// [`install_published`](FilterEnclaveApp::install_published)), so the
+    /// data path never observes a rebuild in progress. The acknowledgement
+    /// carries the number of rules queued.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]; nothing is queued on any failure.
+    pub fn receive_rules_deferred(
+        &mut self,
+        frame: &[u8],
+        requester: &OwnerId,
+        rpki: &RpkiRegistry,
+    ) -> Result<Vec<u8>, SessionError> {
+        let channel = self.channel.as_mut().ok_or(SessionError::NotEstablished)?;
+        let payload = channel.open(frame)?;
+        let rules = Self::decode_rule_frame(&payload)?;
+        let count = rules.len();
+        rpki.authorize(requester, &rules)?;
+        self.pending
+            .extend(rules.into_iter().map(RuleEdit::Install));
+        let ack = channel.seal(&(count as u32).to_le_bytes());
+        Ok(ack)
+    }
+
+    /// Receives an encrypted rule withdrawal (§VI-B churn, the removal
+    /// counterpart of [`receive_rules`](FilterEnclaveApp::receive_rules)):
+    /// decrypt, withdraw each listed [`RuleId`],
+    /// and return an authenticated acknowledgement carrying the number of
+    /// rules actually taken out of force.
+    ///
+    /// No RPKI check is needed: a victim can only ever withdraw rules it
+    /// installed over this same attested channel, and removal never widens
+    /// what gets filtered.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]; nothing is withdrawn on any failure.
+    pub fn receive_rule_withdrawal(&mut self, frame: &[u8]) -> Result<Vec<u8>, SessionError> {
+        let channel = self.channel.as_mut().ok_or(SessionError::NotEstablished)?;
+        let payload = channel.open(frame)?;
+        let ids = Self::decode_id_frame(&payload)?;
+        let removed = self.filter.remove_rules(&ids);
+        let ack = channel.seal(&(removed as u32).to_le_bytes());
+        Ok(ack)
+    }
+
+    /// The deferred form of
+    /// [`receive_rule_withdrawal`](FilterEnclaveApp::receive_rule_withdrawal):
+    /// decrypt and decode as the immediate path does, but queue the
+    /// withdrawals for the next epoch publication instead of unlinking the
+    /// rules now. Because the edits have not been applied yet, the
+    /// acknowledgement carries the number of ids *queued* (the immediate
+    /// path acks the number actually in force — that count exists only
+    /// after publication).
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]; nothing is queued on any failure.
+    pub fn receive_rule_withdrawal_deferred(
+        &mut self,
+        frame: &[u8],
+    ) -> Result<Vec<u8>, SessionError> {
+        let channel = self.channel.as_mut().ok_or(SessionError::NotEstablished)?;
+        let payload = channel.open(frame)?;
+        let ids = Self::decode_id_frame(&payload)?;
+        let count = ids.len();
+        self.pending.extend(ids.into_iter().map(RuleEdit::Withdraw));
+        let ack = channel.seal(&(count as u32).to_le_bytes());
+        Ok(ack)
+    }
+
+    /// Decodes a rule-submission payload: `count: u32 LE` then `count`
+    /// 29-byte rule encodings.
+    fn decode_rule_frame(payload: &[u8]) -> Result<Vec<FilterRule>, SessionError> {
         if payload.len() < 4 {
             return Err(SessionError::BadAck);
         }
@@ -149,31 +263,12 @@ impl FilterEnclaveApp {
         for chunk in body.chunks_exact(29) {
             rules.push(FilterRule::decode(chunk).map_err(SessionError::RuleDecode)?);
         }
-        rpki.authorize(requester, &rules)?;
-        // insert_rules (not a raw ruleset insert) so the hybrid's
-        // exact-match cache is invalidated: a newly installed rule can
-        // change the reference verdict of an already-promoted flow.
-        self.filter.insert_rules(rules);
-        let ack = channel.seal(&(count as u32).to_le_bytes());
-        Ok(ack)
+        Ok(rules)
     }
 
-    /// Receives an encrypted rule withdrawal (§VI-B churn, the removal
-    /// counterpart of [`receive_rules`](FilterEnclaveApp::receive_rules)):
-    /// decrypt, withdraw each listed [`RuleId`](crate::ruleset::RuleId),
-    /// and return an authenticated acknowledgement carrying the number of
-    /// rules actually taken out of force.
-    ///
-    /// No RPKI check is needed: a victim can only ever withdraw rules it
-    /// installed over this same attested channel, and removal never widens
-    /// what gets filtered.
-    ///
-    /// # Errors
-    ///
-    /// See [`SessionError`]; nothing is withdrawn on any failure.
-    pub fn receive_rule_withdrawal(&mut self, frame: &[u8]) -> Result<Vec<u8>, SessionError> {
-        let channel = self.channel.as_mut().ok_or(SessionError::NotEstablished)?;
-        let payload = channel.open(frame)?;
+    /// Decodes a withdrawal payload: `count: u32 LE` then `count` 4-byte
+    /// little-endian rule ids.
+    fn decode_id_frame(payload: &[u8]) -> Result<Vec<RuleId>, SessionError> {
         if payload.len() < 4 {
             return Err(SessionError::BadAck);
         }
@@ -184,13 +279,10 @@ impl FilterEnclaveApp {
                 crate::rules::RuleDecodeError::WrongLength(body.len()),
             ));
         }
-        let ids: Vec<crate::ruleset::RuleId> = body
+        Ok(body
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect();
-        let removed = self.filter.remove_rules(&ids);
-        let ack = channel.seal(&(removed as u32).to_le_bytes());
-        Ok(ack)
+            .collect())
     }
 
     /// Installs additional rules directly (control-plane ECall for tests
@@ -297,6 +389,59 @@ impl FilterEnclaveApp {
         let secret = *self.filter.secret();
         let max = self.filter.max_cached_flows();
         self.filter = HybridFilter::new(StatelessFilter::new(ruleset, secret), max);
+    }
+
+    /// Queues rule edits directly (control-plane ECall; session-driven
+    /// deferred churn goes through the `*_deferred` receivers). Nothing
+    /// takes force until the next epoch publication.
+    pub fn queue_edits<I: IntoIterator<Item = RuleEdit>>(&mut self, edits: I) {
+        self.pending.extend(edits);
+    }
+
+    /// Number of queued-but-unpublished edits.
+    pub fn pending_edits(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of queued installs — with the live slot count
+    /// ([`ruleset().len()`](RuleSet::len)) this names the id the *next*
+    /// queued install will get at publication, so callers can pre-compute
+    /// ids for withdrawals of not-yet-published rules.
+    pub fn pending_installs(&self) -> usize {
+        self.pending
+            .iter()
+            .filter(|e| matches!(e, RuleEdit::Install(_)))
+            .count()
+    }
+
+    /// Epoch-publication step 1 (a brief ECall): hand the publisher a clone
+    /// of the live rule set — cheap, the compiled classifier rides along as
+    /// a shared [`Arc`] handle — plus the drained pending-edit queue. The
+    /// publisher applies the edits and rebuilds **outside** the enclave
+    /// lock, then re-enters with
+    /// [`install_published`](FilterEnclaveApp::install_published).
+    pub fn take_publish_snapshot(&mut self) -> (RuleSet, Vec<RuleEdit>) {
+        (
+            self.filter.inner().ruleset().clone(),
+            std::mem::take(&mut self.pending),
+        )
+    }
+
+    /// Epoch-publication step 2 (a brief ECall): swap in a rule set the
+    /// publisher rebuilt off the hot path. Identical observable semantics
+    /// to a redistribution install — the hybrid cache flushes and the rule
+    /// telemetry counters restart — plus an epoch bump, so concurrent
+    /// readers can tell exactly which rule generation a burst was decided
+    /// under.
+    pub fn install_published(&mut self, ruleset: RuleSet) {
+        self.install_ruleset(ruleset);
+        self.reset_rule_counters();
+        self.publish_epoch += 1;
+    }
+
+    /// Epochs published into this enclave since launch.
+    pub fn epoch(&self) -> u64 {
+        self.publish_epoch
     }
 
     /// Counters.

@@ -15,8 +15,12 @@ use crate::rules::RuleAction;
 use crate::verify::{AuditError, AuditReport, BypassVerdict, NeighborVerifier, VictimVerifier};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
-use vif_dataplane::{run_sharded_with_steering, shard_of, FiveTuple, Packet, ShardedReport};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use vif_dataplane::{
+    shard_of, shard_of_fingerprint, DataplaneService, FiveTuple, Packet, ServiceConfig,
+    ServiceHandle, ShardedReport,
+};
 use vif_sgx::Enclave;
 use vif_sketch::hash::fingerprint;
 
@@ -289,27 +293,25 @@ impl ShardedRun {
         self
     }
 
-    /// Pushes `traffic` through the live sharded data path and closes the
-    /// audited round.
-    pub fn execute(self, traffic: Vec<Packet>) -> ShardedRunReport {
+    /// Starts the always-on service form of this run and hands `body` a
+    /// [`ShardedSession`] to drive: the worker threads, rings, stages, and
+    /// the cluster-wide [`ClusterRoundDriver`] persist across every
+    /// [`round`](ShardedSession::round) the body executes, so rounds and
+    /// audits are messages to a running dataplane rather than fresh
+    /// harness invocations. Rule churn published into the enclaves between
+    /// rounds (`EnclaveCluster::publish`) takes effect mid-service without
+    /// the workers ever stopping.
+    ///
+    /// [`execute`](ShardedRun::execute) is the one-round special case.
+    pub fn serve<T>(self, body: impl FnOnce(&mut ShardedSession<'_, '_>) -> T) -> T {
         let n = self.enclaves.len();
-        let mut driver = ClusterRoundDriver::new(
+        let driver = ClusterRoundDriver::new(
             self.enclaves.clone(),
             self.sketch_seed,
             self.audit_key,
             self.tolerance,
             self.policy,
         );
-
-        // Neighbor ASes observe what they hand over, attributed to the
-        // slice the public steering *should* deliver it to — fingerprint
-        // once per packet, shared between attribution and the local sketch.
-        for pkt in &traffic {
-            let fp = crate::logs::PacketFingerprints::of(&pkt.tuple);
-            driver
-                .neighbor_verifier_mut(vif_dataplane::shard_of_fingerprint(fp.tuple, n))
-                .observe_fingerprint(fp.src_ip);
-        }
 
         let stages: Vec<EnclaveFilterStage> = self
             .enclaves
@@ -321,7 +323,7 @@ impl ShardedRun {
         // shared public hash — any drift between steering and the
         // verifiers' attribution must come from the adversary alone.
         let misroute = self.adversary.misroute_fraction;
-        let steer = move |t: &FiveTuple| {
+        let steer: SessionSteer = Box::new(move |t: &FiveTuple| {
             let honest = shard_of(t, n);
             if misroute > 0.0 {
                 // Decide deterministically from a different slice of the
@@ -334,42 +336,143 @@ impl ShardedRun {
                 }
             }
             honest
-        };
+        });
 
-        // Forwarded packets are collected on the TX thread; the victim
-        // verifiers consume them after the run (the victim is off-path).
-        let forwarded: std::sync::Mutex<Vec<FiveTuple>> = std::sync::Mutex::new(Vec::new());
-        let drop_after = self.adversary.drop_after_worker;
-        let dataplane = run_sharded_with_steering(
-            traffic,
+        // Forwarded packets are collected on the TX thread; the session
+        // drains this buffer at each round barrier (the victim is
+        // off-path). `drop_after` is read per delivery so the session can
+        // re-aim attack 2 between rounds; `NO_DROP_WORKER` means honest.
+        let forwarded: Mutex<Vec<FiveTuple>> = Mutex::new(Vec::new());
+        let drop_after = AtomicUsize::new(
+            self.adversary
+                .drop_after_worker
+                .unwrap_or(ShardedSession::NO_DROP_WORKER),
+        );
+
+        let config = ServiceConfig {
+            ring_capacity: self.ring_capacity,
+            burst: self.burst,
+            ..Default::default()
+        };
+        DataplaneService::new(config).run(
             stages,
             |worker, pkt| {
                 // Attack 2, per slice: the network steals this worker's
                 // post-filter output before the victim sees it.
-                if drop_after != Some(worker) {
+                if drop_after.load(Ordering::Relaxed) != worker {
                     forwarded.lock().unwrap().push(pkt.tuple);
                 }
             },
-            self.ring_capacity,
-            self.burst,
             steer,
-        );
+            |handle| {
+                let mut session = ShardedSession {
+                    handle,
+                    driver,
+                    forwarded: &forwarded,
+                    drop_after: &drop_after,
+                    n,
+                    last_forwarded: Vec::new(),
+                };
+                body(&mut session)
+            },
+        )
+    }
 
-        // The victim attributes received packets by the same public hash —
-        // one tuple fingerprint per packet feeds both the slice attribution
-        // and the local per-5-tuple sketch.
-        for t in forwarded.into_inner().unwrap() {
+    /// Pushes `traffic` through the live sharded data path and closes the
+    /// audited round — a one-round [`serve`](ShardedRun::serve).
+    pub fn execute(self, traffic: Vec<Packet>) -> ShardedRunReport {
+        self.serve(|session| session.round(&traffic))
+    }
+}
+
+/// Type-erased steering function of a [`ShardedSession`] (boxed so the
+/// session type stays nameable by callers of [`ShardedRun::serve`]).
+pub type SessionSteer = Box<dyn FnMut(&FiveTuple) -> usize>;
+
+/// A running, audited sharded service: the multi-round control channel
+/// [`ShardedRun::serve`] hands its body.
+///
+/// Each [`round`](ShardedSession::round) is a message exchange with the
+/// persistent dataplane — neighbor verifiers observe the offered traffic,
+/// the packets flow through the live workers, the round barrier flushes,
+/// victim verifiers observe what actually arrived, and the cluster driver
+/// audits every slice. Between rounds the caller may churn rules
+/// (`EnclaveCluster::publish`) or re-aim the adversary; the workers never
+/// stop.
+pub struct ShardedSession<'h, 'scope> {
+    handle: &'h mut ServiceHandle<'scope, SessionSteer>,
+    driver: ClusterRoundDriver,
+    forwarded: &'h Mutex<Vec<FiveTuple>>,
+    drop_after: &'h AtomicUsize,
+    n: usize,
+    /// The previous round's forwarded tuples, drained at the barrier.
+    last_forwarded: Vec<FiveTuple>,
+}
+
+impl ShardedSession<'_, '_> {
+    /// Sentinel for "no worker's output is stolen".
+    const NO_DROP_WORKER: usize = usize::MAX;
+
+    /// Number of filter workers (= enclave slices).
+    pub fn workers(&self) -> usize {
+        self.n
+    }
+
+    /// Rounds flushed so far.
+    pub fn rounds(&self) -> u64 {
+        self.handle.rounds()
+    }
+
+    /// Re-aims (or clears) the per-slice output-stealing adversary for
+    /// subsequent rounds. Safe between rounds: the previous round's
+    /// barrier guarantees no forwarded packet is still in flight.
+    pub fn set_drop_after_worker(&mut self, worker: Option<usize>) {
+        self.drop_after
+            .store(worker.unwrap_or(Self::NO_DROP_WORKER), Ordering::Relaxed);
+    }
+
+    /// The forwarded five tuples of the most recent round, in TX delivery
+    /// order — what the victim actually received (post-adversary). Control
+    /// loops consume these for scoring and heavy-hitter estimation.
+    pub fn forwarded(&self) -> &[FiveTuple] {
+        &self.last_forwarded
+    }
+
+    /// Runs one audited round over the live service: observe → offer →
+    /// barrier → observe → audit.
+    pub fn round(&mut self, traffic: &[Packet]) -> ShardedRunReport {
+        let n = self.n;
+        // Neighbor ASes observe what they hand over, attributed to the
+        // slice the public steering *should* deliver it to — fingerprint
+        // once per packet, shared between attribution and the local sketch.
+        for pkt in traffic {
+            let fp = crate::logs::PacketFingerprints::of(&pkt.tuple);
+            self.driver
+                .neighbor_verifier_mut(shard_of_fingerprint(fp.tuple, n))
+                .observe_fingerprint(fp.src_ip);
+        }
+
+        let dataplane = self.handle.round(traffic).clone();
+
+        // The round barrier has passed: the sink saw every forwarded
+        // packet of this round. Drain them and let the victim attribute
+        // each by the same public hash — one tuple fingerprint per packet
+        // feeds both the slice attribution and the local sketch.
+        self.last_forwarded.clear();
+        self.last_forwarded
+            .append(&mut self.forwarded.lock().unwrap());
+        for t in &self.last_forwarded {
             let fp = t.tuple_fingerprint();
-            driver
-                .victim_verifier_mut(vif_dataplane::shard_of_fingerprint(fp, n))
+            self.driver
+                .victim_verifier_mut(shard_of_fingerprint(fp, n))
                 .observe_fingerprint(fp);
         }
 
-        let audit = driver.close_round();
+        let audit = self.driver.close_round();
         ShardedRunReport {
             dataplane,
             audit,
-            state: driver.state(),
+            state: self.driver.state(),
         }
     }
 }

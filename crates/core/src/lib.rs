@@ -68,9 +68,10 @@ pub mod verify;
 pub mod prelude {
     pub use crate::backend::FilterBackend;
     pub use crate::cost::{CostModel, FilterMode};
-    pub use crate::enclave_app::{EnclaveFilterStage, FilterEnclaveApp};
+    pub use crate::enclave_app::{EnclaveFilterStage, FilterEnclaveApp, RuleEdit};
     pub use crate::endtoend::{
-        AdversaryBehavior, FilteringRun, RunReport, ShardAdversary, ShardedRun, ShardedRunReport,
+        AdversaryBehavior, FilteringRun, RunReport, SessionSteer, ShardAdversary, ShardedRun,
+        ShardedRunReport, ShardedSession,
     };
     pub use crate::filter::StatelessFilter;
     pub use crate::hybrid::HybridFilter;
@@ -82,7 +83,7 @@ pub mod prelude {
     pub use crate::rpki::RpkiRegistry;
     pub use crate::rules::{FilterRule, FlowPattern, PortRange, RuleAction, RuleDecision};
     pub use crate::ruleset::{RuleId, RuleSet};
-    pub use crate::scale::{EnclaveCluster, LoadBalancer, LoadBalancerBehavior};
+    pub use crate::scale::{EnclaveCluster, LoadBalancer, LoadBalancerBehavior, PublishReport};
     pub use crate::session::{FilteringSession, SessionConfig, SessionError};
     pub use crate::sketch_backend::SketchAcceleratedFilter;
     pub use crate::verify::{BypassVerdict, NeighborVerifier, VictimVerifier};

@@ -24,6 +24,7 @@ use crate::classifier::CompiledClassifier;
 use crate::fasthash::FxHashMap;
 use crate::rules::FilterRule;
 use std::collections::HashMap;
+use std::sync::Arc;
 use vif_dataplane::FiveTuple;
 use vif_trie::{Ipv4Prefix, MultiBitTrie};
 
@@ -64,8 +65,12 @@ pub struct RuleSet {
     /// Authoritative coarse-rule store (rebuilds, memory model, and the
     /// reference classifier); the hot path runs on `compiled`.
     coarse: MultiBitTrie<Vec<RuleId>>,
-    /// Read-only compiled classifier, rebuilt on every mutation.
-    compiled: CompiledClassifier,
+    /// Read-only compiled classifier, rebuilt on every mutation. Behind an
+    /// [`Arc`] so cloning a rule set (the epoch-publication path: one
+    /// prebuilt rule set cloned into every cluster slice) shares the
+    /// compiled table instead of deep-copying it — the publish ecall stays
+    /// O(rules) for the metadata vectors, not O(trie).
+    compiled: Arc<CompiledClassifier>,
     /// Classifier rebuilds performed since construction (regression
     /// telemetry: bulk churn through [`batch_edit`](RuleSet::batch_edit)
     /// must coalesce to one).
@@ -87,7 +92,7 @@ impl RuleSet {
             counters: Vec::new(),
             removed: Vec::new(),
             exact: FxHashMap::default(),
-            compiled: CompiledClassifier::compile(&coarse, &[]),
+            compiled: Arc::new(CompiledClassifier::compile(&coarse, &[])),
             coarse,
             rebuilds: 0,
         }
@@ -234,7 +239,7 @@ impl RuleSet {
     /// Rebuilds the compiled hot-path classifier from the authoritative
     /// structures (the install-time table swap).
     fn recompile(&mut self) {
-        self.compiled = CompiledClassifier::compile(&self.coarse, &self.rules);
+        self.compiled = Arc::new(CompiledClassifier::compile(&self.coarse, &self.rules));
         self.rebuilds += 1;
     }
 
@@ -332,6 +337,17 @@ impl RuleSet {
     #[inline]
     pub fn allow_threshold(&self, id: RuleId) -> u128 {
         self.compiled.allow_threshold(id)
+    }
+
+    /// The shared handle to the compiled hot-path classifier.
+    ///
+    /// Rule sets cloned from one another (and not mutated since) return
+    /// pointer-equal handles — the property the cluster's epoch publication
+    /// relies on: one rebuild, N slices sharing the same compiled table.
+    /// Any mutation replaces the handle wholesale (never edits in place),
+    /// so a reader holding a clone of the `Arc` observes a frozen epoch.
+    pub fn compiled_handle(&self) -> &Arc<CompiledClassifier> {
+        &self.compiled
     }
 
     /// The reference classifier: the exact-match probe followed by a

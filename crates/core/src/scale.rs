@@ -16,7 +16,7 @@
 //! master recomputes the partition with the greedy allocator, and every
 //! enclave installs its new slice.
 
-use crate::enclave_app::FilterEnclaveApp;
+use crate::enclave_app::{FilterEnclaveApp, RuleEdit};
 use crate::rules::RuleAction;
 use crate::ruleset::{RuleId, RuleSet};
 use std::sync::Arc;
@@ -193,6 +193,20 @@ pub struct RedistributionReport {
     pub bytes_per_rule: Vec<u64>,
     /// Greedy solve time.
     pub solve_time: std::time::Duration,
+}
+
+/// Report of one epoch publication ([`EnclaveCluster::publish`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishReport {
+    /// Queued edits drained from the master.
+    pub edits: usize,
+    /// Installs among them (ids assigned in queue order from the
+    /// pre-publication slot count).
+    pub installs: usize,
+    /// Withdrawals that were actually in force.
+    pub withdrawals: usize,
+    /// The master's epoch counter after the swap.
+    pub epoch: u64,
 }
 
 /// A pool of filter enclaves with its load balancer.
@@ -637,6 +651,81 @@ impl EnclaveCluster {
             }
         }
         bytes_per_rule
+    }
+
+    /// Publishes one rule epoch: drains the master's deferred-edit queue
+    /// (accepted through the session's `*_deferred` calls or
+    /// [`FilterEnclaveApp::queue_edits`]), applies the whole set with
+    /// **one** classifier rebuild *outside* any enclave lock, then swaps
+    /// the prebuilt rule set into every slice with a brief install ECall.
+    ///
+    /// This is the churn path of the always-on dataplane: the expensive
+    /// work (trie/classifier recompile, linear in the rule count) happens
+    /// on the publisher's thread while workers keep deciding packets
+    /// against the old epoch; each slice's swap is an O(1)-ish pointer
+    /// publication because every [`RuleSet`] clone shares the compiled
+    /// classifier behind an `Arc`
+    /// ([`RuleSet::compiled_handle`](crate::ruleset::RuleSet::compiled_handle)).
+    /// Observable rule semantics match an immediate-churn + replicated
+    /// [`redistribute`](EnclaveCluster::redistribute) round: edits apply
+    /// in queue order (installs take the next slot ids), every slice ends
+    /// on the identical rule set, hybrid caches flush, and rule telemetry
+    /// counters restart.
+    ///
+    /// Returns what was published; with an empty queue this still swaps
+    /// (bumping the epoch) so callers can use it as a barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a partitioned cluster (publication re-replicates the
+    /// master's rules) or an out-of-range master index.
+    pub fn publish(&mut self, master: usize) -> PublishReport {
+        assert!(master < self.enclaves.len(), "master index out of range");
+        assert!(self.replicated, "epoch publication is replicated-only");
+        // Step 1 — brief ECall: snapshot the master's live rule set (the
+        // compiled classifier rides along as a shared Arc) and drain the
+        // pending queue.
+        let (mut rs, edits) = self.enclaves[master].ecall(|app| app.take_publish_snapshot());
+        // Step 2 — off the lock: apply every edit with one rebuild.
+        let mut installs = 0usize;
+        let mut withdrawals = 0usize;
+        rs.batch_edit(|edit| {
+            for e in &edits {
+                match e {
+                    RuleEdit::Install(rule) => {
+                        edit.insert(*rule);
+                        installs += 1;
+                    }
+                    RuleEdit::Withdraw(id) => {
+                        withdrawals += usize::from(edit.remove(*id));
+                    }
+                }
+            }
+        });
+        // Step 3 — brief ECall per slice: swap the prebuilt set in.
+        for enclave in &self.enclaves {
+            let replica = rs.clone();
+            enclave.ecall(move |app| app.install_published(replica));
+        }
+        let epoch = self.enclaves[master].ecall(|app| app.epoch());
+        let n = self.enclaves.len();
+        let all_ids: Vec<RuleId> = (0..rs.len() as RuleId).collect();
+        self.slices = vec![all_ids; n];
+        self.full_ruleset = rs;
+        self.lb = LoadBalancer::new(
+            self.full_ruleset.len(),
+            &Allocation {
+                enclaves: vec![Vec::<RuleShare>::new(); n],
+            },
+            n,
+            LoadBalancerBehavior::Honest,
+        );
+        PublishReport {
+            edits: edits.len(),
+            installs,
+            withdrawals,
+            epoch,
+        }
     }
 
     /// The replicated-mode redistribution round (see

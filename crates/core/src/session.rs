@@ -258,28 +258,43 @@ impl FilteringSession {
         rules: &[FilterRule],
         rpki: &RpkiRegistry,
     ) -> Result<usize, SessionError> {
-        let mut payload = Vec::with_capacity(4 + rules.len() * 29);
-        payload.extend_from_slice(&(rules.len() as u32).to_le_bytes());
-        for r in rules {
-            payload.extend_from_slice(&r.encode());
-        }
-        let frame = self.victim_channel.seal(&payload);
-
+        let frame = self.victim_channel.seal(&Self::encode_rules(rules));
         let identity = self.identity;
         let rpki = rpki.clone();
         let ack = self
             .enclave
             .ecall(move |app| app.receive_rules(&frame, &identity, &rpki))?;
-
         // The enclave acks with the rule count over the channel.
-        let ack_payload = self.victim_channel.open(&ack)?;
-        let n = u32::from_le_bytes(
-            ack_payload
-                .get(..4)
-                .ok_or(SessionError::BadAck)?
-                .try_into()
-                .expect("4 bytes"),
-        ) as usize;
+        let n = self.open_count_ack(&ack)?;
+        if n != rules.len() {
+            return Err(SessionError::BadAck);
+        }
+        Ok(n)
+    }
+
+    /// The deferred form of [`submit_rules`](FilteringSession::submit_rules):
+    /// the enclave decrypts and RPKI-authorizes the rules now but only
+    /// **queues** them — they take force at the cluster's next epoch
+    /// publication (`EnclaveCluster::publish`), never stalling the data
+    /// path mid-round. Same wire format, same authorization; the ack counts
+    /// rules queued.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_rules`](FilteringSession::submit_rules); nothing is
+    /// queued on failure.
+    pub fn submit_rules_deferred(
+        &mut self,
+        rules: &[FilterRule],
+        rpki: &RpkiRegistry,
+    ) -> Result<usize, SessionError> {
+        let frame = self.victim_channel.seal(&Self::encode_rules(rules));
+        let identity = self.identity;
+        let rpki = rpki.clone();
+        let ack = self
+            .enclave
+            .ecall(move |app| app.receive_rules_deferred(&frame, &identity, &rpki))?;
+        let n = self.open_count_ack(&ack)?;
         if n != rules.len() {
             return Err(SessionError::BadAck);
         }
@@ -303,27 +318,73 @@ impl FilteringSession {
         &mut self,
         ids: &[crate::ruleset::RuleId],
     ) -> Result<usize, SessionError> {
+        let frame = self.victim_channel.seal(&Self::encode_ids(ids));
+        let ack = self
+            .enclave
+            .ecall(move |app| app.receive_rule_withdrawal(&frame))?;
+        let removed = self.open_count_ack(&ack)?;
+        if removed > ids.len() {
+            return Err(SessionError::BadAck);
+        }
+        Ok(removed)
+    }
+
+    /// The deferred form of
+    /// [`withdraw_rules`](FilteringSession::withdraw_rules): the enclave
+    /// queues the withdrawals for the next epoch publication instead of
+    /// unlinking them immediately. The ack counts ids *queued* (whether
+    /// each was in force is known only at publication), so the returned
+    /// count equals `ids.len()` on success.
+    ///
+    /// # Errors
+    ///
+    /// As [`withdraw_rules`](FilteringSession::withdraw_rules); nothing is
+    /// queued on failure.
+    pub fn withdraw_rules_deferred(
+        &mut self,
+        ids: &[crate::ruleset::RuleId],
+    ) -> Result<usize, SessionError> {
+        let frame = self.victim_channel.seal(&Self::encode_ids(ids));
+        let ack = self
+            .enclave
+            .ecall(move |app| app.receive_rule_withdrawal_deferred(&frame))?;
+        let queued = self.open_count_ack(&ack)?;
+        if queued > ids.len() {
+            return Err(SessionError::BadAck);
+        }
+        Ok(queued)
+    }
+
+    /// Encodes a rule-submission payload (`count` + 29-byte encodings).
+    fn encode_rules(rules: &[FilterRule]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(4 + rules.len() * 29);
+        payload.extend_from_slice(&(rules.len() as u32).to_le_bytes());
+        for r in rules {
+            payload.extend_from_slice(&r.encode());
+        }
+        payload
+    }
+
+    /// Encodes a withdrawal payload (`count` + 4-byte LE ids).
+    fn encode_ids(ids: &[crate::ruleset::RuleId]) -> Vec<u8> {
         let mut payload = Vec::with_capacity(4 + ids.len() * 4);
         payload.extend_from_slice(&(ids.len() as u32).to_le_bytes());
         for id in ids {
             payload.extend_from_slice(&id.to_le_bytes());
         }
-        let frame = self.victim_channel.seal(&payload);
-        let ack = self
-            .enclave
-            .ecall(move |app| app.receive_rule_withdrawal(&frame))?;
-        let ack_payload = self.victim_channel.open(&ack)?;
-        let removed = u32::from_le_bytes(
+        payload
+    }
+
+    /// Opens a sealed acknowledgement carrying one little-endian `u32`.
+    fn open_count_ack(&mut self, ack: &[u8]) -> Result<usize, SessionError> {
+        let ack_payload = self.victim_channel.open(ack)?;
+        Ok(u32::from_le_bytes(
             ack_payload
                 .get(..4)
                 .ok_or(SessionError::BadAck)?
                 .try_into()
                 .expect("4 bytes"),
-        ) as usize;
-        if removed > ids.len() {
-            return Err(SessionError::BadAck);
-        }
-        Ok(removed)
+        ) as usize)
     }
 
     /// A victim-side verifier bound to this session's keys.

@@ -6,7 +6,10 @@
 //! fast-hash tables. This test pins the guarantee with a counting global
 //! allocator: after warmup (buffers at capacity, caches promoted), whole
 //! `decide_batch` bursts across every shipped backend must perform **zero**
-//! heap allocations.
+//! heap allocations. The same counter then pins the whole always-on
+//! service (persistent workers, rings, TX, round barriers) and the
+//! per-worker mbuf caches: entire steady-state rounds allocate nothing,
+//! on any thread.
 //!
 //! Kept to a single `#[test]` on purpose: the test harness runs multiple
 //! tests concurrently, and any other thread's allocations would pollute
@@ -187,4 +190,112 @@ fn decide_batch_is_allocation_free_at_steady_state() {
     );
     assert_eq!(verdicts.len(), pkts.len());
     assert_eq!(app.logs().incoming().total(), 12 * pkts.len() as u64);
+
+    // --- service mode -----------------------------------------------------
+    // The always-on dataplane holds the same guarantee end to end: once the
+    // persistent workers, rings, and scratch buffers are warm, whole rounds
+    // (offer → filter → TX → barrier) across ALL threads perform zero heap
+    // allocations. The counting allocator is global, so the worker and TX
+    // threads' allocations land in the same counter the assertions read.
+    let (ruleset, tuples) = workload();
+    let secret = [7u8; 32];
+    let root = vif_sgx::AttestationRootKey::new([3u8; 32]);
+    let platform = vif_sgx::SgxPlatform::new(11, vif_sgx::EpcConfig::paper_default(), &root);
+    let image = vif_sgx::EnclaveImage::new("vif-alloc", 1, vec![0x90; 1 << 12]);
+    let enclaves: Vec<std::sync::Arc<vif_sgx::Enclave<vif_core::enclave_app::FilterEnclaveApp>>> =
+        (0..2)
+            .map(|_| {
+                let app = vif_core::enclave_app::FilterEnclaveApp::new(
+                    ruleset.clone(),
+                    secret,
+                    3,
+                    [2u8; 32],
+                );
+                std::sync::Arc::new(platform.launch(image.clone(), app))
+            })
+            .collect();
+    let stages: Vec<EnclaveFilterStage> = enclaves
+        .iter()
+        .map(|e| EnclaveFilterStage::new(std::sync::Arc::clone(e), FilterMode::SgxNearZeroCopy))
+        .collect();
+    let traffic: Vec<Packet> = tuples
+        .iter()
+        .cycle()
+        .take(2_048)
+        .enumerate()
+        .map(|(i, t)| Packet::new(*t, 128, i as u64, i as u64))
+        .collect();
+    let delivered = AtomicU64::new(0);
+    let service = vif_dataplane::DataplaneService::new(vif_dataplane::ServiceConfig {
+        ring_capacity: 1 << 12,
+        burst: 32,
+        ..Default::default()
+    });
+    let (before, after, received) = service.run(
+        stages,
+        |_, _| {
+            delivered.fetch_add(1, Ordering::Relaxed);
+        },
+        |t: &FiveTuple| vif_dataplane::shard_of(t, 2),
+        |svc| {
+            // Warm: one round fills the promotion queues, an update period
+            // promotes every hash-path flow into the exact caches, and one
+            // more round brings every ring, batch buffer, and enclave
+            // scratch vec to capacity (and exercises park/unpark once).
+            svc.round(&traffic);
+            for e in &enclaves {
+                e.in_enclave_thread(|app| {
+                    app.apply_update_period();
+                });
+            }
+            svc.round(&traffic);
+            let before = allocations();
+            let mut received = 0u64;
+            for _ in 0..5 {
+                received += svc.round(&traffic).total().received;
+            }
+            (before, allocations(), received)
+        },
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "service mode: {} allocation(s) across 5 steady-state rounds",
+        after - before
+    );
+    assert_eq!(received, 5 * traffic.len() as u64);
+    assert!(delivered.load(Ordering::Relaxed) > 0);
+
+    // --- per-worker mbuf caches -------------------------------------------
+    // The packet-buffer pool's fast path is a per-worker free list over
+    // preallocated slots: steady-state alloc/free cycles (including batch
+    // refill from and spill back to the shared lock-free queue) never touch
+    // the heap.
+    let pool = vif_dataplane::MemPool::new(256);
+    let mut local = vif_dataplane::LocalMemPool::new(&pool, 32);
+    let template = vif_dataplane::Mbuf::header_only(tuples[0], 64);
+    let mut refs = Vec::with_capacity(64);
+    for _ in 0..64 {
+        refs.push(local.alloc(template.clone()).unwrap());
+    }
+    for r in refs.drain(..) {
+        local.free(r).unwrap();
+    }
+    let before = allocations();
+    for _ in 0..10 {
+        for _ in 0..64 {
+            refs.push(local.alloc(template.clone()).unwrap());
+        }
+        for r in refs.drain(..) {
+            local.free(r).unwrap();
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "mbuf local cache: {} allocation(s) across 10 steady-state cycles",
+        after - before
+    );
+    assert_eq!(pool.in_use(), 0);
 }

@@ -18,8 +18,11 @@
 //!   saturation, batching, and queueing behavior deterministically,
 //! - [`threaded`]: the same pipeline run *live* on real threads (one
 //!   filter worker),
-//! - [`sharded`]: the scale-out variant — an RX thread RSS-hashes flows
-//!   across N filter workers that share one TX path (§IV on real threads),
+//! - [`sharded`]: the scale-out variant — RSS-hashed flows across N filter
+//!   workers that share one TX path (§IV on real threads),
+//! - [`service`]: the always-on form of the sharded pipeline — persistent
+//!   workers on persistent rings, rounds as in-band flush messages,
+//!   spin-then-park idling (the one-shot runners are one-round services),
 //! - [`clock`]: the simulated clock.
 //!
 //! The per-packet *costs* that drive the pipeline are supplied by the
@@ -46,16 +49,18 @@ pub mod packet;
 pub mod pipeline;
 pub mod pktgen;
 pub mod ring;
+pub mod service;
 pub mod sharded;
 pub mod threaded;
 
 pub use clock::SimClock;
-pub use mbuf::{Mbuf, MemPool};
+pub use mbuf::{LocalMemPool, Mbuf, MemPool};
 pub use nic::LineRate;
 pub use packet::{FiveTuple, Packet, Protocol};
 pub use pipeline::{PacketStage, PipelineConfig, PipelineReport, StageOutcome, StageVerdict};
 pub use pktgen::{FlowSet, RateShape, TrafficConfig, TrafficGenerator};
 pub use ring::Ring;
+pub use service::{DataplaneService, ServiceConfig, ServiceHandle};
 pub use sharded::{
     run_sharded, run_sharded_with_steering, shard_of, shard_of_fingerprint, ShardedReport,
 };

@@ -5,10 +5,30 @@
 //! enter the enclave. [`MemPool`] models that pool: fixed capacity,
 //! explicit allocate/free, and reference handles ([`MbufRef`]) standing in
 //! for the `*` pointer the enclave returns with its allow/drop verdict.
+//!
+//! # Concurrency model
+//!
+//! The pool used to serialize every operation on one `Mutex<PoolInner>`;
+//! with persistent workers that lock became the allocation bottleneck.
+//! Free slot *indices* now live on a bounded MPMC queue (the same
+//! lock-free `ArrayQueue` the packet rings wrap), so returning a buffer is
+//! a single queue push with no pool-wide lock — any thread can hand a
+//! buffer back without stalling the allocating workers. Each slot guards
+//! its own contents with a tiny per-slot lock, touched only by the current
+//! owner of that slot's index.
+//!
+//! On top of the shared pool, [`LocalMemPool`] gives each worker a private
+//! free-index cache in DPDK mempool-cache style: steady-state alloc/free
+//! cycles hit only the worker's own `Vec`, refilled from / spilled to the
+//! shared queue in batches. All index storage is preallocated at
+//! construction, so steady-state operation performs zero heap allocations
+//! (pinned by `hotpath_alloc.rs` in `vif-core`).
 
 use crate::packet::FiveTuple;
 use bytes::Bytes;
+use crossbeam::queue::ArrayQueue;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A packet buffer: headers (five-tuple), wire size, and payload bytes.
@@ -20,6 +40,19 @@ pub struct Mbuf {
     pub wire_size: u16,
     /// Payload bytes (zero-copy shared).
     pub payload: Bytes,
+}
+
+impl Mbuf {
+    /// A headers-only buffer (empty payload) — the shape the near-zero-copy
+    /// mode keeps inside the enclave boundary, and the cheapest buffer a
+    /// caller without payload bytes in hand can allocate.
+    pub fn header_only(tuple: FiveTuple, wire_size: u16) -> Self {
+        Mbuf {
+            tuple,
+            wire_size,
+            payload: Bytes::new(),
+        }
+    }
 }
 
 /// A reference to an mbuf slot in a [`MemPool`] — the "memory reference ∗"
@@ -47,7 +80,45 @@ impl std::fmt::Display for PoolError {
 
 impl std::error::Error for PoolError {}
 
+#[derive(Debug)]
+struct PoolShared {
+    /// Slot contents, each behind its own lock; a slot is only touched by
+    /// whoever holds its index (from the free queue or a local cache), so
+    /// these locks are never contended — they exist to keep the API safe
+    /// against stale references.
+    slots: Vec<Mutex<Option<Mbuf>>>,
+    /// Free slot indices: the lock-free handoff point between threads.
+    free: ArrayQueue<usize>,
+    /// Currently allocated buffers (capacity − free − locally cached).
+    in_use: AtomicUsize,
+    /// Peak simultaneous allocation observed.
+    high_water: AtomicUsize,
+}
+
+impl PoolShared {
+    fn charge(&self) {
+        let used = self.in_use.fetch_add(1, Ordering::AcqRel) + 1;
+        self.high_water.fetch_max(used, Ordering::AcqRel);
+    }
+
+    fn store(&self, idx: usize, buf: Mbuf) -> MbufRef {
+        *self.slots[idx].lock() = Some(buf);
+        self.charge();
+        MbufRef(idx)
+    }
+
+    fn take(&self, r: MbufRef) -> Result<(usize, Mbuf), PoolError> {
+        let slot = self.slots.get(r.0).ok_or(PoolError::InvalidRef)?;
+        let buf = slot.lock().take().ok_or(PoolError::InvalidRef)?;
+        self.in_use.fetch_sub(1, Ordering::AcqRel);
+        Ok((r.0, buf))
+    }
+}
+
 /// A fixed-capacity packet memory pool (DPDK `rte_mempool`).
+///
+/// Cloning is cheap and shares the pool. For per-worker fast paths, wrap a
+/// clone in a [`LocalMemPool`].
 ///
 /// # Example
 ///
@@ -65,14 +136,7 @@ impl std::error::Error for PoolError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct MemPool {
-    inner: Arc<Mutex<PoolInner>>,
-}
-
-#[derive(Debug)]
-struct PoolInner {
-    slots: Vec<Option<Mbuf>>,
-    free_list: Vec<usize>,
-    high_water: usize,
+    shared: Arc<PoolShared>,
 }
 
 impl MemPool {
@@ -83,29 +147,34 @@ impl MemPool {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "pool capacity must be positive");
+        let free = ArrayQueue::new(capacity);
+        for idx in 0..capacity {
+            let _ = free.push(idx);
+        }
         MemPool {
-            inner: Arc::new(Mutex::new(PoolInner {
-                slots: (0..capacity).map(|_| None).collect(),
-                free_list: (0..capacity).rev().collect(),
-                high_water: 0,
-            })),
+            shared: Arc::new(PoolShared {
+                slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+                free,
+                in_use: AtomicUsize::new(0),
+                high_water: AtomicUsize::new(0),
+            }),
         }
     }
 
     /// Total slot count.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().slots.len()
+        self.shared.slots.len()
     }
 
-    /// Currently allocated buffers.
+    /// Currently allocated buffers (excludes indices parked in
+    /// [`LocalMemPool`] caches, which hold no data).
     pub fn in_use(&self) -> usize {
-        let inner = self.inner.lock();
-        inner.slots.len() - inner.free_list.len()
+        self.shared.in_use.load(Ordering::Acquire)
     }
 
     /// Peak simultaneous allocation observed.
     pub fn high_water(&self) -> usize {
-        self.inner.lock().high_water
+        self.shared.high_water.load(Ordering::Acquire)
     }
 
     /// Allocates a slot for `buf`.
@@ -114,12 +183,8 @@ impl MemPool {
     ///
     /// [`PoolError::Exhausted`] when all slots are in use.
     pub fn alloc(&self, buf: Mbuf) -> Result<MbufRef, PoolError> {
-        let mut inner = self.inner.lock();
-        let idx = inner.free_list.pop().ok_or(PoolError::Exhausted)?;
-        inner.slots[idx] = Some(buf);
-        let used = inner.slots.len() - inner.free_list.len();
-        inner.high_water = inner.high_water.max(used);
-        Ok(MbufRef(idx))
+        let idx = self.shared.free.pop().ok_or(PoolError::Exhausted)?;
+        Ok(self.shared.store(idx, buf))
     }
 
     /// Reads the buffer behind a reference without freeing it.
@@ -128,26 +193,122 @@ impl MemPool {
     ///
     /// [`PoolError::InvalidRef`] for stale or never-issued references.
     pub fn get(&self, r: MbufRef) -> Result<Mbuf, PoolError> {
-        self.inner
-            .lock()
+        self.shared
             .slots
             .get(r.0)
-            .and_then(|s| s.clone())
+            .and_then(|s| s.lock().clone())
             .ok_or(PoolError::InvalidRef)
     }
 
     /// Frees a slot, returning its buffer (TX after ALLOW, or reclamation
-    /// after DROP).
+    /// after DROP). The slot's index goes back on the shared free queue —
+    /// a single lock-free push, safe from any thread.
     ///
     /// # Errors
     ///
     /// [`PoolError::InvalidRef`] on double free or a stale reference.
     pub fn free(&self, r: MbufRef) -> Result<Mbuf, PoolError> {
-        let mut inner = self.inner.lock();
-        let slot = inner.slots.get_mut(r.0).ok_or(PoolError::InvalidRef)?;
-        let buf = slot.take().ok_or(PoolError::InvalidRef)?;
-        inner.free_list.push(r.0);
+        let (idx, buf) = self.shared.take(r)?;
+        // The queue holds every index at most once, so this cannot fail.
+        let _ = self.shared.free.push(idx);
         Ok(buf)
+    }
+}
+
+/// A per-worker view of a [`MemPool`] with a private free-index cache
+/// (DPDK's per-lcore mempool cache).
+///
+/// Steady-state alloc/free cycles touch only this worker's preallocated
+/// `Vec`: an empty cache refills from the shared queue in a batch, an
+/// overfull one spills half back in a batch, so the shared queue is hit
+/// once per `cache_size` operations instead of once per packet — and
+/// buffers freed by *other* threads (e.g. TX returning this worker's
+/// forwarded packets through [`MemPool::free`]) flow back through the
+/// shared queue without ever blocking this worker.
+///
+/// References issued here are plain [`MbufRef`]s: any holder of the
+/// shared pool can `get`/`free` them.
+#[derive(Debug)]
+pub struct LocalMemPool {
+    shared: Arc<PoolShared>,
+    /// Locally parked free indices; capacity `2 * cache_size`, never
+    /// reallocated.
+    cache: Vec<usize>,
+    cache_size: usize,
+}
+
+impl LocalMemPool {
+    /// Creates a worker-local view of `pool` caching up to
+    /// `2 * cache_size` free indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_size` is zero.
+    pub fn new(pool: &MemPool, cache_size: usize) -> Self {
+        assert!(cache_size > 0, "cache size must be positive");
+        LocalMemPool {
+            shared: Arc::clone(&pool.shared),
+            cache: Vec::with_capacity(2 * cache_size),
+            cache_size,
+        }
+    }
+
+    /// Free indices currently parked in this worker's cache.
+    pub fn cached(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Allocates from the local cache, refilling a batch from the shared
+    /// queue when empty.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Exhausted`] when both the cache and the shared queue
+    /// are empty.
+    pub fn alloc(&mut self, buf: Mbuf) -> Result<MbufRef, PoolError> {
+        let idx = match self.cache.pop() {
+            Some(idx) => idx,
+            None => {
+                // Batch refill: one queue hit buys cache_size allocations.
+                for _ in 0..self.cache_size {
+                    match self.shared.free.pop() {
+                        Some(i) => self.cache.push(i),
+                        None => break,
+                    }
+                }
+                self.cache.pop().ok_or(PoolError::Exhausted)?
+            }
+        };
+        Ok(self.shared.store(idx, buf))
+    }
+
+    /// Frees into the local cache, spilling a batch to the shared queue
+    /// when the cache is full.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::InvalidRef`] on double free or a stale reference.
+    pub fn free(&mut self, r: MbufRef) -> Result<Mbuf, PoolError> {
+        let (idx, buf) = self.shared.take(r)?;
+        if self.cache.len() == 2 * self.cache_size {
+            // Spill half: keeps indices circulating to other workers
+            // instead of pooling on one (the DPDK cache flush threshold).
+            for i in self.cache.drain(self.cache_size..) {
+                let _ = self.shared.free.push(i);
+            }
+        }
+        self.cache.push(idx);
+        Ok(buf)
+    }
+}
+
+impl Drop for LocalMemPool {
+    fn drop(&mut self) {
+        // Parked indices go back to the shared pool; a dropped worker
+        // never leaks capacity.
+        for idx in self.cache.drain(..) {
+            let _ = self.shared.free.push(idx);
+        }
     }
 }
 
@@ -216,5 +377,78 @@ mod tests {
         let got = pool.get(a).unwrap();
         // bytes::Bytes clones share the same backing storage.
         assert_eq!(got.payload.as_ptr(), payload.as_ptr());
+    }
+
+    #[test]
+    fn local_cache_allocs_and_spills() {
+        let pool = MemPool::new(64);
+        let mut local = LocalMemPool::new(&pool, 4);
+        // First alloc triggers a batch refill.
+        let refs: Vec<_> = (0..10).map(|_| local.alloc(mk(64)).unwrap()).collect();
+        assert_eq!(pool.in_use(), 10);
+        assert_eq!(pool.high_water(), 10);
+        // Frees park locally up to 2 * cache_size, then spill half.
+        for r in refs {
+            local.free(r).unwrap();
+        }
+        assert_eq!(pool.in_use(), 0);
+        assert!(local.cached() <= 8, "cache bounded: {}", local.cached());
+        // Shared view still works against locally recycled slots.
+        let r = local.alloc(mk(91)).unwrap();
+        assert_eq!(pool.get(r).unwrap().wire_size, 91);
+        assert_eq!(pool.free(r).unwrap().wire_size, 91);
+    }
+
+    #[test]
+    fn cross_thread_handoff_returns_capacity() {
+        // A worker allocates from its local cache, TX frees through the
+        // shared pool (the lock-free handoff), and nothing leaks: every
+        // slot is allocatable again afterwards.
+        let pool = MemPool::new(8);
+        let mut local = LocalMemPool::new(&pool, 2);
+        let refs: Vec<_> = (0..8).map(|_| local.alloc(mk(64)).unwrap()).collect();
+        assert_eq!(local.alloc(mk(9)), Err(PoolError::Exhausted));
+        let tx_pool = pool.clone();
+        std::thread::spawn(move || {
+            for r in refs {
+                tx_pool.free(r).unwrap();
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(pool.in_use(), 0);
+        let again: Vec<_> = (0..8).map(|_| local.alloc(mk(65)).unwrap()).collect();
+        assert_eq!(again.len(), 8);
+        for r in again {
+            pool.free(r).unwrap();
+        }
+    }
+
+    #[test]
+    fn dropping_local_cache_releases_indices() {
+        let pool = MemPool::new(4);
+        {
+            let mut local = LocalMemPool::new(&pool, 2);
+            let r = local.alloc(mk(64)).unwrap();
+            local.free(r).unwrap();
+            assert!(local.cached() > 0);
+        }
+        // All four slots allocatable from the shared pool again.
+        let refs: Vec<_> = (0..4).map(|_| pool.alloc(mk(64)).unwrap()).collect();
+        assert_eq!(refs.len(), 4);
+    }
+
+    #[test]
+    fn steady_state_cycle_stays_local() {
+        let pool = MemPool::new(32);
+        let mut local = LocalMemPool::new(&pool, 8);
+        // Warm the cache, then alloc/free cycles should never exhaust and
+        // never grow the cache past its bound.
+        for _ in 0..100 {
+            let r = local.alloc(mk(64)).unwrap();
+            local.free(r).unwrap();
+            assert!(local.cached() <= 16);
+        }
+        assert_eq!(pool.in_use(), 0);
     }
 }

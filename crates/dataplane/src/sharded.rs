@@ -24,37 +24,21 @@
 //! packet to its slice and audit each slice's logs independently — which is
 //! what lets bypass *and* misroute detection work per worker over this
 //! live path (see `vif-core`'s `ClusterRoundDriver`).
+//!
+//! # One-shot runs are one-round services
+//!
+//! Since the always-on service landed ([`crate::service`]), this module no
+//! longer owns any thread machinery: [`run_sharded_with_steering`] starts a
+//! [`DataplaneService`], offers the whole
+//! traffic vector as a single round, flushes it, and shuts the service
+//! down. There is exactly one copy of the ring/backoff/panic-propagation
+//! logic, and the tear-down-per-call behavior survives purely as a
+//! convenience API for tests and experiments.
 
 use crate::packet::Packet;
-use crate::pipeline::{PacketStage, StageVerdict};
-use crate::ring::Ring;
+use crate::pipeline::PacketStage;
+use crate::service::{DataplaneService, ServiceConfig};
 use crate::threaded::ThreadedReport;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-
-/// Clears an [`AtomicBool`] when dropped — **including on unwind**, so a
-/// pipeline thread that panics (in a user-supplied stage, sink, or
-/// steering function) still signals the threads spinning on its rings to
-/// stop instead of deadlocking the scope join that would propagate the
-/// panic. Every stage-liveness flag in the live pipeline is cleared
-/// through this guard, never by an explicit store.
-struct LiveFlag<'a>(&'a AtomicBool);
-
-impl Drop for LiveFlag<'_> {
-    fn drop(&mut self) {
-        self.0.store(false, Ordering::Release);
-    }
-}
-
-/// Decrements an [`AtomicUsize`] when dropped — the counted-sibling
-/// variant of [`LiveFlag`] for worker pools.
-struct CountedLiveFlag<'a>(&'a AtomicUsize);
-
-impl Drop for CountedLiveFlag<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
-    }
-}
 
 /// RSS steering: the worker that owns `t`'s flow in an `n`-way shard.
 ///
@@ -152,167 +136,28 @@ where
 pub fn run_sharded_with_steering<S, F, R>(
     traffic: Vec<Packet>,
     stages: Vec<S>,
-    mut sink: F,
+    sink: F,
     ring_capacity: usize,
     burst: usize,
-    mut steer: R,
+    steer: R,
 ) -> ShardedReport
 where
     S: PacketStage + Send,
     F: FnMut(usize, &Packet) + Send,
     R: FnMut(&crate::packet::FiveTuple) -> usize + Send,
 {
-    let n = stages.len();
-    assert!(n > 0, "at least one worker stage");
-    assert!(ring_capacity > 0 && burst > 0, "degenerate ring/burst");
-
-    let rx_rings: Vec<Arc<Ring<Packet>>> =
-        (0..n).map(|_| Arc::new(Ring::new(ring_capacity))).collect();
-    let tx_ring: Arc<Ring<(usize, Packet)>> = Arc::new(Ring::new(ring_capacity));
-    let rx_live = Arc::new(AtomicBool::new(true));
-    let workers_live = Arc::new(AtomicUsize::new(n));
-    let tx_live = Arc::new(AtomicBool::new(true));
-
-    let mut report = ShardedReport {
-        per_worker: vec![ThreadedReport::default(); n],
+    let config = ServiceConfig {
+        ring_capacity,
+        burst,
+        ..Default::default()
     };
-
-    std::thread::scope(|scope| {
-        // RX thread: steer each packet to its worker's ring; count ring
-        // overflow as per-worker loss after bounded retries.
-        let rx_rings_prod: Vec<Arc<Ring<Packet>>> = rx_rings.iter().map(Arc::clone).collect();
-        let rx_live_guard = Arc::clone(&rx_live);
-        let rx = scope.spawn(move || {
-            let _live = LiveFlag(&rx_live_guard);
-            let mut received = vec![0u64; n];
-            let mut overflow = vec![0u64; n];
-            for pkt in traffic {
-                let w = steer(&pkt.tuple) % n;
-                received[w] += 1;
-                let mut item = pkt;
-                let mut retries = 0;
-                loop {
-                    match rx_rings_prod[w].enqueue(item) {
-                        Ok(()) => break,
-                        Err(back) => {
-                            item = back;
-                            retries += 1;
-                            if retries > 64 {
-                                overflow[w] += 1;
-                                break;
-                            }
-                            std::thread::yield_now();
-                        }
-                    }
-                }
-            }
-            (received, overflow)
-        });
-
-        // Worker threads: each drains its own ring in bursts through its
-        // own stage and pushes forwarded packets to the shared TX ring.
-        let mut workers = Vec::with_capacity(n);
-        for (w, mut stage) in stages.into_iter().enumerate() {
-            let my_ring = Arc::clone(&rx_rings[w]);
-            let tx_prod = Arc::clone(&tx_ring);
-            let rx_live_flag = Arc::clone(&rx_live);
-            let live_guard = Arc::clone(&workers_live);
-            let tx_live_flag = Arc::clone(&tx_live);
-            workers.push(scope.spawn(move || {
-                // Decrements workers_live even on a panicking stage, so the
-                // TX thread can still terminate and the scope can join.
-                let _live = CountedLiveFlag(&live_guard);
-                let mut filtered = 0u64;
-                let mut forwarded = 0u64;
-                let mut batch = Vec::with_capacity(burst);
-                let mut outcomes = Vec::with_capacity(burst);
-                loop {
-                    batch.clear();
-                    if my_ring.dequeue_burst(&mut batch, burst) == 0 {
-                        if !rx_live_flag.load(Ordering::Acquire) && my_ring.is_empty() {
-                            break;
-                        }
-                        std::thread::yield_now();
-                        continue;
-                    }
-                    outcomes.clear();
-                    stage.process_batch(&batch, &mut outcomes);
-                    debug_assert_eq!(outcomes.len(), batch.len(), "one outcome per packet");
-                    for (pkt, outcome) in batch.iter().zip(&outcomes) {
-                        match outcome.verdict {
-                            StageVerdict::Drop => filtered += 1,
-                            StageVerdict::Forward => {
-                                forwarded += 1;
-                                let mut item = (w, *pkt);
-                                while let Err(back) = tx_prod.enqueue(item) {
-                                    if !tx_live_flag.load(Ordering::Acquire) {
-                                        // TX died mid-run (sink panicked):
-                                        // stop spinning so the scope can
-                                        // join and propagate the panic.
-                                        break;
-                                    }
-                                    item = back;
-                                    std::thread::yield_now();
-                                }
-                            }
-                        }
-                    }
-                }
-                (filtered, forwarded)
-            }));
-        }
-
-        // TX thread: drain forwarded packets from every worker into the
-        // sink (single consumer — the shared egress port of Fig. 5).
-        let tx_cons = Arc::clone(&tx_ring);
-        let live = Arc::clone(&workers_live);
-        let tx_live_guard = Arc::clone(&tx_live);
-        let tx = scope.spawn(move || {
-            let _live = LiveFlag(&tx_live_guard);
-            let mut drained = 0u64;
-            let mut batch: Vec<(usize, Packet)> = Vec::with_capacity(burst);
-            loop {
-                batch.clear();
-                if tx_cons.dequeue_burst(&mut batch, burst) == 0 {
-                    if live.load(Ordering::Acquire) == 0 && tx_cons.is_empty() {
-                        break;
-                    }
-                    std::thread::yield_now();
-                    continue;
-                }
-                for (w, pkt) in &batch {
-                    drained += 1;
-                    sink(*w, pkt);
-                }
-            }
-            drained
-        });
-
-        let (received, overflow) = rx.join().expect("rx thread");
-        for (w, handle) in workers.into_iter().enumerate() {
-            let (filtered, forwarded) = handle.join().expect("worker thread");
-            report.per_worker[w] = ThreadedReport {
-                received: received[w],
-                forwarded,
-                filtered,
-                overflow: overflow[w],
-            };
-        }
-        let drained = tx.join().expect("tx thread");
-        debug_assert_eq!(
-            drained,
-            report.per_worker.iter().map(|w| w.forwarded).sum::<u64>(),
-            "TX drains exactly what workers forwarded"
-        );
-    });
-
-    report
+    DataplaneService::new(config).run(stages, sink, steer, |svc| svc.round(&traffic).clone())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::StageOutcome;
+    use crate::pipeline::{StageOutcome, StageVerdict};
     use crate::pktgen::{FlowSet, TrafficConfig, TrafficGenerator};
 
     fn traffic(count: usize) -> Vec<Packet> {

@@ -8,18 +8,22 @@
 //! 2. builds an RSS-replicated [`EnclaveCluster`] around the master
 //!    ([`EnclaveCluster::launch_rss_with`]) and a [`ClusterRoundDriver`]
 //!    with one verifier pair per slice, all bound to the session keys;
-//! 3. per virtual round: offers the round's packets to the **live**
-//!    sharded pipeline ([`run_sharded`] — real RX/worker/TX threads over
-//!    lock-free rings), observes handed-over and received traffic through
-//!    the per-slice verifiers, and closes an audited round;
+//! 3. starts the **always-on** [`DataplaneService`] once — persistent
+//!    RX/worker/TX threads over persistent lock-free rings — and drives
+//!    every virtual round as a message exchange with the running service:
+//!    offer the round's packets, flush the round barrier, observe
+//!    handed-over and received traffic through the per-slice verifiers,
+//!    close an audited round;
 //! 4. hands the audited outcome, victim-side sketch heavy-hitter
 //!    estimates, and aggregated enclave rule telemetry to the
-//!    [`VictimPolicy`], then applies its decisions **mid-run** through the
-//!    session protocol (install + withdraw against the master) and a
-//!    replicated [`redistribute`](EnclaveCluster::redistribute) that
-//!    propagates the churned rule set to every slice — the same enclaves
-//!    keep filtering the next round with no restart and no log reset
-//!    beyond the ordinary round rotation.
+//!    [`VictimPolicy`], then applies its decisions **mid-service**: churn
+//!    is queued through the session protocol
+//!    ([`submit_rules_deferred`](vif_core::session::FilteringSession::submit_rules_deferred)
+//!    / [`withdraw_rules_deferred`](vif_core::session::FilteringSession::withdraw_rules_deferred))
+//!    and published to every slice in one epoch
+//!    ([`EnclaveCluster::publish`]) — the classifier rebuild happens off
+//!    the hot path and each slice swaps to the shared compiled table
+//!    atomically, so the worker threads never stop or block on churn.
 //!
 //! The resulting [`ScenarioReport`] is deterministic in the scenario seed
 //! and harness configuration (see the crate docs for the argument).
@@ -28,6 +32,7 @@ use crate::policy::{HeavyHitter, InstalledRule, PolicyAction, PolicyObservation,
 use crate::report::{PhaseReport, ScenarioReport};
 use crate::timeline::Scenario;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use vif_core::cost::FilterMode;
 use vif_core::enclave_app::{EnclaveFilterStage, FilterEnclaveApp};
@@ -38,9 +43,12 @@ use vif_core::rules::FilterRule;
 use vif_core::ruleset::RuleId;
 use vif_core::scale::EnclaveCluster;
 use vif_core::session::{SessionConfig, VictimClient};
-use vif_dataplane::{run_sharded, shard_of_fingerprint, FiveTuple};
+use vif_dataplane::{shard_of, shard_of_fingerprint, DataplaneService, FiveTuple, ServiceConfig};
 use vif_sgx::{AttestationRootKey, AttestationService, EnclaveImage, EpcConfig, SgxPlatform};
 use vif_sketch::{CountMinSketch, SketchConfig};
+
+/// Sentinel for "no worker's output is stolen" in the adversary atomic.
+const NO_DROP_WORKER: usize = usize::MAX;
 
 /// A malicious filtering network inside a scenario (the per-slice variant
 /// of §III-B's attack 2, switched on mid-scenario so detection latency is
@@ -193,182 +201,208 @@ impl ScenarioHarness {
         let mut rounds_run = 0u64;
         let (mut total_installed, mut total_withdrawn) = (0u32, 0u32);
 
-        let mut compiled = scenario.compile();
-        for round in &mut compiled {
-            let adversary_drop = config
-                .adversary
-                .filter(|a| round.global_round >= a.from_round)
-                .map(|a| a.drop_after_worker % n);
-
-            // Neighbor ASes observe what they hand over, attributed by the
-            // public steering hash (fingerprint-once per packet).
-            for pkt in &round.packets {
-                let fp = PacketFingerprints::of(&pkt.tuple);
-                driver
-                    .neighbor_verifier_mut(shard_of_fingerprint(fp.tuple, n))
-                    .observe_fingerprint(fp.src_ip);
-            }
-
-            // The live sharded run: real threads over lock-free rings.
-            let stages: Vec<EnclaveFilterStage> = cluster
-                .enclaves()
-                .iter()
-                .map(|e| EnclaveFilterStage::new(Arc::clone(e), FilterMode::SgxNearZeroCopy))
-                .collect();
-            let forwarded: Mutex<Vec<FiveTuple>> = Mutex::new(Vec::new());
-            let packets = std::mem::take(&mut round.packets);
-            run_sharded(
-                packets,
-                stages,
-                |worker, pkt| {
-                    if adversary_drop != Some(worker) {
-                        forwarded.lock().unwrap().push(pkt.tuple);
-                    }
-                },
-                config.ring_capacity,
-                config.burst,
-            );
-
-            // The victim consumes what actually arrived: verifier
-            // observation, exact delivery scoring, heavy-hitter counting.
-            candidates.clear();
-            hh_sketch.clear();
-            let phase = &mut phases[round.phase];
-            phase.rounds += 1;
-            phase.offered_legit += round.offered_legit;
-            phase.offered_attack += round.offered_attack;
-            for t in forwarded.into_inner().unwrap() {
-                let fp = PacketFingerprints::of(&t);
-                driver
-                    .victim_verifier_mut(shard_of_fingerprint(fp.tuple, n))
-                    .observe_fingerprint(fp.tuple);
-                if round.attack_sources.contains(&t.src_ip) {
-                    phase.delivered_attack += 1;
-                } else {
-                    phase.delivered_legit += 1;
+        // --- the always-on dataplane service ----------------------------
+        // Stages, rings, and worker threads are built ONCE; every round
+        // below is a message exchange with this running service. The
+        // adversary is re-aimed between rounds through an atomic the TX
+        // sink reads per delivery (the round barrier orders the store).
+        let stages: Vec<EnclaveFilterStage> = cluster
+            .enclaves()
+            .iter()
+            .map(|e| EnclaveFilterStage::new(Arc::clone(e), FilterMode::SgxNearZeroCopy))
+            .collect();
+        let forwarded: Mutex<Vec<FiveTuple>> = Mutex::new(Vec::new());
+        let adversary_drop = AtomicUsize::new(NO_DROP_WORKER);
+        let service = DataplaneService::new(ServiceConfig {
+            ring_capacity: config.ring_capacity,
+            burst: config.burst,
+            ..Default::default()
+        });
+        let service_report = service.run(
+            stages,
+            |worker, pkt| {
+                if adversary_drop.load(Ordering::Relaxed) != worker {
+                    forwarded.lock().unwrap().push(pkt.tuple);
                 }
-                hh_sketch.add(&t.src_ip.to_be_bytes(), 1);
-                candidates.insert(t.src_ip);
-            }
+            },
+            move |t: &FiveTuple| shard_of(t, n),
+            |svc| {
+                let compiled = scenario.compile();
+                for round in &compiled {
+                    adversary_drop.store(
+                        config
+                            .adversary
+                            .filter(|a| round.global_round >= a.from_round)
+                            .map(|a| a.drop_after_worker % n)
+                            .unwrap_or(NO_DROP_WORKER),
+                        Ordering::Relaxed,
+                    );
 
-            // Close the audited round.
-            let outcome = driver.close_round().expect("authentic slice exports");
-            rounds_run += 1;
-            if outcome.dirty() {
-                dirty_rounds += 1;
-                phase.dirty_rounds += 1;
-                if detection_latency.is_none() {
-                    if let Some(a) = config.adversary {
-                        if round.global_round >= a.from_round {
-                            detection_latency = Some(round.global_round - a.from_round + 1);
+                    // Neighbor ASes observe what they hand over, attributed by the
+                    // public steering hash (fingerprint-once per packet).
+                    for pkt in &round.packets {
+                        let fp = PacketFingerprints::of(&pkt.tuple);
+                        driver
+                            .neighbor_verifier_mut(shard_of_fingerprint(fp.tuple, n))
+                            .observe_fingerprint(fp.src_ip);
+                    }
+
+                    // Offer the round to the live service and flush its barrier:
+                    // same persistent threads and rings, round after round.
+                    svc.round(&round.packets);
+
+                    // The victim consumes what actually arrived: verifier
+                    // observation, exact delivery scoring, heavy-hitter counting.
+                    candidates.clear();
+                    hh_sketch.clear();
+                    let phase = &mut phases[round.phase];
+                    phase.rounds += 1;
+                    phase.offered_legit += round.offered_legit;
+                    phase.offered_attack += round.offered_attack;
+                    for t in forwarded.lock().unwrap().drain(..) {
+                        let fp = PacketFingerprints::of(&t);
+                        driver
+                            .victim_verifier_mut(shard_of_fingerprint(fp.tuple, n))
+                            .observe_fingerprint(fp.tuple);
+                        if round.attack_sources.contains(&t.src_ip) {
+                            phase.delivered_attack += 1;
+                        } else {
+                            phase.delivered_legit += 1;
+                        }
+                        hh_sketch.add(&t.src_ip.to_be_bytes(), 1);
+                        candidates.insert(t.src_ip);
+                    }
+
+                    // Close the audited round.
+                    let outcome = driver.close_round().expect("authentic slice exports");
+                    rounds_run += 1;
+                    if outcome.dirty() {
+                        dirty_rounds += 1;
+                        phase.dirty_rounds += 1;
+                        if detection_latency.is_none() {
+                            if let Some(a) = config.adversary {
+                                if round.global_round >= a.from_round {
+                                    detection_latency = Some(round.global_round - a.from_round + 1);
+                                }
+                            }
                         }
                     }
-                }
-            }
 
-            // Enclave rule telemetry (the B_i exchange): aggregate matched
-            // bytes across the replicas, diff against the last snapshot.
-            let cur_rule_bytes = cluster.replicated_rule_bytes();
-            for rule in &mut installed {
-                let idx = rule.id as usize;
-                let cur = cur_rule_bytes.get(idx).copied().unwrap_or(0);
-                let prev = prev_rule_bytes.get(idx).copied().unwrap_or(0);
-                if cur == prev {
-                    rule.rounds_idle += 1;
-                } else {
-                    rule.rounds_idle = 0;
-                }
-            }
+                    // Enclave rule telemetry (the B_i exchange): aggregate matched
+                    // bytes across the replicas, diff against the last snapshot.
+                    let cur_rule_bytes = cluster.replicated_rule_bytes();
+                    for rule in &mut installed {
+                        let idx = rule.id as usize;
+                        let cur = cur_rule_bytes.get(idx).copied().unwrap_or(0);
+                        let prev = prev_rule_bytes.get(idx).copied().unwrap_or(0);
+                        if cur == prev {
+                            rule.rounds_idle += 1;
+                        } else {
+                            rule.rounds_idle = 0;
+                        }
+                    }
 
-            // Heavy hitters: estimate every candidate source, sorted by
-            // estimate descending (ties by address — fully deterministic).
-            let mut heavy: Vec<HeavyHitter> = candidates
-                .iter()
-                .map(|&src| HeavyHitter {
-                    src_ip: src,
-                    estimated_packets: hh_sketch.estimate(&src.to_be_bytes()),
-                })
-                .collect();
-            heavy.sort_by(|a, b| {
-                b.estimated_packets
-                    .cmp(&a.estimated_packets)
-                    .then(a.src_ip.cmp(&b.src_ip))
-            });
-
-            // The victim reacts.
-            let mut actions = Vec::new();
-            policy.react(
-                &PolicyObservation {
-                    round: round.global_round,
-                    outcome: &outcome,
-                    heavy_hitters: &heavy,
-                    installed: &installed,
-                    victim: scenario.victim,
-                },
-                &mut actions,
-            );
-
-            // Apply the churn through the session protocol against the
-            // master, then redistribute so every replica catches up.
-            let mut installs: Vec<FilterRule> = Vec::new();
-            let mut withdrawals: Vec<RuleId> = Vec::new();
-            for action in actions {
-                match action {
-                    PolicyAction::Install(rule) => installs.push(rule),
-                    PolicyAction::Withdraw(id) => withdrawals.push(id),
-                }
-            }
-            let churned = !installs.is_empty() || !withdrawals.is_empty();
-            if !withdrawals.is_empty() {
-                let removed = session
-                    .withdraw_rules(&withdrawals)
-                    .expect("withdrawal over the session channel");
-                installed.retain(|r| !withdrawals.contains(&r.id));
-                phase.rules_withdrawn += removed as u32;
-                total_withdrawn += removed as u32;
-            }
-            if !installs.is_empty() {
-                let base = cluster.enclaves()[0].ecall(|app| app.ruleset().len()) as RuleId;
-                session
-                    .submit_rules(&installs, &rpki)
-                    .expect("install over the session channel");
-                for (i, rule) in installs.iter().enumerate() {
-                    installed.push(InstalledRule {
-                        id: base + i as RuleId,
-                        rule: *rule,
-                        installed_round: round.global_round,
-                        rounds_idle: 0,
+                    // Heavy hitters: estimate every candidate source, sorted by
+                    // estimate descending (ties by address — fully deterministic).
+                    let mut heavy: Vec<HeavyHitter> = candidates
+                        .iter()
+                        .map(|&src| HeavyHitter {
+                            src_ip: src,
+                            estimated_packets: hh_sketch.estimate(&src.to_be_bytes()),
+                        })
+                        .collect();
+                    heavy.sort_by(|a, b| {
+                        b.estimated_packets
+                            .cmp(&a.estimated_packets)
+                            .then(a.src_ip.cmp(&b.src_ip))
                     });
+
+                    // The victim reacts.
+                    let mut actions = Vec::new();
+                    policy.react(
+                        &PolicyObservation {
+                            round: round.global_round,
+                            outcome: &outcome,
+                            heavy_hitters: &heavy,
+                            installed: &installed,
+                            victim: scenario.victim,
+                        },
+                        &mut actions,
+                    );
+
+                    // Queue the churn through the session protocol against the
+                    // master, then publish one epoch: the churned rule set is
+                    // compiled ONCE off the hot path and every slice swaps to the
+                    // shared table atomically — the workers never stop.
+                    let mut installs: Vec<FilterRule> = Vec::new();
+                    let mut withdrawals: Vec<RuleId> = Vec::new();
+                    for action in actions {
+                        match action {
+                            PolicyAction::Install(rule) => installs.push(rule),
+                            PolicyAction::Withdraw(id) => withdrawals.push(id),
+                        }
+                    }
+                    let churned = !installs.is_empty() || !withdrawals.is_empty();
+                    if !withdrawals.is_empty() {
+                        let removed = session
+                            .withdraw_rules_deferred(&withdrawals)
+                            .expect("withdrawal over the session channel");
+                        installed.retain(|r| !withdrawals.contains(&r.id));
+                        phase.rules_withdrawn += removed as u32;
+                        total_withdrawn += removed as u32;
+                    }
+                    if !installs.is_empty() {
+                        // Withdrawals tombstone in place, so the id the next
+                        // install receives is the current length plus whatever
+                        // installs are already queued for this epoch (none here —
+                        // one publish per round — but stated for correctness).
+                        let base = cluster.enclaves()[0]
+                            .ecall(|app| app.ruleset().len() + app.pending_installs())
+                            as RuleId;
+                        session
+                            .submit_rules_deferred(&installs, &rpki)
+                            .expect("install over the session channel");
+                        for (i, rule) in installs.iter().enumerate() {
+                            installed.push(InstalledRule {
+                                id: base + i as RuleId,
+                                rule: *rule,
+                                installed_round: round.global_round,
+                                rounds_idle: 0,
+                            });
+                        }
+                        phase.rules_installed += installs.len() as u32;
+                        total_installed += installs.len() as u32;
+                    }
+                    if churned {
+                        // Epoch publication (the lock-free successor to Fig. 5's
+                        // replicated redistribute): rebuild off-path, swap per
+                        // slice, reset telemetry.
+                        cluster.publish(0);
+                        prev_rule_bytes = vec![0; cluster.ruleset().len()];
+                    } else {
+                        prev_rule_bytes = cur_rule_bytes;
+                    }
+
+                    if driver.state() != ContractState::Active {
+                        break; // the victim aborted the contract
+                    }
                 }
-                phase.rules_installed += installs.len() as u32;
-                total_installed += installs.len() as u32;
-            }
-            if churned {
-                // Fig. 5, replicated flavor: the master's churned rule set
-                // is re-installed on every slice and telemetry resets.
-                cluster.redistribute(0);
-                prev_rule_bytes = vec![0; cluster.ruleset().len()];
-            } else {
-                prev_rule_bytes = cur_rule_bytes;
-            }
 
-            if driver.state() != ContractState::Active {
-                break; // the victim aborted the contract
-            }
-        }
-
-        let report = ScenarioReport {
-            scenario: scenario.name.clone(),
-            seed,
-            workers: n,
-            phases,
-            rounds: rounds_run,
-            dirty_rounds,
-            final_state: driver.state(),
-            detection_latency_rounds: detection_latency,
-            rules_installed: total_installed,
-            rules_withdrawn: total_withdrawn,
-        };
+                ScenarioReport {
+                    scenario: scenario.name.clone(),
+                    seed,
+                    workers: n,
+                    phases,
+                    rounds: rounds_run,
+                    dirty_rounds,
+                    final_state: driver.state(),
+                    detection_latency_rounds: detection_latency,
+                    rules_installed: total_installed,
+                    rules_withdrawn: total_withdrawn,
+                }
+            },
+        );
+        let report = service_report;
         policy.finish(&report);
         report
     }
