@@ -9,7 +9,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use vif_dataplane::{FiveTuple, FlowSet, Protocol, RateShape, TrafficConfig, TrafficGenerator};
-use vif_scenario::{Scenario, ScenarioHarness, ScenarioHarnessConfig, ThresholdPolicy};
+use vif_scenario::{
+    CampaignConfig, CampaignContract, CampaignHarness, Scenario, ScenarioHarness,
+    ScenarioHarnessConfig, ThresholdPolicy, VictimPolicy,
+};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenario_suite");
@@ -58,6 +61,44 @@ fn bench(c: &mut Criterion) {
                 let report = ScenarioHarness::new(scenario, ScenarioHarnessConfig::default())
                     .run(&mut policy);
                 black_box((report.rounds, report.rules_installed))
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Multi-tenant end to end: two admitted contracts (smoke mix + flash
+    // crowd) round-locked on one live service — per-contract sessions,
+    // audits, and epoch publications included.
+    group.bench_function("campaign/smoke_2tenants", |b| {
+        b.iter_batched(
+            || {
+                let contracts = vec![
+                    CampaignContract {
+                        contract: 1,
+                        scenario: Scenario::smoke(7),
+                        demand_gbps_per_rule: vec![0.5; 8],
+                    },
+                    CampaignContract {
+                        contract: 2,
+                        scenario: {
+                            let mut s = Scenario::smoke(11);
+                            s.victim =
+                                vif_trie::Ipv4Prefix::new(u32::from_be_bytes([198, 18, 0, 0]), 16);
+                            s
+                        },
+                        demand_gbps_per_rule: vec![0.25; 4],
+                    },
+                ];
+                let policies: Vec<Box<dyn VictimPolicy>> = vec![
+                    Box::new(ThresholdPolicy::default()),
+                    Box::new(ThresholdPolicy::default()),
+                ];
+                (contracts, policies)
+            },
+            |(contracts, policies)| {
+                let report =
+                    CampaignHarness::new(contracts, CampaignConfig::default()).run(policies);
+                black_box(report.reports.len())
             },
             BatchSize::LargeInput,
         );

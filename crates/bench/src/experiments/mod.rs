@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod attest;
 pub mod dataplane;
 pub mod ixp;
+pub mod multivictim;
 pub mod scenario;
 pub mod service;
 pub mod solver;

@@ -1,6 +1,8 @@
 //! Experiment registry and dispatch.
 
-use crate::experiments::{ablations, attest, dataplane, ixp, scenario, service, solver};
+use crate::experiments::{
+    ablations, attest, dataplane, ixp, multivictim, scenario, service, solver,
+};
 use vif_interdomain::AttackSourceModel;
 
 /// Identifiers of every reproducible artifact.
@@ -32,6 +34,9 @@ pub enum ExperimentId {
     Shard,
     /// Adaptive attack scenario with live rule churn (beyond the paper).
     Scenario,
+    /// Multi-tenant campaign: many victims, one cluster, arbitrated
+    /// budgets (beyond the paper).
+    Multivictim,
     /// Activation latency of epoch publication on the always-on service
     /// (beyond the paper).
     Service,
@@ -54,7 +59,7 @@ pub enum ExperimentId {
 }
 
 /// All experiments in presentation order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 22] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 23] = [
     ExperimentId::Fig3a,
     ExperimentId::Fig3b,
     ExperimentId::Fig8,
@@ -68,6 +73,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 22] = [
     ExperimentId::Batch,
     ExperimentId::Shard,
     ExperimentId::Scenario,
+    ExperimentId::Multivictim,
     ExperimentId::Service,
     ExperimentId::Fig11a,
     ExperimentId::Fig11b,
@@ -96,6 +102,7 @@ impl ExperimentId {
             ExperimentId::Batch => "batch",
             ExperimentId::Shard => "shard",
             ExperimentId::Scenario => "scenario",
+            ExperimentId::Multivictim => "multivictim",
             ExperimentId::Service => "service",
             ExperimentId::Fig11a => "fig11a",
             ExperimentId::Fig11b => "fig11b",
@@ -146,6 +153,7 @@ pub fn run_experiment(id: ExperimentId, scale: Scale) -> String {
         }),
         ExperimentId::Shard => dataplane::shard(ms),
         ExperimentId::Scenario => scenario::scenario(scale == Scale::Quick),
+        ExperimentId::Multivictim => multivictim::multivictim(scale == Scale::Quick),
         ExperimentId::Service => service::service(scale == Scale::Quick),
         ExperimentId::Fig11a => ixp::fig11(AttackSourceModel::DnsResolvers, victims, 77),
         ExperimentId::Fig11b => ixp::fig11(AttackSourceModel::MiraiBotnet, victims, 77),

@@ -21,6 +21,17 @@ use vif_crypto::dh::{DhError, DhGroup, DhKeyPair};
 use vif_crypto::hmac::HmacSha256;
 use vif_dataplane::{FiveTuple, Packet, PacketStage, StageOutcome, StageVerdict};
 use vif_sgx::{Enclave, EpcConfig};
+use vif_trie::Ipv4Prefix;
+
+/// Identifies one victim's filtering contract within a shared deployment.
+///
+/// Everything a victim owns — audited sketch pair, secure channel, deferred
+/// rule queue, publish epoch, installed rule ids — is namespaced by this id
+/// inside [`FilterEnclaveApp`], so one tenant's churn and audit rounds never
+/// touch another's. Contract `0` is the default contract every app starts
+/// with: single-victim deployments (and every pre-tenancy API) operate on
+/// it implicitly.
+pub type ContractId = u32;
 
 /// Aggregate counters of an enclave filter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,54 +64,111 @@ pub enum RuleEdit {
     Withdraw(RuleId),
 }
 
+/// Per-contract enclave state: everything one victim's tenancy owns.
+#[derive(Debug)]
+struct ContractSlot {
+    id: ContractId,
+    /// Destination scope attributing packets to this contract's logs
+    /// (`None` on the default contract, which absorbs unscoped traffic).
+    scope: Option<Ipv4Prefix>,
+    /// HMAC key for authenticated log export, shared with this contract's
+    /// verifiers after attestation.
+    audit_key: [u8; 32],
+    logs: PacketLogs,
+    /// Handshake state: the enclave-internal DH key of this contract's
+    /// in-flight attestation exchange.
+    dh: Option<DhKeyPair>,
+    /// The authenticated channel to this contract's victim.
+    channel: Option<SecureChannel>,
+    /// Accepted-but-unpublished rule edits (this contract's deferred queue).
+    pending: Vec<RuleEdit>,
+    /// Epochs published *for this contract* (one per
+    /// [`install_published_for`](FilterEnclaveApp::install_published_for)).
+    epoch: u64,
+    /// Rule ids installed through this contract; withdrawal frames may only
+    /// unlink ids recorded here (ids never alias between contracts — the
+    /// rule set tombstones slots, never renumbers).
+    owned: Vec<RuleId>,
+}
+
+impl ContractSlot {
+    fn new(
+        id: ContractId,
+        scope: Option<Ipv4Prefix>,
+        sketch_seed: u64,
+        audit_key: [u8; 32],
+    ) -> Self {
+        ContractSlot {
+            id,
+            scope,
+            audit_key,
+            logs: PacketLogs::new(sketch_seed),
+            dh: None,
+            channel: None,
+            pending: Vec::new(),
+            epoch: 0,
+            owned: Vec::new(),
+        }
+    }
+
+    fn owns(&self, id: RuleId) -> bool {
+        self.owned.contains(&id)
+    }
+}
+
+/// Picks the slot whose scope covers `dst_ip` (first scoped match wins —
+/// RPKI keeps victim scopes disjoint); unscoped traffic falls to slot 0.
+#[inline]
+fn slot_for_dst(contracts: &[ContractSlot], dst_ip: u32) -> usize {
+    if contracts.len() > 1 {
+        for (i, s) in contracts.iter().enumerate() {
+            if let Some(p) = s.scope {
+                if p.contains(dst_ip) {
+                    return i;
+                }
+            }
+        }
+    }
+    0
+}
+
 /// The enclave-resident filter application.
 #[derive(Debug)]
 pub struct FilterEnclaveApp {
     filter: HybridFilter,
-    logs: PacketLogs,
-    /// HMAC key for authenticated log export, shared with verifiers after
-    /// attestation.
-    audit_key: [u8; 32],
     /// When true, packets matching no rule are counted as misrouted
     /// (multi-enclave deployments where the LB must send only matching
     /// flows, §IV-B).
     strict_scope: bool,
     stats: FilterStats,
-    /// Handshake state: the enclave-internal DH key of the current
-    /// attestation exchange.
-    dh: Option<DhKeyPair>,
-    /// The authenticated channel to the victim (after handshake).
-    channel: Option<SecureChannel>,
     /// Reused tuple buffer for the burst path (no per-burst allocation).
     scratch: Vec<FiveTuple>,
     /// Reused per-burst fingerprint buffer: the fingerprint-once pass
     /// derives each packet's log/steering fingerprints exactly once here
     /// and threads them through filtering and the audited logs.
     fp_scratch: Vec<PacketFingerprints>,
-    /// Accepted-but-unpublished rule edits (the deferred churn queue).
-    pending: Vec<RuleEdit>,
-    /// Epochs published into this enclave (one per
-    /// [`install_published`](FilterEnclaveApp::install_published)).
+    /// Per-contract state; slot 0 (the default contract) always exists.
+    contracts: Vec<ContractSlot>,
+    /// Epochs published into this enclave across all contracts.
     publish_epoch: u64,
 }
 
 impl FilterEnclaveApp {
     /// Creates the app with its rule set, the enclave-internal secret for
     /// hash-based filtering, the sketch seed shared with verifiers, and the
-    /// audit key. (Direct constructor for tests and standalone use; the
+    /// audit key — all bound to the default contract 0, which also owns the
+    /// initial rules. (Direct constructor for tests and standalone use; the
     /// session protocol uses [`fresh`](FilterEnclaveApp::fresh).)
     pub fn new(ruleset: RuleSet, secret: [u8; 32], sketch_seed: u64, audit_key: [u8; 32]) -> Self {
+        let mut default_slot = ContractSlot::new(0, None, sketch_seed, audit_key);
+        default_slot.owned.extend(0..ruleset.len() as RuleId);
         FilterEnclaveApp {
             filter: HybridFilter::new(StatelessFilter::new(ruleset, secret), 500_000),
-            logs: PacketLogs::new(sketch_seed),
-            audit_key,
             strict_scope: false,
             stats: FilterStats::default(),
-            dh: None,
-            channel: None,
             scratch: Vec::new(),
             fp_scratch: Vec::new(),
-            pending: Vec::new(),
+            contracts: vec![default_slot],
             publish_epoch: 0,
         }
     }
@@ -111,21 +179,108 @@ impl FilterEnclaveApp {
         Self::new(RuleSet::new(), secret, 0, [0u8; 32])
     }
 
+    fn slot_index(&self, contract: ContractId) -> Option<usize> {
+        self.contracts.iter().position(|s| s.id == contract)
+    }
+
+    fn slot_index_or_err(&self, contract: ContractId) -> Result<usize, SessionError> {
+        self.slot_index(contract)
+            .ok_or(SessionError::UnknownContract(contract))
+    }
+
+    fn slot_mut_or_create(&mut self, contract: ContractId) -> &mut ContractSlot {
+        let idx = match self.slot_index(contract) {
+            Some(i) => i,
+            None => {
+                self.contracts
+                    .push(ContractSlot::new(contract, None, 0, [0u8; 32]));
+                self.contracts.len() - 1
+            }
+        };
+        &mut self.contracts[idx]
+    }
+
+    /// Provisions (or re-keys) a contract slot without a handshake — the
+    /// control-plane ECall a cluster uses to mirror a session's keys and
+    /// victim scope into replica slices (the master slice acquires them via
+    /// the attested handshake). An existing channel survives re-provisioning
+    /// with the same keys; packet attribution uses `scope`.
+    pub fn provision_contract(
+        &mut self,
+        contract: ContractId,
+        scope: Option<Ipv4Prefix>,
+        sketch_seed: u64,
+        audit_key: [u8; 32],
+    ) {
+        let slot = self.slot_mut_or_create(contract);
+        slot.scope = scope;
+        slot.audit_key = audit_key;
+        if slot.channel.is_none() {
+            slot.logs = PacketLogs::new(sketch_seed);
+        }
+    }
+
+    /// Ids of every contract with a slot in this enclave.
+    pub fn contract_ids(&self) -> Vec<ContractId> {
+        self.contracts.iter().map(|s| s.id).collect()
+    }
+
+    /// Rule ids installed through `contract` (deferred installs appear once
+    /// published).
+    pub fn owned_rules(&self, contract: ContractId) -> Vec<RuleId> {
+        match self.slot_index(contract) {
+            Some(i) => self.contracts[i].owned.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Measured bytes per owned rule (`B_i` restricted to `contract`) —
+    /// the demand signal the admission arbiter consumes.
+    pub fn contract_rule_bytes(&self, contract: ContractId) -> Vec<(RuleId, u64)> {
+        let Some(i) = self.slot_index(contract) else {
+            return Vec::new();
+        };
+        let counters = self.ruleset().counters();
+        self.contracts[i]
+            .owned
+            .iter()
+            .filter(|&&id| !self.ruleset().is_removed(id))
+            .map(|&id| (id, counters[id as usize].bytes))
+            .collect()
+    }
+
     /// Handshake step 1 (inside the enclave): generate a DH key pair bound
     /// to the victim's challenge nonce; return the public value. The
-    /// caller then quotes `report_binding(public, nonce)`.
+    /// caller then quotes `report_binding(public, nonce)`. Operates on the
+    /// default contract 0.
     pub fn begin_handshake(&mut self, nonce: [u8; 32]) -> Vec<u8> {
-        // Deterministic per (enclave secret, nonce): the host cannot
-        // predict it without the enclave secret.
-        let seed = HmacSha256::mac(self.filter.secret(), &nonce);
+        self.begin_handshake_for(0, nonce)
+    }
+
+    /// [`begin_handshake`](FilterEnclaveApp::begin_handshake) for one
+    /// contract: the DH key is additionally bound to the contract id, so
+    /// two tenants challenging with the same nonce derive distinct keys,
+    /// and concurrent handshakes of different contracts do not clobber
+    /// each other's state.
+    pub fn begin_handshake_for(&mut self, contract: ContractId, nonce: [u8; 32]) -> Vec<u8> {
+        // Deterministic per (enclave secret, contract, nonce): the host
+        // cannot predict it without the enclave secret.
+        let seed = if contract == 0 {
+            HmacSha256::mac(self.filter.secret(), &nonce)
+        } else {
+            let mut msg = [0u8; 36];
+            msg[..4].copy_from_slice(&contract.to_le_bytes());
+            msg[4..].copy_from_slice(&nonce);
+            HmacSha256::mac(self.filter.secret(), &msg)
+        };
         let dh = DhGroup::modp_2048().key_pair_from_secret(&seed);
         let public = dh.public_bytes();
-        self.dh = Some(dh);
+        self.slot_mut_or_create(contract).dh = Some(dh);
         public
     }
 
     /// Handshake step 2: derive the channel, audit key, and sketch seed
-    /// from the victim's public value.
+    /// from the victim's public value. Operates on the default contract 0.
     ///
     /// # Errors
     ///
@@ -135,18 +290,39 @@ impl FilterEnclaveApp {
         victim_public: &[u8],
         nonce: &[u8; 32],
     ) -> Result<(), DhError> {
-        let dh = self.dh.as_ref().expect("begin_handshake first");
+        self.complete_handshake_for(0, victim_public, nonce)
+    }
+
+    /// [`complete_handshake`](FilterEnclaveApp::complete_handshake) for one
+    /// contract: the derived channel, audit key, and freshly seeded sketch
+    /// pair land in that contract's slot only.
+    ///
+    /// # Errors
+    ///
+    /// [`DhError::InvalidPeerPublic`] for degenerate peer values.
+    pub fn complete_handshake_for(
+        &mut self,
+        contract: ContractId,
+        victim_public: &[u8],
+        nonce: &[u8; 32],
+    ) -> Result<(), DhError> {
+        let idx = self
+            .slot_index(contract)
+            .expect("begin_handshake_for first");
+        let slot = &mut self.contracts[idx];
+        let dh = slot.dh.as_ref().expect("begin_handshake first");
         let shared = dh.shared_secret(victim_public)?;
         let keys = derive_session_keys(&shared, nonce);
         let (_, responder) = SecureChannel::pair_from_secret(&shared, nonce);
-        self.channel = Some(responder);
-        self.audit_key = keys.audit_key;
-        self.logs = PacketLogs::new(keys.sketch_seed);
+        slot.channel = Some(responder);
+        slot.audit_key = keys.audit_key;
+        slot.logs = PacketLogs::new(keys.sketch_seed);
         Ok(())
     }
 
     /// Receives an encrypted rule submission: decrypt, decode, authorize
     /// against RPKI, install, and return an authenticated acknowledgement.
+    /// Operates on the default contract 0.
     ///
     /// # Errors
     ///
@@ -157,16 +333,52 @@ impl FilterEnclaveApp {
         requester: &OwnerId,
         rpki: &RpkiRegistry,
     ) -> Result<Vec<u8>, SessionError> {
-        let channel = self.channel.as_mut().ok_or(SessionError::NotEstablished)?;
-        let payload = channel.open(frame)?;
-        let rules = Self::decode_rule_frame(&payload)?;
+        self.receive_rules_for(0, frame, requester, rpki)
+    }
+
+    /// [`receive_rules`](FilterEnclaveApp::receive_rules) for one contract:
+    /// the frame is opened with that contract's channel, its in-frame
+    /// contract id is checked against the slot, and the installed rule ids
+    /// are recorded as owned by the contract.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]; nothing is installed on any failure.
+    pub fn receive_rules_for(
+        &mut self,
+        contract: ContractId,
+        frame: &[u8],
+        requester: &OwnerId,
+        rpki: &RpkiRegistry,
+    ) -> Result<Vec<u8>, SessionError> {
+        let idx = self.slot_index_or_err(contract)?;
+        let payload = self.contracts[idx]
+            .channel
+            .as_mut()
+            .ok_or(SessionError::NotEstablished)?
+            .open(frame)?;
+        let (frame_contract, rules) = Self::decode_rule_frame(&payload)?;
+        if frame_contract != contract {
+            return Err(SessionError::ContractMismatch {
+                expected: contract,
+                got: frame_contract,
+            });
+        }
         let count = rules.len();
         rpki.authorize(requester, &rules)?;
         // insert_rules (not a raw ruleset insert) so the hybrid's
         // exact-match cache is invalidated: a newly installed rule can
         // change the reference verdict of an already-promoted flow.
+        let base = self.filter.inner().ruleset().len() as RuleId;
         self.filter.insert_rules(rules);
-        let ack = channel.seal(&(count as u32).to_le_bytes());
+        let end = self.filter.inner().ruleset().len() as RuleId;
+        let slot = &mut self.contracts[idx];
+        slot.owned.extend(base..end);
+        let ack = slot
+            .channel
+            .as_mut()
+            .expect("opened above")
+            .seal(&(count as u32).to_le_bytes());
         Ok(ack)
     }
 
@@ -177,7 +389,8 @@ impl FilterEnclaveApp {
     /// ([`take_publish_snapshot`](FilterEnclaveApp::take_publish_snapshot) /
     /// [`install_published`](FilterEnclaveApp::install_published)), so the
     /// data path never observes a rebuild in progress. The acknowledgement
-    /// carries the number of rules queued.
+    /// carries the number of rules queued. Operates on the default
+    /// contract 0.
     ///
     /// # Errors
     ///
@@ -188,14 +401,46 @@ impl FilterEnclaveApp {
         requester: &OwnerId,
         rpki: &RpkiRegistry,
     ) -> Result<Vec<u8>, SessionError> {
-        let channel = self.channel.as_mut().ok_or(SessionError::NotEstablished)?;
-        let payload = channel.open(frame)?;
-        let rules = Self::decode_rule_frame(&payload)?;
+        self.receive_rules_deferred_for(0, frame, requester, rpki)
+    }
+
+    /// [`receive_rules_deferred`](FilterEnclaveApp::receive_rules_deferred)
+    /// for one contract: the installs land in that contract's own deferred
+    /// queue, so publishing one tenant never flushes another's churn.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]; nothing is queued on any failure.
+    pub fn receive_rules_deferred_for(
+        &mut self,
+        contract: ContractId,
+        frame: &[u8],
+        requester: &OwnerId,
+        rpki: &RpkiRegistry,
+    ) -> Result<Vec<u8>, SessionError> {
+        let idx = self.slot_index_or_err(contract)?;
+        let payload = self.contracts[idx]
+            .channel
+            .as_mut()
+            .ok_or(SessionError::NotEstablished)?
+            .open(frame)?;
+        let (frame_contract, rules) = Self::decode_rule_frame(&payload)?;
+        if frame_contract != contract {
+            return Err(SessionError::ContractMismatch {
+                expected: contract,
+                got: frame_contract,
+            });
+        }
         let count = rules.len();
         rpki.authorize(requester, &rules)?;
-        self.pending
+        let slot = &mut self.contracts[idx];
+        slot.pending
             .extend(rules.into_iter().map(RuleEdit::Install));
-        let ack = channel.seal(&(count as u32).to_le_bytes());
+        let ack = slot
+            .channel
+            .as_mut()
+            .expect("opened above")
+            .seal(&(count as u32).to_le_bytes());
         Ok(ack)
     }
 
@@ -203,21 +448,55 @@ impl FilterEnclaveApp {
     /// counterpart of [`receive_rules`](FilterEnclaveApp::receive_rules)):
     /// decrypt, withdraw each listed [`RuleId`],
     /// and return an authenticated acknowledgement carrying the number of
-    /// rules actually taken out of force.
+    /// rules actually taken out of force. Operates on the default
+    /// contract 0.
     ///
-    /// No RPKI check is needed: a victim can only ever withdraw rules it
-    /// installed over this same attested channel, and removal never widens
-    /// what gets filtered.
+    /// Withdrawal is scoped to ownership: only ids the contract installed
+    /// over this same attested channel are unlinked; foreign or unknown ids
+    /// are skipped (withdrawal stays idempotent), so no tenant can take
+    /// another's rules out of force.
     ///
     /// # Errors
     ///
     /// See [`SessionError`]; nothing is withdrawn on any failure.
     pub fn receive_rule_withdrawal(&mut self, frame: &[u8]) -> Result<Vec<u8>, SessionError> {
-        let channel = self.channel.as_mut().ok_or(SessionError::NotEstablished)?;
-        let payload = channel.open(frame)?;
-        let ids = Self::decode_id_frame(&payload)?;
-        let removed = self.filter.remove_rules(&ids);
-        let ack = channel.seal(&(removed as u32).to_le_bytes());
+        self.receive_rule_withdrawal_for(0, frame)
+    }
+
+    /// [`receive_rule_withdrawal`](FilterEnclaveApp::receive_rule_withdrawal)
+    /// for one contract.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]; nothing is withdrawn on any failure.
+    pub fn receive_rule_withdrawal_for(
+        &mut self,
+        contract: ContractId,
+        frame: &[u8],
+    ) -> Result<Vec<u8>, SessionError> {
+        let idx = self.slot_index_or_err(contract)?;
+        let payload = self.contracts[idx]
+            .channel
+            .as_mut()
+            .ok_or(SessionError::NotEstablished)?
+            .open(frame)?;
+        let (frame_contract, ids) = Self::decode_id_frame(&payload)?;
+        if frame_contract != contract {
+            return Err(SessionError::ContractMismatch {
+                expected: contract,
+                got: frame_contract,
+            });
+        }
+        let owned_ids: Vec<RuleId> = ids
+            .into_iter()
+            .filter(|&id| self.contracts[idx].owns(id))
+            .collect();
+        let removed = self.filter.remove_rules(&owned_ids);
+        let ack = self.contracts[idx]
+            .channel
+            .as_mut()
+            .expect("opened above")
+            .seal(&(removed as u32).to_le_bytes());
         Ok(ack)
     }
 
@@ -228,7 +507,8 @@ impl FilterEnclaveApp {
     /// rules now. Because the edits have not been applied yet, the
     /// acknowledgement carries the number of ids *queued* (the immediate
     /// path acks the number actually in force — that count exists only
-    /// after publication).
+    /// after publication; the publisher enforces ownership when it applies
+    /// the queue). Operates on the default contract 0.
     ///
     /// # Errors
     ///
@@ -237,23 +517,53 @@ impl FilterEnclaveApp {
         &mut self,
         frame: &[u8],
     ) -> Result<Vec<u8>, SessionError> {
-        let channel = self.channel.as_mut().ok_or(SessionError::NotEstablished)?;
-        let payload = channel.open(frame)?;
-        let ids = Self::decode_id_frame(&payload)?;
+        self.receive_rule_withdrawal_deferred_for(0, frame)
+    }
+
+    /// [`receive_rule_withdrawal_deferred`](FilterEnclaveApp::receive_rule_withdrawal_deferred)
+    /// for one contract.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]; nothing is queued on any failure.
+    pub fn receive_rule_withdrawal_deferred_for(
+        &mut self,
+        contract: ContractId,
+        frame: &[u8],
+    ) -> Result<Vec<u8>, SessionError> {
+        let idx = self.slot_index_or_err(contract)?;
+        let payload = self.contracts[idx]
+            .channel
+            .as_mut()
+            .ok_or(SessionError::NotEstablished)?
+            .open(frame)?;
+        let (frame_contract, ids) = Self::decode_id_frame(&payload)?;
+        if frame_contract != contract {
+            return Err(SessionError::ContractMismatch {
+                expected: contract,
+                got: frame_contract,
+            });
+        }
         let count = ids.len();
-        self.pending.extend(ids.into_iter().map(RuleEdit::Withdraw));
-        let ack = channel.seal(&(count as u32).to_le_bytes());
+        let slot = &mut self.contracts[idx];
+        slot.pending.extend(ids.into_iter().map(RuleEdit::Withdraw));
+        let ack = slot
+            .channel
+            .as_mut()
+            .expect("opened above")
+            .seal(&(count as u32).to_le_bytes());
         Ok(ack)
     }
 
-    /// Decodes a rule-submission payload: `count: u32 LE` then `count`
-    /// 29-byte rule encodings.
-    fn decode_rule_frame(payload: &[u8]) -> Result<Vec<FilterRule>, SessionError> {
-        if payload.len() < 4 {
+    /// Decodes a rule-submission payload: `contract: u32 LE`, `count: u32
+    /// LE`, then `count` 29-byte rule encodings.
+    fn decode_rule_frame(payload: &[u8]) -> Result<(ContractId, Vec<FilterRule>), SessionError> {
+        if payload.len() < 8 {
             return Err(SessionError::BadAck);
         }
-        let count = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
-        let body = &payload[4..];
+        let contract = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes"));
+        let count = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")) as usize;
+        let body = &payload[8..];
         if body.len() != count * 29 {
             return Err(SessionError::RuleDecode(
                 crate::rules::RuleDecodeError::WrongLength(body.len()),
@@ -263,34 +573,41 @@ impl FilterEnclaveApp {
         for chunk in body.chunks_exact(29) {
             rules.push(FilterRule::decode(chunk).map_err(SessionError::RuleDecode)?);
         }
-        Ok(rules)
+        Ok((contract, rules))
     }
 
-    /// Decodes a withdrawal payload: `count: u32 LE` then `count` 4-byte
-    /// little-endian rule ids.
-    fn decode_id_frame(payload: &[u8]) -> Result<Vec<RuleId>, SessionError> {
-        if payload.len() < 4 {
+    /// Decodes a withdrawal payload: `contract: u32 LE`, `count: u32 LE`,
+    /// then `count` 4-byte little-endian rule ids.
+    fn decode_id_frame(payload: &[u8]) -> Result<(ContractId, Vec<RuleId>), SessionError> {
+        if payload.len() < 8 {
             return Err(SessionError::BadAck);
         }
-        let count = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
-        let body = &payload[4..];
+        let contract = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes"));
+        let count = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")) as usize;
+        let body = &payload[8..];
         if body.len() != count * 4 {
             return Err(SessionError::RuleDecode(
                 crate::rules::RuleDecodeError::WrongLength(body.len()),
             ));
         }
-        Ok(body
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect())
+        Ok((
+            contract,
+            body.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect(),
+        ))
     }
 
     /// Installs additional rules directly (control-plane ECall for tests
     /// and master-driven provisioning; session-driven installs go through
     /// [`receive_rules`](FilterEnclaveApp::receive_rules)). Existing rule
     /// ids are preserved; the hybrid cache flushes as on any rule churn.
+    /// The new ids are recorded as owned by the default contract 0.
     pub fn insert_rules<I: IntoIterator<Item = FilterRule>>(&mut self, rules: I) {
+        let base = self.filter.inner().ruleset().len() as RuleId;
         self.filter.insert_rules(rules);
+        let end = self.filter.inner().ruleset().len() as RuleId;
+        self.contracts[0].owned.extend(base..end);
     }
 
     /// Withdraws rules directly (control-plane ECall for redistribution
@@ -306,12 +623,14 @@ impl FilterEnclaveApp {
         self.strict_scope = strict;
     }
 
-    /// Processes one packet: logs it, decides it, logs the forwarding.
+    /// Processes one packet: logs it (into the logs of the contract whose
+    /// scope covers the destination), decides it, logs the forwarding.
     pub fn process(&mut self, t: &FiveTuple, wire_bytes: u64) -> Verdict {
-        self.logs.log_incoming(t);
+        let si = slot_for_dst(&self.contracts, t.dst_ip);
+        self.contracts[si].logs.log_incoming(t);
         let verdict = FilterBackend::decide(&mut self.filter, t);
         if verdict.action == RuleAction::Allow {
-            self.logs.log_outgoing(t);
+            self.contracts[si].logs.log_outgoing(t);
         }
         self.absorb_verdict(wire_bytes, verdict);
         verdict
@@ -348,7 +667,26 @@ impl FilterEnclaveApp {
         }
         self.filter
             .decide_batch_fingerprints(&self.scratch, &self.fp_scratch, out);
-        self.logs.log_batch_fingerprints(&self.fp_scratch, out);
+        if self.contracts.len() == 1 {
+            // Single tenant: the whole burst belongs to the default
+            // contract — keep the prefetch-pipelined batched sketch path.
+            self.contracts[0]
+                .logs
+                .log_batch_fingerprints(&self.fp_scratch, out);
+        } else {
+            // Multi-tenant: attribute each packet to the contract whose
+            // scope covers its destination, reusing the already-derived
+            // fingerprints (still fingerprint-once).
+            for (i, (t, _)) in pkts.iter().enumerate() {
+                let si = slot_for_dst(&self.contracts, t.dst_ip);
+                let fp = self.fp_scratch[i];
+                let logs = &mut self.contracts[si].logs;
+                logs.log_incoming_fingerprint(&fp);
+                if out[i].action == RuleAction::Allow {
+                    logs.log_outgoing_fingerprint(&fp);
+                }
+            }
+        }
         for (i, (_, wire_bytes)) in pkts.iter().enumerate() {
             self.absorb_verdict(*wire_bytes, out[i]);
         }
@@ -393,25 +731,39 @@ impl FilterEnclaveApp {
 
     /// Queues rule edits directly (control-plane ECall; session-driven
     /// deferred churn goes through the `*_deferred` receivers). Nothing
-    /// takes force until the next epoch publication.
+    /// takes force until the next epoch publication. Queues onto the
+    /// default contract 0.
     pub fn queue_edits<I: IntoIterator<Item = RuleEdit>>(&mut self, edits: I) {
-        self.pending.extend(edits);
+        self.contracts[0].pending.extend(edits);
     }
 
-    /// Number of queued-but-unpublished edits.
+    /// Number of queued-but-unpublished edits, across all contracts.
     pub fn pending_edits(&self) -> usize {
-        self.pending.len()
+        self.contracts.iter().map(|s| s.pending.len()).sum()
     }
 
-    /// Number of queued installs — with the live slot count
-    /// ([`ruleset().len()`](RuleSet::len)) this names the id the *next*
-    /// queued install will get at publication, so callers can pre-compute
-    /// ids for withdrawals of not-yet-published rules.
+    /// Number of queued installs across all contracts — with the live slot
+    /// count ([`ruleset().len()`](RuleSet::len)) this names the id the
+    /// *next* queued install will get at publication, so callers can
+    /// pre-compute ids for withdrawals of not-yet-published rules.
     pub fn pending_installs(&self) -> usize {
-        self.pending
+        self.contracts
             .iter()
+            .flat_map(|s| s.pending.iter())
             .filter(|e| matches!(e, RuleEdit::Install(_)))
             .count()
+    }
+
+    /// Number of queued installs in one contract's deferred queue.
+    pub fn pending_installs_for(&self, contract: ContractId) -> usize {
+        match self.slot_index(contract) {
+            Some(i) => self.contracts[i]
+                .pending
+                .iter()
+                .filter(|e| matches!(e, RuleEdit::Install(_)))
+                .count(),
+            None => 0,
+        }
     }
 
     /// Epoch-publication step 1 (a brief ECall): hand the publisher a clone
@@ -420,11 +772,33 @@ impl FilterEnclaveApp {
     /// publisher applies the edits and rebuilds **outside** the enclave
     /// lock, then re-enters with
     /// [`install_published`](FilterEnclaveApp::install_published).
+    /// Drains the default contract 0's queue.
     pub fn take_publish_snapshot(&mut self) -> (RuleSet, Vec<RuleEdit>) {
         (
             self.filter.inner().ruleset().clone(),
-            std::mem::take(&mut self.pending),
+            std::mem::take(&mut self.contracts[0].pending),
         )
+    }
+
+    /// [`take_publish_snapshot`](FilterEnclaveApp::take_publish_snapshot)
+    /// for one contract: drains only that contract's deferred queue —
+    /// other tenants' pending churn stays queued — and additionally hands
+    /// the publisher the contract's owned-rule set, so it can enforce that
+    /// queued withdrawals only ever unlink rules the contract installed.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownContract`] if no such slot exists.
+    pub fn take_publish_snapshot_for(
+        &mut self,
+        contract: ContractId,
+    ) -> Result<(RuleSet, Vec<RuleEdit>, Vec<RuleId>), SessionError> {
+        let idx = self.slot_index_or_err(contract)?;
+        Ok((
+            self.filter.inner().ruleset().clone(),
+            std::mem::take(&mut self.contracts[idx].pending),
+            self.contracts[idx].owned.clone(),
+        ))
     }
 
     /// Epoch-publication step 2 (a brief ECall): swap in a rule set the
@@ -432,16 +806,43 @@ impl FilterEnclaveApp {
     /// to a redistribution install — the hybrid cache flushes and the rule
     /// telemetry counters restart — plus an epoch bump, so concurrent
     /// readers can tell exactly which rule generation a burst was decided
-    /// under.
+    /// under. Credits the epoch to the default contract 0.
     pub fn install_published(&mut self, ruleset: RuleSet) {
         self.install_ruleset(ruleset);
         self.reset_rule_counters();
         self.publish_epoch += 1;
+        self.contracts[0].epoch += 1;
     }
 
-    /// Epochs published into this enclave since launch.
+    /// [`install_published`](FilterEnclaveApp::install_published) for one
+    /// contract: bumps only that contract's epoch (plus the app-wide
+    /// counter) and records `new_owned` — the ids the publisher assigned
+    /// to the contract's deferred installs — into its ownership set.
+    pub fn install_published_for(
+        &mut self,
+        contract: ContractId,
+        ruleset: RuleSet,
+        new_owned: &[RuleId],
+    ) {
+        self.install_ruleset(ruleset);
+        self.reset_rule_counters();
+        self.publish_epoch += 1;
+        let slot = self.slot_mut_or_create(contract);
+        slot.epoch += 1;
+        slot.owned.extend_from_slice(new_owned);
+    }
+
+    /// Epochs published into this enclave since launch (all contracts).
     pub fn epoch(&self) -> u64 {
         self.publish_epoch
+    }
+
+    /// Epochs published for one contract since launch.
+    pub fn epoch_of(&self, contract: ContractId) -> u64 {
+        match self.slot_index(contract) {
+            Some(i) => self.contracts[i].epoch,
+            None => 0,
+        }
     }
 
     /// Counters.
@@ -449,9 +850,19 @@ impl FilterEnclaveApp {
         self.stats
     }
 
-    /// The packet logs.
+    /// The packet logs of the default contract 0.
     pub fn logs(&self) -> &PacketLogs {
-        &self.logs
+        &self.contracts[0].logs
+    }
+
+    /// The packet logs of one contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such contract slot exists.
+    pub fn logs_of(&self, contract: ContractId) -> &PacketLogs {
+        let idx = self.slot_index(contract).expect("unknown contract");
+        &self.contracts[idx].logs
     }
 
     /// The hybrid connection-preserving layer.
@@ -464,14 +875,45 @@ impl FilterEnclaveApp {
         self.filter.apply_update_period()
     }
 
-    /// Exports an authenticated log.
+    /// Exports an authenticated log for the default contract 0.
     pub fn export_log(&self, direction: LogDirection) -> AuthenticatedSketch {
-        self.logs.export(direction, &self.audit_key)
+        self.contracts[0]
+            .logs
+            .export(direction, &self.contracts[0].audit_key)
     }
 
-    /// Starts a new filtering round.
+    /// Exports an authenticated log for one contract, keyed with that
+    /// contract's session audit key — a tenant can only verify (and be
+    /// struck on) its own sketches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such contract slot exists.
+    pub fn export_log_for(
+        &self,
+        contract: ContractId,
+        direction: LogDirection,
+    ) -> AuthenticatedSketch {
+        let idx = self.slot_index(contract).expect("unknown contract");
+        self.contracts[idx]
+            .logs
+            .export(direction, &self.contracts[idx].audit_key)
+    }
+
+    /// Starts a new filtering round for every contract.
     pub fn new_round(&mut self) {
-        self.logs.new_round();
+        for slot in &mut self.contracts {
+            slot.logs.new_round();
+        }
+    }
+
+    /// Starts a new filtering round for one contract only — other tenants'
+    /// in-flight sketches are untouched, so one victim's audit cadence
+    /// cannot dirty another's round.
+    pub fn new_round_for(&mut self, contract: ContractId) {
+        if let Some(idx) = self.slot_index(contract) {
+            self.contracts[idx].logs.new_round();
+        }
     }
 
     /// Per-rule byte counts (`B_i`), reported to the master enclave during
@@ -487,7 +929,12 @@ impl FilterEnclaveApp {
 
     /// The enclave data working set: rule structures + sketches.
     pub fn table_bytes(&self) -> usize {
-        self.ruleset().memory_bytes() + self.logs.memory_bytes()
+        self.ruleset().memory_bytes()
+            + self
+                .contracts
+                .iter()
+                .map(|s| s.logs.memory_bytes())
+                .sum::<usize>()
     }
 }
 

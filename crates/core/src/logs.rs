@@ -211,6 +211,21 @@ impl PacketLogs {
         self.outgoing.add_fingerprint(t.tuple_fingerprint(), 1);
     }
 
+    /// [`log_incoming`](PacketLogs::log_incoming) over a pre-computed
+    /// fingerprint — the per-packet half of the fingerprint-once path,
+    /// used when a burst is split across per-contract logs.
+    #[inline]
+    pub fn log_incoming_fingerprint(&mut self, fp: &PacketFingerprints) {
+        self.incoming.add_fingerprint(fp.src_ip, 1);
+    }
+
+    /// [`log_outgoing`](PacketLogs::log_outgoing) over a pre-computed
+    /// fingerprint.
+    #[inline]
+    pub fn log_outgoing_fingerprint(&mut self, fp: &PacketFingerprints) {
+        self.outgoing.add_fingerprint(fp.tuple, 1);
+    }
+
     /// Logs a whole burst: every packet into the incoming log, the
     /// ALLOW-verdicted ones into the outgoing log — exactly what
     /// per-packet [`log_incoming`](PacketLogs::log_incoming) +

@@ -10,7 +10,7 @@
 //! contract continues — aborting permanently after
 //! [`RoundPolicy::max_strikes`] dirty rounds.
 
-use crate::enclave_app::FilterEnclaveApp;
+use crate::enclave_app::{ContractId, FilterEnclaveApp};
 use crate::logs::LogDirection;
 use crate::verify::{AuditError, BypassVerdict, NeighborVerifier, VictimVerifier};
 use std::sync::Arc;
@@ -177,6 +177,7 @@ pub struct ClusterRoundDriver {
     strikes: u32,
     history: Vec<ClusterRoundOutcome>,
     state: ContractState,
+    contract: ContractId,
 }
 
 impl ClusterRoundDriver {
@@ -232,7 +233,23 @@ impl ClusterRoundDriver {
             strikes: 0,
             history: Vec::new(),
             state: ContractState::Active,
+            contract: 0,
         }
+    }
+
+    /// Scopes the driver to one contract: exports, audits, and sketch
+    /// rotations touch only that contract's slot in each enclave, so this
+    /// tenant's audit cadence (and any strikes it earns) cannot dirty
+    /// another tenant's round. The verifiers must be built from the
+    /// contract's own session keys.
+    pub fn with_contract(mut self, contract: ContractId) -> Self {
+        self.contract = contract;
+        self
+    }
+
+    /// The contract this driver audits (0 for legacy single-victim use).
+    pub fn contract(&self) -> ContractId {
+        self.contract
     }
 
     /// Number of audited slices.
@@ -284,9 +301,12 @@ impl ClusterRoundDriver {
         );
         let mut slices = Vec::with_capacity(self.enclaves.len());
         let mut round = 0;
+        let contract = self.contract;
         for (i, enclave) in self.enclaves.iter().enumerate() {
-            let outgoing = enclave.ecall(|app| app.export_log(LogDirection::Outgoing));
-            let incoming = enclave.ecall(|app| app.export_log(LogDirection::Incoming));
+            let outgoing =
+                enclave.ecall(move |app| app.export_log_for(contract, LogDirection::Outgoing));
+            let incoming =
+                enclave.ecall(move |app| app.export_log_for(contract, LogDirection::Incoming));
             let audits = self.victims[i]
                 .audit(&outgoing)
                 .and_then(|v| self.neighbors[i].audit(&incoming).map(|n| (v, n)));
@@ -324,10 +344,12 @@ impl ClusterRoundDriver {
         Ok(outcome)
     }
 
-    /// Rotates every slice's enclave and verifier sketches.
+    /// Rotates every slice's enclave and verifier sketches (this
+    /// contract's slot only).
     fn rotate(&mut self) {
+        let contract = self.contract;
         for enclave in &self.enclaves {
-            enclave.ecall(|app| app.new_round());
+            enclave.ecall(move |app| app.new_round_for(contract));
         }
         for v in &mut self.victims {
             v.new_round();

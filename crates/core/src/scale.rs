@@ -16,7 +16,7 @@
 //! master recomputes the partition with the greedy allocator, and every
 //! enclave installs its new slice.
 
-use crate::enclave_app::{FilterEnclaveApp, RuleEdit};
+use crate::enclave_app::{ContractId, FilterEnclaveApp, RuleEdit};
 use crate::rules::RuleAction;
 use crate::ruleset::{RuleId, RuleSet};
 use std::sync::Arc;
@@ -196,7 +196,7 @@ pub struct RedistributionReport {
 }
 
 /// Report of one epoch publication ([`EnclaveCluster::publish`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PublishReport {
     /// Queued edits drained from the master.
     pub edits: usize,
@@ -207,6 +207,8 @@ pub struct PublishReport {
     pub withdrawals: usize,
     /// The master's epoch counter after the swap.
     pub epoch: u64,
+    /// Global ids the drained installs were assigned, in queue order.
+    pub new_rule_ids: Vec<RuleId>,
 }
 
 /// A pool of filter enclaves with its load balancer.
@@ -687,14 +689,13 @@ impl EnclaveCluster {
         // pending queue.
         let (mut rs, edits) = self.enclaves[master].ecall(|app| app.take_publish_snapshot());
         // Step 2 — off the lock: apply every edit with one rebuild.
-        let mut installs = 0usize;
         let mut withdrawals = 0usize;
+        let mut new_rule_ids = Vec::new();
         rs.batch_edit(|edit| {
             for e in &edits {
                 match e {
                     RuleEdit::Install(rule) => {
-                        edit.insert(*rule);
-                        installs += 1;
+                        new_rule_ids.push(edit.insert(*rule));
                     }
                     RuleEdit::Withdraw(id) => {
                         withdrawals += usize::from(edit.remove(*id));
@@ -705,9 +706,74 @@ impl EnclaveCluster {
         // Step 3 — brief ECall per slice: swap the prebuilt set in.
         for enclave in &self.enclaves {
             let replica = rs.clone();
-            enclave.ecall(move |app| app.install_published(replica));
+            let ids = new_rule_ids.clone();
+            enclave.ecall(move |app| app.install_published_for(0, replica, &ids));
         }
         let epoch = self.enclaves[master].ecall(|app| app.epoch());
+        self.finish_publication(rs);
+        PublishReport {
+            edits: edits.len(),
+            installs: new_rule_ids.len(),
+            withdrawals,
+            epoch,
+            new_rule_ids,
+        }
+    }
+
+    /// [`publish`](EnclaveCluster::publish) for one contract: drains only
+    /// that contract's deferred-edit queue — other tenants' queued churn
+    /// stays queued and their epochs do not move — and enforces ownership
+    /// on the way through: a queued withdrawal only takes force if the id
+    /// belongs to the contract (installed by it earlier, or by an install
+    /// earlier in this same queue). Foreign ids are dropped silently,
+    /// mirroring idempotent-withdrawal semantics, so one tenant can never
+    /// unlink another tenant's rules no matter what it queues.
+    ///
+    /// # Panics
+    ///
+    /// As [`publish`](EnclaveCluster::publish); additionally panics if the
+    /// master has no slot for `contract`.
+    pub fn publish_contract(&mut self, master: usize, contract: ContractId) -> PublishReport {
+        assert!(master < self.enclaves.len(), "master index out of range");
+        assert!(self.replicated, "epoch publication is replicated-only");
+        let (mut rs, edits, owned) = self.enclaves[master]
+            .ecall(move |app| app.take_publish_snapshot_for(contract))
+            .expect("unknown contract");
+        let mut withdrawals = 0usize;
+        let mut new_rule_ids: Vec<RuleId> = Vec::new();
+        rs.batch_edit(|edit| {
+            for e in &edits {
+                match e {
+                    RuleEdit::Install(rule) => {
+                        new_rule_ids.push(edit.insert(*rule));
+                    }
+                    RuleEdit::Withdraw(id) => {
+                        if owned.contains(id) || new_rule_ids.contains(id) {
+                            withdrawals += usize::from(edit.remove(*id));
+                        }
+                    }
+                }
+            }
+        });
+        for enclave in &self.enclaves {
+            let replica = rs.clone();
+            let ids = new_rule_ids.clone();
+            enclave.ecall(move |app| app.install_published_for(contract, replica, &ids));
+        }
+        let epoch = self.enclaves[master].ecall(move |app| app.epoch_of(contract));
+        self.finish_publication(rs);
+        PublishReport {
+            edits: edits.len(),
+            installs: new_rule_ids.len(),
+            withdrawals,
+            epoch,
+            new_rule_ids,
+        }
+    }
+
+    /// Post-publication bookkeeping shared by the epoch-swap paths: every
+    /// slice now replicates `rs`, and the balancer spreads flows evenly.
+    fn finish_publication(&mut self, rs: RuleSet) {
         let n = self.enclaves.len();
         let all_ids: Vec<RuleId> = (0..rs.len() as RuleId).collect();
         self.slices = vec![all_ids; n];
@@ -720,12 +786,54 @@ impl EnclaveCluster {
             n,
             LoadBalancerBehavior::Honest,
         );
-        PublishReport {
-            edits: edits.len(),
-            installs,
-            withdrawals,
-            epoch,
+    }
+
+    /// Provisions a contract slot (scope + audit keys) on **every** slice,
+    /// so packets for the contract's prefix are attributed to its sketches
+    /// no matter which enclave the balancer picks. Call after the
+    /// contract's session handshake (which only lands on one slice).
+    pub fn provision_contract(
+        &self,
+        contract: ContractId,
+        scope: Option<vif_trie::Ipv4Prefix>,
+        sketch_seed: u64,
+        audit_key: [u8; 32],
+    ) {
+        for enclave in &self.enclaves {
+            enclave.ecall(move |app| {
+                app.provision_contract(contract, scope, sketch_seed, audit_key);
+            });
         }
+    }
+
+    /// Builds the per-contract demand signals the admission arbiter
+    /// consumes: each contract's owned, in-force rules on the master,
+    /// with per-rule bandwidth from the measured byte counters over
+    /// `window_secs` of traffic. Freshly installed rules that have not
+    /// matched traffic yet demand `floor_gbps` each so admission is
+    /// conservative rather than free.
+    pub fn contract_demands(
+        &self,
+        master: usize,
+        window_secs: f64,
+        floor_gbps: f64,
+    ) -> Vec<vif_optimizer::ContractDemand> {
+        let ids = self.enclaves[master].ecall(|app| app.contract_ids());
+        ids.into_iter()
+            .map(|contract| {
+                let per_rule =
+                    self.enclaves[master].ecall(move |app| app.contract_rule_bytes(contract));
+                vif_optimizer::ContractDemand {
+                    contract,
+                    rule_bandwidths_gbps: per_rule
+                        .into_iter()
+                        .map(|(_, bytes)| {
+                            (bytes as f64 * 8.0 / 1e9 / window_secs.max(1e-9)).max(floor_gbps)
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
     }
 
     /// The replicated-mode redistribution round (see

@@ -17,7 +17,7 @@
 //! protocol treats it as the adversary it is (tampering any message aborts
 //! the handshake).
 
-use crate::enclave_app::FilterEnclaveApp;
+use crate::enclave_app::{ContractId, FilterEnclaveApp};
 use crate::rpki::{OwnerId, RpkiError, RpkiRegistry};
 use crate::rules::{FilterRule, RuleDecodeError};
 use crate::verify::{NeighborVerifier, VictimVerifier};
@@ -60,6 +60,17 @@ pub enum SessionError {
     BadAck,
     /// Protocol used before the handshake completed.
     NotEstablished,
+    /// A contract-scoped ECall named a contract the enclave has never
+    /// seen a handshake for.
+    UnknownContract(ContractId),
+    /// A frame's embedded contract id disagrees with the session slot it
+    /// arrived on (a cross-tenant replay by the untrusted relay).
+    ContractMismatch {
+        /// The contract the receiving slot belongs to.
+        expected: ContractId,
+        /// The contract id embedded in the frame.
+        got: ContractId,
+    },
 }
 
 impl std::fmt::Display for SessionError {
@@ -73,6 +84,10 @@ impl std::fmt::Display for SessionError {
             SessionError::RuleDecode(e) => write!(f, "rule decode: {e}"),
             SessionError::BadAck => write!(f, "acknowledgement mismatch"),
             SessionError::NotEstablished => write!(f, "session not established"),
+            SessionError::UnknownContract(c) => write!(f, "unknown contract {c}"),
+            SessionError::ContractMismatch { expected, got } => {
+                write!(f, "frame for contract {got} arrived on contract {expected}")
+            }
         }
     }
 }
@@ -179,9 +194,28 @@ impl VictimClient {
         ias: &AttestationService,
         nonce: [u8; 32],
     ) -> Result<FilteringSession, SessionError> {
+        self.establish_contract(enclave, ias, nonce, 0)
+    }
+
+    /// [`establish`](VictimClient::establish) under a named contract: the
+    /// handshake lands in that contract's enclave slot, and every frame the
+    /// resulting session sends is tagged with (and checked against) the
+    /// contract id. Multiple victims can hold concurrent sessions on one
+    /// enclave without sharing rules, sketches, or audit keys.
+    ///
+    /// # Errors
+    ///
+    /// As [`establish`](VictimClient::establish).
+    pub fn establish_contract(
+        &self,
+        enclave: Arc<Enclave<FilterEnclaveApp>>,
+        ias: &AttestationService,
+        nonce: [u8; 32],
+        contract: ContractId,
+    ) -> Result<FilteringSession, SessionError> {
         // 1. Challenge: the enclave generates its channel key inside and
         //    quotes the binding.
-        let enclave_pub = enclave.ecall(|app| app.begin_handshake(nonce));
+        let enclave_pub = enclave.ecall(move |app| app.begin_handshake_for(contract, nonce));
         let quote = enclave.quote(report_binding(&enclave_pub, &nonce));
 
         // 2. The controller relays the quote to the IAS (untrusted relay —
@@ -200,8 +234,9 @@ impl VictimClient {
         let shared = self.dh.shared_secret(&enclave_pub)?;
         let keys = derive_session_keys(&shared, &nonce);
         let (victim_channel, _) = SecureChannel::pair_from_secret(&shared, &nonce);
+        let victim_public = self.dh.public_bytes();
         enclave
-            .ecall(|app| app.complete_handshake(&self.dh.public_bytes(), &nonce))
+            .ecall(move |app| app.complete_handshake_for(contract, &victim_public, &nonce))
             .map_err(SessionError::Dh)?;
 
         let attestation_latency_ns =
@@ -214,6 +249,7 @@ impl VictimClient {
             identity: self.identity,
             tolerance: self.config.tolerance,
             attestation_latency_ns,
+            contract,
         })
     }
 }
@@ -227,12 +263,19 @@ pub struct FilteringSession {
     identity: OwnerId,
     tolerance: u64,
     attestation_latency_ns: u64,
+    contract: ContractId,
 }
 
 impl FilteringSession {
     /// The attested enclave.
     pub fn enclave(&self) -> &Arc<Enclave<FilterEnclaveApp>> {
         &self.enclave
+    }
+
+    /// The contract this session operates under (0 for legacy
+    /// single-victim sessions).
+    pub fn contract(&self) -> ContractId {
+        self.contract
     }
 
     /// Derived session keys.
@@ -258,12 +301,15 @@ impl FilteringSession {
         rules: &[FilterRule],
         rpki: &RpkiRegistry,
     ) -> Result<usize, SessionError> {
-        let frame = self.victim_channel.seal(&Self::encode_rules(rules));
+        let frame = self
+            .victim_channel
+            .seal(&Self::encode_rules(self.contract, rules));
         let identity = self.identity;
         let rpki = rpki.clone();
+        let contract = self.contract;
         let ack = self
             .enclave
-            .ecall(move |app| app.receive_rules(&frame, &identity, &rpki))?;
+            .ecall(move |app| app.receive_rules_for(contract, &frame, &identity, &rpki))?;
         // The enclave acks with the rule count over the channel.
         let n = self.open_count_ack(&ack)?;
         if n != rules.len() {
@@ -288,12 +334,15 @@ impl FilteringSession {
         rules: &[FilterRule],
         rpki: &RpkiRegistry,
     ) -> Result<usize, SessionError> {
-        let frame = self.victim_channel.seal(&Self::encode_rules(rules));
+        let frame = self
+            .victim_channel
+            .seal(&Self::encode_rules(self.contract, rules));
         let identity = self.identity;
         let rpki = rpki.clone();
+        let contract = self.contract;
         let ack = self
             .enclave
-            .ecall(move |app| app.receive_rules_deferred(&frame, &identity, &rpki))?;
+            .ecall(move |app| app.receive_rules_deferred_for(contract, &frame, &identity, &rpki))?;
         let n = self.open_count_ack(&ack)?;
         if n != rules.len() {
             return Err(SessionError::BadAck);
@@ -318,10 +367,13 @@ impl FilteringSession {
         &mut self,
         ids: &[crate::ruleset::RuleId],
     ) -> Result<usize, SessionError> {
-        let frame = self.victim_channel.seal(&Self::encode_ids(ids));
+        let frame = self
+            .victim_channel
+            .seal(&Self::encode_ids(self.contract, ids));
+        let contract = self.contract;
         let ack = self
             .enclave
-            .ecall(move |app| app.receive_rule_withdrawal(&frame))?;
+            .ecall(move |app| app.receive_rule_withdrawal_for(contract, &frame))?;
         let removed = self.open_count_ack(&ack)?;
         if removed > ids.len() {
             return Err(SessionError::BadAck);
@@ -344,10 +396,13 @@ impl FilteringSession {
         &mut self,
         ids: &[crate::ruleset::RuleId],
     ) -> Result<usize, SessionError> {
-        let frame = self.victim_channel.seal(&Self::encode_ids(ids));
+        let frame = self
+            .victim_channel
+            .seal(&Self::encode_ids(self.contract, ids));
+        let contract = self.contract;
         let ack = self
             .enclave
-            .ecall(move |app| app.receive_rule_withdrawal_deferred(&frame))?;
+            .ecall(move |app| app.receive_rule_withdrawal_deferred_for(contract, &frame))?;
         let queued = self.open_count_ack(&ack)?;
         if queued > ids.len() {
             return Err(SessionError::BadAck);
@@ -355,9 +410,11 @@ impl FilteringSession {
         Ok(queued)
     }
 
-    /// Encodes a rule-submission payload (`count` + 29-byte encodings).
-    fn encode_rules(rules: &[FilterRule]) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(4 + rules.len() * 29);
+    /// Encodes a rule-submission payload
+    /// (`contract` + `count` + 29-byte encodings).
+    fn encode_rules(contract: ContractId, rules: &[FilterRule]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(8 + rules.len() * 29);
+        payload.extend_from_slice(&contract.to_le_bytes());
         payload.extend_from_slice(&(rules.len() as u32).to_le_bytes());
         for r in rules {
             payload.extend_from_slice(&r.encode());
@@ -365,9 +422,10 @@ impl FilteringSession {
         payload
     }
 
-    /// Encodes a withdrawal payload (`count` + 4-byte LE ids).
-    fn encode_ids(ids: &[crate::ruleset::RuleId]) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(4 + ids.len() * 4);
+    /// Encodes a withdrawal payload (`contract` + `count` + 4-byte LE ids).
+    fn encode_ids(contract: ContractId, ids: &[crate::ruleset::RuleId]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(8 + ids.len() * 4);
+        payload.extend_from_slice(&contract.to_le_bytes());
         payload.extend_from_slice(&(ids.len() as u32).to_le_bytes());
         for id in ids {
             payload.extend_from_slice(&id.to_le_bytes());
@@ -400,9 +458,11 @@ impl FilteringSession {
         NeighborVerifier::new(self.keys.sketch_seed, self.keys.audit_key, self.tolerance)
     }
 
-    /// Starts a new filtering round (control-plane ECall).
+    /// Starts a new filtering round for this session's contract
+    /// (control-plane ECall). Other tenants' rounds are untouched.
     pub fn new_round(&self) {
-        self.enclave.ecall(|app| app.new_round());
+        let contract = self.contract;
+        self.enclave.ecall(move |app| app.new_round_for(contract));
     }
 }
 

@@ -60,7 +60,9 @@ pub use packet::{FiveTuple, Packet, Protocol};
 pub use pipeline::{PacketStage, PipelineConfig, PipelineReport, StageOutcome, StageVerdict};
 pub use pktgen::{FlowSet, RateShape, TrafficConfig, TrafficGenerator};
 pub use ring::Ring;
-pub use service::{DataplaneService, ServiceConfig, ServiceHandle};
+pub use service::{
+    ContractMap, ContractRoundDelta, DataplaneService, ServiceConfig, ServiceHandle,
+};
 pub use sharded::{
     run_sharded, run_sharded_with_steering, shard_of, shard_of_fingerprint, ShardedReport,
 };

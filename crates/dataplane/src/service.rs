@@ -83,6 +83,97 @@ enum TxMsg {
     Flush(u64),
 }
 
+/// Maps destination addresses to tenant contracts (longest prefix wins)
+/// so the service can split its round counters per contract.
+///
+/// Contract ids are plain `u32`s matching `vif-core`'s `ContractId`;
+/// unmapped destinations fall through to the default contract `0`. The
+/// map is fixed for the lifetime of a service run — tenancy churn happens
+/// at the rule/publication layer, not per packet.
+#[derive(Debug, Clone)]
+pub struct ContractMap {
+    /// `(network, prefix_len, dense_slot)` sorted longest-prefix-first.
+    entries: Vec<(u32, u8, usize)>,
+    /// Dense slot → contract id; slot 0 is always the default contract 0.
+    ids: Vec<u32>,
+}
+
+impl Default for ContractMap {
+    fn default() -> Self {
+        ContractMap::new()
+    }
+}
+
+impl ContractMap {
+    /// An empty map: every packet belongs to contract 0.
+    pub fn new() -> Self {
+        ContractMap {
+            entries: Vec::new(),
+            ids: vec![0],
+        }
+    }
+
+    /// Routes `network/prefix_len` (host-order address) to `contract`.
+    pub fn assign(&mut self, network: u32, prefix_len: u8, contract: u32) {
+        assert!(prefix_len <= 32, "prefix length out of range");
+        let slot = match self.ids.iter().position(|&c| c == contract) {
+            Some(s) => s,
+            None => {
+                self.ids.push(contract);
+                self.ids.len() - 1
+            }
+        };
+        let mask = mask_of(prefix_len);
+        self.entries.push((network & mask, prefix_len, slot));
+        // Longest-prefix-first keeps lookup a linear first-match scan.
+        self.entries.sort_by_key(|e| std::cmp::Reverse(e.1));
+    }
+
+    /// Contract ids known to the map, dense-slot order (`0` first).
+    pub fn contracts(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The contract owning `dst_ip` (0 if unmapped).
+    pub fn contract_of(&self, dst_ip: u32) -> u32 {
+        self.ids[self.slot_of(dst_ip)]
+    }
+
+    /// Dense counter slot for `dst_ip`.
+    fn slot_of(&self, dst_ip: u32) -> usize {
+        for &(net, len, slot) in &self.entries {
+            if dst_ip & mask_of(len) == net {
+                return slot;
+            }
+        }
+        0
+    }
+}
+
+fn mask_of(prefix_len: u8) -> u32 {
+    if prefix_len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - prefix_len as u32)
+    }
+}
+
+/// One contract's share of a flushed round — the tenant-sliced view of
+/// the same counters a [`ShardedReport`] aggregates per worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContractRoundDelta {
+    /// The contract id.
+    pub contract: u32,
+    /// Packets offered for this contract's destinations this round.
+    pub received: u64,
+    /// Packets forwarded this round.
+    pub forwarded: u64,
+    /// Packets filtered (dropped by rules) this round.
+    pub filtered: u64,
+    /// Packets lost to full RX rings this round.
+    pub overflow: u64,
+}
+
 /// Tuning knobs for a [`DataplaneService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -117,6 +208,13 @@ struct Shared {
     /// and therefore carries the happens-before edge.
     forwarded: Vec<AtomicU64>,
     filtered: Vec<AtomicU64>,
+    /// Tenant attribution of the worker-side counters: dst prefix →
+    /// contract, plus cumulative per-contract forwarded/filtered (dense
+    /// slot order, summed across workers). With a single (default)
+    /// contract the workers skip the per-packet lookup entirely.
+    contracts: ContractMap,
+    c_forwarded: Vec<AtomicU64>,
+    c_filtered: Vec<AtomicU64>,
     /// Per-consumer parked flags (workers, then TX) for the sleep/wake
     /// protocol, plus a global count of park events for the idle test.
     worker_parked: Vec<AtomicBool>,
@@ -137,12 +235,16 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(n: usize, config: &ServiceConfig) -> Self {
+    fn new(n: usize, config: &ServiceConfig, contracts: ContractMap) -> Self {
+        let c = contracts.contracts().len();
         Shared {
             rx_rings: (0..n).map(|_| Ring::new(config.ring_capacity)).collect(),
             tx_ring: Ring::new(config.ring_capacity),
             forwarded: (0..n).map(|_| AtomicU64::new(0)).collect(),
             filtered: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            contracts,
+            c_forwarded: (0..c).map(|_| AtomicU64::new(0)).collect(),
+            c_filtered: (0..c).map(|_| AtomicU64::new(0)).collect(),
             worker_parked: (0..n).map(|_| AtomicBool::new(false)).collect(),
             tx_parked: AtomicBool::new(false),
             park_events: AtomicU64::new(0),
@@ -231,12 +333,26 @@ impl Drop for AliveGuard<'_> {
 #[derive(Debug, Clone, Default)]
 pub struct DataplaneService {
     config: ServiceConfig,
+    contracts: ContractMap,
 }
 
 impl DataplaneService {
     /// Creates a service description with the given knobs.
     pub fn new(config: ServiceConfig) -> Self {
-        DataplaneService { config }
+        DataplaneService {
+            config,
+            contracts: ContractMap::new(),
+        }
+    }
+
+    /// Attributes round counters to tenant contracts by destination
+    /// prefix; [`ServiceHandle::contract_deltas`] then reports each
+    /// flushed round split per contract. Without a map everything counts
+    /// against the default contract 0 and the per-packet lookup is
+    /// skipped.
+    pub fn with_contracts(mut self, contracts: ContractMap) -> Self {
+        self.contracts = contracts;
+        self
     }
 
     /// Starts the service, runs `body` with its [`ServiceHandle`] on the
@@ -272,7 +388,8 @@ impl DataplaneService {
         );
         assert!(self.config.spin_limit > 0, "spin_limit must be positive");
         let config = self.config;
-        let shared = Shared::new(n, &config);
+        let shared = Shared::new(n, &config, self.contracts.clone());
+        let c = shared.contracts.contracts().len();
         let shared = &shared;
 
         std::thread::scope(|scope| {
@@ -300,6 +417,18 @@ impl DataplaneService {
                 report: ShardedReport {
                     per_worker: vec![ThreadedReport::default(); n],
                 },
+                c_received: vec![0; c],
+                c_overflow: vec![0; c],
+                c_prev: vec![(0, 0); c],
+                contract_report: shared
+                    .contracts
+                    .contracts()
+                    .iter()
+                    .map(|&contract| ContractRoundDelta {
+                        contract,
+                        ..Default::default()
+                    })
+                    .collect(),
                 seq: 0,
             };
 
@@ -350,6 +479,13 @@ pub struct ServiceHandle<'a, R> {
     prev: Vec<ThreadedReport>,
     /// Reused report storage: flushing a round is allocation-free.
     report: ShardedReport,
+    /// Per-contract offer-side counters for the round in progress, the
+    /// cumulative (forwarded, filtered) snapshot at the last flush, and
+    /// reused per-contract delta storage (dense slot order).
+    c_received: Vec<u64>,
+    c_overflow: Vec<u64>,
+    c_prev: Vec<(u64, u64)>,
+    contract_report: Vec<ContractRoundDelta>,
     seq: u64,
 }
 
@@ -378,9 +514,16 @@ where
     /// counts the packet as that worker's `overflow`, exactly like the
     /// one-shot pipeline's RX thread.
     pub fn offer(&mut self, packets: &[Packet]) {
+        let multi = self.c_received.len() > 1;
         for pkt in packets {
             let w = (self.steer)(&pkt.tuple) % self.n;
             self.received[w] += 1;
+            let slot = if multi {
+                self.shared.contracts.slot_of(pkt.tuple.dst_ip)
+            } else {
+                0
+            };
+            self.c_received[slot] += 1;
             let mut item = WorkerMsg::Pkt(*pkt);
             let mut retries = 0;
             loop {
@@ -394,6 +537,7 @@ where
                         retries += 1;
                         if retries > 64 {
                             self.overflow[w] += 1;
+                            self.c_overflow[slot] += 1;
                             break;
                         }
                         // Full ring: make sure the worker is draining it.
@@ -474,7 +618,40 @@ where
             self.received[w] = 0;
             self.overflow[w] = 0;
         }
+        for slot in 0..self.c_received.len() {
+            let (fwd, fil) = if self.c_received.len() == 1 {
+                // Single contract: the worker loops skipped the dedicated
+                // contract counters, the totals are the contract.
+                let t = self.report.total();
+                let prev = self.c_prev[0];
+                (prev.0 + t.forwarded, prev.1 + t.filtered)
+            } else {
+                (
+                    self.shared.c_forwarded[slot].load(Ordering::Relaxed),
+                    self.shared.c_filtered[slot].load(Ordering::Relaxed),
+                )
+            };
+            self.contract_report[slot] = ContractRoundDelta {
+                contract: self.shared.contracts.contracts()[slot],
+                received: self.c_received[slot],
+                forwarded: fwd - self.c_prev[slot].0,
+                filtered: fil - self.c_prev[slot].1,
+                overflow: self.c_overflow[slot],
+            };
+            self.c_prev[slot] = (fwd, fil);
+            self.c_received[slot] = 0;
+            self.c_overflow[slot] = 0;
+        }
         &self.report
+    }
+
+    /// The last flushed round's counters split per tenant contract
+    /// (dense order, default contract 0 first). Like
+    /// [`flush_round`](ServiceHandle::flush_round)'s report, the slice
+    /// points at reused storage — clone entries to keep them past the
+    /// next flush.
+    pub fn contract_deltas(&self) -> &[ContractRoundDelta] {
+        &self.contract_report
     }
 
     /// Convenience: one full round — offer `packets`, flush, report.
@@ -528,6 +705,8 @@ fn worker_loop<S: PacketStage>(
     let mut batch: Vec<WorkerMsg> = Vec::with_capacity(config.burst);
     let mut pkts: Vec<Packet> = Vec::with_capacity(config.burst);
     let mut outcomes = Vec::with_capacity(config.burst);
+    // Reused per-contract (forwarded, filtered) scratch for one run.
+    let mut c_counts: Vec<(u64, u64)> = vec![(0, 0); shared.contracts.contracts().len()];
     let mut spins = 0u32;
     loop {
         batch.clear();
@@ -553,12 +732,28 @@ fn worker_loop<S: PacketStage>(
             match msg {
                 WorkerMsg::Pkt(p) => pkts.push(p),
                 WorkerMsg::Flush(seq) => {
-                    process_run(shared, w, &mut stage, &mut pkts, &mut outcomes, &tx_thread);
+                    process_run(
+                        shared,
+                        w,
+                        &mut stage,
+                        &mut pkts,
+                        &mut outcomes,
+                        &mut c_counts,
+                        &tx_thread,
+                    );
                     push_tx(shared, TxMsg::Flush(seq), &tx_thread);
                 }
             }
         }
-        process_run(shared, w, &mut stage, &mut pkts, &mut outcomes, &tx_thread);
+        process_run(
+            shared,
+            w,
+            &mut stage,
+            &mut pkts,
+            &mut outcomes,
+            &mut c_counts,
+            &tx_thread,
+        );
     }
 }
 
@@ -570,6 +765,7 @@ fn process_run<S: PacketStage>(
     stage: &mut S,
     pkts: &mut Vec<Packet>,
     outcomes: &mut Vec<crate::pipeline::StageOutcome>,
+    c_counts: &mut [(u64, u64)],
     tx_thread: &Thread,
 ) {
     if pkts.is_empty() {
@@ -578,13 +774,25 @@ fn process_run<S: PacketStage>(
     outcomes.clear();
     stage.process_batch(pkts, outcomes);
     debug_assert_eq!(outcomes.len(), pkts.len(), "one outcome per packet");
+    // Tenant attribution only pays per packet when there is more than the
+    // default contract; the single-tenant hot path stays lookup-free.
+    let multi = c_counts.len() > 1;
     let mut forwarded = 0u64;
     let mut filtered = 0u64;
     for (pkt, outcome) in pkts.iter().zip(outcomes.iter()) {
+        let slot = if multi {
+            shared.contracts.slot_of(pkt.tuple.dst_ip)
+        } else {
+            0
+        };
         match outcome.verdict {
-            StageVerdict::Drop => filtered += 1,
+            StageVerdict::Drop => {
+                filtered += 1;
+                c_counts[slot].1 += 1;
+            }
             StageVerdict::Forward => {
                 forwarded += 1;
+                c_counts[slot].0 += 1;
                 if !push_tx(shared, TxMsg::Pkt(w, *pkt), tx_thread) {
                     // TX died (sink panicked): keep draining so shutdown
                     // can proceed, the panic propagates at scope exit.
@@ -596,6 +804,17 @@ fn process_run<S: PacketStage>(
     // these adds precede (see `Shared::forwarded`).
     shared.forwarded[w].fetch_add(forwarded, Ordering::Relaxed);
     shared.filtered[w].fetch_add(filtered, Ordering::Relaxed);
+    if multi {
+        for (slot, counts) in c_counts.iter_mut().enumerate() {
+            if counts.0 > 0 {
+                shared.c_forwarded[slot].fetch_add(counts.0, Ordering::Relaxed);
+            }
+            if counts.1 > 0 {
+                shared.c_filtered[slot].fetch_add(counts.1, Ordering::Relaxed);
+            }
+            *counts = (0, 0);
+        }
+    }
     pkts.clear();
 }
 
@@ -805,6 +1024,104 @@ mod tests {
                         "round {round}: sink lagging the barrier"
                     );
                     sunk.lock().unwrap().clear();
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn contract_deltas_split_rounds_per_tenant() {
+        use crate::packet::Protocol;
+        let n = 2;
+        let a_net = u32::from_be_bytes([203, 0, 0, 0]); // contract 7: 203.0/16
+        let b_net = u32::from_be_bytes([198, 18, 0, 0]); // contract 9: 198.18/16
+        let mut map = ContractMap::new();
+        map.assign(a_net, 16, 7);
+        map.assign(b_net, 16, 9);
+        assert_eq!(map.contract_of(a_net | 0x0107), 7);
+        assert_eq!(map.contract_of(b_net | 0x0107), 9);
+        assert_eq!(map.contract_of(u32::from_be_bytes([10, 0, 0, 1])), 0);
+
+        // src parity decides forward/drop; dst decides the contract.
+        let mk = |dst_net: u32, src: u32, id: u64| {
+            Packet::new(
+                FiveTuple::new(src, dst_net | (id as u32 & 0xff), 999, 80, Protocol::Tcp),
+                64,
+                0,
+                id,
+            )
+        };
+        let stages: Vec<_> = (0..n).map(|_| parity_stage()).collect();
+        DataplaneService::new(ServiceConfig::default())
+            .with_contracts(map)
+            .run(
+                stages,
+                |_, _| {},
+                |t| shard_of(t, n),
+                |svc| {
+                    // Round 1: 40 packets to A (half droppable), 10 to B
+                    // (all forwardable).
+                    let mut t = Vec::new();
+                    for i in 0..40u64 {
+                        t.push(mk(a_net, i as u32, i));
+                    }
+                    for i in 0..10u64 {
+                        t.push(mk(b_net, 2 * i as u32, 100 + i));
+                    }
+                    svc.round(&t);
+                    let deltas: Vec<_> = svc.contract_deltas().to_vec();
+                    let a = deltas.iter().find(|d| d.contract == 7).unwrap();
+                    let b = deltas.iter().find(|d| d.contract == 9).unwrap();
+                    let default = deltas.iter().find(|d| d.contract == 0).unwrap();
+                    assert_eq!(a.received, 40);
+                    assert_eq!(a.forwarded, 20);
+                    assert_eq!(a.filtered, 20);
+                    assert_eq!(b.received, 10);
+                    assert_eq!(b.forwarded, 10);
+                    assert_eq!(b.filtered, 0);
+                    assert_eq!(default.received, 0);
+
+                    // Round 2: only B sees traffic — A's delta is zero,
+                    // not cumulative.
+                    let t2: Vec<_> = (0..8u64)
+                        .map(|i| mk(b_net, 2 * i as u32, 200 + i))
+                        .collect();
+                    svc.round(&t2);
+                    let a2 = svc
+                        .contract_deltas()
+                        .iter()
+                        .find(|d| d.contract == 7)
+                        .cloned()
+                        .unwrap();
+                    let b2 = svc
+                        .contract_deltas()
+                        .iter()
+                        .find(|d| d.contract == 9)
+                        .cloned()
+                        .unwrap();
+                    assert_eq!((a2.received, a2.forwarded, a2.filtered), (0, 0, 0));
+                    assert_eq!((b2.received, b2.forwarded, b2.filtered), (8, 8, 0));
+                },
+            );
+    }
+
+    #[test]
+    fn single_contract_deltas_match_totals() {
+        let stages = vec![parity_stage()];
+        DataplaneService::new(ServiceConfig::default()).run(
+            stages,
+            |_, _| {},
+            |t| shard_of(t, 1),
+            |svc| {
+                for round in 0..3 {
+                    let t = traffic(500, round);
+                    let total = svc.round(&t).total();
+                    let deltas = svc.contract_deltas();
+                    assert_eq!(deltas.len(), 1);
+                    assert_eq!(deltas[0].contract, 0);
+                    assert_eq!(deltas[0].received, total.received);
+                    assert_eq!(deltas[0].forwarded, total.forwarded);
+                    assert_eq!(deltas[0].filtered, total.filtered);
                 }
             },
         );

@@ -1,0 +1,466 @@
+//! Multi-contract admission arbitration (multi-tenant deployments).
+//!
+//! A transit ISP sells verifiable filtering to *many* victims at once; the
+//! cluster's EPC pages, rule slots, and bandwidth are shared resources that
+//! must be arbitrated across contracts (cf. El Defrawy et al., "Optimal
+//! Filtering for DDoS Attacks"; Argyraki & Cheriton's AITF per-victim filter
+//! budgets). The arbiter concatenates every active contract's per-rule
+//! bandwidth demand into one [`Instance`], solves it with the paper's greedy
+//! allocator (Appendix D), falls back to the exact branch-and-bound solver
+//! as an oracle on small instances, and emits a per-contract
+//! [`AdmissionVerdict`]. A demand that does not fit the pool is rejected
+//! with a *per-resource* [`RejectReason`] — which budget ran out (bandwidth,
+//! rule slots, or EPC memory) and by how much — without disturbing already
+//! admitted contracts.
+//!
+//! Admission is first-come-first-served in the order demands are passed:
+//! earlier (already active) contracts keep their allocation; a newcomer is
+//! tested against whatever head-room remains.
+
+use crate::exact::{BranchAndBound, SolveBudget};
+use crate::greedy::GreedySolver;
+use crate::ilp::{Allocation, Instance};
+use std::time::Duration;
+
+/// One contract's resource demand: per-rule incoming bandwidth, Gb/s.
+#[derive(Debug, Clone)]
+pub struct ContractDemand {
+    /// The contract's id (opaque to the optimizer).
+    pub contract: u32,
+    /// Measured (or estimated) incoming bandwidth per rule, Gb/s.
+    pub rule_bandwidths_gbps: Vec<f64>,
+}
+
+/// Which shared resource a rejected contract ran out of.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// Not enough rule slots across the enclave pool (`⌊(M−v)/u⌋` each).
+    RuleSlots {
+        /// Slots the contract needs on top of the admitted load.
+        needed: usize,
+        /// Slots left in the pool.
+        available: usize,
+    },
+    /// Aggregate EPC memory (`u·#rules + v` per enclave) exhausted.
+    MemoryMb {
+        /// MB the pool would need to hold everything.
+        needed: f64,
+        /// MB the pool has (`M` per enclave).
+        available: f64,
+    },
+    /// Aggregate bandwidth (`G` per enclave) exhausted.
+    BandwidthGbps {
+        /// Gb/s the contract offers on top of the admitted load.
+        offered: f64,
+        /// Gb/s left in the pool.
+        available: f64,
+    },
+    /// The aggregates fit but no packing exists (fragmentation: e.g. a
+    /// single rule larger than any enclave's remaining head-room).
+    Unpackable {
+        /// Largest single-rule demand, Gb/s.
+        largest_rule_gbps: f64,
+        /// Per-enclave bandwidth cap, Gb/s.
+        enclave_cap_gbps: f64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::RuleSlots { needed, available } => {
+                write!(f, "rule slots: needs {needed}, {available} left in pool")
+            }
+            RejectReason::MemoryMb { needed, available } => {
+                write!(
+                    f,
+                    "EPC memory: needs {needed:.1} MB, pool has {available:.1} MB"
+                )
+            }
+            RejectReason::BandwidthGbps { offered, available } => {
+                write!(
+                    f,
+                    "bandwidth: offers {offered:.1} Gb/s, {available:.1} Gb/s left in pool"
+                )
+            }
+            RejectReason::Unpackable {
+                largest_rule_gbps,
+                enclave_cap_gbps,
+            } => write!(
+                f,
+                "no feasible packing (largest rule {largest_rule_gbps:.1} Gb/s vs \
+                 {enclave_cap_gbps:.1} Gb/s enclave cap)"
+            ),
+        }
+    }
+}
+
+/// The arbiter's decision for one contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionVerdict {
+    /// The contract fits alongside everything admitted before it.
+    Admitted {
+        /// Enclaves the joint allocation spreads this contract over.
+        enclaves_used: usize,
+        /// Rule-slot installations the contract consumes (splits count
+        /// once per hosting enclave).
+        rule_slots: usize,
+        /// The contract's heaviest per-enclave load share, Gb/s.
+        max_share_gbps: f64,
+    },
+    /// The contract does not fit; nothing was allocated for it.
+    Rejected {
+        /// Which resource ran out.
+        reason: RejectReason,
+    },
+}
+
+impl AdmissionVerdict {
+    /// Whether the contract was admitted.
+    pub fn admitted(&self) -> bool {
+        matches!(self, AdmissionVerdict::Admitted { .. })
+    }
+}
+
+/// Arbiter configuration: the enclave pool and solver knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbiterConfig {
+    /// Enclaves the cluster may use (the shared pool).
+    pub max_enclaves: usize,
+    /// Head-room parameter `λ` for the underlying instances.
+    pub lambda: f64,
+    /// Run the exact branch-and-bound oracle when greedy reports
+    /// infeasible and the instance has at most this many rules.
+    pub exact_oracle_max_rules: usize,
+    /// Wall-clock budget for one oracle invocation.
+    pub exact_oracle_time_limit: Duration,
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        ArbiterConfig {
+            max_enclaves: 8,
+            lambda: 0.2,
+            exact_oracle_max_rules: 16,
+            exact_oracle_time_limit: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Outcome of one arbitration pass over every demand.
+#[derive(Debug, Clone)]
+pub struct Arbitration {
+    /// Per-contract verdicts, in the order the demands were given.
+    pub verdicts: Vec<(u32, AdmissionVerdict)>,
+    /// Joint allocation over the admitted rules (global indices into
+    /// [`Arbitration::rule_origin`]).
+    pub allocation: Allocation,
+    /// Maps a global rule index to `(contract, local rule index)`.
+    pub rule_origin: Vec<(u32, usize)>,
+    /// The instance the final allocation solves, if any rule was admitted.
+    pub instance: Option<Instance>,
+}
+
+impl Arbitration {
+    /// The verdict for `contract`, if it was arbitrated.
+    pub fn verdict(&self, contract: u32) -> Option<&AdmissionVerdict> {
+        self.verdicts
+            .iter()
+            .find(|(c, _)| *c == contract)
+            .map(|(_, v)| v)
+    }
+
+    /// Ids of every admitted contract.
+    pub fn admitted(&self) -> Vec<u32> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| v.admitted())
+            .map(|(c, _)| *c)
+            .collect()
+    }
+}
+
+/// Builds an instance over `bandwidths` capped to the arbiter's pool.
+fn pool_instance(config: &ArbiterConfig, bandwidths: Vec<f64>) -> Instance {
+    // Demands can be measured zeros (a rule that saw no traffic this
+    // round); the solvers want strictly positive bandwidth.
+    let bw = bandwidths.iter().map(|b| b.max(1e-6)).collect();
+    Instance::paper_defaults(bw, config.lambda)
+}
+
+/// Solves `inst`, accepting only packings within the pool. Greedy first;
+/// on failure the exact solver arbitrates small instances (the oracle).
+fn solve_within_pool(config: &ArbiterConfig, inst: &Instance) -> Option<Allocation> {
+    if let Ok(alloc) = GreedySolver::default().solve(inst) {
+        if alloc.used_enclaves() <= config.max_enclaves && inst.validate(&alloc).is_ok() {
+            return Some(alloc);
+        }
+    }
+    if inst.k() <= config.exact_oracle_max_rules {
+        let budget = SolveBudget::first_incumbent().with_time_limit(config.exact_oracle_time_limit);
+        let sol = BranchAndBound.solve(inst, budget);
+        if let Some(alloc) = sol.allocation {
+            if alloc.used_enclaves() <= config.max_enclaves && inst.validate(&alloc).is_ok() {
+                return Some(alloc);
+            }
+        }
+    }
+    None
+}
+
+/// Diagnoses *which* resource a rejected demand ran out of, given the
+/// already admitted bandwidths.
+fn diagnose(config: &ArbiterConfig, admitted: &[f64], demand: &[f64]) -> RejectReason {
+    let probe = pool_instance(config, admitted.to_vec());
+    let cap_rules = probe.rules_per_enclave_cap();
+    let pool_slots = config.max_enclaves * cap_rules;
+    let pool_bw = config.max_enclaves as f64 * probe.bandwidth_cap_gbps;
+    let admitted_bw: f64 = admitted.iter().sum();
+    let demand_bw: f64 = demand.iter().sum();
+    if admitted_bw + demand_bw > pool_bw {
+        return RejectReason::BandwidthGbps {
+            offered: demand_bw,
+            available: (pool_bw - admitted_bw).max(0.0),
+        };
+    }
+    let needed_slots = admitted.len() + demand.len();
+    if needed_slots > pool_slots {
+        return RejectReason::RuleSlots {
+            needed: demand.len(),
+            available: pool_slots.saturating_sub(admitted.len()),
+        };
+    }
+    let needed_mb = probe.u_mb * needed_slots as f64 + probe.v_mb * config.max_enclaves as f64;
+    let pool_mb = config.max_enclaves as f64 * probe.memory_limit_mb;
+    if needed_mb > pool_mb {
+        return RejectReason::MemoryMb {
+            needed: needed_mb,
+            available: pool_mb,
+        };
+    }
+    RejectReason::Unpackable {
+        largest_rule_gbps: demand.iter().copied().fold(0.0, f64::max),
+        enclave_cap_gbps: probe.bandwidth_cap_gbps,
+    }
+}
+
+/// Arbitrates `demands` over the shared enclave pool, first-come-first-served.
+///
+/// Already admitted contracts are never evicted by a later demand: each
+/// demand is tested by re-solving the joint instance of everything admitted
+/// so far plus the candidate, and only accepted if the packing stays inside
+/// `config.max_enclaves`.
+pub fn arbitrate(config: &ArbiterConfig, demands: &[ContractDemand]) -> Arbitration {
+    assert!(config.max_enclaves >= 1, "pool must have an enclave");
+    let mut admitted_bw: Vec<f64> = Vec::new();
+    let mut rule_origin: Vec<(u32, usize)> = Vec::new();
+    let mut verdicts = Vec::with_capacity(demands.len());
+    let mut final_alloc: Option<Allocation> = None;
+
+    for d in demands {
+        if d.rule_bandwidths_gbps.is_empty() {
+            // A contract with no rules yet consumes nothing; admit it.
+            verdicts.push((
+                d.contract,
+                AdmissionVerdict::Admitted {
+                    enclaves_used: 0,
+                    rule_slots: 0,
+                    max_share_gbps: 0.0,
+                },
+            ));
+            continue;
+        }
+        let mut candidate = admitted_bw.clone();
+        candidate.extend(d.rule_bandwidths_gbps.iter().map(|b| b.max(1e-6)));
+        let inst = pool_instance(config, candidate.clone());
+        match solve_within_pool(config, &inst) {
+            Some(alloc) => {
+                let first_global = admitted_bw.len();
+                let stats = contract_stats(&alloc, first_global, d.rule_bandwidths_gbps.len());
+                verdicts.push((d.contract, stats));
+                admitted_bw = candidate;
+                rule_origin.extend((0..d.rule_bandwidths_gbps.len()).map(|i| (d.contract, i)));
+                final_alloc = Some(alloc);
+            }
+            None => {
+                let reason = diagnose(config, &admitted_bw, &d.rule_bandwidths_gbps);
+                verdicts.push((d.contract, AdmissionVerdict::Rejected { reason }));
+            }
+        }
+    }
+
+    let instance = if admitted_bw.is_empty() {
+        None
+    } else {
+        Some(pool_instance(config, admitted_bw))
+    };
+    Arbitration {
+        verdicts,
+        allocation: final_alloc.unwrap_or_default(),
+        rule_origin,
+        instance,
+    }
+}
+
+/// Extracts one contract's share of a joint allocation: its rules occupy
+/// the global index range `[first, first + count)`.
+fn contract_stats(alloc: &Allocation, first: usize, count: usize) -> AdmissionVerdict {
+    let range = first..first + count;
+    let mut enclaves_used = 0usize;
+    let mut rule_slots = 0usize;
+    let mut max_share = 0.0f64;
+    for enclave in &alloc.enclaves {
+        let share: f64 = enclave
+            .iter()
+            .filter(|s| range.contains(&s.rule))
+            .map(|s| s.bandwidth)
+            .sum();
+        let slots = enclave.iter().filter(|s| range.contains(&s.rule)).count();
+        if slots > 0 {
+            enclaves_used += 1;
+            rule_slots += slots;
+            max_share = max_share.max(share);
+        }
+    }
+    AdmissionVerdict::Admitted {
+        enclaves_used,
+        rule_slots,
+        max_share_gbps: max_share,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(contract: u32, bw: &[f64]) -> ContractDemand {
+        ContractDemand {
+            contract,
+            rule_bandwidths_gbps: bw.to_vec(),
+        }
+    }
+
+    #[test]
+    fn two_small_contracts_both_admitted() {
+        let cfg = ArbiterConfig::default();
+        let out = arbitrate(&cfg, &[demand(1, &[2.0, 3.0]), demand(2, &[1.0, 1.0, 1.0])]);
+        assert_eq!(out.admitted(), vec![1, 2]);
+        assert_eq!(out.rule_origin.len(), 5);
+        let inst = out.instance.as_ref().unwrap();
+        inst.validate(&out.allocation).unwrap();
+        match out.verdict(2).unwrap() {
+            AdmissionVerdict::Admitted { rule_slots, .. } => assert!(*rule_slots >= 3),
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn over_budget_contract_rejected_with_bandwidth_reason() {
+        // Pool of 2 enclaves = 20 Gb/s. First two contracts fill 16 Gb/s;
+        // the third offers 8 Gb/s more.
+        let cfg = ArbiterConfig {
+            max_enclaves: 2,
+            ..ArbiterConfig::default()
+        };
+        let out = arbitrate(
+            &cfg,
+            &[
+                demand(1, &[4.0, 4.0]),
+                demand(2, &[4.0, 4.0]),
+                demand(3, &[4.0, 4.0]),
+            ],
+        );
+        assert_eq!(out.admitted(), vec![1, 2]);
+        match out.verdict(3).unwrap() {
+            AdmissionVerdict::Rejected {
+                reason: RejectReason::BandwidthGbps { offered, available },
+            } => {
+                assert!((*offered - 8.0).abs() < 1e-9);
+                assert!(*available <= 4.0 + 1e-9);
+            }
+            v => panic!("expected bandwidth rejection, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn rejection_does_not_evict_admitted_contracts() {
+        let cfg = ArbiterConfig {
+            max_enclaves: 1,
+            ..ArbiterConfig::default()
+        };
+        let out = arbitrate(
+            &cfg,
+            &[demand(7, &[6.0]), demand(8, &[6.0]), demand(9, &[1.0])],
+        );
+        // Contract 8 does not fit next to 7 on one enclave; 9 still does.
+        assert_eq!(out.admitted(), vec![7, 9]);
+        assert!(!out.verdict(8).unwrap().admitted());
+        assert_eq!(out.rule_origin, vec![(7, 0), (9, 0)]);
+    }
+
+    #[test]
+    fn rule_slot_exhaustion_reported() {
+        // Shrink memory so each enclave holds only 4 rules.
+        let mut cfg = ArbiterConfig {
+            max_enclaves: 1,
+            ..ArbiterConfig::default()
+        };
+        cfg.lambda = 0.0;
+        // 1 enclave * cap(≈6068) slots is huge; instead drive slot
+        // exhaustion via many tiny rules exceeding one enclave's cap and a
+        // bandwidth that fits — use the diagnose path directly.
+        let probe = pool_instance(&cfg, vec![0.001]);
+        let cap = probe.rules_per_enclave_cap();
+        let admitted: Vec<f64> = vec![0.0001; cap];
+        let reason = diagnose(&cfg, &admitted, &[0.0001, 0.0001]);
+        assert!(
+            matches!(reason, RejectReason::RuleSlots { .. }),
+            "{reason:?}"
+        );
+    }
+
+    #[test]
+    fn empty_demand_admitted_for_free() {
+        let cfg = ArbiterConfig::default();
+        let out = arbitrate(&cfg, &[demand(1, &[])]);
+        assert_eq!(out.admitted(), vec![1]);
+        assert!(out.instance.is_none());
+        assert_eq!(out.allocation.installations(), 0);
+    }
+
+    #[test]
+    fn oracle_rescues_fragmented_instance() {
+        // Greedy-unfriendly but feasible on 2 enclaves: the exact oracle
+        // must not reject what a valid packing admits.
+        let cfg = ArbiterConfig {
+            max_enclaves: 2,
+            ..ArbiterConfig::default()
+        };
+        let out = arbitrate(&cfg, &[demand(1, &[6.0, 6.0, 4.0, 4.0])]);
+        assert_eq!(out.admitted(), vec![1]);
+        out.instance
+            .as_ref()
+            .unwrap()
+            .validate(&out.allocation)
+            .unwrap();
+    }
+
+    #[test]
+    fn display_names_every_resource() {
+        let r = RejectReason::RuleSlots {
+            needed: 3,
+            available: 1,
+        };
+        assert!(r.to_string().contains("rule slots"));
+        let r = RejectReason::MemoryMb {
+            needed: 100.0,
+            available: 92.0,
+        };
+        assert!(r.to_string().contains("EPC memory"));
+        let r = RejectReason::BandwidthGbps {
+            offered: 8.0,
+            available: 4.0,
+        };
+        assert!(r.to_string().contains("bandwidth"));
+    }
+}

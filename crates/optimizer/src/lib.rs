@@ -40,11 +40,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arbiter;
 pub mod exact;
 pub mod greedy;
 pub mod ilp;
 pub mod instances;
 
+pub use arbiter::{arbitrate, AdmissionVerdict, ArbiterConfig, Arbitration, ContractDemand};
 pub use exact::{BranchAndBound, SolveBudget, SolveStatus};
 pub use greedy::GreedySolver;
 pub use ilp::{Allocation, Instance, ValidationError};

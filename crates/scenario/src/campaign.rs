@@ -1,0 +1,547 @@
+//! Multi-victim campaign mode: many tenant contracts, one live cluster.
+//!
+//! Where [`crate::harness::ScenarioHarness`] scripts one victim's closed
+//! loop, a [`CampaignHarness`] runs several victims' scenarios
+//! *simultaneously* against a single always-on service — the paper's
+//! actual deployment shape, a transit ISP/IXP selling verifiable
+//! filtering to many customers at once:
+//!
+//! 1. **Admission**: each declared contract's projected per-rule demand
+//!    goes through [`vif_optimizer::arbitrate`]; contracts that do not fit
+//!    the shared enclave pool (rule slots, EPC memory, bandwidth) are
+//!    rejected up front with a per-resource reason and never get a
+//!    session.
+//! 2. **Attestation**: each admitted contract runs the full §VI-B
+//!    handshake under its own [`ContractId`]
+//!    ([`VictimClient::establish_contract`]), landing its channel, audit
+//!    key, and sketch pair in its own enclave slot on every slice
+//!    ([`EnclaveCluster::provision_contract`]).
+//! 3. **Execution**: every virtual round merges all active scenarios'
+//!    packet schedules onto one [`DataplaneService`] (per-contract round
+//!    deltas split by destination prefix), then each contract
+//!    independently audits its round with its own
+//!    [`ClusterRoundDriver`], reacts through its own [`VictimPolicy`],
+//!    and publishes its own epoch
+//!    ([`EnclaveCluster::publish_contract`]) — one tenant's churn,
+//!    rotation, and strikes never touch another tenant's slot.
+//! 4. **Scoring**: every contract ends with its own [`ScenarioReport`]
+//!    (goodput, leakage, collateral, churn), collected in a
+//!    [`CampaignReport`] together with the admission verdicts.
+
+use crate::harness::ScenarioHarnessConfig;
+use crate::policy::{HeavyHitter, InstalledRule, PolicyAction, PolicyObservation, VictimPolicy};
+use crate::report::{PhaseReport, ScenarioReport};
+use crate::timeline::{RoundTraffic, Scenario};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use vif_core::cost::FilterMode;
+use vif_core::enclave_app::{ContractId, EnclaveFilterStage, FilterEnclaveApp};
+use vif_core::logs::PacketFingerprints;
+use vif_core::rounds::{ClusterRoundDriver, ContractState, RoundPolicy};
+use vif_core::rpki::RpkiRegistry;
+use vif_core::rules::FilterRule;
+use vif_core::ruleset::RuleId;
+use vif_core::scale::EnclaveCluster;
+use vif_core::session::{FilteringSession, SessionConfig, VictimClient};
+use vif_dataplane::{
+    shard_of, shard_of_fingerprint, ContractMap, DataplaneService, FiveTuple, Packet, ServiceConfig,
+};
+use vif_optimizer::{arbitrate, AdmissionVerdict, ArbiterConfig, ContractDemand};
+use vif_sgx::{AttestationRootKey, AttestationService, EnclaveImage, EpcConfig, SgxPlatform};
+use vif_sketch::{CountMinSketch, SketchConfig};
+
+/// One tenant's entry in a campaign: who it is, what traffic it will see,
+/// and what filtering capacity it asks the arbiter for.
+#[derive(Debug, Clone)]
+pub struct CampaignContract {
+    /// The tenant's contract id. Must be nonzero (0 is the cluster's
+    /// default slot) and unique within the campaign.
+    pub contract: ContractId,
+    /// The tenant's scripted workload; its `victim` prefix doubles as the
+    /// contract's traffic scope (destination-prefix attribution), so
+    /// campaign scenarios must use disjoint victim prefixes.
+    pub scenario: Scenario,
+    /// Projected per-rule demand, Gb/s — what the tenant asks the
+    /// admission arbiter to reserve against the shared enclave pool.
+    pub demand_gbps_per_rule: Vec<f64>,
+}
+
+/// Campaign knobs: the per-victim harness settings plus the shared
+/// resource pool the arbiter admits against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignConfig {
+    /// Dataplane/audit knobs shared by every contract.
+    pub harness: ScenarioHarnessConfig,
+    /// The arbiter's enclave pool and solver budget.
+    pub arbiter: ArbiterConfig,
+}
+
+/// A contract the arbiter turned away at admission.
+#[derive(Debug, Clone)]
+pub struct RejectedContract {
+    /// The contract id.
+    pub contract: ContractId,
+    /// The per-resource reason, rendered from
+    /// [`vif_optimizer::arbiter::RejectReason`].
+    pub reason: String,
+}
+
+/// Everything a campaign run produces: one [`ScenarioReport`] per
+/// admitted contract, plus who was rejected and why.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-contract scenario reports, in declaration order of the
+    /// admitted contracts.
+    pub reports: Vec<ScenarioReport>,
+    /// Contracts rejected at admission (never attested, never ran).
+    pub rejected: Vec<RejectedContract>,
+}
+
+impl CampaignReport {
+    /// The report for one contract, if it was admitted.
+    pub fn report(&self, contract: ContractId) -> Option<&ScenarioReport> {
+        self.reports.iter().find(|r| r.contract == contract)
+    }
+}
+
+/// Per-contract live state inside the campaign round loop.
+struct Tenant {
+    contract: ContractId,
+    scenario: Scenario,
+    rounds: Vec<RoundTraffic>,
+    session: FilteringSession,
+    driver: ClusterRoundDriver,
+    rpki: RpkiRegistry,
+    hh_sketch: CountMinSketch,
+    installed: Vec<InstalledRule>,
+    prev_rule_bytes: BTreeMap<RuleId, u64>,
+    phases: Vec<PhaseReport>,
+    dirty_rounds: u32,
+    rounds_run: u64,
+    total_installed: u32,
+    total_withdrawn: u32,
+    /// Buffered forwarded tuples for the current round (split by dst).
+    received: Vec<FiveTuple>,
+}
+
+/// Drives several victims' scenarios concurrently over one live cluster,
+/// with optimizer-arbitrated admission.
+pub struct CampaignHarness {
+    contracts: Vec<CampaignContract>,
+    config: CampaignConfig,
+}
+
+impl CampaignHarness {
+    /// Creates a campaign harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty campaign, a contract id of 0, duplicate
+    /// contract ids, or a degenerate harness configuration.
+    pub fn new(contracts: Vec<CampaignContract>, config: CampaignConfig) -> Self {
+        assert!(!contracts.is_empty(), "campaign needs contracts");
+        assert!(config.harness.workers > 0, "at least one worker");
+        let mut seen = BTreeSet::new();
+        for c in &contracts {
+            assert!(c.contract != 0, "contract 0 is the default slot");
+            assert!(seen.insert(c.contract), "duplicate contract id");
+        }
+        CampaignHarness { contracts, config }
+    }
+
+    /// Runs the campaign: arbitrate admission, attest every admitted
+    /// contract, drive all scenarios round-locked over one service, and
+    /// score each contract separately. `policies` pairs with the declared
+    /// contracts by index (rejected contracts' policies are unused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policies` does not pair 1:1 with the declared
+    /// contracts, or on any session/audit failure.
+    pub fn run(self, mut policies: Vec<Box<dyn VictimPolicy>>) -> CampaignReport {
+        assert_eq!(
+            policies.len(),
+            self.contracts.len(),
+            "one policy per declared contract"
+        );
+        let config = self.config;
+        let n = config.harness.workers;
+        let seed = self.contracts[0].scenario.seed;
+
+        // --- admission: the arbiter speaks first ------------------------
+        let demands: Vec<ContractDemand> = self
+            .contracts
+            .iter()
+            .map(|c| ContractDemand {
+                contract: c.contract,
+                rule_bandwidths_gbps: c.demand_gbps_per_rule.clone(),
+            })
+            .collect();
+        let arbitration = arbitrate(&config.arbiter, &demands);
+        let mut rejected = Vec::new();
+        let mut admitted: Vec<(CampaignContract, Box<dyn VictimPolicy>)> = Vec::new();
+        for (c, policy) in self.contracts.into_iter().zip(policies.drain(..)) {
+            match arbitration.verdict(c.contract) {
+                Some(AdmissionVerdict::Rejected { reason }) => {
+                    rejected.push(RejectedContract {
+                        contract: c.contract,
+                        reason: reason.to_string(),
+                    });
+                }
+                _ => admitted.push((c, policy)),
+            }
+        }
+        if admitted.is_empty() {
+            return CampaignReport {
+                reports: Vec::new(),
+                rejected,
+            };
+        }
+
+        // --- shared platform, master enclave, replicated cluster --------
+        let secret = derive32(seed, 0x11);
+        let root = AttestationRootKey::new(derive32(seed, 0x12));
+        let platform = SgxPlatform::new(seed ^ 0xca3a, EpcConfig::paper_default(), &root);
+        let image = EnclaveImage::new("vif-campaign", 1, vec![0x90; 1 << 16]);
+        let master = Arc::new(platform.launch(image.clone(), FilterEnclaveApp::fresh(secret)));
+        let ias = AttestationService::new(root);
+
+        // The cluster's default slot 0 gets throwaway keys — campaign
+        // tenants each provision their own slot below.
+        let mut cluster = EnclaveCluster::launch_rss_with(
+            platform,
+            image.clone(),
+            Arc::clone(&master),
+            vif_core::ruleset::RuleSet::new(),
+            n,
+            secret,
+            seed ^ 0x0de0,
+            derive32(seed, 0x13),
+        );
+
+        // --- per-contract attested sessions + audit drivers -------------
+        let mut tenants: Vec<Tenant> = Vec::with_capacity(admitted.len());
+        let mut contract_map = ContractMap::new();
+        let mut policies: Vec<Box<dyn VictimPolicy>> = Vec::with_capacity(admitted.len());
+        for (idx, (c, policy)) in admitted.into_iter().enumerate() {
+            let tag = 0x20 + idx as u8;
+            let owner = derive32(c.scenario.seed, tag);
+            let client = VictimClient::new(
+                owner,
+                &derive32(c.scenario.seed, tag ^ 0x55),
+                ias.verifier(),
+                SessionConfig {
+                    expected_measurement: image.measurement(),
+                    tolerance: config.harness.tolerance,
+                },
+            );
+            let mut rpki = RpkiRegistry::new();
+            rpki.register(c.scenario.victim, owner);
+            let session = client
+                .establish_contract(
+                    Arc::clone(&master),
+                    &ias,
+                    derive32(c.scenario.seed, tag ^ 0xaa),
+                    c.contract,
+                )
+                .expect("campaign session handshake");
+            let keys = session.keys().clone();
+            // Land the contract's scope + keys on every slice (the
+            // handshake itself only touched the master).
+            cluster.provision_contract(
+                c.contract,
+                Some(c.scenario.victim),
+                keys.sketch_seed,
+                keys.audit_key,
+            );
+            contract_map.assign(
+                c.scenario.victim.addr(),
+                c.scenario.victim.len(),
+                c.contract,
+            );
+            let driver = ClusterRoundDriver::new(
+                cluster.enclaves().to_vec(),
+                keys.sketch_seed,
+                keys.audit_key,
+                config.harness.tolerance,
+                RoundPolicy {
+                    round_duration_ns: c.scenario.round_ns(),
+                    max_strikes: config.harness.max_strikes,
+                },
+            )
+            .with_contract(c.contract);
+            let rounds = c.scenario.compile();
+            let phases = c
+                .scenario
+                .phases
+                .iter()
+                .map(|p| PhaseReport {
+                    name: p.name.clone(),
+                    rounds: 0,
+                    offered_legit: 0,
+                    offered_attack: 0,
+                    delivered_legit: 0,
+                    delivered_attack: 0,
+                    rules_installed: 0,
+                    rules_withdrawn: 0,
+                    dirty_rounds: 0,
+                })
+                .collect();
+            tenants.push(Tenant {
+                contract: c.contract,
+                hh_sketch: CountMinSketch::new(SketchConfig::small(
+                    c.scenario.seed ^ 0x6ea7 ^ c.contract as u64,
+                )),
+                scenario: c.scenario,
+                rounds,
+                session,
+                driver,
+                rpki,
+                installed: Vec::new(),
+                prev_rule_bytes: BTreeMap::new(),
+                phases,
+                dirty_rounds: 0,
+                rounds_run: 0,
+                total_installed: 0,
+                total_withdrawn: 0,
+                received: Vec::new(),
+            });
+            policies.push(policy);
+        }
+        let total_rounds = tenants
+            .iter()
+            .map(|t| t.rounds.len() as u64)
+            .max()
+            .unwrap_or(0);
+
+        // --- the one always-on service every tenant shares --------------
+        let stages: Vec<EnclaveFilterStage> = cluster
+            .enclaves()
+            .iter()
+            .map(|e| EnclaveFilterStage::new(Arc::clone(e), FilterMode::SgxNearZeroCopy))
+            .collect();
+        let forwarded: Mutex<Vec<FiveTuple>> = Mutex::new(Vec::new());
+        let service = DataplaneService::new(ServiceConfig {
+            ring_capacity: config.harness.ring_capacity,
+            burst: config.harness.burst,
+            ..Default::default()
+        })
+        .with_contracts(contract_map);
+
+        let reports = service.run(
+            stages,
+            |_, pkt| forwarded.lock().unwrap().push(pkt.tuple),
+            move |t: &FiveTuple| shard_of(t, n),
+            |svc| {
+                let mut merged: Vec<Packet> = Vec::new();
+                for global_round in 0..total_rounds {
+                    // Merge every active tenant's schedule for this round
+                    // into one offered burst (arrival order per tenant is
+                    // preserved; cross-tenant interleaving is irrelevant —
+                    // verdicts are per packet and sketch updates commute).
+                    merged.clear();
+                    for t in tenants.iter_mut() {
+                        if t.driver.state() != ContractState::Active {
+                            continue;
+                        }
+                        let Some(round) = t.rounds.get(global_round as usize) else {
+                            continue;
+                        };
+                        for pkt in &round.packets {
+                            let fp = PacketFingerprints::of(&pkt.tuple);
+                            t.driver
+                                .neighbor_verifier_mut(shard_of_fingerprint(fp.tuple, n))
+                                .observe_fingerprint(fp.src_ip);
+                        }
+                        merged.extend_from_slice(&round.packets);
+                    }
+                    svc.round(&merged);
+
+                    // Split what arrived by destination prefix: each
+                    // tenant consumes only its own deliveries.
+                    for tuple in forwarded.lock().unwrap().drain(..) {
+                        for t in tenants.iter_mut() {
+                            if t.scenario.victim.contains(tuple.dst_ip) {
+                                t.received.push(tuple);
+                                break;
+                            }
+                        }
+                    }
+
+                    // Each tenant closes *its own* audited round and
+                    // reacts; its churn publishes its own epoch before the
+                    // next tenant is processed, so deferred install ids
+                    // are assigned contract by contract, deterministically.
+                    for (t, policy) in tenants.iter_mut().zip(policies.iter_mut()) {
+                        if t.driver.state() != ContractState::Active {
+                            continue;
+                        }
+                        if (global_round as usize) >= t.rounds.len() {
+                            continue;
+                        }
+                        step_tenant(t, policy.as_mut(), global_round as usize, &mut cluster, n);
+                    }
+                }
+
+                tenants
+                    .iter()
+                    .map(|t| ScenarioReport {
+                        scenario: t.scenario.name.clone(),
+                        contract: t.contract,
+                        seed: t.scenario.seed,
+                        workers: n,
+                        phases: t.phases.clone(),
+                        rounds: t.rounds_run,
+                        dirty_rounds: t.dirty_rounds,
+                        final_state: t.driver.state(),
+                        detection_latency_rounds: None,
+                        rules_installed: t.total_installed,
+                        rules_withdrawn: t.total_withdrawn,
+                    })
+                    .collect::<Vec<_>>()
+            },
+        );
+        for (report, policy) in reports.iter().zip(policies.iter_mut()) {
+            policy.finish(report);
+        }
+
+        CampaignReport { reports, rejected }
+    }
+}
+
+/// One tenant's end-of-round step: score deliveries, audit, react,
+/// publish its epoch.
+fn step_tenant(
+    t: &mut Tenant,
+    policy: &mut dyn VictimPolicy,
+    round_idx: usize,
+    cluster: &mut EnclaveCluster,
+    n: usize,
+) {
+    let round = &t.rounds[round_idx];
+    let phase = &mut t.phases[round.phase];
+    phase.rounds += 1;
+    phase.offered_legit += round.offered_legit;
+    phase.offered_attack += round.offered_attack;
+
+    t.hh_sketch.clear();
+    let mut candidates: BTreeSet<u32> = BTreeSet::new();
+    for tuple in t.received.drain(..) {
+        let fp = PacketFingerprints::of(&tuple);
+        t.driver
+            .victim_verifier_mut(shard_of_fingerprint(fp.tuple, n))
+            .observe_fingerprint(fp.tuple);
+        if round.attack_sources.contains(&tuple.src_ip) {
+            phase.delivered_attack += 1;
+        } else {
+            phase.delivered_legit += 1;
+        }
+        t.hh_sketch.add(&tuple.src_ip.to_be_bytes(), 1);
+        candidates.insert(tuple.src_ip);
+    }
+
+    let outcome = t.driver.close_round().expect("authentic slice exports");
+    t.rounds_run += 1;
+    if outcome.dirty() {
+        t.dirty_rounds += 1;
+        phase.dirty_rounds += 1;
+    }
+
+    // Per-contract rule telemetry: matched bytes of the tenant's own
+    // rules on the master, diffed against the last round's snapshot.
+    let contract = t.contract;
+    let cur_rule_bytes: BTreeMap<RuleId, u64> = cluster.enclaves()[0]
+        .ecall(move |app| app.contract_rule_bytes(contract))
+        .into_iter()
+        .collect();
+    for rule in &mut t.installed {
+        let cur = cur_rule_bytes.get(&rule.id).copied().unwrap_or(0);
+        let prev = t.prev_rule_bytes.get(&rule.id).copied().unwrap_or(0);
+        if cur == prev {
+            rule.rounds_idle += 1;
+        } else {
+            rule.rounds_idle = 0;
+        }
+    }
+
+    let mut heavy: Vec<HeavyHitter> = candidates
+        .iter()
+        .map(|&src| HeavyHitter {
+            src_ip: src,
+            estimated_packets: t.hh_sketch.estimate(&src.to_be_bytes()),
+        })
+        .collect();
+    heavy.sort_by(|a, b| {
+        b.estimated_packets
+            .cmp(&a.estimated_packets)
+            .then(a.src_ip.cmp(&b.src_ip))
+    });
+
+    let mut actions = Vec::new();
+    policy.react(
+        &PolicyObservation {
+            round: round.global_round,
+            outcome: &outcome,
+            heavy_hitters: &heavy,
+            installed: &t.installed,
+            victim: t.scenario.victim,
+        },
+        &mut actions,
+    );
+
+    let mut installs: Vec<FilterRule> = Vec::new();
+    let mut withdrawals: Vec<RuleId> = Vec::new();
+    for action in actions {
+        match action {
+            PolicyAction::Install(rule) => installs.push(rule),
+            PolicyAction::Withdraw(id) => withdrawals.push(id),
+        }
+    }
+    if !withdrawals.is_empty() {
+        let removed = t
+            .session
+            .withdraw_rules_deferred(&withdrawals)
+            .expect("withdrawal over the session channel");
+        t.installed.retain(|r| !withdrawals.contains(&r.id));
+        phase.rules_withdrawn += removed as u32;
+        t.total_withdrawn += removed as u32;
+    }
+    if !installs.is_empty() {
+        t.session
+            .submit_rules_deferred(&installs, &t.rpki)
+            .expect("install over the session channel");
+        phase.rules_installed += installs.len() as u32;
+        t.total_installed += installs.len() as u32;
+    }
+    if !installs.is_empty() || !withdrawals.is_empty() {
+        // Publish *this contract's* epoch only: other tenants' queues,
+        // epochs, and sketches stay untouched. The report hands back the
+        // ids the publisher assigned to this tenant's installs.
+        let report = cluster.publish_contract(0, t.contract);
+        for (i, rule) in installs.iter().enumerate() {
+            t.installed.push(InstalledRule {
+                id: report.new_rule_ids[i],
+                rule: *rule,
+                installed_round: round.global_round,
+                rounds_idle: 0,
+            });
+        }
+        // Publication resets every rule's byte counters on the master.
+        t.prev_rule_bytes = BTreeMap::new();
+    } else {
+        t.prev_rule_bytes = cur_rule_bytes;
+    }
+}
+
+/// Expands a seed into deterministic 32-byte key material (domain-tagged).
+fn derive32(seed: u64, tag: u8) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    let base = seed ^ (tag as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for (word, chunk) in out.chunks_mut(8).enumerate() {
+        let z = vif_sketch::hash::splitmix64(
+            base.wrapping_add((word as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        chunk.copy_from_slice(&z.to_le_bytes());
+    }
+    out
+}

@@ -390,6 +390,7 @@ impl ScenarioHarness {
 
                 ScenarioReport {
                     scenario: scenario.name.clone(),
+                    contract: 0,
                     seed,
                     workers: n,
                     phases,

@@ -28,6 +28,12 @@
 //!   an audited round per virtual round, and live rule churn (session
 //!   install/withdraw + replicated `redistribute`) between rounds while
 //!   the same enclaves keep filtering.
+//! - [`campaign`]: the multi-tenant mode — a [`CampaignHarness`] runs
+//!   several victims' scenarios *simultaneously* as independent contracts
+//!   on one shared cluster and one always-on service: optimizer-arbitrated
+//!   admission ([`vif_optimizer::arbitrate`]), per-contract attested
+//!   sessions/audit sketches/epochs, per-contract publication, and one
+//!   [`ScenarioReport`] per tenant.
 //! - [`report`]: per-phase metrics — goodput, malicious leakage,
 //!   collateral damage on legitimate flows, bypass-detection latency in
 //!   rounds, and rule-churn counts — in a [`ScenarioReport`] that is
@@ -49,11 +55,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod harness;
 pub mod policy;
 pub mod report;
 pub mod timeline;
 
+pub use campaign::{
+    CampaignConfig, CampaignContract, CampaignHarness, CampaignReport, RejectedContract,
+};
 pub use harness::{ScenarioAdversary, ScenarioHarness, ScenarioHarnessConfig};
 pub use policy::{
     HeavyHitter, InstalledRule, PolicyAction, PolicyObservation, ThresholdPolicy, VictimPolicy,

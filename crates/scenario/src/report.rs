@@ -65,6 +65,10 @@ fn ratio(numerator: u64, denominator: u64, empty: f64) -> f64 {
 pub struct ScenarioReport {
     /// Scenario name.
     pub scenario: String,
+    /// The tenant contract the run was scored for (0 for legacy
+    /// single-victim runs; campaign runs produce one report per
+    /// contract).
+    pub contract: u32,
     /// The seed the run was compiled from.
     pub seed: u64,
     /// Worker/slice count of the sharded data plane.
@@ -205,6 +209,7 @@ mod tests {
     fn display_renders_all_phases() {
         let report = ScenarioReport {
             scenario: "t".into(),
+            contract: 0,
             seed: 1,
             workers: 2,
             phases: vec![phase()],

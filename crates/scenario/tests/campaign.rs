@@ -1,0 +1,151 @@
+//! The multi-tenant acceptance campaign: carpet-bombing victim A while
+//! victim B rides a flash crowd on the same live service, plus an
+//! over-budget third contract the arbiter must turn away.
+
+use vif_scenario::{
+    CampaignConfig, CampaignContract, CampaignHarness, CampaignReport, LegitProfile, Phase,
+    PhaseKind, Scenario, ThresholdPolicy, VictimPolicy,
+};
+use vif_trie::Ipv4Prefix;
+
+/// Victim A: the smoke acceptance mix (ramp, pulse, carpet bombing across
+/// its /16, flash crowd) on 203.0.0.0/16.
+fn scenario_a(seed: u64) -> Scenario {
+    let mut s = Scenario::smoke(seed);
+    s.name = "victim-a".into();
+    s
+}
+
+/// Victim B: a pure flash crowd on 198.18.0.0/16 — zero malicious
+/// traffic, so *any* drop or strike B sees is cross-tenant damage.
+fn scenario_b(seed: u64) -> Scenario {
+    Scenario {
+        name: "victim-b".into(),
+        seed,
+        victim: Ipv4Prefix::new(u32::from_be_bytes([198, 18, 0, 0]), 16),
+        legit: LegitProfile {
+            sources: 48,
+            gbps: 0.2,
+        },
+        phases: vec![
+            Phase {
+                name: "calm".into(),
+                kind: PhaseKind::Ramp {
+                    from_gbps: 0.0,
+                    to_gbps: 0.0,
+                },
+                rounds: 3,
+                attack_gbps: 0.0,
+                attack_sources: 0,
+                zipf_exponent: 0.0,
+            },
+            Phase {
+                name: "flash-crowd".into(),
+                kind: PhaseKind::FlashCrowd {
+                    surge_sources: 96,
+                    surge_gbps: 0.6,
+                },
+                rounds: 4,
+                attack_gbps: 0.0,
+                attack_sources: 0,
+                zipf_exponent: 0.0,
+            },
+        ],
+        round_ms: 1,
+        packet_size: 128,
+    }
+}
+
+fn run_campaign(seed: u64) -> CampaignReport {
+    let contracts = vec![
+        CampaignContract {
+            contract: 1,
+            scenario: scenario_a(seed),
+            demand_gbps_per_rule: vec![0.5; 8],
+        },
+        CampaignContract {
+            contract: 2,
+            scenario: scenario_b(seed ^ 0xb),
+            demand_gbps_per_rule: vec![0.25; 4],
+        },
+        // Contract 3 asks for more than the whole pool carries: a single
+        // rule's offered load exceeds any enclave's capacity and the
+        // aggregate exceeds the pool, so admission must fail with a
+        // per-resource verdict — before any session is established.
+        CampaignContract {
+            contract: 3,
+            scenario: Scenario {
+                name: "victim-c".into(),
+                victim: Ipv4Prefix::new(u32::from_be_bytes([100, 64, 0, 0]), 16),
+                ..scenario_b(seed ^ 0xc)
+            },
+            demand_gbps_per_rule: vec![500.0; 4],
+        },
+    ];
+    let policies: Vec<Box<dyn VictimPolicy>> = vec![
+        // A fights back with the default control loop.
+        Box::new(ThresholdPolicy::default()),
+        // B never installs anything: its flash crowd is all-legitimate,
+        // and with no rules of its own, every packet B loses and every
+        // strike B's audit raises could only come from A's tenancy.
+        Box::new(ThresholdPolicy {
+            install_threshold: u64::MAX,
+            ..Default::default()
+        }),
+        Box::new(ThresholdPolicy::default()),
+    ];
+    CampaignHarness::new(contracts, CampaignConfig::default()).run(policies)
+}
+
+#[test]
+fn campaign_isolates_tenants_and_arbitrates_admission() {
+    let report = run_campaign(1701);
+
+    // The over-budget contract is rejected at admission with a
+    // per-resource reason; the viable contracts both run.
+    assert_eq!(report.rejected.len(), 1, "exactly one rejection");
+    assert_eq!(report.rejected[0].contract, 3);
+    let reason = &report.rejected[0].reason;
+    assert!(
+        reason.contains("Gb/s"),
+        "reason names the exhausted resource: {reason}"
+    );
+    assert_eq!(report.reports.len(), 2, "one report per admitted contract");
+
+    // Victim A (carpet-bombed) ran its whole scenario and fought back.
+    let a = report.report(1).expect("contract 1 report");
+    assert_eq!(a.scenario, "victim-a");
+    assert_eq!(a.rounds, scenario_a(1701).total_rounds());
+    assert!(a.rules_installed > 0, "A's control loop installed rules");
+    assert_eq!(a.dirty_rounds, 0, "honest network: no strikes for A");
+    assert!(
+        a.total_leakage() < 1.0,
+        "A's rules dropped some attack traffic"
+    );
+
+    // Victim B: ZERO collateral and ZERO strikes despite A's live churn
+    // on the same service. B installed nothing, so any loss would be
+    // cross-tenant damage — there must be none, structurally.
+    let b = report.report(2).expect("contract 2 report");
+    assert_eq!(b.scenario, "victim-b");
+    assert_eq!(b.rounds, scenario_b(1701 ^ 0xb).total_rounds());
+    assert_eq!(b.rules_installed, 0, "B's policy stayed quiet");
+    assert_eq!(b.dirty_rounds, 0, "A's churn raised no strikes for B");
+    for phase in &b.phases {
+        assert_eq!(
+            phase.delivered_legit, phase.offered_legit,
+            "zero collateral for B in phase {:?}",
+            phase.name
+        );
+    }
+    assert_eq!(b.total_goodput(), 1.0);
+}
+
+/// The campaign is deterministic in its seed, like single-victim runs.
+#[test]
+fn campaign_is_deterministic() {
+    let a = run_campaign(77);
+    let b = run_campaign(77);
+    assert_eq!(a.reports, b.reports);
+    assert_eq!(a.rejected.len(), b.rejected.len());
+}

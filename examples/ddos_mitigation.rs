@@ -1,20 +1,29 @@
 //! End-to-end DDoS mitigation with a (possibly malicious) filtering IXP.
 //!
-//! Walks the paper's full deployment story (§VI-B):
+//! Walks the paper's full deployment story (§VI-B) on the **always-on
+//! dataplane service** — one persistent RX/worker/TX pipeline serves every
+//! round; the audit happens *around* the live service, not in a one-shot
+//! harness:
 //! 1. a DNS-amplification attack floods the victim,
 //! 2. the victim attests a VIF enclave at the IXP (RPKI-authorized),
 //! 3. rules are submitted over the authenticated channel,
-//! 4. an honest round audits clean,
-//! 5. a malicious operator that drops/injects around the filter is caught
-//!    by the sketch audits (§III-B's three bypass attacks).
+//! 4. an honest round through the running service audits clean,
+//! 5. a malicious operator that steals traffic before the filter, drops
+//!    deliveries after it, and injects around it (§III-B's three bypass
+//!    attacks) is caught by the sketch audits — and the victim aborts.
 //!
 //! ```text
 //! cargo run --example ddos_mitigation
 //! ```
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use vif::core::logs::PacketFingerprints;
 use vif::core::prelude::*;
-use vif::dataplane::{FlowSet, TrafficConfig, TrafficGenerator};
+use vif::dataplane::{
+    shard_of, shard_of_fingerprint, DataplaneService, FlowSet, ServiceConfig, TrafficConfig,
+    TrafficGenerator,
+};
 use vif::sgx::{AttestationRootKey, AttestationService, EnclaveImage, EpcConfig, SgxPlatform};
 
 fn main() {
@@ -86,51 +95,118 @@ fn main() {
         .expect("authorized rules");
     println!("rules: {installed} rule installed over the authenticated channel");
 
-    // --- round 1: honest operator ----------------------------------------
-    let run = FilteringRun::new(
-        Arc::clone(&enclave),
-        session.victim_verifier(),
-        session.neighbor_verifier(),
-        AdversaryBehavior::honest(),
-        1,
-    );
-    let report = run.execute(&traffic);
-    println!(
-        "honest round: {} filtered, {} reached victim, bypass detected = {}",
-        report.counters.filtered,
-        report.counters.received_by_victim,
-        report.bypass_detected()
-    );
-    assert!(!report.bypass_detected());
-
-    // --- round 2: malicious operator --------------------------------------
-    // The IXP drops 30% of the traffic before the filter (saving filter
-    // capacity), drops 10% of allowed packets after it, and injects attack
-    // packets around the filter.
-    session.new_round();
-    let spoofed = FiveTuple::new(
-        0x0b0b0b0b,
-        u32::from_be_bytes([203, 0, 113, 10]),
-        53,
-        4444,
-        Protocol::Udp,
-    );
-    let run = FilteringRun::new(
-        Arc::clone(&enclave),
-        session.victim_verifier(),
-        session.neighbor_verifier(),
-        AdversaryBehavior {
-            drop_before_fraction: 0.3,
-            drop_after_fraction: 0.1,
-            injected_after: vec![(spoofed, 500)],
+    // --- the always-on service + the audit around it ----------------------
+    // One worker stage over the attested enclave; the round driver exports
+    // and verifies the enclave's authenticated logs each round, and aborts
+    // the contract at the first strike.
+    let keys = session.keys().clone();
+    let mut driver = ClusterRoundDriver::new(
+        vec![Arc::clone(&enclave)],
+        keys.sketch_seed,
+        keys.audit_key,
+        0,
+        RoundPolicy {
+            round_duration_ns: 1_000_000,
+            max_strikes: 1,
         },
-        2,
     );
-    let report = run.execute(&traffic);
-    let (victim_verdict, neighbor_verdict) = report.verdicts();
-    println!(
-        "malicious round: victim audit = {victim_verdict:?}, neighbor audit = {neighbor_verdict:?}"
+    let stages = vec![EnclaveFilterStage::new(
+        Arc::clone(&enclave),
+        FilterMode::SgxNearZeroCopy,
+    )];
+
+    // The operator's post-filter tampering, switched on between rounds:
+    // drop every 10th delivery (and inject — see round 2 below).
+    let steal_after = AtomicBool::new(false);
+    let delivered: Mutex<Vec<FiveTuple>> = Mutex::new(Vec::new());
+    let tally = Mutex::new(0u64);
+
+    DataplaneService::new(ServiceConfig::default()).run(
+        stages,
+        |_, pkt| {
+            let mut n = tally.lock().unwrap();
+            *n += 1;
+            if steal_after.load(Ordering::Relaxed) && (*n).is_multiple_of(10) {
+                return; // stolen on the way to the victim
+            }
+            delivered.lock().unwrap().push(pkt.tuple);
+        },
+        |t: &FiveTuple| shard_of(t, 1),
+        |svc| {
+            // --- round 1: honest operator ---------------------------------
+            for pkt in &traffic {
+                let fp = PacketFingerprints::of(&pkt.tuple);
+                driver
+                    .neighbor_verifier_mut(shard_of_fingerprint(fp.tuple, 1))
+                    .observe_fingerprint(fp.src_ip);
+            }
+            let honest = svc.round(&traffic).total();
+            for t in delivered.lock().unwrap().drain(..) {
+                let fp = PacketFingerprints::of(&t);
+                driver
+                    .victim_verifier_mut(shard_of_fingerprint(fp.tuple, 1))
+                    .observe_fingerprint(fp.tuple);
+            }
+            let outcome = driver.close_round().expect("authentic logs");
+            println!(
+                "honest round: {} filtered, {} reached victim, bypass detected = {}",
+                honest.filtered,
+                honest.forwarded,
+                outcome.dirty()
+            );
+            assert!(!outcome.dirty());
+
+            // --- round 2: malicious operator ------------------------------
+            // The IXP steals 30% of the handover before the filter (saving
+            // filter capacity), drops 10% of deliveries after it, and
+            // injects attack packets around it. The service keeps running —
+            // only the operator's behavior changes.
+            steal_after.store(true, Ordering::Relaxed);
+            for pkt in &traffic {
+                // Neighbors attest the full handover...
+                let fp = PacketFingerprints::of(&pkt.tuple);
+                driver
+                    .neighbor_verifier_mut(shard_of_fingerprint(fp.tuple, 1))
+                    .observe_fingerprint(fp.src_ip);
+            }
+            // ...but the operator only presents 70% of it to the enclave.
+            let presented: Vec<_> = traffic
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 10 >= 3)
+                .map(|(_, p)| *p)
+                .collect();
+            svc.round(&presented);
+            // Injection around the filter: spoofed packets appear at the
+            // victim without ever transiting the enclave.
+            let spoofed = FiveTuple::new(
+                0x0b0b0b0b,
+                u32::from_be_bytes([203, 0, 113, 10]),
+                53,
+                4444,
+                Protocol::Udp,
+            );
+            {
+                let mut d = delivered.lock().unwrap();
+                for _ in 0..500 {
+                    d.push(spoofed);
+                }
+            }
+            for t in delivered.lock().unwrap().drain(..) {
+                let fp = PacketFingerprints::of(&t);
+                driver
+                    .victim_verifier_mut(shard_of_fingerprint(fp.tuple, 1))
+                    .observe_fingerprint(fp.tuple);
+            }
+            let outcome = driver.close_round().expect("authentic logs");
+            let slice = &outcome.slices[0];
+            println!(
+                "malicious round: victim audit = {:?}, neighbor audit = {:?}",
+                slice.victim_verdict, slice.neighbor_verdict
+            );
+            assert!(outcome.dirty(), "misbehavior must be caught");
+            assert!(matches!(driver.state(), ContractState::Aborted { .. }));
+            println!("OK: every bypass attempt was detected; the victim aborts the contract.");
+        },
     );
-    assert!(report.bypass_detected(), "misbehavior must be caught");
-    println!("OK: every bypass attempt was detected; the victim aborts the contract.");
 }

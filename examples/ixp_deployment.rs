@@ -3,15 +3,29 @@
 //!
 //! Builds a synthetic Internet (5 regions, tiered AS topology), instantiates
 //! the paper's Table III IXPs, floods a victim from a Mirai-style botnet,
-//! and sweeps Top-1..Top-5 IXP deployments per region. Also demonstrates
-//! the Appendix B BGP-poisoning localization of a packet-dropping
-//! intermediate AS.
+//! and sweeps Top-1..Top-5 IXP deployments per region. The covered share
+//! of the flood is then pushed through a **live [`DataplaneService`]** at
+//! one modeled IXP — the always-on RX/worker/TX pipeline over enclave
+//! filter stages — to show the absorbed volume at the packet level. Also
+//! demonstrates the Appendix B BGP-poisoning localization of a
+//! packet-dropping intermediate AS.
 //!
 //! ```text
 //! cargo run --release --example ixp_deployment
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vif::core::cost::FilterMode;
+use vif::core::enclave_app::{EnclaveFilterStage, FilterEnclaveApp};
+use vif::core::rules::{FilterRule, FlowPattern};
+use vif::core::ruleset::RuleSet;
+use vif::dataplane::{
+    shard_of, DataplaneService, FiveTuple, FlowSet, Protocol, ServiceConfig, TrafficConfig,
+    TrafficGenerator,
+};
 use vif::interdomain::prelude::*;
+use vif::sgx::{AttestationRootKey, EnclaveImage, EpcConfig, SgxPlatform};
 
 fn main() {
     // --- the synthetic Internet -------------------------------------------
@@ -53,6 +67,102 @@ fn main() {
             s.q3 * 100.0
         );
     }
+
+    // --- the dataplane at one IXP ------------------------------------------
+    // The sweep says what *fraction* of bot volume crosses a VIF IXP; run
+    // that share through the live service to see it absorbed in packets.
+    // One IXP server, two enclave filter slices, one drop rule covering
+    // the botnet's address space toward the victim prefix.
+    let covered = result.stats(5).median;
+    let victim_prefix = "203.0.113.0/24".parse().unwrap();
+    let drop_bots = FilterRule::drop(FlowPattern::prefixes(
+        "10.0.0.0/8".parse().unwrap(),
+        victim_prefix,
+    ));
+    let root = AttestationRootKey::new([2u8; 32]);
+    let platform = SgxPlatform::new(2002, EpcConfig::paper_default(), &root);
+    let image = EnclaveImage::new("vif-filter", 1, vec![0x90; 1 << 20]);
+    let workers = 2usize;
+    let stages: Vec<EnclaveFilterStage> = (0..workers)
+        .map(|_| {
+            let app =
+                FilterEnclaveApp::new(RuleSet::from_rules([drop_bots]), [6u8; 32], 11, [13u8; 32]);
+            EnclaveFilterStage::new(
+                Arc::new(platform.launch(image.clone(), app)),
+                FilterMode::SgxNearZeroCopy,
+            )
+        })
+        .collect();
+
+    // The flood that crosses this IXP: the covered share of 40k bot
+    // packets, riding alongside legitimate user traffic that must pass.
+    let victim_host = u32::from_be_bytes([203, 0, 113, 10]);
+    let bots: Vec<FiveTuple> = (0..800u32)
+        .map(|i| {
+            FiveTuple::new(
+                0x0a000000 + i * 9973,
+                victim_host,
+                (1024 + i % 50000) as u16,
+                80,
+                Protocol::Tcp,
+            )
+        })
+        .collect();
+    let users: Vec<FiveTuple> = (0..200u32)
+        .map(|i| {
+            FiveTuple::new(
+                0x50000000 + i * 7919,
+                victim_host,
+                (2048 + i % 40000) as u16,
+                443,
+                Protocol::Tcp,
+            )
+        })
+        .collect();
+    let mut gen = TrafficGenerator::new(17);
+    let bot_count = (40_000.0 * covered) as usize;
+    let mut traffic = gen.generate(
+        &FlowSet::uniform(bots),
+        TrafficConfig {
+            packet_size: 512,
+            offered_gbps: 8.0,
+            count: bot_count,
+        },
+    );
+    traffic.extend(gen.generate(
+        &FlowSet::uniform(users),
+        TrafficConfig {
+            packet_size: 512,
+            offered_gbps: 0.5,
+            count: 4_000,
+        },
+    ));
+
+    let delivered = AtomicU64::new(0);
+    let absorbed = DataplaneService::new(ServiceConfig::default()).run(
+        stages,
+        |_, _| {
+            delivered.fetch_add(1, Ordering::Relaxed);
+        },
+        move |t: &FiveTuple| shard_of(t, workers),
+        |svc| svc.round(&traffic).total(),
+    );
+    println!(
+        "\nlive IXP dataplane: Top-5 coverage ({:.0}% of bot volume) = {} bot packets \
+         absorbed at the filter; {} packets delivered ({} legitimate offered)",
+        covered * 100.0,
+        absorbed.filtered,
+        delivered.load(Ordering::Relaxed),
+        4_000,
+    );
+    assert_eq!(
+        absorbed.filtered, bot_count as u64,
+        "every covered bot packet dropped"
+    );
+    assert_eq!(
+        absorbed.forwarded, 4_000,
+        "every legitimate packet delivered"
+    );
 
     // --- Appendix B: localizing a dropper -----------------------------------
     // After a clean VIF audit, packets still go missing: some intermediate

@@ -21,6 +21,10 @@ Benchmarks present in only one of the two files are reported but do not
 fail the check, so adding a bench does not require regenerating the
 baseline in the same commit (the baseline refresh workflow is documented in
 the README's hot-path section).
+
+Every compared bench prints its smoke/baseline speed ratio, pass or fail,
+so a green run still shows where the time went (creeping 1.4x drift is
+visible in the log well before it trips the 2x gate).
 """
 
 import json
@@ -43,10 +47,16 @@ def gate(smoke_path, baseline_path, factor):
             continue
         smoke_ns = smoke[key]
         compared += 1
-        if base_ns > 0 and smoke_ns > base_ns * factor:
+        ratio = smoke_ns / base_ns if base_ns > 0 else float("inf")
+        flag = "FAIL" if base_ns > 0 and smoke_ns > base_ns * factor else "ok"
+        print(
+            f"  {flag:>4} {'/'.join(key)}: {smoke_ns:.1f} ns vs baseline "
+            f"{base_ns:.1f} ns ({ratio:.2f}x)"
+        )
+        if flag == "FAIL":
             failures.append(
                 f"{'/'.join(key)}: {smoke_ns:.1f} ns vs baseline "
-                f"{base_ns:.1f} ns ({smoke_ns / base_ns:.2f}x > {factor}x)"
+                f"{base_ns:.1f} ns ({ratio:.2f}x > {factor}x)"
             )
     for key in sorted(set(smoke) - set(baseline)):
         print(f"note: {'/'.join(key)} not in baseline yet")
