@@ -10,8 +10,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use vif_dataplane::{FiveTuple, FlowSet, Protocol, RateShape, TrafficConfig, TrafficGenerator};
 use vif_scenario::{
-    CampaignConfig, CampaignContract, CampaignHarness, Scenario, ScenarioHarness,
-    ScenarioHarnessConfig, ThresholdPolicy, VictimPolicy,
+    CampaignConfig, CampaignContract, CampaignHarness, FaultKind, FaultPlan, Scenario,
+    ScenarioHarness, ScenarioHarnessConfig, ThresholdPolicy, VictimPolicy,
 };
 
 fn bench(c: &mut Criterion) {
@@ -99,6 +99,29 @@ fn bench(c: &mut Criterion) {
                 let report =
                     CampaignHarness::new(contracts, CampaignConfig::default()).run(policies);
                 black_box(report.reports.len())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Chaos recovery: the smoke scenario on 4 workers with a seeded
+    // worker crash mid-attack — prices the quarantine/re-steer path
+    // (dead-ring reap, survivor re-hash, audit excision) against the
+    // clean end-to-end run above.
+    group.bench_function("chaos/recovery", |b| {
+        b.iter_batched(
+            || (Scenario::smoke(7), ThresholdPolicy::default()),
+            |(scenario, mut policy)| {
+                let report = ScenarioHarness::new(
+                    scenario,
+                    ScenarioHarnessConfig {
+                        workers: 4,
+                        ..Default::default()
+                    },
+                )
+                .with_faults(FaultPlan::new().at(4, FaultKind::WorkerCrash { worker: 2 }))
+                .run(&mut policy);
+                black_box((report.rounds, report.recovery_rounds))
             },
             BatchSize::LargeInput,
         );

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod attest;
+pub mod chaos;
 pub mod dataplane;
 pub mod ixp;
 pub mod multivictim;

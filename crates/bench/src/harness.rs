@@ -1,7 +1,7 @@
 //! Experiment registry and dispatch.
 
 use crate::experiments::{
-    ablations, attest, dataplane, ixp, multivictim, scenario, service, solver,
+    ablations, attest, chaos, dataplane, ixp, multivictim, scenario, service, solver,
 };
 use vif_interdomain::AttackSourceModel;
 
@@ -37,6 +37,9 @@ pub enum ExperimentId {
     /// Multi-tenant campaign: many victims, one cluster, arbitrated
     /// budgets (beyond the paper).
     Multivictim,
+    /// Fault-tolerance: seeded worker crash mid-attack, quarantine +
+    /// re-steer recovery metrics (beyond the paper).
+    Chaos,
     /// Activation latency of epoch publication on the always-on service
     /// (beyond the paper).
     Service,
@@ -59,7 +62,7 @@ pub enum ExperimentId {
 }
 
 /// All experiments in presentation order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 23] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 24] = [
     ExperimentId::Fig3a,
     ExperimentId::Fig3b,
     ExperimentId::Fig8,
@@ -74,6 +77,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 23] = [
     ExperimentId::Shard,
     ExperimentId::Scenario,
     ExperimentId::Multivictim,
+    ExperimentId::Chaos,
     ExperimentId::Service,
     ExperimentId::Fig11a,
     ExperimentId::Fig11b,
@@ -103,6 +107,7 @@ impl ExperimentId {
             ExperimentId::Shard => "shard",
             ExperimentId::Scenario => "scenario",
             ExperimentId::Multivictim => "multivictim",
+            ExperimentId::Chaos => "chaos",
             ExperimentId::Service => "service",
             ExperimentId::Fig11a => "fig11a",
             ExperimentId::Fig11b => "fig11b",
@@ -154,6 +159,7 @@ pub fn run_experiment(id: ExperimentId, scale: Scale) -> String {
         ExperimentId::Shard => dataplane::shard(ms),
         ExperimentId::Scenario => scenario::scenario(scale == Scale::Quick),
         ExperimentId::Multivictim => multivictim::multivictim(scale == Scale::Quick),
+        ExperimentId::Chaos => chaos::chaos(scale == Scale::Quick),
         ExperimentId::Service => service::service(scale == Scale::Quick),
         ExperimentId::Fig11a => ixp::fig11(AttackSourceModel::DnsResolvers, victims, 77),
         ExperimentId::Fig11b => ixp::fig11(AttackSourceModel::MiraiBotnet, victims, 77),

@@ -16,6 +16,20 @@ use crate::verify::{AuditError, BypassVerdict, NeighborVerifier, VictimVerifier}
 use std::sync::Arc;
 use vif_sgx::Enclave;
 
+/// What the driver does with a slice whose export still fails after every
+/// bounded retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExportFailurePolicy {
+    /// Abort the whole contract (the historical behavior, and the safe
+    /// reading of the paper: an unauditable slice poisons the round).
+    #[default]
+    AbortContract,
+    /// Excise only the failing slice: mark it quarantined, keep auditing
+    /// the survivors, keep the contract active. Pair with the dataplane's
+    /// quarantine/re-steer so the slice also stops seeing traffic.
+    QuarantineSlice,
+}
+
 /// Abort policy for a filtering contract.
 #[derive(Debug, Clone, Copy)]
 pub struct RoundPolicy {
@@ -24,6 +38,17 @@ pub struct RoundPolicy {
     pub round_duration_ns: u64,
     /// Dirty rounds tolerated before the victim aborts the contract.
     pub max_strikes: u32,
+    /// Bounded retries of a failed audit export before the failure
+    /// becomes contract-ending (or slice-quarantining). Exports are pure
+    /// enclave reads, so a retry re-audits the *same* round state —
+    /// a transient corruption or timeout costs backoff, never a strike.
+    pub audit_retries: u32,
+    /// Virtual-clock backoff charged per export retry, nanoseconds
+    /// (doubled each attempt; pure bookkeeping, the simulation never
+    /// sleeps).
+    pub retry_backoff_ns: u64,
+    /// What happens when retries are exhausted.
+    pub export_failure: ExportFailurePolicy,
 }
 
 impl Default for RoundPolicy {
@@ -31,6 +56,9 @@ impl Default for RoundPolicy {
         RoundPolicy {
             round_duration_ns: 120 * 1_000_000_000, // "a few minutes": 2 min
             max_strikes: 1,
+            audit_retries: 2,
+            retry_backoff_ns: 1_000_000, // 1 ms
+            export_failure: ExportFailurePolicy::AbortContract,
         }
     }
 }
@@ -44,6 +72,10 @@ pub struct RoundOutcome {
     pub victim_verdict: BypassVerdict,
     /// Neighbor-side verdict on the incoming log.
     pub neighbor_verdict: BypassVerdict,
+    /// True if this slice sat out the round under quarantine: it logged
+    /// nothing (its traffic was re-steered or counted `uncovered`), so no
+    /// audit ran and the verdicts are vacuously clean.
+    pub quarantined: bool,
 }
 
 impl RoundOutcome {
@@ -52,6 +84,25 @@ impl RoundOutcome {
         self.victim_verdict != BypassVerdict::Clean || self.neighbor_verdict != BypassVerdict::Clean
     }
 }
+
+/// Injected failure of one slice's audit-log export, decided per
+/// `(slice, round, attempt)` by an [`ExportFaultHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExportFault {
+    /// The export proceeds untouched.
+    #[default]
+    None,
+    /// The export arrives with one payload byte flipped — the MAC check
+    /// fails, exactly like a tampered sketch.
+    Corrupt,
+    /// The export never arrives within the audit window; the driver
+    /// charges backoff and retries without a sketch to audit.
+    Timeout,
+}
+
+/// Test/bench-only hook deciding whether a slice's export attempt is
+/// faulted: `(slice, round, attempt) -> ExportFault`.
+pub type ExportFaultHook = Box<dyn FnMut(usize, u64, u32) -> ExportFault + Send>;
 
 /// Contract state after a round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +229,17 @@ pub struct ClusterRoundDriver {
     history: Vec<ClusterRoundOutcome>,
     state: ContractState,
     contract: ContractId,
+    /// Slices excised from the audit loop (dead workers / failed exports).
+    quarantined: Vec<bool>,
+    /// Rounds closed so far — names the round for quarantined placeholder
+    /// outcomes, which have no export to read a round number from.
+    rounds_closed: u64,
+    /// Fault injection on the export path (None in production).
+    export_fault: Option<ExportFaultHook>,
+    /// Total export retries performed (health/recovery telemetry).
+    audit_retries_used: u64,
+    /// Virtual-clock nanoseconds charged to retry backoff.
+    backoff_ns: u64,
 }
 
 impl ClusterRoundDriver {
@@ -225,6 +287,7 @@ impl ClusterRoundDriver {
             victims.len() == enclaves.len() && neighbors.len() == enclaves.len(),
             "one verifier pair per slice"
         );
+        let n = enclaves.len();
         ClusterRoundDriver {
             enclaves,
             victims,
@@ -234,6 +297,11 @@ impl ClusterRoundDriver {
             history: Vec::new(),
             state: ContractState::Active,
             contract: 0,
+            quarantined: vec![false; n],
+            rounds_closed: 0,
+            export_fault: None,
+            audit_retries_used: 0,
+            backoff_ns: 0,
         }
     }
 
@@ -285,14 +353,51 @@ impl ClusterRoundDriver {
         &self.history
     }
 
-    /// Closes the round cluster-wide: audit every slice, record, rotate
-    /// all sketches, decide the aggregate contract state.
+    /// Excises slice `i` from the audit loop: no exports are pulled from
+    /// it, no audits run against it, its round outcomes are quarantined
+    /// placeholders, and its enclave sketches stop rotating. Call when the
+    /// dataplane quarantines the matching worker, *before* closing the
+    /// outage round — the dead slice logged nothing for traffic its
+    /// neighbors observed, so auditing it would manufacture false drops.
+    pub fn quarantine_slice(&mut self, i: usize) {
+        self.quarantined[i] = true;
+    }
+
+    /// Per-slice quarantine flags.
+    pub fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// Installs a test/bench-only export fault hook (see
+    /// [`ExportFaultHook`]).
+    pub fn set_export_fault(&mut self, hook: ExportFaultHook) {
+        self.export_fault = Some(hook);
+    }
+
+    /// Total export retries performed across all rounds.
+    pub fn audit_retries_used(&self) -> u64 {
+        self.audit_retries_used
+    }
+
+    /// Virtual-clock nanoseconds charged to export retry backoff.
+    pub fn backoff_ns(&self) -> u64 {
+        self.backoff_ns
+    }
+
+    /// Closes the round cluster-wide: audit every non-quarantined slice,
+    /// record, rotate all live sketches, decide the aggregate contract
+    /// state. Failed exports are retried up to
+    /// [`RoundPolicy::audit_retries`] times with exponential virtual-clock
+    /// backoff before the failure is acted on.
     ///
     /// # Errors
     ///
-    /// As with [`RoundDriver::close_round`], a slice export that fails to
-    /// audit (forged, wrong config) aborts the contract *before* the error
-    /// is returned, with every slice's sketches rotated.
+    /// As with [`RoundDriver::close_round`], a slice export that still
+    /// fails to audit after retries (forged, wrong config) aborts the
+    /// contract *before* the error is returned, with every live slice's
+    /// sketches rotated — unless the policy says
+    /// [`ExportFailurePolicy::QuarantineSlice`], in which case only the
+    /// failing slice is excised and the round completes on the survivors.
     pub fn close_round(&mut self) -> Result<ClusterRoundOutcome, AuditError> {
         assert_eq!(
             self.state,
@@ -300,27 +405,76 @@ impl ClusterRoundDriver {
             "contract already aborted"
         );
         let mut slices = Vec::with_capacity(self.enclaves.len());
-        let mut round = 0;
+        let mut round = self.rounds_closed;
         let contract = self.contract;
-        for (i, enclave) in self.enclaves.iter().enumerate() {
-            let outgoing =
-                enclave.ecall(move |app| app.export_log_for(contract, LogDirection::Outgoing));
-            let incoming =
-                enclave.ecall(move |app| app.export_log_for(contract, LogDirection::Incoming));
-            let audits = self.victims[i]
-                .audit(&outgoing)
-                .and_then(|v| self.neighbors[i].audit(&incoming).map(|n| (v, n)));
-            let (victim_report, neighbor_report) = match audits {
-                Ok(reports) => reports,
-                Err(e) => {
-                    // One unauditable slice poisons the cluster round:
-                    // abort the whole contract, leave every slice rotated.
-                    self.strikes += 1;
-                    self.state = ContractState::Aborted {
-                        strikes: self.strikes,
-                    };
-                    self.rotate();
-                    return Err(e);
+        'slices: for (i, enclave) in self.enclaves.iter().enumerate() {
+            if self.quarantined[i] {
+                slices.push(RoundOutcome {
+                    round,
+                    victim_verdict: BypassVerdict::Clean,
+                    neighbor_verdict: BypassVerdict::Clean,
+                    quarantined: true,
+                });
+                continue 'slices;
+            }
+            let mut attempt = 0u32;
+            let (victim_report, neighbor_report) = loop {
+                let fault = match self.export_fault.as_mut() {
+                    Some(hook) => hook(i, round, attempt),
+                    None => ExportFault::None,
+                };
+                let audits = if fault == ExportFault::Timeout {
+                    Err(AuditError::ExportTimeout)
+                } else {
+                    let mut outgoing = enclave
+                        .ecall(move |app| app.export_log_for(contract, LogDirection::Outgoing));
+                    let incoming = enclave
+                        .ecall(move |app| app.export_log_for(contract, LogDirection::Incoming));
+                    if fault == ExportFault::Corrupt {
+                        if let Some(b) = outgoing.payload.first_mut() {
+                            *b ^= 0xff;
+                        }
+                    }
+                    self.victims[i]
+                        .audit(&outgoing)
+                        .and_then(|v| self.neighbors[i].audit(&incoming).map(|n| (v, n)))
+                };
+                match audits {
+                    Ok(reports) => break reports,
+                    Err(e) => {
+                        if attempt < self.policy.audit_retries {
+                            // Exports are pure reads and audits are pure
+                            // comparisons: retrying re-reads the same
+                            // round, costing only (virtual) backoff.
+                            self.audit_retries_used += 1;
+                            self.backoff_ns += self.policy.retry_backoff_ns << attempt;
+                            attempt += 1;
+                            continue;
+                        }
+                        match self.policy.export_failure {
+                            ExportFailurePolicy::AbortContract => {
+                                // One unauditable slice poisons the cluster
+                                // round: abort the whole contract, leave
+                                // every live slice rotated.
+                                self.strikes += 1;
+                                self.state = ContractState::Aborted {
+                                    strikes: self.strikes,
+                                };
+                                self.rotate();
+                                return Err(e);
+                            }
+                            ExportFailurePolicy::QuarantineSlice => {
+                                self.quarantined[i] = true;
+                                slices.push(RoundOutcome {
+                                    round,
+                                    victim_verdict: BypassVerdict::Clean,
+                                    neighbor_verdict: BypassVerdict::Clean,
+                                    quarantined: true,
+                                });
+                                continue 'slices;
+                            }
+                        }
+                    }
                 }
             };
             round = victim_report.round;
@@ -328,8 +482,12 @@ impl ClusterRoundDriver {
                 round: victim_report.round,
                 victim_verdict: victim_report.verdict,
                 neighbor_verdict: neighbor_report.verdict,
+                quarantined: false,
             });
         }
+        // Quarantined placeholders pushed before the first audited slice
+        // carry the driver's own round counter, which the audited exports
+        // must agree with anyway.
         let outcome = ClusterRoundOutcome { round, slices };
         self.history.push(outcome.clone());
         if outcome.dirty() {
@@ -341,14 +499,19 @@ impl ClusterRoundDriver {
             }
         }
         self.rotate();
+        self.rounds_closed += 1;
         Ok(outcome)
     }
 
-    /// Rotates every slice's enclave and verifier sketches (this
-    /// contract's slot only).
+    /// Rotates every live slice's enclave and verifier sketches (this
+    /// contract's slot only). Quarantined enclaves are left untouched —
+    /// they are out of the pool and their frozen logs audit nothing.
     fn rotate(&mut self) {
         let contract = self.contract;
-        for enclave in &self.enclaves {
+        for (i, enclave) in self.enclaves.iter().enumerate() {
+            if self.quarantined[i] {
+                continue;
+            }
             enclave.ecall(move |app| app.new_round_for(contract));
         }
         for v in &mut self.victims {
@@ -629,6 +792,148 @@ mod tests {
         for enclave in &enclaves {
             let export = enclave.ecall(|app| app.export_log(LogDirection::Incoming));
             assert_eq!(export.round, 1);
+        }
+    }
+
+    #[test]
+    fn transient_export_corruption_retries_without_strike_or_double_rotation() {
+        // Satellite: a transient AuditError on export that succeeds on
+        // retry must not strike the slice or rotate sketches twice — pin
+        // the strike and rotation counts.
+        let (enclaves, mut driver) = cluster_setup(2);
+        // Corrupt slice 1's first export attempt of round 0 only.
+        driver.set_export_fault(Box::new(|slice, round, attempt| {
+            if slice == 1 && round == 0 && attempt == 0 {
+                ExportFault::Corrupt
+            } else {
+                ExportFault::None
+            }
+        }));
+        cluster_round(&enclaves, &mut driver, 30, None);
+        let outcome = driver.close_round().expect("retry must recover");
+        assert!(!outcome.dirty(), "{outcome:?}");
+        assert_eq!(driver.state(), ContractState::Active);
+        assert_eq!(driver.audit_retries_used(), 1, "exactly one retry");
+        assert!(driver.backoff_ns() > 0, "retry must charge backoff");
+        // Rotation count pinned: every enclave is in round 1, not 2 — a
+        // double rotation would desync the cluster from its verifiers.
+        for enclave in &enclaves {
+            let export = enclave.ecall(|app| app.export_log(LogDirection::Outgoing));
+            assert_eq!(export.round, 1, "rotated exactly once");
+        }
+        // And the next round still audits clean off the rotated state.
+        cluster_round(&enclaves, &mut driver, 30, None);
+        let outcome = driver.close_round().unwrap();
+        assert!(!outcome.dirty());
+        assert_eq!(outcome.round, 1);
+    }
+
+    #[test]
+    fn transient_export_timeout_retries_with_backoff() {
+        let (enclaves, mut driver) = cluster_setup(2);
+        // Slice 0 times out twice (the default retry budget), then heals.
+        driver.set_export_fault(Box::new(|slice, round, attempt| {
+            if slice == 0 && round == 0 && attempt < 2 {
+                ExportFault::Timeout
+            } else {
+                ExportFault::None
+            }
+        }));
+        cluster_round(&enclaves, &mut driver, 20, None);
+        let outcome = driver.close_round().expect("retries must recover");
+        assert!(!outcome.dirty());
+        assert_eq!(driver.audit_retries_used(), 2);
+        // Exponential virtual-clock backoff: 1 ms + 2 ms.
+        assert_eq!(driver.backoff_ns(), 3_000_000);
+        assert_eq!(driver.state(), ContractState::Active);
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_slice_under_quarantine_policy() {
+        let (enclaves, _) = cluster_setup(3);
+        let mut driver = ClusterRoundDriver::new(
+            enclaves.clone(),
+            SEED,
+            KEY,
+            0,
+            RoundPolicy {
+                export_failure: ExportFailurePolicy::QuarantineSlice,
+                ..Default::default()
+            },
+        );
+        // Slice 2's exports never recover.
+        driver.set_export_fault(Box::new(|slice, _, _| {
+            if slice == 2 {
+                ExportFault::Timeout
+            } else {
+                ExportFault::None
+            }
+        }));
+        cluster_round(&enclaves, &mut driver, 20, None);
+        let outcome = driver.close_round().expect("quarantine, not abort");
+        assert_eq!(driver.state(), ContractState::Active);
+        assert!(outcome.slices[2].quarantined);
+        assert!(!outcome.dirty(), "quarantined slice must not dirty");
+        assert_eq!(driver.quarantined(), &[false, false, true]);
+        // Next round: the quarantined slice is skipped outright (no
+        // export, no retries) and survivors stay clean. Its verifiers saw
+        // no slice-2 traffic because the harness re-steers it, modeled
+        // here by observing nothing for slice 2.
+        for (s, enclave) in enclaves.iter().enumerate().take(2) {
+            for i in 0..20 {
+                let t = benign(s as u32 * 10_000 + i);
+                driver.neighbor_verifier_mut(s).observe(&t);
+                let v = enclave.in_enclave_thread(|app| app.process(&t, 64));
+                if v.action == RuleAction::Allow {
+                    driver.victim_verifier_mut(s).observe(&t);
+                }
+            }
+        }
+        let retries_before = driver.audit_retries_used();
+        let outcome = driver.close_round().unwrap();
+        assert!(outcome.slices[2].quarantined);
+        assert!(!outcome.dirty());
+        assert_eq!(
+            driver.audit_retries_used(),
+            retries_before,
+            "skipped slice must not burn retries"
+        );
+    }
+
+    #[test]
+    fn quarantined_slice_is_excised_from_audits() {
+        let (enclaves, mut driver) = cluster_setup(4);
+        // Slice 2's worker died: its neighbors observed round traffic the
+        // enclave never logged. Quarantining before close_round prevents
+        // the false DropDetected.
+        driver.quarantine_slice(2);
+        for (s, enclave) in enclaves.iter().enumerate() {
+            for i in 0..25 {
+                let t = benign(s as u32 * 10_000 + i);
+                if s == 2 {
+                    // Traffic toward the dead slice: observed by the
+                    // neighbor, never processed. (In the integrated stack
+                    // the harness re-steers these; worst case modeled.)
+                    continue;
+                }
+                driver.neighbor_verifier_mut(s).observe(&t);
+                let v = enclave.in_enclave_thread(|app| app.process(&t, 64));
+                if v.action == RuleAction::Allow {
+                    driver.victim_verifier_mut(s).observe(&t);
+                }
+            }
+        }
+        let outcome = driver.close_round().unwrap();
+        assert!(!outcome.dirty());
+        assert!(outcome.slices[2].quarantined);
+        assert_eq!(outcome.round, 0);
+        assert_eq!(driver.state(), ContractState::Active);
+        // The dead enclave's sketches are frozen (round 0), survivors
+        // rotated to round 1.
+        for (s, enclave) in enclaves.iter().enumerate() {
+            let export = enclave.ecall(|app| app.export_log(LogDirection::Outgoing));
+            let expect = if s == 2 { 0 } else { 1 };
+            assert_eq!(export.round, expect, "slice {s}");
         }
     }
 }

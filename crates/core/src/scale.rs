@@ -209,7 +209,17 @@ pub struct PublishReport {
     pub epoch: u64,
     /// Global ids the drained installs were assigned, in queue order.
     pub new_rule_ids: Vec<RuleId>,
+    /// Install re-sends forced by lost publish acks (see
+    /// [`EnclaveCluster::set_publish_ack_loss`]); zero on healthy runs.
+    pub ack_retries: u64,
+    /// Slices whose ack never arrived within the retry budget — the
+    /// publisher quarantined them during this publication.
+    pub ack_lost_slices: Vec<usize>,
 }
+
+/// Fault hook deciding whether a slice's publish ack is lost:
+/// `(slice, attempt) -> true` drops the ack for that install attempt.
+pub type PublishAckHook = Box<dyn FnMut(usize, u32) -> bool + Send>;
 
 /// A pool of filter enclaves with its load balancer.
 pub struct EnclaveCluster {
@@ -234,9 +244,19 @@ pub struct EnclaveCluster {
     /// live sharded data path, whose public-hash steering assumes any
     /// slice can decide any flow.
     replicated: bool,
+    /// Per-slice quarantine flags: a quarantined slice is excised from
+    /// publication, telemetry, and (replicated) dispatch until the pool is
+    /// rebuilt. Mirrors the dataplane service's worker quarantine.
+    quarantined: Vec<bool>,
+    /// Optional publish-ack fault hook (test/bench injection only).
+    publish_ack_loss: Option<PublishAckHook>,
 }
 
 impl EnclaveCluster {
+    /// Install re-sends a slice gets before its lost publish acks
+    /// quarantine it (initial send + this many re-sends).
+    pub const PUBLISH_ACK_RETRIES: u32 = 3;
+
     /// Launches a cluster for `ruleset`, sized by the greedy allocator
     /// under the given per-rule bandwidth estimates (Gb/s).
     ///
@@ -278,6 +298,7 @@ impl EnclaveCluster {
             })
             .collect();
 
+        let quarantined = vec![false; enclaves.len()];
         EnclaveCluster {
             enclaves,
             slices,
@@ -290,6 +311,8 @@ impl EnclaveCluster {
             audit_key,
             round: 0,
             replicated: false,
+            quarantined,
+            publish_ack_loss: None,
         }
     }
 
@@ -345,6 +368,8 @@ impl EnclaveCluster {
             audit_key,
             round: 0,
             replicated: true,
+            quarantined: vec![false; n],
+            publish_ack_loss: None,
         }
     }
 
@@ -400,6 +425,8 @@ impl EnclaveCluster {
             audit_key,
             round: 0,
             replicated: true,
+            quarantined: vec![false; n],
+            publish_ack_loss: None,
         }
     }
 
@@ -440,6 +467,71 @@ impl EnclaveCluster {
         self.round
     }
 
+    /// Per-slice quarantine flags, indexed like
+    /// [`enclaves`](EnclaveCluster::enclaves).
+    pub fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// Indices of live (non-quarantined) slices, ascending.
+    pub fn live_slices(&self) -> Vec<usize> {
+        (0..self.enclaves.len())
+            .filter(|&i| !self.quarantined[i])
+            .collect()
+    }
+
+    /// Number of live (non-quarantined) slices.
+    pub fn live_len(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| !q).count()
+    }
+
+    /// Excises slice `i` from the pool: it no longer receives epoch
+    /// publications, contract provisioning, or redistribution installs,
+    /// its telemetry is ignored, and replicated dispatch re-steers its
+    /// flows onto the survivors with the same public hash the live
+    /// dataplane uses
+    /// ([`ServiceHandle::requarget_fingerprint`](vif_dataplane::ServiceHandle::requarget_fingerprint)),
+    /// so verifier attribution stays recomputable. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a partitioned cluster (a dead slice there loses rules, it
+    /// cannot fail over by re-steering; run
+    /// [`redistribute`](EnclaveCluster::redistribute) instead), if `i` is
+    /// out of range, or if quarantining `i` would leave no live slice.
+    pub fn quarantine_slice(&mut self, i: usize) {
+        assert!(
+            self.replicated,
+            "quarantine is replicated-only: partitioned pools must re-partition"
+        );
+        assert!(i < self.enclaves.len(), "slice index out of range");
+        if self.quarantined[i] {
+            return;
+        }
+        assert!(self.live_len() > 1, "cannot quarantine the last live slice");
+        self.quarantined[i] = true;
+    }
+
+    /// Installs a publish-ack fault hook: before each slice install is
+    /// acknowledged, the hook decides whether that ack is lost
+    /// (`(slice, attempt) -> true`), forcing the publisher to re-send.
+    /// A slice that exhausts the retry budget
+    /// ([`PUBLISH_ACK_RETRIES`](EnclaveCluster::PUBLISH_ACK_RETRIES)) is
+    /// quarantined mid-publication. Test/bench injection only.
+    pub fn set_publish_ack_loss(&mut self, hook: PublishAckHook) {
+        self.publish_ack_loss = Some(hook);
+    }
+
+    /// Re-steers a dispatch target away from a quarantined slice on a
+    /// replicated cluster, mirroring the live service's failover hash.
+    fn resteer(&self, i: usize, t: &FiveTuple) -> usize {
+        if !self.quarantined.get(i).copied().unwrap_or(false) {
+            return i;
+        }
+        let live = self.live_slices();
+        live[vif_dataplane::shard_of_fingerprint(t.tuple_fingerprint(), live.len())]
+    }
+
     /// Processes one packet through LB dispatch and the target enclave.
     ///
     /// Returns `(action, enclave)` — `None` enclave if the LB dropped it.
@@ -450,6 +542,7 @@ impl EnclaveCluster {
         match self.lb.dispatch(rule, t) {
             Dispatch::Dropped => (RuleAction::Drop, None),
             Dispatch::To(i) => {
+                let i = self.resteer(i, t);
                 let action =
                     self.enclaves[i].in_enclave_thread(|app| app.process(t, wire_bytes).action);
                 (action, Some(i))
@@ -478,7 +571,7 @@ impl EnclaveCluster {
             let rule = self.full_ruleset.classify(t);
             match self.lb.dispatch(rule, t) {
                 Dispatch::Dropped => results[i] = (RuleAction::Drop, None),
-                Dispatch::To(e) => routed.push((e, i)),
+                Dispatch::To(e) => routed.push((self.resteer(e, t), i)),
             }
         }
         routed.sort_unstable();
@@ -535,6 +628,7 @@ impl EnclaveCluster {
     /// Returns the round report.
     pub fn redistribute(&mut self, master: usize) -> RedistributionReport {
         assert!(master < self.enclaves.len(), "master index out of range");
+        assert!(!self.quarantined[master], "master slice is quarantined");
         self.round += 1;
         if self.replicated {
             return self.redistribute_replicated(master);
@@ -614,6 +708,9 @@ impl EnclaveCluster {
             n,
             LoadBalancerBehavior::Honest,
         );
+        // The pool was rebuilt from attested launches: every slice in the
+        // new partition is live again.
+        self.quarantined = vec![false; n];
 
         RedistributionReport {
             master,
@@ -643,7 +740,11 @@ impl EnclaveCluster {
             "positional telemetry aggregation is replicated-only"
         );
         let mut bytes_per_rule: Vec<u64> = Vec::new();
-        for enclave in &self.enclaves {
+        for (i, enclave) in self.enclaves.iter().enumerate() {
+            if self.quarantined[i] {
+                // A dead slice's counters are unreachable (and stale).
+                continue;
+            }
             let report = enclave.ecall(|app| app.rule_bandwidth_report());
             if report.len() > bytes_per_rule.len() {
                 bytes_per_rule.resize(report.len(), 0);
@@ -684,6 +785,7 @@ impl EnclaveCluster {
     pub fn publish(&mut self, master: usize) -> PublishReport {
         assert!(master < self.enclaves.len(), "master index out of range");
         assert!(self.replicated, "epoch publication is replicated-only");
+        assert!(!self.quarantined[master], "master slice is quarantined");
         // Step 1 — brief ECall: snapshot the master's live rule set (the
         // compiled classifier rides along as a shared Arc) and drain the
         // pending queue.
@@ -703,12 +805,9 @@ impl EnclaveCluster {
                 }
             }
         });
-        // Step 3 — brief ECall per slice: swap the prebuilt set in.
-        for enclave in &self.enclaves {
-            let replica = rs.clone();
-            let ids = new_rule_ids.clone();
-            enclave.ecall(move |app| app.install_published_for(0, replica, &ids));
-        }
+        // Step 3 — brief ECall per live slice: swap the prebuilt set in,
+        // re-sending while the (injected) network eats the ack.
+        let (ack_retries, ack_lost_slices) = self.install_on_live(0, &rs, &new_rule_ids);
         let epoch = self.enclaves[master].ecall(|app| app.epoch());
         self.finish_publication(rs);
         PublishReport {
@@ -717,6 +816,8 @@ impl EnclaveCluster {
             withdrawals,
             epoch,
             new_rule_ids,
+            ack_retries,
+            ack_lost_slices,
         }
     }
 
@@ -736,6 +837,7 @@ impl EnclaveCluster {
     pub fn publish_contract(&mut self, master: usize, contract: ContractId) -> PublishReport {
         assert!(master < self.enclaves.len(), "master index out of range");
         assert!(self.replicated, "epoch publication is replicated-only");
+        assert!(!self.quarantined[master], "master slice is quarantined");
         let (mut rs, edits, owned) = self.enclaves[master]
             .ecall(move |app| app.take_publish_snapshot_for(contract))
             .expect("unknown contract");
@@ -755,11 +857,7 @@ impl EnclaveCluster {
                 }
             }
         });
-        for enclave in &self.enclaves {
-            let replica = rs.clone();
-            let ids = new_rule_ids.clone();
-            enclave.ecall(move |app| app.install_published_for(contract, replica, &ids));
-        }
+        let (ack_retries, ack_lost_slices) = self.install_on_live(contract, &rs, &new_rule_ids);
         let epoch = self.enclaves[master].ecall(move |app| app.epoch_of(contract));
         self.finish_publication(rs);
         PublishReport {
@@ -768,7 +866,54 @@ impl EnclaveCluster {
             withdrawals,
             epoch,
             new_rule_ids,
+            ack_retries,
+            ack_lost_slices,
         }
+    }
+
+    /// The slice-install leg of publication: installs `(rs, ids)` on every
+    /// live slice for `contract`, re-sending while the publish ack is lost
+    /// (per the injected [`PublishAckHook`]). A slice whose ack never
+    /// arrives within [`PUBLISH_ACK_RETRIES`](Self::PUBLISH_ACK_RETRIES)
+    /// re-sends is quarantined: the publisher cannot distinguish "installed
+    /// but mute" from "dead", and a possibly-stale slice must not keep
+    /// deciding flows. Returns `(total re-sends, slices quarantined)`.
+    fn install_on_live(
+        &mut self,
+        contract: ContractId,
+        rs: &RuleSet,
+        ids: &[RuleId],
+    ) -> (u64, Vec<usize>) {
+        let mut ack_retries = 0u64;
+        let mut lost = Vec::new();
+        for i in 0..self.enclaves.len() {
+            if self.quarantined[i] {
+                continue;
+            }
+            let mut attempt = 0u32;
+            loop {
+                let replica = rs.clone();
+                let idv = ids.to_vec();
+                self.enclaves[i]
+                    .ecall(move |app| app.install_published_for(contract, replica, &idv));
+                let dropped = match self.publish_ack_loss.as_mut() {
+                    Some(hook) => hook(i, attempt),
+                    None => false,
+                };
+                if !dropped {
+                    break;
+                }
+                attempt += 1;
+                if attempt > Self::PUBLISH_ACK_RETRIES {
+                    self.quarantined[i] = true;
+                    lost.push(i);
+                    break;
+                }
+                ack_retries += 1;
+            }
+        }
+        assert!(self.live_len() > 0, "publish acks lost on every slice");
+        (ack_retries, lost)
     }
 
     /// Post-publication bookkeeping shared by the epoch-swap paths: every
@@ -799,7 +944,10 @@ impl EnclaveCluster {
         sketch_seed: u64,
         audit_key: [u8; 32],
     ) {
-        for enclave in &self.enclaves {
+        for (i, enclave) in self.enclaves.iter().enumerate() {
+            if self.quarantined[i] {
+                continue;
+            }
             enclave.ecall(move |app| {
                 app.provision_contract(contract, scope, sketch_seed, audit_key);
             });
@@ -849,6 +997,11 @@ impl EnclaveCluster {
 
         let n = self.enclaves.len();
         for (i, enclave) in self.enclaves.iter().enumerate() {
+            if self.quarantined[i] {
+                // An excised slice receives no installs; its stale rules
+                // never decide a flow because dispatch re-steers past it.
+                continue;
+            }
             if i == master {
                 enclave.ecall(|app| app.reset_rule_counters());
             } else {
@@ -860,7 +1013,7 @@ impl EnclaveCluster {
             }
         }
         let all_ids: Vec<RuleId> = (0..master_rules.len() as RuleId).collect();
-        let installations = master_rules.active_len() * n;
+        let installations = master_rules.active_len() * self.live_len();
         self.slices = vec![all_ids; n];
         self.full_ruleset = master_rules;
         self.lb = LoadBalancer::new(
@@ -874,11 +1027,37 @@ impl EnclaveCluster {
 
         RedistributionReport {
             master,
-            enclaves_used: n,
+            enclaves_used: self.live_len(),
             installations,
             bytes_per_rule,
             solve_time: std::time::Duration::ZERO,
         }
+    }
+
+    /// Re-runs multi-tenant admission over the **surviving** pool: builds
+    /// fresh [`contract_demands`](EnclaveCluster::contract_demands) from
+    /// the master's counters and arbitrates them with `config.max_enclaves`
+    /// clamped to the live slice count — the budget step of rule failover
+    /// after quarantine shrinks the pool. Contracts admitted under the
+    /// full pool may come back `Rejected`; the caller (the scenario
+    /// harness, or an operator) decides whether to shed them or run them
+    /// degraded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the master is quarantined or out of range.
+    pub fn rearbitrate(
+        &self,
+        master: usize,
+        window_secs: f64,
+        floor_gbps: f64,
+        mut config: vif_optimizer::ArbiterConfig,
+    ) -> vif_optimizer::Arbitration {
+        assert!(master < self.enclaves.len(), "master index out of range");
+        assert!(!self.quarantined[master], "master slice is quarantined");
+        config.max_enclaves = config.max_enclaves.min(self.live_len());
+        let demands = self.contract_demands(master, window_secs, floor_gbps);
+        vif_optimizer::arbitrate(&config, &demands)
     }
 }
 
@@ -1202,6 +1381,141 @@ mod tests {
             assert_eq!(slice.len(), c.ruleset().len());
         }
         assert_eq!(c.misrouted_total(), 0);
+    }
+
+    fn rss_cluster(rules: usize, n: usize) -> EnclaveCluster {
+        let root = AttestationRootKey::new([3u8; 32]);
+        let platform = SgxPlatform::new(2, EpcConfig::paper_default(), &root);
+        let image = EnclaveImage::new("vif", 1, vec![0; 64]);
+        EnclaveCluster::launch_rss(platform, image, ruleset(rules), n, [7u8; 32], 99, [8u8; 32])
+    }
+
+    #[test]
+    fn quarantined_slice_excised_from_publication_and_dispatch() {
+        let mut c = rss_cluster(6, 3);
+        c.quarantine_slice(2);
+        assert_eq!(c.live_slices(), vec![0, 1]);
+        assert_eq!(c.live_len(), 2);
+        // Master churn published after the quarantine: survivors get the
+        // new epoch, the dead slice keeps its stale rules untouched.
+        let new_rule = FilterRule::drop(FlowPattern::prefixes(
+            "12.0.0.0/8".parse().unwrap(),
+            victim(),
+        ));
+        c.enclaves()[0].ecall(move |app| app.queue_edits([RuleEdit::Install(new_rule)]));
+        let report = c.publish(0);
+        assert_eq!(report.installs, 1);
+        assert_eq!(report.ack_retries, 0);
+        assert!(report.ack_lost_slices.is_empty());
+        let new_hit = FiveTuple::new(
+            0x0c000001,
+            u32::from_be_bytes([203, 0, 113, 1]),
+            5,
+            80,
+            Protocol::Udp,
+        );
+        for i in [0usize, 1] {
+            let nh = new_hit;
+            let action = c.enclaves()[i].in_enclave_thread(move |app| app.process(&nh, 64).action);
+            assert_eq!(action, RuleAction::Drop, "survivor {i} missed the epoch");
+        }
+        let nh = new_hit;
+        let stale = c.enclaves()[2].in_enclave_thread(move |app| app.process(&nh, 64).action);
+        assert_eq!(stale, RuleAction::Allow, "dead slice must not be installed");
+        // Dispatch fails over with the live service's hash: flows the RSS
+        // hash maps onto the dead slice land on
+        // live[shard_of_fingerprint(fp, live)], everything else stays put.
+        for r in 0..6 {
+            for f in 0..8 {
+                let t = attack_tuple(r, f);
+                let (_, enclave) = c.process(&t, 64);
+                let home = vif_dataplane::shard_of(&t, 3);
+                let expect = if home == 2 {
+                    [0, 1][vif_dataplane::shard_of_fingerprint(t.tuple_fingerprint(), 2)]
+                } else {
+                    home
+                };
+                assert_eq!(enclave, Some(expect), "rule {r} flow {f}");
+            }
+        }
+        // Telemetry aggregation ignores the dead slice's stale counters.
+        let live_bytes: u64 = c.replicated_rule_bytes().iter().sum();
+        let survivor_bytes: u64 = [0usize, 1]
+            .iter()
+            .map(|&i| {
+                c.enclaves()[i]
+                    .ecall(|app| app.rule_bandwidth_report())
+                    .iter()
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(live_bytes, survivor_bytes);
+    }
+
+    #[test]
+    fn publish_ack_loss_retries_then_quarantines() {
+        let mut c = rss_cluster(4, 3);
+        // Transient: slice 1 eats two acks, then the network heals — the
+        // publisher re-sends and nobody is quarantined.
+        c.set_publish_ack_loss(Box::new(|slice, attempt| slice == 1 && attempt < 2));
+        let report = c.publish(0);
+        assert_eq!(report.ack_retries, 2);
+        assert!(report.ack_lost_slices.is_empty());
+        assert_eq!(c.live_len(), 3);
+        // Permanent: slice 2 never acks — the retry budget runs out and
+        // the publisher excises it mid-publication.
+        c.set_publish_ack_loss(Box::new(|slice, _| slice == 2));
+        let report = c.publish(0);
+        assert_eq!(
+            report.ack_retries,
+            u64::from(EnclaveCluster::PUBLISH_ACK_RETRIES)
+        );
+        assert_eq!(report.ack_lost_slices, vec![2]);
+        assert_eq!(c.quarantined(), &[false, false, true]);
+        // Subsequent publications skip the quarantined slice entirely: the
+        // still-lossy hook for slice 2 is never consulted again.
+        let report = c.publish(0);
+        assert_eq!(report.ack_retries, 0);
+        assert!(report.ack_lost_slices.is_empty());
+    }
+
+    #[test]
+    fn rearbitrate_clamps_budget_to_surviving_pool() {
+        use vif_optimizer::{AdmissionVerdict, ArbiterConfig};
+        let mut c = rss_cluster(6, 3);
+        // 6 rules at a 4.5 Gb/s floor = 27 Gb/s of demand: fits the
+        // 3-slice pool (9 Gb/s per slice), not the 2-slice pool that
+        // remains after a quarantine (13.5 Gb/s > a slice's 10 Gb/s).
+        let full = c.rearbitrate(0, 1.0, 4.5, ArbiterConfig::default());
+        assert!(
+            matches!(full.verdicts[0].1, AdmissionVerdict::Admitted { .. }),
+            "{:?}",
+            full.verdicts
+        );
+        c.quarantine_slice(2);
+        let shrunk = c.rearbitrate(0, 1.0, 4.5, ArbiterConfig::default());
+        assert!(
+            matches!(shrunk.verdicts[0].1, AdmissionVerdict::Rejected { .. }),
+            "pool shrank to 2 slices, 18 Gb/s cannot fit: {:?}",
+            shrunk.verdicts
+        );
+        assert!(shrunk.allocation.enclaves.len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "last live slice")]
+    fn cannot_quarantine_every_slice() {
+        let mut c = rss_cluster(2, 2);
+        c.quarantine_slice(0);
+        c.quarantine_slice(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "master slice is quarantined")]
+    fn quarantined_master_cannot_publish() {
+        let mut c = rss_cluster(2, 2);
+        c.quarantine_slice(0);
+        c.publish(0);
     }
 
     #[test]

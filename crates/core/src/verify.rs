@@ -56,6 +56,10 @@ pub enum AuditError {
     Compare(CompareError),
     /// The export covers a different direction than this verifier audits.
     WrongDirection,
+    /// The enclave never delivered an export within the round's audit
+    /// window (fault-injected or real): there is nothing to audit, which
+    /// is treated exactly like an unauditable export.
+    ExportTimeout,
 }
 
 impl std::fmt::Display for AuditError {
@@ -64,6 +68,7 @@ impl std::fmt::Display for AuditError {
             AuditError::Log(e) => write!(f, "log error: {e}"),
             AuditError::Compare(e) => write!(f, "comparison error: {e}"),
             AuditError::WrongDirection => write!(f, "export direction mismatch"),
+            AuditError::ExportTimeout => write!(f, "audit export timed out"),
         }
     }
 }

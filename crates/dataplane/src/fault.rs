@@ -1,0 +1,242 @@
+//! Seeded, deterministic fault injection for the always-on service.
+//!
+//! The scenario DSL reproduces *attacks* from a seed; this module does the
+//! same for *infrastructure failures*. A [`FaultPlan`] is a sorted list of
+//! [`FaultEvent`]s — worker crashes, worker stalls, enclave export
+//! corruption/timeouts, publish-ack loss, ring-overflow storms — keyed by
+//! the round in which they fire. Harnesses (`vif-scenario`) translate each
+//! event into the matching injection hook on [`crate::service::ServiceHandle`]
+//! or the audited-round driver, so a chaos run is exactly as reproducible
+//! as a clean one: same seed, same outage, same recovery, byte for byte.
+//!
+//! The plan is pure data with no wall-clock or RNG dependency at fire
+//! time; [`FaultPlan::chaos`] derives a pseudo-random plan from a seed with
+//! the same splitmix64 construction the traffic generator uses, and caps
+//! worker crashes below the worker count so a chaos run always keeps at
+//! least one survivor to fail over to.
+
+/// One failure mode the injection layer knows how to reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Worker thread `worker` exits cleanly mid-service (in-band crash
+    /// token): its ring residue becomes `uncovered` traffic and the slice
+    /// is quarantined at the next round barrier.
+    WorkerCrash {
+        /// Worker index (reduced modulo the worker count by harnesses).
+        worker: usize,
+    },
+    /// Worker `worker` stops draining its ring for the offer window of
+    /// `rounds` consecutive rounds (the round barrier itself releases the
+    /// stall, so stalls surface as backpressure/overflow, never hangs).
+    WorkerStall {
+        /// Worker index.
+        worker: usize,
+        /// Number of consecutive rounds the stall re-applies.
+        rounds: u64,
+    },
+    /// The next `attempts` audit-log exports from slice `slice` return a
+    /// corrupted sketch (one flipped payload byte → MAC failure).
+    ExportCorrupt {
+        /// Enclave slice index.
+        slice: usize,
+        /// Number of consecutive export attempts that corrupt.
+        attempts: u32,
+    },
+    /// The next `attempts` audit-log exports from slice `slice` time out
+    /// (the driver counts a failed attempt and backs off without a
+    /// sketch to audit).
+    ExportTimeout {
+        /// Enclave slice index.
+        slice: usize,
+        /// Number of consecutive export attempts that time out.
+        attempts: u32,
+    },
+    /// The next `count` rule-publication acks from slice `slice` are
+    /// dropped, forcing the cluster's bounded install retry.
+    PublishAckLoss {
+        /// Enclave slice index.
+        slice: usize,
+        /// Number of consecutive acks lost.
+        count: u32,
+    },
+    /// `packets` junk messages are stuffed onto worker `worker`'s RX ring
+    /// before the round's traffic, consuming ring capacity so legitimate
+    /// offers overflow under backpressure.
+    RingOverflowStorm {
+        /// Worker index.
+        worker: usize,
+        /// Junk messages to enqueue (clamped to ring capacity).
+        packets: u64,
+    },
+}
+
+/// A [`FaultKind`] scheduled for a specific round of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Global round index (0-based, as counted by the harness) at whose
+    /// start the fault fires.
+    pub round: u64,
+    /// The failure to inject.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of failures, sorted by round.
+///
+/// Build one explicitly with [`FaultPlan::at`] or derive a pseudo-random
+/// one from a seed with [`FaultPlan::chaos`]; harnesses poll
+/// [`FaultPlan::due`] at every round boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults ever fire.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder: schedules `kind` at the start of `round`.
+    pub fn at(mut self, round: u64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { round, kind });
+        self.events.sort_by_key(|e| e.round);
+        self
+    }
+
+    /// `true` if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// All scheduled events, round order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Events scheduled for exactly `round`, in insertion order.
+    pub fn due(&self, round: u64) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.round == round)
+    }
+
+    /// Derives a pseudo-random plan over `rounds` rounds of a `workers`-way
+    /// service from `seed` (splitmix64, same construction as the traffic
+    /// generator — identical seeds give identical plans).
+    ///
+    /// Crashes are capped at `workers - 1` so at least one survivor
+    /// remains to absorb re-steered flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn chaos(seed: u64, workers: usize, rounds: u64) -> Self {
+        assert!(workers > 0, "at least one worker");
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || -> u64 {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let budget = (rounds / 4).max(1) as usize;
+        let mut crashes = 0usize;
+        let mut plan = FaultPlan::new();
+        for _ in 0..budget {
+            let round = if rounds > 1 { next() % rounds } else { 0 };
+            let worker = (next() % workers as u64) as usize;
+            let slice = (next() % workers as u64) as usize;
+            let kind = match next() % 6 {
+                0 if crashes + 1 < workers => {
+                    crashes += 1;
+                    FaultKind::WorkerCrash { worker }
+                }
+                0 | 1 => FaultKind::WorkerStall {
+                    worker,
+                    rounds: 1 + next() % 2,
+                },
+                2 => FaultKind::ExportCorrupt {
+                    slice,
+                    attempts: 1 + (next() % 2) as u32,
+                },
+                3 => FaultKind::ExportTimeout {
+                    slice,
+                    attempts: 1 + (next() % 2) as u32,
+                },
+                4 => FaultKind::PublishAckLoss {
+                    slice,
+                    count: 1 + (next() % 2) as u32,
+                },
+                _ => FaultKind::RingOverflowStorm {
+                    worker,
+                    packets: 256 + next() % 1024,
+                },
+            };
+            plan.events.push(FaultEvent { round, kind });
+        }
+        plan.events.sort_by_key(|e| e.round);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_is_deterministic_in_the_seed() {
+        let a = FaultPlan::chaos(42, 4, 40);
+        let b = FaultPlan::chaos(42, 4, 40);
+        let c = FaultPlan::chaos(43, 4, 40);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_ne!(a, c, "different seed, different plan");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn chaos_keeps_a_survivor() {
+        for seed in 0..50u64 {
+            for workers in 1..5usize {
+                let plan = FaultPlan::chaos(seed, workers, 64);
+                let crashes = plan
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e.kind, FaultKind::WorkerCrash { .. }))
+                    .count();
+                assert!(
+                    crashes < workers,
+                    "seed {seed}: {crashes} crashes for {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn due_filters_by_round_and_events_sorted() {
+        let plan = FaultPlan::new()
+            .at(5, FaultKind::WorkerCrash { worker: 1 })
+            .at(
+                2,
+                FaultKind::WorkerStall {
+                    worker: 0,
+                    rounds: 1,
+                },
+            )
+            .at(
+                5,
+                FaultKind::RingOverflowStorm {
+                    worker: 0,
+                    packets: 10,
+                },
+            );
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.due(5).count(), 2);
+        assert_eq!(plan.due(2).count(), 1);
+        assert_eq!(plan.due(0).count(), 0);
+        assert!(plan.events().windows(2).all(|w| w[0].round <= w[1].round));
+    }
+}

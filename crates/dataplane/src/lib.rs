@@ -23,6 +23,9 @@
 //! - [`service`]: the always-on form of the sharded pipeline — persistent
 //!   workers on persistent rings, rounds as in-band flush messages,
 //!   spin-then-park idling (the one-shot runners are one-round services),
+//! - [`fault`]: seeded, deterministic fault plans (worker crashes/stalls,
+//!   export corruption, publish-ack loss, overflow storms) that harnesses
+//!   inject into the service for reproducible chaos runs,
 //! - [`clock`]: the simulated clock.
 //!
 //! The per-packet *costs* that drive the pipeline are supplied by the
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod fault;
 pub mod mbuf;
 pub mod nic;
 pub mod packet;
@@ -54,6 +58,7 @@ pub mod sharded;
 pub mod threaded;
 
 pub use clock::SimClock;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use mbuf::{LocalMemPool, Mbuf, MemPool};
 pub use nic::LineRate;
 pub use packet::{FiveTuple, Packet, Protocol};
@@ -61,7 +66,7 @@ pub use pipeline::{PacketStage, PipelineConfig, PipelineReport, StageOutcome, St
 pub use pktgen::{FlowSet, RateShape, TrafficConfig, TrafficGenerator};
 pub use ring::Ring;
 pub use service::{
-    ContractMap, ContractRoundDelta, DataplaneService, ServiceConfig, ServiceHandle,
+    ContractMap, ContractRoundDelta, DataplaneService, DegradedMode, ServiceConfig, ServiceHandle,
 };
 pub use sharded::{
     run_sharded, run_sharded_with_steering, shard_of, shard_of_fingerprint, ShardedReport,

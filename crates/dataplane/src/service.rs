@@ -72,6 +72,14 @@ enum WorkerMsg {
     /// Round barrier: everything enqueued before this token belongs to
     /// round `seq`; the worker forwards it to TX behind its output.
     Flush(u64),
+    /// Fault injection: the worker exits its loop cleanly when it dequeues
+    /// this, having decided everything enqueued before it. Ring residue
+    /// behind the token becomes the handle's `uncovered` accounting.
+    Crash,
+    /// Fault injection: a junk message the worker dequeues and discards —
+    /// it consumes ring capacity (overflow-storm pressure) but touches no
+    /// counter and no stage.
+    Noise,
 }
 
 /// One message on the shared TX ring.
@@ -81,6 +89,23 @@ enum TxMsg {
     Pkt(usize, Packet),
     /// A worker's round-`seq` barrier token (one per worker per round).
     Flush(u64),
+}
+
+/// Per-contract policy for traffic whose worker is dead or quarantined:
+/// does the outage drop the traffic or let it bypass filtering?
+///
+/// Either way every such packet is charged to the `uncovered` counter —
+/// the mode only decides delivery, never accounting, so the victim's
+/// audit view of the outage window is identical under both policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedMode {
+    /// Outage traffic is dropped (filtered-by-default). The safe default:
+    /// no attack packet ever reaches the victim unfiltered.
+    #[default]
+    FailClosed,
+    /// Outage traffic is delivered *unfiltered* to the sink (availability
+    /// over filtering). Still counted `uncovered`, never `forwarded`.
+    FailOpen,
 }
 
 /// Maps destination addresses to tenant contracts (longest prefix wins)
@@ -96,6 +121,8 @@ pub struct ContractMap {
     entries: Vec<(u32, u8, usize)>,
     /// Dense slot → contract id; slot 0 is always the default contract 0.
     ids: Vec<u32>,
+    /// Dense slot → degraded-mode policy (parallel to `ids`).
+    modes: Vec<DegradedMode>,
 }
 
 impl Default for ContractMap {
@@ -110,23 +137,50 @@ impl ContractMap {
         ContractMap {
             entries: Vec::new(),
             ids: vec![0],
+            modes: vec![DegradedMode::default()],
         }
     }
 
     /// Routes `network/prefix_len` (host-order address) to `contract`.
     pub fn assign(&mut self, network: u32, prefix_len: u8, contract: u32) {
         assert!(prefix_len <= 32, "prefix length out of range");
-        let slot = match self.ids.iter().position(|&c| c == contract) {
-            Some(s) => s,
-            None => {
-                self.ids.push(contract);
-                self.ids.len() - 1
-            }
-        };
+        let slot = self.slot_for(contract);
         let mask = mask_of(prefix_len);
         self.entries.push((network & mask, prefix_len, slot));
         // Longest-prefix-first keeps lookup a linear first-match scan.
         self.entries.sort_by_key(|e| std::cmp::Reverse(e.1));
+    }
+
+    /// Sets `contract`'s degraded-mode policy (default:
+    /// [`DegradedMode::FailClosed`]), registering the contract if new.
+    pub fn set_degraded_mode(&mut self, contract: u32, mode: DegradedMode) {
+        let slot = self.slot_for(contract);
+        self.modes[slot] = mode;
+    }
+
+    /// `contract`'s degraded-mode policy.
+    pub fn degraded_mode(&self, contract: u32) -> DegradedMode {
+        match self.ids.iter().position(|&c| c == contract) {
+            Some(slot) => self.modes[slot],
+            None => DegradedMode::default(),
+        }
+    }
+
+    /// Dense slot for `contract`, registering it if unknown.
+    fn slot_for(&mut self, contract: u32) -> usize {
+        match self.ids.iter().position(|&c| c == contract) {
+            Some(s) => s,
+            None => {
+                self.ids.push(contract);
+                self.modes.push(DegradedMode::default());
+                self.ids.len() - 1
+            }
+        }
+    }
+
+    /// Degraded-mode policy of a dense slot.
+    fn mode_of_slot(&self, slot: usize) -> DegradedMode {
+        self.modes[slot]
     }
 
     /// Contract ids known to the map, dense-slot order (`0` first).
@@ -172,6 +226,9 @@ pub struct ContractRoundDelta {
     pub filtered: u64,
     /// Packets lost to full RX rings this round.
     pub overflow: u64,
+    /// Packets that bypassed filtering this round because their worker
+    /// was dead or quarantined (see [`DegradedMode`]).
+    pub uncovered: u64,
 }
 
 /// Tuning knobs for a [`DataplaneService`].
@@ -224,7 +281,15 @@ struct Shared {
     /// by drop guards so panics unblock everyone.
     worker_alive: Vec<AtomicBool>,
     workers_live: AtomicUsize,
+    /// Workers that died by *panic* (stage bug), as opposed to an injected
+    /// clean crash: the round waiter still propagates these as fatal, while
+    /// clean deaths take the quarantine path.
+    workers_panicked: AtomicUsize,
     tx_alive: AtomicBool,
+    /// Fault injection: a stalled worker stops draining its ring until the
+    /// flag clears (every `flush_round` clears all stalls, so stalls show
+    /// up as backpressure, never as a hung barrier).
+    worker_stalled: Vec<AtomicBool>,
     /// Set once by the handle when its scope ends; consumers exit when
     /// they see it with an empty ring.
     shutdown: AtomicBool,
@@ -250,7 +315,9 @@ impl Shared {
             park_events: AtomicU64::new(0),
             worker_alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
             workers_live: AtomicUsize::new(n),
+            workers_panicked: AtomicUsize::new(0),
             tx_alive: AtomicBool::new(true),
+            worker_stalled: (0..n).map(|_| AtomicBool::new(false)).collect(),
             shutdown: AtomicBool::new(false),
             round_done: Mutex::new(0),
             round_cv: Condvar::new(),
@@ -281,6 +348,12 @@ impl Drop for AliveGuard<'_> {
     fn drop(&mut self) {
         match self.worker {
             Some(w) => {
+                // A panicking stage is a fatal bug the round waiter must
+                // propagate; an injected clean crash is a *handled event*
+                // the handle quarantines instead.
+                if std::thread::panicking() {
+                    self.shared.workers_panicked.fetch_add(1, Ordering::AcqRel);
+                }
                 self.shared.worker_alive[w].store(false, Ordering::Release);
                 self.shared.workers_live.fetch_sub(1, Ordering::AcqRel);
                 // The TX thread may be parked waiting for this worker's
@@ -413,12 +486,18 @@ impl DataplaneService {
                 tx_thread,
                 received: vec![0; n],
                 overflow: vec![0; n],
+                uncovered: vec![0; n],
+                crashed: vec![false; n],
+                quarantined: vec![false; n],
+                live: (0..n).collect(),
                 prev: vec![ThreadedReport::default(); n],
                 report: ShardedReport {
                     per_worker: vec![ThreadedReport::default(); n],
+                    quarantined: vec![false; n],
                 },
                 c_received: vec![0; c],
                 c_overflow: vec![0; c],
+                c_uncovered: vec![0; c],
                 c_prev: vec![(0, 0); c],
                 contract_report: shared
                     .contracts
@@ -473,6 +552,16 @@ pub struct ServiceHandle<'a, R> {
     /// Per-worker offer-side counters for the round in progress.
     received: Vec<u64>,
     overflow: Vec<u64>,
+    /// Per-worker uncovered counters for the round in progress: ring
+    /// residue drained from a dead worker's ring at the barrier.
+    uncovered: Vec<u64>,
+    /// Workers with an injected crash pending quarantine (the crash token
+    /// is in their ring; the next `flush_round` reaps them).
+    crashed: Vec<bool>,
+    /// Workers excised from steering after a detected death.
+    quarantined: Vec<bool>,
+    /// Non-quarantined worker indices, ascending — the re-steer targets.
+    live: Vec<usize>,
     /// Cumulative forwarded/filtered snapshot at the last flush, so each
     /// round's report is a delta with no per-round counter reset on the
     /// worker side.
@@ -484,10 +573,16 @@ pub struct ServiceHandle<'a, R> {
     /// reused per-contract delta storage (dense slot order).
     c_received: Vec<u64>,
     c_overflow: Vec<u64>,
+    c_uncovered: Vec<u64>,
     c_prev: Vec<(u64, u64)>,
     contract_report: Vec<ContractRoundDelta>,
     seq: u64,
 }
+
+/// Upper bound on waiting for a cleanly-crashed worker to finish draining
+/// and exit before its ring is reaped for quarantine. Generous: the worker
+/// only has to decide the packets enqueued ahead of its crash token.
+const QUARANTINE_WAIT: Duration = Duration::from_secs(10);
 
 impl<R> ServiceHandle<'_, R>
 where
@@ -512,11 +607,17 @@ where
     /// Steers `packets` onto the per-worker rings (the caller thread is
     /// the RX stage). A ring that stays full through bounded retries
     /// counts the packet as that worker's `overflow`, exactly like the
-    /// one-shot pipeline's RX thread.
+    /// one-shot pipeline's RX thread; a ring whose worker is *dead* gives
+    /// up immediately — overflow-while-dead is counted, never spun on.
+    ///
+    /// Quarantined workers are excised from steering: their flows are
+    /// re-hashed over the surviving workers (see
+    /// [`requarget_fingerprint`](ServiceHandle::requarget_fingerprint)).
     pub fn offer(&mut self, packets: &[Packet]) {
         let multi = self.c_received.len() > 1;
         for pkt in packets {
-            let w = (self.steer)(&pkt.tuple) % self.n;
+            let w0 = (self.steer)(&pkt.tuple) % self.n;
+            let w = self.requarget_fingerprint(pkt.tuple.tuple_fingerprint(), w0);
             self.received[w] += 1;
             let slot = if multi {
                 self.shared.contracts.slot_of(pkt.tuple.dst_ip)
@@ -524,6 +625,20 @@ where
                 0
             };
             self.c_received[slot] += 1;
+            if self.crashed[w] || self.quarantined[w] {
+                // Dead target (crash pending quarantine, or nowhere left
+                // to re-steer): one attempt, no spinning on a ring nobody
+                // drains. Residue becomes `uncovered` at the barrier; a
+                // full ring counts `overflow` right away.
+                if self.shared.rx_rings[w]
+                    .enqueue(WorkerMsg::Pkt(*pkt))
+                    .is_err()
+                {
+                    self.overflow[w] += 1;
+                    self.c_overflow[slot] += 1;
+                }
+                continue;
+            }
             let mut item = WorkerMsg::Pkt(*pkt);
             let mut retries = 0;
             loop {
@@ -534,6 +649,13 @@ where
                     }
                     Err(back) => {
                         item = back;
+                        if !self.shared.worker_alive[w].load(Ordering::Acquire) {
+                            // The worker died under us: bounded wait, not
+                            // a spin-until-panic — the loss is accounted.
+                            self.overflow[w] += 1;
+                            self.c_overflow[slot] += 1;
+                            break;
+                        }
                         retries += 1;
                         if retries > 64 {
                             self.overflow[w] += 1;
@@ -549,31 +671,161 @@ where
         }
     }
 
+    /// The worker that will actually handle a flow this round: `w0` (the
+    /// RSS shard) unless `w0` is quarantined, in which case the flow is
+    /// re-hashed deterministically over the surviving workers.
+    ///
+    /// Public so verifiers can recompute packet → slice attribution during
+    /// degraded operation exactly as they do for [`crate::shard_of`] in
+    /// healthy operation.
+    pub fn requarget_fingerprint(&self, tuple_fp: u64, w0: usize) -> usize {
+        let w0 = w0 % self.n;
+        if self.quarantined[w0] && !self.live.is_empty() {
+            self.live[crate::sharded::shard_of_fingerprint(tuple_fp, self.live.len())]
+        } else {
+            w0
+        }
+    }
+
+    /// Per-worker quarantine flags (`true` = excised from steering).
+    pub fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// Surviving (non-quarantined) worker indices, ascending.
+    pub fn live_workers(&self) -> &[usize] {
+        &self.live
+    }
+
+    /// Fault injection: asks worker `w` to crash *cleanly* via an in-band
+    /// crash token. The worker decides everything enqueued before the
+    /// token, then exits; everything offered after becomes `uncovered`
+    /// residue and the next [`flush_round`](ServiceHandle::flush_round)
+    /// quarantines the slice. Idempotent; no-op on a quarantined worker.
+    pub fn inject_crash(&mut self, w: usize) {
+        let w = w % self.n;
+        if self.crashed[w] || self.quarantined[w] {
+            return;
+        }
+        self.crashed[w] = true;
+        let mut item = WorkerMsg::Crash;
+        loop {
+            match self.shared.rx_rings[w].enqueue(item) {
+                Ok(()) => {
+                    Shared::wake(&self.shared.worker_parked[w], &self.worker_threads[w]);
+                    break;
+                }
+                Err(back) => {
+                    item = back;
+                    if !self.shared.worker_alive[w].load(Ordering::Acquire) {
+                        // Already dead (e.g. crashed twice in one plan):
+                        // the barrier reap handles the residue.
+                        break;
+                    }
+                    Shared::wake(&self.shared.worker_parked[w], &self.worker_threads[w]);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Fault injection: stalls (or releases) worker `w`. A stalled worker
+    /// stops draining its ring, so sustained offers surface as
+    /// backpressure and eventually `overflow`. Every
+    /// [`flush_round`](ServiceHandle::flush_round) releases all stalls —
+    /// a stall can starve a round's offer window but never hang the
+    /// barrier.
+    pub fn stall_worker(&mut self, w: usize, stalled: bool) {
+        let w = w % self.n;
+        self.shared.worker_stalled[w].store(stalled, Ordering::SeqCst);
+        if !stalled {
+            self.worker_threads[w].unpark();
+        }
+    }
+
+    /// Fault injection: stuffs up to `count` junk messages onto worker
+    /// `w`'s ring (an overflow storm). The junk consumes ring capacity —
+    /// subsequent offers overflow sooner — but touches no counters when
+    /// the worker discards it. Returns how many were enqueued (bounded by
+    /// free ring capacity). The worker is deliberately not woken.
+    pub fn inject_overflow_storm(&mut self, w: usize, count: u64) -> u64 {
+        let w = w % self.n;
+        let mut enqueued = 0;
+        for _ in 0..count {
+            if self.shared.rx_rings[w].enqueue(WorkerMsg::Noise).is_err() {
+                break;
+            }
+            enqueued += 1;
+        }
+        enqueued
+    }
+
     /// Closes the current round: enqueues one `Flush` barrier token per
-    /// worker, waits until the TX thread has drained every packet offered
-    /// before the token, and returns this round's per-worker counters.
+    /// *live* worker, delivers the token on behalf of dead or quarantined
+    /// workers (so the TX round count never depends on a thread that no
+    /// longer exists), waits until the TX thread has drained every packet
+    /// offered before the tokens, and returns this round's per-worker
+    /// counters.
+    ///
+    /// A worker found cleanly dead (injected crash) is *quarantined* here:
+    /// the handle performs a bounded-wait health check for the exit, reaps
+    /// the dead ring's residue into `uncovered`, excises the worker from
+    /// steering, and the round completes on the survivors. The report's
+    /// `quarantined` flags record the excision.
     ///
     /// The returned reference points at reused storage — clone it to keep
     /// a round's numbers past the next flush.
     ///
     /// # Panics
     ///
-    /// Panics if a worker or the TX thread died mid-round (the underlying
-    /// stage/sink panic supersedes it at scope exit).
+    /// Panics if a worker *panicked* mid-round (stage bug — as opposed to
+    /// an injected clean crash, which quarantines) or the TX thread died;
+    /// the underlying stage/sink panic supersedes it at scope exit. Also
+    /// panics if a crashed worker fails to halt within the quarantine
+    /// wait bound.
     pub fn flush_round(&mut self) -> &ShardedReport {
         self.seq += 1;
+        // The barrier ends any injected stall: a stall starves the offer
+        // window (backpressure, overflow), never the round itself.
         for w in 0..self.n {
+            if self.shared.worker_stalled[w].swap(false, Ordering::SeqCst) {
+                self.worker_threads[w].unpark();
+            }
+        }
+        'workers: for w in 0..self.n {
+            if self.quarantined[w] {
+                // Already excised: reap any stray residue (offers land
+                // here only when every worker is gone) and stand in for
+                // the dead worker at the barrier.
+                self.reap_ring(w);
+                push_tx(self.shared, TxMsg::Flush(self.seq), &self.tx_thread);
+                continue 'workers;
+            }
+            if self.crashed[w] {
+                self.quarantine(w);
+                push_tx(self.shared, TxMsg::Flush(self.seq), &self.tx_thread);
+                continue 'workers;
+            }
             let mut item = WorkerMsg::Flush(self.seq);
             loop {
                 match self.shared.rx_rings[w].enqueue(item) {
                     Ok(()) => {
                         Shared::wake(&self.shared.worker_parked[w], &self.worker_threads[w]);
-                        break;
+                        continue 'workers;
                     }
                     Err(back) => {
                         item = back;
                         if !self.shared.worker_alive[w].load(Ordering::Acquire) {
-                            panic!("worker thread {w} died mid-round");
+                            if self.shared.workers_panicked.load(Ordering::Acquire) > 0 {
+                                panic!("worker thread {w} died mid-round");
+                            }
+                            // Cleanly dead without a pending crash mark
+                            // (crash token raced the barrier): same
+                            // quarantine path.
+                            self.crashed[w] = true;
+                            self.quarantine(w);
+                            push_tx(self.shared, TxMsg::Flush(self.seq), &self.tx_thread);
+                            continue 'workers;
                         }
                         Shared::wake(&self.shared.worker_parked[w], &self.worker_threads[w]);
                         std::thread::yield_now();
@@ -592,7 +844,7 @@ where
             if !self.shared.tx_alive.load(Ordering::Acquire) {
                 panic!("tx thread died mid-round");
             }
-            if self.shared.workers_live.load(Ordering::Acquire) < self.n {
+            if self.shared.workers_panicked.load(Ordering::Acquire) > 0 {
                 panic!("worker thread died mid-round");
             }
             let (guard, _) = self
@@ -612,11 +864,14 @@ where
                 forwarded: fwd - self.prev[w].forwarded,
                 filtered: fil - self.prev[w].filtered,
                 overflow: self.overflow[w],
+                uncovered: self.uncovered[w],
             };
+            self.report.quarantined[w] = self.quarantined[w];
             self.prev[w].forwarded = fwd;
             self.prev[w].filtered = fil;
             self.received[w] = 0;
             self.overflow[w] = 0;
+            self.uncovered[w] = 0;
         }
         for slot in 0..self.c_received.len() {
             let (fwd, fil) = if self.c_received.len() == 1 {
@@ -637,12 +892,69 @@ where
                 forwarded: fwd - self.c_prev[slot].0,
                 filtered: fil - self.c_prev[slot].1,
                 overflow: self.c_overflow[slot],
+                uncovered: self.c_uncovered[slot],
             };
             self.c_prev[slot] = (fwd, fil);
             self.c_received[slot] = 0;
             self.c_overflow[slot] = 0;
+            self.c_uncovered[slot] = 0;
         }
         &self.report
+    }
+
+    /// Bounded-wait health check and excision of a cleanly-crashed worker:
+    /// waits for the thread to finish deciding its pre-crash backlog and
+    /// exit, marks the slice quarantined, rebuilds the survivor list, and
+    /// reaps the dead ring into `uncovered`.
+    fn quarantine(&mut self, w: usize) {
+        let deadline = std::time::Instant::now() + QUARANTINE_WAIT;
+        while self.shared.worker_alive[w].load(Ordering::Acquire) {
+            if self.shared.workers_panicked.load(Ordering::Acquire) > 0 {
+                panic!("worker thread {w} died mid-round");
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker {w} failed to halt for quarantine"
+            );
+            self.worker_threads[w].unpark();
+            std::thread::yield_now();
+        }
+        self.quarantined[w] = true;
+        self.live = (0..self.n).filter(|&i| !self.quarantined[i]).collect();
+        self.reap_ring(w);
+    }
+
+    /// Drains a dead worker's ring. Packet residue is charged to the
+    /// per-worker and per-contract `uncovered` counters — and, under a
+    /// fail-open contract, delivered unfiltered to the sink (delivery is
+    /// policy; the accounting is identical either way).
+    fn reap_ring(&mut self, w: usize) {
+        let multi = self.c_received.len() > 1;
+        while let Some(msg) = self.shared.rx_rings[w].dequeue() {
+            match msg {
+                WorkerMsg::Pkt(p) => {
+                    let slot = if multi {
+                        self.shared.contracts.slot_of(p.tuple.dst_ip)
+                    } else {
+                        0
+                    };
+                    self.uncovered[w] += 1;
+                    self.c_uncovered[slot] += 1;
+                    if self.shared.contracts.mode_of_slot(slot) == DegradedMode::FailOpen {
+                        push_tx(self.shared, TxMsg::Pkt(w, p), &self.tx_thread);
+                    }
+                }
+                WorkerMsg::Flush(s) => {
+                    // Unreachable in practice (tokens for closed rounds
+                    // were consumed, and the barrier never rings a dead
+                    // worker); replaying preserves token conservation all
+                    // the same.
+                    debug_assert!(s < self.seq, "future token in a dead ring");
+                    push_tx(self.shared, TxMsg::Flush(s), &self.tx_thread);
+                }
+                WorkerMsg::Crash | WorkerMsg::Noise => {}
+            }
+        }
     }
 
     /// The last flushed round's counters split per tenant contract
@@ -708,7 +1020,18 @@ fn worker_loop<S: PacketStage>(
     // Reused per-contract (forwarded, filtered) scratch for one run.
     let mut c_counts: Vec<(u64, u64)> = vec![(0, 0); shared.contracts.contracts().len()];
     let mut spins = 0u32;
-    loop {
+    'outer: loop {
+        // An injected stall freezes the dequeue side: the ring backs up
+        // and producers see overflow. Shutdown still wins, and every
+        // round barrier clears the flag, so a stall cannot hang a round.
+        if shared.worker_stalled[w].load(Ordering::Acquire) {
+            if shared.shutdown.load(Ordering::Acquire) {
+                shared.worker_stalled[w].store(false, Ordering::Release);
+            } else {
+                std::thread::park_timeout(config.park_timeout);
+                continue;
+            }
+        }
         batch.clear();
         if ring.dequeue_burst(&mut batch, config.burst) == 0 {
             if shared.shutdown.load(Ordering::Acquire) && ring.is_empty() {
@@ -728,8 +1051,8 @@ fn worker_loop<S: PacketStage>(
         // forwarded to TX *behind* the run's output, preserving the
         // barrier through the FIFO rings.
         pkts.clear();
-        for msg in batch.drain(..) {
-            match msg {
+        for i in 0..batch.len() {
+            match batch[i] {
                 WorkerMsg::Pkt(p) => pkts.push(p),
                 WorkerMsg::Flush(seq) => {
                     process_run(
@@ -742,6 +1065,35 @@ fn worker_loop<S: PacketStage>(
                         &tx_thread,
                     );
                     push_tx(shared, TxMsg::Flush(seq), &tx_thread);
+                }
+                WorkerMsg::Noise => {}
+                WorkerMsg::Crash => {
+                    // Injected clean crash: decide everything offered
+                    // before the token, put anything dequeued after it
+                    // back as ring residue for the quarantine reap, and
+                    // exit. The AliveGuard records a *clean* death.
+                    process_run(
+                        shared,
+                        w,
+                        &mut stage,
+                        &mut pkts,
+                        &mut outcomes,
+                        &mut c_counts,
+                        &tx_thread,
+                    );
+                    for msg in batch.drain(i + 1..) {
+                        let mut item = msg;
+                        loop {
+                            match ring.enqueue(item) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                    break 'outer;
                 }
             }
         }
@@ -859,13 +1211,23 @@ fn tx_loop<F: FnMut(usize, &Packet)>(
     loop {
         batch.clear();
         if shared.tx_ring.dequeue_burst(&mut batch, config.burst) == 0 {
-            if shared.workers_live.load(Ordering::Acquire) == 0 && shared.tx_ring.is_empty() {
+            // Exit requires the shutdown flag: injected clean crashes can
+            // zero `workers_live` while the service is still serving
+            // rounds on handle-delivered barrier tokens.
+            if shared.shutdown.load(Ordering::Acquire)
+                && shared.workers_live.load(Ordering::Acquire) == 0
+                && shared.tx_ring.is_empty()
+            {
                 break;
             }
             idle_backoff(
                 shared,
                 &shared.tx_parked,
-                || !shared.tx_ring.is_empty() || shared.workers_live.load(Ordering::Acquire) == 0,
+                || {
+                    !shared.tx_ring.is_empty()
+                        || (shared.shutdown.load(Ordering::Acquire)
+                            && shared.workers_live.load(Ordering::Acquire) == 0)
+                },
                 &mut spins,
                 config,
             );
@@ -1123,6 +1485,250 @@ mod tests {
                     assert_eq!(deltas[0].forwarded, total.forwarded);
                     assert_eq!(deltas[0].filtered, total.filtered);
                 }
+            },
+        );
+    }
+
+    #[test]
+    fn injected_crash_quarantines_and_resteers() {
+        let n = 4;
+        let stages: Vec<_> = (0..n).map(|_| parity_stage()).collect();
+        DataplaneService::new(ServiceConfig::default()).run(
+            stages,
+            |_, _| {},
+            |t| shard_of(t, n),
+            |svc| {
+                // Healthy round first.
+                let t = traffic(2_000, 1);
+                let clean = svc.round(&t).clone();
+                assert_eq!(clean.total().uncovered, 0);
+                assert!(clean.quarantined.iter().all(|&q| !q));
+
+                // Kill worker 2 at the round boundary, then offer the same
+                // mix: everything steered at 2 becomes uncovered residue.
+                svc.inject_crash(2);
+                let report = svc.round(&t).clone();
+                let expect_uncovered =
+                    t.iter().filter(|p| shard_of(&p.tuple, n) == 2).count() as u64;
+                assert!(expect_uncovered > 0, "mix never hits worker 2");
+                assert_eq!(report.per_worker[2].uncovered, expect_uncovered);
+                assert_eq!(report.total().uncovered, expect_uncovered);
+                assert_eq!(report.quarantined_workers(), vec![2]);
+                // Fail-closed default: nothing offered to the dead ring is
+                // forwarded, and per-worker accounting still adds up.
+                for (w, r) in report.per_worker.iter().enumerate() {
+                    assert_eq!(
+                        r.forwarded + r.filtered + r.overflow + r.uncovered,
+                        r.received,
+                        "worker {w} leaks"
+                    );
+                }
+
+                // Next round: the dead shard is re-steered to survivors —
+                // zero uncovered, zero loss, and attribution matches the
+                // public requarget function.
+                let report = svc.round(&t).clone();
+                assert_eq!(report.total().uncovered, 0);
+                assert_eq!(report.total().overflow, 0);
+                assert_eq!(report.total().received, t.len() as u64);
+                assert_eq!(report.per_worker[2].received, 0);
+                assert_eq!(svc.live_workers(), &[0, 1, 3]);
+                for p in &t {
+                    let fp = p.tuple.tuple_fingerprint();
+                    let w = svc.requarget_fingerprint(fp, shard_of(&p.tuple, n));
+                    assert_ne!(w, 2, "flow still steered at the quarantined worker");
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn overflow_stays_exact_under_stalled_worker_backpressure() {
+        // Satellite: ShardedReport.overflow and per-contract c_overflow
+        // must stay exact (no double-count, no loss) when producers outrun
+        // a stalled worker — including across flush_round delta resets.
+        use crate::packet::Protocol;
+        let n = 2;
+        let a_net = u32::from_be_bytes([203, 0, 0, 0]);
+        let b_net = u32::from_be_bytes([198, 18, 0, 0]);
+        let mut map = ContractMap::new();
+        map.assign(a_net, 16, 7);
+        map.assign(b_net, 16, 9);
+        let cap = 64;
+        let config = ServiceConfig {
+            ring_capacity: cap,
+            ..Default::default()
+        };
+        // Steer by dst net: contract 7 → worker 0, contract 9 → worker 1.
+        let mk = |dst_net: u32, id: u64| {
+            Packet::new(
+                FiveTuple::new(4 + id as u32, dst_net | 1, 999, 80, Protocol::Tcp),
+                64,
+                0,
+                id,
+            )
+        };
+        let stages: Vec<_> = (0..n).map(|_| parity_stage()).collect();
+        DataplaneService::new(config).with_contracts(map).run(
+            stages,
+            |_, _| {},
+            |t| {
+                if t.dst_ip & 0xffff_0000 == a_net {
+                    0
+                } else {
+                    1
+                }
+            },
+            |svc| {
+                for round in 0..3u64 {
+                    // Stall worker 0 and offer 4× its ring capacity toward
+                    // contract 7, plus a small clean batch to worker 1.
+                    svc.stall_worker(0, true);
+                    let offered = 4 * cap as u64;
+                    let t: Vec<_> = (0..offered)
+                        .map(|i| mk(a_net, round * 10_000 + i))
+                        .chain((0..10).map(|i| mk(b_net, round * 10_000 + 5_000 + i)))
+                        .collect();
+                    svc.offer(&t);
+                    // flush_round itself releases the stall; the worker
+                    // then drains what fit and the barrier completes.
+                    let report = svc.round(&[]).clone();
+                    let w0 = report.per_worker[0];
+                    assert_eq!(
+                        w0.forwarded + w0.filtered + w0.overflow,
+                        w0.received,
+                        "round {round}: worker 0 leaks"
+                    );
+                    assert!(
+                        w0.overflow > 0,
+                        "round {round}: no backpressure despite 4x capacity"
+                    );
+                    let deltas: Vec<_> = svc.contract_deltas().to_vec();
+                    let a = deltas.iter().find(|d| d.contract == 7).unwrap();
+                    let b = deltas.iter().find(|d| d.contract == 9).unwrap();
+                    // Per-contract overflow equals the worker's overflow
+                    // exactly (only contract 7 traffic hits worker 0) and
+                    // resets with the round delta — no carry, no loss.
+                    assert_eq!(a.overflow, w0.overflow, "round {round}");
+                    assert_eq!(a.received, offered, "round {round}");
+                    assert_eq!(
+                        a.forwarded + a.filtered + a.overflow,
+                        a.received,
+                        "round {round}: contract 7 leaks"
+                    );
+                    assert_eq!(b.overflow, 0, "round {round}: collateral overflow");
+                    assert_eq!(b.received, 10, "round {round}");
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn fail_open_delivers_uncovered_traffic_unfiltered() {
+        use crate::packet::Protocol;
+        let n = 2;
+        let net = u32::from_be_bytes([203, 0, 0, 0]);
+        let mut map = ContractMap::new();
+        map.assign(net, 16, 7);
+        map.set_degraded_mode(7, DegradedMode::FailOpen);
+        assert_eq!(map.degraded_mode(7), DegradedMode::FailOpen);
+        assert_eq!(map.degraded_mode(0), DegradedMode::FailClosed);
+        let mk = |src: u32, id: u64| {
+            Packet::new(
+                FiveTuple::new(src, net | (id as u32 & 0xff), 999, 80, Protocol::Tcp),
+                64,
+                0,
+                id,
+            )
+        };
+        let stages: Vec<_> = (0..n).map(|_| parity_stage()).collect();
+        let sunk = std::sync::Mutex::new(0u64);
+        DataplaneService::new(ServiceConfig::default())
+            .with_contracts(map)
+            .run(
+                stages,
+                |_, _| *sunk.lock().unwrap() += 1,
+                |_| 0usize, // everything to worker 0
+                |svc| {
+                    svc.inject_crash(0);
+                    // Odd sources would be *filtered* by a live worker;
+                    // fail-open delivers them anyway — and still counts
+                    // them uncovered, not forwarded.
+                    let t: Vec<_> = (0..50u64).map(|i| mk(1 + 2 * i as u32, i)).collect();
+                    let report = svc.round(&t).clone();
+                    assert_eq!(report.total().uncovered, 50);
+                    assert_eq!(report.total().forwarded, 0);
+                    let delta = svc
+                        .contract_deltas()
+                        .iter()
+                        .find(|d| d.contract == 7)
+                        .cloned()
+                        .unwrap();
+                    assert_eq!(delta.uncovered, 50);
+                    assert_eq!(*sunk.lock().unwrap(), 50, "fail-open must deliver");
+                },
+            );
+    }
+
+    #[test]
+    fn overflow_storm_consumes_ring_capacity_without_counters() {
+        let cap = 128;
+        let config = ServiceConfig {
+            ring_capacity: cap,
+            ..Default::default()
+        };
+        DataplaneService::new(config).run(
+            vec![parity_stage()],
+            |_, _| {},
+            |t| shard_of(t, 1),
+            |svc| {
+                // Stall so the storm (and the traffic behind it) sits in
+                // the ring for the whole offer window.
+                svc.stall_worker(0, true);
+                let stuffed = svc.inject_overflow_storm(0, cap as u64);
+                assert_eq!(stuffed, cap as u64);
+                let t = traffic(64, 3);
+                let report = svc.round(&t).clone();
+                // Every real packet overflowed (the storm holds the ring),
+                // and the junk itself appears in no counter.
+                let total = report.total();
+                assert_eq!(total.received, 64);
+                assert_eq!(total.overflow, 64);
+                assert_eq!(total.forwarded + total.filtered + total.uncovered, 0);
+                // The next round is healthy again: the worker discarded
+                // the junk at the barrier.
+                let report = svc.round(&traffic(64, 4)).clone();
+                assert_eq!(report.total().overflow, 0);
+                assert_eq!(report.total().received, 64);
+            },
+        );
+    }
+
+    #[test]
+    fn all_workers_crashed_rounds_still_complete() {
+        let n = 2;
+        let stages: Vec<_> = (0..n).map(|_| parity_stage()).collect();
+        DataplaneService::new(ServiceConfig::default()).run(
+            stages,
+            |_, _| {},
+            |t| shard_of(t, n),
+            |svc| {
+                svc.inject_crash(0);
+                svc.inject_crash(1);
+                let t = traffic(500, 5);
+                // Outage round: everything uncovered.
+                let report = svc.round(&t).clone();
+                assert_eq!(report.total().uncovered, 500);
+                assert_eq!(report.quarantined_workers(), vec![0, 1]);
+                // With nobody left to re-steer to, traffic keeps landing
+                // on dead rings and is reaped as uncovered — the barrier
+                // still turns, fully handle-driven.
+                let report = svc.round(&t).clone();
+                assert_eq!(
+                    report.total().uncovered + report.total().overflow,
+                    500,
+                    "accounting must not lose packets with zero survivors"
+                );
             },
         );
     }

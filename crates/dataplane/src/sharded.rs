@@ -78,12 +78,25 @@ pub fn shard_of_fingerprint(tuple_fp: u64, n: usize) -> usize {
 pub struct ShardedReport {
     /// Per-worker counters, indexed by worker id.
     pub per_worker: Vec<ThreadedReport>,
+    /// Per-worker quarantine flags: `true` once the service excised the
+    /// worker's slice after a detected death (empty or all-false on
+    /// healthy runs).
+    pub quarantined: Vec<bool>,
 }
 
 impl ShardedReport {
     /// Number of workers.
     pub fn workers(&self) -> usize {
         self.per_worker.len()
+    }
+
+    /// Worker indices currently quarantined.
+    pub fn quarantined_workers(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(w, &q)| q.then_some(w))
+            .collect()
     }
 
     /// Aggregate counters across all workers.
@@ -94,6 +107,7 @@ impl ShardedReport {
             total.forwarded += w.forwarded;
             total.filtered += w.filtered;
             total.overflow += w.overflow;
+            total.uncovered += w.uncovered;
         }
         total
     }

@@ -26,6 +26,10 @@ pub struct ThreadedReport {
     pub filtered: u64,
     /// Packets lost to RX-ring overflow (backpressure).
     pub overflow: u64,
+    /// Packets that bypassed filtering because their worker was dead or
+    /// quarantined — the degraded-mode accountability counter. Zero on
+    /// every healthy run.
+    pub uncovered: u64,
 }
 
 /// Runs `traffic` through a live RX → filter → TX pipeline.

@@ -211,7 +211,15 @@ fn solve_within_pool(config: &ArbiterConfig, inst: &Instance) -> Option<Allocati
 /// Diagnoses *which* resource a rejected demand ran out of, given the
 /// already admitted bandwidths.
 fn diagnose(config: &ArbiterConfig, admitted: &[f64], demand: &[f64]) -> RejectReason {
-    let probe = pool_instance(config, admitted.to_vec());
+    // The probe only supplies pool constants (caps, slot sizes); seed it
+    // from the demand when nothing is admitted yet — an empty-bandwidth
+    // instance is ill-formed, and the first contract can be the one that
+    // gets rejected.
+    let probe = if admitted.is_empty() {
+        pool_instance(config, demand.to_vec())
+    } else {
+        pool_instance(config, admitted.to_vec())
+    };
     let cap_rules = probe.rules_per_enclave_cap();
     let pool_slots = config.max_enclaves * cap_rules;
     let pool_bw = config.max_enclaves as f64 * probe.bandwidth_cap_gbps;
@@ -443,6 +451,23 @@ mod tests {
             .unwrap()
             .validate(&out.allocation)
             .unwrap();
+    }
+
+    #[test]
+    fn first_contract_rejection_diagnoses_without_panicking() {
+        // Regression: diagnosing a rejection used to probe an instance
+        // built from the admitted bandwidths, which is empty (ill-formed)
+        // when the very first contract is the one that does not fit.
+        let cfg = ArbiterConfig {
+            max_enclaves: 2,
+            ..ArbiterConfig::default()
+        };
+        let out = arbitrate(&cfg, &[demand(1, &[9.0, 9.0, 9.0])]);
+        assert!(out.admitted().is_empty());
+        assert!(matches!(
+            out.verdicts[0].1,
+            AdmissionVerdict::Rejected { .. }
+        ));
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //!    (goodput, leakage, collateral, churn), collected in a
 //!    [`CampaignReport`] together with the admission verdicts.
 
-use crate::harness::ScenarioHarnessConfig;
+use crate::harness::{attribute_slice, ScenarioHarnessConfig};
 use crate::policy::{HeavyHitter, InstalledRule, PolicyAction, PolicyObservation, VictimPolicy};
 use crate::report::{PhaseReport, ScenarioReport};
 use crate::timeline::{RoundTraffic, Scenario};
@@ -37,14 +37,15 @@ use std::sync::{Arc, Mutex};
 use vif_core::cost::FilterMode;
 use vif_core::enclave_app::{ContractId, EnclaveFilterStage, FilterEnclaveApp};
 use vif_core::logs::PacketFingerprints;
-use vif_core::rounds::{ClusterRoundDriver, ContractState, RoundPolicy};
+use vif_core::rounds::{ClusterRoundDriver, ContractState, ExportFailurePolicy, RoundPolicy};
 use vif_core::rpki::RpkiRegistry;
 use vif_core::rules::FilterRule;
 use vif_core::ruleset::RuleId;
 use vif_core::scale::EnclaveCluster;
 use vif_core::session::{FilteringSession, SessionConfig, VictimClient};
 use vif_dataplane::{
-    shard_of, shard_of_fingerprint, ContractMap, DataplaneService, FiveTuple, Packet, ServiceConfig,
+    shard_of, ContractMap, DataplaneService, DegradedMode, FaultKind, FaultPlan, FiveTuple, Packet,
+    ServiceConfig,
 };
 use vif_optimizer::{arbitrate, AdmissionVerdict, ArbiterConfig, ContractDemand};
 use vif_sgx::{AttestationRootKey, AttestationService, EnclaveImage, EpcConfig, SgxPlatform};
@@ -95,6 +96,11 @@ pub struct CampaignReport {
     pub reports: Vec<ScenarioReport>,
     /// Contracts rejected at admission (never attested, never ran).
     pub rejected: Vec<RejectedContract>,
+    /// Contracts whose budget no longer fit when admission was re-run
+    /// over the surviving slices after a mid-run quarantine
+    /// ([`EnclaveCluster::rearbitrate`]). They keep running degraded —
+    /// shedding is an operator decision — but the report names them.
+    pub failover_rejected: Vec<RejectedContract>,
 }
 
 impl CampaignReport {
@@ -122,6 +128,10 @@ struct Tenant {
     total_withdrawn: u32,
     /// Buffered forwarded tuples for the current round (split by dst).
     received: Vec<FiveTuple>,
+    /// First round any of this contract's traffic went uncovered.
+    outage_start: Option<u64>,
+    /// First post-outage round with zero uncovered traffic.
+    recovered_at: Option<u64>,
 }
 
 /// Drives several victims' scenarios concurrently over one live cluster,
@@ -129,6 +139,8 @@ struct Tenant {
 pub struct CampaignHarness {
     contracts: Vec<CampaignContract>,
     config: CampaignConfig,
+    faults: FaultPlan,
+    degraded: Vec<(ContractId, DegradedMode)>,
 }
 
 impl CampaignHarness {
@@ -146,7 +158,34 @@ impl CampaignHarness {
             assert!(c.contract != 0, "contract 0 is the default slot");
             assert!(seen.insert(c.contract), "duplicate contract id");
         }
-        CampaignHarness { contracts, config }
+        CampaignHarness {
+            contracts,
+            config,
+            faults: FaultPlan::new(),
+            degraded: Vec::new(),
+        }
+    }
+
+    /// Attaches a seeded fault schedule shared by the whole campaign
+    /// (faults hit infrastructure, not tenants). Worker crashes, stalls,
+    /// overflow storms, and publish-ack loss all fire; export-fault events
+    /// are ignored in campaign mode — each tenant audits with its own
+    /// driver and the injection point is per driver (use
+    /// [`crate::harness::ScenarioHarness::with_faults`] to exercise
+    /// those).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets one contract's degraded-mode policy: what the dataplane does
+    /// with the contract's traffic when its worker is dead or quarantined
+    /// mid-round (fail-closed drops it, fail-open forwards it unfiltered;
+    /// both count it `uncovered`). Defaults to
+    /// [`DegradedMode::FailClosed`].
+    pub fn with_degraded_mode(mut self, contract: ContractId, mode: DegradedMode) -> Self {
+        self.degraded.push((contract, mode));
+        self
     }
 
     /// Runs the campaign: arbitrate admission, attest every admitted
@@ -165,6 +204,8 @@ impl CampaignHarness {
             "one policy per declared contract"
         );
         let config = self.config;
+        let faults = self.faults.clone();
+        let degraded = self.degraded.clone();
         let n = config.harness.workers;
         let seed = self.contracts[0].scenario.seed;
 
@@ -195,6 +236,7 @@ impl CampaignHarness {
             return CampaignReport {
                 reports: Vec::new(),
                 rejected,
+                failover_rejected: Vec::new(),
             };
         }
 
@@ -267,6 +309,12 @@ impl CampaignHarness {
                 RoundPolicy {
                     round_duration_ns: c.scenario.round_ns(),
                     max_strikes: config.harness.max_strikes,
+                    export_failure: if faults.is_empty() {
+                        ExportFailurePolicy::AbortContract
+                    } else {
+                        ExportFailurePolicy::QuarantineSlice
+                    },
+                    ..Default::default()
                 },
             )
             .with_contract(c.contract);
@@ -285,6 +333,7 @@ impl CampaignHarness {
                     rules_installed: 0,
                     rules_withdrawn: 0,
                     dirty_rounds: 0,
+                    uncovered: 0,
                 })
                 .collect();
             tenants.push(Tenant {
@@ -305,14 +354,50 @@ impl CampaignHarness {
                 total_installed: 0,
                 total_withdrawn: 0,
                 received: Vec::new(),
+                outage_start: None,
+                recovered_at: None,
             });
             policies.push(policy);
+        }
+        for &(contract, mode) in &degraded {
+            contract_map.set_degraded_mode(contract, mode);
         }
         let total_rounds = tenants
             .iter()
             .map(|t| t.rounds.len() as u64)
             .max()
             .unwrap_or(0);
+        // Virtual seconds per round, for re-arbitration's demand window.
+        let round_secs = tenants
+            .iter()
+            .map(|t| t.scenario.round_ns())
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64
+            / 1e9;
+
+        // --- fault/recovery bookkeeping ---------------------------------
+        let mut stall_until = vec![0u64; n];
+        let mut seen_q = vec![false; n];
+        let mut quarantined_order: Vec<usize> = Vec::new();
+        let mut failover_rejected: Vec<RejectedContract> = Vec::new();
+        let ack_loss: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(vec![0u32; n]));
+        if faults
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::PublishAckLoss { .. }))
+        {
+            let counts = Arc::clone(&ack_loss);
+            cluster.set_publish_ack_loss(Box::new(move |slice, _attempt| {
+                let mut counts = counts.lock().unwrap();
+                if counts[slice] > 0 {
+                    counts[slice] -= 1;
+                    true
+                } else {
+                    false
+                }
+            }));
+        }
 
         // --- the one always-on service every tenant shares --------------
         let stages: Vec<EnclaveFilterStage> = cluster
@@ -335,6 +420,36 @@ impl CampaignHarness {
             |svc| {
                 let mut merged: Vec<Packet> = Vec::new();
                 for global_round in 0..total_rounds {
+                    // Fire this round's scheduled infrastructure faults.
+                    for ev in faults.due(global_round) {
+                        match ev.kind {
+                            FaultKind::WorkerCrash { worker } => svc.inject_crash(worker % n),
+                            FaultKind::WorkerStall { worker, rounds } => {
+                                let w = worker % n;
+                                stall_until[w] = stall_until[w].max(global_round + rounds);
+                            }
+                            FaultKind::RingOverflowStorm { worker, packets } => {
+                                svc.inject_overflow_storm(worker % n, packets);
+                            }
+                            FaultKind::PublishAckLoss { slice, count } => {
+                                ack_loss.lock().unwrap()[slice % n] += count;
+                            }
+                            // Per-driver injection point: not wired in
+                            // campaign mode (see `with_faults`).
+                            FaultKind::ExportCorrupt { .. } | FaultKind::ExportTimeout { .. } => {}
+                        }
+                    }
+                    for (w, &until) in stall_until.iter().enumerate() {
+                        if until > global_round && !svc.quarantined()[w] {
+                            svc.stall_worker(w, true);
+                        }
+                    }
+                    // Attribution state as the round starts (see
+                    // `attribute_slice`): a worker dying this round still
+                    // forwarded part of the offer under the old steering.
+                    let pre_q = svc.quarantined().to_vec();
+                    let pre_live = svc.live_workers().to_vec();
+
                     // Merge every active tenant's schedule for this round
                     // into one offered burst (arrival order per tenant is
                     // preserved; cross-tenant interleaving is irrelevant —
@@ -350,12 +465,52 @@ impl CampaignHarness {
                         for pkt in &round.packets {
                             let fp = PacketFingerprints::of(&pkt.tuple);
                             t.driver
-                                .neighbor_verifier_mut(shard_of_fingerprint(fp.tuple, n))
+                                .neighbor_verifier_mut(attribute_slice(fp.tuple, &pre_q, &pre_live))
                                 .observe_fingerprint(fp.src_ip);
                         }
                         merged.extend_from_slice(&round.packets);
                     }
                     svc.round(&merged);
+                    // Per-contract uncovered traffic for this round (the
+                    // degraded-mode accountability counters).
+                    let deltas = svc.contract_deltas().to_vec();
+
+                    // Mirror newly service-quarantined workers into every
+                    // tenant's audit driver and the cluster *before* any
+                    // tenant closes its round, then re-run admission over
+                    // the shrunken pool (rule-failover budget check).
+                    let mut new_quarantine = false;
+                    for (w, seen) in seen_q.iter_mut().enumerate().take(n) {
+                        if svc.quarantined()[w] && !*seen {
+                            *seen = true;
+                            quarantined_order.push(w);
+                            new_quarantine = true;
+                            if !cluster.quarantined()[w] && cluster.live_len() > 1 {
+                                cluster.quarantine_slice(w);
+                            }
+                            for t in tenants.iter_mut() {
+                                if !t.driver.quarantined()[w] {
+                                    t.driver.quarantine_slice(w);
+                                }
+                            }
+                        }
+                    }
+                    if new_quarantine && !cluster.quarantined()[0] {
+                        let window_secs = (global_round + 1) as f64 * round_secs;
+                        let arb = cluster.rearbitrate(0, window_secs, 0.1, config.arbiter);
+                        for t in tenants.iter() {
+                            if let Some(AdmissionVerdict::Rejected { reason }) =
+                                arb.verdict(t.contract)
+                            {
+                                if !failover_rejected.iter().any(|r| r.contract == t.contract) {
+                                    failover_rejected.push(RejectedContract {
+                                        contract: t.contract,
+                                        reason: reason.to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    }
 
                     // Split what arrived by destination prefix: each
                     // tenant consumes only its own deliveries.
@@ -379,7 +534,20 @@ impl CampaignHarness {
                         if (global_round as usize) >= t.rounds.len() {
                             continue;
                         }
-                        step_tenant(t, policy.as_mut(), global_round as usize, &mut cluster, n);
+                        let uncovered = deltas
+                            .iter()
+                            .find(|d| d.contract == t.contract)
+                            .map(|d| d.uncovered)
+                            .unwrap_or(0);
+                        step_tenant(
+                            t,
+                            policy.as_mut(),
+                            global_round as usize,
+                            &mut cluster,
+                            &pre_q,
+                            &pre_live,
+                            uncovered,
+                        );
                     }
                 }
 
@@ -397,6 +565,10 @@ impl CampaignHarness {
                         detection_latency_rounds: None,
                         rules_installed: t.total_installed,
                         rules_withdrawn: t.total_withdrawn,
+                        quarantined_slices: quarantined_order.clone(),
+                        recovery_rounds: t
+                            .outage_start
+                            .and_then(|start| t.recovered_at.map(|r| r - start)),
                     })
                     .collect::<Vec<_>>()
             },
@@ -405,7 +577,11 @@ impl CampaignHarness {
             policy.finish(report);
         }
 
-        CampaignReport { reports, rejected }
+        CampaignReport {
+            reports,
+            rejected,
+            failover_rejected,
+        }
     }
 }
 
@@ -416,20 +592,31 @@ fn step_tenant(
     policy: &mut dyn VictimPolicy,
     round_idx: usize,
     cluster: &mut EnclaveCluster,
-    n: usize,
+    pre_q: &[bool],
+    pre_live: &[usize],
+    uncovered: u64,
 ) {
     let round = &t.rounds[round_idx];
     let phase = &mut t.phases[round.phase];
     phase.rounds += 1;
     phase.offered_legit += round.offered_legit;
     phase.offered_attack += round.offered_attack;
+    phase.uncovered += uncovered;
+    if uncovered > 0 {
+        if t.outage_start.is_none() {
+            t.outage_start = Some(round.global_round);
+        }
+        t.recovered_at = None;
+    } else if t.outage_start.is_some() && t.recovered_at.is_none() {
+        t.recovered_at = Some(round.global_round);
+    }
 
     t.hh_sketch.clear();
     let mut candidates: BTreeSet<u32> = BTreeSet::new();
     for tuple in t.received.drain(..) {
         let fp = PacketFingerprints::of(&tuple);
         t.driver
-            .victim_verifier_mut(shard_of_fingerprint(fp.tuple, n))
+            .victim_verifier_mut(attribute_slice(fp.tuple, pre_q, pre_live))
             .observe_fingerprint(fp.tuple);
         if round.attack_sources.contains(&tuple.src_ip) {
             phase.delivered_attack += 1;
@@ -497,7 +684,11 @@ fn step_tenant(
             PolicyAction::Withdraw(id) => withdrawals.push(id),
         }
     }
-    if !withdrawals.is_empty() {
+    // With the master slice quarantined the control channel is down:
+    // churn is dropped until failover, and the tenant keeps running on
+    // its frozen rule set.
+    let master_live = !cluster.quarantined()[0];
+    if !withdrawals.is_empty() && master_live {
         let removed = t
             .session
             .withdraw_rules_deferred(&withdrawals)
@@ -506,14 +697,14 @@ fn step_tenant(
         phase.rules_withdrawn += removed as u32;
         t.total_withdrawn += removed as u32;
     }
-    if !installs.is_empty() {
+    if !installs.is_empty() && master_live {
         t.session
             .submit_rules_deferred(&installs, &t.rpki)
             .expect("install over the session channel");
         phase.rules_installed += installs.len() as u32;
         t.total_installed += installs.len() as u32;
     }
-    if !installs.is_empty() || !withdrawals.is_empty() {
+    if master_live && (!installs.is_empty() || !withdrawals.is_empty()) {
         // Publish *this contract's* epoch only: other tenants' queues,
         // epochs, and sketches stay untouched. The report hands back the
         // ids the publisher assigned to this tenant's installs.

@@ -37,13 +37,18 @@ use std::sync::{Arc, Mutex};
 use vif_core::cost::FilterMode;
 use vif_core::enclave_app::{EnclaveFilterStage, FilterEnclaveApp};
 use vif_core::logs::PacketFingerprints;
-use vif_core::rounds::{ClusterRoundDriver, ContractState, RoundPolicy};
+use vif_core::rounds::{
+    ClusterRoundDriver, ContractState, ExportFailurePolicy, ExportFault, RoundPolicy,
+};
 use vif_core::rpki::RpkiRegistry;
 use vif_core::rules::FilterRule;
 use vif_core::ruleset::RuleId;
 use vif_core::scale::EnclaveCluster;
 use vif_core::session::{SessionConfig, VictimClient};
-use vif_dataplane::{shard_of, shard_of_fingerprint, DataplaneService, FiveTuple, ServiceConfig};
+use vif_dataplane::{
+    shard_of, shard_of_fingerprint, DataplaneService, FaultKind, FaultPlan, FiveTuple,
+    ServiceConfig,
+};
 use vif_sgx::{AttestationRootKey, AttestationService, EnclaveImage, EpcConfig, SgxPlatform};
 use vif_sketch::{CountMinSketch, SketchConfig};
 
@@ -100,6 +105,7 @@ impl Default for ScenarioHarnessConfig {
 pub struct ScenarioHarness {
     scenario: Scenario,
     config: ScenarioHarnessConfig,
+    faults: FaultPlan,
 }
 
 impl ScenarioHarness {
@@ -114,13 +120,30 @@ impl ScenarioHarness {
             config.ring_capacity > 0 && config.burst > 0,
             "degenerate ring/burst"
         );
-        ScenarioHarness { scenario, config }
+        ScenarioHarness {
+            scenario,
+            config,
+            faults: FaultPlan::new(),
+        }
+    }
+
+    /// Attaches a seeded fault schedule: each event fires at the start of
+    /// its global round, translated into the matching injection hook
+    /// (worker crash/stall/overflow on the service, export faults on the
+    /// round driver, ack loss on the cluster). A non-empty plan also
+    /// switches the driver's export-failure policy to
+    /// [`ExportFailurePolicy::QuarantineSlice`] so chaos runs degrade
+    /// instead of aborting.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Runs the scenario to completion (or contract abort) and scores it.
     pub fn run(self, policy: &mut dyn VictimPolicy) -> ScenarioReport {
         let scenario = &self.scenario;
         let config = self.config;
+        let faults = self.faults.clone();
         let n = config.workers;
         let seed = scenario.seed;
 
@@ -167,8 +190,64 @@ impl ScenarioHarness {
             RoundPolicy {
                 round_duration_ns: scenario.round_ns(),
                 max_strikes: config.max_strikes,
+                export_failure: if faults.is_empty() {
+                    ExportFailurePolicy::AbortContract
+                } else {
+                    ExportFailurePolicy::QuarantineSlice
+                },
+                ..Default::default()
             },
         );
+
+        // Export faults are injected on the driver's export path; the hook
+        // is keyed by (slice, round, attempt), where the driver's internal
+        // round counter stays aligned with the compiled global round.
+        if faults.events().iter().any(|e| {
+            matches!(
+                e.kind,
+                FaultKind::ExportCorrupt { .. } | FaultKind::ExportTimeout { .. }
+            )
+        }) {
+            let plan = faults.clone();
+            driver.set_export_fault(Box::new(move |slice, round, attempt| {
+                for e in plan.due(round) {
+                    match e.kind {
+                        FaultKind::ExportCorrupt { slice: s, attempts }
+                            if s == slice && attempt < attempts =>
+                        {
+                            return ExportFault::Corrupt;
+                        }
+                        FaultKind::ExportTimeout { slice: s, attempts }
+                            if s == slice && attempt < attempts =>
+                        {
+                            return ExportFault::Timeout;
+                        }
+                        _ => {}
+                    }
+                }
+                ExportFault::None
+            }));
+        }
+
+        // Publish-ack loss is armed per round by the fault loop below and
+        // consumed by the cluster's install path (shared countdown).
+        let ack_loss: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(vec![0u32; n]));
+        if faults
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::PublishAckLoss { .. }))
+        {
+            let counts = Arc::clone(&ack_loss);
+            cluster.set_publish_ack_loss(Box::new(move |slice, _attempt| {
+                let mut counts = counts.lock().unwrap();
+                if counts[slice] > 0 {
+                    counts[slice] -= 1;
+                    true
+                } else {
+                    false
+                }
+            }));
+        }
 
         // --- victim-side state ------------------------------------------
         // Heavy-hitter estimation over received traffic: a bounded sketch
@@ -194,12 +273,26 @@ impl ScenarioHarness {
                 rules_installed: 0,
                 rules_withdrawn: 0,
                 dirty_rounds: 0,
+                uncovered: 0,
             })
             .collect();
         let mut dirty_rounds = 0u32;
         let mut detection_latency = None;
         let mut rounds_run = 0u64;
         let (mut total_installed, mut total_withdrawn) = (0u32, 0u32);
+
+        // --- fault/recovery bookkeeping ---------------------------------
+        // Stall windows (exclusive end round) re-asserted every round of
+        // the window: the round barrier force-releases a stall, so a
+        // multi-round stall is |rounds| single-round stalls.
+        let mut stall_until = vec![0u64; n];
+        // Quarantines already mirrored into the driver/cluster/report.
+        let mut seen_q = vec![false; n];
+        let mut quarantined_order: Vec<usize> = Vec::new();
+        // First round any traffic went uncovered, and the first later
+        // round with zero uncovered (recovery).
+        let mut outage_start: Option<u64> = None;
+        let mut recovered_at: Option<u64> = None;
 
         // --- the always-on dataplane service ----------------------------
         // Stages, rings, and worker threads are built ONCE; every round
@@ -238,18 +331,67 @@ impl ScenarioHarness {
                         Ordering::Relaxed,
                     );
 
+                    // Fire this round's scheduled faults (crashes take effect
+                    // at the coming barrier; stalls/storms shape the offer
+                    // window; ack loss arms the cluster's install hook).
+                    for ev in faults.due(round.global_round) {
+                        match ev.kind {
+                            FaultKind::WorkerCrash { worker } => svc.inject_crash(worker % n),
+                            FaultKind::WorkerStall { worker, rounds } => {
+                                let w = worker % n;
+                                stall_until[w] = stall_until[w].max(round.global_round + rounds);
+                            }
+                            FaultKind::RingOverflowStorm { worker, packets } => {
+                                svc.inject_overflow_storm(worker % n, packets);
+                            }
+                            FaultKind::PublishAckLoss { slice, count } => {
+                                ack_loss.lock().unwrap()[slice % n] += count;
+                            }
+                            // Export faults fire inside the driver hook.
+                            FaultKind::ExportCorrupt { .. } | FaultKind::ExportTimeout { .. } => {}
+                        }
+                    }
+                    for (w, &until) in stall_until.iter().enumerate() {
+                        if until > round.global_round && !svc.quarantined()[w] {
+                            svc.stall_worker(w, true);
+                        }
+                    }
+
+                    // Quarantine state as the round *starts*: a worker that
+                    // crashes this round still forwarded part of the offer, so
+                    // this round's packets are attributed with the pre-round
+                    // state; re-steer attribution kicks in next round, exactly
+                    // like the handle's own requarget.
+                    let pre_q = svc.quarantined().to_vec();
+                    let pre_live = svc.live_workers().to_vec();
+
                     // Neighbor ASes observe what they hand over, attributed by the
                     // public steering hash (fingerprint-once per packet).
                     for pkt in &round.packets {
                         let fp = PacketFingerprints::of(&pkt.tuple);
                         driver
-                            .neighbor_verifier_mut(shard_of_fingerprint(fp.tuple, n))
+                            .neighbor_verifier_mut(attribute_slice(fp.tuple, &pre_q, &pre_live))
                             .observe_fingerprint(fp.src_ip);
                     }
 
                     // Offer the round to the live service and flush its barrier:
                     // same persistent threads and rings, round after round.
-                    svc.round(&round.packets);
+                    let round_uncovered = svc.round(&round.packets).total().uncovered;
+
+                    // Mirror service-detected quarantines (crash at the
+                    // barrier) into the audit and control planes *before*
+                    // closing the round: the dead slice's audit is excised
+                    // and future rule churn skips it.
+                    for w in 0..n {
+                        if svc.quarantined()[w] {
+                            if !driver.quarantined()[w] {
+                                driver.quarantine_slice(w);
+                            }
+                            if !cluster.quarantined()[w] && cluster.live_len() > 1 {
+                                cluster.quarantine_slice(w);
+                            }
+                        }
+                    }
 
                     // The victim consumes what actually arrived: verifier
                     // observation, exact delivery scoring, heavy-hitter counting.
@@ -259,10 +401,19 @@ impl ScenarioHarness {
                     phase.rounds += 1;
                     phase.offered_legit += round.offered_legit;
                     phase.offered_attack += round.offered_attack;
+                    phase.uncovered += round_uncovered;
+                    if round_uncovered > 0 {
+                        if outage_start.is_none() {
+                            outage_start = Some(round.global_round);
+                        }
+                        recovered_at = None;
+                    } else if outage_start.is_some() && recovered_at.is_none() {
+                        recovered_at = Some(round.global_round);
+                    }
                     for t in forwarded.lock().unwrap().drain(..) {
                         let fp = PacketFingerprints::of(&t);
                         driver
-                            .victim_verifier_mut(shard_of_fingerprint(fp.tuple, n))
+                            .victim_verifier_mut(attribute_slice(fp.tuple, &pre_q, &pre_live))
                             .observe_fingerprint(fp.tuple);
                         if round.attack_sources.contains(&t.src_ip) {
                             phase.delivered_attack += 1;
@@ -276,6 +427,23 @@ impl ScenarioHarness {
                     // Close the audited round.
                     let outcome = driver.close_round().expect("authentic slice exports");
                     rounds_run += 1;
+
+                    // Export-failure quarantines originate in the driver
+                    // (exhausted retries under QuarantineSlice); mirror them
+                    // into the cluster so churn skips the unauditable slice,
+                    // and record every new quarantine in discovery order.
+                    for (w, seen) in seen_q.iter_mut().enumerate().take(n) {
+                        if driver.quarantined()[w]
+                            && !cluster.quarantined()[w]
+                            && cluster.live_len() > 1
+                        {
+                            cluster.quarantine_slice(w);
+                        }
+                        if (svc.quarantined()[w] || driver.quarantined()[w]) && !*seen {
+                            *seen = true;
+                            quarantined_order.push(w);
+                        }
+                    }
                     if outcome.dirty() {
                         dirty_rounds += 1;
                         phase.dirty_rounds += 1;
@@ -342,8 +510,13 @@ impl ScenarioHarness {
                             PolicyAction::Withdraw(id) => withdrawals.push(id),
                         }
                     }
-                    let churned = !installs.is_empty() || !withdrawals.is_empty();
-                    if !withdrawals.is_empty() {
+                    // With the master slice quarantined the §VI-B control
+                    // channel is down: churn is dropped on the floor until
+                    // the operator re-homes the session (out of scope here);
+                    // the run keeps scoring the frozen rule set.
+                    let master_live = !cluster.quarantined()[0];
+                    let churned = master_live && (!installs.is_empty() || !withdrawals.is_empty());
+                    if !withdrawals.is_empty() && master_live {
                         let removed = session
                             .withdraw_rules_deferred(&withdrawals)
                             .expect("withdrawal over the session channel");
@@ -351,7 +524,7 @@ impl ScenarioHarness {
                         phase.rules_withdrawn += removed as u32;
                         total_withdrawn += removed as u32;
                     }
-                    if !installs.is_empty() {
+                    if !installs.is_empty() && master_live {
                         // Withdrawals tombstone in place, so the id the next
                         // install receives is the current length plus whatever
                         // installs are already queued for this epoch (none here —
@@ -400,12 +573,30 @@ impl ScenarioHarness {
                     detection_latency_rounds: detection_latency,
                     rules_installed: total_installed,
                     rules_withdrawn: total_withdrawn,
+                    quarantined_slices: quarantined_order,
+                    recovery_rounds: outage_start.and_then(|start| recovered_at.map(|r| r - start)),
                 }
             },
         );
         let report = service_report;
         policy.finish(&report);
         report
+    }
+}
+
+/// Recomputes packet → slice attribution under (possibly empty)
+/// quarantine, exactly as the service handle steers: the RSS shard of the
+/// fingerprint, unless that worker is quarantined, in which case the flow
+/// re-hashes deterministically over the `live` survivors. Verifiers use
+/// this with the quarantine state *at the start of the round*, since a
+/// worker that dies mid-round still forwarded part of the offer under the
+/// old steering.
+pub(crate) fn attribute_slice(tuple_fp: u64, quarantined: &[bool], live: &[usize]) -> usize {
+    let w0 = shard_of_fingerprint(tuple_fp, quarantined.len());
+    if quarantined[w0] && !live.is_empty() {
+        live[shard_of_fingerprint(tuple_fp, live.len())]
+    } else {
+        w0
     }
 }
 

@@ -34,6 +34,16 @@
 //!   admission ([`vif_optimizer::arbitrate`]), per-contract attested
 //!   sessions/audit sketches/epochs, per-contract publication, and one
 //!   [`ScenarioReport`] per tenant.
+//! - **chaos**: both harnesses take a seeded
+//!   [`FaultPlan`] (`with_faults`) of worker
+//!   crashes/stalls, export corruption/timeouts, publish-ack loss, and
+//!   ring-overflow storms. A crashed worker is quarantined at the next
+//!   round barrier, its flows re-steer to the survivors, and traffic
+//!   caught in the outage is charged to a per-contract `uncovered`
+//!   counter under that contract's
+//!   [`DegradedMode`] — reports then score
+//!   recovery (quarantine order, rounds-to-recover) with the same
+//!   seed-determinism as clean runs.
 //! - [`report`]: per-phase metrics — goodput, malicious leakage,
 //!   collateral damage on legitimate flows, bypass-detection latency in
 //!   rounds, and rule-churn counts — in a [`ScenarioReport`] that is
@@ -70,3 +80,6 @@ pub use policy::{
 };
 pub use report::{PhaseReport, ScenarioReport};
 pub use timeline::{LegitProfile, Phase, PhaseKind, RoundTraffic, Scenario};
+// Fault-injection vocabulary, re-exported so chaos scenarios can be
+// scripted against this crate alone.
+pub use vif_dataplane::{DegradedMode, FaultEvent, FaultKind, FaultPlan};

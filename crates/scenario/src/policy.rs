@@ -156,6 +156,7 @@ mod tests {
                 round: 0,
                 victim_verdict: BypassVerdict::Clean,
                 neighbor_verdict: BypassVerdict::Clean,
+                quarantined: false,
             }],
         }
     }

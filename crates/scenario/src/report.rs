@@ -30,6 +30,12 @@ pub struct PhaseReport {
     pub rules_withdrawn: u32,
     /// Rounds of this phase flagged dirty by the audit.
     pub dirty_rounds: u32,
+    /// Packets that went unfiltered because their slice was dead or
+    /// quarantined (the degraded-mode accountability counter; zero on
+    /// fault-free runs). Whether these were dropped or delivered depends
+    /// on the contract's [`vif_dataplane::DegradedMode`], but they are
+    /// never counted as filtered work either way.
+    pub uncovered: u64,
 }
 
 impl PhaseReport {
@@ -91,6 +97,15 @@ pub struct ScenarioReport {
     pub rules_installed: u32,
     /// Total rules withdrawn across the run.
     pub rules_withdrawn: u32,
+    /// Slices quarantined during the run (in quarantine order); empty on
+    /// fault-free runs.
+    pub quarantined_slices: Vec<usize>,
+    /// Rounds from the first outage round (the round a fault first sent
+    /// this contract's traffic uncovered) to the first later round with
+    /// zero uncovered packets — the time the cluster took to quarantine
+    /// the dead slice and re-steer its flows. `None` when no outage
+    /// touched this contract, or it never recovered within the run.
+    pub recovery_rounds: Option<u64>,
 }
 
 impl ScenarioReport {
@@ -111,6 +126,12 @@ impl ScenarioReport {
             1.0,
         )
     }
+
+    /// Total uncovered packets across all phases (the outage window's
+    /// accountability count; zero on fault-free runs).
+    pub fn total_uncovered(&self) -> u64 {
+        self.phases.iter().map(|p| p.uncovered).sum()
+    }
 }
 
 impl std::fmt::Display for ScenarioReport {
@@ -122,12 +143,20 @@ impl std::fmt::Display for ScenarioReport {
         )?;
         writeln!(
             f,
-            "| {:<16} | {:>6} | {:>8} | {:>8} | {:>8} | {:>9} | {:>6} | {:>5} |",
-            "phase", "rounds", "goodput", "leakage", "collat.", "installs", "drops", "dirty"
+            "| {:<16} | {:>6} | {:>8} | {:>8} | {:>8} | {:>9} | {:>6} | {:>5} | {:>7} |",
+            "phase",
+            "rounds",
+            "goodput",
+            "leakage",
+            "collat.",
+            "installs",
+            "drops",
+            "dirty",
+            "uncov."
         )?;
         writeln!(
             f,
-            "|{}|{}|{}|{}|{}|{}|{}|{}|",
+            "|{}|{}|{}|{}|{}|{}|{}|{}|{}|",
             "-".repeat(18),
             "-".repeat(8),
             "-".repeat(10),
@@ -135,12 +164,13 @@ impl std::fmt::Display for ScenarioReport {
             "-".repeat(10),
             "-".repeat(11),
             "-".repeat(8),
-            "-".repeat(7)
+            "-".repeat(7),
+            "-".repeat(9)
         )?;
         for p in &self.phases {
             writeln!(
                 f,
-                "| {:<16} | {:>6} | {:>7.1}% | {:>7.1}% | {:>7.1}% | {:>9} | {:>6} | {:>5} |",
+                "| {:<16} | {:>6} | {:>7.1}% | {:>7.1}% | {:>7.1}% | {:>9} | {:>6} | {:>5} | {:>7} |",
                 p.name,
                 p.rounds,
                 p.goodput() * 100.0,
@@ -148,12 +178,13 @@ impl std::fmt::Display for ScenarioReport {
                 p.collateral() * 100.0,
                 p.rules_installed,
                 p.rules_withdrawn,
-                p.dirty_rounds
+                p.dirty_rounds,
+                p.uncovered
             )?;
         }
         writeln!(
             f,
-            "\ntotals: goodput {:.1}%, leakage {:.1}%, {} installs / {} withdrawals, {} dirty rounds, state {:?}{}",
+            "\ntotals: goodput {:.1}%, leakage {:.1}%, {} installs / {} withdrawals, {} dirty rounds, state {:?}{}{}",
             self.total_goodput() * 100.0,
             self.total_leakage() * 100.0,
             self.rules_installed,
@@ -163,6 +194,19 @@ impl std::fmt::Display for ScenarioReport {
             match self.detection_latency_rounds {
                 Some(l) => format!(", bypass detected in {l} round(s)"),
                 None => String::new(),
+            },
+            if self.quarantined_slices.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", slices {:?} quarantined ({} uncovered{})",
+                    self.quarantined_slices,
+                    self.total_uncovered(),
+                    match self.recovery_rounds {
+                        Some(r) => format!(", recovered in {r} round(s)"),
+                        None => ", never recovered".to_string(),
+                    }
+                )
             }
         )
     }
@@ -183,6 +227,7 @@ mod tests {
             rules_installed: 3,
             rules_withdrawn: 1,
             dirty_rounds: 0,
+            uncovered: 0,
         }
     }
 
@@ -219,10 +264,38 @@ mod tests {
             detection_latency_rounds: None,
             rules_installed: 3,
             rules_withdrawn: 1,
+            quarantined_slices: vec![],
+            recovery_rounds: None,
         };
         let s = report.to_string();
         assert!(s.contains("goodput"));
         assert!(s.contains("| p "));
         assert!(s.contains("99.0%"));
+    }
+
+    #[test]
+    fn display_notes_quarantine_and_recovery() {
+        let mut p = phase();
+        p.uncovered = 120;
+        let report = ScenarioReport {
+            scenario: "t".into(),
+            contract: 0,
+            seed: 1,
+            workers: 4,
+            phases: vec![p],
+            rounds: 2,
+            dirty_rounds: 0,
+            final_state: ContractState::Active,
+            detection_latency_rounds: None,
+            rules_installed: 3,
+            rules_withdrawn: 1,
+            quarantined_slices: vec![2],
+            recovery_rounds: Some(1),
+        };
+        let s = report.to_string();
+        assert!(s.contains("slices [2] quarantined"));
+        assert!(s.contains("120 uncovered"));
+        assert!(s.contains("recovered in 1 round(s)"));
+        assert_eq!(report.total_uncovered(), 120);
     }
 }

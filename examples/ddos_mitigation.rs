@@ -108,6 +108,7 @@ fn main() {
         RoundPolicy {
             round_duration_ns: 1_000_000,
             max_strikes: 1,
+            ..Default::default()
         },
     );
     let stages = vec![EnclaveFilterStage::new(

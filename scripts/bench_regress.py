@@ -17,10 +17,14 @@ for the ~20 ns burst-1 cells) — the gate exists to catch order-of-magnitude
 hot-path regressions (a dropped ``#[inline]``, an allocation sneaking back
 into the decide or logging path), not 10 % drift.
 
-Benchmarks present in only one of the two files are reported but do not
-fail the check, so adding a bench does not require regenerating the
-baseline in the same commit (the baseline refresh workflow is documented in
-the README's hot-path section).
+A benchmark present in only one of the two files FAILS the check, in
+both directions: a baseline entry that was never smoked means the gate
+silently stopped covering it (a renamed or deleted bench leaves a stale
+baseline), and a smoked bench with no baseline means it is running
+ungated. Adding a bench therefore requires adding its baseline entry in
+the same commit, and renaming or removing one requires updating the
+baseline file (the refresh workflow is documented in the README's
+hot-path section).
 
 Every compared bench prints its smoke/baseline speed ratio, pass or fail,
 so a green run still shows where the time went (creeping 1.4x drift is
@@ -43,7 +47,14 @@ def gate(smoke_path, baseline_path, factor):
     compared = 0
     for key, base_ns in sorted(baseline.items()):
         if key not in smoke:
-            print(f"note: {'/'.join(key)} in baseline only (not smoked)")
+            name = "/".join(key)
+            print(f"FAIL {name}: in {baseline_path} but never smoked")
+            failures.append(
+                f"{name}: listed in {baseline_path} but absent from "
+                f"{smoke_path} — the bench was renamed or removed without "
+                f"updating the baseline, or its suite did not run; "
+                f"update {baseline_path} or fix the bench invocation"
+            )
             continue
         smoke_ns = smoke[key]
         compared += 1
@@ -59,7 +70,14 @@ def gate(smoke_path, baseline_path, factor):
                 f"{base_ns:.1f} ns ({ratio:.2f}x > {factor}x)"
             )
     for key in sorted(set(smoke) - set(baseline)):
-        print(f"note: {'/'.join(key)} not in baseline yet")
+        name = "/".join(key)
+        print(f"FAIL {name}: smoked but missing from {baseline_path}")
+        failures.append(
+            f"{name}: present in {smoke_path} but has no entry in "
+            f"{baseline_path} — a new bench is running ungated; add a "
+            f"baseline entry for it (see the README's baseline-refresh "
+            f"workflow) in the same commit that adds the bench"
+        )
     print(
         f"compared {compared} benchmarks from {smoke_path} "
         f"against {baseline_path} at threshold {factor}x"
