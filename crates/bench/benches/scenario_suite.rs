@@ -6,13 +6,16 @@
 //! `VIF_BENCH_JSON` writes the machine-readable report that
 //! `scripts/bench_regress.py` gates against `BENCH_scenario.json`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vif_bench::experiments::host_rules;
+use vif_core::prelude::*;
 use vif_dataplane::{FiveTuple, FlowSet, Protocol, RateShape, TrafficConfig, TrafficGenerator};
 use vif_scenario::{
     CampaignConfig, CampaignContract, CampaignHarness, FaultKind, FaultPlan, Scenario,
     ScenarioHarness, ScenarioHarnessConfig, ThresholdPolicy, VictimPolicy,
 };
+use vif_sgx::{AttestationRootKey, EnclaveImage, EpcConfig, SgxPlatform};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenario_suite");
@@ -126,6 +129,54 @@ fn bench(c: &mut Criterion) {
             BatchSize::LargeInput,
         );
     });
+
+    // The full recovery lifecycle: crash at round 4, seeded recover at
+    // round 6 — rejoin through a fresh attested session, master-state
+    // replay, and the 2-round probation window, promoted by the end of
+    // the smoke run. Prices the heal path (relaunch, re-attestation,
+    // resync, shadow feed, probation audits) end to end; the report's
+    // `rejoin_rounds` is the MTTR in rounds.
+    group.bench_function("chaos/rejoin", |b| {
+        b.iter_batched(
+            || (Scenario::smoke(7), ThresholdPolicy::default()),
+            |(scenario, mut policy)| {
+                let report = ScenarioHarness::new(
+                    scenario,
+                    ScenarioHarnessConfig {
+                        workers: 4,
+                        ..Default::default()
+                    },
+                )
+                .with_faults(
+                    FaultPlan::new()
+                        .at(4, FaultKind::WorkerCrash { worker: 2 })
+                        .at(6, FaultKind::WorkerRecover { worker: 2 }),
+                )
+                .run(&mut policy);
+                assert_eq!(report.rejoin_rounds, Some(3), "MTTR in rounds");
+                black_box((report.rounds, report.recovered_slices.len()))
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // State-resync wall cost in isolation: quarantine + fresh relaunch +
+    // master-state replay on a 4-slice replicated cluster, vs. the
+    // number of in-force rules the master carries.
+    for &k in &[256usize, 1024, 4096] {
+        group.bench_function(BenchmarkId::new("chaos/resync", k), |b| {
+            let root = AttestationRootKey::new([0xAA; 32]);
+            let platform = SgxPlatform::new(1, EpcConfig::paper_default(), &root);
+            let image = EnclaveImage::new("vif-filter", 1, vec![0x90; 1 << 20]);
+            let (rules, _) = host_rules(k, 0x9e57 ^ k as u64);
+            let mut cluster =
+                EnclaveCluster::launch_rss(platform, image, rules, 4, [0x55; 32], 1234, [0x66; 32]);
+            b.iter(|| {
+                cluster.quarantine_slice(2);
+                black_box(cluster.rejoin_slice(0, 2).rules)
+            });
+        });
+    }
 
     group.finish();
 }

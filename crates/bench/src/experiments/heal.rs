@@ -1,0 +1,258 @@
+//! The self-healing experiment (beyond the paper): crash one of four
+//! workers mid-attack, then bring it *back* — and measure the full
+//! recovery lifecycle `live → quarantined → rejoining → probation →
+//! live`.
+//!
+//! Runs the two-tenant heal campaign: tenant 1 sustains a uniform
+//! attack heavy enough that its in-force rule demand no longer fits the
+//! three surviving slices (it is failover-rejected during the outage),
+//! tenant 2 is an all-legitimate flash crowd riding along for free. The
+//! seeded recover relaunches the dead slice behind a fresh attested
+//! session, replays the master's state onto it, and walks it through
+//! the probation window; promotion restores the 4-slice pool and
+//! re-admits the bumped contract. Renders per-tenant reports, the heal
+//! metrics the run is gated on (MTTR, probation rounds, re-admission),
+//! and a state-resync cost table at growing rule counts.
+
+use std::time::Instant;
+use vif_core::prelude::*;
+use vif_scenario::{
+    ArbiterConfig, CampaignConfig, CampaignContract, CampaignHarness, DegradedMode, FaultKind,
+    FaultPlan, LegitProfile, Phase, PhaseKind, Scenario, ScenarioHarnessConfig, ThresholdPolicy,
+    VictimPolicy,
+};
+use vif_sgx::{AttestationRootKey, EnclaveImage, EpcConfig, SgxPlatform};
+use vif_trie::Ipv4Prefix;
+
+/// The attacked tenant: a sustained uniform assault whose per-source
+/// drop rules (at the arbiter's 0.1 Gb/s demand floor) need ~33 Gb/s of
+/// pool — more than 3 surviving slices, less than the full 4.
+fn attacked_scenario(seed: u64, rounds: u32, round_ms: u64) -> Scenario {
+    Scenario {
+        name: "attacked-tenant".into(),
+        seed,
+        victim: Ipv4Prefix::new(u32::from_be_bytes([203, 0, 0, 0]), 16),
+        legit: LegitProfile {
+            sources: 16,
+            gbps: 0.2,
+        },
+        phases: vec![Phase {
+            name: "assault".into(),
+            kind: PhaseKind::Ramp {
+                from_gbps: 22.0,
+                to_gbps: 22.0,
+            },
+            rounds,
+            attack_gbps: 22.0,
+            attack_sources: 330,
+            zipf_exponent: 0.0,
+        }],
+        round_ms,
+        packet_size: 1024,
+    }
+}
+
+/// The quiet tenant: an all-legitimate flash crowd on its own /16.
+fn flash_crowd_scenario(seed: u64, rounds: u32, round_ms: u64) -> Scenario {
+    Scenario {
+        name: "flash-crowd-tenant".into(),
+        seed,
+        victim: Ipv4Prefix::new(u32::from_be_bytes([198, 18, 0, 0]), 16),
+        legit: LegitProfile {
+            sources: 48,
+            gbps: 0.2,
+        },
+        phases: vec![
+            Phase {
+                name: "calm".into(),
+                kind: PhaseKind::Ramp {
+                    from_gbps: 0.0,
+                    to_gbps: 0.0,
+                },
+                rounds: 4,
+                attack_gbps: 0.0,
+                attack_sources: 0,
+                zipf_exponent: 0.0,
+            },
+            Phase {
+                name: "flash-crowd".into(),
+                kind: PhaseKind::FlashCrowd {
+                    surge_sources: 96,
+                    surge_gbps: 0.6,
+                },
+                rounds: rounds - 4,
+                attack_gbps: 0.0,
+                attack_sources: 0,
+                zipf_exponent: 0.0,
+            },
+        ],
+        round_ms,
+        packet_size: 1024,
+    }
+}
+
+/// Wall cost of one slice rejoin (fresh relaunch + master-state replay)
+/// on a 4-slice replicated cluster holding `rules` in-force rules.
+fn resync_cost_ms(rules: usize) -> (usize, f64) {
+    let root = AttestationRootKey::new([0xAA; 32]);
+    let platform = SgxPlatform::new(1, EpcConfig::paper_default(), &root);
+    let image = EnclaveImage::new("vif-filter", 1, vec![0x90; 1 << 20]);
+    let (ruleset, _) = super::host_rules(rules, 0x9e57 ^ rules as u64);
+    let mut cluster =
+        EnclaveCluster::launch_rss(platform, image, ruleset, 4, [0x55; 32], 1234, [0x66; 32]);
+    cluster.quarantine_slice(2);
+    let start = Instant::now();
+    let report = cluster.rejoin_slice(0, 2);
+    (report.rules, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Renders the heal experiment at the given scale (`quick` = CI-sized).
+pub fn heal(quick: bool) -> String {
+    let seed = 4105;
+    let (rounds, round_ms) = if quick { (14u32, 1u64) } else { (20, 5) };
+    let crash_round = 4u64;
+    let recover_round = 6u64;
+    let dead_worker = 2usize;
+
+    let contracts = vec![
+        CampaignContract {
+            contract: 1,
+            scenario: attacked_scenario(seed, rounds, round_ms),
+            demand_gbps_per_rule: vec![0.5; 8],
+        },
+        CampaignContract {
+            contract: 2,
+            scenario: flash_crowd_scenario(seed ^ 0xb, rounds, round_ms),
+            demand_gbps_per_rule: vec![0.25; 4],
+        },
+    ];
+    let policies: Vec<Box<dyn VictimPolicy>> = vec![
+        // One drop per attack source, installed in the first round and
+        // never idled out: the rule count *is* the admission demand.
+        Box::new(ThresholdPolicy {
+            install_threshold: 3,
+            idle_rounds: u32::MAX,
+            max_installs_per_round: 512,
+        }),
+        Box::new(ThresholdPolicy {
+            install_threshold: u64::MAX,
+            ..Default::default()
+        }),
+    ];
+    let config = CampaignConfig {
+        harness: ScenarioHarnessConfig {
+            workers: 4,
+            ..Default::default()
+        },
+        // λ = 0: the admit/reject boundary is exactly the pool's
+        // aggregate bandwidth (no greedy head-room spreading).
+        arbiter: ArbiterConfig {
+            lambda: 0.0,
+            ..Default::default()
+        },
+    };
+    let report = CampaignHarness::new(contracts, config)
+        .with_faults(
+            FaultPlan::new()
+                .at(
+                    crash_round,
+                    FaultKind::WorkerCrash {
+                        worker: dead_worker,
+                    },
+                )
+                .at(
+                    recover_round,
+                    FaultKind::WorkerRecover {
+                        worker: dead_worker,
+                    },
+                ),
+        )
+        .with_degraded_mode(2, DegradedMode::FailOpen)
+        .run(policies);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Heal run: worker {dead_worker} of 4 killed at round {crash_round}, \
+         recovered at round {recover_round}\n\n"
+    ));
+    for r in &report.reports {
+        out.push_str(&format!("contract {}:\n\n{}\n", r.contract, r));
+    }
+
+    // The lifecycle guarantees this experiment exists to demonstrate.
+    let a = report.report(1).expect("attacked tenant ran");
+    let b = report.report(2).expect("quiet tenant ran");
+    assert_eq!(a.quarantined_slices, vec![dead_worker], "exact quarantine");
+    assert_eq!(a.recovered_slices, vec![dead_worker], "slice rejoined");
+    assert_eq!(b.recovered_slices, vec![dead_worker]);
+    assert_eq!(a.rejoin_rounds, Some(3), "MTTR: quarantine to promotion");
+    assert_eq!(a.dirty_rounds, 0, "the lifecycle never reads as a bypass");
+    assert_eq!(b.dirty_rounds, 0);
+    assert_eq!(
+        report.readmitted,
+        vec![1],
+        "the failover-rejected contract is re-admitted on promotion"
+    );
+    assert!(report.failover_rejected.is_empty());
+
+    for r in &report.reports {
+        out.push_str(&format!(
+            "contract {}: slices {:?} rejoined, MTTR {} round(s), \
+             {} probation round(s)\n",
+            r.contract,
+            r.recovered_slices,
+            r.rejoin_rounds.map_or("∞".into(), |n| n.to_string()),
+            r.probation_rounds,
+        ));
+    }
+    out.push_str(&format!(
+        "re-admitted after the heal: contracts {:?}\n",
+        report.readmitted
+    ));
+
+    // State-resync cost: fresh relaunch + master-state replay vs. the
+    // number of in-force rules the master carries.
+    let sizes: &[usize] = if quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096]
+    };
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|&k| {
+            let (rules, ms) = resync_cost_ms(k);
+            vec![k.to_string(), rules.to_string(), format!("{ms:.2}")]
+        })
+        .collect();
+    out.push('\n');
+    out.push_str(&super::render_table(
+        "State-resync wall cost (4-slice cluster, slice rejoin)",
+        &["rules", "replayed", "ms"],
+        &rows,
+    ));
+
+    out.push_str(
+        "\nheal checks: fresh attestation + state replay on rejoin, probation \
+         window passed with zero strikes, steering restored, bumped contract \
+         re-admitted\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_heal_experiment_renders() {
+        let out = heal(true);
+        assert!(out.contains("contract 1"), "per-contract reports:\n{out}");
+        assert!(out.contains("slices [2] rejoined"), "{out}");
+        assert!(out.contains("MTTR 3 round(s)"), "{out}");
+        assert!(
+            out.contains("re-admitted after the heal: contracts [1]"),
+            "{out}"
+        );
+        assert!(out.contains("State-resync wall cost"), "{out}");
+    }
+}

@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod attest;
 pub mod chaos;
 pub mod dataplane;
+pub mod heal;
 pub mod ixp;
 pub mod multivictim;
 pub mod scenario;

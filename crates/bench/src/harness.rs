@@ -1,7 +1,7 @@
 //! Experiment registry and dispatch.
 
 use crate::experiments::{
-    ablations, attest, chaos, dataplane, ixp, multivictim, scenario, service, solver,
+    ablations, attest, chaos, dataplane, heal, ixp, multivictim, scenario, service, solver,
 };
 use vif_interdomain::AttackSourceModel;
 
@@ -40,6 +40,10 @@ pub enum ExperimentId {
     /// Fault-tolerance: seeded worker crash mid-attack, quarantine +
     /// re-steer recovery metrics (beyond the paper).
     Chaos,
+    /// Self-healing: seeded crash *and* recover — verified slice rejoin
+    /// through probation, MTTR, and contract re-admission (beyond the
+    /// paper).
+    Heal,
     /// Activation latency of epoch publication on the always-on service
     /// (beyond the paper).
     Service,
@@ -62,7 +66,7 @@ pub enum ExperimentId {
 }
 
 /// All experiments in presentation order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 24] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 25] = [
     ExperimentId::Fig3a,
     ExperimentId::Fig3b,
     ExperimentId::Fig8,
@@ -78,6 +82,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 24] = [
     ExperimentId::Scenario,
     ExperimentId::Multivictim,
     ExperimentId::Chaos,
+    ExperimentId::Heal,
     ExperimentId::Service,
     ExperimentId::Fig11a,
     ExperimentId::Fig11b,
@@ -108,6 +113,7 @@ impl ExperimentId {
             ExperimentId::Scenario => "scenario",
             ExperimentId::Multivictim => "multivictim",
             ExperimentId::Chaos => "chaos",
+            ExperimentId::Heal => "heal",
             ExperimentId::Service => "service",
             ExperimentId::Fig11a => "fig11a",
             ExperimentId::Fig11b => "fig11b",
@@ -160,6 +166,7 @@ pub fn run_experiment(id: ExperimentId, scale: Scale) -> String {
         ExperimentId::Scenario => scenario::scenario(scale == Scale::Quick),
         ExperimentId::Multivictim => multivictim::multivictim(scale == Scale::Quick),
         ExperimentId::Chaos => chaos::chaos(scale == Scale::Quick),
+        ExperimentId::Heal => heal::heal(scale == Scale::Quick),
         ExperimentId::Service => service::service(scale == Scale::Quick),
         ExperimentId::Fig11a => ixp::fig11(AttackSourceModel::DnsResolvers, victims, 77),
         ExperimentId::Fig11b => ixp::fig11(AttackSourceModel::MiraiBotnet, victims, 77),

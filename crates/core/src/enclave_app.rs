@@ -845,6 +845,39 @@ impl FilterEnclaveApp {
         }
     }
 
+    /// The victim scope provisioned for one contract (None if the slot
+    /// does not exist or was provisioned scopeless).
+    pub fn contract_scope(&self, contract: ContractId) -> Option<Ipv4Prefix> {
+        self.slot_index(contract)
+            .and_then(|i| self.contracts[i].scope)
+    }
+
+    /// State-replay half of a slice rejoin: restores one contract's
+    /// control-plane state (victim scope, publish epoch, rule ownership)
+    /// from a healthy replica's snapshot into this freshly launched
+    /// enclave. The slot's session keys and packet logs are deliberately
+    /// left alone — a rejoining slice must re-attest and re-key through a
+    /// fresh handshake, never by copying pre-crash secrets.
+    pub fn resync_contract(
+        &mut self,
+        contract: ContractId,
+        scope: Option<Ipv4Prefix>,
+        epoch: u64,
+        owned: &[RuleId],
+    ) {
+        let slot = self.slot_mut_or_create(contract);
+        slot.scope = scope;
+        slot.epoch = epoch;
+        slot.owned = owned.to_vec();
+    }
+
+    /// Aligns the app-wide publish epoch with the master's after a rejoin
+    /// replay, so epoch-stamped verdicts from the rejoined slice agree
+    /// with the rest of the cluster.
+    pub fn resync_epoch(&mut self, epoch: u64) {
+        self.publish_epoch = epoch;
+    }
+
     /// Counters.
     pub fn stats(&self) -> FilterStats {
         self.stats

@@ -303,7 +303,7 @@ impl ShardedRun {
     /// the workers ever stopping.
     ///
     /// [`execute`](ShardedRun::execute) is the one-round special case.
-    pub fn serve<T>(self, body: impl FnOnce(&mut ShardedSession<'_, '_>) -> T) -> T {
+    pub fn serve<T>(self, body: impl FnOnce(&mut ShardedSession<'_, '_, '_>) -> T) -> T {
         let n = self.enclaves.len();
         let driver = ClusterRoundDriver::new(
             self.enclaves.clone(),
@@ -399,8 +399,8 @@ pub type SessionSteer = Box<dyn FnMut(&FiveTuple) -> usize>;
 /// audits every slice. Between rounds the caller may churn rules
 /// (`EnclaveCluster::publish`) or re-aim the adversary; the workers never
 /// stop.
-pub struct ShardedSession<'h, 'scope> {
-    handle: &'h mut ServiceHandle<'scope, SessionSteer>,
+pub struct ShardedSession<'h, 'scope, 'env> {
+    handle: &'h mut ServiceHandle<'scope, 'env, SessionSteer>,
     driver: ClusterRoundDriver,
     forwarded: &'h Mutex<Vec<FiveTuple>>,
     drop_after: &'h AtomicUsize,
@@ -409,7 +409,7 @@ pub struct ShardedSession<'h, 'scope> {
     last_forwarded: Vec<FiveTuple>,
 }
 
-impl ShardedSession<'_, '_> {
+impl ShardedSession<'_, '_, '_> {
     /// Sentinel for "no worker's output is stolen".
     const NO_DROP_WORKER: usize = usize::MAX;
 

@@ -55,6 +55,7 @@ pub mod fasthash;
 pub mod filter;
 pub mod hybrid;
 pub mod logs;
+pub mod retry;
 pub mod rounds;
 pub mod rpki;
 pub mod rules;
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use crate::filter::StatelessFilter;
     pub use crate::hybrid::HybridFilter;
     pub use crate::logs::{AuthenticatedSketch, PacketLogs};
+    pub use crate::retry::RetryPolicy;
     pub use crate::rounds::{
         ClusterRoundDriver, ClusterRoundOutcome, ContractState, RoundDriver, RoundOutcome,
         RoundPolicy,
@@ -83,7 +85,9 @@ pub mod prelude {
     pub use crate::rpki::RpkiRegistry;
     pub use crate::rules::{FilterRule, FlowPattern, PortRange, RuleAction, RuleDecision};
     pub use crate::ruleset::{RuleId, RuleSet};
-    pub use crate::scale::{EnclaveCluster, LoadBalancer, LoadBalancerBehavior, PublishReport};
+    pub use crate::scale::{
+        EnclaveCluster, LoadBalancer, LoadBalancerBehavior, PublishReport, ResyncReport,
+    };
     pub use crate::session::{FilteringSession, SessionConfig, SessionError};
     pub use crate::sketch_backend::SketchAcceleratedFilter;
     pub use crate::verify::{BypassVerdict, NeighborVerifier, VictimVerifier};

@@ -12,6 +12,7 @@
 
 use crate::enclave_app::{ContractId, FilterEnclaveApp};
 use crate::logs::LogDirection;
+use crate::retry::RetryPolicy;
 use crate::verify::{AuditError, BypassVerdict, NeighborVerifier, VictimVerifier};
 use std::sync::Arc;
 use vif_sgx::Enclave;
@@ -39,16 +40,20 @@ pub struct RoundPolicy {
     /// Dirty rounds tolerated before the victim aborts the contract.
     pub max_strikes: u32,
     /// Bounded retries of a failed audit export before the failure
-    /// becomes contract-ending (or slice-quarantining). Exports are pure
-    /// enclave reads, so a retry re-audits the *same* round state —
-    /// a transient corruption or timeout costs backoff, never a strike.
-    pub audit_retries: u32,
-    /// Virtual-clock backoff charged per export retry, nanoseconds
-    /// (doubled each attempt; pure bookkeeping, the simulation never
-    /// sleeps).
-    pub retry_backoff_ns: u64,
-    /// What happens when retries are exhausted.
+    /// becomes contract-ending (or slice-quarantining), with exponential
+    /// virtual-clock backoff in nanoseconds. Exports are pure enclave
+    /// reads, so a retry re-audits the *same* round state — a transient
+    /// corruption or timeout costs backoff, never a strike.
+    pub export_retry: RetryPolicy,
+    /// What happens when export retries are exhausted.
     pub export_failure: ExportFailurePolicy,
+    /// Consecutive clean probation audits a rejoined slice must pass
+    /// before [`ClusterRoundDriver`] promotes it back to full trust.
+    pub probation_rounds: u32,
+    /// Flap damping for slice rejoins: `attempts` bounds how many times a
+    /// demoted slice may try again, and the backoff (measured in *rounds*,
+    /// not nanoseconds) grows per failed attempt.
+    pub rejoin: RetryPolicy,
 }
 
 impl Default for RoundPolicy {
@@ -56,9 +61,14 @@ impl Default for RoundPolicy {
         RoundPolicy {
             round_duration_ns: 120 * 1_000_000_000, // "a few minutes": 2 min
             max_strikes: 1,
-            audit_retries: 2,
-            retry_backoff_ns: 1_000_000, // 1 ms
+            export_retry: RetryPolicy::doubling(2, 1_000_000), // 1 ms, 2 ms
             export_failure: ExportFailurePolicy::AbortContract,
+            probation_rounds: 2,
+            rejoin: RetryPolicy {
+                attempts: 2,
+                backoff_ns: 2, // rounds, not ns: wait 2 then 4 rounds
+                multiplier: 2,
+            },
         }
     }
 }
@@ -76,6 +86,10 @@ pub struct RoundOutcome {
     /// nothing (its traffic was re-steered or counted `uncovered`), so no
     /// audit ran and the verdicts are vacuously clean.
     pub quarantined: bool,
+    /// True if this slice was audited *on probation*: the verdicts are
+    /// real (shadow-fed logs against fresh verifiers) but never strike the
+    /// contract — a dirty probation audit demotes the slice instead.
+    pub probation: bool,
 }
 
 impl RoundOutcome {
@@ -190,17 +204,30 @@ pub struct ClusterRoundOutcome {
 }
 
 impl ClusterRoundOutcome {
-    /// True if any slice was flagged.
+    /// True if any *trusted* slice was flagged. Probation slices cannot
+    /// dirty the round: their failures demote them back to quarantine
+    /// rather than striking the contract.
     pub fn dirty(&self) -> bool {
-        self.slices.iter().any(|s| s.dirty())
+        self.slices.iter().any(|s| s.dirty() && !s.probation)
     }
 
-    /// Indices of the flagged slices.
+    /// Indices of the flagged trusted slices.
     pub fn dirty_slices(&self) -> Vec<usize> {
         self.slices
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.dirty())
+            .filter(|(_, s)| s.dirty() && !s.probation)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of probation slices whose audit came back dirty this round
+    /// (each was demoted back to quarantine by the driver).
+    pub fn dirty_probation_slices(&self) -> Vec<usize> {
+        self.slices
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.dirty() && s.probation)
             .map(|(i, _)| i)
             .collect()
     }
@@ -231,6 +258,21 @@ pub struct ClusterRoundDriver {
     contract: ContractId,
     /// Slices excised from the audit loop (dead workers / failed exports).
     quarantined: Vec<bool>,
+    /// Slices back from quarantine but not yet trusted: audited every
+    /// round off shadow-fed logs, verdicts never strike the contract.
+    probation: Vec<bool>,
+    /// Consecutive clean probation audits per slice.
+    probation_streak: Vec<u32>,
+    /// Failed rejoin attempts per slice (drives the flap-damping backoff).
+    rejoin_attempts: Vec<u32>,
+    /// Slices promoted to full trust at the last `close_round` (drained by
+    /// [`take_promoted`](ClusterRoundDriver::take_promoted)).
+    promoted: Vec<usize>,
+    /// Slices demoted back to quarantine at the last `close_round`
+    /// (drained by [`take_demoted`](ClusterRoundDriver::take_demoted)).
+    demoted: Vec<usize>,
+    /// Total slice-rounds spent on probation (report telemetry).
+    probation_rounds_used: u64,
     /// Rounds closed so far — names the round for quarantined placeholder
     /// outcomes, which have no export to read a round number from.
     rounds_closed: u64,
@@ -298,6 +340,12 @@ impl ClusterRoundDriver {
             state: ContractState::Active,
             contract: 0,
             quarantined: vec![false; n],
+            probation: vec![false; n],
+            probation_streak: vec![0; n],
+            rejoin_attempts: vec![0; n],
+            promoted: Vec::new(),
+            demoted: Vec::new(),
+            probation_rounds_used: 0,
             rounds_closed: 0,
             export_fault: None,
             audit_retries_used: 0,
@@ -368,6 +416,93 @@ impl ClusterRoundDriver {
         &self.quarantined
     }
 
+    /// Re-admits quarantined slice `i` on *probation*, replacing both the
+    /// slice's enclave handle (the crashed enclave was relaunched fresh —
+    /// exports must come from the new one) and its verifier pair with
+    /// fresh ones built from the rejoined slice's new attested session
+    /// keys (pre-crash keys are never reused). The slice is audited every
+    /// round off its shadow-fed logs; after
+    /// [`RoundPolicy::probation_rounds`] consecutive clean audits it is
+    /// promoted ([`take_promoted`](ClusterRoundDriver::take_promoted)),
+    /// while any dirty audit demotes it straight back to quarantine and
+    /// charges a rejoin attempt
+    /// ([`take_demoted`](ClusterRoundDriver::take_demoted)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice `i` is not quarantined.
+    pub fn start_probation(
+        &mut self,
+        i: usize,
+        enclave: Arc<Enclave<FilterEnclaveApp>>,
+        victim: VictimVerifier,
+        neighbor: NeighborVerifier,
+    ) {
+        assert!(self.quarantined[i], "probation starts from quarantine");
+        self.quarantined[i] = false;
+        self.probation[i] = true;
+        self.probation_streak[i] = 0;
+        self.enclaves[i] = enclave;
+        self.victims[i] = victim;
+        self.neighbors[i] = neighbor;
+    }
+
+    /// Per-slice probation flags.
+    pub fn probation(&self) -> &[bool] {
+        &self.probation
+    }
+
+    /// Demotes probation slice `i` back to quarantine from *outside* the
+    /// audit loop — the mirror for a probation worker that crashed (or
+    /// was flap-demoted by the dataplane) mid-round, before its audit
+    /// could run. Charges a rejoin attempt exactly like a dirty probation
+    /// audit; the caller owns the backoff bookkeeping
+    /// ([`rejoin_backoff_rounds`](ClusterRoundDriver::rejoin_backoff_rounds)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice `i` is not on probation.
+    pub fn demote_slice(&mut self, i: usize) {
+        assert!(self.probation[i], "demote targets a probation slice");
+        self.demote(i);
+    }
+
+    /// Failed rejoin attempts charged against slice `i` so far.
+    pub fn rejoin_attempts(&self, i: usize) -> u32 {
+        self.rejoin_attempts[i]
+    }
+
+    /// Whether slice `i` still has rejoin budget under
+    /// [`RoundPolicy::rejoin`] (flap damping: a slice that keeps failing
+    /// probation is eventually left quarantined for good).
+    pub fn rejoin_allowed(&self, i: usize) -> bool {
+        self.rejoin_attempts[i] == 0 || self.policy.rejoin.allows(self.rejoin_attempts[i] - 1)
+    }
+
+    /// Backoff (in rounds) before slice `i`'s next rejoin attempt.
+    pub fn rejoin_backoff_rounds(&self, i: usize) -> u64 {
+        match self.rejoin_attempts[i] {
+            0 => 0,
+            k => self.policy.rejoin.backoff_for(k - 1),
+        }
+    }
+
+    /// Slices promoted to full trust at the last closed round (drains).
+    pub fn take_promoted(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.promoted)
+    }
+
+    /// Slices demoted back to quarantine at the last closed round
+    /// (drains).
+    pub fn take_demoted(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.demoted)
+    }
+
+    /// Total slice-rounds spent on probation across the contract.
+    pub fn probation_rounds_used(&self) -> u64 {
+        self.probation_rounds_used
+    }
+
     /// Installs a test/bench-only export fault hook (see
     /// [`ExportFaultHook`]).
     pub fn set_export_fault(&mut self, hook: ExportFaultHook) {
@@ -386,9 +521,16 @@ impl ClusterRoundDriver {
 
     /// Closes the round cluster-wide: audit every non-quarantined slice,
     /// record, rotate all live sketches, decide the aggregate contract
-    /// state. Failed exports are retried up to
-    /// [`RoundPolicy::audit_retries`] times with exponential virtual-clock
+    /// state. Failed exports are retried under
+    /// [`RoundPolicy::export_retry`] with exponential virtual-clock
     /// backoff before the failure is acted on.
+    ///
+    /// Probation slices are audited like trusted ones — off the shadow
+    /// traffic mirrored to them — but their verdicts never strike the
+    /// contract: a dirty (or unauditable) probation audit demotes the
+    /// slice back to quarantine and charges a rejoin attempt, while
+    /// [`RoundPolicy::probation_rounds`] consecutive clean audits promote
+    /// it to full trust.
     ///
     /// # Errors
     ///
@@ -404,19 +546,23 @@ impl ClusterRoundDriver {
             ContractState::Active,
             "contract already aborted"
         );
+        self.promoted.clear();
+        self.demoted.clear();
         let mut slices = Vec::with_capacity(self.enclaves.len());
         let mut round = self.rounds_closed;
         let contract = self.contract;
-        'slices: for (i, enclave) in self.enclaves.iter().enumerate() {
+        'slices: for i in 0..self.enclaves.len() {
             if self.quarantined[i] {
                 slices.push(RoundOutcome {
                     round,
                     victim_verdict: BypassVerdict::Clean,
                     neighbor_verdict: BypassVerdict::Clean,
                     quarantined: true,
+                    probation: false,
                 });
                 continue 'slices;
             }
+            let enclave = Arc::clone(&self.enclaves[i]);
             let mut attempt = 0u32;
             let (victim_report, neighbor_report) = loop {
                 let fault = match self.export_fault.as_mut() {
@@ -442,14 +588,28 @@ impl ClusterRoundDriver {
                 match audits {
                     Ok(reports) => break reports,
                     Err(e) => {
-                        if attempt < self.policy.audit_retries {
+                        if self.policy.export_retry.allows(attempt) {
                             // Exports are pure reads and audits are pure
                             // comparisons: retrying re-reads the same
                             // round, costing only (virtual) backoff.
                             self.audit_retries_used += 1;
-                            self.backoff_ns += self.policy.retry_backoff_ns << attempt;
+                            self.backoff_ns += self.policy.export_retry.backoff_for(attempt);
                             attempt += 1;
                             continue;
+                        }
+                        if self.probation[i] {
+                            // A probation slice that cannot even be
+                            // audited fails its probation: demote it,
+                            // never strike or abort the contract for it.
+                            self.demote(i);
+                            slices.push(RoundOutcome {
+                                round,
+                                victim_verdict: BypassVerdict::Clean,
+                                neighbor_verdict: BypassVerdict::Clean,
+                                quarantined: true,
+                                probation: true,
+                            });
+                            continue 'slices;
                         }
                         match self.policy.export_failure {
                             ExportFailurePolicy::AbortContract => {
@@ -470,6 +630,7 @@ impl ClusterRoundDriver {
                                     victim_verdict: BypassVerdict::Clean,
                                     neighbor_verdict: BypassVerdict::Clean,
                                     quarantined: true,
+                                    probation: false,
                                 });
                                 continue 'slices;
                             }
@@ -477,13 +638,36 @@ impl ClusterRoundDriver {
                     }
                 }
             };
-            round = victim_report.round;
-            slices.push(RoundOutcome {
-                round: victim_report.round,
+            let on_probation = self.probation[i];
+            if !on_probation {
+                // A rejoined slice's fresh logs restart at round 0; only
+                // trusted slices name the cluster round.
+                round = victim_report.round;
+            }
+            let outcome = RoundOutcome {
+                round: if on_probation {
+                    round
+                } else {
+                    victim_report.round
+                },
                 victim_verdict: victim_report.verdict,
                 neighbor_verdict: neighbor_report.verdict,
                 quarantined: false,
-            });
+                probation: on_probation,
+            };
+            if on_probation {
+                if outcome.dirty() {
+                    self.demote(i);
+                } else {
+                    self.probation_rounds_used += 1;
+                    self.probation_streak[i] += 1;
+                    if self.probation_streak[i] >= self.policy.probation_rounds {
+                        self.probation[i] = false;
+                        self.promoted.push(i);
+                    }
+                }
+            }
+            slices.push(outcome);
         }
         // Quarantined placeholders pushed before the first audited slice
         // carry the driver's own round counter, which the audited exports
@@ -501,6 +685,18 @@ impl ClusterRoundDriver {
         self.rotate();
         self.rounds_closed += 1;
         Ok(outcome)
+    }
+
+    /// Demotes probation slice `i` back to quarantine: a failed rejoin
+    /// attempt is charged (flap damping) and the caller learns about it
+    /// via [`take_demoted`](ClusterRoundDriver::take_demoted).
+    fn demote(&mut self, i: usize) {
+        self.probation[i] = false;
+        self.quarantined[i] = true;
+        self.probation_streak[i] = 0;
+        self.rejoin_attempts[i] += 1;
+        self.probation_rounds_used += 1;
+        self.demoted.push(i);
     }
 
     /// Rotates every live slice's enclave and verifier sketches (this
@@ -898,6 +1094,158 @@ mod tests {
             retries_before,
             "skipped slice must not burn retries"
         );
+    }
+
+    /// Drives `per_slice` benign packets through the given slices only
+    /// (quarantined slices must stay untouched or their frozen logs
+    /// desync).
+    fn partial_round(
+        enclaves: &[Arc<Enclave<FilterEnclaveApp>>],
+        driver: &mut ClusterRoundDriver,
+        per_slice: u32,
+        skip: usize,
+    ) {
+        for (s, enclave) in enclaves.iter().enumerate() {
+            if s == skip {
+                continue;
+            }
+            for i in 0..per_slice {
+                let t = benign(s as u32 * 10_000 + i);
+                driver.neighbor_verifier_mut(s).observe(&t);
+                let v = enclave.in_enclave_thread(|app| app.process(&t, 64));
+                if v.action == RuleAction::Allow {
+                    driver.victim_verifier_mut(s).observe(&t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probation_promotes_after_consecutive_clean_audits() {
+        let (enclaves, mut driver) = cluster_setup(3);
+        driver.quarantine_slice(1);
+        partial_round(&enclaves, &mut driver, 20, 1);
+        driver.close_round().unwrap();
+
+        // Rejoin on probation: fresh verifier pair, default K = 2 window.
+        driver.start_probation(
+            1,
+            Arc::clone(&enclaves[1]),
+            VictimVerifier::new(SEED, KEY, 0),
+            NeighborVerifier::new(SEED, KEY, 0),
+        );
+        assert!(driver.probation()[1]);
+        assert!(!driver.quarantined()[1]);
+        for k in 0..2u32 {
+            cluster_round(&enclaves, &mut driver, 20, None);
+            let outcome = driver.close_round().unwrap();
+            assert!(!outcome.dirty(), "probation round {k}: {outcome:?}");
+            assert!(outcome.slices[1].probation, "probation round {k}");
+            assert!(!outcome.slices[1].quarantined, "probation round {k}");
+        }
+        assert_eq!(driver.take_promoted(), vec![1]);
+        assert!(driver.take_demoted().is_empty());
+        assert!(!driver.probation()[1], "promoted to full trust");
+        assert_eq!(driver.quarantined(), &[false, false, false]);
+        assert_eq!(driver.probation_rounds_used(), 2);
+        assert_eq!(driver.state(), ContractState::Active);
+
+        // Fully trusted again: an honest round still audits clean.
+        cluster_round(&enclaves, &mut driver, 20, None);
+        let outcome = driver.close_round().unwrap();
+        assert!(!outcome.dirty());
+        assert!(!outcome.slices[1].probation);
+    }
+
+    #[test]
+    fn dirty_probation_audit_demotes_without_striking() {
+        let (enclaves, mut driver) = cluster_setup(3);
+        driver.quarantine_slice(1);
+        partial_round(&enclaves, &mut driver, 20, 1);
+        driver.close_round().unwrap();
+
+        // Probation attempt 1: the operator steals the probation slice's
+        // would-be output — the shadow audit must catch it.
+        driver.start_probation(
+            1,
+            Arc::clone(&enclaves[1]),
+            VictimVerifier::new(SEED, KEY, 0),
+            NeighborVerifier::new(SEED, KEY, 0),
+        );
+        cluster_round(&enclaves, &mut driver, 20, Some(1));
+        let outcome = driver.close_round().expect("demote, not abort");
+        assert!(!outcome.dirty(), "probation failures never dirty the round");
+        assert_eq!(outcome.dirty_probation_slices(), vec![1]);
+        assert_eq!(driver.take_demoted(), vec![1]);
+        assert!(driver.take_promoted().is_empty());
+        assert!(driver.quarantined()[1], "demoted back to quarantine");
+        assert!(!driver.probation()[1]);
+        assert_eq!(driver.state(), ContractState::Active, "no strike charged");
+        assert_eq!(driver.rejoin_attempts(1), 1);
+        assert!(driver.rejoin_allowed(1));
+        // Default flap damping: wait 2 rounds, then 4, then give up.
+        assert_eq!(driver.rejoin_backoff_rounds(1), 2);
+
+        // Attempt 2 fails the same way: backoff doubles.
+        driver.start_probation(
+            1,
+            Arc::clone(&enclaves[1]),
+            VictimVerifier::new(SEED, KEY, 0),
+            NeighborVerifier::new(SEED, KEY, 0),
+        );
+        cluster_round(&enclaves, &mut driver, 20, Some(1));
+        driver.close_round().unwrap();
+        assert_eq!(driver.rejoin_attempts(1), 2);
+        assert!(driver.rejoin_allowed(1));
+        assert_eq!(driver.rejoin_backoff_rounds(1), 4);
+
+        // Attempt 3 exhausts the budget: the slice stays out for good.
+        driver.start_probation(
+            1,
+            Arc::clone(&enclaves[1]),
+            VictimVerifier::new(SEED, KEY, 0),
+            NeighborVerifier::new(SEED, KEY, 0),
+        );
+        cluster_round(&enclaves, &mut driver, 20, Some(1));
+        driver.close_round().unwrap();
+        assert_eq!(driver.rejoin_attempts(1), 3);
+        assert!(!driver.rejoin_allowed(1), "flap damping budget exhausted");
+        // The trusted survivors were never affected.
+        assert_eq!(driver.state(), ContractState::Active);
+        assert_eq!(driver.probation_rounds_used(), 3);
+    }
+
+    #[test]
+    fn unauditable_probation_slice_is_demoted_not_contract_ending() {
+        let (enclaves, mut driver) = cluster_setup(2);
+        driver.quarantine_slice(1);
+        partial_round(&enclaves, &mut driver, 10, 1);
+        driver.close_round().unwrap();
+
+        driver.start_probation(
+            1,
+            Arc::clone(&enclaves[1]),
+            VictimVerifier::new(SEED, KEY, 0),
+            NeighborVerifier::new(SEED, KEY, 0),
+        );
+        // The probation slice's export never arrives. Under the default
+        // AbortContract policy this would end the contract for a trusted
+        // slice — for a probation slice it only fails the probation.
+        driver.set_export_fault(Box::new(|slice, _, _| {
+            if slice == 1 {
+                ExportFault::Timeout
+            } else {
+                ExportFault::None
+            }
+        }));
+        cluster_round(&enclaves, &mut driver, 10, None);
+        let outcome = driver.close_round().expect("demote, not abort");
+        assert!(!outcome.dirty());
+        assert!(outcome.slices[1].quarantined);
+        assert!(outcome.slices[1].probation);
+        assert_eq!(driver.take_demoted(), vec![1]);
+        assert_eq!(driver.state(), ContractState::Active);
+        assert_eq!(driver.rejoin_attempts(1), 1);
     }
 
     #[test]

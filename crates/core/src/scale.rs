@@ -17,6 +17,7 @@
 //! enclave installs its new slice.
 
 use crate::enclave_app::{ContractId, FilterEnclaveApp, RuleEdit};
+use crate::retry::RetryPolicy;
 use crate::rules::RuleAction;
 use crate::ruleset::{RuleId, RuleSet};
 use std::sync::Arc;
@@ -221,6 +222,19 @@ pub struct PublishReport {
 /// `(slice, attempt) -> true` drops the ack for that install attempt.
 pub type PublishAckHook = Box<dyn FnMut(usize, u32) -> bool + Send>;
 
+/// Report of one slice state resync ([`EnclaveCluster::resync_slice`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResyncReport {
+    /// The slice that was resynced.
+    pub slice: usize,
+    /// Active rules replayed from the master.
+    pub rules: usize,
+    /// Contract slots replayed (scope + epoch + ownership; never keys).
+    pub contracts: usize,
+    /// The cluster-wide epoch the slice was brought up to.
+    pub epoch: u64,
+}
+
 /// A pool of filter enclaves with its load balancer.
 pub struct EnclaveCluster {
     enclaves: Vec<Arc<Enclave<FilterEnclaveApp>>>,
@@ -254,8 +268,10 @@ pub struct EnclaveCluster {
 
 impl EnclaveCluster {
     /// Install re-sends a slice gets before its lost publish acks
-    /// quarantine it (initial send + this many re-sends).
-    pub const PUBLISH_ACK_RETRIES: u32 = 3;
+    /// quarantine it (initial send + `attempts` re-sends). Flat: the
+    /// publisher re-sends back-to-back; backoff lives in the transport
+    /// model, not here.
+    pub const PUBLISH_ACK_RETRY: RetryPolicy = RetryPolicy::flat(3);
 
     /// Launches a cluster for `ruleset`, sized by the greedy allocator
     /// under the given per-rule bandwidth estimates (Gb/s).
@@ -512,11 +528,100 @@ impl EnclaveCluster {
         self.quarantined[i] = true;
     }
 
+    /// Replaces quarantined slice `i` with a **freshly launched** enclave:
+    /// empty rule set, no contract sessions, zeroed session keys — the
+    /// state an enclave has before any victim attests it. This is the
+    /// first leg of rejoin: the old enclave's state (and any keys it held
+    /// at crash time) is discarded wholesale; a rejoining slice must
+    /// re-attest and re-key through fresh handshakes, never by reusing
+    /// pre-crash secrets. The slice stays quarantined until
+    /// [`resync_slice`](EnclaveCluster::resync_slice) replays state onto
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a partitioned cluster, if `i` is out of range, or if the
+    /// slice is not quarantined (relaunching a live slice would drop
+    /// in-force rules on the floor).
+    pub fn relaunch_slice(&mut self, i: usize) {
+        assert!(self.replicated, "rejoin is replicated-only");
+        assert!(i < self.enclaves.len(), "slice index out of range");
+        assert!(self.quarantined[i], "relaunch targets a quarantined slice");
+        let app = FilterEnclaveApp::fresh(self.secret);
+        self.enclaves[i] = Arc::new(self.platform.launch(self.image.clone(), app));
+        self.slices[i] = Vec::new();
+    }
+
+    /// Replays the master's published state onto relaunched slice `i` and
+    /// returns it to the live pool: the master's current rule set is
+    /// installed wholesale, then every contract slot is mirrored —
+    /// victim scope, per-contract epoch, rule ownership — via
+    /// [`FilterEnclaveApp::resync_contract`], which deliberately leaves
+    /// session keys and packet logs untouched. Callers that need keyed,
+    /// auditable slots re-run the attested handshake per contract
+    /// *before* resync (the harness does) or re-provision keys explicitly
+    /// after; resync itself never copies a secret.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a partitioned cluster, if `master == i`, if either index
+    /// is out of range, if the master is quarantined (no authoritative
+    /// replay source), or if `i` is not quarantined.
+    pub fn resync_slice(&mut self, master: usize, i: usize) -> ResyncReport {
+        assert!(self.replicated, "rejoin is replicated-only");
+        assert!(master < self.enclaves.len(), "master index out of range");
+        assert!(i < self.enclaves.len(), "slice index out of range");
+        assert!(master != i, "a slice cannot resync from itself");
+        assert!(!self.quarantined[master], "master slice is quarantined");
+        assert!(self.quarantined[i], "resync targets a quarantined slice");
+
+        // Snapshot the master: its live rule set is authoritative (the
+        // victim's session churn lands there), and its contract slots
+        // carry the scope/epoch/ownership a rejoined slice must agree on.
+        let master_rules = self.enclaves[master].ecall(|app| app.ruleset().clone());
+        let contracts = self.enclaves[master].ecall(|app| app.contract_ids());
+        let epoch = self.enclaves[master].ecall(|app| app.epoch());
+
+        let replica = master_rules.clone();
+        self.enclaves[i].ecall(move |app| app.install_ruleset(replica));
+        for &contract in &contracts {
+            let scope = self.enclaves[master].ecall(move |app| app.contract_scope(contract));
+            let c_epoch = self.enclaves[master].ecall(move |app| app.epoch_of(contract));
+            let owned = self.enclaves[master].ecall(move |app| app.owned_rules(contract));
+            self.enclaves[i].ecall(move |app| {
+                app.resync_contract(contract, scope, c_epoch, &owned);
+            });
+        }
+        self.enclaves[i].ecall(move |app| app.resync_epoch(epoch));
+
+        // Back in the pool: publication, provisioning, telemetry, and
+        // replicated dispatch include the slice again.
+        self.slices[i] = (0..master_rules.len() as RuleId).collect();
+        self.quarantined[i] = false;
+        ResyncReport {
+            slice: i,
+            rules: master_rules.active_len(),
+            contracts: contracts.len(),
+            epoch,
+        }
+    }
+
+    /// Convenience rejoin: [`relaunch_slice`](EnclaveCluster::relaunch_slice)
+    /// then [`resync_slice`](EnclaveCluster::resync_slice), for callers
+    /// without per-contract sessions (property tests, benches). The
+    /// rejoined slice holds the master's rules but **no session keys** —
+    /// its logs will not audit until a handshake or explicit
+    /// re-provisioning keys it.
+    pub fn rejoin_slice(&mut self, master: usize, i: usize) -> ResyncReport {
+        self.relaunch_slice(i);
+        self.resync_slice(master, i)
+    }
+
     /// Installs a publish-ack fault hook: before each slice install is
     /// acknowledged, the hook decides whether that ack is lost
     /// (`(slice, attempt) -> true`), forcing the publisher to re-send.
     /// A slice that exhausts the retry budget
-    /// ([`PUBLISH_ACK_RETRIES`](EnclaveCluster::PUBLISH_ACK_RETRIES)) is
+    /// ([`PUBLISH_ACK_RETRY`](EnclaveCluster::PUBLISH_ACK_RETRY)) is
     /// quarantined mid-publication. Test/bench injection only.
     pub fn set_publish_ack_loss(&mut self, hook: PublishAckHook) {
         self.publish_ack_loss = Some(hook);
@@ -874,7 +979,7 @@ impl EnclaveCluster {
     /// The slice-install leg of publication: installs `(rs, ids)` on every
     /// live slice for `contract`, re-sending while the publish ack is lost
     /// (per the injected [`PublishAckHook`]). A slice whose ack never
-    /// arrives within [`PUBLISH_ACK_RETRIES`](Self::PUBLISH_ACK_RETRIES)
+    /// arrives within [`PUBLISH_ACK_RETRY`](Self::PUBLISH_ACK_RETRY)
     /// re-sends is quarantined: the publisher cannot distinguish "installed
     /// but mute" from "dead", and a possibly-stale slice must not keep
     /// deciding flows. Returns `(total re-sends, slices quarantined)`.
@@ -903,12 +1008,12 @@ impl EnclaveCluster {
                 if !dropped {
                     break;
                 }
-                attempt += 1;
-                if attempt > Self::PUBLISH_ACK_RETRIES {
+                if !Self::PUBLISH_ACK_RETRY.allows(attempt) {
                     self.quarantined[i] = true;
                     lost.push(i);
                     break;
                 }
+                attempt += 1;
                 ack_retries += 1;
             }
         }
@@ -1468,7 +1573,7 @@ mod tests {
         let report = c.publish(0);
         assert_eq!(
             report.ack_retries,
-            u64::from(EnclaveCluster::PUBLISH_ACK_RETRIES)
+            u64::from(EnclaveCluster::PUBLISH_ACK_RETRY.attempts)
         );
         assert_eq!(report.ack_lost_slices, vec![2]);
         assert_eq!(c.quarantined(), &[false, false, true]);
@@ -1477,6 +1582,97 @@ mod tests {
         let report = c.publish(0);
         assert_eq!(report.ack_retries, 0);
         assert!(report.ack_lost_slices.is_empty());
+    }
+
+    #[test]
+    fn rejoined_slice_replays_master_state_and_restores_dispatch() {
+        let mut c = rss_cluster(6, 3);
+        c.quarantine_slice(2);
+        // Master churn while slice 2 is dead: the survivors move to a new
+        // epoch the dead slice never saw.
+        let new_rule = FilterRule::drop(FlowPattern::prefixes(
+            "12.0.0.0/8".parse().unwrap(),
+            victim(),
+        ));
+        c.enclaves()[0].ecall(move |app| app.queue_edits([RuleEdit::Install(new_rule)]));
+        c.publish(0);
+
+        let report = c.rejoin_slice(0, 2);
+        assert_eq!(report.slice, 2);
+        assert_eq!(report.rules, 7, "6 seeded rules + 1 published install");
+        assert_eq!(report.contracts, 1, "default contract slot");
+        assert_eq!(c.quarantined(), &[false, false, false]);
+        assert_eq!(c.live_len(), 3);
+
+        // The fresh slice decides the epoch it missed...
+        let new_hit = FiveTuple::new(
+            0x0c000001,
+            u32::from_be_bytes([203, 0, 113, 1]),
+            5,
+            80,
+            Protocol::Udp,
+        );
+        let nh = new_hit;
+        let action = c.enclaves()[2].in_enclave_thread(move |app| app.process(&nh, 64).action);
+        assert_eq!(action, RuleAction::Drop, "rejoined slice missed the epoch");
+        assert_eq!(
+            c.enclaves()[2].ecall(|app| app.epoch()),
+            c.enclaves()[0].ecall(|app| app.epoch()),
+            "epoch counters must agree after resync"
+        );
+
+        // ...dispatch steers home shards onto it again, byte-identical to
+        // the pre-crash assignment...
+        for r in 0..6 {
+            for f in 0..8 {
+                let t = attack_tuple(r, f);
+                let (_, enclave) = c.process(&t, 64);
+                assert_eq!(
+                    enclave,
+                    Some(vif_dataplane::shard_of(&t, 3)),
+                    "rule {r} flow {f} not steered home"
+                );
+            }
+        }
+
+        // ...and subsequent publications include it.
+        let late_rule = FilterRule::drop(FlowPattern::prefixes(
+            "13.0.0.0/8".parse().unwrap(),
+            victim(),
+        ));
+        c.enclaves()[0].ecall(move |app| app.queue_edits([RuleEdit::Install(late_rule)]));
+        c.publish(0);
+        let late_hit = FiveTuple::new(
+            0x0d000001,
+            u32::from_be_bytes([203, 0, 113, 1]),
+            5,
+            80,
+            Protocol::Udp,
+        );
+        let action =
+            c.enclaves()[2].in_enclave_thread(move |app| app.process(&late_hit, 64).action);
+        assert_eq!(
+            action,
+            RuleAction::Drop,
+            "rejoined slice skipped by publish"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quarantined slice")]
+    fn cannot_relaunch_live_slice() {
+        let mut c = rss_cluster(2, 2);
+        c.relaunch_slice(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "master slice is quarantined")]
+    fn cannot_resync_from_quarantined_master() {
+        let mut c = rss_cluster(2, 3);
+        c.quarantine_slice(0);
+        c.quarantine_slice(1);
+        c.relaunch_slice(1);
+        c.resync_slice(0, 1);
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub enum FaultKind {
         /// Worker index (reduced modulo the worker count by harnesses).
         worker: usize,
     },
+    /// Worker thread `worker` — previously crashed and quarantined — is
+    /// respawned on its recycled ring: the harness re-provisions the
+    /// enclave slice through a fresh attested session, replays state from
+    /// the master, and the worker rejoins the steering hash through a
+    /// probation window of mirrored shadow traffic.
+    WorkerRecover {
+        /// Worker index (reduced modulo the worker count by harnesses).
+        worker: usize,
+    },
     /// Worker `worker` stops draining its ring for the offer window of
     /// `rounds` consecutive rounds (the round barrier itself releases the
     /// stall, so stalls surface as backpressure/overflow, never hangs).
@@ -127,8 +136,16 @@ impl FaultPlan {
     /// service from `seed` (splitmix64, same construction as the traffic
     /// generator — identical seeds give identical plans).
     ///
-    /// Crashes are capped at `workers - 1` so at least one survivor
-    /// remains to absorb re-steered flows.
+    /// The generator is quarantine-aware: it tracks which workers are dead
+    /// at every point in the schedule, so stalls and overflow storms (and
+    /// export faults) only ever target workers alive when they fire, and
+    /// every [`FaultKind::WorkerCrash`] is paired with a later
+    /// [`FaultKind::WorkerRecover`] of the same worker. A recovered worker
+    /// becomes crash-eligible again a few rounds after its recover fires
+    /// (a conservative probation allowance), so long seeds produce
+    /// flapping crash → recover → crash sequences while every instant of
+    /// the schedule keeps at least one fully live survivor to fail over
+    /// to.
     ///
     /// # Panics
     ///
@@ -144,16 +161,48 @@ impl FaultPlan {
             z ^ (z >> 31)
         };
         let budget = (rounds / 4).max(1) as usize;
-        let mut crashes = 0usize;
+        // Visit the fire rounds in order so aliveness can be tracked.
+        let mut slots: Vec<u64> = (0..budget)
+            .map(|_| if rounds > 1 { next() % rounds } else { 0 })
+            .collect();
+        slots.sort_unstable();
         let mut plan = FaultPlan::new();
-        for _ in 0..budget {
-            let round = if rounds > 1 { next() % rounds } else { 0 };
-            let worker = (next() % workers as u64) as usize;
-            let slice = (next() % workers as u64) as usize;
+        // Crash → recover pairs in flight: (recover round, worker).
+        let mut pending: Vec<(u64, usize)> = Vec::new();
+        // dead[w]: crashed and not yet recovered. safe_at[w]: first round
+        // from which a recovered worker counts as a survivor again (its
+        // probation allowance); stalls/storms may target it earlier.
+        let mut dead = vec![false; workers];
+        let mut safe_at = vec![0u64; workers];
+        for round in slots {
+            pending.retain(|&(when, w)| {
+                if when <= round {
+                    dead[w] = false;
+                    false
+                } else {
+                    true
+                }
+            });
+            let targetable: Vec<usize> = (0..workers).filter(|&w| !dead[w]).collect();
+            let survivors: Vec<usize> = targetable
+                .iter()
+                .copied()
+                .filter(|&w| safe_at[w] <= round)
+                .collect();
+            let worker = targetable[(next() % targetable.len() as u64) as usize];
+            let slice = targetable[(next() % targetable.len() as u64) as usize];
             let kind = match next() % 6 {
-                0 if crashes + 1 < workers => {
-                    crashes += 1;
-                    FaultKind::WorkerCrash { worker }
+                0 if survivors.len() > 1 => {
+                    let victim = survivors[(next() % survivors.len() as u64) as usize];
+                    dead[victim] = true;
+                    let when = round + 1 + next() % 3;
+                    safe_at[victim] = when + 4;
+                    pending.push((when, victim));
+                    plan.events.push(FaultEvent {
+                        round: when,
+                        kind: FaultKind::WorkerRecover { worker: victim },
+                    });
+                    FaultKind::WorkerCrash { worker: victim }
                 }
                 0 | 1 => FaultKind::WorkerStall {
                     worker,
@@ -198,19 +247,90 @@ mod tests {
     }
 
     #[test]
-    fn chaos_keeps_a_survivor() {
+    fn chaos_keeps_a_survivor_at_every_instant() {
         for seed in 0..50u64 {
             for workers in 1..5usize {
                 let plan = FaultPlan::chaos(seed, workers, 64);
-                let crashes = plan
-                    .events()
-                    .iter()
-                    .filter(|e| matches!(e.kind, FaultKind::WorkerCrash { .. }))
-                    .count();
-                assert!(
-                    crashes < workers,
-                    "seed {seed}: {crashes} crashes for {workers} workers"
-                );
+                // Replay the schedule: at no point may every worker be
+                // dead or freshly recovered — re-steered flows always have
+                // at least one fully live worker to land on.
+                let mut dead = vec![false; workers];
+                for e in plan.events() {
+                    match e.kind {
+                        FaultKind::WorkerCrash { worker } => {
+                            assert!(!dead[worker], "seed {seed}: crash of dead worker {worker}");
+                            dead[worker] = true;
+                        }
+                        FaultKind::WorkerRecover { worker } => {
+                            assert!(dead[worker], "seed {seed}: recover of live worker {worker}");
+                            dead[worker] = false;
+                        }
+                        _ => {}
+                    }
+                    assert!(
+                        dead.iter().any(|d| !d),
+                        "seed {seed}: no survivor after round {}",
+                        e.round
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_pairs_every_crash_with_a_later_recover() {
+        for seed in 0..50u64 {
+            let plan = FaultPlan::chaos(seed, 4, 64);
+            let mut open: Vec<(u64, usize)> = Vec::new();
+            for e in plan.events() {
+                match e.kind {
+                    FaultKind::WorkerCrash { worker } => open.push((e.round, worker)),
+                    FaultKind::WorkerRecover { worker } => {
+                        let i = open
+                            .iter()
+                            .position(|&(_, w)| w == worker)
+                            .unwrap_or_else(|| panic!("seed {seed}: unpaired recover"));
+                        let (crashed_at, _) = open.remove(i);
+                        assert!(
+                            e.round > crashed_at,
+                            "seed {seed}: recover at {} not after crash at {crashed_at}",
+                            e.round
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            assert!(open.is_empty(), "seed {seed}: crashes without recovers");
+        }
+    }
+
+    #[test]
+    fn chaos_never_targets_dead_workers() {
+        for seed in 0..50u64 {
+            let plan = FaultPlan::chaos(seed, 4, 64);
+            let mut dead = [false; 4];
+            for e in plan.events() {
+                match e.kind {
+                    FaultKind::WorkerCrash { worker } => dead[worker] = true,
+                    FaultKind::WorkerRecover { worker } => dead[worker] = false,
+                    FaultKind::WorkerStall { worker, .. }
+                    | FaultKind::RingOverflowStorm { worker, .. } => {
+                        assert!(
+                            !dead[worker],
+                            "seed {seed}: round {} targets dead worker {worker}",
+                            e.round
+                        );
+                    }
+                    FaultKind::ExportCorrupt { slice, .. }
+                    | FaultKind::ExportTimeout { slice, .. }
+                    | FaultKind::PublishAckLoss { slice, .. } => {
+                        assert!(
+                            !dead[slice],
+                            "seed {seed}: round {} targets dead slice {slice}",
+                            e.round
+                        );
+                    }
+                }
             }
         }
     }

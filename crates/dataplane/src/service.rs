@@ -45,6 +45,24 @@
 //! The net effect: an idle service consumes (almost) no CPU, and wakes
 //! within one burst of traffic arriving — pinned by a regression test.
 //!
+//! # Recovery lifecycle
+//!
+//! Fault injection gives the service the full `live → quarantined →
+//! rejoining → probation → live` lifecycle. A cleanly-crashed worker is
+//! quarantined at the round barrier and its flows re-steer to the
+//! survivors ([`ServiceHandle::requarget_fingerprint`]);
+//! [`ServiceHandle::respawn_worker`] later spawns a fresh worker thread
+//! for the slot on its recycled ring. The respawned worker starts on
+//! *probation*: steering still avoids it, but every packet whose home
+//! shard it is gets mirrored onto its ring as shadow traffic — processed
+//! by the stage (so a rejoined enclave's logs and sketches can be
+//! audited) yet never counted and never delivered. Once the caller's
+//! audit layer is satisfied, [`ServiceHandle::restore_worker`] returns
+//! the slot to the steering hash — exactly inverting the re-steer, so
+//! shard assignment is byte-identical to pre-crash — while a dirty
+//! probation audit demotes the slot straight back to quarantine
+//! ([`ServiceHandle::demote_worker`]).
+//!
 //! # Panic safety
 //!
 //! Worker and TX threads signal liveness through drop guards exactly like
@@ -80,6 +98,11 @@ enum WorkerMsg {
     /// it consumes ring capacity (overflow-storm pressure) but touches no
     /// counter and no stage.
     Noise,
+    /// A mirrored copy of a packet whose home shard is on probation: the
+    /// worker runs it through its stage for the side effects (enclave
+    /// logs, sketches) but counts nothing and delivers nothing — the real
+    /// copy was re-steered to a survivor and is accounted there.
+    Shadow(Packet),
 }
 
 /// One message on the shared TX ring.
@@ -446,7 +469,7 @@ impl DataplaneService {
         stages: Vec<S>,
         mut sink: F,
         steer: R,
-        body: impl FnOnce(&mut ServiceHandle<'_, R>) -> T,
+        body: impl FnOnce(&mut ServiceHandle<'_, '_, R>) -> T,
     ) -> T
     where
         S: PacketStage + Send,
@@ -480,6 +503,8 @@ impl DataplaneService {
 
             let mut handle = ServiceHandle {
                 shared,
+                scope,
+                config,
                 steer,
                 n,
                 worker_threads,
@@ -489,6 +514,7 @@ impl DataplaneService {
                 uncovered: vec![0; n],
                 crashed: vec![false; n],
                 quarantined: vec![false; n],
+                probation: vec![false; n],
                 live: (0..n).collect(),
                 prev: vec![ThreadedReport::default(); n],
                 report: ShardedReport {
@@ -543,8 +569,13 @@ impl DataplaneService {
 /// Obtained inside [`DataplaneService::run`]; offering and flushing happen
 /// on the calling thread, so the caller is free to interleave control-plane
 /// work (rule publication, audits) between bursts — the workers never stop.
-pub struct ServiceHandle<'a, R> {
-    shared: &'a Shared,
+pub struct ServiceHandle<'scope, 'env, R> {
+    shared: &'scope Shared,
+    /// The service's thread scope, kept so
+    /// [`respawn_worker`](ServiceHandle::respawn_worker) can spawn a fresh
+    /// worker thread for a quarantined slot mid-run.
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    config: ServiceConfig,
     steer: R,
     n: usize,
     worker_threads: Vec<Thread>,
@@ -560,6 +591,10 @@ pub struct ServiceHandle<'a, R> {
     crashed: Vec<bool>,
     /// Workers excised from steering after a detected death.
     quarantined: Vec<bool>,
+    /// Respawned workers still earning trust back: alive and fed mirrored
+    /// shadow traffic, but excised from steering (their `quarantined` flag
+    /// stays set) until [`restore_worker`](ServiceHandle::restore_worker).
+    probation: Vec<bool>,
     /// Non-quarantined worker indices, ascending — the re-steer targets.
     live: Vec<usize>,
     /// Cumulative forwarded/filtered snapshot at the last flush, so each
@@ -584,7 +619,7 @@ pub struct ServiceHandle<'a, R> {
 /// only has to decide the packets enqueued ahead of its crash token.
 const QUARANTINE_WAIT: Duration = Duration::from_secs(10);
 
-impl<R> ServiceHandle<'_, R>
+impl<'scope, 'env, R> ServiceHandle<'scope, 'env, R>
 where
     R: FnMut(&FiveTuple) -> usize,
 {
@@ -613,6 +648,10 @@ where
     /// Quarantined workers are excised from steering: their flows are
     /// re-hashed over the surviving workers (see
     /// [`requarget_fingerprint`](ServiceHandle::requarget_fingerprint)).
+    /// A worker on probation additionally receives a *shadow* copy of
+    /// every packet whose home shard it is — processed by its stage but
+    /// never counted or delivered — so the caller's audit layer can
+    /// compare the rejoined slice's logs against its would-be share.
     pub fn offer(&mut self, packets: &[Packet]) {
         let multi = self.c_received.len() > 1;
         for pkt in packets {
@@ -637,35 +676,71 @@ where
                     self.overflow[w] += 1;
                     self.c_overflow[slot] += 1;
                 }
-                continue;
+            } else {
+                let mut item = WorkerMsg::Pkt(*pkt);
+                let mut retries = 0;
+                loop {
+                    match self.shared.rx_rings[w].enqueue(item) {
+                        Ok(()) => {
+                            Shared::wake(&self.shared.worker_parked[w], &self.worker_threads[w]);
+                            break;
+                        }
+                        Err(back) => {
+                            item = back;
+                            if !self.shared.worker_alive[w].load(Ordering::Acquire) {
+                                // The worker died under us: bounded wait,
+                                // not a spin-until-panic — the loss is
+                                // accounted.
+                                self.overflow[w] += 1;
+                                self.c_overflow[slot] += 1;
+                                break;
+                            }
+                            retries += 1;
+                            if retries > 64 {
+                                self.overflow[w] += 1;
+                                self.c_overflow[slot] += 1;
+                                break;
+                            }
+                            // Full ring: make sure the worker is draining
+                            // it.
+                            Shared::wake(&self.shared.worker_parked[w], &self.worker_threads[w]);
+                            std::thread::yield_now();
+                        }
+                    }
+                }
             }
-            let mut item = WorkerMsg::Pkt(*pkt);
-            let mut retries = 0;
-            loop {
-                match self.shared.rx_rings[w].enqueue(item) {
-                    Ok(()) => {
-                        Shared::wake(&self.shared.worker_parked[w], &self.worker_threads[w]);
-                        break;
+            if self.probation[w0] && w != w0 {
+                self.shadow(w0, pkt);
+            }
+        }
+    }
+
+    /// Mirrors `pkt` onto probation worker `w`'s ring as shadow traffic.
+    /// Shadows take the same bounded-retry path as live packets so the
+    /// mirrored share is deterministic under test loads, but a shadow lost
+    /// to sustained backpressure is dropped without any counter: the real
+    /// copy was already accounted at its re-steer target.
+    fn shadow(&mut self, w: usize, pkt: &Packet) {
+        let mut item = WorkerMsg::Shadow(*pkt);
+        let mut retries = 0;
+        loop {
+            match self.shared.rx_rings[w].enqueue(item) {
+                Ok(()) => {
+                    Shared::wake(&self.shared.worker_parked[w], &self.worker_threads[w]);
+                    return;
+                }
+                Err(back) => {
+                    item = back;
+                    if !self.shared.worker_alive[w].load(Ordering::Acquire) {
+                        // Died mid-probation: the barrier reaps the ring.
+                        return;
                     }
-                    Err(back) => {
-                        item = back;
-                        if !self.shared.worker_alive[w].load(Ordering::Acquire) {
-                            // The worker died under us: bounded wait, not
-                            // a spin-until-panic — the loss is accounted.
-                            self.overflow[w] += 1;
-                            self.c_overflow[slot] += 1;
-                            break;
-                        }
-                        retries += 1;
-                        if retries > 64 {
-                            self.overflow[w] += 1;
-                            self.c_overflow[slot] += 1;
-                            break;
-                        }
-                        // Full ring: make sure the worker is draining it.
-                        Shared::wake(&self.shared.worker_parked[w], &self.worker_threads[w]);
-                        std::thread::yield_now();
+                    retries += 1;
+                    if retries > 64 {
+                        return;
                     }
+                    Shared::wake(&self.shared.worker_parked[w], &self.worker_threads[w]);
+                    std::thread::yield_now();
                 }
             }
         }
@@ -688,8 +763,16 @@ where
     }
 
     /// Per-worker quarantine flags (`true` = excised from steering).
+    /// A probation worker still reads as quarantined here: it is alive
+    /// and shadow-fed, but carries no live flows until restored.
     pub fn quarantined(&self) -> &[bool] {
         &self.quarantined
+    }
+
+    /// Per-worker probation flags (`true` = respawned, shadow-fed, not
+    /// yet back in the steering hash).
+    pub fn probation(&self) -> &[bool] {
+        &self.probation
     }
 
     /// Surviving (non-quarantined) worker indices, ascending.
@@ -702,12 +785,26 @@ where
     /// token, then exits; everything offered after becomes `uncovered`
     /// residue and the next [`flush_round`](ServiceHandle::flush_round)
     /// quarantines the slice. Idempotent; no-op on a quarantined worker.
+    /// Crashing a *probation* worker (a flap) demotes it back to
+    /// quarantine immediately — see
+    /// [`demote_worker`](ServiceHandle::demote_worker).
     pub fn inject_crash(&mut self, w: usize) {
         let w = w % self.n;
+        if self.probation[w] {
+            // The slice is alive again but untrusted: a crash here is a
+            // flap, handled as a demotion rather than a fresh outage.
+            self.demote_worker(w);
+            return;
+        }
         if self.crashed[w] || self.quarantined[w] {
             return;
         }
         self.crashed[w] = true;
+        self.send_crash(w);
+    }
+
+    /// Enqueues the in-band crash token for worker `w`.
+    fn send_crash(&mut self, w: usize) {
         let mut item = WorkerMsg::Crash;
         loop {
             match self.shared.rx_rings[w].enqueue(item) {
@@ -727,6 +824,84 @@ where
                 }
             }
         }
+    }
+
+    /// Rejoining, step one: spawns a fresh worker thread for quarantined
+    /// slot `w` on its recycled ring, entering *probation*. The slot stays
+    /// out of the steering hash — live flows keep re-steering to the
+    /// survivors — but [`offer`](ServiceHandle::offer) mirrors its home
+    /// shard's packets onto the new worker as shadow traffic, so `stage`
+    /// (typically a freshly attested, state-resynced enclave slice) can be
+    /// audited against real load before it is trusted again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not quarantined or its previous thread has not
+    /// fully exited.
+    pub fn respawn_worker<S>(&mut self, w: usize, stage: S)
+    where
+        S: PacketStage + Send + 'scope,
+    {
+        let w = w % self.n;
+        assert!(self.quarantined[w], "respawn targets a quarantined worker");
+        assert!(
+            !self.shared.worker_alive[w].load(Ordering::Acquire),
+            "worker {w} has not exited"
+        );
+        // The ring is recycled, not replaced: reap anything that landed
+        // after the quarantine sweep so the fresh worker starts clean
+        // (charged to this round's `uncovered`, like the sweep itself).
+        self.reap_ring(w);
+        self.crashed[w] = false;
+        self.shared.worker_stalled[w].store(false, Ordering::SeqCst);
+        self.shared.worker_parked[w].store(false, Ordering::SeqCst);
+        self.shared.workers_live.fetch_add(1, Ordering::AcqRel);
+        self.shared.worker_alive[w].store(true, Ordering::Release);
+        let shared = self.shared;
+        let config = self.config;
+        let tx_thread = self.tx_thread.clone();
+        let spawned = self
+            .scope
+            .spawn(move || worker_loop(shared, w, stage, &config, tx_thread));
+        self.worker_threads[w] = spawned.thread().clone();
+        self.probation[w] = true;
+    }
+
+    /// Rejoining, final step: promotes probation worker `w` back to full
+    /// service. The slot re-enters the steering hash, exactly inverting
+    /// the [`requarget_fingerprint`](ServiceHandle::requarget_fingerprint)
+    /// re-steer — post-rejoin shard assignment is byte-identical to
+    /// pre-crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not on probation.
+    pub fn restore_worker(&mut self, w: usize) {
+        let w = w % self.n;
+        assert!(self.probation[w], "restore targets a probation worker");
+        self.probation[w] = false;
+        self.quarantined[w] = false;
+        self.live = (0..self.n).filter(|&i| !self.quarantined[i]).collect();
+    }
+
+    /// Re-quarantines probation worker `w` after a dirty audit: the fresh
+    /// worker is crashed cleanly and reaped on the spot (it carried only
+    /// shadow traffic, so nothing of the round is lost), leaving the slot
+    /// quarantined exactly as before the rejoin attempt. Steering never
+    /// changes — a probation slice carries no live flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not on probation.
+    pub fn demote_worker(&mut self, w: usize) {
+        let w = w % self.n;
+        assert!(self.probation[w], "demote targets a probation worker");
+        self.probation[w] = false;
+        self.crashed[w] = true;
+        self.send_crash(w);
+        // Wait out the clean exit and drop the shadow residue now, so the
+        // next barrier sees an ordinary quarantined slot.
+        self.quarantine(w);
     }
 
     /// Fault injection: stalls (or releases) worker `w`. A stalled worker
@@ -793,10 +968,13 @@ where
             }
         }
         'workers: for w in 0..self.n {
-            if self.quarantined[w] {
+            if self.quarantined[w] && !self.probation[w] {
                 // Already excised: reap any stray residue (offers land
                 // here only when every worker is gone) and stand in for
-                // the dead worker at the barrier.
+                // the dead worker at the barrier. A probation worker is
+                // alive and falls through to a real token — it forwards
+                // the barrier itself, keeping the TX count at exactly one
+                // token per worker per round.
                 self.reap_ring(w);
                 push_tx(self.shared, TxMsg::Flush(self.seq), &self.tx_thread);
                 continue 'workers;
@@ -821,8 +999,10 @@ where
                             }
                             // Cleanly dead without a pending crash mark
                             // (crash token raced the barrier): same
-                            // quarantine path.
+                            // quarantine path. A dying probation worker
+                            // loses its probation with its life.
                             self.crashed[w] = true;
+                            self.probation[w] = false;
                             self.quarantine(w);
                             push_tx(self.shared, TxMsg::Flush(self.seq), &self.tx_thread);
                             continue 'workers;
@@ -952,7 +1132,10 @@ where
                     debug_assert!(s < self.seq, "future token in a dead ring");
                     push_tx(self.shared, TxMsg::Flush(s), &self.tx_thread);
                 }
-                WorkerMsg::Crash | WorkerMsg::Noise => {}
+                // Shadow residue is dropped without any counter: the
+                // mirrored packets' originals were accounted at their
+                // re-steer targets.
+                WorkerMsg::Crash | WorkerMsg::Noise | WorkerMsg::Shadow(_) => {}
             }
         }
     }
@@ -1016,6 +1199,7 @@ fn worker_loop<S: PacketStage>(
     let ring = &shared.rx_rings[w];
     let mut batch: Vec<WorkerMsg> = Vec::with_capacity(config.burst);
     let mut pkts: Vec<Packet> = Vec::with_capacity(config.burst);
+    let mut shadows: Vec<Packet> = Vec::with_capacity(config.burst);
     let mut outcomes = Vec::with_capacity(config.burst);
     // Reused per-contract (forwarded, filtered) scratch for one run.
     let mut c_counts: Vec<(u64, u64)> = vec![(0, 0); shared.contracts.contracts().len()];
@@ -1054,6 +1238,7 @@ fn worker_loop<S: PacketStage>(
         for i in 0..batch.len() {
             match batch[i] {
                 WorkerMsg::Pkt(p) => pkts.push(p),
+                WorkerMsg::Shadow(p) => shadows.push(p),
                 WorkerMsg::Flush(seq) => {
                     process_run(
                         shared,
@@ -1064,6 +1249,7 @@ fn worker_loop<S: PacketStage>(
                         &mut c_counts,
                         &tx_thread,
                     );
+                    shadow_run(&mut stage, &mut shadows, &mut outcomes);
                     push_tx(shared, TxMsg::Flush(seq), &tx_thread);
                 }
                 WorkerMsg::Noise => {}
@@ -1081,6 +1267,7 @@ fn worker_loop<S: PacketStage>(
                         &mut c_counts,
                         &tx_thread,
                     );
+                    shadow_run(&mut stage, &mut shadows, &mut outcomes);
                     for msg in batch.drain(i + 1..) {
                         let mut item = msg;
                         loop {
@@ -1106,7 +1293,25 @@ fn worker_loop<S: PacketStage>(
             &mut c_counts,
             &tx_thread,
         );
+        shadow_run(&mut stage, &mut shadows, &mut outcomes);
     }
+}
+
+/// Runs mirrored shadow packets through the stage for their side effects
+/// only (enclave logs, sketches): no counters and no TX delivery — a
+/// probation slice earns trust by being audited, not by forwarding.
+/// Clears `pkts`, discarding the outcomes.
+fn shadow_run<S: PacketStage>(
+    stage: &mut S,
+    pkts: &mut Vec<Packet>,
+    outcomes: &mut Vec<crate::pipeline::StageOutcome>,
+) {
+    if pkts.is_empty() {
+        return;
+    }
+    outcomes.clear();
+    stage.process_batch(pkts, outcomes);
+    pkts.clear();
 }
 
 /// Runs one packet run through the stage, pushing forwarded packets to TX
@@ -1728,6 +1933,125 @@ mod tests {
                     report.total().uncovered + report.total().overflow,
                     500,
                     "accounting must not lose packets with zero survivors"
+                );
+            },
+        );
+    }
+
+    #[test]
+    fn respawned_worker_shadows_on_probation_then_restores_steering() {
+        use std::sync::atomic::AtomicU64;
+        let n = 4;
+        let stages: Vec<_> = (0..n).map(|_| parity_stage()).collect();
+        let shadowed = std::sync::Arc::new(AtomicU64::new(0));
+        let probe_seen = shadowed.clone();
+        DataplaneService::new(ServiceConfig::default()).run(
+            stages,
+            |_, _| {},
+            |t| shard_of(t, n),
+            |svc| {
+                let t = traffic(2_000, 1);
+                let home2 = t.iter().filter(|p| shard_of(&p.tuple, n) == 2).count() as u64;
+                assert!(home2 > 0, "mix never hits worker 2");
+
+                // Healthy → crash → quarantine, as in the outage tests.
+                let clean = svc.round(&t).clone();
+                assert_eq!(clean.total().uncovered, 0);
+                svc.inject_crash(2);
+                svc.round(&t);
+                assert_eq!(svc.quarantined(), &[false, false, true, false]);
+
+                // Rejoin on probation: a fresh worker thread on the
+                // recycled ring, shadow-fed but still out of steering.
+                let probe = move |p: &Packet| {
+                    probe_seen.fetch_add(1, Ordering::SeqCst);
+                    StageOutcome {
+                        verdict: if p.tuple.src_ip.is_multiple_of(2) {
+                            StageVerdict::Forward
+                        } else {
+                            StageVerdict::Drop
+                        },
+                        cost_ns: 0,
+                    }
+                };
+                svc.respawn_worker(2, probe);
+                assert!(svc.probation()[2]);
+                assert!(svc.quarantined()[2], "probation is still excised");
+                let report = svc.round(&t).clone();
+                assert_eq!(report.per_worker[2].received, 0);
+                assert_eq!(report.total().received, t.len() as u64);
+                assert_eq!(report.total().uncovered, 0);
+                assert_eq!(report.total().overflow, 0);
+                for (w, r) in report.per_worker.iter().enumerate() {
+                    assert_eq!(
+                        r.forwarded + r.filtered + r.overflow + r.uncovered,
+                        r.received,
+                        "worker {w} leaks during probation"
+                    );
+                }
+                // The probation stage saw exactly its home shard's
+                // mirrored share — nothing more, nothing in the counters.
+                assert_eq!(shadowed.load(Ordering::SeqCst), home2);
+
+                // Promote: steering is byte-identical to pre-crash.
+                svc.restore_worker(2);
+                assert_eq!(svc.live_workers(), &[0, 1, 2, 3]);
+                for p in &t {
+                    let w0 = shard_of(&p.tuple, n);
+                    assert_eq!(
+                        svc.requarget_fingerprint(p.tuple.tuple_fingerprint(), w0),
+                        w0,
+                        "restored steering differs from pre-crash"
+                    );
+                }
+                let report = svc.round(&t).clone();
+                assert_eq!(report.per_worker[2].received, home2);
+                assert_eq!(report.total().uncovered, 0);
+                // The shadow feed stopped at promotion: the stage now sees
+                // its real share instead.
+                assert_eq!(shadowed.load(Ordering::SeqCst), 2 * home2);
+            },
+        );
+    }
+
+    #[test]
+    fn flapping_probation_worker_is_demoted_and_can_rejoin() {
+        let n = 4;
+        let stages: Vec<_> = (0..n).map(|_| parity_stage()).collect();
+        DataplaneService::new(ServiceConfig::default()).run(
+            stages,
+            |_, _| {},
+            |t| shard_of(t, n),
+            |svc| {
+                let t = traffic(1_500, 2);
+                svc.round(&t);
+                svc.inject_crash(2);
+                svc.round(&t);
+                assert_eq!(svc.quarantined(), &[false, false, true, false]);
+
+                // First rejoin attempt flaps: crashing mid-probation
+                // demotes the slot straight back to quarantine, and
+                // steering never changed in between.
+                svc.respawn_worker(2, parity_stage());
+                svc.round(&t);
+                assert!(svc.probation()[2]);
+                svc.inject_crash(2);
+                assert!(!svc.probation()[2]);
+                assert!(svc.quarantined()[2]);
+                let report = svc.round(&t).clone();
+                assert_eq!(report.per_worker[2].received, 0);
+                assert_eq!(report.total().uncovered, 0);
+                assert_eq!(svc.live_workers(), &[0, 1, 3]);
+
+                // The second attempt sticks and restores full service.
+                svc.respawn_worker(2, parity_stage());
+                svc.round(&t);
+                svc.restore_worker(2);
+                let report = svc.round(&t).clone();
+                assert_eq!(report.total().uncovered, 0);
+                assert_eq!(
+                    report.per_worker[2].received,
+                    t.iter().filter(|p| shard_of(&p.tuple, n) == 2).count() as u64
                 );
             },
         );

@@ -44,8 +44,8 @@ use vif_core::ruleset::RuleId;
 use vif_core::scale::EnclaveCluster;
 use vif_core::session::{FilteringSession, SessionConfig, VictimClient};
 use vif_dataplane::{
-    shard_of, ContractMap, DataplaneService, DegradedMode, FaultKind, FaultPlan, FiveTuple, Packet,
-    ServiceConfig,
+    shard_of, shard_of_fingerprint, ContractMap, DataplaneService, DegradedMode, FaultKind,
+    FaultPlan, FiveTuple, Packet, ServiceConfig,
 };
 use vif_optimizer::{arbitrate, AdmissionVerdict, ArbiterConfig, ContractDemand};
 use vif_sgx::{AttestationRootKey, AttestationService, EnclaveImage, EpcConfig, SgxPlatform};
@@ -100,7 +100,13 @@ pub struct CampaignReport {
     /// over the surviving slices after a mid-run quarantine
     /// ([`EnclaveCluster::rearbitrate`]). They keep running degraded —
     /// shedding is an operator decision — but the report names them.
+    /// A contract that fit again after a slice rejoined moves to
+    /// [`readmitted`](CampaignReport::readmitted).
     pub failover_rejected: Vec<RejectedContract>,
+    /// Contracts that were failover-rejected during an outage but fit
+    /// again when admission was re-run over the restored pool after a
+    /// slice completed its rejoin (re-admission order).
+    pub readmitted: Vec<ContractId>,
 }
 
 impl CampaignReport {
@@ -116,6 +122,9 @@ struct Tenant {
     scenario: Scenario,
     rounds: Vec<RoundTraffic>,
     session: FilteringSession,
+    /// Kept past admission: every slice rejoin re-attests a *fresh*
+    /// session per tenant against the relaunched enclave.
+    client: VictimClient,
     driver: ClusterRoundDriver,
     rpki: RpkiRegistry,
     hh_sketch: CountMinSketch,
@@ -141,6 +150,7 @@ pub struct CampaignHarness {
     config: CampaignConfig,
     faults: FaultPlan,
     degraded: Vec<(ContractId, DegradedMode)>,
+    stale_rejoin: Option<usize>,
 }
 
 impl CampaignHarness {
@@ -163,6 +173,7 @@ impl CampaignHarness {
             config,
             faults: FaultPlan::new(),
             degraded: Vec::new(),
+            stale_rejoin: None,
         }
     }
 
@@ -188,6 +199,19 @@ impl CampaignHarness {
         self
     }
 
+    /// Test/bench-only adversarial knob: every rejoin of worker `worker`
+    /// comes back with an *empty* rule set (the operator "restored" a
+    /// stale snapshot instead of replaying the master's state). The
+    /// slice's shadow verdicts then disagree with its live re-steered
+    /// peer — its outgoing log carries attack packets the victim never
+    /// received — so the victim's probation audit flags the slice and it
+    /// is demoted straight back to quarantine with backoff, proving the
+    /// probation window actually gates re-trust.
+    pub fn with_stale_rejoin(mut self, worker: usize) -> Self {
+        self.stale_rejoin = Some(worker);
+        self
+    }
+
     /// Runs the campaign: arbitrate admission, attest every admitted
     /// contract, drive all scenarios round-locked over one service, and
     /// score each contract separately. `policies` pairs with the declared
@@ -206,6 +230,7 @@ impl CampaignHarness {
         let config = self.config;
         let faults = self.faults.clone();
         let degraded = self.degraded.clone();
+        let stale_rejoin = self.stale_rejoin;
         let n = config.harness.workers;
         let seed = self.contracts[0].scenario.seed;
 
@@ -237,6 +262,7 @@ impl CampaignHarness {
                 reports: Vec::new(),
                 rejected,
                 failover_rejected: Vec::new(),
+                readmitted: Vec::new(),
             };
         }
 
@@ -344,6 +370,7 @@ impl CampaignHarness {
                 scenario: c.scenario,
                 rounds,
                 session,
+                client,
                 driver,
                 rpki,
                 installed: Vec::new(),
@@ -381,6 +408,19 @@ impl CampaignHarness {
         let mut seen_q = vec![false; n];
         let mut quarantined_order: Vec<usize> = Vec::new();
         let mut failover_rejected: Vec<RejectedContract> = Vec::new();
+        let mut readmitted: Vec<ContractId> = Vec::new();
+        // Crashes already mirrored into every tenant's driver and the
+        // cluster; cleared when the slice re-enters probation so a flap
+        // (re-crash mid-probation) mirrors again.
+        let mut mirrored_q = vec![false; n];
+        // Slices a seeded WorkerRecover wants back in (re-armed with
+        // exponential backoff after each failed probation, until every
+        // tenant's rejoin budget is spent — flap damping).
+        let mut want_rejoin = vec![false; n];
+        let mut next_rejoin_round = vec![0u64; n];
+        let mut crash_round: Vec<Option<u64>> = vec![None; n];
+        let mut recovered_order: Vec<usize> = Vec::new();
+        let mut rejoin_rounds: Option<u64> = None;
         let ack_loss: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(vec![0u32; n]));
         if faults
             .events()
@@ -424,6 +464,7 @@ impl CampaignHarness {
                     for ev in faults.due(global_round) {
                         match ev.kind {
                             FaultKind::WorkerCrash { worker } => svc.inject_crash(worker % n),
+                            FaultKind::WorkerRecover { worker } => want_rejoin[worker % n] = true,
                             FaultKind::WorkerStall { worker, rounds } => {
                                 let w = worker % n;
                                 stall_until[w] = stall_until[w].max(global_round + rounds);
@@ -444,11 +485,85 @@ impl CampaignHarness {
                             svc.stall_worker(w, true);
                         }
                     }
+
+                    // Attempt scheduled rejoins: relaunch the slice on a
+                    // fresh enclave, re-attest a NEW session *per tenant*
+                    // (fresh channels, audit keys, and sketch seeds —
+                    // pre-crash keys are never reused), replay rule and
+                    // contract state from the master, and respawn the
+                    // worker into probation. Live steering is untouched
+                    // until every tenant has promoted the slice.
+                    for w in 1..n {
+                        if !want_rejoin[w]
+                            || !svc.quarantined()[w]
+                            || svc.probation()[w]
+                            || global_round < next_rejoin_round[w]
+                            || cluster.quarantined()[0]
+                            || !tenants
+                                .iter()
+                                .any(|t| t.driver.state() == ContractState::Active)
+                        {
+                            continue;
+                        }
+                        if !tenants
+                            .iter()
+                            .all(|t| t.driver.quarantined()[w] && t.driver.rejoin_allowed(w))
+                        {
+                            want_rejoin[w] = false;
+                            continue;
+                        }
+                        want_rejoin[w] = false;
+                        cluster.relaunch_slice(w);
+                        for (idx, t) in tenants.iter_mut().enumerate() {
+                            if t.driver.state() != ContractState::Active {
+                                continue;
+                            }
+                            let fresh = t
+                                .client
+                                .establish_contract(
+                                    Arc::clone(&cluster.enclaves()[w]),
+                                    &ias,
+                                    derive32(
+                                        t.scenario.seed ^ global_round,
+                                        0x60 ^ ((idx as u8) << 3) ^ w as u8,
+                                    ),
+                                    t.contract,
+                                )
+                                .expect("rejoin re-attestation handshake");
+                            t.driver.start_probation(
+                                w,
+                                Arc::clone(&cluster.enclaves()[w]),
+                                fresh.victim_verifier(),
+                                fresh.neighbor_verifier(),
+                            );
+                        }
+                        cluster.resync_slice(0, w);
+                        if stale_rejoin == Some(w) {
+                            // Adversarial variant (see `with_stale_rejoin`):
+                            // wipe the replayed rules and keep the slice out
+                            // of the control plane so churn cannot heal it —
+                            // probation must catch the desync on its own.
+                            cluster.enclaves()[w].ecall(move |app| {
+                                app.install_ruleset(vif_core::ruleset::RuleSet::new())
+                            });
+                            cluster.quarantine_slice(w);
+                        }
+                        svc.respawn_worker(
+                            w,
+                            EnclaveFilterStage::new(
+                                Arc::clone(&cluster.enclaves()[w]),
+                                FilterMode::SgxNearZeroCopy,
+                            ),
+                        );
+                        mirrored_q[w] = false;
+                    }
+
                     // Attribution state as the round starts (see
                     // `attribute_slice`): a worker dying this round still
                     // forwarded part of the offer under the old steering.
                     let pre_q = svc.quarantined().to_vec();
                     let pre_live = svc.live_workers().to_vec();
+                    let pre_prob = svc.probation().to_vec();
 
                     // Merge every active tenant's schedule for this round
                     // into one offered burst (arrival order per tenant is
@@ -467,6 +582,15 @@ impl CampaignHarness {
                             t.driver
                                 .neighbor_verifier_mut(attribute_slice(fp.tuple, &pre_q, &pre_live))
                                 .observe_fingerprint(fp.src_ip);
+                            // A probation slice shadows its home shard; its
+                            // fresh neighbor verifier observes the handover
+                            // too (the live re-steered slice keeps its own).
+                            let home = shard_of_fingerprint(fp.tuple, n);
+                            if pre_prob[home] {
+                                t.driver
+                                    .neighbor_verifier_mut(home)
+                                    .observe_fingerprint(fp.src_ip);
+                            }
                         }
                         merged.extend_from_slice(&round.packets);
                     }
@@ -478,21 +602,45 @@ impl CampaignHarness {
                     // Mirror newly service-quarantined workers into every
                     // tenant's audit driver and the cluster *before* any
                     // tenant closes its round, then re-run admission over
-                    // the shrunken pool (rule-failover budget check).
+                    // the shrunken pool (rule-failover budget check). A
+                    // worker on probation (quarantined *and* probation in
+                    // the service) is left alone — the drivers audit it off
+                    // its shadow logs; a worker that crashed *mid-probation*
+                    // (a flap) is flap-demoted here for every tenant, with
+                    // the rejoin attempt charged and backoff scheduled.
                     let mut new_quarantine = false;
-                    for (w, seen) in seen_q.iter_mut().enumerate().take(n) {
-                        if svc.quarantined()[w] && !*seen {
-                            *seen = true;
+                    for w in 0..n {
+                        if !svc.quarantined()[w] || svc.probation()[w] || mirrored_q[w] {
+                            continue;
+                        }
+                        mirrored_q[w] = true;
+                        new_quarantine = true;
+                        if !seen_q[w] {
+                            seen_q[w] = true;
                             quarantined_order.push(w);
-                            new_quarantine = true;
-                            if !cluster.quarantined()[w] && cluster.live_len() > 1 {
-                                cluster.quarantine_slice(w);
+                        }
+                        if !cluster.quarantined()[w] && cluster.live_len() > 1 {
+                            cluster.quarantine_slice(w);
+                        }
+                        let mut flap = false;
+                        let mut backoff = 0u64;
+                        let mut allowed = true;
+                        for t in tenants.iter_mut() {
+                            if t.driver.probation()[w] {
+                                t.driver.demote_slice(w);
+                                flap = true;
+                            } else if !t.driver.quarantined()[w] {
+                                t.driver.quarantine_slice(w);
                             }
-                            for t in tenants.iter_mut() {
-                                if !t.driver.quarantined()[w] {
-                                    t.driver.quarantine_slice(w);
-                                }
-                            }
+                            backoff = backoff.max(t.driver.rejoin_backoff_rounds(w));
+                            allowed = allowed && t.driver.rejoin_allowed(w);
+                        }
+                        if flap {
+                            next_rejoin_round[w] = global_round + 1 + backoff;
+                            want_rejoin[w] = allowed;
+                        }
+                        if crash_round[w].is_none() {
+                            crash_round[w] = Some(global_round);
                         }
                     }
                     if new_quarantine && !cluster.quarantined()[0] {
@@ -546,8 +694,76 @@ impl CampaignHarness {
                             &mut cluster,
                             &pre_q,
                             &pre_live,
+                            &pre_prob,
                             uncovered,
                         );
+                    }
+
+                    // Probation verdicts, coordinated across tenants: ANY
+                    // tenant's dirty (or unauditable) probation audit
+                    // demotes the slice for everyone, with the next attempt
+                    // scheduled after exponential backoff; the worker is
+                    // restored into the steering hash only once EVERY
+                    // tenant still auditing has promoted it.
+                    let mut demoted_ws: BTreeSet<usize> = BTreeSet::new();
+                    let mut promoted_ws: BTreeSet<usize> = BTreeSet::new();
+                    for t in tenants.iter_mut() {
+                        demoted_ws.extend(t.driver.take_demoted());
+                        promoted_ws.extend(t.driver.take_promoted());
+                    }
+                    for &w in &demoted_ws {
+                        promoted_ws.remove(&w);
+                        if svc.probation()[w] {
+                            svc.demote_worker(w);
+                        }
+                        if !cluster.quarantined()[w] && cluster.live_len() > 1 {
+                            cluster.quarantine_slice(w);
+                        }
+                        mirrored_q[w] = true;
+                        let mut backoff = 0u64;
+                        let mut allowed = true;
+                        for t in tenants.iter_mut() {
+                            if t.driver.probation()[w] {
+                                t.driver.demote_slice(w);
+                            } else if !t.driver.quarantined()[w] {
+                                t.driver.quarantine_slice(w);
+                            }
+                            backoff = backoff.max(t.driver.rejoin_backoff_rounds(w));
+                            allowed = allowed && t.driver.rejoin_allowed(w);
+                        }
+                        next_rejoin_round[w] = global_round + 1 + backoff;
+                        want_rejoin[w] = allowed;
+                    }
+                    for &w in &promoted_ws {
+                        let all_clear = tenants.iter().all(|t| {
+                            t.driver.state() != ContractState::Active
+                                || (global_round as usize) >= t.rounds.len()
+                                || (!t.driver.probation()[w] && !t.driver.quarantined()[w])
+                        });
+                        if !all_clear {
+                            continue;
+                        }
+                        svc.restore_worker(w);
+                        recovered_order.push(w);
+                        if rejoin_rounds.is_none() {
+                            rejoin_rounds = crash_round[w].map(|c| global_round - c);
+                        }
+                        // The pool grew back: re-run admission over the
+                        // restored slices and re-admit failover-rejected
+                        // contracts that fit again.
+                        let window_secs = (global_round + 1) as f64 * round_secs;
+                        let arb = cluster.rearbitrate(0, window_secs, 0.1, config.arbiter);
+                        failover_rejected.retain(|r| {
+                            if matches!(
+                                arb.verdict(r.contract),
+                                Some(AdmissionVerdict::Rejected { .. })
+                            ) {
+                                true
+                            } else {
+                                readmitted.push(r.contract);
+                                false
+                            }
+                        });
                     }
                 }
 
@@ -569,6 +785,9 @@ impl CampaignHarness {
                         recovery_rounds: t
                             .outage_start
                             .and_then(|start| t.recovered_at.map(|r| r - start)),
+                        recovered_slices: recovered_order.clone(),
+                        rejoin_rounds,
+                        probation_rounds: t.driver.probation_rounds_used(),
                     })
                     .collect::<Vec<_>>()
             },
@@ -581,12 +800,14 @@ impl CampaignHarness {
             reports,
             rejected,
             failover_rejected,
+            readmitted,
         }
     }
 }
 
 /// One tenant's end-of-round step: score deliveries, audit, react,
 /// publish its epoch.
+#[allow(clippy::too_many_arguments)]
 fn step_tenant(
     t: &mut Tenant,
     policy: &mut dyn VictimPolicy,
@@ -594,6 +815,7 @@ fn step_tenant(
     cluster: &mut EnclaveCluster,
     pre_q: &[bool],
     pre_live: &[usize],
+    pre_prob: &[bool],
     uncovered: u64,
 ) {
     let round = &t.rounds[round_idx];
@@ -618,6 +840,15 @@ fn step_tenant(
         t.driver
             .victim_verifier_mut(attribute_slice(fp.tuple, pre_q, pre_live))
             .observe_fingerprint(fp.tuple);
+        // The stateless filter is deterministic, so the shadow copy of
+        // every sink-delivered home-shard packet was forwarded (and
+        // logged outgoing) by a probation slice too.
+        let home = shard_of_fingerprint(fp.tuple, pre_q.len());
+        if pre_prob[home] {
+            t.driver
+                .victim_verifier_mut(home)
+                .observe_fingerprint(fp.tuple);
+        }
         if round.attack_sources.contains(&tuple.src_ip) {
             phase.delivered_attack += 1;
         } else {

@@ -293,6 +293,16 @@ impl ScenarioHarness {
         // round with zero uncovered (recovery).
         let mut outage_start: Option<u64> = None;
         let mut recovered_at: Option<u64> = None;
+        // Slices a seeded WorkerRecover wants back in. The attempt is made
+        // at the start of the first eligible round (crash fully mirrored,
+        // backoff elapsed, rejoin budget left); a failed probation re-arms
+        // the flag with exponential backoff until the budget runs out
+        // (flap damping).
+        let mut want_rejoin = vec![false; n];
+        let mut next_rejoin_round = vec![0u64; n];
+        let mut crash_round: Vec<Option<u64>> = vec![None; n];
+        let mut recovered_order: Vec<usize> = Vec::new();
+        let mut rejoin_rounds: Option<u64> = None;
 
         // --- the always-on dataplane service ----------------------------
         // Stages, rings, and worker threads are built ONCE; every round
@@ -337,6 +347,7 @@ impl ScenarioHarness {
                     for ev in faults.due(round.global_round) {
                         match ev.kind {
                             FaultKind::WorkerCrash { worker } => svc.inject_crash(worker % n),
+                            FaultKind::WorkerRecover { worker } => want_rejoin[worker % n] = true,
                             FaultKind::WorkerStall { worker, rounds } => {
                                 let w = worker % n;
                                 stall_until[w] = stall_until[w].max(round.global_round + rounds);
@@ -357,6 +368,48 @@ impl ScenarioHarness {
                         }
                     }
 
+                    // Attempt scheduled rejoins: relaunch the slice on a
+                    // fresh enclave, re-attest a NEW session (fresh channel,
+                    // audit key, and sketch seed — pre-crash keys are never
+                    // reused), replay rule/contract state from the master,
+                    // and respawn the worker into probation. Live steering
+                    // is untouched until the driver promotes the slice.
+                    for w in 1..n {
+                        if !want_rejoin[w]
+                            || !svc.quarantined()[w]
+                            || svc.probation()[w]
+                            || !driver.quarantined()[w]
+                            || !driver.rejoin_allowed(w)
+                            || round.global_round < next_rejoin_round[w]
+                            || cluster.quarantined()[0]
+                        {
+                            continue;
+                        }
+                        want_rejoin[w] = false;
+                        cluster.relaunch_slice(w);
+                        let fresh = victim_client
+                            .establish(
+                                Arc::clone(&cluster.enclaves()[w]),
+                                &ias,
+                                derive32(seed ^ round.global_round, 0x40 ^ w as u8),
+                            )
+                            .expect("rejoin re-attestation handshake");
+                        cluster.resync_slice(0, w);
+                        driver.start_probation(
+                            w,
+                            Arc::clone(&cluster.enclaves()[w]),
+                            fresh.victim_verifier(),
+                            fresh.neighbor_verifier(),
+                        );
+                        svc.respawn_worker(
+                            w,
+                            EnclaveFilterStage::new(
+                                Arc::clone(&cluster.enclaves()[w]),
+                                FilterMode::SgxNearZeroCopy,
+                            ),
+                        );
+                    }
+
                     // Quarantine state as the round *starts*: a worker that
                     // crashes this round still forwarded part of the offer, so
                     // this round's packets are attributed with the pre-round
@@ -364,14 +417,25 @@ impl ScenarioHarness {
                     // like the handle's own requarget.
                     let pre_q = svc.quarantined().to_vec();
                     let pre_live = svc.live_workers().to_vec();
+                    let pre_prob = svc.probation().to_vec();
 
                     // Neighbor ASes observe what they hand over, attributed by the
-                    // public steering hash (fingerprint-once per packet).
+                    // public steering hash (fingerprint-once per packet). A
+                    // probation slice additionally shadows its home shard —
+                    // the mirrored copy reaches its fresh enclave logs, so
+                    // its new neighbor verifier must observe the handover
+                    // too (the live re-steered slice still gets its own).
                     for pkt in &round.packets {
                         let fp = PacketFingerprints::of(&pkt.tuple);
                         driver
                             .neighbor_verifier_mut(attribute_slice(fp.tuple, &pre_q, &pre_live))
                             .observe_fingerprint(fp.src_ip);
+                        let home = shard_of_fingerprint(fp.tuple, n);
+                        if pre_prob[home] {
+                            driver
+                                .neighbor_verifier_mut(home)
+                                .observe_fingerprint(fp.src_ip);
+                        }
                     }
 
                     // Offer the round to the live service and flush its barrier:
@@ -381,14 +445,30 @@ impl ScenarioHarness {
                     // Mirror service-detected quarantines (crash at the
                     // barrier) into the audit and control planes *before*
                     // closing the round: the dead slice's audit is excised
-                    // and future rule churn skips it.
+                    // and future rule churn skips it. A probation worker
+                    // (quarantined *and* probation in the service) is left
+                    // alone here — the driver audits it off its shadow logs.
                     for w in 0..n {
-                        if svc.quarantined()[w] {
-                            if !driver.quarantined()[w] {
+                        if svc.quarantined()[w] && !svc.probation()[w] {
+                            if driver.probation()[w] {
+                                // The probation worker flapped (crashed
+                                // mid-probation): the service already flap-
+                                // demoted it; mirror the demotion into the
+                                // audit plane and do the backoff bookkeeping
+                                // here, since close_round clears the
+                                // demotion drain.
+                                driver.demote_slice(w);
+                                next_rejoin_round[w] =
+                                    round.global_round + 1 + driver.rejoin_backoff_rounds(w);
+                                want_rejoin[w] = driver.rejoin_allowed(w);
+                            } else if !driver.quarantined()[w] {
                                 driver.quarantine_slice(w);
                             }
                             if !cluster.quarantined()[w] && cluster.live_len() > 1 {
                                 cluster.quarantine_slice(w);
+                            }
+                            if crash_round[w].is_none() {
+                                crash_round[w] = Some(round.global_round);
                             }
                         }
                     }
@@ -415,6 +495,16 @@ impl ScenarioHarness {
                         driver
                             .victim_verifier_mut(attribute_slice(fp.tuple, &pre_q, &pre_live))
                             .observe_fingerprint(fp.tuple);
+                        // The stateless filter is deterministic, so the
+                        // shadow copy of every sink-delivered home-shard
+                        // packet was forwarded (and logged outgoing) by the
+                        // probation slice too.
+                        let home = shard_of_fingerprint(fp.tuple, n);
+                        if pre_prob[home] {
+                            driver
+                                .victim_verifier_mut(home)
+                                .observe_fingerprint(fp.tuple);
+                        }
                         if round.attack_sources.contains(&t.src_ip) {
                             phase.delivered_attack += 1;
                         } else {
@@ -442,6 +532,31 @@ impl ScenarioHarness {
                         if (svc.quarantined()[w] || driver.quarantined()[w]) && !*seen {
                             *seen = true;
                             quarantined_order.push(w);
+                        }
+                    }
+
+                    // Probation verdicts: a dirty (or unauditable) probation
+                    // audit demoted the slice in the driver — mirror the
+                    // demotion into the dataplane and cluster and schedule
+                    // the next attempt after exponential backoff; a full
+                    // clean streak promoted it — restore the worker into
+                    // the steering hash, byte-identical to pre-crash.
+                    for w in driver.take_demoted() {
+                        if svc.probation()[w] {
+                            svc.demote_worker(w);
+                        }
+                        if !cluster.quarantined()[w] && cluster.live_len() > 1 {
+                            cluster.quarantine_slice(w);
+                        }
+                        next_rejoin_round[w] =
+                            round.global_round + 1 + driver.rejoin_backoff_rounds(w);
+                        want_rejoin[w] = driver.rejoin_allowed(w);
+                    }
+                    for w in driver.take_promoted() {
+                        svc.restore_worker(w);
+                        recovered_order.push(w);
+                        if rejoin_rounds.is_none() {
+                            rejoin_rounds = crash_round[w].map(|c| round.global_round - c);
                         }
                     }
                     if outcome.dirty() {
@@ -575,6 +690,9 @@ impl ScenarioHarness {
                     rules_withdrawn: total_withdrawn,
                     quarantined_slices: quarantined_order,
                     recovery_rounds: outage_start.and_then(|start| recovered_at.map(|r| r - start)),
+                    recovered_slices: recovered_order,
+                    rejoin_rounds,
+                    probation_rounds: driver.probation_rounds_used(),
                 }
             },
         );

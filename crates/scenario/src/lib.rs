@@ -83,3 +83,7 @@ pub use timeline::{LegitProfile, Phase, PhaseKind, RoundTraffic, Scenario};
 // Fault-injection vocabulary, re-exported so chaos scenarios can be
 // scripted against this crate alone.
 pub use vif_dataplane::{DegradedMode, FaultEvent, FaultKind, FaultPlan};
+// The admission arbiter's pool knobs: [`CampaignConfig`] embeds them, so
+// campaign callers can size the shared enclave pool without importing the
+// optimizer crate themselves.
+pub use vif_optimizer::ArbiterConfig;

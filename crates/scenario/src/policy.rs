@@ -157,6 +157,7 @@ mod tests {
                 victim_verdict: BypassVerdict::Clean,
                 neighbor_verdict: BypassVerdict::Clean,
                 quarantined: false,
+                probation: false,
             }],
         }
     }

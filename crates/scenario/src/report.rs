@@ -106,6 +106,18 @@ pub struct ScenarioReport {
     /// the dead slice and re-steer its flows. `None` when no outage
     /// touched this contract, or it never recovered within the run.
     pub recovery_rounds: Option<u64>,
+    /// Slices that completed the full recovery lifecycle during the run —
+    /// relaunched fresh, re-attested, state-resynced, and promoted out of
+    /// probation back to full trust — in promotion order. Empty when no
+    /// slice rejoined.
+    pub recovered_slices: Vec<usize>,
+    /// Mean time to rejoin: rounds from a slice's quarantine to its
+    /// promotion back to full trust, for the *first* slice that completed
+    /// the lifecycle. `None` when no slice rejoined within the run.
+    pub rejoin_rounds: Option<u64>,
+    /// Total slice-rounds spent on probation across the run (clean *and*
+    /// dirty probation audits both count; zero without rejoins).
+    pub probation_rounds: u64,
 }
 
 impl ScenarioReport {
@@ -184,7 +196,7 @@ impl std::fmt::Display for ScenarioReport {
         }
         writeln!(
             f,
-            "\ntotals: goodput {:.1}%, leakage {:.1}%, {} installs / {} withdrawals, {} dirty rounds, state {:?}{}{}",
+            "\ntotals: goodput {:.1}%, leakage {:.1}%, {} installs / {} withdrawals, {} dirty rounds, state {:?}{}{}{}",
             self.total_goodput() * 100.0,
             self.total_leakage() * 100.0,
             self.rules_installed,
@@ -205,6 +217,19 @@ impl std::fmt::Display for ScenarioReport {
                     match self.recovery_rounds {
                         Some(r) => format!(", recovered in {r} round(s)"),
                         None => ", never recovered".to_string(),
+                    }
+                )
+            },
+            if self.recovered_slices.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", slices {:?} rejoined ({} probation round(s){})",
+                    self.recovered_slices,
+                    self.probation_rounds,
+                    match self.rejoin_rounds {
+                        Some(r) => format!(", MTTR {r} round(s)"),
+                        None => String::new(),
                     }
                 )
             }
@@ -266,6 +291,9 @@ mod tests {
             rules_withdrawn: 1,
             quarantined_slices: vec![],
             recovery_rounds: None,
+            recovered_slices: vec![],
+            rejoin_rounds: None,
+            probation_rounds: 0,
         };
         let s = report.to_string();
         assert!(s.contains("goodput"));
@@ -291,11 +319,16 @@ mod tests {
             rules_withdrawn: 1,
             quarantined_slices: vec![2],
             recovery_rounds: Some(1),
+            recovered_slices: vec![2],
+            rejoin_rounds: Some(3),
+            probation_rounds: 2,
         };
         let s = report.to_string();
         assert!(s.contains("slices [2] quarantined"));
         assert!(s.contains("120 uncovered"));
         assert!(s.contains("recovered in 1 round(s)"));
+        assert!(s.contains("slices [2] rejoined"));
+        assert!(s.contains("MTTR 3 round(s)"));
         assert_eq!(report.total_uncovered(), 120);
     }
 }
