@@ -10,6 +10,7 @@ pub mod multivictim;
 pub mod scenario;
 pub mod service;
 pub mod solver;
+pub mod telemetry;
 
 use vif_core::prelude::*;
 use vif_dataplane::{FlowSet, Packet, TrafficConfig, TrafficGenerator};

@@ -2,6 +2,7 @@
 
 use crate::experiments::{
     ablations, attest, chaos, dataplane, heal, ixp, multivictim, scenario, service, solver,
+    telemetry,
 };
 use vif_interdomain::AttackSourceModel;
 
@@ -47,6 +48,10 @@ pub enum ExperimentId {
     /// Activation latency of epoch publication on the always-on service
     /// (beyond the paper).
     Service,
+    /// Observability: seeded chaos run with the telemetry hub attached —
+    /// round snapshot, flight-recorder tail, and reproducibility digests
+    /// (beyond the paper).
+    Telemetry,
     /// Fig. 11a: DNS-resolver coverage.
     Fig11a,
     /// Fig. 11b: Mirai coverage.
@@ -66,7 +71,7 @@ pub enum ExperimentId {
 }
 
 /// All experiments in presentation order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 25] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 26] = [
     ExperimentId::Fig3a,
     ExperimentId::Fig3b,
     ExperimentId::Fig8,
@@ -84,6 +89,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 25] = [
     ExperimentId::Chaos,
     ExperimentId::Heal,
     ExperimentId::Service,
+    ExperimentId::Telemetry,
     ExperimentId::Fig11a,
     ExperimentId::Fig11b,
     ExperimentId::Tab3,
@@ -115,6 +121,7 @@ impl ExperimentId {
             ExperimentId::Chaos => "chaos",
             ExperimentId::Heal => "heal",
             ExperimentId::Service => "service",
+            ExperimentId::Telemetry => "telemetry",
             ExperimentId::Fig11a => "fig11a",
             ExperimentId::Fig11b => "fig11b",
             ExperimentId::Tab3 => "tab3",
@@ -168,6 +175,7 @@ pub fn run_experiment(id: ExperimentId, scale: Scale) -> String {
         ExperimentId::Chaos => chaos::chaos(scale == Scale::Quick),
         ExperimentId::Heal => heal::heal(scale == Scale::Quick),
         ExperimentId::Service => service::service(scale == Scale::Quick),
+        ExperimentId::Telemetry => telemetry::telemetry(scale == Scale::Quick),
         ExperimentId::Fig11a => ixp::fig11(AttackSourceModel::DnsResolvers, victims, 77),
         ExperimentId::Fig11b => ixp::fig11(AttackSourceModel::MiraiBotnet, victims, 77),
         ExperimentId::Tab3 => ixp::tab3(77),

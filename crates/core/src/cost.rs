@@ -23,6 +23,16 @@
 //! cache) to `dram_ramp_ns` (table filling usable EPC) and is multiplied by
 //! the EPC paging penalty ([`vif_sgx::epc::EpcUsage::access_multiplier_for`])
 //! once the working set exceeds the EPC.
+//!
+//! Telemetry recording is **not** a term of this model: the hot path
+//! batches into a stack-resident [`vif_telemetry::WorkerScratch`]
+//! (one branch, two increments, and a log2-bucket add per packet —
+//! single-digit real nanoseconds, merged into shared atomics once per
+//! round at the flush barrier), which is below the model's resolution.
+//! The real-machine cost is tracked empirically instead: the
+//! `telemetry_overhead` bench runs the same service hot path with
+//! recording off and on, and `scripts/bench_regress.py` gates the
+//! on/off ratio against the ≤5 % budget in `BENCH_hotpath.json`.
 
 use vif_sgx::epc::{EpcConfig, EpcUsage};
 

@@ -16,6 +16,7 @@ use crate::retry::RetryPolicy;
 use crate::verify::{AuditError, BypassVerdict, NeighborVerifier, VictimVerifier};
 use std::sync::Arc;
 use vif_sgx::Enclave;
+use vif_telemetry::{EventKind, TelemetryHub};
 
 /// What the driver does with a slice whose export still fails after every
 /// bounded retry.
@@ -282,6 +283,10 @@ pub struct ClusterRoundDriver {
     audit_retries_used: u64,
     /// Virtual-clock nanoseconds charged to retry backoff.
     backoff_ns: u64,
+    /// Optional telemetry hub: audit verdicts, strikes, probation
+    /// transitions, and export retries land in its flight recorder and
+    /// per-slice counters; closed rounds feed its latency histogram.
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl ClusterRoundDriver {
@@ -350,6 +355,7 @@ impl ClusterRoundDriver {
             export_fault: None,
             audit_retries_used: 0,
             backoff_ns: 0,
+            telemetry: None,
         }
     }
 
@@ -445,6 +451,17 @@ impl ClusterRoundDriver {
         self.enclaves[i] = enclave;
         self.victims[i] = victim;
         self.neighbors[i] = neighbor;
+        if let Some(hub) = &self.telemetry {
+            hub.record_event(
+                EventKind::Probation,
+                i as u32,
+                self.rejoin_attempts[i] as u64,
+                0,
+            );
+            if let Some(s) = hub.slice(i) {
+                s.note_probation();
+            }
+        }
     }
 
     /// Per-slice probation flags.
@@ -509,6 +526,16 @@ impl ClusterRoundDriver {
         self.export_fault = Some(hook);
     }
 
+    /// Attaches a telemetry hub: each closed round records per-slice
+    /// [`EventKind::AuditVerdict`] events (plus strikes, probation
+    /// transitions, export retries, and aborts) in the hub's flight
+    /// recorder, bumps the per-slice audit counters, and feeds the round
+    /// latency histogram with the round's virtual duration including any
+    /// export-retry backoff.
+    pub fn set_telemetry(&mut self, hub: Arc<TelemetryHub>) {
+        self.telemetry = Some(hub);
+    }
+
     /// Total export retries performed across all rounds.
     pub fn audit_retries_used(&self) -> u64 {
         self.audit_retries_used
@@ -551,6 +578,7 @@ impl ClusterRoundDriver {
         let mut slices = Vec::with_capacity(self.enclaves.len());
         let mut round = self.rounds_closed;
         let contract = self.contract;
+        let backoff_before = self.backoff_ns;
         'slices: for i in 0..self.enclaves.len() {
             if self.quarantined[i] {
                 slices.push(RoundOutcome {
@@ -594,6 +622,14 @@ impl ClusterRoundDriver {
                             // round, costing only (virtual) backoff.
                             self.audit_retries_used += 1;
                             self.backoff_ns += self.policy.export_retry.backoff_for(attempt);
+                            if let Some(hub) = &self.telemetry {
+                                hub.record_event(
+                                    EventKind::ExportRetry,
+                                    i as u32,
+                                    attempt as u64,
+                                    0,
+                                );
+                            }
                             attempt += 1;
                             continue;
                         }
@@ -617,6 +653,20 @@ impl ClusterRoundDriver {
                                 // round: abort the whole contract, leave
                                 // every live slice rotated.
                                 self.strikes += 1;
+                                if let Some(hub) = &self.telemetry {
+                                    hub.record_event(
+                                        EventKind::Strike,
+                                        i as u32,
+                                        self.strikes as u64,
+                                        contract as u64,
+                                    );
+                                    hub.record_event(
+                                        EventKind::ContractAbort,
+                                        i as u32,
+                                        self.strikes as u64,
+                                        contract as u64,
+                                    );
+                                }
                                 self.state = ContractState::Aborted {
                                     strikes: self.strikes,
                                 };
@@ -625,6 +675,15 @@ impl ClusterRoundDriver {
                             }
                             ExportFailurePolicy::QuarantineSlice => {
                                 self.quarantined[i] = true;
+                                // `a = 1` marks export-failure origin,
+                                // distinct from the service's fault-driven
+                                // quarantine (`a = 0`).
+                                if let Some(hub) = &self.telemetry {
+                                    hub.record_event(EventKind::Quarantine, i as u32, 1, 0);
+                                    if let Some(s) = hub.slice(i) {
+                                        s.note_quarantine();
+                                    }
+                                }
                                 slices.push(RoundOutcome {
                                     round,
                                     victim_verdict: BypassVerdict::Clean,
@@ -655,6 +714,19 @@ impl ClusterRoundDriver {
                 quarantined: false,
                 probation: on_probation,
             };
+            if let Some(hub) = &self.telemetry {
+                let vbit = u64::from(outcome.victim_verdict != BypassVerdict::Clean);
+                let nbit = u64::from(outcome.neighbor_verdict != BypassVerdict::Clean) << 1;
+                hub.record_event(
+                    EventKind::AuditVerdict,
+                    i as u32,
+                    vbit | nbit,
+                    u64::from(on_probation),
+                );
+                if let Some(s) = hub.slice(i) {
+                    s.note_audit(outcome.dirty());
+                }
+            }
             if on_probation {
                 if outcome.dirty() {
                     self.demote(i);
@@ -664,6 +736,17 @@ impl ClusterRoundDriver {
                     if self.probation_streak[i] >= self.policy.probation_rounds {
                         self.probation[i] = false;
                         self.promoted.push(i);
+                        if let Some(hub) = &self.telemetry {
+                            hub.record_event(
+                                EventKind::Promote,
+                                i as u32,
+                                self.probation_streak[i] as u64,
+                                0,
+                            );
+                            if let Some(s) = hub.slice(i) {
+                                s.note_promotion();
+                            }
+                        }
                     }
                 }
             }
@@ -676,13 +759,30 @@ impl ClusterRoundDriver {
         self.history.push(outcome.clone());
         if outcome.dirty() {
             self.strikes += 1;
+            if let Some(hub) = &self.telemetry {
+                hub.record_event(EventKind::Strike, 0, self.strikes as u64, contract as u64);
+            }
             if self.strikes >= self.policy.max_strikes {
                 self.state = ContractState::Aborted {
                     strikes: self.strikes,
                 };
+                if let Some(hub) = &self.telemetry {
+                    hub.record_event(
+                        EventKind::ContractAbort,
+                        0,
+                        self.strikes as u64,
+                        contract as u64,
+                    );
+                }
             }
         }
         self.rotate();
+        if let Some(hub) = &self.telemetry {
+            // The round's virtual duration: nominal length plus whatever
+            // export-retry backoff this close charged.
+            hub.round_latency()
+                .record(self.policy.round_duration_ns + (self.backoff_ns - backoff_before));
+        }
         self.rounds_closed += 1;
         Ok(outcome)
     }
@@ -697,6 +797,17 @@ impl ClusterRoundDriver {
         self.rejoin_attempts[i] += 1;
         self.probation_rounds_used += 1;
         self.demoted.push(i);
+        if let Some(hub) = &self.telemetry {
+            hub.record_event(
+                EventKind::Demote,
+                i as u32,
+                self.rejoin_attempts[i] as u64,
+                0,
+            );
+            if let Some(s) = hub.slice(i) {
+                s.note_demotion();
+            }
+        }
     }
 
     /// Rotates every live slice's enclave and verifier sketches (this

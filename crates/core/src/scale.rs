@@ -29,6 +29,7 @@ use vif_optimizer::{
 };
 use vif_sgx::{Enclave, EnclaveImage, SgxPlatform};
 use vif_sketch::hash::fingerprint;
+use vif_telemetry::{EventKind, TelemetryHub};
 
 /// The §VI-D back-of-envelope deployment plan: how many commodity SGX
 /// servers an IXP needs for a target filtering capacity.
@@ -264,6 +265,9 @@ pub struct EnclaveCluster {
     quarantined: Vec<bool>,
     /// Optional publish-ack fault hook (test/bench injection only).
     publish_ack_loss: Option<PublishAckHook>,
+    /// Optional telemetry hub: epoch publications and slice rejoins land
+    /// in its flight recorder.
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl EnclaveCluster {
@@ -329,6 +333,7 @@ impl EnclaveCluster {
             replicated: false,
             quarantined,
             publish_ack_loss: None,
+            telemetry: None,
         }
     }
 
@@ -386,6 +391,7 @@ impl EnclaveCluster {
             replicated: true,
             quarantined: vec![false; n],
             publish_ack_loss: None,
+            telemetry: None,
         }
     }
 
@@ -443,6 +449,7 @@ impl EnclaveCluster {
             replicated: true,
             quarantined: vec![false; n],
             publish_ack_loss: None,
+            telemetry: None,
         }
     }
 
@@ -598,6 +605,9 @@ impl EnclaveCluster {
         // replicated dispatch include the slice again.
         self.slices[i] = (0..master_rules.len() as RuleId).collect();
         self.quarantined[i] = false;
+        if let Some(hub) = &self.telemetry {
+            hub.record_event(EventKind::Rejoin, i as u32, epoch, contracts.len() as u64);
+        }
         ResyncReport {
             slice: i,
             rules: master_rules.active_len(),
@@ -625,6 +635,14 @@ impl EnclaveCluster {
     /// quarantined mid-publication. Test/bench injection only.
     pub fn set_publish_ack_loss(&mut self, hook: PublishAckHook) {
         self.publish_ack_loss = Some(hook);
+    }
+
+    /// Attaches a telemetry hub: every epoch publication records an
+    /// [`EventKind::EpochPublish`] event and every slice resync an
+    /// [`EventKind::Rejoin`] event in the hub's flight recorder, stamped
+    /// from its virtual clock.
+    pub fn set_telemetry(&mut self, hub: Arc<TelemetryHub>) {
+        self.telemetry = Some(hub);
     }
 
     /// Re-steers a dispatch target away from a quarantined slice on a
@@ -914,6 +932,14 @@ impl EnclaveCluster {
         // re-sending while the (injected) network eats the ack.
         let (ack_retries, ack_lost_slices) = self.install_on_live(0, &rs, &new_rule_ids);
         let epoch = self.enclaves[master].ecall(|app| app.epoch());
+        if let Some(hub) = &self.telemetry {
+            hub.record_event(
+                EventKind::EpochPublish,
+                master as u32,
+                epoch,
+                rs.active_len() as u64,
+            );
+        }
         self.finish_publication(rs);
         PublishReport {
             edits: edits.len(),
@@ -964,6 +990,14 @@ impl EnclaveCluster {
         });
         let (ack_retries, ack_lost_slices) = self.install_on_live(contract, &rs, &new_rule_ids);
         let epoch = self.enclaves[master].ecall(move |app| app.epoch_of(contract));
+        if let Some(hub) = &self.telemetry {
+            hub.record_event(
+                EventKind::EpochPublish,
+                master as u32,
+                epoch,
+                rs.active_len() as u64,
+            );
+        }
         self.finish_publication(rs);
         PublishReport {
             edits: edits.len(),

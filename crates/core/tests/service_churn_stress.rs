@@ -188,8 +188,17 @@ fn continuous_publish_churn_never_tears_a_burst() {
 
     // Publisher thread: flip the dropped sentinel every epoch, as fast as
     // the publication path allows, until the dataplane has drained.
-    let (report, epochs) = std::thread::scope(|scope| {
+    let (report, epochs, extra_passes) = std::thread::scope(|scope| {
         let publisher = scope.spawn(|| {
+            // Let epoch 0 forward both sentinels before the first publish
+            // lands, so the forwarded-baseline assertions below cannot
+            // race the churn.
+            while !done.load(Ordering::Acquire)
+                && (ledger.fwd_a.load(Ordering::Relaxed) == 0
+                    || ledger.fwd_b.load(Ordering::Relaxed) == 0)
+            {
+                std::thread::yield_now();
+            }
             let mut epochs = 0u64;
             let mut last_rule: Option<RuleId> = None;
             while !done.load(Ordering::Acquire) {
@@ -224,18 +233,51 @@ fn continuous_publish_churn_never_tears_a_burst() {
                 for chunk in traffic.chunks(1024) {
                     svc.offer(chunk);
                 }
-                svc.flush_round().clone()
+                // Keep the dataplane hot until each sentinel's published
+                // rule has bitten at least once — the churn assertions
+                // below must not race the publisher. Bounded, so a broken
+                // publication path fails loudly instead of hanging.
+                let mut extra_passes = 0u64;
+                while extra_passes < 200
+                    && (ledger.drop_a.load(Ordering::Relaxed) == 0
+                        || ledger.drop_b.load(Ordering::Relaxed) == 0)
+                {
+                    for chunk in traffic.chunks(1024).take(4) {
+                        svc.offer(chunk);
+                    }
+                    extra_passes += 1;
+                }
+                (svc.flush_round().clone(), extra_passes)
             },
         );
         done.store(true, Ordering::Release);
-        (report, publisher.join().expect("publisher thread"))
+        let (report, extra_passes) = report;
+        (
+            report,
+            publisher.join().expect("publisher thread"),
+            extra_passes,
+        )
     });
+
+    // The extra keep-hot passes replayed the head of the traffic; their
+    // handover is on the neighbor record like everyone else's.
+    for pkt in traffic
+        .iter()
+        .take(4096)
+        .cycle()
+        .take(4096 * extra_passes as usize)
+    {
+        let fp = PacketFingerprints::of(&pkt.tuple);
+        driver
+            .neighbor_verifier_mut(shard_of_fingerprint(fp.tuple, WORKERS))
+            .observe_fingerprint(fp.src_ip);
+    }
 
     // The workers never stopped forwarding: every offered packet was
     // received and fully accounted, no ring overflow, across many epochs.
     let total = report.total();
     assert_eq!(total.overflow, 0, "ring sized for the run");
-    assert_eq!(total.received, TOTAL_PACKETS as u64);
+    assert_eq!(total.received, TOTAL_PACKETS as u64 + 4096 * extra_passes);
     assert_eq!(total.forwarded + total.filtered, total.received);
     assert!(epochs >= 2, "publisher only completed {epochs} epochs");
 

@@ -62,7 +62,9 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use mbuf::{LocalMemPool, Mbuf, MemPool};
 pub use nic::LineRate;
 pub use packet::{FiveTuple, Packet, Protocol};
-pub use pipeline::{PacketStage, PipelineConfig, PipelineReport, StageOutcome, StageVerdict};
+pub use pipeline::{
+    PacketStage, PipelineConfig, PipelineReport, RecordingStage, StageOutcome, StageVerdict,
+};
 pub use pktgen::{FlowSet, RateShape, TrafficConfig, TrafficGenerator};
 pub use ring::Ring;
 pub use service::{

@@ -32,6 +32,8 @@
 use crate::nic::LineRate;
 use crate::packet::Packet;
 use std::collections::VecDeque;
+use std::sync::Arc;
+use vif_telemetry::{Histogram, TelemetryHub};
 
 /// Verdict of a filter stage for one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,12 +149,12 @@ pub struct PipelineReport {
     pub processed: u64,
     /// Simulated duration from first arrival to last departure, ns.
     pub duration_ns: u64,
-    /// Per-forwarded-packet latencies, ns (arrival → fully on the wire).
-    ///
-    /// Sorted ascending once, when [`run`] finishes filling it, so the
-    /// percentile helpers index directly instead of cloning and
-    /// re-sorting per call (they are hammered inside bench sweeps).
-    latencies_ns: Vec<u64>,
+    /// Per-forwarded-packet latency distribution, ns (arrival → fully on
+    /// the wire), on the shared telemetry histogram: exact mean/min/max,
+    /// O(64) bucket-resolution percentiles, and order-free merging — the
+    /// one percentile implementation every report shares, replacing the
+    /// old clone-and-sort `Vec<u64>` path.
+    latency: Histogram,
 }
 
 impl PipelineReport {
@@ -193,26 +195,22 @@ impl PipelineReport {
         self.forwarded as f64 / self.offered as f64
     }
 
-    /// Mean forwarding latency in nanoseconds.
+    /// Mean forwarding latency in nanoseconds (exact).
     pub fn mean_latency_ns(&self) -> f64 {
-        if self.latencies_ns.is_empty() {
-            return 0.0;
-        }
-        self.latencies_ns.iter().sum::<u64>() as f64 / self.latencies_ns.len() as f64
+        self.latency.mean()
     }
 
-    /// Latency percentile (`q` in 0..=100). O(1): the latency array is
-    /// sorted once at the end of [`run`], not per call.
+    /// Latency percentile (`q` in 0..=100). O(64) per call regardless of
+    /// packet count: a bucket-resolution estimate clamped to the exact
+    /// observed min/max (see [`Histogram::percentile`]).
     pub fn latency_percentile_ns(&self, q: f64) -> u64 {
-        if self.latencies_ns.is_empty() {
-            return 0;
-        }
-        debug_assert!(
-            self.latencies_ns.windows(2).all(|w| w[0] <= w[1]),
-            "latencies must be sorted by run()"
-        );
-        let idx = ((q / 100.0) * (self.latencies_ns.len() - 1) as f64).round() as usize;
-        self.latencies_ns[idx.min(self.latencies_ns.len() - 1)]
+        self.latency.percentile(q)
+    }
+
+    /// The full forwarding-latency distribution, for merging into a
+    /// [`TelemetryHub`] or combining across runs.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
     }
 }
 
@@ -326,8 +324,8 @@ pub fn run(
                     report.forwarded += 1;
                     report.forwarded_bytes += pkt.wire_size as u64;
                     report
-                        .latencies_ns
-                        .push(tx_done - pkt.arrival_ns + cfg.base_latency_ns);
+                        .latency
+                        .record(tx_done - pkt.arrival_ns + cfg.base_latency_ns);
                     last_event = last_event.max(tx_done);
                 }
             }
@@ -336,9 +334,55 @@ pub fn run(
 
     let first_arrival = traffic[0].arrival_ns;
     report.duration_ns = last_event.saturating_sub(first_arrival).max(1);
-    // One sort here instead of one per percentile query (field docs).
-    report.latencies_ns.sort_unstable();
     report
+}
+
+/// A [`PacketStage`] wrapper that records each packet's simulated cost
+/// into a [`TelemetryHub`] worker's cost histogram.
+///
+/// Costs for a burst are batched into a stack-resident [`Histogram`] and
+/// merged with O(64) relaxed atomics once per burst, so wrapping a stage
+/// adds a few plain adds per packet and zero allocation — cheap enough to
+/// leave on in production (the `telemetry_overhead` bench gates it).
+#[derive(Debug)]
+pub struct RecordingStage<S> {
+    inner: S,
+    hub: Arc<TelemetryHub>,
+    worker: usize,
+    scratch: Histogram,
+}
+
+impl<S> RecordingStage<S> {
+    /// Wraps `inner`, charging its per-packet costs to `hub`'s worker `w`.
+    pub fn new(inner: S, hub: Arc<TelemetryHub>, w: usize) -> Self {
+        RecordingStage {
+            inner,
+            hub,
+            worker: w,
+            scratch: Histogram::new(),
+        }
+    }
+
+    /// Unwraps the inner stage.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PacketStage> PacketStage for RecordingStage<S> {
+    fn process_batch(&mut self, pkts: &[Packet], out: &mut Vec<StageOutcome>) {
+        let base = out.len();
+        self.inner.process_batch(pkts, out);
+        self.scratch.clear();
+        for o in &out[base..] {
+            self.scratch.record(o.cost_ns);
+        }
+        self.hub.worker(self.worker).record_cost(&self.scratch);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
 }
 
 #[cfg(test)]
@@ -446,6 +490,19 @@ mod tests {
         let t1 = Packet::new(FiveTuple::new(1, 2, 3, 4, Protocol::Udp), 64, 50, 1);
         let mut stage = forward_all(10);
         run(&[t0, t1], &mut stage, &PipelineConfig::default());
+    }
+
+    #[test]
+    fn recording_stage_charges_costs_to_hub() {
+        let hub = Arc::new(TelemetryHub::for_workers(1));
+        let t = traffic(256, 2.0, 1000);
+        let mut stage = RecordingStage::new(forward_all(75), Arc::clone(&hub), 0);
+        let r = run(&t, &mut stage, &PipelineConfig::default());
+        assert_eq!(r.forwarded, 1000);
+        let costs = hub.worker(0).cost_ns();
+        assert_eq!(costs.count(), r.processed);
+        assert_eq!(costs.min(), 75);
+        assert_eq!(costs.max(), 75);
     }
 
     #[test]

@@ -78,9 +78,10 @@ use crate::sharded::ShardedReport;
 use crate::threaded::ThreadedReport;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::Thread;
 use std::time::Duration;
+use vif_telemetry::{fault, EventKind, TelemetryHub, WorkerScratch};
 
 /// One message on a worker's RX ring.
 #[derive(Debug, Clone, Copy)]
@@ -313,6 +314,11 @@ struct Shared {
     /// flag clears (every `flush_round` clears all stalls, so stalls show
     /// up as backpressure, never as a hung barrier).
     worker_stalled: Vec<AtomicBool>,
+    /// Optional telemetry hub. Workers batch into a stack
+    /// [`WorkerScratch`] and merge here at round barriers; the handle adds
+    /// offer-side counters and records control-plane events. `None` costs
+    /// one predictable branch per packet run.
+    telemetry: Option<Arc<TelemetryHub>>,
     /// Set once by the handle when its scope ends; consumers exit when
     /// they see it with an empty ring.
     shutdown: AtomicBool,
@@ -323,7 +329,12 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(n: usize, config: &ServiceConfig, contracts: ContractMap) -> Self {
+    fn new(
+        n: usize,
+        config: &ServiceConfig,
+        contracts: ContractMap,
+        telemetry: Option<Arc<TelemetryHub>>,
+    ) -> Self {
         let c = contracts.contracts().len();
         Shared {
             rx_rings: (0..n).map(|_| Ring::new(config.ring_capacity)).collect(),
@@ -341,6 +352,7 @@ impl Shared {
             workers_panicked: AtomicUsize::new(0),
             tx_alive: AtomicBool::new(true),
             worker_stalled: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            telemetry,
             shutdown: AtomicBool::new(false),
             round_done: Mutex::new(0),
             round_cv: Condvar::new(),
@@ -430,6 +442,7 @@ impl Drop for AliveGuard<'_> {
 pub struct DataplaneService {
     config: ServiceConfig,
     contracts: ContractMap,
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl DataplaneService {
@@ -438,7 +451,19 @@ impl DataplaneService {
         DataplaneService {
             config,
             contracts: ContractMap::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry hub: workers merge per-round packet counts and
+    /// wire-size histograms into it at each flush barrier, the handle adds
+    /// overflow/uncovered and per-contract deltas, and fault injections /
+    /// quarantines / flush barriers land in the hub's flight recorder.
+    /// Recording is zero-allocation in steady state and adds a few plain
+    /// integer ops per packet (gated by the `telemetry_overhead` bench).
+    pub fn with_telemetry(mut self, hub: Arc<TelemetryHub>) -> Self {
+        self.telemetry = Some(hub);
+        self
     }
 
     /// Attributes round counters to tenant contracts by destination
@@ -484,7 +509,7 @@ impl DataplaneService {
         );
         assert!(self.config.spin_limit > 0, "spin_limit must be positive");
         let config = self.config;
-        let shared = Shared::new(n, &config, self.contracts.clone());
+        let shared = Shared::new(n, &config, self.contracts.clone(), self.telemetry.clone());
         let c = shared.contracts.contracts().len();
         let shared = &shared;
 
@@ -800,6 +825,9 @@ where
             return;
         }
         self.crashed[w] = true;
+        if let Some(hub) = &self.shared.telemetry {
+            hub.record_event(EventKind::FaultInjected, w as u32, fault::CRASH, 0);
+        }
         self.send_crash(w);
     }
 
@@ -912,6 +940,11 @@ where
     /// barrier.
     pub fn stall_worker(&mut self, w: usize, stalled: bool) {
         let w = w % self.n;
+        if stalled {
+            if let Some(hub) = &self.shared.telemetry {
+                hub.record_event(EventKind::FaultInjected, w as u32, fault::STALL, 0);
+            }
+        }
         self.shared.worker_stalled[w].store(stalled, Ordering::SeqCst);
         if !stalled {
             self.worker_threads[w].unpark();
@@ -925,6 +958,9 @@ where
     /// free ring capacity). The worker is deliberately not woken.
     pub fn inject_overflow_storm(&mut self, w: usize, count: u64) -> u64 {
         let w = w % self.n;
+        if let Some(hub) = &self.shared.telemetry {
+            hub.record_event(EventKind::FaultInjected, w as u32, fault::STORM, count);
+        }
         let mut enqueued = 0;
         for _ in 0..count {
             if self.shared.rx_rings[w].enqueue(WorkerMsg::Noise).is_err() {
@@ -1079,6 +1115,32 @@ where
             self.c_overflow[slot] = 0;
             self.c_uncovered[slot] = 0;
         }
+        if let Some(hub) = &self.shared.telemetry {
+            // Workers merged packets/verdicts/sizes at their flush tokens
+            // (ordered before the TX barrier we just waited on); the
+            // offer-side counters only the handle sees land here.
+            let mut received = 0u64;
+            for (w, d) in self.report.per_worker.iter().enumerate() {
+                received += d.received;
+                if w < hub.worker_count() {
+                    hub.worker(w).add_overflow(d.overflow);
+                    hub.worker(w).add_uncovered(d.uncovered);
+                }
+            }
+            for d in &self.contract_report {
+                if let Some(i) = hub.contract_index(d.contract) {
+                    hub.contract(i).add_round(
+                        d.received,
+                        d.forwarded,
+                        d.filtered,
+                        d.overflow,
+                        d.uncovered,
+                    );
+                }
+            }
+            hub.set_round(self.seq);
+            hub.record_event(EventKind::FlushBarrier, 0, self.seq, received);
+        }
         &self.report
     }
 
@@ -1101,6 +1163,12 @@ where
         }
         self.quarantined[w] = true;
         self.live = (0..self.n).filter(|&i| !self.quarantined[i]).collect();
+        if let Some(hub) = &self.shared.telemetry {
+            hub.record_event(EventKind::Quarantine, w as u32, 0, 0);
+            if let Some(s) = hub.slice(w) {
+                s.note_quarantine();
+            }
+        }
         self.reap_ring(w);
     }
 
@@ -1203,6 +1271,9 @@ fn worker_loop<S: PacketStage>(
     let mut outcomes = Vec::with_capacity(config.burst);
     // Reused per-contract (forwarded, filtered) scratch for one run.
     let mut c_counts: Vec<(u64, u64)> = vec![(0, 0); shared.contracts.contracts().len()];
+    // Stack-resident telemetry scratch, merged into the hub only at round
+    // barriers (and at exit) so the packet path stays free of atomics.
+    let mut scratch = WorkerScratch::new();
     let mut spins = 0u32;
     'outer: loop {
         // An injected stall freezes the dequeue side: the ring backs up
@@ -1247,9 +1318,15 @@ fn worker_loop<S: PacketStage>(
                         &mut pkts,
                         &mut outcomes,
                         &mut c_counts,
+                        &mut scratch,
                         &tx_thread,
                     );
                     shadow_run(&mut stage, &mut shadows, &mut outcomes);
+                    // Merge the round's telemetry before the token leaves:
+                    // the barrier's happens-before edge then covers it.
+                    if let Some(hub) = &shared.telemetry {
+                        scratch.flush_into(hub.worker(w));
+                    }
                     push_tx(shared, TxMsg::Flush(seq), &tx_thread);
                 }
                 WorkerMsg::Noise => {}
@@ -1265,9 +1342,13 @@ fn worker_loop<S: PacketStage>(
                         &mut pkts,
                         &mut outcomes,
                         &mut c_counts,
+                        &mut scratch,
                         &tx_thread,
                     );
                     shadow_run(&mut stage, &mut shadows, &mut outcomes);
+                    if let Some(hub) = &shared.telemetry {
+                        scratch.flush_into(hub.worker(w));
+                    }
                     for msg in batch.drain(i + 1..) {
                         let mut item = msg;
                         loop {
@@ -1291,9 +1372,15 @@ fn worker_loop<S: PacketStage>(
             &mut pkts,
             &mut outcomes,
             &mut c_counts,
+            &mut scratch,
             &tx_thread,
         );
         shadow_run(&mut stage, &mut shadows, &mut outcomes);
+    }
+    // Packets decided after the last barrier (e.g. right before shutdown
+    // or a clean crash) still reach the hub.
+    if let Some(hub) = &shared.telemetry {
+        scratch.flush_into(hub.worker(w));
     }
 }
 
@@ -1316,6 +1403,7 @@ fn shadow_run<S: PacketStage>(
 
 /// Runs one packet run through the stage, pushing forwarded packets to TX
 /// and charging the per-worker counters. Clears `pkts`.
+#[allow(clippy::too_many_arguments)] // worker-loop locals threaded by ref; grouping them would allocate
 fn process_run<S: PacketStage>(
     shared: &Shared,
     w: usize,
@@ -1323,6 +1411,7 @@ fn process_run<S: PacketStage>(
     pkts: &mut Vec<Packet>,
     outcomes: &mut Vec<crate::pipeline::StageOutcome>,
     c_counts: &mut [(u64, u64)],
+    scratch: &mut WorkerScratch,
     tx_thread: &Thread,
 ) {
     if pkts.is_empty() {
@@ -1334,6 +1423,8 @@ fn process_run<S: PacketStage>(
     // Tenant attribution only pays per packet when there is more than the
     // default contract; the single-tenant hot path stays lookup-free.
     let multi = c_counts.len() > 1;
+    // Telemetry costs one well-predicted branch per packet when detached.
+    let telemetry = shared.telemetry.is_some();
     let mut forwarded = 0u64;
     let mut filtered = 0u64;
     for (pkt, outcome) in pkts.iter().zip(outcomes.iter()) {
@@ -1346,10 +1437,16 @@ fn process_run<S: PacketStage>(
             StageVerdict::Drop => {
                 filtered += 1;
                 c_counts[slot].1 += 1;
+                if telemetry {
+                    scratch.record(pkt.wire_size as u64, false);
+                }
             }
             StageVerdict::Forward => {
                 forwarded += 1;
                 c_counts[slot].0 += 1;
+                if telemetry {
+                    scratch.record(pkt.wire_size as u64, true);
+                }
                 if !push_tx(shared, TxMsg::Pkt(w, *pkt), tx_thread) {
                     // TX died (sink panicked): keep draining so shutdown
                     // can proceed, the panic propagates at scope exit.

@@ -50,6 +50,7 @@ use vif_dataplane::{
 use vif_optimizer::{arbitrate, AdmissionVerdict, ArbiterConfig, ContractDemand};
 use vif_sgx::{AttestationRootKey, AttestationService, EnclaveImage, EpcConfig, SgxPlatform};
 use vif_sketch::{CountMinSketch, SketchConfig};
+use vif_telemetry::{fault, EventKind, TelemetryHub};
 
 /// One tenant's entry in a campaign: who it is, what traffic it will see,
 /// and what filtering capacity it asks the arbiter for.
@@ -151,6 +152,7 @@ pub struct CampaignHarness {
     faults: FaultPlan,
     degraded: Vec<(ContractId, DegradedMode)>,
     stale_rejoin: Option<usize>,
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl CampaignHarness {
@@ -174,7 +176,21 @@ impl CampaignHarness {
             faults: FaultPlan::new(),
             degraded: Vec::new(),
             stale_rejoin: None,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry hub to the whole campaign: admission verdicts
+    /// land in the flight recorder as [`EventKind::ContractAdmit`] /
+    /// [`EventKind::ContractReject`] events, every tenant's round driver
+    /// records its audit events, the shared cluster records epoch
+    /// publications and rejoins, the service records per-worker metrics,
+    /// and the campaign loop drives the hub's virtual clock. Build the
+    /// hub with the campaign's contract ids
+    /// ([`TelemetryHub::new`]) so per-contract counters are labeled.
+    pub fn with_telemetry(mut self, hub: Arc<TelemetryHub>) -> Self {
+        self.telemetry = Some(hub);
+        self
     }
 
     /// Attaches a seeded fault schedule shared by the whole campaign
@@ -231,6 +247,7 @@ impl CampaignHarness {
         let faults = self.faults.clone();
         let degraded = self.degraded.clone();
         let stale_rejoin = self.stale_rejoin;
+        let telemetry = self.telemetry.clone();
         let n = config.harness.workers;
         let seed = self.contracts[0].scenario.seed;
 
@@ -249,12 +266,20 @@ impl CampaignHarness {
         for (c, policy) in self.contracts.into_iter().zip(policies.drain(..)) {
             match arbitration.verdict(c.contract) {
                 Some(AdmissionVerdict::Rejected { reason }) => {
+                    if let Some(hub) = &telemetry {
+                        hub.record_event(EventKind::ContractReject, 0, c.contract as u64, 0);
+                    }
                     rejected.push(RejectedContract {
                         contract: c.contract,
                         reason: reason.to_string(),
                     });
                 }
-                _ => admitted.push((c, policy)),
+                _ => {
+                    if let Some(hub) = &telemetry {
+                        hub.record_event(EventKind::ContractAdmit, 0, c.contract as u64, 0);
+                    }
+                    admitted.push((c, policy));
+                }
             }
         }
         if admitted.is_empty() {
@@ -286,6 +311,9 @@ impl CampaignHarness {
             seed ^ 0x0de0,
             derive32(seed, 0x13),
         );
+        if let Some(hub) = &telemetry {
+            cluster.set_telemetry(Arc::clone(hub));
+        }
 
         // --- per-contract attested sessions + audit drivers -------------
         let mut tenants: Vec<Tenant> = Vec::with_capacity(admitted.len());
@@ -327,7 +355,7 @@ impl CampaignHarness {
                 c.scenario.victim.len(),
                 c.contract,
             );
-            let driver = ClusterRoundDriver::new(
+            let mut driver = ClusterRoundDriver::new(
                 cluster.enclaves().to_vec(),
                 keys.sketch_seed,
                 keys.audit_key,
@@ -344,6 +372,9 @@ impl CampaignHarness {
                 },
             )
             .with_contract(c.contract);
+            if let Some(hub) = &telemetry {
+                driver.set_telemetry(Arc::clone(hub));
+            }
             let rounds = c.scenario.compile();
             let phases = c
                 .scenario
@@ -394,14 +425,15 @@ impl CampaignHarness {
             .map(|t| t.rounds.len() as u64)
             .max()
             .unwrap_or(0);
-        // Virtual seconds per round, for re-arbitration's demand window.
-        let round_secs = tenants
+        // Virtual nanoseconds per round (campaign-wide max): the telemetry
+        // clock ticks off it; seconds feed re-arbitration's demand window.
+        let round_ns_max = tenants
             .iter()
             .map(|t| t.scenario.round_ns())
             .max()
             .unwrap_or(1)
-            .max(1) as f64
-            / 1e9;
+            .max(1);
+        let round_secs = round_ns_max as f64 / 1e9;
 
         // --- fault/recovery bookkeeping ---------------------------------
         let mut stall_until = vec![0u64; n];
@@ -446,12 +478,15 @@ impl CampaignHarness {
             .map(|e| EnclaveFilterStage::new(Arc::clone(e), FilterMode::SgxNearZeroCopy))
             .collect();
         let forwarded: Mutex<Vec<FiveTuple>> = Mutex::new(Vec::new());
-        let service = DataplaneService::new(ServiceConfig {
+        let mut service = DataplaneService::new(ServiceConfig {
             ring_capacity: config.harness.ring_capacity,
             burst: config.harness.burst,
             ..Default::default()
         })
         .with_contracts(contract_map);
+        if let Some(hub) = &telemetry {
+            service = service.with_telemetry(Arc::clone(hub));
+        }
 
         let reports = service.run(
             stages,
@@ -460,11 +495,26 @@ impl CampaignHarness {
             |svc| {
                 let mut merged: Vec<Packet> = Vec::new();
                 for global_round in 0..total_rounds {
+                    // Drive the hub's virtual clock off the campaign's
+                    // (max) round length — deterministic in the seed.
+                    if let Some(hub) = &telemetry {
+                        hub.set_time(global_round * round_ns_max);
+                    }
                     // Fire this round's scheduled infrastructure faults.
                     for ev in faults.due(global_round) {
                         match ev.kind {
                             FaultKind::WorkerCrash { worker } => svc.inject_crash(worker % n),
-                            FaultKind::WorkerRecover { worker } => want_rejoin[worker % n] = true,
+                            FaultKind::WorkerRecover { worker } => {
+                                want_rejoin[worker % n] = true;
+                                if let Some(hub) = &telemetry {
+                                    hub.record_event(
+                                        EventKind::FaultInjected,
+                                        (worker % n) as u32,
+                                        fault::RECOVER,
+                                        0,
+                                    );
+                                }
+                            }
                             FaultKind::WorkerStall { worker, rounds } => {
                                 let w = worker % n;
                                 stall_until[w] = stall_until[w].max(global_round + rounds);
@@ -474,6 +524,14 @@ impl CampaignHarness {
                             }
                             FaultKind::PublishAckLoss { slice, count } => {
                                 ack_loss.lock().unwrap()[slice % n] += count;
+                                if let Some(hub) = &telemetry {
+                                    hub.record_event(
+                                        EventKind::FaultInjected,
+                                        (slice % n) as u32,
+                                        fault::ACK_LOSS,
+                                        count as u64,
+                                    );
+                                }
                             }
                             // Per-driver injection point: not wired in
                             // campaign mode (see `with_faults`).

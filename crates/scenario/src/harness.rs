@@ -51,6 +51,7 @@ use vif_dataplane::{
 };
 use vif_sgx::{AttestationRootKey, AttestationService, EnclaveImage, EpcConfig, SgxPlatform};
 use vif_sketch::{CountMinSketch, SketchConfig};
+use vif_telemetry::{fault, EventKind, TelemetryHub};
 
 /// Sentinel for "no worker's output is stolen" in the adversary atomic.
 const NO_DROP_WORKER: usize = usize::MAX;
@@ -106,6 +107,7 @@ pub struct ScenarioHarness {
     scenario: Scenario,
     config: ScenarioHarnessConfig,
     faults: FaultPlan,
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl ScenarioHarness {
@@ -124,6 +126,7 @@ impl ScenarioHarness {
             scenario,
             config,
             faults: FaultPlan::new(),
+            telemetry: None,
         }
     }
 
@@ -139,11 +142,26 @@ impl ScenarioHarness {
         self
     }
 
+    /// Attaches a telemetry hub to the whole stack the run builds: the
+    /// dataplane service records per-worker packet metrics and
+    /// fault/quarantine events, the round driver records audit verdicts
+    /// and probation transitions, the cluster records epoch publications
+    /// and rejoins, and the harness itself drives the hub's virtual clock
+    /// (`global_round × round_ns`) and records seeded publish-ack-loss
+    /// and recover-intent injections. Everything recorded is
+    /// seed-deterministic: two runs of the same scenario + faults + hub
+    /// shape produce byte-identical snapshots and traces.
+    pub fn with_telemetry(mut self, hub: Arc<TelemetryHub>) -> Self {
+        self.telemetry = Some(hub);
+        self
+    }
+
     /// Runs the scenario to completion (or contract abort) and scores it.
     pub fn run(self, policy: &mut dyn VictimPolicy) -> ScenarioReport {
         let scenario = &self.scenario;
         let config = self.config;
         let faults = self.faults.clone();
+        let telemetry = self.telemetry.clone();
         let n = config.workers;
         let seed = scenario.seed;
 
@@ -198,6 +216,10 @@ impl ScenarioHarness {
                 ..Default::default()
             },
         );
+        if let Some(hub) = &telemetry {
+            driver.set_telemetry(Arc::clone(hub));
+            cluster.set_telemetry(Arc::clone(hub));
+        }
 
         // Export faults are injected on the driver's export path; the hook
         // is keyed by (slice, round, attempt), where the driver's internal
@@ -316,11 +338,14 @@ impl ScenarioHarness {
             .collect();
         let forwarded: Mutex<Vec<FiveTuple>> = Mutex::new(Vec::new());
         let adversary_drop = AtomicUsize::new(NO_DROP_WORKER);
-        let service = DataplaneService::new(ServiceConfig {
+        let mut service = DataplaneService::new(ServiceConfig {
             ring_capacity: config.ring_capacity,
             burst: config.burst,
             ..Default::default()
         });
+        if let Some(hub) = &telemetry {
+            service = service.with_telemetry(Arc::clone(hub));
+        }
         let service_report = service.run(
             stages,
             |worker, pkt| {
@@ -332,6 +357,12 @@ impl ScenarioHarness {
             |svc| {
                 let compiled = scenario.compile();
                 for round in &compiled {
+                    // Drive the hub's virtual clock: every event and
+                    // snapshot this round is stamped with the round's
+                    // deterministic start time, never wall time.
+                    if let Some(hub) = &telemetry {
+                        hub.set_time(round.global_round * scenario.round_ns());
+                    }
                     adversary_drop.store(
                         config
                             .adversary
@@ -347,7 +378,17 @@ impl ScenarioHarness {
                     for ev in faults.due(round.global_round) {
                         match ev.kind {
                             FaultKind::WorkerCrash { worker } => svc.inject_crash(worker % n),
-                            FaultKind::WorkerRecover { worker } => want_rejoin[worker % n] = true,
+                            FaultKind::WorkerRecover { worker } => {
+                                want_rejoin[worker % n] = true;
+                                if let Some(hub) = &telemetry {
+                                    hub.record_event(
+                                        EventKind::FaultInjected,
+                                        (worker % n) as u32,
+                                        fault::RECOVER,
+                                        0,
+                                    );
+                                }
+                            }
                             FaultKind::WorkerStall { worker, rounds } => {
                                 let w = worker % n;
                                 stall_until[w] = stall_until[w].max(round.global_round + rounds);
@@ -357,6 +398,14 @@ impl ScenarioHarness {
                             }
                             FaultKind::PublishAckLoss { slice, count } => {
                                 ack_loss.lock().unwrap()[slice % n] += count;
+                                if let Some(hub) = &telemetry {
+                                    hub.record_event(
+                                        EventKind::FaultInjected,
+                                        (slice % n) as u32,
+                                        fault::ACK_LOSS,
+                                        count as u64,
+                                    );
+                                }
                             }
                             // Export faults fire inside the driver hook.
                             FaultKind::ExportCorrupt { .. } | FaultKind::ExportTimeout { .. } => {}

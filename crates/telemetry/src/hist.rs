@@ -1,0 +1,353 @@
+//! HDR-lite latency histograms: fixed `[u64; 64]` log2 buckets.
+//!
+//! The design point is the dataplane hot path: recording a value is a
+//! handful of plain integer operations on a fixed-size struct — no heap,
+//! no hashing, no branching on history — and merging two histograms is
+//! element-wise addition, so per-worker histograms aggregate at the round
+//! barrier in O(64) regardless of how many values were recorded.
+//!
+//! Bucket `b` holds values `v` with `bucket_of(v) == b`:
+//!
+//! - bucket 0 holds exactly `v == 0`,
+//! - bucket `b` (1 ≤ b < 63) holds `2^(b-1) ≤ v < 2^b`,
+//! - bucket 63 holds everything from `2^62` up (clamped top bucket).
+//!
+//! Percentiles are therefore *bucket-resolution estimates* (returned as
+//! the bucket's inclusive upper bound, clamped to the observed min/max),
+//! while `mean`, `min`, `max`, `count`, and `sum` are exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets (one per `u64` bit position, plus the zero
+/// bucket folded into index 0).
+pub const BUCKETS: usize = 64;
+
+/// Index of the bucket holding `v` (see module docs).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `b` — the representative value
+/// percentile queries report for values landing in the bucket.
+#[inline]
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A plain (single-writer) log2 histogram. `Copy`-able, allocation-free,
+/// and byte-deterministic: two histograms fed the same values in any
+/// order compare equal.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Records `n` occurrences of `v` (sketch-style weighted insert).
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(v)] += n;
+        self.count += n;
+        self.sum = self.sum.wrapping_add(v.wrapping_mul(n));
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Merges `other` into `self` by bucket-wise addition.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets the histogram to empty (keeps it allocation-free to reuse).
+    pub fn clear(&mut self) {
+        *self = Histogram::new();
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts (index by [`bucket_of`]).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Percentile estimate for `q` in `0..=100`: the inclusive upper
+    /// bound of the bucket containing the rank-`ceil(q/100·count)` value,
+    /// clamped to the exact observed `[min, max]` range. O(64) per query,
+    /// independent of how many values were recorded — the "one percentile
+    /// implementation" the per-round report math shares.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 100.0);
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(b).clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A shared log2 histogram: same buckets as [`Histogram`], each counter an
+/// [`AtomicU64`] written with relaxed ordering. Writers on the hot path
+/// should prefer batching into a local [`Histogram`] and merging once per
+/// round via [`AtomicHistogram::merge_from`] — that keeps the per-packet
+/// cost at plain arithmetic and the atomic traffic at O(64) per round.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty shared histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value with relaxed atomics (use sparingly on the hot
+    /// path; prefer [`merge_from`](AtomicHistogram::merge_from)).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds a local histogram's counts (bucket-wise). Only non-empty
+    /// buckets touch memory, so a burst's worth of same-magnitude values
+    /// costs a handful of relaxed adds.
+    pub fn merge_from(&self, h: &Histogram) {
+        if h.count == 0 {
+            return;
+        }
+        for (b, &n) in h.buckets.iter().enumerate() {
+            if n > 0 {
+                self.buckets[b].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(h.count, Ordering::Relaxed);
+        self.sum.fetch_add(h.sum, Ordering::Relaxed);
+        self.min.fetch_min(h.min, Ordering::Relaxed);
+        self.max.fetch_max(h.max, Ordering::Relaxed);
+    }
+
+    /// Snapshots the shared counters into a plain [`Histogram`].
+    pub fn load(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for (b, n) in self.buckets.iter().enumerate() {
+            out.buckets[b] = n.load(Ordering::Relaxed);
+        }
+        out.count = self.count.load(Ordering::Relaxed);
+        out.sum = self.sum.load(Ordering::Relaxed);
+        out.min = self.min.load(Ordering::Relaxed);
+        out.max = self.max.load(Ordering::Relaxed);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        for b in 1..62 {
+            assert_eq!(bucket_of(1u64 << (b - 1)), b, "lower edge of bucket {b}");
+            assert_eq!(bucket_of((1u64 << b) - 1), b, "upper edge of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut h = Histogram::new();
+        for v in [3u64, 5, 7, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1015);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 253.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_addition_and_order_free() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..1000u64 {
+            if v.is_multiple_of(3) {
+                a.record(v * 17);
+            } else {
+                b.record(v * 17);
+            }
+            all.record(v * 17);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all);
+    }
+
+    #[test]
+    fn percentiles_bracket_and_order() {
+        let mut h = Histogram::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p99, "{p50} > {p99}");
+        // p50 of 1..=1024 lands in the bucket of 512 (bucket 10: 512..1023).
+        assert!((256..=1023).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.percentile(100.0), 1024);
+        assert_eq!(h.percentile(0.0), h.min());
+        assert_eq!(Histogram::new().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn atomic_round_trips() {
+        let a = AtomicHistogram::new();
+        let mut local = Histogram::new();
+        for v in [64u64, 64, 128, 0, 9000] {
+            local.record(v);
+            a.record(v);
+        }
+        assert_eq!(a.load(), local);
+        // merge_from doubles every count.
+        a.merge_from(&local);
+        assert_eq!(a.load().count(), 10);
+        assert_eq!(a.load().sum(), local.sum() * 2);
+    }
+}

@@ -1,0 +1,294 @@
+//! The flight recorder: a fixed-capacity ring buffer of binary
+//! control-plane events.
+//!
+//! Every event is a small `Copy` record stamped from the *deterministic
+//! virtual clock* (never wall time), so a seeded run's trace is
+//! byte-reproducible: same seed ⇒ same events in the same order with the
+//! same timestamps, and [`FlightRecorder::trace_bytes`] produces the same
+//! bytes. When the ring is full the oldest event is overwritten and the
+//! overwrite is *accounted* ([`FlightRecorder::dropped`]) — the recorder
+//! never hides that it lost history.
+
+/// What happened. The discriminants are the on-trace event codes and are
+/// stable: tools parsing [`FlightRecorder::trace_bytes`] can rely on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// One rule epoch published cluster-wide (`a` = epoch after the swap,
+    /// `b` = rules in the compiled set; `slice` = master slice).
+    EpochPublish = 1,
+    /// A service round closed at the flush barrier (`a` = round seq,
+    /// `b` = packets received this round).
+    FlushBarrier = 2,
+    /// One slice's round audit completed (`a` = verdict bits: bit 0 set if
+    /// the victim-side audit was dirty, bit 1 if the neighbor-side was;
+    /// `b` = 1 when the slice was audited on probation).
+    AuditVerdict = 3,
+    /// A dirty round struck the contract (`a` = strikes so far).
+    Strike = 4,
+    /// A slice was quarantined / excised from steering.
+    Quarantine = 5,
+    /// A quarantined slice was relaunched and state-resynced (`a` = epoch
+    /// it was brought up to).
+    Rejoin = 6,
+    /// A resynced slice entered probation (shadow-fed, not yet trusted).
+    Probation = 7,
+    /// A probation slice was promoted to full trust (`a` = clean streak).
+    Promote = 8,
+    /// A probation slice was demoted back to quarantine (`a` = rejoin
+    /// attempts charged so far).
+    Demote = 9,
+    /// A fault was injected (`a` = fault code: 1 crash, 2 stall, 3
+    /// overflow storm, 4 publish-ack loss, 5 recover-intent; `b` =
+    /// fault-specific argument).
+    FaultInjected = 10,
+    /// A tenant contract was admitted by the arbiter (`a` = contract id).
+    ContractAdmit = 11,
+    /// A tenant contract was rejected by the arbiter (`a` = contract id).
+    ContractReject = 12,
+    /// The contract aborted on strikes (`a` = final strike count).
+    ContractAbort = 13,
+    /// A slice's log export failed and was retried (`a` = attempt index).
+    ExportRetry = 14,
+}
+
+impl EventKind {
+    /// Stable on-trace code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Human-readable name (used by the text expositions).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::EpochPublish => "epoch_publish",
+            EventKind::FlushBarrier => "flush_barrier",
+            EventKind::AuditVerdict => "audit_verdict",
+            EventKind::Strike => "strike",
+            EventKind::Quarantine => "quarantine",
+            EventKind::Rejoin => "rejoin",
+            EventKind::Probation => "probation",
+            EventKind::Promote => "promote",
+            EventKind::Demote => "demote",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::ContractAdmit => "contract_admit",
+            EventKind::ContractReject => "contract_reject",
+            EventKind::ContractAbort => "contract_abort",
+            EventKind::ExportRetry => "export_retry",
+        }
+    }
+}
+
+/// Fault codes carried in the `a` field of
+/// [`EventKind::FaultInjected`] events — shared by every layer that
+/// injects faults so traces stay self-describing.
+pub mod fault {
+    /// Clean worker crash (in-band crash token).
+    pub const CRASH: u64 = 1;
+    /// Worker stall (stops draining its ring).
+    pub const STALL: u64 = 2;
+    /// Ring overflow storm (junk messages consuming capacity).
+    pub const STORM: u64 = 3;
+    /// Publish-ack loss (slice misses a rule epoch).
+    pub const ACK_LOSS: u64 = 4;
+    /// Recovery intent (a crashed slice scheduled to rejoin).
+    pub const RECOVER: u64 = 5;
+}
+
+/// One recorded control-plane event (fixed-size, `Copy`, binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual-clock timestamp, nanoseconds.
+    pub t_ns: u64,
+    /// Global round the event belongs to.
+    pub round: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The slice/worker involved (0 when not slice-scoped).
+    pub slice: u32,
+    /// First kind-specific argument (see [`EventKind`] docs).
+    pub a: u64,
+    /// Second kind-specific argument.
+    pub b: u64,
+}
+
+/// Bytes one event occupies in [`FlightRecorder::trace_bytes`].
+pub const EVENT_ENCODED_LEN: usize = 37;
+
+impl Event {
+    /// Appends the event's fixed 37-byte little-endian encoding:
+    /// `t_ns(8) ‖ round(8) ‖ kind(1) ‖ slice(4) ‖ a(8) ‖ b(8)`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.t_ns.to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.push(self.kind.code());
+        out.extend_from_slice(&self.slice.to_le_bytes());
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+    }
+}
+
+/// Fixed-capacity ring buffer of [`Event`]s.
+///
+/// All storage is allocated at construction; recording never allocates
+/// (the backing `Vec` is pushed only within its reserved capacity), so a
+/// recorder can ride along the zero-allocation service rounds.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    buf: Vec<Event>,
+    /// Index of the oldest retained event.
+    start: usize,
+    /// Total events ever recorded.
+    recorded: u64,
+    /// Events overwritten after the ring filled.
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining up to `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs capacity");
+        FlightRecorder {
+            buf: Vec::with_capacity(capacity),
+            start: 0,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, overwriting (and accounting) the oldest when
+    /// the ring is full. Never allocates.
+    pub fn record(&mut self, ev: Event) {
+        self.recorded += 1;
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.start] = ev;
+            self.start = (self.start + 1) % self.buf.len();
+            self.dropped += 1;
+        }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True before anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        let (tail, head) = self.buf.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+
+    /// The last `n` retained events, oldest first.
+    pub fn last(&self, n: usize) -> Vec<Event> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.events().skip(skip).copied().collect()
+    }
+
+    /// Deterministic binary trace: a 24-byte header
+    /// (`recorded ‖ dropped ‖ len`, little-endian u64s) followed by every
+    /// retained event's fixed encoding, oldest first. Byte-identical
+    /// across runs that recorded the same events — the artifact seeded
+    /// chaos campaigns diff to prove reproducibility.
+    pub fn trace_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.buf.len() * EVENT_ENCODED_LEN);
+        out.extend_from_slice(&self.recorded.to_le_bytes());
+        out.extend_from_slice(&self.dropped.to_le_bytes());
+        out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
+        for ev in self.events() {
+            ev.encode_into(&mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> Event {
+        Event {
+            t_ns: i * 10,
+            round: i,
+            kind: EventKind::FlushBarrier,
+            slice: (i % 4) as u32,
+            a: i,
+            b: i * 2,
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_accounts_drops() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.record(ev(i));
+        }
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.len(), 4);
+        let kept: Vec<u64> = r.events().map(|e| e.round).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest-first, newest retained");
+        assert_eq!(
+            r.last(2).iter().map(|e| e.round).collect::<Vec<_>>(),
+            [8, 9]
+        );
+        // Asking for more than retained returns everything retained.
+        assert_eq!(r.last(100).len(), 4);
+    }
+
+    #[test]
+    fn below_capacity_drops_nothing() {
+        let mut r = FlightRecorder::new(8);
+        for i in 0..5 {
+            r.record(ev(i));
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.events().count(), 5);
+    }
+
+    #[test]
+    fn trace_bytes_layout_and_determinism() {
+        let mut a = FlightRecorder::new(4);
+        let mut b = FlightRecorder::new(4);
+        for i in 0..7 {
+            a.record(ev(i));
+            b.record(ev(i));
+        }
+        let ta = a.trace_bytes();
+        assert_eq!(ta, b.trace_bytes(), "same events, same bytes");
+        assert_eq!(ta.len(), 24 + 4 * EVENT_ENCODED_LEN);
+        // Header: recorded=7, dropped=3, len=4.
+        assert_eq!(u64::from_le_bytes(ta[0..8].try_into().unwrap()), 7);
+        assert_eq!(u64::from_le_bytes(ta[8..16].try_into().unwrap()), 3);
+        assert_eq!(u64::from_le_bytes(ta[16..24].try_into().unwrap()), 4);
+        // Divergent history ⇒ divergent bytes.
+        b.record(ev(99));
+        assert_ne!(a.trace_bytes(), b.trace_bytes());
+    }
+}

@@ -8,14 +8,36 @@ Arguments are (smoke, baseline) pairs — the hot-path benches gate against
 ``BENCH_scenario.json`` in one invocation. Each file is the
 machine-readable report the criterion shim writes under ``VIF_BENCH_JSON``
 (a JSON array of ``{group, bench, ns_per_iter, ...}`` objects). Benchmarks
-are matched on ``(group, bench)``; a smoke result more than
-``BENCH_REGRESS_FACTOR`` (default 2.0) times slower than its baseline
-fails the check. The threshold is deliberately loose: CI runners are noisy
-and the smoke windows are short (``VIF_BENCH_MS=25`` in the CI step that
-invokes this gate — see ``.github/workflows/ci.yml``; 5 ms proved too noisy
-for the ~20 ns burst-1 cells) — the gate exists to catch order-of-magnitude
-hot-path regressions (a dropped ``#[inline]``, an allocation sneaking back
-into the decide or logging path), not 10 % drift.
+are matched on ``(group, bench)``; a smoke result more than its tolerance
+factor times slower than its baseline fails the check.
+
+Tolerances
+----------
+The default threshold is ``BENCH_REGRESS_FACTOR`` (default 2.0) and is
+deliberately loose: CI runners are noisy and the smoke windows are short
+(``VIF_BENCH_MS=25`` in the CI step that invokes this gate — see
+``.github/workflows/ci.yml``; 5 ms proved too noisy for the ~20 ns
+burst-1 cells) — the gate exists to catch order-of-magnitude hot-path
+regressions (a dropped ``#[inline]``, an allocation sneaking back into
+the decide or logging path), not 10 % drift.
+
+Individual benches can carry a **tighter** (or looser) tolerance via
+``OVERRIDES`` below, matched on the full ``group/bench`` name first and
+then on the group alone. ``telemetry_overhead`` is held to 1.5x: its
+whole reason to exist is pricing the recording hot path against a ≤5 %
+budget, and a cost that needs the generic 2x window to pass has already
+blown that budget many times over. ``BENCH_REGRESS_OVERRIDES`` extends
+or replaces entries from the environment as comma-separated
+``name=factor`` pairs (e.g. ``telemetry_overhead=1.3,decide/burst_1=3``).
+
+Machine-readable summary
+------------------------
+Set ``BENCH_REGRESS_JSON=<path>`` to also write the full comparison as
+JSON: ``{"default_factor", "overrides", "compared", "failures",
+"results": [{"group", "bench", "smoke_ns", "baseline_ns", "ratio",
+"factor", "status"}]}`` where ``status`` is ``ok``, ``fail``,
+``missing-smoke``, or ``missing-baseline``. CI archives it so regression
+history can be graphed without scraping logs.
 
 A benchmark present in only one of the two files FAILS the check, in
 both directions: a baseline entry that was never smoked means the gate
@@ -28,12 +50,20 @@ hot-path section).
 
 Every compared bench prints its smoke/baseline speed ratio, pass or fail,
 so a green run still shows where the time went (creeping 1.4x drift is
-visible in the log well before it trips the 2x gate).
+visible in the log well before it trips its gate).
 """
 
 import json
 import os
 import sys
+
+# Per-bench tolerance factors, keyed on "group/bench" (most specific) or
+# bare group name. Anything not listed uses BENCH_REGRESS_FACTOR.
+OVERRIDES = {
+    # The observability-cost bench gates the ≤5 % recording budget; hold
+    # it well inside the generic noise window.
+    "telemetry_overhead": 1.5,
+}
 
 
 def load(path):
@@ -41,13 +71,33 @@ def load(path):
         return {(r["group"], r["bench"]): r["ns_per_iter"] for r in json.load(f)}
 
 
-def gate(smoke_path, baseline_path, factor):
+def load_overrides():
+    overrides = dict(OVERRIDES)
+    raw = os.environ.get("BENCH_REGRESS_OVERRIDES", "")
+    for entry in filter(None, (e.strip() for e in raw.split(","))):
+        name, _, factor = entry.partition("=")
+        try:
+            overrides[name.strip()] = float(factor)
+        except ValueError:
+            sys.exit(f"bad BENCH_REGRESS_OVERRIDES entry {entry!r}: want name=factor")
+    return overrides
+
+
+def factor_for(key, default, overrides):
+    group, bench = key
+    full = f"{group}/{bench}"
+    if full in overrides:
+        return overrides[full]
+    return overrides.get(group, default)
+
+
+def gate(smoke_path, baseline_path, default_factor, overrides, results):
     smoke, baseline = load(smoke_path), load(baseline_path)
     failures = []
     compared = 0
     for key, base_ns in sorted(baseline.items()):
+        name = "/".join(key)
         if key not in smoke:
-            name = "/".join(key)
             print(f"FAIL {name}: in {baseline_path} but never smoked")
             failures.append(
                 f"{name}: listed in {baseline_path} but absent from "
@@ -55,20 +105,44 @@ def gate(smoke_path, baseline_path, factor):
                 f"updating the baseline, or its suite did not run; "
                 f"update {baseline_path} or fix the bench invocation"
             )
+            results.append(
+                {
+                    "group": key[0],
+                    "bench": key[1],
+                    "smoke_ns": None,
+                    "baseline_ns": base_ns,
+                    "ratio": None,
+                    "factor": factor_for(key, default_factor, overrides),
+                    "status": "missing-smoke",
+                }
+            )
             continue
         smoke_ns = smoke[key]
         compared += 1
+        factor = factor_for(key, default_factor, overrides)
         ratio = smoke_ns / base_ns if base_ns > 0 else float("inf")
-        flag = "FAIL" if base_ns > 0 and smoke_ns > base_ns * factor else "ok"
+        failed = base_ns > 0 and smoke_ns > base_ns * factor
+        flag = "FAIL" if failed else "ok"
         print(
-            f"  {flag:>4} {'/'.join(key)}: {smoke_ns:.1f} ns vs baseline "
-            f"{base_ns:.1f} ns ({ratio:.2f}x)"
+            f"  {flag:>4} {name}: {smoke_ns:.1f} ns vs baseline "
+            f"{base_ns:.1f} ns ({ratio:.2f}x, limit {factor}x)"
         )
-        if flag == "FAIL":
+        if failed:
             failures.append(
-                f"{'/'.join(key)}: {smoke_ns:.1f} ns vs baseline "
+                f"{name}: {smoke_ns:.1f} ns vs baseline "
                 f"{base_ns:.1f} ns ({ratio:.2f}x > {factor}x)"
             )
+        results.append(
+            {
+                "group": key[0],
+                "bench": key[1],
+                "smoke_ns": smoke_ns,
+                "baseline_ns": base_ns,
+                "ratio": None if base_ns <= 0 else round(ratio, 4),
+                "factor": factor,
+                "status": "fail" if failed else "ok",
+            }
+        )
     for key in sorted(set(smoke) - set(baseline)):
         name = "/".join(key)
         print(f"FAIL {name}: smoked but missing from {baseline_path}")
@@ -78,9 +152,20 @@ def gate(smoke_path, baseline_path, factor):
             f"baseline entry for it (see the README's baseline-refresh "
             f"workflow) in the same commit that adds the bench"
         )
+        results.append(
+            {
+                "group": key[0],
+                "bench": key[1],
+                "smoke_ns": smoke[key],
+                "baseline_ns": None,
+                "ratio": None,
+                "factor": factor_for(key, default_factor, overrides),
+                "status": "missing-baseline",
+            }
+        )
     print(
         f"compared {compared} benchmarks from {smoke_path} "
-        f"against {baseline_path} at threshold {factor}x"
+        f"against {baseline_path} at default threshold {default_factor}x"
     )
     return failures
 
@@ -89,10 +174,25 @@ def main():
     args = sys.argv[1:]
     if not args or len(args) % 2 != 0:
         sys.exit(__doc__)
-    factor = float(os.environ.get("BENCH_REGRESS_FACTOR", "2.0"))
+    default_factor = float(os.environ.get("BENCH_REGRESS_FACTOR", "2.0"))
+    overrides = load_overrides()
     failures = []
+    results = []
     for smoke_path, baseline_path in zip(args[::2], args[1::2]):
-        failures.extend(gate(smoke_path, baseline_path, factor))
+        failures.extend(gate(smoke_path, baseline_path, default_factor, overrides, results))
+    summary_path = os.environ.get("BENCH_REGRESS_JSON")
+    if summary_path:
+        summary = {
+            "default_factor": default_factor,
+            "overrides": overrides,
+            "compared": sum(r["status"] in ("ok", "fail") for r in results),
+            "failures": len(failures),
+            "results": results,
+        }
+        with open(summary_path, "w") as f:
+            json.dump(summary, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"summary written to {summary_path}")
     if failures:
         print("\nREGRESSIONS:")
         for f in failures:
